@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables / figures / reported
+numbers at the ``small`` scale preset (laptop-friendly; switch to ``medium``
+via the ``REPRO_BENCH_SCALE`` environment variable to get closer to the
+paper's setup shape).  Benchmarks assert the *shape* claims and print the
+paper-style tables; run with ``-s`` to see them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Scale preset used by all benchmarks.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are macro-benchmarks (seconds, deterministic), so the
+    default calibration/warmup of pytest-benchmark is unnecessary.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

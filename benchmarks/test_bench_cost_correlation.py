@@ -1,0 +1,23 @@
+"""C-corr — the Cout cost function correlates strongly with runtime.
+
+Paper claim (Section III): "the cost function Cout of the query strongly
+correlates with its running time (ca. 85 % Pearson correlation coefficient)".
+
+Shape criteria checked here: the overall Pearson correlation between the
+actual sum of intermediate results and the simulated runtime over a mixed
+BSBM + LDBC workload is strongly positive (> 0.7), i.e. in the same regime
+as the paper's 85 %.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import cost_correlation
+
+
+def test_bench_cout_runtime_correlation(benchmark, bench_scale):
+    result = run_once(benchmark, cost_correlation.run, scale=bench_scale)
+    print()
+    print(result.report())
+
+    assert result.overall_pearson > 0.7
+    positive_templates = [value for value in result.per_template_pearson.values() if value > 0.3]
+    assert len(positive_templates) >= len(result.per_template_pearson) - 1

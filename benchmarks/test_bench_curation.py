@@ -1,0 +1,46 @@
+"""CUR — the paper's proposal: per-class parameter generation restores P1-P3.
+
+The paper does not evaluate an algorithm (left as future work); this
+benchmark evaluates our implementation of the Section III partitioning on
+BSBM-BI Q4 and LDBC Q2 and compares three curation strategies:
+
+* uniform sampling over the whole domain (the criticised baseline),
+* sampling within the curated classes found by the partitioner,
+* (ablation) the greedy window heuristic is covered in
+  ``test_bench_ablation_identity.py``.
+
+Shape criteria: within a curated class the coefficient of variation and the
+group-to-group mean deviation drop substantially versus uniform sampling,
+every class uses a single plan, and P1/P3 hold.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import curation_eval
+
+
+def _check(result):
+    assert result.per_class, "no reportable classes found"
+    best = result.best_class()
+    uniform = result.uniform
+
+    uniform_cv = (uniform.summary.variance ** 0.5) / uniform.summary.mean
+    best_cv = (best.summary.variance ** 0.5) / best.summary.mean
+    assert best_cv < uniform_cv * 0.6
+    assert best.group_mean_deviation <= uniform.group_mean_deviation + 1e-9
+    assert best.distinct_plans == 1
+    assert best.properties.p1.passed
+    assert best.properties.p3.passed
+
+
+def test_bench_curation_bsbm_q4(benchmark, bench_scale):
+    result = run_once(benchmark, curation_eval.run, scale=bench_scale, template_name="bsbm_bi_q4")
+    print()
+    print(result.report())
+    _check(result)
+
+
+def test_bench_curation_ldbc_q2(benchmark, bench_scale):
+    result = run_once(benchmark, curation_eval.run, scale=bench_scale, template_name="ldbc_q2")
+    print()
+    print(result.report())
+    _check(result)

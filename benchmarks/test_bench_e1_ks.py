@@ -1,0 +1,24 @@
+"""E1-ks — BSBM-BI Q2 runtimes are far from normally distributed.
+
+Paper claim: the Kolmogorov–Smirnov distance between the Q2 runtime
+distribution (uniform product parameters) and a fitted normal is 0.89 with
+p ~ 1e-21.
+
+Shape criteria checked here: the KS distance is well above the ~0.05 a
+normal sample of this size would produce, and the normality hypothesis is
+rejected at the 5 % level.  (The absolute distance is smaller than the
+paper's 0.89 because the simulated dataset is ~3 orders of magnitude
+smaller; see EXPERIMENTS.md.)
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e1_variance
+
+
+def test_bench_e1_q2_ks_distance(benchmark, bench_scale):
+    result = run_once(benchmark, e1_variance.run, scale=bench_scale)
+    print()
+    print(result.report())
+
+    assert result.q2_ks_distance > 0.12
+    assert result.q2_ks_pvalue < 0.05

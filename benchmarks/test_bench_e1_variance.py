@@ -1,0 +1,24 @@
+"""E1-var — BSBM-BI Q4 runtime variance under uniform parameter sampling.
+
+Paper claim: the runtime variance of Q4 with uniformly drawn ProductType
+parameters is huge (674e6 ms^2 on the authors' 100M-triple setup) because
+the touched data volume depends on how generic the chosen type is.
+
+Shape criteria checked here: runtimes spread over at least an order of
+magnitude (max/min > 20), and the coefficient of variation is far above
+what a well-behaved workload would have (> 0.8).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e1_variance
+
+
+def test_bench_e1_q4_variance(benchmark, bench_scale):
+    result = run_once(benchmark, e1_variance.run, scale=bench_scale)
+    print()
+    print(result.report())
+
+    assert result.q4_variance > 0
+    assert result.q4_max_min_ratio > 20
+    coefficient_of_variation = (result.q4_summary.variance ** 0.5) / result.q4_summary.mean
+    assert coefficient_of_variation > 0.8

@@ -1,0 +1,24 @@
+"""E2 (second observation) — BSBM-BI Q2 group instability.
+
+Paper claim: running BSBM-BI Q2 with different groups of 100 random product
+parameters changes the mean by up to ~15 % and the median by up to ~25 %.
+
+Shape criteria checked here: the mean deviation across groups exceeds 3 %
+(clearly above the ~1 % run-to-run noise floor of the runtime model) and
+stays within the same order of magnitude as the paper's 15 %; the median is
+also visibly unstable.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e2_stability
+
+
+def test_bench_e2_bsbm_q2_groups(benchmark, bench_scale):
+    result = run_once(benchmark, e2_stability.run, scale=bench_scale)
+    print()
+    print(result.bsbm_q2.report())
+
+    comparison = result.bsbm_q2.comparison
+    assert comparison.mean_deviation() > 0.03
+    assert comparison.median_deviation() > 0.03
+    assert comparison.max_pairwise_mean_ratio() > 1.05

@@ -1,0 +1,27 @@
+"""E2 (table 1) — LDBC Q2 is unstable across independent parameter groups.
+
+Paper claim: four independent groups of 100 uniformly drawn person
+parameters give group averages deviating by up to ~40 %, with medians and
+percentiles deviating even more (up to ~100 %).
+
+Shape criteria checked here: the reported table has one column per group;
+the group averages deviate by more than 5 % (i.e. clearly more than the
+run-to-run noise of ~1 %), and at least one percentile deviates by more
+than the average does — the paper's observation that percentiles are even
+less stable.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e2_stability
+
+
+def test_bench_e2_ldbc_q2_groups(benchmark, bench_scale):
+    result = run_once(benchmark, e2_stability.run, scale=bench_scale)
+    print()
+    print(result.ldbc_q2.report())
+
+    comparison = result.ldbc_q2.comparison
+    assert len(result.ldbc_q2.group_summaries) >= 4 or bench_scale == "tiny"
+    assert comparison.mean_deviation() > 0.05
+    percentile_deviation = max(comparison.q10_deviation(), comparison.q90_deviation(), comparison.median_deviation())
+    assert percentile_deviation > comparison.mean_deviation() * 0.8

@@ -1,0 +1,26 @@
+"""E3 (table 2) — the average BSBM-BI Q4 runtime is not representative.
+
+Paper claim (Min / Median / Mean / q95 / Max = 59 ms / 354 ms / 3.6 s /
+17.6 s / 259 s): the mean is ~10x the median, runtimes are bimodal (fast
+"specific type" queries vs slow "generic type" queries) and no execution is
+close to the mean.
+
+Shape criteria checked here: mean noticeably above the median (> 1.8x at
+the reduced dataset scale), a maximum far above the q95, fewer than half
+of the executions within ±50 % of the mean, and a clear multiplicative gap
+between the fast and the slow cluster.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e3_average
+
+
+def test_bench_e3_q4_mean_vs_median(benchmark, bench_scale):
+    result = run_once(benchmark, e3_average.run, scale=bench_scale)
+    print()
+    print(result.report())
+
+    assert result.mean_to_median_ratio > 1.8
+    assert result.summary.maximum > 3 * result.summary.q95
+    assert result.fraction_near_mean < 0.5
+    assert result.cluster_separation() > 1.5

@@ -1,0 +1,27 @@
+"""E4 — LDBC Q3 gets different optimal plans for different country pairs.
+
+Paper claim: the optimal plan for "friends within two steps that have been
+to countries X and Y" starts from the friendship neighbourhood for
+frequently co-visited pairs (USA/Canada) and from the country posts for
+rare pairs (Finland/Zimbabwe); parameters must therefore be sampled
+independently per plan class.
+
+Shape criteria checked here: at least two distinct optimal plans occur over
+the sampled bindings, and the dominant plan differs between rare-pair and
+frequent-pair bindings.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e4_plans
+
+
+def test_bench_e4_q3_plan_diversity(benchmark, bench_scale):
+    result = run_once(benchmark, e4_plans.run, scale=bench_scale, persons=10, pairs=4)
+    print()
+    print(result.report())
+
+    assert result.distinct_plans() >= 2
+    assert result.plan_depends_on_parameters()
+    # At least some of the sampled persons flip their plan when the country
+    # pair changes from frequently to rarely co-visited.
+    assert result.person_flip_fraction() > 0 or result.plans_differ_between_rare_and_frequent()

@@ -1,0 +1,78 @@
+"""BSBM-BI Q4: from one misleading aggregate to per-class reporting.
+
+This is the paper's running example end-to-end:
+
+1. generate a BSBM-like dataset (product-type hierarchy, offers, reviews),
+2. run BSBM-BI Q4 ("price analysis per feature for a product type") with
+   uniformly drawn ProductType parameters and show the E3 pathology — the
+   mean runtime is ~several times the median and describes no actual query,
+3. partition the ProductType domain into parameter classes with the
+   Section III clustering (same optimal plan, similar Cout),
+4. re-run the benchmark per class (Q4a, Q4b, ...) and print the per-class
+   report the paper argues for.
+
+Run with::
+
+    python examples/bsbm_parameter_curation.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import WorkloadRunner, summary_table
+from repro.bench.stats import RuntimeSummary
+from repro.core import (
+    ClassSampler,
+    ParameterSpace,
+    UniformSampler,
+    check_workload_properties,
+    curate,
+    curation_report,
+    domain_from_values,
+    per_class_report,
+)
+from repro.datagen.bsbm import BSBMConfig, generate_bsbm, template
+from repro.engine import QueryEngine
+
+
+def main() -> None:
+    # 1. Generate the dataset.
+    dataset = generate_bsbm(BSBMConfig(products=400, type_depth=4, seed=20140331))
+    engine = QueryEngine(dataset.graph)
+    runner = WorkloadRunner(engine)
+    q4 = template("bsbm_bi_q4")
+    print("generated %s" % dataset)
+
+    type_space = ParameterSpace([domain_from_values("type", dataset.product_type_iris())])
+    print("parameter domain: %d product types\n" % type_space.size())
+
+    # 2. The uniform baseline (what the paper criticises).
+    uniform = UniformSampler(type_space, seed=7)
+    baseline = runner.run_bindings(q4, uniform.bindings(100))
+    summary = RuntimeSummary.from_values(baseline.runtimes())
+    print(summary_table(summary, title="BSBM-BI Q4 with uniform ProductType parameters (E3)"))
+    print("mean / median ratio: %.1f" % summary.mean_to_median_ratio())
+    properties = check_workload_properties(baseline.runtimes(), baseline.plan_signatures())
+    print(properties.describe())
+    print()
+
+    # 3. Partition the parameter domain (Section III).
+    curated = curate(engine, q4, type_space, candidates=type_space.size(), cost_tolerance=0.5, min_class_size=4)
+    print(curation_report(curated))
+    print()
+
+    # 4. Per-class benchmarking: Q4a, Q4b, ...
+    results = {}
+    class_of_workload = {}
+    for name, parameter_class in zip(curated.sub_workload_names(), curated.reportable_classes):
+        sampler = ClassSampler(parameter_class, seed=11)
+        results[name] = runner.run_bindings(q4, sampler.bindings(50), workload_name=name)
+        class_of_workload[name] = parameter_class.class_id
+    print(per_class_report(results, class_of_workload, title="per-class results (the paper's proposal)"))
+
+    for name, result in sorted(results.items()):
+        properties = check_workload_properties(result.runtimes(), result.plan_signatures())
+        print("\n%s:\n%s" % (name, properties.describe()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Quickstart: load data, run queries, instantiate a parameterised template.
+
+This walks through the layers of the library on a hand-written graph that
+mirrors the paper's introduction example (firstName / livesIn correlation):
+
+1. build a :class:`repro.rdf.Graph`,
+2. run SPARQL-subset queries through :class:`repro.engine.QueryEngine`,
+3. define a query *template* with ``%name`` / ``%country`` parameters,
+4. see how the choice of parameters changes result sizes, the sum of
+   intermediate results (the paper's ``Cout``) and the simulated runtime.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.engine import QueryEngine
+from repro.rdf import Graph, Literal, Namespace, typed_literal
+from repro.sparql import QueryTemplate
+
+EX = Namespace("http://example.org/")
+
+
+def build_graph() -> Graph:
+    """A small social graph with correlated names and countries."""
+    graph = Graph()
+    people = [
+        ("wei", "Li", "China", 34),
+        ("ming", "Li", "China", 29),
+        ("jun", "Wang", "China", 41),
+        ("john", "John", "United_States", 25),
+        ("mary", "Mary", "United_States", 31),
+        ("li_usa", "Li", "United_States", 52),
+        ("maria", "Maria", "Chile", 38),
+    ]
+    for person_id, name, country, age in people:
+        person = EX[person_id]
+        graph.add(person, EX["firstName"], Literal(name))
+        graph.add(person, EX["livesIn"], EX[country])
+        graph.add(person, EX["age"], typed_literal(age))
+    for left, right in [("wei", "ming"), ("ming", "jun"), ("john", "mary"), ("maria", "wei")]:
+        graph.add(EX[left], EX["knows"], EX[right])
+        graph.add(EX[right], EX["knows"], EX[left])
+    graph.finalise()
+    return graph
+
+
+def main() -> None:
+    graph = build_graph()
+    engine = QueryEngine(graph)
+    print("loaded %d triples" % len(graph))
+
+    # 1. A plain query.
+    result = engine.execute(
+        """
+        PREFIX ex: <http://example.org/>
+        SELECT ?person ?age WHERE {
+          ?person ex:livesIn ex:China .
+          ?person ex:age ?age .
+          FILTER(?age > 30)
+        }
+        ORDER BY DESC(?age)
+        """
+    )
+    print("\npeople in China older than 30:")
+    for row in result.to_dicts():
+        print("  %-40s %s" % (row["person"].value, row["age"].lexical))
+    print("plan:\n%s" % result.plan.pretty())
+
+    # 2. The paper's parameterised template.
+    template = QueryTemplate(
+        "by_name_and_country",
+        """
+        PREFIX ex: <http://example.org/>
+        SELECT ?person WHERE {
+          ?person ex:firstName %name .
+          ?person ex:livesIn %country .
+        }
+        """,
+        description="The introduction example of the paper.",
+    )
+    print("\ntemplate parameters: %s" % (template.parameter_names,))
+
+    bindings = [
+        {"name": Literal("Li"), "country": EX["China"]},          # unselective: names correlate with country
+        {"name": Literal("John"), "country": EX["China"]},        # very selective: the correlation works against it
+        {"name": Literal("Li"), "country": EX["United_States"]},  # in between
+    ]
+    print("\n%-45s %7s %10s %12s" % ("binding", "rows", "Cout", "runtime"))
+    for binding in bindings:
+        result = engine.execute_template(template, binding)
+        label = "%s / %s" % (binding["name"].lexical, binding["country"].local_name())
+        print(
+            "%-45s %7d %10.0f %9.3f ms"
+            % (label, len(result), result.actual_cout, result.runtime_ms)
+        )
+    print(
+        "\nSame template, different parameters -> different work: this is the "
+        "variability the paper's parameter curation is designed to control."
+    )
+
+
+if __name__ == "__main__":
+    main()

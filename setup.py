@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package and no network access, so PEP 517
+editable installs (which require building a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to the
+legacy ``setup.py develop`` path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

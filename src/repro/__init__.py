@@ -1,0 +1,46 @@
+"""repro — reproduction of "How to generate query parameters in RDF benchmarks?".
+
+The package is organised in layers:
+
+* :mod:`repro.rdf` / :mod:`repro.store` — RDF data model and a
+  dictionary-encoded triple store with six permutation indexes,
+* :mod:`repro.sparql` — a SPARQL-subset parser, algebra and query templates
+  with ``%param`` substitution parameters,
+* :mod:`repro.optimizer` / :mod:`repro.engine` — a ``Cout``-based optimizer
+  (the paper's cost function) and a profiling executor with a simulated
+  runtime model,
+* :mod:`repro.datagen` — BSBM-like and LDBC SNB-like data generators plus
+  their query templates,
+* :mod:`repro.bench` — workload runner and the statistics the paper reports,
+* :mod:`repro.core` — the paper's contribution: parameter domains, the
+  plan/cost analyzer, the parameter-class partitioner, curation heuristics
+  and P1/P2/P3 property checks,
+* :mod:`repro.experiments` — one module per table/figure/number in the paper.
+"""
+
+from . import bench, core, datagen, engine, optimizer, rdf, sparql, store
+from .engine import QueryEngine, QueryResult
+from .rdf import Graph, IRI, Literal, Variable
+from .sparql import QueryTemplate, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "IRI",
+    "Literal",
+    "QueryEngine",
+    "QueryResult",
+    "QueryTemplate",
+    "Variable",
+    "__version__",
+    "bench",
+    "core",
+    "datagen",
+    "engine",
+    "optimizer",
+    "parse_query",
+    "rdf",
+    "sparql",
+    "store",
+]

@@ -1,0 +1,63 @@
+"""Benchmark harness substrate: workloads, runner, statistics and reporting."""
+
+from .reporting import (
+    format_milliseconds,
+    group_table,
+    instability_report,
+    key_value_report,
+    summary_table,
+    text_table,
+)
+from .runner import QueryExecution, WorkloadResult, WorkloadRunner
+from .suites import (
+    bsbm_parameter_spaces,
+    build_suite,
+    ldbc_parameter_spaces,
+    run_full_benchmark,
+    run_suite_report,
+)
+from .stats import (
+    GroupComparison,
+    RuntimeSummary,
+    coefficient_of_variation,
+    ks_distance_from_normal,
+    ks_two_sample,
+    mean,
+    median,
+    pearson_correlation,
+    percentile,
+    variance,
+)
+from .workload import FixedBindings, ParameterBinding, ParameterSource, Workload, WorkloadSuite
+
+__all__ = [
+    "FixedBindings",
+    "GroupComparison",
+    "ParameterBinding",
+    "ParameterSource",
+    "QueryExecution",
+    "RuntimeSummary",
+    "Workload",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "WorkloadSuite",
+    "bsbm_parameter_spaces",
+    "build_suite",
+    "coefficient_of_variation",
+    "ldbc_parameter_spaces",
+    "run_full_benchmark",
+    "run_suite_report",
+    "format_milliseconds",
+    "group_table",
+    "instability_report",
+    "key_value_report",
+    "ks_distance_from_normal",
+    "ks_two_sample",
+    "mean",
+    "median",
+    "pearson_correlation",
+    "percentile",
+    "summary_table",
+    "text_table",
+    "variance",
+]

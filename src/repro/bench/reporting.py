@@ -1,0 +1,101 @@
+"""Plain-text report tables in the paper's layout.
+
+The experiments print two table shapes taken directly from the paper:
+
+* the E2 table — one column per parameter group, rows q10 / Median / q90 /
+  Average;
+* the E3 table — one row with Min / Median / Mean / q95 / Max.
+
+Plus generic helpers for aligned text tables used by the examples and the
+benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .stats import GroupComparison, RuntimeSummary
+
+
+def format_milliseconds(value: float) -> str:
+    """Format a runtime like the paper does (ms below a second, else seconds)."""
+    if value < 1.0:
+        return "%.2f ms" % value
+    if value < 1000.0:
+        return "%.0f ms" % value
+    return "%.2f s" % (value / 1000.0)
+
+
+def text_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row %r does not match header width %d" % (row, columns))
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def group_table(summaries: Sequence[RuntimeSummary], title: str = "") -> str:
+    """The E2-style table: groups as columns, aggregate statistics as rows."""
+    headers = ["Time"] + ["Group %d" % (index + 1) for index in range(len(summaries))]
+    rows = [
+        ["q10"] + [format_milliseconds(summary.q10) for summary in summaries],
+        ["Median"] + [format_milliseconds(summary.median) for summary in summaries],
+        ["q90"] + [format_milliseconds(summary.q90) for summary in summaries],
+        ["Average"] + [format_milliseconds(summary.mean) for summary in summaries],
+    ]
+    table = text_table(headers, rows)
+    if title:
+        return "%s\n%s" % (title, table)
+    return table
+
+
+def summary_table(summary: RuntimeSummary, title: str = "") -> str:
+    """The E3-style table: Min / Median / Mean / q95 / Max on one row."""
+    headers = ["Min", "Median", "Mean", "q95", "Max"]
+    row = [
+        format_milliseconds(summary.minimum),
+        format_milliseconds(summary.median),
+        format_milliseconds(summary.mean),
+        format_milliseconds(summary.q95),
+        format_milliseconds(summary.maximum),
+    ]
+    table = text_table(headers, [row])
+    if title:
+        return "%s\n%s" % (title, table)
+    return table
+
+
+def instability_report(comparison: GroupComparison, title: str = "") -> str:
+    """Deviation-across-groups lines quoted in E2 (averages, medians, percentiles)."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("max deviation of the group average : %5.1f %%" % (comparison.mean_deviation() * 100.0))
+    lines.append("max deviation of the group median  : %5.1f %%" % (comparison.median_deviation() * 100.0))
+    lines.append("max deviation of the group q10     : %5.1f %%" % (comparison.q10_deviation() * 100.0))
+    lines.append("max deviation of the group q90     : %5.1f %%" % (comparison.q90_deviation() * 100.0))
+    return "\n".join(lines)
+
+
+def key_value_report(values: Mapping[str, object], title: str = "") -> str:
+    """Simple aligned ``key: value`` listing used by several experiments."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((len(key) for key in values), default=0)
+    for key, value in values.items():
+        rendered = "%.4g" % value if isinstance(value, float) else str(value)
+        lines.append("%s : %s" % (key.ljust(width), rendered))
+    return "\n".join(lines)

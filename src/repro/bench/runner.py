@@ -1,0 +1,136 @@
+"""Workload runner.
+
+Executes workloads against a :class:`~repro.engine.query_engine.QueryEngine`
+and collects one :class:`QueryExecution` record per (template, binding)
+pair: the simulated runtime, the actual and estimated ``Cout``, the plan
+signature and the result size.  Every statistic reported by the experiments
+is computed from these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..engine.query_engine import QueryEngine
+from ..rdf.terms import Term
+from ..sparql.template import QueryTemplate
+from .stats import RuntimeSummary
+from .workload import ParameterBinding, Workload, WorkloadSuite
+
+
+@dataclass
+class QueryExecution:
+    """The outcome of one query execution."""
+
+    template_name: str
+    binding: Dict[str, Term]
+    runtime_ms: float
+    actual_cout: float
+    estimated_cout: float
+    plan_signature: str
+    result_rows: int
+    repetition: int = 0
+
+    def binding_key(self) -> str:
+        """Stable string identifying the parameter binding."""
+        return "&".join("%s=%s" % (name, self.binding[name].n3()) for name in sorted(self.binding))
+
+
+@dataclass
+class WorkloadResult:
+    """All executions of one workload plus convenient accessors."""
+
+    workload_name: str
+    template_name: str
+    executions: List[QueryExecution] = field(default_factory=list)
+
+    def runtimes(self) -> List[float]:
+        return [execution.runtime_ms for execution in self.executions]
+
+    def couts(self) -> List[float]:
+        return [execution.actual_cout for execution in self.executions]
+
+    def plan_signatures(self) -> List[str]:
+        return [execution.plan_signature for execution in self.executions]
+
+    def distinct_plans(self) -> int:
+        return len(set(self.plan_signatures()))
+
+    def summary(self) -> RuntimeSummary:
+        return RuntimeSummary.from_values(self.runtimes())
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+
+class WorkloadRunner:
+    """Runs workloads on a query engine."""
+
+    def __init__(self, engine: QueryEngine):
+        self.engine = engine
+
+    # -- single executions -----------------------------------------------------------
+
+    def run_once(
+        self,
+        template: QueryTemplate,
+        binding: ParameterBinding,
+        repetition: int = 0,
+    ) -> QueryExecution:
+        result = self.engine.execute_template(template, binding, repetition=repetition)
+        return QueryExecution(
+            template_name=template.name,
+            binding=dict(binding),
+            runtime_ms=result.runtime_ms,
+            actual_cout=result.actual_cout,
+            estimated_cout=result.estimated_cout,
+            plan_signature=result.plan_signature(),
+            result_rows=len(result),
+            repetition=repetition,
+        )
+
+    def run_bindings(
+        self,
+        template: QueryTemplate,
+        bindings: Sequence[ParameterBinding],
+        workload_name: Optional[str] = None,
+    ) -> WorkloadResult:
+        result = WorkloadResult(
+            workload_name=workload_name or template.name,
+            template_name=template.name,
+        )
+        for index, binding in enumerate(bindings):
+            result.executions.append(self.run_once(template, binding, repetition=index))
+        return result
+
+    # -- workloads ----------------------------------------------------------------------
+
+    def run_workload(self, workload: Workload) -> WorkloadResult:
+        return self.run_bindings(
+            workload.template,
+            workload.parameter_bindings(),
+            workload_name=workload.name(),
+        )
+
+    def run_suite(self, suite: WorkloadSuite) -> Dict[str, WorkloadResult]:
+        return {workload.name(): self.run_workload(workload) for workload in suite}
+
+    # -- grouped runs (the E2 experiment shape) -----------------------------------------------
+
+    def run_groups(
+        self,
+        template: QueryTemplate,
+        groups: Sequence[Sequence[ParameterBinding]],
+    ) -> List[WorkloadResult]:
+        """Run the same template over several independent groups of bindings."""
+        results = []
+        for group_index, group in enumerate(groups):
+            results.append(
+                self.run_bindings(
+                    template,
+                    group,
+                    workload_name="%s/group%d" % (template.name, group_index + 1),
+                )
+            )
+        return results

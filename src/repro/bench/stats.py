@@ -1,0 +1,196 @@
+"""Statistics over runtime distributions.
+
+Implements every statistic the paper reports:
+
+* variance and percentiles of a runtime sample (E1, E3),
+* the Kolmogorov–Smirnov distance between the observed runtime distribution
+  and a fitted normal distribution (E1 reports D = 0.89, p ≈ 1e-21),
+* group-to-group instability measures for repeated sampling (E2),
+* the Pearson correlation between ``Cout`` and runtime (Section III reports
+  ~85 %).
+
+scipy is used where it provides the reference implementation (KS test,
+Pearson); simple aggregates are computed directly so that the formulas are
+explicit and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of an empty sample")
+    return float(sum(values)) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance (the paper quotes the plain variance of runtimes)."""
+    if not values:
+        raise ValueError("variance of an empty sample")
+    centre = mean(values)
+    return sum((value - centre) ** 2 for value in values) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile; ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper or ordered[lower] == ordered[upper]:
+        return float(ordered[lower])
+    weight = position - lower
+    # lower + (upper - lower) * weight is exact for equal endpoints and keeps
+    # the result inside [lower, upper] for any 0 <= weight <= 1.
+    return float(ordered[lower] + (ordered[upper] - ordered[lower]) * weight)
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 0.5)
+
+
+@dataclass
+class RuntimeSummary:
+    """The summary row the paper prints for a runtime sample (E3 table)."""
+
+    count: int
+    minimum: float
+    q10: float
+    median: float
+    mean: float
+    q90: float
+    q95: float
+    maximum: float
+    variance: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "RuntimeSummary":
+        if not values:
+            raise ValueError("cannot summarise an empty sample")
+        return cls(
+            count=len(values),
+            minimum=min(values),
+            q10=percentile(values, 0.10),
+            median=median(values),
+            mean=mean(values),
+            q90=percentile(values, 0.90),
+            q95=percentile(values, 0.95),
+            maximum=max(values),
+            variance=variance(values),
+        )
+
+    def mean_to_median_ratio(self) -> float:
+        return self.mean / self.median if self.median > 0 else float("inf")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "q10": self.q10,
+            "median": self.median,
+            "mean": self.mean,
+            "q90": self.q90,
+            "q95": self.q95,
+            "max": self.maximum,
+            "variance": self.variance,
+        }
+
+
+def ks_distance_from_normal(values: Sequence[float]) -> Tuple[float, float]:
+    """Kolmogorov–Smirnov distance between the sample and a fitted normal.
+
+    Returns ``(distance, p_value)``.  This is the E1 measurement: the paper
+    reports D = 0.89 with p ≈ 1e-21 for BSBM-BI Q2 runtimes, i.e. the
+    runtime distribution is nowhere near normal.
+    """
+    if len(values) < 3:
+        raise ValueError("need at least 3 observations for the KS test")
+    sample = np.asarray(values, dtype=float)
+    location = float(sample.mean())
+    scale = float(sample.std(ddof=0))
+    if scale == 0:
+        # A constant sample is trivially "normal" with zero width.
+        return 0.0, 1.0
+    result = scipy_stats.kstest(sample, "norm", args=(location, scale))
+    return float(result.statistic), float(result.pvalue)
+
+
+def ks_two_sample(first: Sequence[float], second: Sequence[float]) -> Tuple[float, float]:
+    """Two-sample KS distance (used by the P2 stability checker)."""
+    if not first or not second:
+        raise ValueError("both samples must be non-empty")
+    result = scipy_stats.ks_2samp(np.asarray(first, dtype=float), np.asarray(second, dtype=float))
+    return float(result.statistic), float(result.pvalue)
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length samples."""
+    if len(xs) != len(ys):
+        raise ValueError("samples must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least 2 observations")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if float(x.std()) == 0.0 or float(y.std()) == 0.0:
+        raise ValueError("correlation undefined for constant samples")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+# -- group instability (E2) ------------------------------------------------------------
+
+
+@dataclass
+class GroupComparison:
+    """Statistics of several independently sampled parameter groups (E2)."""
+
+    summaries: List[RuntimeSummary]
+
+    def _spread(self, extract) -> float:
+        """Max relative deviation of a statistic across groups vs. their mean."""
+        values = [extract(summary) for summary in self.summaries]
+        centre = mean(values)
+        if centre == 0:
+            return 0.0
+        return max(abs(value - centre) for value in values) / centre
+
+    def mean_deviation(self) -> float:
+        return self._spread(lambda summary: summary.mean)
+
+    def median_deviation(self) -> float:
+        return self._spread(lambda summary: summary.median)
+
+    def q10_deviation(self) -> float:
+        return self._spread(lambda summary: summary.q10)
+
+    def q90_deviation(self) -> float:
+        return self._spread(lambda summary: summary.q90)
+
+    def max_pairwise_mean_ratio(self) -> float:
+        """Largest ratio between two group means (the paper's "up to 40 %")."""
+        means = [summary.mean for summary in self.summaries]
+        return max(means) / min(means) if min(means) > 0 else float("inf")
+
+    @classmethod
+    def from_groups(cls, groups: Sequence[Sequence[float]]) -> "GroupComparison":
+        return cls([RuntimeSummary.from_values(group) for group in groups])
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation divided by the mean (used by the P1 checker)."""
+    centre = mean(values)
+    if centre == 0:
+        return 0.0
+    return math.sqrt(variance(values)) / centre

@@ -1,0 +1,156 @@
+"""Standard benchmark suites.
+
+Assembles the full BSBM-BI and LDBC-interactive query mixes into
+:class:`~repro.bench.workload.WorkloadSuite` objects, with either the
+uniform baseline or curated per-class parameter sources, and provides a
+one-call driver that runs a suite and renders the consolidated report.
+This is the "benchmark driver" a downstream user would run after adopting
+the library for their own system comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.domain import ParameterSpace, domain_from_values
+from ..core.samplers import UniformSampler
+from ..datagen.bsbm import BSBMDataset
+from ..datagen.bsbm import REGISTRY as BSBM_REGISTRY
+from ..datagen.bsbm import schema as bsbm_schema
+from ..datagen.ldbc import LDBCDataset
+from ..datagen.ldbc import REGISTRY as LDBC_REGISTRY
+from ..datagen.ldbc import schema as ldbc_schema
+from ..engine.query_engine import QueryEngine
+from .runner import WorkloadResult, WorkloadRunner
+from .workload import Workload, WorkloadSuite
+
+
+def bsbm_parameter_spaces(dataset: BSBMDataset) -> Dict[str, ParameterSpace]:
+    """Mine the parameter space of every BSBM-BI template from the dataset."""
+    graph = dataset.graph
+    vendor_countries = domain_from_values(
+        "vendorCountry", [graph.value(vendor, bsbm_schema.VENDOR_COUNTRY) for vendor in dataset.vendors]
+    )
+    domains = {
+        "type": domain_from_values("type", dataset.product_type_iris()),
+        "product": domain_from_values("product", list(dataset.products)),
+        "feature": domain_from_values("feature", list(dataset.features)),
+        "producer": domain_from_values("producer", list(dataset.producers)),
+        "vendorCountry": vendor_countries,
+    }
+    spaces = {}
+    for template in BSBM_REGISTRY.templates():
+        spaces[template.name] = ParameterSpace(
+            [domains[parameter] for parameter in template.parameter_names]
+        )
+    return spaces
+
+
+def ldbc_parameter_spaces(dataset: LDBCDataset) -> Dict[str, ParameterSpace]:
+    """Mine the parameter space of every LDBC template from the dataset."""
+    from ..rdf.terms import Literal
+
+    persons = domain_from_values("person", dataset.person_iris())
+    countries = domain_from_values("country", dataset.country_iris())
+    names = domain_from_values("name", [Literal(person.first_name) for person in dataset.persons])
+    tags = domain_from_values(
+        "tag", [ldbc_schema.tag_iri(tag) for post in dataset.posts for tag in post.tags]
+    )
+    by_name = {
+        "person": persons,
+        "name": names,
+        "countryX": domain_from_values("countryX", countries.values),
+        "countryY": domain_from_values("countryY", countries.values),
+        "tag": tags,
+        "country": countries,
+    }
+    spaces = {}
+    for template in LDBC_REGISTRY.templates():
+        spaces[template.name] = ParameterSpace(
+            [by_name[parameter] for parameter in template.parameter_names]
+        )
+    return spaces
+
+
+def build_suite(
+    name: str,
+    registry,
+    spaces: Dict[str, ParameterSpace],
+    engine: QueryEngine,
+    executions: int = 50,
+    curated: bool = False,
+    curation_candidates: int = 60,
+    seed: int = 42,
+) -> WorkloadSuite:
+    """Build a workload suite over every template of a registry.
+
+    With ``curated=False`` each workload draws its parameters uniformly at
+    random (the baseline the paper criticises); with ``curated=True`` the
+    parameters are curated per template and drawn stratified across the
+    reportable classes, which is the paper's recommended setup.
+    """
+    # Imported here (not at module level) to keep repro.bench importable on
+    # its own: repro.core builds on repro.bench, not the other way around.
+    from ..core.curation import curate
+
+    suite = WorkloadSuite(name)
+    for offset, template in enumerate(registry.templates()):
+        space = spaces[template.name]
+        if curated:
+            curated_workload = curate(
+                engine,
+                template,
+                space,
+                candidates=curation_candidates,
+                min_class_size=max(2, curation_candidates // 20),
+                seed=seed + offset,
+            )
+            if curated_workload.reportable_classes:
+                source = curated_workload.stratified_sampler()
+            else:
+                source = UniformSampler(space, seed=seed + offset)
+        else:
+            source = UniformSampler(space, seed=seed + offset)
+        suite.add(Workload(template, source, executions=executions))
+    return suite
+
+
+def run_suite_report(
+    suite: WorkloadSuite,
+    runner: WorkloadRunner,
+    title: Optional[str] = None,
+) -> str:
+    """Run a suite and render the per-workload report table."""
+    from ..core.report import per_class_report
+
+    results: Dict[str, WorkloadResult] = runner.run_suite(suite)
+    return per_class_report(results, title=title or ("suite: %s" % suite.name))
+
+
+def run_full_benchmark(
+    bsbm_dataset: BSBMDataset,
+    ldbc_dataset: LDBCDataset,
+    executions: int = 30,
+    curated: bool = False,
+    seed: int = 42,
+) -> str:
+    """Run the complete BSBM-BI + LDBC-interactive mix and return the report."""
+    reports = []
+    for label, dataset, registry, space_builder in (
+        ("bsbm-bi", bsbm_dataset, BSBM_REGISTRY, bsbm_parameter_spaces),
+        ("ldbc-interactive", ldbc_dataset, LDBC_REGISTRY, ldbc_parameter_spaces),
+    ):
+        engine = QueryEngine(dataset.graph)
+        runner = WorkloadRunner(engine)
+        suite = build_suite(
+            label,
+            registry,
+            space_builder(dataset),
+            engine,
+            executions=executions,
+            curated=curated,
+            seed=seed,
+        )
+        mode = "curated parameters" if curated else "uniform parameters"
+        reports.append(run_suite_report(suite, runner, title="%s (%s)" % (label, mode)))
+    return "\n\n".join(reports)

@@ -1,0 +1,87 @@
+"""Workload definitions.
+
+A *workload* pairs a query template with a source of parameter bindings and
+a number of executions — the "issue the query template with 100 different
+bindings and aggregate" procedure described in the paper's introduction.
+Parameter sources are deliberately abstract so that the baseline (uniform
+random sampling) and the paper's proposal (sampling within curated
+parameter classes) plug into the same runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Protocol, Sequence
+
+from ..rdf.terms import Term
+from ..sparql.template import QueryTemplate
+
+#: One parameter binding: parameter name -> concrete term.
+ParameterBinding = Mapping[str, Term]
+
+
+class ParameterSource(Protocol):
+    """Anything that can produce parameter bindings for a template."""
+
+    def bindings(self, count: int) -> List[ParameterBinding]:
+        """Return ``count`` parameter bindings."""
+        ...
+
+
+class FixedBindings:
+    """A parameter source backed by an explicit list of bindings."""
+
+    def __init__(self, bindings: Sequence[ParameterBinding]):
+        if not bindings:
+            raise ValueError("FixedBindings requires at least one binding")
+        self._bindings = list(bindings)
+
+    def bindings(self, count: int) -> List[ParameterBinding]:
+        """Cycle through the fixed list until ``count`` bindings are produced."""
+        result: List[ParameterBinding] = []
+        index = 0
+        while len(result) < count:
+            result.append(self._bindings[index % len(self._bindings)])
+            index += 1
+        return result
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+
+@dataclass
+class Workload:
+    """A template plus how to choose its parameters and how often to run it."""
+
+    template: QueryTemplate
+    parameter_source: ParameterSource
+    executions: int = 100
+    #: optional label distinguishing e.g. "Q4a" / "Q4b" sub-workloads
+    label: Optional[str] = None
+
+    def name(self) -> str:
+        return self.label if self.label is not None else self.template.name
+
+    def parameter_bindings(self) -> List[ParameterBinding]:
+        return self.parameter_source.bindings(self.executions)
+
+
+@dataclass
+class WorkloadSuite:
+    """A named collection of workloads executed together."""
+
+    name: str
+    workloads: List[Workload] = field(default_factory=list)
+
+    def add(self, workload: Workload) -> "WorkloadSuite":
+        self.workloads.append(workload)
+        return self
+
+    def names(self) -> List[str]:
+        return [workload.name() for workload in self.workloads]
+
+    def __iter__(self) -> Iterator[Workload]:
+        return iter(self.workloads)
+
+    def __len__(self) -> int:
+        return len(self.workloads)

@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Exposes the experiments and the curation pipeline without writing Python::
+
+    python -m repro.cli experiment e3 --scale small
+    python -m repro.cli experiment all --scale tiny
+    python -m repro.cli curate bsbm_bi_q4 --scale small --classes 3
+    python -m repro.cli generate bsbm --products 200 --output bsbm.nt
+    python -m repro.cli scales
+
+The same entry point is installed as the ``repro-bench`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.curation import curate
+from .core.report import curation_report
+from .datagen.bsbm import BSBMConfig, generate_bsbm
+from .datagen.bsbm import template as bsbm_template
+from .datagen.ldbc import LDBCConfig, generate_ldbc
+from .datagen.ldbc import template as ldbc_template
+from .experiments import (
+    common,
+    cost_correlation,
+    curation_eval,
+    e1_variance,
+    e2_stability,
+    e3_average,
+    e4_plans,
+)
+from .rdf import ntriples
+
+#: experiment name -> runner returning an object with ``.report()``
+EXPERIMENTS = {
+    "e1": e1_variance.run,
+    "e2": e2_stability.run,
+    "e3": e3_average.run,
+    "e4": e4_plans.run,
+    "cost-correlation": cost_correlation.run,
+    "curation": curation_eval.run,
+}
+
+#: templates reachable from the CLI together with their parameter spaces.
+_CURATABLE = {
+    "bsbm_bi_q1": (common.bsbm_engine, bsbm_template, common.bsbm_type_space),
+    "bsbm_bi_q2": (common.bsbm_engine, bsbm_template, common.bsbm_product_space),
+    "bsbm_bi_q4": (common.bsbm_engine, bsbm_template, common.bsbm_type_space),
+    "ldbc_q2": (common.ldbc_engine, ldbc_template, common.ldbc_person_space),
+    "ldbc_q3": (common.ldbc_engine, ldbc_template, common.ldbc_person_country_pair_space),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduction toolkit for 'How to generate query parameters in RDF benchmarks?' (ICDE 2014)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    experiment.add_argument("--scale", default="small", choices=sorted(common.SCALES))
+
+    curate_parser = subparsers.add_parser("curate", help="curate the parameters of a benchmark template")
+    curate_parser.add_argument("template", choices=sorted(_CURATABLE))
+    curate_parser.add_argument("--scale", default="small", choices=sorted(common.SCALES))
+    curate_parser.add_argument("--candidates", type=int, default=100)
+    curate_parser.add_argument("--tolerance", type=float, default=0.5)
+    curate_parser.add_argument("--min-class-size", type=int, default=5)
+    curate_parser.add_argument("--classes", type=int, default=None, help="keep at most this many classes")
+
+    generate = subparsers.add_parser("generate", help="generate a benchmark dataset as N-Triples")
+    generate.add_argument("benchmark", choices=["bsbm", "ldbc"])
+    generate.add_argument("--products", type=int, default=200, help="BSBM: number of products")
+    generate.add_argument("--persons", type=int, default=150, help="LDBC: number of persons")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", default="-", help="output file ('-' for stdout)")
+
+    subparsers.add_parser("scales", help="list the available dataset scale presets")
+    return parser
+
+
+def _run_experiment(name: str, scale: str, output) -> None:
+    runner = EXPERIMENTS[name]
+    result = runner(scale=scale)
+    print(result.report(), file=output)
+
+
+def _run_curate(arguments, output) -> None:
+    engine_factory, template_factory, space_factory = _CURATABLE[arguments.template]
+    engine = engine_factory(arguments.scale)
+    template = template_factory(arguments.template)
+    space = space_factory(arguments.scale)
+    curated = curate(
+        engine,
+        template,
+        space,
+        candidates=arguments.candidates,
+        cost_tolerance=arguments.tolerance,
+        min_class_size=arguments.min_class_size,
+        max_classes=arguments.classes,
+    )
+    print(curation_report(curated), file=output)
+
+
+def _run_generate(arguments, output_stream) -> None:
+    if arguments.benchmark == "bsbm":
+        dataset = generate_bsbm(BSBMConfig(products=arguments.products, seed=arguments.seed))
+    else:
+        dataset = generate_ldbc(LDBCConfig(persons=arguments.persons, seed=arguments.seed))
+    if arguments.output == "-":
+        ntriples.write(dataset.graph.triples(), output_stream)
+    else:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            count = ntriples.write(dataset.graph.triples(), handle)
+        print("wrote %d triples to %s" % (count, arguments.output), file=output_stream)
+
+
+def main(argv: Optional[List[str]] = None, output=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    output = output if output is not None else sys.stdout
+    arguments = build_parser().parse_args(argv)
+
+    if arguments.command == "scales":
+        for name in sorted(common.SCALES):
+            preset = common.SCALES[name]
+            print(
+                "%-8s bsbm_products=%-5d ldbc_persons=%-5d bindings_per_group=%-4d groups=%d"
+                % (name, preset.bsbm_products, preset.ldbc_persons, preset.bindings_per_group, preset.groups),
+                file=output,
+            )
+        return 0
+    if arguments.command == "experiment":
+        names = sorted(EXPERIMENTS) if arguments.name == "all" else [arguments.name]
+        for name in names:
+            print("== %s ==" % name, file=output)
+            _run_experiment(name, arguments.scale, output)
+            print("", file=output)
+        return 0
+    if arguments.command == "curate":
+        _run_curate(arguments, output)
+        return 0
+    if arguments.command == "generate":
+        _run_generate(arguments, output)
+        return 0
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

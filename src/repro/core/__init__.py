@@ -1,0 +1,76 @@
+"""The paper's contribution: parameter domains, analysis, clustering, curation.
+
+Typical use::
+
+    from repro.core import ParameterSpace, mine_instances_of, curate, UniformSampler
+
+    space = ParameterSpace([mine_instances_of(graph, BSBM["ProductType"], "type")])
+    curated = curate(engine, template, space, candidates=100)
+    for class_id in curated.class_ids():
+        sampler = curated.sampler_for(class_id)
+        ...  # run the benchmark per class and report per-class aggregates
+"""
+
+from .analyzer import BindingAnalysis, PlanCostAnalyzer, plan_signature_histogram
+from .clustering import ParameterClass, ParameterPartitioner, Partition, partition_bindings
+from .curation import (
+    CuratedWorkload,
+    curate,
+    greedy_window_curation,
+    select_reportable_classes,
+)
+from .domain import (
+    ParameterDomain,
+    ParameterSpace,
+    domain_from_values,
+    mine_instances_of,
+    mine_iri_objects,
+    mine_literal_objects,
+    mine_objects,
+    mine_subjects,
+)
+from .properties import (
+    PropertyCheck,
+    WorkloadPropertyReport,
+    check_p1_bounded_variance,
+    check_p2_stability,
+    check_p3_single_plan,
+    check_workload_properties,
+)
+from .report import ClassReportRow, class_summary_rows, curation_report, per_class_report
+from .samplers import ClassSampler, StratifiedSampler, UniformSampler
+
+__all__ = [
+    "BindingAnalysis",
+    "ClassReportRow",
+    "ClassSampler",
+    "CuratedWorkload",
+    "ParameterClass",
+    "ParameterDomain",
+    "ParameterPartitioner",
+    "ParameterSpace",
+    "Partition",
+    "PlanCostAnalyzer",
+    "PropertyCheck",
+    "StratifiedSampler",
+    "UniformSampler",
+    "WorkloadPropertyReport",
+    "check_p1_bounded_variance",
+    "check_p2_stability",
+    "check_p3_single_plan",
+    "check_workload_properties",
+    "class_summary_rows",
+    "curate",
+    "curation_report",
+    "domain_from_values",
+    "greedy_window_curation",
+    "mine_instances_of",
+    "mine_iri_objects",
+    "mine_literal_objects",
+    "mine_objects",
+    "mine_subjects",
+    "partition_bindings",
+    "per_class_report",
+    "plan_signature_histogram",
+    "select_reportable_classes",
+]

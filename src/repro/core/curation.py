@@ -1,0 +1,172 @@
+"""Parameter curation heuristics.
+
+The paper leaves "a heuristic for it" to future work; this module provides
+the heuristics a benchmark author actually needs on top of the partitioner:
+
+* :func:`select_reportable_classes` — drop classes that are too small to
+  aggregate over (the paper: the benchmark author "can decide to tune the
+  workload generator such that it does not generate parameters from the
+  certain class Sj").
+* :func:`greedy_window_curation` — the amplitude-minimisation heuristic that
+  LDBC later adopted as "parameter curation": pick the window of ``k``
+  bindings with the most similar costs, which directly optimises the paper's
+  condition (b) for a single reported class.
+* :class:`CuratedWorkload` / :func:`curate` — the end-to-end pipeline:
+  sample candidates from the parameter space, analyze them, partition them,
+  keep the reportable classes and expose per-class samplers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..datagen.random_source import RandomSource
+from ..engine.query_engine import QueryEngine
+from ..rdf.terms import Term
+from ..sparql.template import QueryTemplate
+from .analyzer import BindingAnalysis, PlanCostAnalyzer
+from .clustering import ParameterClass, ParameterPartitioner, Partition
+from .domain import ParameterSpace
+from .samplers import ClassSampler, StratifiedSampler
+
+
+def select_reportable_classes(
+    partition: Partition,
+    min_size: int = 5,
+    max_classes: Optional[int] = None,
+) -> List[ParameterClass]:
+    """Keep the classes a benchmark would actually report.
+
+    Classes smaller than ``min_size`` cannot support a meaningful aggregate
+    and are dropped; if ``max_classes`` is given, the largest classes are
+    kept (ties broken by class id for determinism).
+    """
+    candidates = [parameter_class for parameter_class in partition if len(parameter_class) >= min_size]
+    candidates.sort(key=lambda parameter_class: (-len(parameter_class), parameter_class.class_id))
+    if max_classes is not None:
+        candidates = candidates[:max_classes]
+    return candidates
+
+
+def greedy_window_curation(
+    analyses: Sequence[BindingAnalysis],
+    count: int,
+    cost_measure: str = "actual",
+) -> List[BindingAnalysis]:
+    """Pick the ``count`` bindings with the most similar costs.
+
+    Sort the candidates by cost and slide a window of size ``count`` over
+    them; return the window with the smallest relative cost amplitude
+    ``(max - min) / max``.  This is the classic parameter-curation heuristic:
+    it produces one parameter group for which the paper's condition (b)
+    (and empirically P1/P2) holds as tightly as the data allows.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    ordered = sorted(analyses, key=lambda analysis: (analysis.cost(cost_measure), analysis.binding_key()))
+    if len(ordered) <= count:
+        return list(ordered)
+    best_start = 0
+    best_amplitude = float("inf")
+    for start in range(0, len(ordered) - count + 1):
+        window = ordered[start:start + count]
+        low = window[0].cost(cost_measure)
+        high = window[-1].cost(cost_measure)
+        amplitude = 0.0 if high <= 0 else (high - low) / high
+        if amplitude < best_amplitude:
+            best_amplitude = amplitude
+            best_start = start
+    return ordered[best_start:best_start + count]
+
+
+@dataclass
+class CuratedWorkload:
+    """The output of the curation pipeline for one template."""
+
+    template: QueryTemplate
+    partition: Partition
+    reportable_classes: List[ParameterClass]
+    analyses: List[BindingAnalysis] = field(default_factory=list)
+    seed: int = 42
+
+    def class_ids(self) -> List[str]:
+        return [parameter_class.class_id for parameter_class in self.reportable_classes]
+
+    def sampler_for(self, class_id: str) -> ClassSampler:
+        for parameter_class in self.reportable_classes:
+            if parameter_class.class_id == class_id:
+                return ClassSampler(parameter_class, seed=self.seed)
+        raise KeyError("unknown class %r" % class_id)
+
+    def stratified_sampler(self) -> StratifiedSampler:
+        return StratifiedSampler(self.reportable_classes, seed=self.seed)
+
+    def sub_workload_names(self) -> List[str]:
+        """Names like ``Q4a``, ``Q4b`` — one per reportable class."""
+        suffixes = "abcdefghijklmnopqrstuvwxyz"
+        names = []
+        for index, parameter_class in enumerate(self.reportable_classes):
+            suffix = suffixes[index] if index < len(suffixes) else str(index)
+            names.append("%s%s" % (self.template.name, suffix))
+        return names
+
+    def describe(self) -> str:
+        lines = ["Curated workload for template %r" % self.template.name]
+        lines.append("  candidate bindings analyzed : %d" % len(self.analyses))
+        lines.append("  parameter classes found     : %d" % len(self.partition))
+        lines.append("  reportable classes          : %d" % len(self.reportable_classes))
+        for name, parameter_class in zip(self.sub_workload_names(), self.reportable_classes):
+            low, high = parameter_class.cost_range(self.partition.cost_measure)
+            lines.append(
+                "    %-12s %4d bindings, cost in [%.0f, %.0f], plan %s"
+                % (name, len(parameter_class), low, high, parameter_class.plan_signature[:48])
+            )
+        return "\n".join(lines)
+
+
+def curate(
+    engine: QueryEngine,
+    template: QueryTemplate,
+    space: ParameterSpace,
+    candidates: int = 200,
+    cost_tolerance: float = 0.5,
+    strict: bool = False,
+    cost_measure: str = "actual",
+    min_class_size: int = 5,
+    max_classes: Optional[int] = None,
+    execute: bool = True,
+    seed: int = 42,
+) -> CuratedWorkload:
+    """End-to-end curation: sample, analyze, partition, select classes.
+
+    Parameters mirror the knobs discussed in the paper: the candidate sample
+    size bounds the analysis effort (analyzing the full cross product is the
+    NP-hard part), ``cost_tolerance`` controls condition (b), ``strict``
+    switches to plan-only classes, ``min_class_size`` drops unreportable
+    classes.
+    """
+    source = RandomSource(seed)
+    if space.size() and space.size() <= candidates:
+        candidate_bindings = list(space.enumerate())
+    else:
+        candidate_bindings = space.sample(source, candidates)
+
+    analyzer = PlanCostAnalyzer(engine, template, execute=execute)
+    analyses = analyzer.analyze_deduplicated(candidate_bindings)
+
+    partitioner = ParameterPartitioner(
+        cost_tolerance=cost_tolerance,
+        strict=strict,
+        cost_measure=cost_measure if execute else "estimated",
+        min_class_size=1,
+    )
+    partition = partitioner.partition(analyses)
+    reportable = select_reportable_classes(partition, min_size=min_class_size, max_classes=max_classes)
+    return CuratedWorkload(
+        template=template,
+        partition=partition,
+        reportable_classes=reportable,
+        analyses=analyses,
+        seed=seed,
+    )

@@ -1,0 +1,150 @@
+"""Parameter domains and the parameter space.
+
+Section III of the paper: every template parameter ``p_i`` ranges over a
+domain ``P_i`` and the parameter domain of the query is the cross product
+``P = P_1 x ... x P_n``.  This module represents those domains, mines them
+from a dataset (the domain of ``%type`` is "every product type occurring in
+the data", etc.) and enumerates or samples the cross product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product as cartesian_product
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..datagen.random_source import RandomSource
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, Term, Variable
+
+
+@dataclass
+class ParameterDomain:
+    """The candidate values of one template parameter."""
+
+    name: str
+    values: List[Term] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("parameter domain needs a name")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.values)
+
+    def is_empty(self) -> bool:
+        return not self.values
+
+    def sample(self, source: RandomSource, count: int) -> List[Term]:
+        """Sample ``count`` values uniformly with replacement."""
+        if self.is_empty():
+            raise ValueError("cannot sample from the empty domain %r" % self.name)
+        return [source.choice(self.values) for _ in range(count)]
+
+    def __repr__(self) -> str:
+        return "ParameterDomain(%r, %d values)" % (self.name, len(self.values))
+
+
+class ParameterSpace:
+    """The cross product of the domains of all parameters of a template."""
+
+    def __init__(self, domains: Sequence[ParameterDomain]):
+        names = [domain.name for domain in domains]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names in %r" % names)
+        self.domains: Dict[str, ParameterDomain] = {domain.name: domain for domain in domains}
+
+    @property
+    def parameter_names(self) -> Tuple[str, ...]:
+        return tuple(self.domains)
+
+    def domain(self, name: str) -> ParameterDomain:
+        if name not in self.domains:
+            raise KeyError("unknown parameter %r" % name)
+        return self.domains[name]
+
+    def size(self) -> int:
+        """|P| = prod |P_i| (0 when any domain is empty)."""
+        total = 1
+        for domain in self.domains.values():
+            total *= len(domain)
+        return total
+
+    def enumerate(self, limit: Optional[int] = None) -> Iterator[Dict[str, Term]]:
+        """Enumerate the cross product in deterministic order (up to ``limit``)."""
+        names = list(self.domains)
+        produced = 0
+        for combination in cartesian_product(*(self.domains[name].values for name in names)):
+            if limit is not None and produced >= limit:
+                return
+            produced += 1
+            yield dict(zip(names, combination))
+
+    def sample(self, source: RandomSource, count: int) -> List[Dict[str, Term]]:
+        """Sample ``count`` bindings uniformly at random (with replacement).
+
+        This is the paper's baseline: "sample the values uniformly, at
+        random, from all the possible values in the dataset".
+        """
+        names = list(self.domains)
+        result = []
+        for _ in range(count):
+            result.append({name: source.choice(self.domains[name].values) for name in names})
+        return result
+
+    def __contains__(self, binding: Mapping[str, Term]) -> bool:
+        if set(binding) != set(self.domains):
+            return False
+        return all(binding[name] in self.domains[name].values for name in self.domains)
+
+    def __repr__(self) -> str:
+        return "ParameterSpace(%s, size=%d)" % (
+            ", ".join("%s[%d]" % (name, len(domain)) for name, domain in self.domains.items()),
+            self.size(),
+        )
+
+
+# -- domain mining -------------------------------------------------------------------------
+
+
+def domain_from_values(name: str, values: Sequence[Term]) -> ParameterDomain:
+    """Build a domain from an explicit value list, dropping duplicates."""
+    seen = set()
+    unique: List[Term] = []
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            unique.append(value)
+    return ParameterDomain(name, unique)
+
+
+def mine_objects(graph: Graph, predicate: Term, name: str) -> ParameterDomain:
+    """Domain = all distinct objects of ``predicate`` in the dataset."""
+    return domain_from_values(name, graph.objects(None, predicate))
+
+
+def mine_subjects(graph: Graph, predicate: Term, name: str, object: Optional[Term] = None) -> ParameterDomain:
+    """Domain = all distinct subjects of ``predicate`` (optionally with a fixed object)."""
+    return domain_from_values(name, graph.subjects(predicate, object))
+
+
+def mine_literal_objects(graph: Graph, predicate: Term, name: str) -> ParameterDomain:
+    """Domain = all distinct literal objects of ``predicate``."""
+    values = [term for term in graph.objects(None, predicate) if isinstance(term, Literal)]
+    return domain_from_values(name, values)
+
+
+def mine_iri_objects(graph: Graph, predicate: Term, name: str) -> ParameterDomain:
+    """Domain = all distinct IRI objects of ``predicate``."""
+    values = [term for term in graph.objects(None, predicate) if isinstance(term, IRI)]
+    return domain_from_values(name, values)
+
+
+def mine_instances_of(graph: Graph, class_iri: Term, name: str) -> ParameterDomain:
+    """Domain = all subjects typed as ``class_iri`` (rdf:type)."""
+    from ..rdf.namespaces import RDF_TYPE
+
+    return domain_from_values(name, graph.subjects(RDF_TYPE, class_iri))

@@ -1,0 +1,164 @@
+"""Checkers for the paper's desired workload properties P1, P2, P3.
+
+Section I of the paper requires that a well-chosen parameter set guarantees:
+
+* **P1** — the query runtime has bounded variance: the average corresponds
+  to the behaviour of the majority of the queries.
+* **P2** — the runtime distribution is stable: an independent sample of
+  bindings yields an (approximately) identical runtime distribution.
+* **P3** — the query plan is the same for all bindings.
+
+These checkers quantify each property for a set of observed executions so
+experiments can show "violated under uniform sampling, satisfied within a
+curated class" with concrete numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.stats import (
+    GroupComparison,
+    coefficient_of_variation,
+    ks_two_sample,
+    mean,
+    median,
+)
+
+
+@dataclass
+class PropertyCheck:
+    """Outcome of checking one property."""
+
+    name: str
+    passed: bool
+    value: float
+    threshold: float
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def __repr__(self) -> str:
+        return "PropertyCheck(%s, %s, value=%.3f, threshold=%.3f)" % (
+            self.name,
+            "PASS" if self.passed else "FAIL",
+            self.value,
+            self.threshold,
+        )
+
+
+def check_p1_bounded_variance(
+    runtimes: Sequence[float],
+    max_coefficient_of_variation: float = 0.5,
+    max_mean_to_median_ratio: float = 2.0,
+) -> PropertyCheck:
+    """P1: the average must describe the majority of the runtimes.
+
+    Two symptoms of violation are measured: a large coefficient of variation
+    (std/mean) and a mean far above the median (the E3 pathology).  The
+    check fails if either exceeds its threshold; ``value`` reports the
+    coefficient of variation.
+    """
+    if not runtimes:
+        raise ValueError("cannot check P1 on an empty sample")
+    cv = coefficient_of_variation(runtimes)
+    ratio = mean(runtimes) / median(runtimes) if median(runtimes) > 0 else float("inf")
+    passed = cv <= max_coefficient_of_variation and ratio <= max_mean_to_median_ratio
+    return PropertyCheck(
+        name="P1-bounded-variance",
+        passed=passed,
+        value=cv,
+        threshold=max_coefficient_of_variation,
+        detail="coefficient of variation %.3f (limit %.3f), mean/median %.2f (limit %.2f)"
+        % (cv, max_coefficient_of_variation, ratio, max_mean_to_median_ratio),
+    )
+
+
+def check_p2_stability(
+    groups: Sequence[Sequence[float]],
+    max_mean_deviation: float = 0.10,
+    max_ks_distance: float = 0.25,
+) -> PropertyCheck:
+    """P2: independent binding samples must give the same runtime distribution.
+
+    ``groups`` holds the runtimes of two or more independently sampled
+    parameter groups.  The check measures (i) the maximum relative deviation
+    of the group means and (ii) the maximum pairwise two-sample KS distance;
+    both must stay under their thresholds.
+    """
+    if len(groups) < 2:
+        raise ValueError("P2 needs at least two groups")
+    comparison = GroupComparison.from_groups(groups)
+    mean_deviation = comparison.mean_deviation()
+    worst_ks = 0.0
+    for first_index in range(len(groups)):
+        for second_index in range(first_index + 1, len(groups)):
+            distance, _p_value = ks_two_sample(groups[first_index], groups[second_index])
+            worst_ks = max(worst_ks, distance)
+    passed = mean_deviation <= max_mean_deviation and worst_ks <= max_ks_distance
+    return PropertyCheck(
+        name="P2-stable-distribution",
+        passed=passed,
+        value=mean_deviation,
+        threshold=max_mean_deviation,
+        detail="mean deviation %.1f%% (limit %.1f%%), worst pairwise KS %.3f (limit %.3f)"
+        % (mean_deviation * 100, max_mean_deviation * 100, worst_ks, max_ks_distance),
+    )
+
+
+def check_p3_single_plan(plan_signatures: Sequence[str]) -> PropertyCheck:
+    """P3: every binding must lead to the same optimal plan."""
+    if not plan_signatures:
+        raise ValueError("cannot check P3 on an empty sample")
+    distinct = len(set(plan_signatures))
+    return PropertyCheck(
+        name="P3-single-plan",
+        passed=distinct == 1,
+        value=float(distinct),
+        threshold=1.0,
+        detail="%d distinct optimal plans over %d executions" % (distinct, len(plan_signatures)),
+    )
+
+
+@dataclass
+class WorkloadPropertyReport:
+    """P1/P2/P3 results for one workload (or one parameter class)."""
+
+    p1: PropertyCheck
+    p2: Optional[PropertyCheck]
+    p3: PropertyCheck
+
+    def all_passed(self) -> bool:
+        checks = [self.p1, self.p3] + ([self.p2] if self.p2 is not None else [])
+        return all(check.passed for check in checks)
+
+    def as_dict(self) -> Dict[str, bool]:
+        result = {"P1": self.p1.passed, "P3": self.p3.passed}
+        if self.p2 is not None:
+            result["P2"] = self.p2.passed
+        return result
+
+    def describe(self) -> str:
+        lines = [repr(self.p1)]
+        if self.p2 is not None:
+            lines.append(repr(self.p2))
+        lines.append(repr(self.p3))
+        return "\n".join(lines)
+
+
+def check_workload_properties(
+    runtimes: Sequence[float],
+    plan_signatures: Sequence[str],
+    groups: Optional[Sequence[Sequence[float]]] = None,
+    p1_max_cv: float = 0.5,
+    p1_max_mean_median_ratio: float = 2.0,
+    p2_max_mean_deviation: float = 0.10,
+    p2_max_ks_distance: float = 0.25,
+) -> WorkloadPropertyReport:
+    """Run all applicable property checks for one workload."""
+    p1 = check_p1_bounded_variance(runtimes, p1_max_cv, p1_max_mean_median_ratio)
+    p2 = check_p2_stability(groups, p2_max_mean_deviation, p2_max_ks_distance) if groups else None
+    p3 = check_p3_single_plan(plan_signatures)
+    return WorkloadPropertyReport(p1=p1, p2=p2, p3=p3)

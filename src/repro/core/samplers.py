@@ -1,0 +1,114 @@
+"""Parameter samplers.
+
+Three samplers, all implementing the :class:`~repro.bench.workload.ParameterSource`
+protocol so they can drive the same workload runner:
+
+* :class:`UniformSampler` — the baseline the paper criticises: draw every
+  parameter uniformly at random from its domain.
+* :class:`ClassSampler` — draw uniformly from *one* curated parameter class
+  (the paper's proposal: report per-class results; e.g. Q4a / Q4b).
+* :class:`StratifiedSampler` — round-robin over several classes, producing a
+  workload that covers every class with equal weight (the "split the query
+  into several cases" reading of Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..datagen.random_source import RandomSource
+from ..rdf.terms import Term
+from .clustering import ParameterClass
+from .domain import ParameterSpace
+
+ParameterBinding = Dict[str, Term]
+
+
+class UniformSampler:
+    """Uniform random sampling over the full parameter space (the baseline)."""
+
+    def __init__(self, space: ParameterSpace, seed: int = 42):
+        self.space = space
+        self.seed = seed
+        self._source = RandomSource(seed)
+
+    def bindings(self, count: int) -> List[ParameterBinding]:
+        return self.space.sample(self._source, count)
+
+    def fresh(self, salt: int) -> "UniformSampler":
+        """An independent sampler over the same space (for E2-style groups)."""
+        return UniformSampler(self.space, seed=self.seed * 1000003 + salt)
+
+
+class ClassSampler:
+    """Uniform sampling of bindings from a single curated parameter class."""
+
+    def __init__(self, parameter_class: ParameterClass, seed: int = 42):
+        if parameter_class.is_empty():
+            raise ValueError("cannot sample from an empty parameter class")
+        self.parameter_class = parameter_class
+        self.seed = seed
+        self._source = RandomSource(seed)
+
+    def bindings(self, count: int) -> List[ParameterBinding]:
+        members = self.parameter_class.bindings()
+        return [dict(self._source.choice(members)) for _ in range(count)]
+
+    def fresh(self, salt: int) -> "ClassSampler":
+        return ClassSampler(self.parameter_class, seed=self.seed * 1000003 + salt)
+
+
+class StratifiedSampler:
+    """Round-robin sampling across several parameter classes.
+
+    ``weights`` (optional) gives relative weights per class; by default every
+    class contributes the same number of bindings, regardless of how many
+    raw parameter combinations it contains — this is exactly the
+    "independent sampling from two different classes" that E4 calls for.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[ParameterClass],
+        seed: int = 42,
+        weights: Optional[Sequence[float]] = None,
+    ):
+        non_empty = [parameter_class for parameter_class in classes if not parameter_class.is_empty()]
+        if not non_empty:
+            raise ValueError("need at least one non-empty parameter class")
+        self.classes = list(non_empty)
+        if weights is not None:
+            if len(weights) != len(classes):
+                raise ValueError("weights must match the number of classes")
+            kept = [weight for parameter_class, weight in zip(classes, weights) if not parameter_class.is_empty()]
+            total = sum(kept)
+            if total <= 0:
+                raise ValueError("weights must sum to a positive value")
+            self.weights = [weight / total for weight in kept]
+        else:
+            self.weights = [1.0 / len(self.classes)] * len(self.classes)
+        self.seed = seed
+        self._samplers = [
+            ClassSampler(parameter_class, seed=seed + index)
+            for index, parameter_class in enumerate(self.classes)
+        ]
+
+    def bindings(self, count: int) -> List[ParameterBinding]:
+        # Allocate per class proportionally to the weights, distributing the
+        # rounding remainder to the largest weights first (deterministic).
+        allocation = [int(count * weight) for weight in self.weights]
+        remainder = count - sum(allocation)
+        order = sorted(range(len(self.weights)), key=lambda index: -self.weights[index])
+        for index in order[:remainder]:
+            allocation[index] += 1
+        result: List[ParameterBinding] = []
+        for sampler, quota in zip(self._samplers, allocation):
+            result.extend(sampler.bindings(quota))
+        return result
+
+    def per_class_bindings(self, count_per_class: int) -> Dict[str, List[ParameterBinding]]:
+        """``count_per_class`` bindings from every class, keyed by class id."""
+        return {
+            parameter_class.class_id: sampler.bindings(count_per_class)
+            for parameter_class, sampler in zip(self.classes, self._samplers)
+        }

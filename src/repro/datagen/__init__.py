@@ -1,0 +1,30 @@
+"""Benchmark data generators (BSBM-like and LDBC SNB-like) and value dictionaries."""
+
+from . import bsbm, ldbc
+from .dictionaries import (
+    COUNTRIES,
+    FIRST_NAMES_BY_COUNTRY,
+    TAGS,
+    all_first_names,
+    country_names,
+    pick_country,
+    pick_first_name,
+    pick_tag,
+    pick_university,
+)
+from .random_source import RandomSource
+
+__all__ = [
+    "COUNTRIES",
+    "FIRST_NAMES_BY_COUNTRY",
+    "RandomSource",
+    "TAGS",
+    "all_first_names",
+    "bsbm",
+    "country_names",
+    "ldbc",
+    "pick_country",
+    "pick_first_name",
+    "pick_tag",
+    "pick_university",
+]

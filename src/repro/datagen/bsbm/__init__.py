@@ -1,0 +1,16 @@
+"""BSBM-like benchmark: data generator and BI query templates."""
+
+from .generator import BSBMConfig, BSBMDataset, BSBMGenerator, ProductTypeNode, generate_bsbm
+from .queries import PARAMETER_DOMAINS, REGISTRY, build_registry, template
+
+__all__ = [
+    "BSBMConfig",
+    "BSBMDataset",
+    "BSBMGenerator",
+    "PARAMETER_DOMAINS",
+    "ProductTypeNode",
+    "REGISTRY",
+    "build_registry",
+    "generate_bsbm",
+    "template",
+]

@@ -1,0 +1,295 @@
+"""BSBM-like data generator.
+
+The generator reproduces the structural properties of the Berlin SPARQL
+Benchmark data that drive the paper's examples E1 and E3:
+
+* **Product-type hierarchy.**  Types form a tree; every product belongs to
+  one leaf type *and to all of its ancestors* (BSBM asserts the full type
+  chain).  A type close to the root therefore matches a large fraction of
+  all products while a leaf type matches only a handful — this is exactly
+  why BSBM-BI Q4's runtime is bimodal when its ProductType parameter is
+  drawn uniformly.
+* **Features shared within subtrees.**  Features are allocated per type
+  subtree, so products of related types share features — BSBM-BI Q2
+  ("most similar products") touches very different amounts of data
+  depending on how common the chosen product's features are.
+* **Offers and reviews** with skewed counts per product (popular products
+  attract more of both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...rdf.graph import Graph
+from ...rdf.terms import IRI, Literal, date_literal, typed_literal
+from ..dictionaries import country_names, make_label, make_sentence, pick_country
+from ..random_source import RandomSource
+from . import schema
+
+
+@dataclass
+class BSBMConfig:
+    """Scale and shape knobs of the generated dataset."""
+
+    #: number of products (everything else scales from this)
+    products: int = 200
+    #: branching factor of the product-type tree
+    type_branching: int = 3
+    #: depth of the product-type tree (root has depth 0)
+    type_depth: int = 3
+    #: number of distinct product features
+    features: int = 120
+    #: features attached to each product (power-law between the two bounds:
+    #: most products have a handful of features, a few "hub" products have many)
+    features_per_product: Tuple[int, int] = (3, 24)
+    #: producers / vendors
+    producers: int = 12
+    vendors: int = 10
+    #: offers per product (power-law upper bound)
+    offers_per_product: Tuple[int, int] = (1, 12)
+    #: reviews per product (power-law upper bound)
+    reviews_per_product: Tuple[int, int] = (0, 15)
+    #: number of reviewer persons
+    reviewers: int = 80
+    #: random seed
+    seed: int = 42
+
+
+@dataclass
+class ProductTypeNode:
+    """One node of the product-type tree."""
+
+    index: int
+    depth: int
+    parent: Optional["ProductTypeNode"]
+    children: List["ProductTypeNode"] = field(default_factory=list)
+
+    @property
+    def iri(self) -> IRI:
+        return schema.product_type_iri(self.index)
+
+    def ancestors(self) -> List["ProductTypeNode"]:
+        """This node and all its ancestors up to the root."""
+        chain = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            chain.append(node)
+        return chain
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BSBMDataset:
+    """The generated graph plus the entity registries experiments need."""
+
+    def __init__(self, graph: Graph, config: BSBMConfig):
+        self.graph = graph
+        self.config = config
+        self.type_nodes: List[ProductTypeNode] = []
+        self.leaf_types: List[ProductTypeNode] = []
+        self.products: List[IRI] = []
+        self.features: List[IRI] = []
+        self.producers: List[IRI] = []
+        self.vendors: List[IRI] = []
+        self.offers: List[IRI] = []
+        self.reviews: List[IRI] = []
+        self.reviewers: List[IRI] = []
+        #: product type IRI -> number of products carrying that type
+        self.products_per_type: Dict[IRI, int] = {}
+
+    def product_type_iris(self) -> List[IRI]:
+        return [node.iri for node in self.type_nodes]
+
+    def __repr__(self) -> str:
+        return "BSBMDataset(%d triples, %d products, %d types)" % (
+            len(self.graph),
+            len(self.products),
+            len(self.type_nodes),
+        )
+
+
+class BSBMGenerator:
+    """Generates a :class:`BSBMDataset` from a :class:`BSBMConfig`."""
+
+    def __init__(self, config: Optional[BSBMConfig] = None):
+        self.config = config if config is not None else BSBMConfig()
+
+    def generate(self) -> BSBMDataset:
+        graph = Graph()
+        dataset = BSBMDataset(graph, self.config)
+        source = RandomSource(self.config.seed)
+
+        self._generate_type_hierarchy(dataset, source.fork("types"))
+        self._generate_features(dataset, source.fork("features"))
+        self._generate_producers_and_vendors(dataset, source.fork("companies"))
+        self._generate_products(dataset, source.fork("products"))
+        self._generate_offers(dataset, source.fork("offers"))
+        self._generate_reviewers(dataset, source.fork("reviewers"))
+        self._generate_reviews(dataset, source.fork("reviews"))
+
+        graph.finalise()
+        return dataset
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _generate_type_hierarchy(self, dataset: BSBMDataset, source: RandomSource) -> None:
+        graph = dataset.graph
+        root = ProductTypeNode(index=1, depth=0, parent=None)
+        dataset.type_nodes.append(root)
+        graph.add(root.iri, schema.TYPE, schema.PRODUCT_TYPE)
+        graph.add(root.iri, schema.LABEL, Literal("product type 1"))
+
+        frontier = [root]
+        next_index = 2
+        for depth in range(1, self.config.type_depth + 1):
+            new_frontier: List[ProductTypeNode] = []
+            for parent in frontier:
+                # Slight variation in branching keeps subtree sizes uneven.
+                children = self.config.type_branching + source.uniform_int(-1, 1)
+                for _ in range(max(1, children)):
+                    node = ProductTypeNode(index=next_index, depth=depth, parent=parent)
+                    next_index += 1
+                    parent.children.append(node)
+                    dataset.type_nodes.append(node)
+                    new_frontier.append(node)
+                    graph.add(node.iri, schema.TYPE, schema.PRODUCT_TYPE)
+                    graph.add(node.iri, schema.SUBCLASS_OF, parent.iri)
+                    graph.add(node.iri, schema.LABEL, Literal("product type %d" % node.index))
+            frontier = new_frontier
+        dataset.leaf_types = [node for node in dataset.type_nodes if node.is_leaf()]
+
+    def _generate_features(self, dataset: BSBMDataset, source: RandomSource) -> None:
+        graph = dataset.graph
+        for index in range(1, self.config.features + 1):
+            feature = schema.product_feature_iri(index)
+            dataset.features.append(feature)
+            graph.add(feature, schema.TYPE, schema.PRODUCT_FEATURE)
+            graph.add(feature, schema.LABEL, Literal("feature %d" % index))
+
+    def _generate_producers_and_vendors(self, dataset: BSBMDataset, source: RandomSource) -> None:
+        graph = dataset.graph
+        for index in range(1, self.config.producers + 1):
+            producer = schema.producer_iri(index)
+            dataset.producers.append(producer)
+            graph.add(producer, schema.TYPE, schema.PRODUCER)
+            graph.add(producer, schema.PRODUCER_COUNTRY, schema.country_iri(pick_country(source)))
+            graph.add(producer, schema.LABEL, Literal("producer %d" % index))
+        for index in range(1, self.config.vendors + 1):
+            vendor = schema.vendor_iri(index)
+            dataset.vendors.append(vendor)
+            graph.add(vendor, schema.TYPE, schema.VENDOR)
+            graph.add(vendor, schema.VENDOR_COUNTRY, schema.country_iri(pick_country(source)))
+            graph.add(vendor, schema.LABEL, Literal("vendor %d" % index))
+
+    def _feature_pool_for(self, leaf: ProductTypeNode) -> Tuple[int, int]:
+        """The slice of the feature table available to a leaf type.
+
+        Sibling subtrees get overlapping but distinct slices, so products of
+        related types share features while unrelated products rarely do —
+        the correlation BSBM-BI Q2 depends on.
+        """
+        total = self.config.features
+        leaf_count = max(1, len(self.leaf_cache))
+        position = self.leaf_cache.index(leaf)
+        window = max(8, total // max(1, leaf_count // 3))
+        start = int(position * (total - window) / max(1, leaf_count - 1)) if leaf_count > 1 else 0
+        return start, min(total, start + window)
+
+    def _generate_products(self, dataset: BSBMDataset, source: RandomSource) -> None:
+        graph = dataset.graph
+        self.leaf_cache = dataset.leaf_types
+        products_per_type: Dict[IRI, int] = {node.iri: 0 for node in dataset.type_nodes}
+
+        for index in range(1, self.config.products + 1):
+            product = schema.product_iri(index)
+            dataset.products.append(product)
+            graph.add(product, schema.TYPE, schema.PRODUCT)
+            graph.add(product, schema.LABEL, Literal(make_label(source, index)))
+
+            # Leaf type with Zipf popularity: some categories dominate.
+            leaf = source.zipf_choice(dataset.leaf_types, exponent=0.8)
+            for ancestor in leaf.ancestors():
+                graph.add(product, schema.TYPE, ancestor.iri)
+                products_per_type[ancestor.iri] += 1
+
+            # Features from the leaf's pool, drawn with Zipf popularity: the
+            # first features of the pool become "hub" features shared by most
+            # products of the subtree (this is what makes the similarity
+            # query BSBM-BI Q2 heavy-tailed, cf. the paper's E1).
+            low, high = self._feature_pool_for(leaf)
+            pool = dataset.features[low:high]
+            feature_count = source.power_law_int(*self.config.features_per_product, exponent=1.3)
+            chosen = []
+            attempts = 0
+            while len(chosen) < min(feature_count, len(pool)) and attempts < feature_count * 10:
+                attempts += 1
+                feature = pool[source.zipf_index(len(pool), exponent=1.4)]
+                if feature not in chosen:
+                    chosen.append(feature)
+            for feature in chosen:
+                graph.add(product, schema.PRODUCT_FEATURE_PROP, feature)
+
+            graph.add(product, schema.PRODUCER_PROP, source.choice(dataset.producers))
+            graph.add(
+                product,
+                schema.PRODUCT_PROPERTY_NUMERIC_1,
+                typed_literal(source.uniform_int(1, 2000)),
+            )
+            graph.add(
+                product,
+                schema.PRODUCT_PROPERTY_NUMERIC_2,
+                typed_literal(source.uniform_int(1, 500)),
+            )
+        dataset.products_per_type = products_per_type
+
+    def _generate_offers(self, dataset: BSBMDataset, source: RandomSource) -> None:
+        graph = dataset.graph
+        offer_index = 0
+        for product in dataset.products:
+            count = source.power_law_int(*self.config.offers_per_product, exponent=1.6)
+            for _ in range(count):
+                offer_index += 1
+                offer = schema.offer_iri(offer_index)
+                dataset.offers.append(offer)
+                price = round(source.truncated_normal(500.0, 400.0, 5.0, 5000.0), 2)
+                graph.add(offer, schema.TYPE, schema.OFFER)
+                graph.add(offer, schema.OFFER_PRODUCT, product)
+                graph.add(offer, schema.OFFER_VENDOR, source.choice(dataset.vendors))
+                graph.add(offer, schema.OFFER_PRICE, typed_literal(price))
+                graph.add(offer, schema.OFFER_DELIVERY_DAYS, typed_literal(source.uniform_int(1, 14)))
+                graph.add(offer, schema.OFFER_VALID_TO, date_literal(source.iso_date(2013, 2015)))
+
+    def _generate_reviewers(self, dataset: BSBMDataset, source: RandomSource) -> None:
+        graph = dataset.graph
+        for index in range(1, self.config.reviewers + 1):
+            reviewer = schema.reviewer_iri(index)
+            dataset.reviewers.append(reviewer)
+            graph.add(reviewer, schema.TYPE, schema.REVIEWER)
+            graph.add(reviewer, schema.REVIEWER_COUNTRY, schema.country_iri(pick_country(source)))
+            graph.add(reviewer, schema.REVIEWER_NAME, Literal("reviewer %d" % index))
+
+    def _generate_reviews(self, dataset: BSBMDataset, source: RandomSource) -> None:
+        graph = dataset.graph
+        review_index = 0
+        for product in dataset.products:
+            count = source.power_law_int(*self.config.reviews_per_product, exponent=1.5)
+            for _ in range(count):
+                review_index += 1
+                review = schema.review_iri(review_index)
+                dataset.reviews.append(review)
+                graph.add(review, schema.TYPE, schema.REVIEW)
+                graph.add(review, schema.REVIEW_FOR, product)
+                graph.add(review, schema.REVIEWER_PROP, source.choice(dataset.reviewers))
+                graph.add(review, schema.REVIEW_RATING_1, typed_literal(source.uniform_int(1, 10)))
+                graph.add(review, schema.REVIEW_RATING_2, typed_literal(source.uniform_int(1, 10)))
+                graph.add(review, schema.REVIEW_DATE, date_literal(source.iso_date(2011, 2014)))
+                graph.add(review, schema.REVIEW_TEXT, Literal(make_sentence(source, source.uniform_int(5, 25))))
+
+
+def generate_bsbm(config: Optional[BSBMConfig] = None) -> BSBMDataset:
+    """Convenience wrapper: generate a BSBM-like dataset."""
+    return BSBMGenerator(config).generate()

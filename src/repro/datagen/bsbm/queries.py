@@ -1,0 +1,177 @@
+"""BSBM-BI style query templates.
+
+The templates follow the Business Intelligence use case of the Berlin SPARQL
+Benchmark, expressed in the SPARQL subset of this library.  The two
+templates the paper analyses are kept closest to the original:
+
+* **Q2** — "top 10 products most similar to a given product" (similarity =
+  number of shared features).  Parameter: ``%product``.
+* **Q4** — "price analysis per feature for a given product type" — the
+  paper's example of a parameter (the ProductType) whose position in the
+  type hierarchy changes the touched data volume by orders of magnitude.
+  Parameter: ``%type``.  (The original query computes the ratio of average
+  prices with/without each feature; the grouping and the data it touches —
+  products of the type, their features, their offers — are identical here,
+  the final ratio arithmetic is simplified to an average per feature.)
+
+The remaining templates cover the rest of the BI mix so that workloads and
+the cost-correlation experiment have variety.
+"""
+
+from __future__ import annotations
+
+from ...sparql.template import QueryTemplate, TemplateRegistry
+
+#: Parameter names used by the templates (documented for workload authors).
+PARAMETER_DOMAINS = {
+    "bsbm_bi_q1": ("type",),
+    "bsbm_bi_q2": ("product",),
+    "bsbm_bi_q3": ("feature",),
+    "bsbm_bi_q4": ("type",),
+    "bsbm_bi_q5": ("product",),
+    "bsbm_bi_q6": ("producer",),
+    "bsbm_bi_q7": ("vendorCountry",),
+    "bsbm_bi_q8": ("type", "feature"),
+}
+
+
+def build_registry() -> TemplateRegistry:
+    """Build the BSBM-BI template registry."""
+    registry = TemplateRegistry("bsbm-bi")
+
+    registry.add(
+        "bsbm_bi_q1",
+        """
+        SELECT ?product ?label WHERE {
+          ?product a %type .
+          ?product rdfs:label ?label .
+          ?product bsbm:productPropertyNumeric1 ?value .
+          FILTER(?value > 500)
+        }
+        ORDER BY ?product
+        LIMIT 100
+        """,
+        description="Products of a given type with a numeric property above a threshold.",
+    )
+
+    registry.add(
+        "bsbm_bi_q2",
+        """
+        SELECT ?other (COUNT(?feature) AS ?shared) WHERE {
+          %product bsbm:productFeature ?feature .
+          ?other bsbm:productFeature ?feature .
+          FILTER(?other != %product)
+        }
+        GROUP BY ?other
+        ORDER BY DESC(?shared) ?other
+        LIMIT 10
+        """,
+        description="Top 10 products most similar to the given product (shared features).",
+    )
+
+    registry.add(
+        "bsbm_bi_q3",
+        """
+        SELECT ?product (AVG(?price) AS ?avgPrice) WHERE {
+          ?product bsbm:productFeature %feature .
+          ?offer bsbm:product ?product .
+          ?offer bsbm:price ?price .
+        }
+        GROUP BY ?product
+        ORDER BY DESC(?avgPrice)
+        LIMIT 10
+        """,
+        description="Average offer price of the products carrying a given feature.",
+    )
+
+    registry.add(
+        "bsbm_bi_q4",
+        """
+        SELECT ?feature (AVG(?price) AS ?avgPrice) (COUNT(?offer) AS ?offers) WHERE {
+          ?product a %type .
+          ?product bsbm:productFeature ?feature .
+          ?offer bsbm:product ?product .
+          ?offer bsbm:price ?price .
+        }
+        GROUP BY ?feature
+        ORDER BY DESC(?avgPrice) ?feature
+        LIMIT 10
+        """,
+        description=(
+            "Price analysis per feature over all products of the given type; "
+            "the type's position in the hierarchy controls how much data is touched."
+        ),
+    )
+
+    registry.add(
+        "bsbm_bi_q5",
+        """
+        SELECT ?review ?rating ?date WHERE {
+          ?review bsbm:reviewFor %product .
+          ?review bsbm:rating1 ?rating .
+          ?review bsbm:reviewDate ?date .
+          FILTER(?rating >= 5)
+        }
+        ORDER BY DESC(?date)
+        LIMIT 20
+        """,
+        description="Recent well-rated reviews of a given product.",
+    )
+
+    registry.add(
+        "bsbm_bi_q6",
+        """
+        SELECT ?product (COUNT(?review) AS ?reviews) (AVG(?rating) AS ?avgRating) WHERE {
+          ?product bsbm:producer %producer .
+          ?review bsbm:reviewFor ?product .
+          ?review bsbm:rating1 ?rating .
+        }
+        GROUP BY ?product
+        ORDER BY DESC(?reviews) ?product
+        LIMIT 20
+        """,
+        description="Review volume and average rating per product of a given producer.",
+    )
+
+    registry.add(
+        "bsbm_bi_q7",
+        """
+        SELECT ?vendor (COUNT(?offer) AS ?offers) (AVG(?price) AS ?avgPrice) WHERE {
+          ?vendor bsbm:country %vendorCountry .
+          ?offer bsbm:vendor ?vendor .
+          ?offer bsbm:price ?price .
+        }
+        GROUP BY ?vendor
+        ORDER BY DESC(?offers) ?vendor
+        LIMIT 20
+        """,
+        description="Offer volume per vendor in a given country.",
+    )
+
+    registry.add(
+        "bsbm_bi_q8",
+        """
+        SELECT ?product ?price WHERE {
+          ?product a %type .
+          ?product bsbm:productFeature %feature .
+          ?offer bsbm:product ?product .
+          ?offer bsbm:price ?price .
+          ?offer bsbm:deliveryDays ?days .
+          FILTER(?days <= 7)
+        }
+        ORDER BY ?price
+        LIMIT 10
+        """,
+        description="Cheapest quickly-deliverable offers for products of a type with a feature.",
+    )
+
+    return registry
+
+
+#: Shared registry instance (templates are immutable, sharing is safe).
+REGISTRY = build_registry()
+
+
+def template(name: str) -> QueryTemplate:
+    """Look up one BSBM-BI template by name."""
+    return REGISTRY.get(name)

@@ -1,0 +1,92 @@
+"""BSBM-like vocabulary.
+
+The class and property IRIs mirror the Berlin SPARQL Benchmark e-commerce
+schema: a product-type hierarchy, products with features and producers,
+vendors publishing offers, and reviewers writing reviews.  Only the parts
+exercised by the BI-style query templates are generated.
+"""
+
+from __future__ import annotations
+
+from ...rdf.namespaces import BSBM, BSBM_INST, RDF_TYPE, RDFS_LABEL, RDFS_SUBCLASS_OF
+from ...rdf.terms import IRI
+
+# Classes ---------------------------------------------------------------------------
+
+PRODUCT = BSBM["Product"]
+PRODUCT_TYPE = BSBM["ProductType"]
+PRODUCT_FEATURE = BSBM["ProductFeature"]
+PRODUCER = BSBM["Producer"]
+VENDOR = BSBM["Vendor"]
+OFFER = BSBM["Offer"]
+REVIEW = BSBM["Review"]
+REVIEWER = BSBM["Reviewer"]
+
+# Properties -------------------------------------------------------------------------
+
+#: product -> product type (also asserted for every ancestor type)
+TYPE = RDF_TYPE
+SUBCLASS_OF = RDFS_SUBCLASS_OF
+LABEL = RDFS_LABEL
+
+PRODUCT_FEATURE_PROP = BSBM["productFeature"]
+PRODUCER_PROP = BSBM["producer"]
+PRODUCT_PROPERTY_NUMERIC_1 = BSBM["productPropertyNumeric1"]
+PRODUCT_PROPERTY_NUMERIC_2 = BSBM["productPropertyNumeric2"]
+
+OFFER_PRODUCT = BSBM["product"]
+OFFER_VENDOR = BSBM["vendor"]
+OFFER_PRICE = BSBM["price"]
+OFFER_DELIVERY_DAYS = BSBM["deliveryDays"]
+OFFER_VALID_TO = BSBM["validTo"]
+
+VENDOR_COUNTRY = BSBM["country"]
+PRODUCER_COUNTRY = BSBM["country"]
+
+REVIEW_FOR = BSBM["reviewFor"]
+REVIEWER_PROP = BSBM["reviewer"]
+REVIEW_RATING_1 = BSBM["rating1"]
+REVIEW_RATING_2 = BSBM["rating2"]
+REVIEW_DATE = BSBM["reviewDate"]
+REVIEW_TEXT = BSBM["text"]
+REVIEWER_COUNTRY = BSBM["country"]
+REVIEWER_NAME = BSBM["name"]
+
+
+# Instance IRI builders --------------------------------------------------------------
+
+
+def product_iri(index: int) -> IRI:
+    return BSBM_INST["Product%d" % index]
+
+
+def product_type_iri(index: int) -> IRI:
+    return BSBM_INST["ProductType%d" % index]
+
+
+def product_feature_iri(index: int) -> IRI:
+    return BSBM_INST["ProductFeature%d" % index]
+
+
+def producer_iri(index: int) -> IRI:
+    return BSBM_INST["Producer%d" % index]
+
+
+def vendor_iri(index: int) -> IRI:
+    return BSBM_INST["Vendor%d" % index]
+
+
+def offer_iri(index: int) -> IRI:
+    return BSBM_INST["Offer%d" % index]
+
+
+def review_iri(index: int) -> IRI:
+    return BSBM_INST["Review%d" % index]
+
+
+def reviewer_iri(index: int) -> IRI:
+    return BSBM_INST["Reviewer%d" % index]
+
+
+def country_iri(name: str) -> IRI:
+    return BSBM_INST["Country_%s" % name]

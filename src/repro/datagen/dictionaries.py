@@ -1,0 +1,169 @@
+"""Value dictionaries with correlations.
+
+The paper's running example is "firstName correlates with country" (Li/China
+vs John/China).  This module holds the value dictionaries the generators
+draw from, together with the correlation tables that make those draws
+realistic:
+
+* countries with skewed population weights,
+* first names per country (a country's own names dominate, a global pool of
+  names appears everywhere with low probability),
+* universities per country,
+* topic tags with Zipf popularity,
+* word lists for product labels and post content.
+
+The tables are intentionally small (they are *dictionaries*, not data) and
+embedded in code so the library has no data-file dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .random_source import RandomSource
+
+#: Countries with (name, relative population weight).  The weights are
+#: strongly skewed so country-valued parameters produce the order-of-
+#: magnitude cardinality differences the paper observes.
+COUNTRIES: List[Tuple[str, float]] = [
+    ("China", 140.0),
+    ("India", 135.0),
+    ("United_States", 33.0),
+    ("Indonesia", 27.0),
+    ("Brazil", 21.0),
+    ("Russia", 14.5),
+    ("Mexico", 12.8),
+    ("Japan", 12.6),
+    ("Germany", 8.3),
+    ("France", 6.7),
+    ("United_Kingdom", 6.7),
+    ("Italy", 6.0),
+    ("Spain", 4.7),
+    ("Canada", 3.8),
+    ("Netherlands", 1.75),
+    ("Chile", 1.9),
+    ("Finland", 0.55),
+    ("New_Zealand", 0.5),
+    ("Iceland", 0.035),
+    ("Zimbabwe", 1.5),
+]
+
+#: First names per country: the country's own pool dominates, mixed with a
+#: global pool.  The structure is exactly the paper's Li/China vs John/China
+#: correlation.
+FIRST_NAMES_BY_COUNTRY: Dict[str, List[Tuple[str, float]]] = {
+    "China": [("Li", 30.0), ("Wang", 25.0), ("Chen", 20.0), ("Zhang", 18.0), ("Liu", 15.0), ("Yang", 10.0)],
+    "India": [("Arjun", 25.0), ("Priya", 22.0), ("Raj", 20.0), ("Amit", 18.0), ("Sanjay", 12.0)],
+    "United_States": [("John", 25.0), ("Mary", 20.0), ("James", 18.0), ("Jennifer", 15.0), ("Michael", 14.0)],
+    "Indonesia": [("Budi", 22.0), ("Siti", 20.0), ("Agus", 15.0), ("Dewi", 12.0)],
+    "Brazil": [("Joao", 22.0), ("Maria", 25.0), ("Pedro", 15.0), ("Ana", 14.0)],
+    "Russia": [("Ivan", 22.0), ("Olga", 18.0), ("Dmitri", 15.0), ("Svetlana", 12.0)],
+    "Mexico": [("Jose", 24.0), ("Maria", 22.0), ("Juan", 16.0), ("Guadalupe", 10.0)],
+    "Japan": [("Hiroshi", 20.0), ("Yuki", 18.0), ("Takashi", 15.0), ("Sakura", 12.0)],
+    "Germany": [("Hans", 18.0), ("Anna", 16.0), ("Peter", 15.0), ("Julia", 13.0)],
+    "France": [("Pierre", 18.0), ("Marie", 17.0), ("Jean", 15.0), ("Sophie", 12.0)],
+    "United_Kingdom": [("John", 20.0), ("Emma", 17.0), ("Oliver", 14.0), ("James", 13.0)],
+    "Italy": [("Giuseppe", 18.0), ("Maria", 17.0), ("Antonio", 14.0), ("Giulia", 12.0)],
+    "Spain": [("Jose", 18.0), ("Maria", 18.0), ("Antonio", 14.0), ("Carmen", 12.0)],
+    "Canada": [("Liam", 16.0), ("Emma", 15.0), ("Noah", 13.0), ("Olivia", 12.0)],
+    "Netherlands": [("Daan", 15.0), ("Emma", 14.0), ("Sem", 12.0), ("Julia", 11.0)],
+    "Chile": [("Renzo", 14.0), ("Jose", 16.0), ("Maria", 16.0), ("Camila", 12.0)],
+    "Finland": [("Mikko", 15.0), ("Aino", 13.0), ("Juhani", 12.0), ("Helmi", 10.0)],
+    "New_Zealand": [("Jack", 14.0), ("Olivia", 13.0), ("Noah", 11.0), ("Amelia", 10.0)],
+    "Iceland": [("Jon", 14.0), ("Gudrun", 12.0), ("Sigurdur", 10.0), ("Anna", 9.0)],
+    "Zimbabwe": [("Tendai", 15.0), ("Chipo", 13.0), ("Tatenda", 12.0), ("Rudo", 10.0)],
+}
+
+#: Names that appear (with low weight) in every country.
+GLOBAL_FIRST_NAMES: List[Tuple[str, float]] = [
+    ("Alex", 2.0),
+    ("Sam", 1.8),
+    ("Max", 1.6),
+    ("Nina", 1.4),
+    ("Leo", 1.2),
+]
+
+#: Universities per country (used as a secondary correlation dimension).
+UNIVERSITIES_BY_COUNTRY: Dict[str, List[str]] = {
+    country: ["%s_University_%d" % (country, index) for index in range(1, 4)]
+    for country, _weight in COUNTRIES
+}
+
+#: Topic tags, ordered by popularity (drawn with a Zipf distribution).
+TAGS: List[str] = [
+    "music", "football", "movies", "travel", "food", "photography", "politics",
+    "science", "technology", "art", "history", "fashion", "gaming", "books",
+    "fitness", "nature", "space", "economics", "philosophy", "cooking",
+    "cycling", "chess", "jazz", "opera", "astronomy", "gardening", "poetry",
+    "robotics", "sailing", "skiing",
+]
+
+#: Adjectives / nouns used to build product labels and review titles.
+ADJECTIVES: List[str] = [
+    "durable", "compact", "ergonomic", "wireless", "portable", "premium",
+    "lightweight", "rugged", "smart", "classic", "modular", "silent",
+]
+
+NOUNS: List[str] = [
+    "widget", "gadget", "device", "appliance", "instrument", "tool",
+    "console", "adapter", "sensor", "monitor", "speaker", "charger",
+]
+
+WORDS: List[str] = [
+    "quality", "value", "design", "battery", "screen", "sound", "price",
+    "delivery", "support", "performance", "material", "color", "size",
+    "weight", "manual", "warranty", "setup", "experience", "feature", "update",
+]
+
+
+def country_names() -> List[str]:
+    """All country names, most populous first."""
+    return [name for name, _weight in COUNTRIES]
+
+
+def pick_country(source: RandomSource) -> str:
+    """Draw a country according to the population weights."""
+    return source.weighted_choice(COUNTRIES)
+
+
+def pick_first_name(source: RandomSource, country: str) -> str:
+    """Draw a first name correlated with the person's country.
+
+    With 85 % probability the name comes from the country's own pool
+    (weighted), otherwise from the small global pool — mirroring the S3G2 /
+    LDBC approach of property-value correlation.
+    """
+    local_pool = FIRST_NAMES_BY_COUNTRY.get(country)
+    if local_pool and source.bernoulli(0.85):
+        return source.weighted_choice(local_pool)
+    return source.weighted_choice(GLOBAL_FIRST_NAMES)
+
+
+def pick_university(source: RandomSource, country: str) -> str:
+    """Draw a university, usually in the person's own country."""
+    if source.bernoulli(0.9):
+        return source.choice(UNIVERSITIES_BY_COUNTRY[country])
+    other_country = pick_country(source)
+    return source.choice(UNIVERSITIES_BY_COUNTRY[other_country])
+
+
+def pick_tag(source: RandomSource) -> str:
+    """Draw a topic tag with Zipf popularity."""
+    return source.zipf_choice(TAGS, exponent=1.1)
+
+
+def make_label(source: RandomSource, index: int) -> str:
+    """Deterministic-ish product label like ``"rugged sensor 42"``."""
+    return "%s %s %d" % (source.choice(ADJECTIVES), source.choice(NOUNS), index)
+
+
+def make_sentence(source: RandomSource, words: int) -> str:
+    """A nonsense sentence of ``words`` dictionary words (review/post text)."""
+    return " ".join(source.choice(WORDS) for _ in range(max(1, words)))
+
+
+def all_first_names() -> List[str]:
+    """Every distinct first name across all pools (for domain mining tests)."""
+    names = {name for pool in FIRST_NAMES_BY_COUNTRY.values() for name, _weight in pool}
+    names.update(name for name, _weight in GLOBAL_FIRST_NAMES)
+    return sorted(names)

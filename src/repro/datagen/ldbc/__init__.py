@@ -1,0 +1,32 @@
+"""LDBC SNB-like benchmark: data generator and interactive query templates."""
+
+from .activity_generator import ForumRecord, PostRecord, generate_forums, generate_posts
+from .generator import LDBCConfig, LDBCDataset, LDBCGenerator, generate_ldbc
+from .network_generator import (
+    average_same_country_fraction,
+    degree_histogram,
+    generate_friendships,
+)
+from .person_generator import PersonRecord, correlation_key, generate_persons
+from .queries import PARAMETER_DOMAINS, REGISTRY, build_registry, template
+
+__all__ = [
+    "ForumRecord",
+    "LDBCConfig",
+    "LDBCDataset",
+    "LDBCGenerator",
+    "PARAMETER_DOMAINS",
+    "PersonRecord",
+    "PostRecord",
+    "REGISTRY",
+    "average_same_country_fraction",
+    "build_registry",
+    "correlation_key",
+    "degree_histogram",
+    "generate_forums",
+    "generate_friendships",
+    "generate_ldbc",
+    "generate_persons",
+    "generate_posts",
+    "template",
+]

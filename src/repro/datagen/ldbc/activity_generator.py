@@ -1,0 +1,137 @@
+"""Post / forum generation (the "activity" part of the social network).
+
+Post volume per person is proportional to the person's degree and a personal
+activity factor (active, well-connected people post much more — the skew
+behind LDBC Q2's unstable runtimes).  Posts are usually created in the home
+country but sometimes while travelling, which creates the country
+co-occurrence structure LDBC Q3 exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dictionaries import make_sentence, pick_tag
+from ..random_source import RandomSource
+from .person_generator import PersonRecord
+
+
+@dataclass
+class PostRecord:
+    """In-memory description of one post."""
+
+    index: int
+    creator: int
+    creation_date: str
+    country: str
+    tags: List[str]
+    content: str
+
+
+@dataclass
+class ForumRecord:
+    """In-memory description of one forum."""
+
+    index: int
+    title: str
+    moderator: int
+    members: List[int] = field(default_factory=list)
+    posts: List[int] = field(default_factory=list)
+
+
+def generate_posts(
+    persons: List[PersonRecord],
+    source: RandomSource,
+    posts_per_degree: float = 1.2,
+    max_posts_per_person: int = 120,
+    travel_post_probability: float = 0.25,
+) -> List[PostRecord]:
+    """Generate posts for every person.
+
+    The expected number of posts of a person is
+    ``activity * posts_per_degree * (1 + degree)``, capped at
+    ``max_posts_per_person``; at least one post is generated for everyone so
+    every person is a usable query parameter.
+    """
+    posts: List[PostRecord] = []
+    index = 0
+    for person in persons:
+        expected = person.activity * posts_per_degree * (1 + len(person.friends))
+        count = max(1, min(max_posts_per_person, int(round(expected * (0.5 + source.random())))))
+        for _ in range(count):
+            index += 1
+            if person.travel_countries and source.bernoulli(travel_post_probability):
+                country = source.choice(person.travel_countries)
+            else:
+                country = person.country
+            tag_count = 1 + source.power_law_int(0, 3, exponent=2.0)
+            tags = []
+            for _ in range(tag_count):
+                tag = pick_tag(source)
+                if tag not in tags:
+                    tags.append(tag)
+            posts.append(
+                PostRecord(
+                    index=index,
+                    creator=person.index,
+                    creation_date=source.iso_datetime(2011, 2013),
+                    country=country,
+                    tags=tags,
+                    content=make_sentence(source, source.uniform_int(3, 30)),
+                )
+            )
+    return posts
+
+
+def generate_forums(
+    persons: List[PersonRecord],
+    posts: List[PostRecord],
+    source: RandomSource,
+    persons_per_forum: int = 6,
+    membership_window: int = 20,
+) -> List[ForumRecord]:
+    """Generate forums with correlated membership and assign posts to them.
+
+    Forums are moderated by one person; members are drawn from the
+    moderator's neighbourhood (friends first, then random), and every post
+    of a member may be placed in one of the forums the member belongs to.
+    """
+    if not persons:
+        return []
+    forum_count = max(1, len(persons) // persons_per_forum)
+    by_index: Dict[int, PersonRecord] = {person.index: person for person in persons}
+    forums: List[ForumRecord] = []
+    membership: Dict[int, List[int]] = {person.index: [] for person in persons}
+
+    for forum_index in range(1, forum_count + 1):
+        moderator = source.choice(persons)
+        forum = ForumRecord(
+            index=forum_index,
+            title="forum %d about %s" % (forum_index, pick_tag(source)),
+            moderator=moderator.index,
+        )
+        members = {moderator.index}
+        candidates = list(moderator.friends)
+        while len(members) < min(membership_window, len(persons)) and (candidates or len(members) < 3):
+            if candidates and source.bernoulli(0.8):
+                candidate = candidates.pop(0)
+            else:
+                candidate = source.choice(persons).index
+            members.add(candidate)
+            # Friends of freshly added members keep the membership correlated.
+            candidates.extend(friend for friend in by_index[candidate].friends if friend not in members)
+            if len(members) >= membership_window:
+                break
+        forum.members = sorted(members)
+        for member in forum.members:
+            membership[member].append(forum_index)
+        forums.append(forum)
+
+    forums_by_index = {forum.index: forum for forum in forums}
+    for post in posts:
+        joined = membership.get(post.creator, [])
+        if joined:
+            forum = forums_by_index[source.choice(joined)]
+            forum.posts.append(post.index)
+    return forums

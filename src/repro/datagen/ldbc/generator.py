@@ -1,0 +1,160 @@
+"""LDBC SNB-like dataset generator (facade).
+
+Combines the person, network and activity generators and serialises the
+result into an RDF graph using the vocabulary in :mod:`schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...rdf.graph import Graph
+from ...rdf.terms import IRI, Literal, date_literal, datetime_literal, typed_literal
+from ..dictionaries import country_names
+from ..random_source import RandomSource
+from . import schema
+from .activity_generator import ForumRecord, PostRecord, generate_forums, generate_posts
+from .network_generator import generate_friendships
+from .person_generator import PersonRecord, generate_persons
+
+
+@dataclass
+class LDBCConfig:
+    """Scale and shape knobs of the generated social network."""
+
+    #: number of persons
+    persons: int = 150
+    #: maximum friend count (power-law upper bound)
+    max_degree: int = 30
+    #: expected posts per friend (activity correlation strength)
+    posts_per_degree: float = 1.2
+    #: hard cap on posts per person
+    max_posts_per_person: int = 120
+    #: probability that a post is created while travelling
+    travel_post_probability: float = 0.25
+    #: S3G2 window size as a fraction of the population
+    window_fraction: float = 0.08
+    #: fraction of purely random friendship edges
+    random_edge_fraction: float = 0.05
+    #: persons per forum
+    persons_per_forum: int = 6
+    #: random seed
+    seed: int = 42
+
+
+class LDBCDataset:
+    """The generated graph plus entity registries used by the experiments."""
+
+    def __init__(self, graph: Graph, config: LDBCConfig):
+        self.graph = graph
+        self.config = config
+        self.persons: List[PersonRecord] = []
+        self.posts: List[PostRecord] = []
+        self.forums: List[ForumRecord] = []
+        self.countries: List[str] = []
+
+    def person_iris(self) -> List[IRI]:
+        return [schema.person_iri(person.index) for person in self.persons]
+
+    def country_iris(self) -> List[IRI]:
+        return [schema.country_iri(name) for name in self.countries]
+
+    def posts_per_person(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {person.index: 0 for person in self.persons}
+        for post in self.posts:
+            counts[post.creator] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return "LDBCDataset(%d triples, %d persons, %d posts)" % (
+            len(self.graph),
+            len(self.persons),
+            len(self.posts),
+        )
+
+
+class LDBCGenerator:
+    """Generates an :class:`LDBCDataset` from an :class:`LDBCConfig`."""
+
+    def __init__(self, config: Optional[LDBCConfig] = None):
+        self.config = config if config is not None else LDBCConfig()
+
+    def generate(self) -> LDBCDataset:
+        config = self.config
+        graph = Graph()
+        dataset = LDBCDataset(graph, config)
+        source = RandomSource(config.seed)
+
+        dataset.persons = generate_persons(config.persons, source.fork("persons"), config.max_degree)
+        generate_friendships(
+            dataset.persons,
+            source.fork("knows"),
+            window_fraction=config.window_fraction,
+            random_edge_fraction=config.random_edge_fraction,
+        )
+        dataset.posts = generate_posts(
+            dataset.persons,
+            source.fork("posts"),
+            posts_per_degree=config.posts_per_degree,
+            max_posts_per_person=config.max_posts_per_person,
+            travel_post_probability=config.travel_post_probability,
+        )
+        dataset.forums = generate_forums(
+            dataset.persons,
+            dataset.posts,
+            source.fork("forums"),
+            persons_per_forum=config.persons_per_forum,
+        )
+        dataset.countries = country_names()
+
+        self._serialise(dataset)
+        graph.finalise()
+        return dataset
+
+    # -- serialisation -------------------------------------------------------------
+
+    def _serialise(self, dataset: LDBCDataset) -> None:
+        graph = dataset.graph
+
+        for name in dataset.countries:
+            country = schema.country_iri(name)
+            graph.add(country, schema.TYPE, schema.COUNTRY)
+
+        for person in dataset.persons:
+            subject = schema.person_iri(person.index)
+            graph.add(subject, schema.TYPE, schema.PERSON)
+            graph.add(subject, schema.FIRST_NAME, Literal(person.first_name))
+            graph.add(subject, schema.LAST_NAME, Literal(person.last_name))
+            graph.add(subject, schema.LIVES_IN, schema.country_iri(person.country))
+            graph.add(subject, schema.STUDY_AT, schema.university_iri(person.university))
+            graph.add(subject, schema.BIRTHDAY, date_literal(person.birthday))
+            graph.add(subject, schema.PERSON_CREATION_DATE, datetime_literal(person.creation_date))
+            for friend in person.friends:
+                graph.add(subject, schema.KNOWS, schema.person_iri(friend))
+
+        for post in dataset.posts:
+            subject = schema.post_iri(post.index)
+            graph.add(subject, schema.TYPE, schema.POST)
+            graph.add(subject, schema.HAS_CREATOR, schema.person_iri(post.creator))
+            graph.add(subject, schema.POST_CREATION_DATE, datetime_literal(post.creation_date))
+            graph.add(subject, schema.POST_LOCATED_IN, schema.country_iri(post.country))
+            graph.add(subject, schema.CONTENT, Literal(post.content))
+            graph.add(subject, schema.CONTENT_LENGTH, typed_literal(len(post.content)))
+            for tag in post.tags:
+                graph.add(subject, schema.HAS_TAG, schema.tag_iri(tag))
+
+        for forum in dataset.forums:
+            subject = schema.forum_iri(forum.index)
+            graph.add(subject, schema.TYPE, schema.FORUM)
+            graph.add(subject, schema.FORUM_TITLE, Literal(forum.title))
+            graph.add(subject, schema.HAS_MODERATOR, schema.person_iri(forum.moderator))
+            for member in forum.members:
+                graph.add(subject, schema.HAS_MEMBER, schema.person_iri(member))
+            for post_index in forum.posts:
+                graph.add(subject, schema.CONTAINER_OF, schema.post_iri(post_index))
+
+
+def generate_ldbc(config: Optional[LDBCConfig] = None) -> LDBCDataset:
+    """Convenience wrapper: generate an LDBC SNB-like dataset."""
+    return LDBCGenerator(config).generate()

@@ -1,0 +1,160 @@
+"""LDBC SNB interactive-style query templates.
+
+The two templates analysed in the paper:
+
+* **Q2** — "the newest 20 posts of the user's friends".  Parameter:
+  ``%person``.  Runtime is driven by the friend count and the friends'
+  activity, both heavily skewed.
+* **Q3** — "friends within two steps that have been to countries X and Y".
+  Parameters: ``%person``, ``%countryX``, ``%countryY``.  The optimal plan
+  flips between "expand from the person" and "start from the country posts"
+  depending on how frequently the two countries are (co-)visited — the
+  paper's E4 example.
+
+The remaining templates round out an interactive-style mix over the same
+schema (friends by name, tags of friends' posts, forums, per-country
+activity) so workloads and the cost-correlation experiment have variety.
+"""
+
+from __future__ import annotations
+
+from ...sparql.template import QueryTemplate, TemplateRegistry
+
+#: Parameter names per template.
+PARAMETER_DOMAINS = {
+    "ldbc_q1": ("person", "name"),
+    "ldbc_q2": ("person",),
+    "ldbc_q3": ("person", "countryX", "countryY"),
+    "ldbc_q4": ("person",),
+    "ldbc_q5": ("person",),
+    "ldbc_q6": ("person", "tag"),
+    "ldbc_q7": ("country",),
+}
+
+
+def build_registry() -> TemplateRegistry:
+    """Build the LDBC interactive template registry."""
+    registry = TemplateRegistry("ldbc-interactive")
+
+    registry.add(
+        "ldbc_q1",
+        """
+        SELECT DISTINCT ?friend ?lastName WHERE {
+          %person sn:knows ?f1 .
+          ?f1 sn:knows ?friend .
+          ?friend sn:firstName %name .
+          ?friend sn:lastName ?lastName .
+          FILTER(?friend != %person)
+        }
+        ORDER BY ?lastName ?friend
+        LIMIT 20
+        """,
+        description="Friends within two steps having a given first name.",
+    )
+
+    registry.add(
+        "ldbc_q2",
+        """
+        SELECT ?post ?date ?friend WHERE {
+          %person sn:knows ?friend .
+          ?post sn:hasCreator ?friend .
+          ?post sn:creationDate ?date .
+        }
+        ORDER BY DESC(?date) ?post
+        LIMIT 20
+        """,
+        description="The newest 20 posts of the user's friends.",
+    )
+
+    registry.add(
+        "ldbc_q3",
+        """
+        SELECT ?friend (COUNT(?postX) AS ?countX) WHERE {
+          %person sn:knows ?f1 .
+          ?f1 sn:knows ?friend .
+          ?postX sn:hasCreator ?friend .
+          ?postX sn:isLocatedIn %countryX .
+          ?postY sn:hasCreator ?friend .
+          ?postY sn:isLocatedIn %countryY .
+          FILTER(?friend != %person)
+        }
+        GROUP BY ?friend
+        ORDER BY DESC(?countX) ?friend
+        LIMIT 20
+        """,
+        description="Friends within two steps that posted from both country X and country Y.",
+    )
+
+    registry.add(
+        "ldbc_q4",
+        """
+        SELECT ?tag (COUNT(?post) AS ?posts) WHERE {
+          %person sn:knows ?friend .
+          ?post sn:hasCreator ?friend .
+          ?post sn:hasTag ?tag .
+        }
+        GROUP BY ?tag
+        ORDER BY DESC(?posts) ?tag
+        LIMIT 10
+        """,
+        description="Topics (tags) of the friends' posts, most posted-about first.",
+    )
+
+    registry.add(
+        "ldbc_q5",
+        """
+        SELECT ?forum (COUNT(?post) AS ?posts) WHERE {
+          ?forum sn:hasMember %person .
+          ?forum sn:containerOf ?post .
+          ?post sn:hasCreator ?creator .
+        }
+        GROUP BY ?forum
+        ORDER BY DESC(?posts) ?forum
+        LIMIT 20
+        """,
+        description="Forums the person belongs to, by post volume.",
+    )
+
+    registry.add(
+        "ldbc_q6",
+        """
+        SELECT ?otherTag (COUNT(?post) AS ?posts) WHERE {
+          %person sn:knows ?f1 .
+          ?f1 sn:knows ?friend .
+          ?post sn:hasCreator ?friend .
+          ?post sn:hasTag %tag .
+          ?post sn:hasTag ?otherTag .
+          FILTER(?otherTag != %tag)
+        }
+        GROUP BY ?otherTag
+        ORDER BY DESC(?posts) ?otherTag
+        LIMIT 10
+        """,
+        description="Tags co-occurring with a given tag in posts of friends-of-friends.",
+    )
+
+    registry.add(
+        "ldbc_q7",
+        """
+        SELECT ?creator (COUNT(?post) AS ?posts) WHERE {
+          ?post sn:isLocatedIn %country .
+          ?post sn:hasCreator ?creator .
+          ?creator sn:livesIn ?home .
+        }
+        GROUP BY ?creator
+        ORDER BY DESC(?posts) ?creator
+        LIMIT 20
+        """,
+        description="Most active posters from a given country.",
+    )
+
+    return registry
+
+
+#: Shared registry instance.
+REGISTRY = build_registry()
+
+
+def template(name: str) -> QueryTemplate:
+    """Look up one LDBC template by name."""
+    return REGISTRY.get(name)

@@ -1,0 +1,76 @@
+"""LDBC SNB-like vocabulary.
+
+Mirrors the part of the LDBC Social Network Benchmark schema that the
+interactive workload queries touch: persons with correlated attributes, the
+``knows`` graph, posts with creator / creation date / location / tags, and
+forums with members.
+"""
+
+from __future__ import annotations
+
+from ...rdf.namespaces import RDF_TYPE, SNB, SNB_INST
+from ...rdf.terms import IRI
+
+# Classes ------------------------------------------------------------------------
+
+PERSON = SNB["Person"]
+POST = SNB["Post"]
+FORUM = SNB["Forum"]
+COUNTRY = SNB["Country"]
+TAG = SNB["Tag"]
+UNIVERSITY = SNB["University"]
+
+TYPE = RDF_TYPE
+
+# Person properties -----------------------------------------------------------------
+
+FIRST_NAME = SNB["firstName"]
+LAST_NAME = SNB["lastName"]
+BIRTHDAY = SNB["birthday"]
+PERSON_CREATION_DATE = SNB["creationDate"]
+LIVES_IN = SNB["livesIn"]
+STUDY_AT = SNB["studyAt"]
+KNOWS = SNB["knows"]
+
+# Post properties ----------------------------------------------------------------------
+
+HAS_CREATOR = SNB["hasCreator"]
+POST_CREATION_DATE = SNB["creationDate"]
+POST_LOCATED_IN = SNB["isLocatedIn"]
+HAS_TAG = SNB["hasTag"]
+CONTENT = SNB["content"]
+CONTENT_LENGTH = SNB["length"]
+
+# Forum properties ------------------------------------------------------------------------
+
+HAS_MEMBER = SNB["hasMember"]
+HAS_MODERATOR = SNB["hasModerator"]
+CONTAINER_OF = SNB["containerOf"]
+FORUM_TITLE = SNB["title"]
+
+
+# Instance IRI builders -----------------------------------------------------------------------
+
+
+def person_iri(index: int) -> IRI:
+    return SNB_INST["Person%d" % index]
+
+
+def post_iri(index: int) -> IRI:
+    return SNB_INST["Post%d" % index]
+
+
+def forum_iri(index: int) -> IRI:
+    return SNB_INST["Forum%d" % index]
+
+
+def country_iri(name: str) -> IRI:
+    return SNB_INST["Country_%s" % name]
+
+
+def tag_iri(name: str) -> IRI:
+    return SNB_INST["Tag_%s" % name]
+
+
+def university_iri(name: str) -> IRI:
+    return SNB_INST["University_%s" % name]

@@ -1,0 +1,165 @@
+"""Seeded randomness utilities shared by the data generators.
+
+Everything the generators draw goes through :class:`RandomSource`, so a
+dataset is fully determined by its seed — a requirement for reproducible
+experiments and for the test suite.
+
+Besides uniform choices the class provides the skewed distributions real
+benchmark generators use: Zipf (power-law popularity), bounded power-law
+integers (node degrees, post counts), truncated normals (prices) and
+weighted choices (correlation tables).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomSource:
+    """A seeded random generator with benchmark-flavoured helpers."""
+
+    def __init__(self, seed: int = 42):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, salt: str) -> "RandomSource":
+        """Derive an independent stream (e.g. one per entity class).
+
+        Forking keeps the generated sub-populations independent of each
+        other: adding more products does not shift the review stream.  The
+        derived seed uses a content hash (not Python's randomized ``hash``)
+        so datasets are reproducible across processes.
+        """
+        digest = hashlib.sha256(("%d|%s" % (self.seed, salt)).encode("utf-8")).hexdigest()
+        derived = (int(digest[:8], 16) & 0x7FFFFFFF) or 1
+        return RandomSource(derived)
+
+    # -- uniform -----------------------------------------------------------------
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform_int(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        return self._random.randint(low, high)
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self._random.randrange(len(items))]
+
+    def sample(self, items: Sequence[T], count: int) -> List[T]:
+        count = min(count, len(items))
+        return self._random.sample(list(items), count)
+
+    def shuffle(self, items: List[T]) -> List[T]:
+        copy = list(items)
+        self._random.shuffle(copy)
+        return copy
+
+    # -- skewed distributions ---------------------------------------------------------
+
+    def zipf_index(self, n: int, exponent: float = 1.0) -> int:
+        """Draw an index in [0, n) with Zipf-distributed popularity.
+
+        Index 0 is the most popular value.  The cumulative weights are cached
+        per (n, exponent) because the generators draw millions of values from
+        the same domain.
+        """
+        if n <= 0:
+            raise ValueError("zipf domain must be non-empty")
+        cumulative = self._zipf_cumulative(n, exponent)
+        point = self._random.random() * cumulative[-1]
+        return bisect_left(cumulative, point)
+
+    _zipf_cache: Dict[Tuple[int, float], List[float]] = {}
+
+    @classmethod
+    def _zipf_cumulative(cls, n: int, exponent: float) -> List[float]:
+        key = (n, exponent)
+        cached = cls._zipf_cache.get(key)
+        if cached is None:
+            total = 0.0
+            cumulative = []
+            for rank in range(1, n + 1):
+                total += 1.0 / (rank ** exponent)
+                cumulative.append(total)
+            cls._zipf_cache[key] = cumulative
+            cached = cumulative
+        return cached
+
+    def zipf_choice(self, items: Sequence[T], exponent: float = 1.0) -> T:
+        return items[self.zipf_index(len(items), exponent)]
+
+    def power_law_int(self, minimum: int, maximum: int, exponent: float = 2.0) -> int:
+        """Bounded discrete power law: small values common, large values rare."""
+        if minimum > maximum:
+            raise ValueError("minimum must not exceed maximum")
+        if minimum == maximum:
+            return minimum
+        if minimum < 1:
+            # The continuous power law is only defined for positive support;
+            # shift the range so that 0 (or negative) minima still work.
+            shift = 1 - minimum
+            return self.power_law_int(minimum + shift, maximum + shift, exponent) - shift
+        # Inverse-CDF sampling of a continuous power law, then floor.
+        low, high = float(minimum), float(maximum) + 1.0
+        u = self._random.random()
+        if exponent == 1.0:
+            value = low * math.exp(u * math.log(high / low))
+        else:
+            a = low ** (1.0 - exponent)
+            b = high ** (1.0 - exponent)
+            value = (a + u * (b - a)) ** (1.0 / (1.0 - exponent))
+        return max(minimum, min(maximum, int(value)))
+
+    def truncated_normal(self, mean: float, stddev: float, minimum: float, maximum: float) -> float:
+        """Normal draw clamped into [minimum, maximum]."""
+        value = self._random.gauss(mean, stddev)
+        return max(minimum, min(maximum, value))
+
+    def weighted_choice(self, weighted_items: Sequence[Tuple[T, float]]) -> T:
+        """Choose an item given (item, weight) pairs."""
+        if not weighted_items:
+            raise ValueError("cannot choose from an empty sequence")
+        total = sum(weight for _item, weight in weighted_items)
+        point = self._random.random() * total
+        accumulated = 0.0
+        for item, weight in weighted_items:
+            accumulated += weight
+            if point <= accumulated:
+                return item
+        return weighted_items[-1][0]
+
+    def bernoulli(self, probability: float) -> bool:
+        return self._random.random() < probability
+
+    # -- dates -------------------------------------------------------------------------
+
+    def iso_date(self, start_year: int = 2010, end_year: int = 2013) -> str:
+        """A uniformly random ISO date (no leap-day subtleties needed)."""
+        year = self.uniform_int(start_year, end_year)
+        month = self.uniform_int(1, 12)
+        day = self.uniform_int(1, 28)
+        return "%04d-%02d-%02d" % (year, month, day)
+
+    def iso_datetime(self, start_year: int = 2010, end_year: int = 2013) -> str:
+        date = self.iso_date(start_year, end_year)
+        return "%sT%02d:%02d:%02d" % (date, self.uniform_int(0, 23), self.uniform_int(0, 59), self.uniform_int(0, 59))
+
+
+def interleave_power_law_degrees(
+    source: RandomSource,
+    count: int,
+    minimum: int,
+    maximum: int,
+    exponent: float = 2.0,
+) -> List[int]:
+    """Draw ``count`` power-law degrees (helper for the social network generator)."""
+    return [source.power_law_int(minimum, maximum, exponent) for _ in range(count)]

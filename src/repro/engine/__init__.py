@@ -1,0 +1,32 @@
+"""Execution substrate: operators, executor, runtime model, query engine."""
+
+from .executor import ExecutionProfile, Executor
+from .operators import (
+    Binding,
+    ExpressionError,
+    effective_boolean_value,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_filter,
+    ordering_key,
+    value_to_term,
+)
+from .query_engine import QueryEngine, QueryResult
+from .runtime_model import MeasuredRuntimeModel, RuntimeModel
+
+__all__ = [
+    "Binding",
+    "ExecutionProfile",
+    "Executor",
+    "ExpressionError",
+    "MeasuredRuntimeModel",
+    "QueryEngine",
+    "QueryResult",
+    "RuntimeModel",
+    "effective_boolean_value",
+    "evaluate",
+    "evaluate_aggregate",
+    "evaluate_filter",
+    "ordering_key",
+    "value_to_term",
+]

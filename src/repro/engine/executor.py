@@ -1,0 +1,427 @@
+"""Plan executor with work accounting.
+
+The executor evaluates a physical plan bottom-up, materialising solution
+mappings, and records two things the rest of the library depends on:
+
+* the *actual* output cardinality of every plan node — from which the true
+  ``Cout`` of the plan (sum of intermediate join results, Section III of the
+  paper) is computed, and
+* per-operator *work counters* (tuples scanned, hash probes, sort effort,
+  ...) that feed the simulated runtime model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from math import log2
+from typing import Dict, List, Optional, Tuple
+
+from ..rdf.terms import Term, Variable
+from ..sparql.ast import OrderCondition
+from ..store.triple_store import TripleStore
+from ..optimizer.cost import actual_cout
+from ..optimizer.plans import (
+    AggregateNode,
+    DistinctNode,
+    ExtendNode,
+    FilterNode,
+    JoinNode,
+    LeftJoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SingletonNode,
+    SortNode,
+    UnionNode,
+)
+from .operators import (
+    Binding,
+    ExpressionError,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_filter,
+    ordering_key,
+    value_to_term,
+)
+
+
+class ExecutionProfile:
+    """Everything observed while executing one plan."""
+
+    def __init__(self):
+        #: id(plan node) -> number of rows the node produced
+        self.node_output_rows: Dict[int, int] = {}
+        #: work counter name -> amount (tuples, probe operations, ...)
+        self.work: Counter = Counter()
+        #: intermediate join result sizes in execution order
+        self.intermediate_sizes: List[int] = []
+        #: number of rows in the final result
+        self.result_rows: int = 0
+
+    def record_output(self, node: PlanNode, rows: int) -> None:
+        self.node_output_rows[id(node)] = rows
+        if isinstance(node, (JoinNode, LeftJoinNode, UnionNode)):
+            self.intermediate_sizes.append(rows)
+
+    def add_work(self, counter: str, amount: float) -> None:
+        self.work[counter] += amount
+
+    def actual_cout(self, plan: PlanNode) -> float:
+        """The paper's Cout over the observed intermediate result sizes."""
+        return actual_cout(plan, self.node_output_rows)
+
+    def total_tuples_processed(self) -> float:
+        return float(sum(self.work.values()))
+
+    def summary(self) -> Dict[str, float]:
+        summary = dict(self.work)
+        summary["result_rows"] = self.result_rows
+        return summary
+
+
+class Executor:
+    """Executes physical plans against a :class:`TripleStore`."""
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    def execute(self, plan: PlanNode) -> Tuple[List[Binding], ExecutionProfile]:
+        """Run the plan; return (solution mappings, execution profile)."""
+        profile = ExecutionProfile()
+        rows = self._execute(plan, profile)
+        profile.result_rows = len(rows)
+        profile.add_work("output_tuple", len(rows))
+        return rows, profile
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _execute(self, node: PlanNode, profile: ExecutionProfile) -> List[Binding]:
+        if isinstance(node, ScanNode):
+            rows = self._execute_scan(node, profile)
+        elif isinstance(node, SingletonNode):
+            rows = [{}]
+        elif isinstance(node, FilterNode):
+            rows = self._execute_filter(node, profile)
+        elif isinstance(node, JoinNode):
+            rows = self._execute_join(node, profile)
+        elif isinstance(node, LeftJoinNode):
+            rows = self._execute_left_join(node, profile)
+        elif isinstance(node, UnionNode):
+            rows = self._execute_union(node, profile)
+        elif isinstance(node, ExtendNode):
+            rows = self._execute_extend(node, profile)
+        elif isinstance(node, AggregateNode):
+            rows = self._execute_aggregate(node, profile)
+        elif isinstance(node, SortNode):
+            rows = self._execute_sort(node, profile)
+        elif isinstance(node, ProjectNode):
+            rows = self._execute_project(node, profile)
+        elif isinstance(node, DistinctNode):
+            rows = self._execute_distinct(node, profile)
+        elif isinstance(node, LimitNode):
+            rows = self._execute_limit(node, profile)
+        else:
+            raise TypeError("unsupported plan node %r" % (node,))
+        profile.record_output(node, len(rows))
+        return rows
+
+    # -- leaf operators ---------------------------------------------------------------
+
+    def _execute_scan(self, node: ScanNode, profile: ExecutionProfile) -> List[Binding]:
+        pattern = node.pattern
+        variables = [
+            (position, term)
+            for position, term in enumerate(pattern)
+            if isinstance(term, Variable)
+        ]
+        rows: List[Binding] = []
+        decode = self.store.decode_id
+        for id_triple in self.store.scan_pattern(pattern):
+            binding: Binding = {}
+            valid = True
+            for position, variable in variables:
+                term = decode(id_triple[position])
+                existing = binding.get(variable)
+                if existing is not None and existing != term:
+                    valid = False
+                    break
+                binding[variable] = term
+            if valid:
+                rows.append(binding)
+        profile.add_work("scan_tuple", len(rows))
+        return rows
+
+    # -- unary operators -----------------------------------------------------------------
+
+    def _execute_filter(self, node: FilterNode, profile: ExecutionProfile) -> List[Binding]:
+        child_rows = self._execute(node.child, profile)
+        profile.add_work("filter_tuple", len(child_rows))
+        return [row for row in child_rows if evaluate_filter(node.expression, row)]
+
+    def _execute_extend(self, node: ExtendNode, profile: ExecutionProfile) -> List[Binding]:
+        child_rows = self._execute(node.child, profile)
+        profile.add_work("extend_tuple", len(child_rows))
+        result: List[Binding] = []
+        for row in child_rows:
+            extended = dict(row)
+            try:
+                extended[node.variable] = value_to_term(evaluate(node.expression, row))
+            except ExpressionError:
+                pass  # leave the variable unbound, per SPARQL BIND semantics
+            result.append(extended)
+        return result
+
+    def _execute_project(self, node: ProjectNode, profile: ExecutionProfile) -> List[Binding]:
+        child_rows = self._execute(node.child, profile)
+        profile.add_work("project_tuple", len(child_rows))
+        projected = node.projected
+        return [
+            {variable: row[variable] for variable in projected if variable in row}
+            for row in child_rows
+        ]
+
+    def _execute_distinct(self, node: DistinctNode, profile: ExecutionProfile) -> List[Binding]:
+        child_rows = self._execute(node.child, profile)
+        profile.add_work("distinct_tuple", len(child_rows))
+        seen = set()
+        result: List[Binding] = []
+        for row in child_rows:
+            key = frozenset((variable.name, term.n3()) for variable, term in row.items())
+            if key not in seen:
+                seen.add(key)
+                result.append(row)
+        return result
+
+    def _execute_limit(self, node: LimitNode, profile: ExecutionProfile) -> List[Binding]:
+        child_rows = self._execute(node.child, profile)
+        start = node.offset
+        end = None if node.limit is None else start + node.limit
+        return child_rows[start:end]
+
+    def _execute_sort(self, node: SortNode, profile: ExecutionProfile) -> List[Binding]:
+        child_rows = self._execute(node.child, profile)
+        count = len(child_rows)
+        if count > 1:
+            profile.add_work("sort_tuple_log", count * max(1.0, log2(count)))
+
+        def sort_key(row: Binding):
+            keys = []
+            for condition in node.conditions:
+                try:
+                    value = evaluate(condition.expression, row)
+                    key = ordering_key(value)
+                except ExpressionError:
+                    key = (9, 0.0, "")
+                keys.append(_DescendingWrapper(key) if condition.descending else key)
+            return keys
+
+        return sorted(child_rows, key=sort_key)
+
+    def _execute_aggregate(self, node: AggregateNode, profile: ExecutionProfile) -> List[Binding]:
+        child_rows = self._execute(node.child, profile)
+        profile.add_work("aggregate_tuple", len(child_rows))
+
+        groups: Dict[tuple, List[Binding]] = defaultdict(list)
+        for row in child_rows:
+            key = tuple(
+                row[variable].n3() if variable in row else None for variable in node.group_variables
+            )
+            groups[key].append(row)
+
+        if not node.group_variables and not groups:
+            # Aggregates over an empty input still produce a single row
+            # (e.g. COUNT(*) = 0).
+            groups[()] = []
+
+        result: List[Binding] = []
+        for key, rows in sorted(groups.items(), key=lambda item: tuple(str(part) for part in item[0])):
+            output: Binding = {}
+            if rows:
+                representative = rows[0]
+                for variable in node.group_variables:
+                    if variable in representative:
+                        output[variable] = representative[variable]
+            for variable, aggregate in node.aggregates:
+                try:
+                    output[variable] = value_to_term(evaluate_aggregate(aggregate, rows))
+                except ExpressionError:
+                    pass
+            result.append(output)
+        return result
+
+    # -- binary operators -------------------------------------------------------------------
+
+    def _execute_join(self, node: JoinNode, profile: ExecutionProfile) -> List[Binding]:
+        if node.method == JoinNode.LOOKUP:
+            return self._execute_lookup_join(node, profile)
+        left_rows = self._execute(node.left, profile)
+        right_rows = self._execute(node.right, profile)
+        if not node.join_variables:
+            profile.add_work("nested_loop_pair", len(left_rows) * len(right_rows))
+            result = []
+            for left_row in left_rows:
+                for right_row in right_rows:
+                    merged = _merge(left_row, right_row)
+                    if merged is not None:
+                        result.append(merged)
+            profile.add_work("join_output_tuple", len(result))
+            return result
+
+        # Hash join: build on the smaller input, probe with the larger one.
+        if len(left_rows) <= len(right_rows):
+            build_rows, probe_rows = left_rows, right_rows
+        else:
+            build_rows, probe_rows = right_rows, left_rows
+        join_variables = node.join_variables
+        table: Dict[tuple, List[Binding]] = defaultdict(list)
+        for row in build_rows:
+            table[_join_key(row, join_variables)].append(row)
+        profile.add_work("hash_build_tuple", len(build_rows))
+
+        result = []
+        for row in probe_rows:
+            matches = table.get(_join_key(row, join_variables), ())
+            for match in matches:
+                merged = _merge(row, match)
+                if merged is not None:
+                    result.append(merged)
+        profile.add_work("hash_probe_tuple", len(probe_rows))
+        profile.add_work("join_output_tuple", len(result))
+        return result
+
+    def _execute_lookup_join(self, node: JoinNode, profile: ExecutionProfile) -> List[Binding]:
+        """Index nested-loop join: probe the right-hand scan once per left row.
+
+        The right side is a (possibly filtered) triple-pattern scan; for each
+        left solution the join variables are substituted into the pattern and
+        resolved through the store's permutation indexes, so the work done is
+        proportional to the rows actually touched rather than to the size of
+        the whole pattern.
+        """
+        left_rows = self._execute(node.left, profile)
+
+        # Unwrap the filter chain above the scan on the right side.
+        filters = []
+        right: PlanNode = node.right
+        while isinstance(right, FilterNode):
+            filters.append(right.expression)
+            right = right.child
+        if not isinstance(right, ScanNode):
+            raise TypeError("lookup join requires a scan on the right side, got %r" % (right,))
+        pattern = right.pattern
+        pattern_variables = [
+            (position, term)
+            for position, term in enumerate(pattern)
+            if isinstance(term, Variable)
+        ]
+        decode = self.store.decode_id
+
+        result: List[Binding] = []
+        fetched = 0
+        profile.add_work("index_lookup", len(left_rows))
+        for left_row in left_rows:
+            bound = {
+                variable: left_row[variable]
+                for variable in node.join_variables
+                if variable in left_row
+            }
+            probe_pattern = pattern.substitute(bound)
+            for id_triple in self.store.scan_pattern(probe_pattern):
+                fetched += 1
+                binding = dict(left_row)
+                valid = True
+                for position, variable in pattern_variables:
+                    term = decode(id_triple[position])
+                    existing = binding.get(variable)
+                    if existing is not None and existing != term:
+                        valid = False
+                        break
+                    binding[variable] = term
+                if not valid:
+                    continue
+                if filters and not all(evaluate_filter(expression, binding) for expression in filters):
+                    continue
+                result.append(binding)
+        profile.add_work("scan_tuple", fetched)
+        if filters:
+            profile.add_work("filter_tuple", fetched)
+        profile.add_work("join_output_tuple", len(result))
+        # Record what the right-hand side produced for plan inspection even
+        # though it was never materialised on its own.
+        profile.node_output_rows.setdefault(id(right), fetched)
+        profile.node_output_rows.setdefault(id(node.right), fetched)
+        return result
+
+    def _execute_left_join(self, node: LeftJoinNode, profile: ExecutionProfile) -> List[Binding]:
+        left_rows = self._execute(node.left, profile)
+        right_rows = self._execute(node.right, profile)
+        shared = [
+            variable
+            for variable in node.left.output_variables()
+            if variable in set(node.right.output_variables())
+        ]
+        table: Dict[tuple, List[Binding]] = defaultdict(list)
+        for row in right_rows:
+            table[_join_key(row, shared)].append(row)
+        profile.add_work("hash_build_tuple", len(right_rows))
+        profile.add_work("leftjoin_probe_tuple", len(left_rows))
+
+        result: List[Binding] = []
+        for left_row in left_rows:
+            matches = table.get(_join_key(left_row, shared), ()) if shared else right_rows
+            extended = False
+            for match in matches:
+                merged = _merge(left_row, match)
+                if merged is None:
+                    continue
+                if node.condition is not None and not evaluate_filter(node.condition, merged):
+                    continue
+                result.append(merged)
+                extended = True
+            if not extended:
+                result.append(dict(left_row))
+        profile.add_work("join_output_tuple", len(result))
+        return result
+
+    def _execute_union(self, node: UnionNode, profile: ExecutionProfile) -> List[Binding]:
+        result: List[Binding] = []
+        for child in node.alternatives:
+            rows = self._execute(child, profile)
+            profile.add_work("union_tuple", len(rows))
+            result.extend(rows)
+        return result
+
+
+# -- helpers -----------------------------------------------------------------------------
+
+
+def _join_key(row: Binding, variables) -> tuple:
+    return tuple(row.get(variable) for variable in variables)
+
+
+def _merge(left: Binding, right: Binding) -> Optional[Binding]:
+    """Merge two compatible bindings; return None when they conflict."""
+    merged = dict(left)
+    for variable, term in right.items():
+        existing = merged.get(variable)
+        if existing is None:
+            merged[variable] = term
+        elif existing != term:
+            return None
+    return merged
+
+
+class _DescendingWrapper:
+    """Inverts comparison of a sort key for DESC ordering."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_DescendingWrapper") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _DescendingWrapper) and other.key == self.key

@@ -1,0 +1,315 @@
+"""Expression evaluation and solution-mapping helpers for the executor.
+
+A *solution mapping* (binding) is a plain dict mapping
+:class:`~repro.rdf.terms.Variable` to concrete :class:`~repro.rdf.terms.Term`
+objects.  Expression evaluation follows SPARQL semantics closely enough for
+the benchmark templates: errors (unbound variables, type mismatches)
+propagate as :class:`ExpressionError` and make a FILTER reject the row.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Union
+
+from ..rdf.terms import IRI, Literal, Term, Variable, typed_literal
+from ..sparql.ast import (
+    AggregateExpression,
+    BinaryExpression,
+    Expression,
+    FunctionCall,
+    TermExpression,
+    UnaryExpression,
+)
+
+Binding = Dict[Variable, Term]
+
+#: The value domain expressions evaluate into.
+Value = Union[int, float, bool, str, Term]
+
+
+class ExpressionError(ValueError):
+    """SPARQL expression evaluation error (unbound variable, bad types...)."""
+
+
+def evaluate(expression: Expression, binding: Binding) -> Value:
+    """Evaluate an expression against one solution mapping."""
+    if isinstance(expression, TermExpression):
+        return _evaluate_term(expression.term, binding)
+    if isinstance(expression, UnaryExpression):
+        return _evaluate_unary(expression, binding)
+    if isinstance(expression, BinaryExpression):
+        return _evaluate_binary(expression, binding)
+    if isinstance(expression, FunctionCall):
+        return _evaluate_function(expression, binding)
+    if isinstance(expression, AggregateExpression):
+        raise ExpressionError("aggregate expression outside GROUP BY evaluation")
+    raise ExpressionError("unsupported expression %r" % (expression,))
+
+
+def effective_boolean_value(value: Value) -> bool:
+    """SPARQL effective boolean value of an evaluated expression."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, Literal):
+        return effective_boolean_value(value.value)
+    if isinstance(value, Term):
+        raise ExpressionError("no effective boolean value for %r" % (value,))
+    raise ExpressionError("no effective boolean value for %r" % (value,))
+
+
+def evaluate_filter(expression: Expression, binding: Binding) -> bool:
+    """Evaluate a FILTER: errors count as ``False`` per SPARQL semantics."""
+    try:
+        return effective_boolean_value(evaluate(expression, binding))
+    except ExpressionError:
+        return False
+
+
+# -- term / literal coercion ---------------------------------------------------------
+
+
+def _evaluate_term(term: Term, binding: Binding) -> Value:
+    if isinstance(term, Variable):
+        bound = binding.get(term)
+        if bound is None:
+            raise ExpressionError("unbound variable %s" % term.n3())
+        return _term_value(bound)
+    return _term_value(term)
+
+
+def _term_value(term: Term) -> Value:
+    if isinstance(term, Literal):
+        return term.value
+    return term
+
+
+def value_to_term(value: Value) -> Term:
+    """Convert an evaluated value back into an RDF term (for BIND/SELECT AS)."""
+    if isinstance(value, Term):
+        return value
+    return typed_literal(value)
+
+
+def _numeric(value: Value) -> Union[int, float]:
+    if isinstance(value, bool):
+        raise ExpressionError("boolean used as number")
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, Literal) and value.is_numeric():
+        return value.value  # type: ignore[return-value]
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise ExpressionError("cannot coerce %r to a number" % value) from None
+    raise ExpressionError("cannot coerce %r to a number" % (value,))
+
+
+# -- operators ----------------------------------------------------------------------
+
+
+def _evaluate_unary(expression: UnaryExpression, binding: Binding) -> Value:
+    operand = evaluate(expression.operand, binding)
+    if expression.operator == "!":
+        return not effective_boolean_value(operand)
+    if expression.operator == "-":
+        return -_numeric(operand)
+    return +_numeric(operand)
+
+
+def _compare(left: Value, right: Value) -> int:
+    """Three-way comparison following SPARQL operator mapping (subset)."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        if isinstance(left, bool) and isinstance(right, bool):
+            return (left > right) - (left < right)
+        raise ExpressionError("cannot compare boolean with non-boolean")
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    if isinstance(left, IRI) and isinstance(right, IRI):
+        return (left.value > right.value) - (left.value < right.value)
+    # Mixed numeric/string comparisons: try numeric coercion, else error.
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        return _compare(left, _numeric(right))
+    if isinstance(left, str) and isinstance(right, (int, float)):
+        return _compare(_numeric(left), right)
+    raise ExpressionError("cannot compare %r with %r" % (left, right))
+
+
+def _values_equal(left: Value, right: Value) -> bool:
+    try:
+        return _compare(left, right) == 0
+    except ExpressionError:
+        # Fall back to term identity (e.g. IRI vs literal is just "not equal").
+        return left == right and type(left) is type(right)
+
+
+def _evaluate_binary(expression: BinaryExpression, binding: Binding) -> Value:
+    operator = expression.operator
+    if operator == "&&":
+        return effective_boolean_value(evaluate(expression.left, binding)) and effective_boolean_value(
+            evaluate(expression.right, binding)
+        )
+    if operator == "||":
+        # SPARQL || is true if either side is true, even if the other errors.
+        left_error: Optional[ExpressionError] = None
+        try:
+            if effective_boolean_value(evaluate(expression.left, binding)):
+                return True
+        except ExpressionError as error:
+            left_error = error
+        right = effective_boolean_value(evaluate(expression.right, binding))
+        if right:
+            return True
+        if left_error is not None:
+            raise left_error
+        return False
+
+    left = evaluate(expression.left, binding)
+    right = evaluate(expression.right, binding)
+    if operator == "=":
+        return _values_equal(left, right)
+    if operator == "!=":
+        return not _values_equal(left, right)
+    if operator in ("<", "<=", ">", ">="):
+        comparison = _compare(left, right)
+        if operator == "<":
+            return comparison < 0
+        if operator == "<=":
+            return comparison <= 0
+        if operator == ">":
+            return comparison > 0
+        return comparison >= 0
+    if operator == "+":
+        return _numeric(left) + _numeric(right)
+    if operator == "-":
+        return _numeric(left) - _numeric(right)
+    if operator == "*":
+        return _numeric(left) * _numeric(right)
+    if operator == "/":
+        denominator = _numeric(right)
+        if denominator == 0:
+            raise ExpressionError("division by zero")
+        return _numeric(left) / denominator
+    raise ExpressionError("unsupported operator %r" % operator)
+
+
+def _evaluate_function(expression: FunctionCall, binding: Binding) -> Value:
+    name = expression.name
+    if name == "BOUND":
+        argument = expression.arguments[0]
+        if not isinstance(argument, TermExpression) or not isinstance(argument.term, Variable):
+            raise ExpressionError("BOUND expects a variable")
+        return argument.term in binding
+    if name == "REGEX":
+        if len(expression.arguments) < 2:
+            raise ExpressionError("REGEX expects (text, pattern[, flags])")
+        text = _string_value(evaluate(expression.arguments[0], binding))
+        pattern = _string_value(evaluate(expression.arguments[1], binding))
+        flags = 0
+        if len(expression.arguments) > 2:
+            flag_text = _string_value(evaluate(expression.arguments[2], binding))
+            if "i" in flag_text:
+                flags |= re.IGNORECASE
+        return re.search(pattern, text, flags) is not None
+    if name == "STR":
+        value = evaluate(expression.arguments[0], binding)
+        return _string_value(value)
+    if name == "LANG":
+        argument = expression.arguments[0]
+        if isinstance(argument, TermExpression) and isinstance(argument.term, Variable):
+            term = binding.get(argument.term)
+            if isinstance(term, Literal):
+                return term.language or ""
+        return ""
+    if name == "DATATYPE":
+        argument = expression.arguments[0]
+        if isinstance(argument, TermExpression) and isinstance(argument.term, Variable):
+            term = binding.get(argument.term)
+            if isinstance(term, Literal) and term.datatype is not None:
+                return term.datatype
+        return IRI("http://www.w3.org/2001/XMLSchema#string")
+    raise ExpressionError("unsupported function %r" % name)
+
+
+def _string_value(value: Value) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, IRI):
+        return value.value
+    if isinstance(value, Term):
+        return value.n3()
+    raise ExpressionError("cannot convert %r to string" % (value,))
+
+
+# -- aggregates ------------------------------------------------------------------------
+
+
+def evaluate_aggregate(
+    aggregate: AggregateExpression, group_rows: List[Binding]
+) -> Value:
+    """Evaluate an aggregate over the rows of one group."""
+    if aggregate.function == "COUNT" and aggregate.argument is None:
+        return len(group_rows)
+
+    values: List[Value] = []
+    for row in group_rows:
+        try:
+            values.append(evaluate(aggregate.argument, row))
+        except ExpressionError:
+            continue
+    if aggregate.distinct:
+        seen = []
+        unique: List[Value] = []
+        for value in values:
+            key = value.n3() if isinstance(value, Term) else value
+            if key not in seen:
+                seen.append(key)
+                unique.append(value)
+        values = unique
+
+    if aggregate.function == "COUNT":
+        return len(values)
+    if not values:
+        raise ExpressionError("aggregate over empty group")
+    if aggregate.function == "SUM":
+        return sum(_numeric(value) for value in values)
+    if aggregate.function == "AVG":
+        return sum(_numeric(value) for value in values) / len(values)
+    if aggregate.function == "MIN":
+        return min(values, key=_ordering_key)
+    if aggregate.function == "MAX":
+        return max(values, key=_ordering_key)
+    raise ExpressionError("unsupported aggregate %r" % aggregate.function)
+
+
+def _ordering_key(value: Value):
+    """Sort key usable across the mixed value domain (numbers first)."""
+    if isinstance(value, bool):
+        return (0, float(value), "")
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    if isinstance(value, str):
+        return (1, 0.0, value)
+    if isinstance(value, Literal):
+        return _ordering_key(value.value)
+    if isinstance(value, Term):
+        return (2, 0.0, value.n3())
+    return (3, 0.0, repr(value))
+
+
+def ordering_key(value: Value):
+    """Public alias of the mixed-domain sort key (used by the Sort operator)."""
+    return _ordering_key(value)

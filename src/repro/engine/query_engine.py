@@ -1,0 +1,128 @@
+"""The query engine facade.
+
+:class:`QueryEngine` ties the substrates together: parse → translate →
+optimize → execute → profile.  Everything above this layer (benchmark
+runner, parameter analyzer, experiments) talks to the engine through
+:class:`QueryResult`, which carries the rows, the chosen plan, the estimated
+and actual ``Cout``, and the simulated runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Term, Variable
+from ..sparql.algebra import translate_query
+from ..sparql.ast import SelectQuery
+from ..sparql.parser import parse_query
+from ..sparql.template import QueryTemplate
+from ..store.statistics import StoreStatistics
+from ..store.triple_store import TripleStore
+from ..optimizer.optimizer import Optimizer
+from ..optimizer.plans import PlanNode, join_tree_signature
+from .executor import ExecutionProfile, Executor
+from .runtime_model import RuntimeModel
+
+
+class QueryResult:
+    """The complete outcome of executing one query."""
+
+    def __init__(
+        self,
+        rows: List[Dict[Variable, Term]],
+        plan: PlanNode,
+        profile: ExecutionProfile,
+        runtime_ms: float,
+        estimated_cout: float,
+        actual_cout: float,
+    ):
+        self.rows = rows
+        self.plan = plan
+        self.profile = profile
+        self.runtime_ms = runtime_ms
+        self.estimated_cout = estimated_cout
+        self.actual_cout = actual_cout
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def plan_signature(self) -> str:
+        """Canonical join-tree signature (the paper's plan identity)."""
+        return join_tree_signature(self.plan)
+
+    def to_dicts(self) -> List[Dict[str, Term]]:
+        """Rows with plain string keys, convenient for assertions and display."""
+        return [{variable.name: term for variable, term in row.items()} for row in self.rows]
+
+    def __repr__(self) -> str:
+        return "QueryResult(rows=%d, runtime=%.2fms, cout=%.0f)" % (
+            len(self.rows),
+            self.runtime_ms,
+            self.actual_cout,
+        )
+
+
+class QueryEngine:
+    """Parse, optimize and execute queries against a graph or store."""
+
+    def __init__(
+        self,
+        data: Union[Graph, TripleStore],
+        join_ordering: str = "dp",
+        runtime_model: Optional[RuntimeModel] = None,
+    ):
+        self.store = data.store if isinstance(data, Graph) else data
+        self.store.finalise()
+        self.statistics = StoreStatistics(self.store).collect()
+        self.optimizer = Optimizer(self.statistics, join_ordering=join_ordering)
+        self.executor = Executor(self.store)
+        self.runtime_model = runtime_model if runtime_model is not None else RuntimeModel()
+
+    # -- planning ------------------------------------------------------------------
+
+    def plan(self, query: Union[str, SelectQuery]) -> PlanNode:
+        """Return the optimized physical plan without executing it."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if parsed.parameters():
+            raise ValueError(
+                "query still contains unbound parameters %r; instantiate the "
+                "template first" % (parsed.parameters(),)
+            )
+        return self.optimizer.optimize(translate_query(parsed))
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, query: Union[str, SelectQuery], noise_key: str = "") -> QueryResult:
+        """Plan and execute a concrete (parameter-free) query."""
+        plan = self.plan(query)
+        return self.execute_plan(plan, noise_key)
+
+    def execute_plan(self, plan: PlanNode, noise_key: str = "") -> QueryResult:
+        """Execute an already-optimized plan."""
+        rows, profile = self.executor.execute(plan)
+        runtime = self.runtime_model.runtime_milliseconds(profile, noise_key)
+        return QueryResult(
+            rows=rows,
+            plan=plan,
+            profile=profile,
+            runtime_ms=runtime,
+            estimated_cout=plan.estimated_cout(),
+            actual_cout=profile.actual_cout(plan),
+        )
+
+    def execute_template(
+        self,
+        template: QueryTemplate,
+        bindings: Mapping[str, Term],
+        repetition: int = 0,
+    ) -> QueryResult:
+        """Instantiate a template with parameter bindings and execute it."""
+        query = template.instantiate(bindings)
+        noise_key = "%s|%s|%d" % (
+            template.name,
+            "&".join("%s=%s" % (name, bindings[name].n3()) for name in sorted(bindings)),
+            repetition,
+        )
+        plan = self.optimizer.optimize(translate_query(query))
+        return self.execute_plan(plan, noise_key)

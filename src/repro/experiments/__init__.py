@@ -1,0 +1,22 @@
+"""Experiment modules — one per table / figure / reported number in the paper.
+
+* :mod:`e1_variance` — E1: runtime variance and KS-vs-normal under uniform sampling.
+* :mod:`e2_stability` — E2: instability across independent parameter groups.
+* :mod:`e3_average` — E3: mean vs median (bimodal runtimes) for BSBM-BI Q4.
+* :mod:`e4_plans` — E4: plan diversity of LDBC Q3 for country pairs.
+* :mod:`cost_correlation` — Section III: Pearson(Cout, runtime).
+* :mod:`curation_eval` — the paper's proposal evaluated: per-class sampling
+  restores P1–P3.
+"""
+
+from . import common, cost_correlation, curation_eval, e1_variance, e2_stability, e3_average, e4_plans
+
+__all__ = [
+    "common",
+    "cost_correlation",
+    "curation_eval",
+    "e1_variance",
+    "e2_stability",
+    "e3_average",
+    "e4_plans",
+]

@@ -1,0 +1,190 @@
+"""Evaluation of the paper's proposal: per-class parameter generation.
+
+The paper defines the clustering problem and argues that sampling within the
+resulting parameter classes restores properties P1–P3; it does not evaluate
+a concrete algorithm (left as future work).  This experiment evaluates our
+implementation of that proposal end-to-end:
+
+1. draw candidate bindings for a template, analyze plan + Cout per binding,
+2. partition them into parameter classes (Section III, relaxed as described
+   in :mod:`repro.core.clustering`),
+3. compare *uniform* sampling over the whole domain against sampling from
+   the largest curated class (the "Q4a / Q4b" split) on:
+
+   * P1 — coefficient of variation and mean/median ratio,
+   * P2 — deviation of group means across independent samples,
+   * P3 — number of distinct optimal plans.
+
+The expectation (the paper's motivation) is that every measure improves
+substantially within a class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..bench.reporting import key_value_report
+from ..bench.runner import WorkloadRunner
+from ..bench.stats import GroupComparison, RuntimeSummary
+from ..core.curation import CuratedWorkload, curate
+from ..core.properties import WorkloadPropertyReport, check_workload_properties
+from ..core.samplers import ClassSampler, UniformSampler
+from ..datagen.bsbm import template as bsbm_template
+from ..datagen.ldbc import template as ldbc_template
+from ..sparql.template import QueryTemplate
+from . import common
+
+
+@dataclass
+class SamplingEvaluation:
+    """P1/P2/P3 measurements for one sampling strategy."""
+
+    strategy: str
+    summary: RuntimeSummary
+    properties: WorkloadPropertyReport
+    group_mean_deviation: float
+    distinct_plans: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "mean_ms": self.summary.mean,
+            "median_ms": self.summary.median,
+            "cv": (self.summary.variance ** 0.5) / self.summary.mean if self.summary.mean else 0.0,
+            "mean_over_median": self.summary.mean_to_median_ratio(),
+            "group_mean_deviation": self.group_mean_deviation,
+            "distinct_plans": self.distinct_plans,
+            "P1": self.properties.p1.passed,
+            "P2": self.properties.p2.passed if self.properties.p2 is not None else None,
+            "P3": self.properties.p3.passed,
+        }
+
+
+@dataclass
+class CurationEvaluation:
+    """Uniform vs curated comparison for one template."""
+
+    template_name: str
+    curated: CuratedWorkload
+    uniform: SamplingEvaluation
+    per_class: List[SamplingEvaluation]
+
+    def best_class(self) -> SamplingEvaluation:
+        if not self.per_class:
+            raise ValueError("no curated classes were evaluated")
+        return self.per_class[0]
+
+    def report(self) -> str:
+        lines = ["Curation evaluation for %s" % self.template_name, ""]
+        lines.append(key_value_report(self.uniform.as_dict(), title="uniform sampling (baseline)"))
+        for evaluation in self.per_class:
+            lines.append("")
+            lines.append(key_value_report(evaluation.as_dict(), title=evaluation.strategy))
+        return "\n".join(lines)
+
+
+def _evaluate_sampler(
+    runner: WorkloadRunner,
+    template: QueryTemplate,
+    sampler,
+    strategy: str,
+    groups: int,
+    bindings_per_group: int,
+) -> SamplingEvaluation:
+    group_runtimes: List[List[float]] = []
+    signatures: List[str] = []
+    all_runtimes: List[float] = []
+    for group_index in range(groups):
+        fresh = sampler.fresh(group_index + 1) if hasattr(sampler, "fresh") else sampler
+        result = runner.run_bindings(template, fresh.bindings(bindings_per_group))
+        runtimes = result.runtimes()
+        group_runtimes.append(runtimes)
+        all_runtimes.extend(runtimes)
+        signatures.extend(result.plan_signatures())
+    properties = check_workload_properties(all_runtimes, signatures, groups=group_runtimes)
+    comparison = GroupComparison.from_groups(group_runtimes)
+    return SamplingEvaluation(
+        strategy=strategy,
+        summary=RuntimeSummary.from_values(all_runtimes),
+        properties=properties,
+        group_mean_deviation=comparison.mean_deviation(),
+        distinct_plans=len(set(signatures)),
+    )
+
+
+def run(
+    scale: str = "small",
+    template_name: str = "bsbm_bi_q4",
+    candidates: int = None,
+    classes_to_evaluate: int = 2,
+    cost_tolerance: float = 0.5,
+    seed: int = 23,
+) -> CurationEvaluation:
+    """Evaluate uniform vs per-class sampling for one template."""
+    preset = common.scale(scale)
+    candidate_count = candidates if candidates is not None else preset.bindings_per_group * 2
+
+    if template_name.startswith("bsbm"):
+        engine = common.bsbm_engine(scale)
+        runner = common.bsbm_runner(scale)
+        template = bsbm_template(template_name)
+        space = {
+            "bsbm_bi_q4": common.bsbm_type_space,
+            "bsbm_bi_q1": common.bsbm_type_space,
+            "bsbm_bi_q2": common.bsbm_product_space,
+        }[template_name](scale)
+    else:
+        engine = common.ldbc_engine(scale)
+        runner = common.ldbc_runner(scale)
+        template = ldbc_template(template_name)
+        space = {
+            "ldbc_q2": common.ldbc_person_space,
+            "ldbc_q3": common.ldbc_person_country_pair_space,
+        }[template_name](scale)
+
+    curated = curate(
+        engine,
+        template,
+        space,
+        candidates=candidate_count,
+        cost_tolerance=cost_tolerance,
+        min_class_size=max(3, preset.bindings_per_group // 10),
+        seed=seed,
+    )
+
+    uniform = _evaluate_sampler(
+        runner,
+        template,
+        UniformSampler(space, seed=seed + 1),
+        strategy="uniform",
+        groups=preset.groups,
+        bindings_per_group=preset.bindings_per_group,
+    )
+
+    per_class: List[SamplingEvaluation] = []
+    for parameter_class in curated.reportable_classes[:classes_to_evaluate]:
+        evaluation = _evaluate_sampler(
+            runner,
+            template,
+            ClassSampler(parameter_class, seed=seed + 2),
+            strategy="curated class %s" % parameter_class.class_id,
+            groups=preset.groups,
+            bindings_per_group=preset.bindings_per_group,
+        )
+        per_class.append(evaluation)
+
+    return CurationEvaluation(
+        template_name=template_name,
+        curated=curated,
+        uniform=uniform,
+        per_class=per_class,
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

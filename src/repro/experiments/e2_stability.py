@@ -1,0 +1,102 @@
+"""E2 — uniform sampling is not stable across parameter groups.
+
+The paper samples 4 independent groups of 100 bindings for LDBC Q2 ("newest
+20 posts of the user's friends"), runs the query per group and shows the
+table of q10 / median / q90 / average per group: the group averages deviate
+by up to ~40 %, percentiles and medians by up to ~100 %.  For BSBM-BI Q2 the
+mean differs by up to ~15 % and the median by up to ~25 % between groups.
+
+We reproduce both tables with the same protocol on the generated datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..bench.reporting import group_table, instability_report
+from ..bench.stats import GroupComparison, RuntimeSummary
+from ..core.samplers import UniformSampler
+from ..datagen.bsbm import template as bsbm_template
+from ..datagen.ldbc import template as ldbc_template
+from ..sparql.template import QueryTemplate
+from . import common
+
+
+@dataclass
+class StabilityResult:
+    """Group-wise summaries for one template."""
+
+    template_name: str
+    group_summaries: List[RuntimeSummary]
+    comparison: GroupComparison
+
+    def table(self) -> str:
+        return group_table(self.group_summaries, title="%s: independent parameter groups" % self.template_name)
+
+    def report(self) -> str:
+        return "%s\n%s" % (
+            self.table(),
+            instability_report(self.comparison, title="deviations across groups:"),
+        )
+
+
+@dataclass
+class E2Result:
+    scale: str
+    ldbc_q2: StabilityResult
+    bsbm_q2: StabilityResult
+
+    def report(self) -> str:
+        return "E2: sampling is not stable\n\n%s\n\n%s" % (self.ldbc_q2.report(), self.bsbm_q2.report())
+
+
+def _run_groups(
+    runner,
+    template: QueryTemplate,
+    sampler: UniformSampler,
+    groups: int,
+    bindings_per_group: int,
+) -> StabilityResult:
+    group_runtimes: List[List[float]] = []
+    summaries: List[RuntimeSummary] = []
+    for group_index in range(groups):
+        group_sampler = sampler.fresh(group_index + 1)
+        result = runner.run_bindings(template, group_sampler.bindings(bindings_per_group))
+        runtimes = result.runtimes()
+        group_runtimes.append(runtimes)
+        summaries.append(RuntimeSummary.from_values(runtimes))
+    return StabilityResult(
+        template_name=template.name,
+        group_summaries=summaries,
+        comparison=GroupComparison.from_groups(group_runtimes),
+    )
+
+
+def run(scale: str = "small", seed: int = 11) -> E2Result:
+    """Run E2 for LDBC Q2 and BSBM-BI Q2."""
+    preset = common.scale(scale)
+
+    ldbc_q2 = _run_groups(
+        common.ldbc_runner(scale),
+        ldbc_template("ldbc_q2"),
+        UniformSampler(common.ldbc_person_space(scale), seed=seed),
+        groups=preset.groups,
+        bindings_per_group=preset.bindings_per_group,
+    )
+    bsbm_q2 = _run_groups(
+        common.bsbm_runner(scale),
+        bsbm_template("bsbm_bi_q2"),
+        UniformSampler(common.bsbm_product_space(scale), seed=seed + 100),
+        groups=preset.groups,
+        bindings_per_group=preset.bindings_per_group,
+    )
+    return E2Result(scale=scale, ldbc_q2=ldbc_q2, bsbm_q2=bsbm_q2)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

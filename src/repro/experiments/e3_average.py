@@ -1,0 +1,111 @@
+"""E3 — the average runtime is not representative (bimodal runtimes).
+
+The paper's table for BSBM-BI Q4 under uniformly drawn ProductType
+parameters::
+
+    Min     Median   Mean    q95      Max
+    59 ms   354 ms   3.6 s   17.6 s   259 s
+
+i.e. the mean is more than 10x the median, queries are either fast (the
+chosen type is specific) or very slow (the type is generic), and no actual
+execution is close to the mean.  We reproduce the same summary table and the
+derived shape measurements:
+
+* mean / median ratio,
+* the fraction of executions whose runtime is within ±50 % of the mean
+  (the paper: "there is no actual query with the runtime close to the mean"),
+* a two-cluster split of the runtimes showing the fast/slow separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..bench.reporting import key_value_report, summary_table
+from ..bench.stats import RuntimeSummary
+from ..core.samplers import UniformSampler
+from ..datagen.bsbm import template as bsbm_template
+from . import common
+
+
+def split_two_clusters(values: List[float]) -> Tuple[List[float], List[float]]:
+    """Split a sample into two clusters at the largest relative gap.
+
+    Sorting the runtimes and cutting at the largest multiplicative gap
+    separates the "fast" and "slow" modes; the paper's observation is that
+    almost every execution falls into one of the two groups.
+    """
+    if len(values) < 2:
+        return list(values), []
+    ordered = sorted(values)
+    best_gap = -1.0
+    best_cut = 1
+    for index in range(1, len(ordered)):
+        low, high = ordered[index - 1], ordered[index]
+        gap = (high / low) if low > 0 else float("inf")
+        if gap > best_gap:
+            best_gap = gap
+            best_cut = index
+    return ordered[:best_cut], ordered[best_cut:]
+
+
+@dataclass
+class E3Result:
+    scale: str
+    summary: RuntimeSummary
+    mean_to_median_ratio: float
+    fraction_near_mean: float
+    fast_cluster: List[float]
+    slow_cluster: List[float]
+
+    def cluster_separation(self) -> float:
+        """Ratio between the slow cluster's minimum and the fast cluster's maximum."""
+        if not self.fast_cluster or not self.slow_cluster:
+            return 1.0
+        fast_max = max(self.fast_cluster)
+        slow_min = min(self.slow_cluster)
+        return slow_min / fast_max if fast_max > 0 else float("inf")
+
+    def report(self) -> str:
+        table = summary_table(self.summary, title="E3: BSBM-BI Q4 runtime summary under uniform sampling")
+        values = {
+            "mean / median ratio": self.mean_to_median_ratio,
+            "fraction of runs within +-50% of the mean": self.fraction_near_mean,
+            "fast cluster size": len(self.fast_cluster),
+            "slow cluster size": len(self.slow_cluster),
+            "slow/fast cluster separation": self.cluster_separation(),
+        }
+        return "%s\n%s" % (table, key_value_report(values))
+
+
+def run(scale: str = "small", executions: int = None, seed: int = 13) -> E3Result:
+    """Run E3: BSBM-BI Q4 with uniformly drawn ProductType parameters."""
+    preset = common.scale(scale)
+    count = executions if executions is not None else preset.bindings_per_group * 2
+    runner = common.bsbm_runner(scale)
+
+    template = bsbm_template("bsbm_bi_q4")
+    sampler = UniformSampler(common.bsbm_type_space(scale), seed=seed)
+    result = runner.run_bindings(template, sampler.bindings(count))
+    runtimes = result.runtimes()
+    summary = RuntimeSummary.from_values(runtimes)
+
+    near_mean = [value for value in runtimes if 0.5 * summary.mean <= value <= 1.5 * summary.mean]
+    fast, slow = split_two_clusters(runtimes)
+    return E3Result(
+        scale=scale,
+        summary=summary,
+        mean_to_median_ratio=summary.mean_to_median_ratio(),
+        fraction_near_mean=len(near_mean) / len(runtimes),
+        fast_cluster=fast,
+        slow_cluster=slow,
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

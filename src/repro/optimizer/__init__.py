@@ -1,0 +1,59 @@
+"""Cout-based query optimizer: plans, cardinality estimation, join ordering."""
+
+from .cardinality import CardinalityEstimator, DEFAULT_SELECTIVITY, shared_variables
+from .cost import OPERATOR_COSTS, actual_cout, describe_cost_model, estimated_cout, operator_cost
+from .join_ordering import (
+    DynamicProgrammingOrderer,
+    GreedyOrderer,
+    JoinOrderingError,
+    make_orderer,
+)
+from .optimizer import Optimizer
+from .plans import (
+    AggregateNode,
+    DistinctNode,
+    ExtendNode,
+    FilterNode,
+    JoinNode,
+    LeftJoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SingletonNode,
+    SortNode,
+    UnionNode,
+    collect_nodes,
+    join_tree_signature,
+)
+
+__all__ = [
+    "AggregateNode",
+    "CardinalityEstimator",
+    "DEFAULT_SELECTIVITY",
+    "DistinctNode",
+    "DynamicProgrammingOrderer",
+    "ExtendNode",
+    "FilterNode",
+    "GreedyOrderer",
+    "JoinNode",
+    "JoinOrderingError",
+    "LeftJoinNode",
+    "LimitNode",
+    "OPERATOR_COSTS",
+    "Optimizer",
+    "PlanNode",
+    "ProjectNode",
+    "ScanNode",
+    "SingletonNode",
+    "SortNode",
+    "UnionNode",
+    "actual_cout",
+    "collect_nodes",
+    "describe_cost_model",
+    "estimated_cout",
+    "join_tree_signature",
+    "make_orderer",
+    "operator_cost",
+    "shared_variables",
+]

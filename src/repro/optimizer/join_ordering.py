@@ -1,0 +1,251 @@
+"""Join ordering.
+
+Two algorithms are provided:
+
+* :class:`DynamicProgrammingOrderer` — exact bushy-plan enumeration over
+  connected subsets (DPsub), minimising estimated ``Cout``.  This is the
+  "solve the NP-hard join ordering problem" step the paper's Section III
+  refers to; it is feasible because benchmark templates have a handful of
+  patterns.
+* :class:`GreedyOrderer` — the classic "smallest intermediate result next"
+  heuristic, used as an ablation baseline and as a fallback for very large
+  BGPs.
+
+Both attach filters eagerly: a filter expression is applied at the lowest
+plan node that binds all of its variables, and its selectivity feeds back
+into the cardinality estimates so that selective filters make the
+containing subtree cheap — this is what lets parameter values flip the
+optimal join order (the paper's E4).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.ast import Expression
+from .cardinality import CardinalityEstimator, shared_variables
+from .plans import FilterNode, JoinNode, PlanNode, ScanNode
+
+
+class JoinOrderingError(ValueError):
+    """Raised when a BGP cannot be ordered (e.g. empty pattern list)."""
+
+
+def _build_scan(
+    pattern: TriplePattern, index: int, estimator: CardinalityEstimator
+) -> ScanNode:
+    cardinality = estimator.pattern_cardinality(pattern)
+    scan = ScanNode(pattern, index, cardinality)
+    scan.variable_counts = estimator.variable_counts(pattern, cardinality)
+    return scan
+
+
+def _apply_ready_filters(
+    node: PlanNode,
+    filters: Sequence[Expression],
+    applied: set,
+    estimator: CardinalityEstimator,
+) -> PlanNode:
+    """Wrap ``node`` in FilterNodes for every not-yet-applied ready filter."""
+    bound = set(node.output_variables())
+    for position, expression in enumerate(filters):
+        if position in applied:
+            continue
+        required = set(expression.variables())
+        if required and required <= bound:
+            selectivity = estimator.filter_selectivity(expression)
+            cardinality = node.estimated_cardinality * selectivity
+            filtered = FilterNode(expression, node, cardinality)
+            filtered.variable_counts = {
+                variable: max(1.0, min(count, cardinality)) if cardinality > 0 else 0.0
+                for variable, count in node.variable_counts.items()
+            }
+            node = filtered
+            applied.add(position)
+    return node
+
+
+def lookup_target(node: PlanNode) -> Optional[ScanNode]:
+    """Return the ScanNode at the bottom of a Filter chain, if any.
+
+    Such a right-hand side can be evaluated as an index nested-loop join
+    (probe the permutation indexes once per left row) instead of scanning
+    the whole pattern and hashing it.
+    """
+    while isinstance(node, FilterNode):
+        node = node.child
+    return node if isinstance(node, ScanNode) else None
+
+
+def _join(
+    left: PlanNode,
+    right: PlanNode,
+    estimator: CardinalityEstimator,
+    filters: Sequence[Expression],
+    applied: set,
+) -> PlanNode:
+    join_variables = shared_variables(left.output_variables(), right.output_variables())
+    cardinality, counts = estimator.join_cardinality(
+        left.estimated_cardinality,
+        right.estimated_cardinality,
+        left.variable_counts,
+        right.variable_counts,
+    )
+    if not join_variables:
+        method = JoinNode.NESTED_LOOP
+    elif lookup_target(right) is not None:
+        method = JoinNode.LOOKUP
+    elif lookup_target(left) is not None:
+        # Joins are commutative and Cout is side-agnostic: put the scan on
+        # the right so it can be probed through the index.
+        left, right = right, left
+        method = JoinNode.LOOKUP
+    else:
+        method = JoinNode.HASH
+    join = JoinNode(left, right, join_variables, cardinality, method)
+    join.variable_counts = counts
+    return _apply_ready_filters(join, filters, applied, estimator)
+
+
+def _patterns_connected(
+    left_variables: Tuple[Variable, ...], right_variables: Tuple[Variable, ...]
+) -> bool:
+    return bool(set(left_variables) & set(right_variables))
+
+
+class GreedyOrderer:
+    """Greedy smallest-intermediate-result join ordering."""
+
+    name = "greedy"
+
+    def __init__(self, estimator: CardinalityEstimator):
+        self.estimator = estimator
+
+    def order(
+        self, patterns: Sequence[TriplePattern], filters: Sequence[Expression] = ()
+    ) -> PlanNode:
+        if not patterns:
+            raise JoinOrderingError("cannot order an empty basic graph pattern")
+        applied: set = set()
+        nodes: List[PlanNode] = []
+        for index, pattern in enumerate(patterns):
+            scan = _build_scan(pattern, index, self.estimator)
+            nodes.append(_apply_ready_filters(scan, filters, applied, self.estimator))
+
+        if len(nodes) == 1:
+            return nodes[0]
+
+        # Start from the most selective (smallest) input.
+        nodes.sort(key=lambda node: (node.estimated_cardinality, node.signature()))
+        current = nodes.pop(0)
+        while nodes:
+            best_index: Optional[int] = None
+            best_plan: Optional[PlanNode] = None
+            best_key: Optional[Tuple[float, int, str]] = None
+            for index, candidate in enumerate(nodes):
+                connected = _patterns_connected(current.output_variables(), candidate.output_variables())
+                plan = _join(current, candidate, self.estimator, filters, set(applied))
+                # Prefer connected joins; among them the smallest output.
+                key = (plan.estimated_cardinality, 0 if connected else 1, plan.signature())
+                if best_key is None or (key[1], key[0], key[2]) < (best_key[1], best_key[0], best_key[2]):
+                    best_key = key
+                    best_index = index
+                    best_plan = plan
+            assert best_index is not None and best_plan is not None
+            # Recompute with the shared ``applied`` set so filters are
+            # marked as consumed exactly once.
+            candidate = nodes.pop(best_index)
+            current = _join(current, candidate, self.estimator, filters, applied)
+        return current
+
+
+class DynamicProgrammingOrderer:
+    """Exact DPsub enumeration minimising estimated Cout.
+
+    Cross products are avoided while any connected join is possible, which
+    mirrors standard optimizer behaviour; disconnected BGPs still get a plan
+    (the cheapest cross product is taken at the end).
+    """
+
+    name = "dp"
+
+    def __init__(self, estimator: CardinalityEstimator, max_patterns: int = 12):
+        self.estimator = estimator
+        self.max_patterns = max_patterns
+
+    def order(
+        self, patterns: Sequence[TriplePattern], filters: Sequence[Expression] = ()
+    ) -> PlanNode:
+        if not patterns:
+            raise JoinOrderingError("cannot order an empty basic graph pattern")
+        if len(patterns) > self.max_patterns:
+            return GreedyOrderer(self.estimator).order(patterns, filters)
+
+        # Each DP entry keeps its own "applied filters" set because which
+        # filters have fired depends on which patterns are in the subset.
+        best: Dict[FrozenSet[int], Tuple[float, PlanNode, frozenset]] = {}
+        for index, pattern in enumerate(patterns):
+            applied: set = set()
+            scan = _build_scan(pattern, index, self.estimator)
+            node = _apply_ready_filters(scan, filters, applied, self.estimator)
+            best[frozenset([index])] = (node.estimated_cout(), node, frozenset(applied))
+
+        pattern_count = len(patterns)
+        all_indexes = list(range(pattern_count))
+        for size in range(2, pattern_count + 1):
+            for subset in combinations(all_indexes, size):
+                subset_key = frozenset(subset)
+                best_entry: Optional[Tuple[float, PlanNode, frozenset]] = None
+                found_connected = False
+                # Enumerate proper, non-empty splits of the subset.
+                subset_list = sorted(subset_key)
+                for split_size in range(1, size):
+                    for left_part in combinations(subset_list, split_size):
+                        left_key = frozenset(left_part)
+                        right_key = subset_key - left_key
+                        if left_key not in best or right_key not in best:
+                            continue
+                        # Avoid symmetric duplicates by requiring the smallest
+                        # element to stay on the left.
+                        if min(left_key) != min(subset_key):
+                            continue
+                        _left_cost, left_plan, left_applied = best[left_key]
+                        _right_cost, right_plan, right_applied = best[right_key]
+                        connected = _patterns_connected(
+                            left_plan.output_variables(), right_plan.output_variables()
+                        )
+                        applied = set(left_applied | right_applied)
+                        plan = _join(left_plan, right_plan, self.estimator, filters, applied)
+                        cost = plan.estimated_cout()
+                        candidate = (cost, plan, frozenset(applied))
+                        if connected and not found_connected:
+                            # First connected plan always beats any cross product.
+                            found_connected = True
+                            best_entry = candidate
+                        elif connected == found_connected:
+                            if best_entry is None or (cost, plan.signature()) < (
+                                best_entry[0],
+                                best_entry[1].signature(),
+                            ):
+                                best_entry = candidate
+                        # else: candidate is a cross product but we already
+                        # have a connected plan -> ignore it.
+                if best_entry is not None:
+                    best[subset_key] = best_entry
+
+        full_key = frozenset(all_indexes)
+        if full_key not in best:
+            raise JoinOrderingError("dynamic programming failed to cover all patterns")
+        return best[full_key][1]
+
+
+def make_orderer(name: str, estimator: CardinalityEstimator):
+    """Factory used by the optimizer and the ablation benchmarks."""
+    if name == "dp":
+        return DynamicProgrammingOrderer(estimator)
+    if name == "greedy":
+        return GreedyOrderer(estimator)
+    raise ValueError("unknown join ordering algorithm %r" % name)

@@ -1,0 +1,183 @@
+"""End-to-end query optimizer.
+
+Translates a logical algebra tree into a physical plan: basic graph
+patterns go through join ordering (exact DP by default), the remaining
+algebra operators are mapped one-to-one, and cardinalities are propagated
+so that ``estimated_cout`` is defined for the whole plan.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sparql import algebra
+from ..sparql.ast import Expression
+from ..store.statistics import StoreStatistics
+from .cardinality import CardinalityEstimator
+from .join_ordering import make_orderer
+from .plans import (
+    AggregateNode,
+    DistinctNode,
+    ExtendNode,
+    FilterNode,
+    JoinNode,
+    LeftJoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    SingletonNode,
+    SortNode,
+    UnionNode,
+)
+
+
+class Optimizer:
+    """Builds physical plans that minimise the paper's estimated ``Cout``.
+
+    Parameters
+    ----------
+    statistics:
+        Collected :class:`~repro.store.statistics.StoreStatistics` of the
+        dataset being queried.
+    join_ordering:
+        ``"dp"`` (exact, default) or ``"greedy"``.
+    """
+
+    def __init__(self, statistics: StoreStatistics, join_ordering: str = "dp"):
+        self.statistics = statistics
+        self.estimator = CardinalityEstimator(statistics)
+        self.join_ordering = join_ordering
+        self._orderer = make_orderer(join_ordering, self.estimator)
+
+    # -- public API ---------------------------------------------------------------
+
+    def optimize(self, node: algebra.AlgebraNode) -> PlanNode:
+        """Return the physical plan for a logical algebra tree."""
+        return self._optimize(node, pending_filters=[])
+
+    # -- recursive translation -------------------------------------------------------
+
+    def _optimize(self, node: algebra.AlgebraNode, pending_filters: List[Expression]) -> PlanNode:
+        if isinstance(node, algebra.Filter):
+            # Collect filter conjuncts so they can be pushed into the BGP
+            # below — but only through pattern-combining operators.  Filters
+            # over aggregate or BIND outputs (HAVING) must stay above the
+            # node that introduces those variables.
+            if isinstance(node.child, (algebra.BGP, algebra.Filter, algebra.Join, algebra.LeftJoin, algebra.Union)):
+                return self._optimize(node.child, pending_filters + [node.expression])
+            child = self._optimize(node.child, pending_filters)
+            return self._wrap_filters(child, [node.expression])
+        if isinstance(node, algebra.BGP):
+            return self._optimize_bgp(node, pending_filters)
+        if isinstance(node, algebra.Join):
+            return self._wrap_filters(self._optimize_join(node), pending_filters)
+        if isinstance(node, algebra.LeftJoin):
+            return self._wrap_filters(self._optimize_left_join(node), pending_filters)
+        if isinstance(node, algebra.Union):
+            return self._wrap_filters(self._optimize_union(node), pending_filters)
+        if isinstance(node, algebra.Extend):
+            child = self._optimize(node.child, pending_filters)
+            return ExtendNode(child, node.variable, node.expression)
+        if isinstance(node, algebra.Group):
+            return self._optimize_group(node, pending_filters)
+        if isinstance(node, algebra.OrderBy):
+            child = self._optimize(node.child, pending_filters)
+            return SortNode(child, node.conditions)
+        if isinstance(node, algebra.Project):
+            child = self._optimize(node.child, pending_filters)
+            return ProjectNode(child, node.projected)
+        if isinstance(node, algebra.Distinct):
+            child = self._optimize(node.child, pending_filters)
+            return DistinctNode(child)
+        if isinstance(node, algebra.Slice):
+            child = self._optimize(node.child, pending_filters)
+            return LimitNode(child, node.limit, node.offset)
+        raise TypeError("unsupported algebra node %r" % (node,))
+
+    # -- node-specific handling ---------------------------------------------------------
+
+    def _optimize_bgp(self, node: algebra.BGP, pending_filters: List[Expression]) -> PlanNode:
+        if not node.patterns:
+            # An empty BGP yields exactly one empty solution.
+            return self._wrap_filters(SingletonNode(), pending_filters)
+        plan = self._orderer.order(node.patterns, pending_filters)
+        # Any filter whose variables are still not fully bound (e.g. they
+        # refer to OPTIONAL variables) stays above; the executor treats an
+        # unbound variable in a filter as an error per SPARQL semantics, so
+        # keep only the leftovers that the ordering did not consume.
+        applied_expressions = _collect_filter_expressions(plan)
+        leftovers = [expression for expression in pending_filters if expression not in applied_expressions]
+        return self._wrap_filters(plan, leftovers)
+
+    def _optimize_join(self, node: algebra.Join) -> PlanNode:
+        left = self._optimize(node.left, [])
+        right = self._optimize(node.right, [])
+        from .cardinality import shared_variables
+
+        join_variables = shared_variables(left.output_variables(), right.output_variables())
+        cardinality, counts = self.estimator.join_cardinality(
+            left.estimated_cardinality,
+            right.estimated_cardinality,
+            left.variable_counts,
+            right.variable_counts,
+        )
+        method = JoinNode.HASH if join_variables else JoinNode.NESTED_LOOP
+        join = JoinNode(left, right, join_variables, cardinality, method)
+        join.variable_counts = counts
+        return join
+
+    def _optimize_left_join(self, node: algebra.LeftJoin) -> PlanNode:
+        left = self._optimize(node.left, [])
+        right = self._optimize(node.right, [])
+        cardinality, counts = self.estimator.join_cardinality(
+            left.estimated_cardinality,
+            right.estimated_cardinality,
+            left.variable_counts,
+            right.variable_counts,
+        )
+        # OPTIONAL never reduces the left side below its own cardinality.
+        cardinality = max(cardinality, left.estimated_cardinality)
+        plan = LeftJoinNode(left, right, node.condition, cardinality)
+        plan.variable_counts = counts
+        return plan
+
+    def _optimize_union(self, node: algebra.Union) -> PlanNode:
+        children = [self._optimize(alternative, []) for alternative in node.alternatives]
+        cardinality = sum(child.estimated_cardinality for child in children)
+        plan = UnionNode(children, cardinality)
+        counts = {}
+        for child in children:
+            for variable, count in child.variable_counts.items():
+                counts[variable] = counts.get(variable, 0.0) + count
+        plan.variable_counts = counts
+        return plan
+
+    def _optimize_group(self, node: algebra.Group, pending_filters: List[Expression]) -> PlanNode:
+        child = self._optimize(node.child, pending_filters)
+        if node.group_variables:
+            group_cardinality = 1.0
+            for variable in node.group_variables:
+                group_cardinality *= max(1.0, child.variable_counts.get(variable, child.estimated_cardinality))
+            group_cardinality = min(group_cardinality, child.estimated_cardinality)
+        else:
+            group_cardinality = 1.0
+        return AggregateNode(child, node.group_variables, node.aggregates, max(1.0, group_cardinality))
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _wrap_filters(self, plan: PlanNode, filters: List[Expression]) -> PlanNode:
+        for expression in filters:
+            selectivity = self.estimator.filter_selectivity(expression)
+            plan = FilterNode(expression, plan, plan.estimated_cardinality * selectivity)
+        return plan
+
+
+def _collect_filter_expressions(plan: PlanNode) -> List[Expression]:
+    expressions: List[Expression] = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, FilterNode):
+            expressions.append(node.expression)
+        stack.extend(node.children())
+    return expressions

@@ -1,0 +1,378 @@
+"""Physical plan representation.
+
+A plan is a tree of :class:`PlanNode` objects.  The join-ordering search
+builds the join part of the tree (scans + joins + eagerly applied filters);
+the remaining algebra operators (optional, union, grouping, ordering,
+projection, distinct, slice) are wrapped around it one-to-one.
+
+Two notions matter for the paper:
+
+* ``estimated_cout`` — the paper's cost function ``Cout`` evaluated over the
+  optimizer's *estimated* cardinalities; the optimizer minimises this.
+* ``signature()`` — a canonical string identifying the plan *shape* (which
+  patterns are joined in which order, with which access paths).  The
+  parameter-clustering problem of Section III groups bindings by exactly
+  this signature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.ast import Expression, OrderCondition
+
+
+class PlanNode:
+    """Base class for plan nodes."""
+
+    def __init__(self):
+        self.estimated_cardinality: float = 0.0
+        #: estimated distinct-value counts per variable, used during join ordering
+        self.variable_counts: Dict[Variable, float] = {}
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        return ()
+
+    def output_variables(self) -> Tuple[Variable, ...]:
+        seen: List[Variable] = []
+        for child in self.children():
+            for variable in child.output_variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+    # -- cost -----------------------------------------------------------------
+
+    def estimated_cout(self) -> float:
+        """The paper's Cout over estimated cardinalities.
+
+        Scans contribute 0; every join contributes its (estimated) output
+        cardinality; other operators are transparent, matching the paper's
+        definition which only charges intermediate join results.
+        """
+        total = 0.0
+        for child in self.children():
+            total += child.estimated_cout()
+        return total
+
+    # -- identity ----------------------------------------------------------------
+
+    def signature(self) -> str:
+        """Canonical description of the plan shape (not of its cardinalities)."""
+        raise NotImplementedError
+
+    def pretty(self, indent: int = 0) -> str:
+        """Human-readable multi-line plan rendering."""
+        line = "  " * indent + self.describe()
+        parts = [line]
+        for child in self.children():
+            parts.append(child.pretty(indent + 1))
+        return "\n".join(parts)
+
+    def describe(self) -> str:
+        return self.__class__.__name__
+
+    def __repr__(self) -> str:
+        return "%s(card=%.1f)" % (self.__class__.__name__, self.estimated_cardinality)
+
+
+class ScanNode(PlanNode):
+    """Index scan for a single triple pattern.
+
+    ``pattern_index`` is the position of the pattern in the original BGP —
+    it makes scan signatures stable across bindings of the same template, so
+    that "the same plan with a different constant" yields the same signature.
+    """
+
+    def __init__(self, pattern: TriplePattern, pattern_index: int, cardinality: float):
+        super().__init__()
+        self.pattern = pattern
+        self.pattern_index = pattern_index
+        self.estimated_cardinality = cardinality
+
+    def output_variables(self) -> Tuple[Variable, ...]:
+        return self.pattern.variables()
+
+    def estimated_cout(self) -> float:
+        return 0.0
+
+    def access_path(self) -> str:
+        """Which positions are bound, e.g. ``"s?o"`` for bound s and o."""
+        mask = self.pattern.bound_positions()
+        return "".join(letter if bound else "?" for letter, bound in zip("spo", mask))
+
+    def signature(self) -> str:
+        return "scan[%d:%s]" % (self.pattern_index, self.access_path())
+
+    def describe(self) -> str:
+        return "Scan %s (pattern %d, est. %.0f rows)" % (
+            self.access_path(),
+            self.pattern_index,
+            self.estimated_cardinality,
+        )
+
+
+class SingletonNode(PlanNode):
+    """Produces exactly one empty solution (the result of an empty BGP)."""
+
+    def __init__(self):
+        super().__init__()
+        self.estimated_cardinality = 1.0
+
+    def signature(self) -> str:
+        return "singleton"
+
+    def describe(self) -> str:
+        return "Singleton"
+
+
+class FilterNode(PlanNode):
+    """A filter applied as soon as its variables are bound."""
+
+    def __init__(self, expression: Expression, child: PlanNode, cardinality: float):
+        super().__init__()
+        self.expression = expression
+        self.child = child
+        self.estimated_cardinality = cardinality
+        self.variable_counts = dict(child.variable_counts)
+
+    def children(self):
+        return (self.child,)
+
+    def signature(self) -> str:
+        return "filter(%s)" % self.child.signature()
+
+    def describe(self) -> str:
+        return "Filter (est. %.0f rows)" % self.estimated_cardinality
+
+
+class JoinNode(PlanNode):
+    """Join of two sub-plans on their shared variables.
+
+    Three physical methods exist: ``hash`` (build/probe), ``nestedloop``
+    (cross products) and ``lookup`` — an index nested-loop join whose right
+    side is a triple-pattern scan probed through the permutation indexes for
+    every left row.  ``lookup`` is what RDF engines use for most joins; it
+    makes the executed work proportional to the data actually touched by the
+    parameter binding instead of to the size of the whole relation.
+    """
+
+    HASH = "hash"
+    NESTED_LOOP = "nestedloop"
+    LOOKUP = "lookup"
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        join_variables: Sequence[Variable],
+        cardinality: float,
+        method: str = HASH,
+    ):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.join_variables = list(join_variables)
+        self.estimated_cardinality = cardinality
+        self.method = method
+
+    def children(self):
+        return (self.left, self.right)
+
+    def estimated_cout(self) -> float:
+        return self.estimated_cardinality + self.left.estimated_cout() + self.right.estimated_cout()
+
+    def signature(self) -> str:
+        return "%s(%s,%s)" % (self.method, self.left.signature(), self.right.signature())
+
+    def describe(self) -> str:
+        variables = ", ".join(variable.n3() for variable in self.join_variables) or "cross"
+        label = {self.HASH: "Hash", self.NESTED_LOOP: "NestedLoop", self.LOOKUP: "IndexLookup"}[self.method]
+        return "%sJoin on [%s] (est. %.0f rows)" % (label, variables, self.estimated_cardinality)
+
+
+class LeftJoinNode(PlanNode):
+    """OPTIONAL."""
+
+    def __init__(self, left: PlanNode, right: PlanNode, condition: Optional[Expression], cardinality: float):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.estimated_cardinality = cardinality
+
+    def children(self):
+        return (self.left, self.right)
+
+    def estimated_cout(self) -> float:
+        return self.estimated_cardinality + self.left.estimated_cout() + self.right.estimated_cout()
+
+    def signature(self) -> str:
+        return "leftjoin(%s,%s)" % (self.left.signature(), self.right.signature())
+
+    def describe(self) -> str:
+        return "LeftJoin (est. %.0f rows)" % self.estimated_cardinality
+
+
+class UnionNode(PlanNode):
+    def __init__(self, alternatives: Sequence[PlanNode], cardinality: float):
+        super().__init__()
+        self.alternatives = list(alternatives)
+        self.estimated_cardinality = cardinality
+
+    def children(self):
+        return tuple(self.alternatives)
+
+    def signature(self) -> str:
+        return "union(%s)" % ",".join(child.signature() for child in self.alternatives)
+
+    def describe(self) -> str:
+        return "Union (est. %.0f rows)" % self.estimated_cardinality
+
+
+class ExtendNode(PlanNode):
+    def __init__(self, child: PlanNode, variable: Variable, expression: Expression):
+        super().__init__()
+        self.child = child
+        self.variable = variable
+        self.expression = expression
+        self.estimated_cardinality = child.estimated_cardinality
+
+    def children(self):
+        return (self.child,)
+
+    def output_variables(self) -> Tuple[Variable, ...]:
+        base = list(self.child.output_variables())
+        if self.variable not in base:
+            base.append(self.variable)
+        return tuple(base)
+
+    def signature(self) -> str:
+        return "extend(%s)" % self.child.signature()
+
+    def describe(self) -> str:
+        return "Extend %s" % self.variable.n3()
+
+
+class AggregateNode(PlanNode):
+    def __init__(self, child: PlanNode, group_variables, aggregates, cardinality: float):
+        super().__init__()
+        self.child = child
+        self.group_variables = list(group_variables)
+        self.aggregates = list(aggregates)
+        self.estimated_cardinality = cardinality
+
+    def children(self):
+        return (self.child,)
+
+    def output_variables(self) -> Tuple[Variable, ...]:
+        result = list(self.group_variables)
+        for variable, _aggregate in self.aggregates:
+            if variable not in result:
+                result.append(variable)
+        return tuple(result)
+
+    def signature(self) -> str:
+        return "aggregate(%s)" % self.child.signature()
+
+    def describe(self) -> str:
+        return "Aggregate by [%s] (est. %.0f groups)" % (
+            ", ".join(variable.n3() for variable in self.group_variables),
+            self.estimated_cardinality,
+        )
+
+
+class SortNode(PlanNode):
+    def __init__(self, child: PlanNode, conditions: Sequence[OrderCondition]):
+        super().__init__()
+        self.child = child
+        self.conditions = list(conditions)
+        self.estimated_cardinality = child.estimated_cardinality
+
+    def children(self):
+        return (self.child,)
+
+    def signature(self) -> str:
+        return "sort(%s)" % self.child.signature()
+
+    def describe(self) -> str:
+        return "Sort (%d keys)" % len(self.conditions)
+
+
+class ProjectNode(PlanNode):
+    def __init__(self, child: PlanNode, variables: Sequence[Variable]):
+        super().__init__()
+        self.child = child
+        self.projected = list(variables)
+        self.estimated_cardinality = child.estimated_cardinality
+
+    def children(self):
+        return (self.child,)
+
+    def output_variables(self) -> Tuple[Variable, ...]:
+        return tuple(self.projected)
+
+    def signature(self) -> str:
+        return "project(%s)" % self.child.signature()
+
+    def describe(self) -> str:
+        return "Project [%s]" % ", ".join(variable.n3() for variable in self.projected)
+
+
+class DistinctNode(PlanNode):
+    def __init__(self, child: PlanNode):
+        super().__init__()
+        self.child = child
+        self.estimated_cardinality = child.estimated_cardinality
+
+    def children(self):
+        return (self.child,)
+
+    def signature(self) -> str:
+        return "distinct(%s)" % self.child.signature()
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class LimitNode(PlanNode):
+    def __init__(self, child: PlanNode, limit: Optional[int], offset: int = 0):
+        super().__init__()
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        if limit is not None:
+            self.estimated_cardinality = min(child.estimated_cardinality, limit)
+        else:
+            self.estimated_cardinality = child.estimated_cardinality
+
+    def children(self):
+        return (self.child,)
+
+    def signature(self) -> str:
+        return "limit(%s)" % self.child.signature()
+
+    def describe(self) -> str:
+        return "Limit %r offset %d" % (self.limit, self.offset)
+
+
+def join_tree_signature(node: PlanNode) -> str:
+    """Signature of only the join part of the plan.
+
+    Strips the solution modifiers that are identical for every binding of a
+    template, so that classification focuses on the join order — the part of
+    the plan the paper's condition (a) is about.
+    """
+    while isinstance(node, (ProjectNode, DistinctNode, LimitNode, SortNode, ExtendNode, AggregateNode)):
+        node = node.child
+    return node.signature()
+
+
+def collect_nodes(node: PlanNode) -> List[PlanNode]:
+    """Flatten the plan tree in pre-order (used by tests and reporting)."""
+    result = [node]
+    for child in node.children():
+        result.extend(collect_nodes(child))
+    return result

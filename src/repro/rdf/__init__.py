@@ -1,0 +1,60 @@
+"""RDF data model substrate: terms, triples, namespaces, graphs, N-Triples."""
+
+from .dictionary import TermDictionary
+from .graph import Graph
+from .namespaces import (
+    BSBM,
+    BSBM_INST,
+    DEFAULT_PREFIXES,
+    FOAF,
+    Namespace,
+    RDF,
+    RDFS,
+    RDF_TYPE,
+    RDFS_LABEL,
+    RDFS_SUBCLASS_OF,
+    SNB,
+    SNB_INST,
+    XSD,
+    expand_qname,
+)
+from .terms import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    Variable,
+    date_literal,
+    datetime_literal,
+    typed_literal,
+)
+from .triples import Triple, TriplePattern
+
+__all__ = [
+    "BNode",
+    "BSBM",
+    "BSBM_INST",
+    "DEFAULT_PREFIXES",
+    "FOAF",
+    "Graph",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "RDF_TYPE",
+    "RDFS_LABEL",
+    "RDFS_SUBCLASS_OF",
+    "SNB",
+    "SNB_INST",
+    "Term",
+    "TermDictionary",
+    "Triple",
+    "TriplePattern",
+    "Variable",
+    "XSD",
+    "date_literal",
+    "datetime_literal",
+    "expand_qname",
+    "typed_literal",
+]

@@ -1,0 +1,71 @@
+"""Dictionary encoding of RDF terms.
+
+Triple stores almost universally map terms to dense integer identifiers and
+store triples as integer tuples; the indexes, statistics and the join
+operators in this library all work on identifiers.  :class:`TermDictionary`
+provides the bidirectional mapping.
+
+Identifiers are assigned in insertion order starting at 0, which keeps the
+encoding deterministic for a deterministic data generator — a property the
+test suite and the experiment harness rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .terms import Term
+
+
+class TermDictionary:
+    """Bidirectional mapping between :class:`Term` objects and integer ids."""
+
+    def __init__(self):
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def encode(self, term: Term) -> int:
+        """Return the id of ``term``, assigning a fresh one if necessary."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = len(self._id_to_term)
+            self._term_to_id[term] = term_id
+            self._id_to_term.append(term)
+        return term_id
+
+    def encode_many(self, terms: Iterable[Term]) -> List[int]:
+        """Encode an iterable of terms, assigning fresh ids where needed."""
+        return [self.encode(term) for term in terms]
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """Return the id of ``term`` or ``None`` if it has never been seen.
+
+        Unlike :meth:`encode` this never mutates the dictionary, which makes
+        it the right call for query-time constant lookup: an unknown constant
+        means an empty result, not a new dictionary entry.
+        """
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """Return the term for an id; raises ``KeyError`` for unknown ids."""
+        if 0 <= term_id < len(self._id_to_term):
+            return self._id_to_term[term_id]
+        raise KeyError("unknown term id %r" % term_id)
+
+    def decode_many(self, term_ids: Iterable[int]) -> List[Term]:
+        return [self.decode(term_id) for term_id in term_ids]
+
+    def terms(self) -> Iterator[Term]:
+        """Iterate over all terms in id order."""
+        return iter(self._id_to_term)
+
+    def items(self) -> Iterator[tuple]:
+        """Iterate over ``(term, id)`` pairs in id order."""
+        for term_id, term in enumerate(self._id_to_term):
+            yield term, term_id

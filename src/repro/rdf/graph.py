@@ -1,0 +1,120 @@
+"""User-facing graph container.
+
+:class:`Graph` is the object the data generators fill and the query engine
+consumes.  It wraps a :class:`~repro.store.triple_store.TripleStore` and adds
+small conveniences: triple construction from raw terms, namespace-aware
+serialisation and value lookups used by the parameter-domain miner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set
+
+from ..store.triple_store import TripleStore
+from .terms import IRI, Literal, Term, Variable
+from .triples import Triple, TriplePattern
+
+
+class Graph:
+    """A mutable RDF graph backed by the dictionary-encoded triple store."""
+
+    def __init__(self, store: Optional[TripleStore] = None):
+        self.store = store if store is not None else TripleStore()
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, subject: Term, predicate: Term, object: Term) -> None:
+        """Add a single statement built from three concrete terms."""
+        self.store.add(Triple(subject, predicate, object))
+
+    def add_triple(self, triple: Triple) -> None:
+        self.store.add(triple)
+
+    def add_all(self, triples: Iterable[Triple]) -> None:
+        self.store.add_many(triples)
+
+    def finalise(self) -> None:
+        """Flush staged triples into the store indexes."""
+        self.store.finalise()
+
+    # -- access -------------------------------------------------------------
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self.store.contains(triple)
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the given constants (None = wildcard)."""
+        pattern = TriplePattern(
+            subject if subject is not None else Variable("s"),
+            predicate if predicate is not None else Variable("p"),
+            object if object is not None else Variable("o"),
+        )
+        return self.store.triples(pattern)
+
+    def subjects(self, predicate: Optional[Term] = None, object: Optional[Term] = None) -> List[Term]:
+        """Distinct subjects of triples matching ``predicate`` / ``object``."""
+        seen: Set[Term] = set()
+        ordered: List[Term] = []
+        for triple in self.triples(None, predicate, object):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                ordered.append(triple.subject)
+        return ordered
+
+    def objects(self, subject: Optional[Term] = None, predicate: Optional[Term] = None) -> List[Term]:
+        """Distinct objects of triples matching ``subject`` / ``predicate``."""
+        seen: Set[Term] = set()
+        ordered: List[Term] = []
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                ordered.append(triple.object)
+        return ordered
+
+    def value(self, subject: Term, predicate: Term) -> Optional[Term]:
+        """Return the first object of ``(subject, predicate, ?)`` or None."""
+        for triple in self.triples(subject, predicate, None):
+            return triple.object
+        return None
+
+    def predicates(self) -> List[Term]:
+        """Distinct predicates occurring in the graph."""
+        seen: Set[Term] = set()
+        ordered: List[Term] = []
+        for triple in self.triples():
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                ordered.append(triple.predicate)
+        return ordered
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_ntriples(self) -> str:
+        """Serialise the graph in N-Triples syntax (sorted, deterministic)."""
+        lines = sorted(triple.n3() for triple in self.triples())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "Graph":
+        graph = cls()
+        graph.add_all(triples)
+        graph.finalise()
+        return graph
+
+
+def literal_values(graph: Graph, predicate: Term) -> List[Literal]:
+    """All literal objects of a predicate (helper for domain mining)."""
+    return [term for term in graph.objects(None, predicate) if isinstance(term, Literal)]
+
+
+def iri_values(graph: Graph, predicate: Term) -> List[IRI]:
+    """All IRI objects of a predicate (helper for domain mining)."""
+    return [term for term in graph.objects(None, predicate) if isinstance(term, IRI)]

@@ -1,0 +1,87 @@
+"""Namespace helpers and the vocabularies used by the generators and queries."""
+
+from __future__ import annotations
+
+from .terms import IRI
+
+
+class Namespace:
+    """A convenience factory for IRIs sharing a common prefix.
+
+    ``Namespace("http://example.org/")["thing"]`` and
+    ``Namespace("http://example.org/").thing`` both yield
+    ``IRI("http://example.org/thing")``.
+    """
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self.prefix = prefix
+
+    def term(self, local_name: str) -> IRI:
+        return IRI(self.prefix + local_name)
+
+    def __getitem__(self, local_name: str) -> IRI:
+        return self.term(local_name)
+
+    def __getattr__(self, local_name: str) -> IRI:
+        if local_name.startswith("_"):
+            raise AttributeError(local_name)
+        return self.term(local_name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.prefix)
+
+    def local_name(self, iri: IRI) -> str:
+        """Strip the namespace prefix from an IRI inside this namespace."""
+        if iri not in self:
+            raise ValueError("%r is not in namespace %r" % (iri, self.prefix))
+        return iri.value[len(self.prefix):]
+
+    def __repr__(self) -> str:
+        return "Namespace(%r)" % self.prefix
+
+
+# Standard vocabularies -------------------------------------------------------
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+
+#: rdf:type, frequently needed.
+RDF_TYPE = RDF["type"]
+RDFS_SUBCLASS_OF = RDFS["subClassOf"]
+RDFS_LABEL = RDFS["label"]
+
+# Benchmark vocabularies -------------------------------------------------------
+
+#: BSBM-like vocabulary (mirrors the Berlin SPARQL Benchmark structure).
+BSBM = Namespace("http://bsbm.example.org/vocabulary/")
+BSBM_INST = Namespace("http://bsbm.example.org/instances/")
+
+#: LDBC SNB-like vocabulary (mirrors the Social Network Benchmark structure).
+SNB = Namespace("http://ldbc.example.org/vocabulary/")
+SNB_INST = Namespace("http://ldbc.example.org/instances/")
+
+#: Default prefix table used by the SPARQL parser when none are declared.
+DEFAULT_PREFIXES = {
+    "rdf": RDF.prefix,
+    "rdfs": RDFS.prefix,
+    "xsd": XSD.prefix,
+    "foaf": FOAF.prefix,
+    "bsbm": BSBM.prefix,
+    "bsbm-inst": BSBM_INST.prefix,
+    "sn": SNB.prefix,
+    "sn-inst": SNB_INST.prefix,
+}
+
+
+def expand_qname(qname: str, prefixes: dict) -> IRI:
+    """Expand a ``prefix:local`` qualified name using a prefix table."""
+    if ":" not in qname:
+        raise ValueError("not a qualified name: %r" % qname)
+    prefix, local = qname.split(":", 1)
+    if prefix not in prefixes:
+        raise KeyError("unknown prefix %r in %r" % (prefix, qname))
+    return IRI(prefixes[prefix] + local)

@@ -1,0 +1,179 @@
+"""Minimal N-Triples serialisation and parsing.
+
+Only the subset needed to persist generated datasets and reload them in
+tests is supported: IRIs, blank nodes, plain / language-tagged / typed
+literals with the usual escape sequences.  Lines starting with ``#`` and
+blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from .terms import BNode, IRI, Literal, Term
+from .triples import Triple
+
+
+class NTriplesError(ValueError):
+    """Raised when a line cannot be parsed as an N-Triples statement."""
+
+
+def serialize_triple(triple: Triple) -> str:
+    """Serialise a single triple as one N-Triples line (without newline)."""
+    return triple.n3()
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialise an iterable of triples to an N-Triples document."""
+    lines = [serialize_triple(triple) for triple in triples]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write(triples: Iterable[Triple], output: TextIO) -> int:
+    """Write triples to a text stream; returns the number of lines written."""
+    count = 0
+    for triple in triples:
+        output.write(serialize_triple(triple))
+        output.write("\n")
+        count += 1
+    return count
+
+
+# -- parsing --------------------------------------------------------------------
+
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n", "r": "\r", "t": "\t"}
+
+
+class _LineParser:
+    """Character-level parser for one N-Triples line."""
+
+    def __init__(self, line: str):
+        self.line = line
+        self.position = 0
+
+    def error(self, message: str) -> NTriplesError:
+        return NTriplesError("%s at column %d in %r" % (message, self.position, self.line))
+
+    def skip_whitespace(self) -> None:
+        while self.position < len(self.line) and self.line[self.position] in " \t":
+            self.position += 1
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.line)
+
+    def peek(self) -> str:
+        return self.line[self.position] if not self.at_end() else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error("expected %r" % char)
+        self.position += 1
+
+    def parse_iri(self) -> IRI:
+        self.expect("<")
+        end = self.line.find(">", self.position)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        value = self.line[self.position:end]
+        self.position = end + 1
+        return IRI(value)
+
+    def parse_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.position
+        while not self.at_end() and not self.line[self.position].isspace():
+            self.position += 1
+        label = self.line[start:self.position]
+        if not label:
+            raise self.error("empty blank node label")
+        return BNode(label)
+
+    def parse_literal(self) -> Literal:
+        self.expect('"')
+        chars: List[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated literal")
+            char = self.line[self.position]
+            self.position += 1
+            if char == "\\":
+                if self.at_end():
+                    raise self.error("dangling escape")
+                escape = self.line[self.position]
+                self.position += 1
+                if escape == "u":
+                    hex_digits = self.line[self.position:self.position + 4]
+                    if len(hex_digits) != 4:
+                        raise self.error("bad unicode escape")
+                    chars.append(chr(int(hex_digits, 16)))
+                    self.position += 4
+                elif escape in _ESCAPES:
+                    chars.append(_ESCAPES[escape])
+                else:
+                    raise self.error("unknown escape \\%s" % escape)
+            elif char == '"':
+                break
+            else:
+                chars.append(char)
+        lexical = "".join(chars)
+        if self.peek() == "@":
+            self.position += 1
+            start = self.position
+            while not self.at_end() and (self.line[self.position].isalnum() or self.line[self.position] == "-"):
+                self.position += 1
+            language = self.line[start:self.position]
+            if not language:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=language)
+        if self.line[self.position:self.position + 2] == "^^":
+            self.position += 2
+            datatype = self.parse_iri()
+            return Literal(lexical, datatype=datatype)
+        return Literal(lexical)
+
+    def parse_term(self, allow_literal: bool) -> Term:
+        char = self.peek()
+        if char == "<":
+            return self.parse_iri()
+        if char == "_":
+            return self.parse_bnode()
+        if char == '"':
+            if not allow_literal:
+                raise self.error("literal not allowed in this position")
+            return self.parse_literal()
+        raise self.error("unexpected character %r" % char)
+
+    def parse_triple(self) -> Triple:
+        self.skip_whitespace()
+        subject = self.parse_term(allow_literal=False)
+        self.skip_whitespace()
+        predicate = self.parse_term(allow_literal=False)
+        if not isinstance(predicate, IRI):
+            raise self.error("predicate must be an IRI")
+        self.skip_whitespace()
+        object_ = self.parse_term(allow_literal=True)
+        self.skip_whitespace()
+        self.expect(".")
+        self.skip_whitespace()
+        if not self.at_end():
+            raise self.error("trailing characters after '.'")
+        return Triple(subject, predicate, object_)
+
+
+def parse_line(line: str) -> Triple:
+    """Parse one N-Triples line into a :class:`Triple`."""
+    return _LineParser(line).parse_triple()
+
+
+def parse(document: Union[str, Iterable[str]]) -> Iterator[Triple]:
+    """Parse an N-Triples document (string or iterable of lines)."""
+    lines = document.splitlines() if isinstance(document, str) else document
+    for number, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            yield parse_line(line)
+        except NTriplesError as error:
+            raise NTriplesError("line %d: %s" % (number, error)) from error

@@ -1,0 +1,319 @@
+"""RDF term model.
+
+The term classes mirror the RDF 1.1 abstract syntax: IRIs, literals (plain,
+language-tagged and datatyped) and blank nodes.  ``Variable`` is added for
+query patterns.  All terms are immutable, hashable and totally ordered so
+they can be used as dictionary keys and sorted deterministically inside the
+store indexes.
+
+The ordering is *term-kind first* (blank nodes < IRIs < literals <
+variables), then lexicographic within a kind.  Typed numeric literals
+additionally expose a ``value`` property used by the query engine for
+arithmetic and comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+
+class Term:
+    """Base class for all RDF terms.
+
+    Subclasses set ``_sort_rank`` to obtain a total order across kinds.
+    """
+
+    __slots__ = ()
+    _sort_rank = 0
+
+    def sort_key(self):
+        """Return a tuple usable for deterministic cross-kind ordering."""
+        return (self._sort_rank, self._local_key())
+
+    def _local_key(self):
+        raise NotImplementedError
+
+    def n3(self) -> str:
+        """Return the N-Triples / SPARQL surface form of the term."""
+        raise NotImplementedError
+
+    def is_concrete(self) -> bool:
+        """Return True when the term may appear in data (not a variable)."""
+        return True
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+class BNode(Term):
+    """A blank node identified by a local label."""
+
+    __slots__ = ("label",)
+    _sort_rank = 0
+
+    def __init__(self, label: str):
+        if not label:
+            raise ValueError("blank node label must be non-empty")
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("BNode is immutable")
+
+    def _local_key(self):
+        return (self.label,)
+
+    def n3(self) -> str:
+        return "_:%s" % self.label
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BNode) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash(("BNode", self.label))
+
+    def __repr__(self) -> str:
+        return "BNode(%r)" % self.label
+
+
+class IRI(Term):
+    """An IRI reference."""
+
+    __slots__ = ("value",)
+    _sort_rank = 1
+
+    def __init__(self, value: str):
+        if not value:
+            raise ValueError("IRI must be non-empty")
+        if any(ch in value for ch in "<>\" {}|\\^`\n\r\t"):
+            raise ValueError("IRI contains characters that must be escaped: %r" % value)
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("IRI is immutable")
+
+    def _local_key(self):
+        return (self.value,)
+
+    def n3(self) -> str:
+        return "<%s>" % self.value
+
+    def local_name(self) -> str:
+        """Return the fragment or last path segment of the IRI."""
+        value = self.value
+        if "#" in value:
+            return value.rsplit("#", 1)[1]
+        return value.rstrip("/").rsplit("/", 1)[-1]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IRI) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("IRI", self.value))
+
+    def __repr__(self) -> str:
+        return "IRI(%r)" % self.value
+
+
+#: XSD datatype IRIs that the engine treats as numeric.
+_NUMERIC_DATATYPES = frozenset(
+    [
+        "http://www.w3.org/2001/XMLSchema#integer",
+        "http://www.w3.org/2001/XMLSchema#int",
+        "http://www.w3.org/2001/XMLSchema#long",
+        "http://www.w3.org/2001/XMLSchema#decimal",
+        "http://www.w3.org/2001/XMLSchema#double",
+        "http://www.w3.org/2001/XMLSchema#float",
+        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger",
+    ]
+)
+
+_INTEGER_DATATYPES = frozenset(
+    [
+        "http://www.w3.org/2001/XMLSchema#integer",
+        "http://www.w3.org/2001/XMLSchema#int",
+        "http://www.w3.org/2001/XMLSchema#long",
+        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger",
+    ]
+)
+
+_DATE_DATATYPES = frozenset(
+    [
+        "http://www.w3.org/2001/XMLSchema#date",
+        "http://www.w3.org/2001/XMLSchema#dateTime",
+    ]
+)
+
+_BOOLEAN_DATATYPE = "http://www.w3.org/2001/XMLSchema#boolean"
+
+
+class Literal(Term):
+    """An RDF literal: lexical form plus optional language tag or datatype."""
+
+    __slots__ = ("lexical", "language", "datatype")
+    _sort_rank = 2
+
+    def __init__(
+        self,
+        lexical: str,
+        language: Optional[str] = None,
+        datatype: Optional[IRI] = None,
+    ):
+        if language is not None and datatype is not None:
+            raise ValueError("a literal cannot have both a language tag and a datatype")
+        object.__setattr__(self, "lexical", str(lexical))
+        object.__setattr__(self, "language", language.lower() if language else None)
+        object.__setattr__(self, "datatype", datatype)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Literal is immutable")
+
+    # -- value space -------------------------------------------------------
+
+    def is_numeric(self) -> bool:
+        return self.datatype is not None and self.datatype.value in _NUMERIC_DATATYPES
+
+    def is_boolean(self) -> bool:
+        return self.datatype is not None and self.datatype.value == _BOOLEAN_DATATYPE
+
+    def is_temporal(self) -> bool:
+        return self.datatype is not None and self.datatype.value in _DATE_DATATYPES
+
+    @property
+    def value(self) -> Union[int, float, bool, str]:
+        """Return the typed Python value of the literal.
+
+        Numeric literals map to int/float, booleans to bool, everything else
+        (including dates, which compare correctly as ISO strings) to str.
+        """
+        if self.is_numeric():
+            if self.datatype.value in _INTEGER_DATATYPES:
+                return int(self.lexical)
+            return float(self.lexical)
+        if self.is_boolean():
+            return self.lexical.strip().lower() in ("true", "1")
+        return self.lexical
+
+    # -- ordering / identity -------------------------------------------------
+
+    def _local_key(self):
+        # Numeric literals sort by value so ORDER BY over prices behaves
+        # naturally; everything else sorts lexically.
+        if self.is_numeric():
+            return (0, float(self.lexical), self.lexical)
+        return (
+            1,
+            self.lexical,
+            self.language or "",
+            self.datatype.value if self.datatype else "",
+        )
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        base = '"%s"' % escaped
+        if self.language:
+            return "%s@%s" % (base, self.language)
+        if self.datatype is not None:
+            return "%s^^%s" % (base, self.datatype.n3())
+        return base
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.lexical == self.lexical
+            and other.language == self.language
+            and other.datatype == self.datatype
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.lexical, self.language, self.datatype))
+
+    def __repr__(self) -> str:
+        if self.language:
+            return "Literal(%r, language=%r)" % (self.lexical, self.language)
+        if self.datatype:
+            return "Literal(%r, datatype=%r)" % (self.lexical, self.datatype.value)
+        return "Literal(%r)" % self.lexical
+
+
+class Variable(Term):
+    """A query variable (``?name``)."""
+
+    __slots__ = ("name",)
+    _sort_rank = 3
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        if name.startswith("?") or name.startswith("$"):
+            name = name[1:]
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Variable is immutable")
+
+    def _local_key(self):
+        return (self.name,)
+
+    def n3(self) -> str:
+        return "?%s" % self.name
+
+    def is_concrete(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __repr__(self) -> str:
+        return "Variable(%r)" % self.name
+
+
+# -- convenience constructors -------------------------------------------------
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+def typed_literal(value: Union[int, float, bool, str]) -> Literal:
+    """Build a literal whose datatype matches the Python type of ``value``."""
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=IRI(_XSD + "boolean"))
+    if isinstance(value, int):
+        return Literal(str(value), datatype=IRI(_XSD + "integer"))
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=IRI(_XSD + "double"))
+    return Literal(str(value))
+
+
+def date_literal(iso_date: str) -> Literal:
+    """Build an ``xsd:date`` literal from an ISO formatted string."""
+    return Literal(iso_date, datatype=IRI(_XSD + "date"))
+
+
+def datetime_literal(iso_datetime: str) -> Literal:
+    """Build an ``xsd:dateTime`` literal from an ISO formatted string."""
+    return Literal(iso_datetime, datatype=IRI(_XSD + "dateTime"))

@@ -1,0 +1,141 @@
+"""Triples and triple patterns.
+
+A :class:`Triple` is a concrete statement (no variables).  A
+:class:`TriplePattern` may contain variables in any position and is the
+building block of basic graph patterns in queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .terms import Term, Variable
+
+
+class Triple:
+    """A concrete RDF statement ``(subject, predicate, object)``."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: Term, predicate: Term, object: Term):
+        for position, term in (("subject", subject), ("predicate", predicate), ("object", object)):
+            if not isinstance(term, Term):
+                raise TypeError("%s must be a Term, got %r" % (position, term))
+            if isinstance(term, Variable):
+                raise TypeError("a Triple cannot contain variables (%s)" % position)
+        super().__setattr__("subject", subject)
+        super().__setattr__("predicate", predicate)
+        super().__setattr__("object", object)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Triple is immutable")
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter((self.subject, self.predicate, self.object))
+
+    def as_tuple(self) -> Tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    def n3(self) -> str:
+        return "%s %s %s ." % (self.subject.n3(), self.predicate.n3(), self.object.n3())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Triple)
+            and other.subject == self.subject
+            and other.predicate == self.predicate
+            and other.object == self.object
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:
+        return "Triple(%r, %r, %r)" % (self.subject, self.predicate, self.object)
+
+
+class TriplePattern:
+    """A triple pattern: any position may be a :class:`Variable`."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: Term, predicate: Term, object: Term):
+        for position, term in (("subject", subject), ("predicate", predicate), ("object", object)):
+            if not isinstance(term, Term):
+                raise TypeError("%s must be a Term, got %r" % (position, term))
+        super().__setattr__("subject", subject)
+        super().__setattr__("predicate", predicate)
+        super().__setattr__("object", object)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("TriplePattern is immutable")
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter((self.subject, self.predicate, self.object))
+
+    def as_tuple(self) -> Tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Return the distinct variables of the pattern in position order."""
+        seen = []
+        for term in self:
+            if isinstance(term, Variable) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def is_concrete(self) -> bool:
+        """Return True when the pattern contains no variables."""
+        return not self.variables()
+
+    def bound_positions(self) -> Tuple[bool, bool, bool]:
+        """Return a (subject, predicate, object) tuple of "is constant" flags."""
+        return tuple(not isinstance(term, Variable) for term in self)
+
+    def substitute(self, bindings: dict) -> "TriplePattern":
+        """Return a copy with variables replaced according to ``bindings``.
+
+        Variables missing from ``bindings`` are left in place, so partial
+        substitution (e.g. template parameter instantiation) is supported.
+        """
+        def replace(term: Term) -> Term:
+            if isinstance(term, Variable) and term in bindings:
+                return bindings[term]
+            return term
+
+        return TriplePattern(replace(self.subject), replace(self.predicate), replace(self.object))
+
+    def matches(self, triple: Triple, bindings: Optional[dict] = None) -> Optional[dict]:
+        """Match the pattern against a concrete triple.
+
+        Returns the (possibly extended) binding dict on success, or ``None``
+        when the triple does not match under the given bindings.
+        """
+        result = dict(bindings) if bindings else {}
+        for pattern_term, data_term in zip(self, triple):
+            if isinstance(pattern_term, Variable):
+                bound = result.get(pattern_term)
+                if bound is None:
+                    result[pattern_term] = data_term
+                elif bound != data_term:
+                    return None
+            elif pattern_term != data_term:
+                return None
+        return result
+
+    def n3(self) -> str:
+        return "%s %s %s ." % (self.subject.n3(), self.predicate.n3(), self.object.n3())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TriplePattern)
+            and other.subject == self.subject
+            and other.predicate == self.predicate
+            and other.object == self.object
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TriplePattern", self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:
+        return "TriplePattern(%r, %r, %r)" % (self.subject, self.predicate, self.object)

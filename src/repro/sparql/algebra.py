@@ -1,0 +1,292 @@
+"""Logical algebra for the SPARQL subset.
+
+The translation follows the SPARQL algebra: basic graph patterns become
+:class:`BGP` nodes, OPTIONAL becomes :class:`LeftJoin`, UNION becomes
+:class:`Union`, filters become :class:`Filter`, and the solution modifiers
+(grouping, ordering, projection, distinct, slicing) wrap the pattern tree.
+The optimizer only reorders joins inside :class:`BGP` nodes; everything else
+is evaluated as written.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from .ast import (
+    AggregateExpression,
+    Expression,
+    GroupGraphPattern,
+    OrderCondition,
+    Projection,
+    SelectQuery,
+    TermExpression,
+)
+
+
+class AlgebraNode:
+    """Base class of all logical algebra nodes."""
+
+    def children(self) -> Tuple["AlgebraNode", ...]:
+        return ()
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Variables guaranteed (or possibly, for optionals) bound below."""
+        seen: List[Variable] = []
+        for child in self.children():
+            for variable in child.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+
+class BGP(AlgebraNode):
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    def __init__(self, patterns: Sequence[TriplePattern]):
+        self.patterns = list(patterns)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: List[Variable] = []
+        for pattern in self.patterns:
+            for variable in pattern.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return "BGP(%d patterns)" % len(self.patterns)
+
+
+class Join(AlgebraNode):
+    """Inner join of two sub-patterns on their shared variables."""
+
+    def __init__(self, left: AlgebraNode, right: AlgebraNode):
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return "Join(%r, %r)" % (self.left, self.right)
+
+
+class LeftJoin(AlgebraNode):
+    """OPTIONAL: keep all left solutions, extend with right when possible."""
+
+    def __init__(self, left: AlgebraNode, right: AlgebraNode, condition: Optional[Expression] = None):
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return "LeftJoin(%r, %r)" % (self.left, self.right)
+
+
+class Union(AlgebraNode):
+    """UNION of alternative sub-patterns."""
+
+    def __init__(self, alternatives: Sequence[AlgebraNode]):
+        if len(alternatives) < 2:
+            raise ValueError("Union requires at least two alternatives")
+        self.alternatives = list(alternatives)
+
+    def children(self):
+        return tuple(self.alternatives)
+
+    def __repr__(self) -> str:
+        return "Union(%d alternatives)" % len(self.alternatives)
+
+
+class Filter(AlgebraNode):
+    """Filter solutions by a boolean expression."""
+
+    def __init__(self, expression: Expression, child: AlgebraNode):
+        self.expression = expression
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return "Filter(%r)" % (self.expression,)
+
+
+class Extend(AlgebraNode):
+    """Bind a new variable to the value of an expression."""
+
+    def __init__(self, child: AlgebraNode, variable: Variable, expression: Expression):
+        self.child = child
+        self.variable = variable
+        self.expression = expression
+
+    def children(self):
+        return (self.child,)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        base = list(super().variables())
+        if self.variable not in base:
+            base.append(self.variable)
+        return tuple(base)
+
+    def __repr__(self) -> str:
+        return "Extend(%r)" % (self.variable,)
+
+
+class Group(AlgebraNode):
+    """GROUP BY with aggregate bindings.
+
+    ``aggregates`` is a list of (output variable, AggregateExpression).
+    """
+
+    def __init__(
+        self,
+        child: AlgebraNode,
+        group_variables: Sequence[Variable],
+        aggregates: Sequence[Tuple[Variable, AggregateExpression]],
+    ):
+        self.child = child
+        self.group_variables = list(group_variables)
+        self.aggregates = list(aggregates)
+
+    def children(self):
+        return (self.child,)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        result = list(self.group_variables)
+        for variable, _aggregate in self.aggregates:
+            if variable not in result:
+                result.append(variable)
+        return tuple(result)
+
+    def __repr__(self) -> str:
+        return "Group(by=%r, aggregates=%d)" % (self.group_variables, len(self.aggregates))
+
+
+class OrderBy(AlgebraNode):
+    def __init__(self, child: AlgebraNode, conditions: Sequence[OrderCondition]):
+        self.child = child
+        self.conditions = list(conditions)
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return "OrderBy(%d conditions)" % len(self.conditions)
+
+
+class Project(AlgebraNode):
+    def __init__(self, child: AlgebraNode, variables: Sequence[Variable]):
+        self.child = child
+        self.projected = list(variables)
+
+    def children(self):
+        return (self.child,)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(self.projected)
+
+    def __repr__(self) -> str:
+        return "Project(%r)" % (self.projected,)
+
+
+class Distinct(AlgebraNode):
+    def __init__(self, child: AlgebraNode):
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return "Distinct()"
+
+
+class Slice(AlgebraNode):
+    def __init__(self, child: AlgebraNode, limit: Optional[int], offset: Optional[int]):
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return "Slice(limit=%r, offset=%r)" % (self.limit, self.offset)
+
+
+# -- translation -------------------------------------------------------------------
+
+
+def translate_pattern(group: GroupGraphPattern) -> AlgebraNode:
+    """Translate a group graph pattern to an algebra tree."""
+    node: Optional[AlgebraNode] = None
+    if group.patterns:
+        node = BGP(group.patterns)
+
+    for alternatives in group.unions:
+        union_node: AlgebraNode = Union([translate_pattern(alternative) for alternative in alternatives])
+        node = union_node if node is None else Join(node, union_node)
+
+    if node is None:
+        node = BGP([])
+
+    for optional in group.optionals:
+        node = LeftJoin(node, translate_pattern(optional))
+
+    for expression in group.filters:
+        node = Filter(expression, node)
+
+    return node
+
+
+def translate_query(query: SelectQuery) -> AlgebraNode:
+    """Translate a parsed SELECT query into a logical algebra tree."""
+    node = translate_pattern(query.where)
+
+    aggregates: List[Tuple[Variable, AggregateExpression]] = []
+    plain_extends: List[Projection] = []
+    if not query.is_select_all():
+        for projection in query.projections:
+            if isinstance(projection.expression, AggregateExpression):
+                aggregates.append((projection.variable, projection.expression))
+            elif projection.expression is not None:
+                plain_extends.append(projection)
+
+    if query.group_by or aggregates:
+        node = Group(node, query.group_by, aggregates)
+
+    for projection in plain_extends:
+        node = Extend(node, projection.variable, projection.expression)
+
+    for expression in query.having:
+        node = Filter(expression, node)
+
+    if query.order_by:
+        node = OrderBy(node, query.order_by)
+
+    node = Project(node, query.projected_variables())
+
+    if query.distinct:
+        node = Distinct(node)
+
+    if query.limit is not None or query.offset:
+        node = Slice(node, query.limit, query.offset)
+
+    return node
+
+
+def collect_bgps(node: AlgebraNode) -> List[BGP]:
+    """Collect every BGP node of a tree (used by tests and the analyzer)."""
+    found: List[BGP] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, BGP):
+            found.append(current)
+        stack.extend(current.children())
+    return found

@@ -1,0 +1,401 @@
+"""Syntax tree for the SPARQL subset.
+
+The parser produces these nodes; ``algebra.py`` translates them into the
+logical algebra consumed by the optimizer.  Expression nodes double as the
+runtime expression representation evaluated by the executor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import TriplePattern
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+class Expression:
+    """Base class for filter / projection expressions."""
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables referenced by the expression."""
+        return ()
+
+    def parameters(self) -> Tuple[str, ...]:
+        """Distinct template parameter names referenced by the expression."""
+        return ()
+
+
+class TermExpression(Expression):
+    """A constant term or a variable used as an expression."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: Term):
+        self.term = term
+
+    def variables(self) -> Tuple[Variable, ...]:
+        if isinstance(self.term, Variable):
+            return (self.term,)
+        return ()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TermExpression) and other.term == self.term
+
+    def __hash__(self) -> int:
+        return hash(("TermExpression", self.term))
+
+    def __repr__(self) -> str:
+        return "TermExpression(%r)" % (self.term,)
+
+
+class ParameterExpression(Expression):
+    """A ``%name`` template parameter in expression position."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def parameters(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ParameterExpression) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("ParameterExpression", self.name))
+
+    def __repr__(self) -> str:
+        return "ParameterExpression(%r)" % self.name
+
+
+class UnaryExpression(Expression):
+    """``!expr`` or ``-expr``."""
+
+    __slots__ = ("operator", "operand")
+
+    def __init__(self, operator: str, operand: Expression):
+        if operator not in ("!", "-", "+"):
+            raise ValueError("unsupported unary operator %r" % operator)
+        self.operator = operator
+        self.operand = operand
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return self.operand.variables()
+
+    def parameters(self) -> Tuple[str, ...]:
+        return self.operand.parameters()
+
+    def __repr__(self) -> str:
+        return "UnaryExpression(%r, %r)" % (self.operator, self.operand)
+
+
+class BinaryExpression(Expression):
+    """Arithmetic, comparison or boolean binary expression."""
+
+    __slots__ = ("operator", "left", "right")
+
+    OPERATORS = ("||", "&&", "=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/")
+
+    def __init__(self, operator: str, left: Expression, right: Expression):
+        if operator not in self.OPERATORS:
+            raise ValueError("unsupported binary operator %r" % operator)
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: List[Variable] = []
+        for side in (self.left, self.right):
+            for variable in side.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+    def parameters(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for side in (self.left, self.right):
+            for name in side.parameters():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return "BinaryExpression(%r, %r, %r)" % (self.operator, self.left, self.right)
+
+
+class FunctionCall(Expression):
+    """Builtin function call: BOUND, REGEX, STR, LANG, DATATYPE."""
+
+    __slots__ = ("name", "arguments")
+
+    BUILTINS = ("BOUND", "REGEX", "STR", "LANG", "DATATYPE")
+
+    def __init__(self, name: str, arguments: Sequence[Expression]):
+        name = name.upper()
+        if name not in self.BUILTINS:
+            raise ValueError("unsupported function %r" % name)
+        self.name = name
+        self.arguments = list(arguments)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: List[Variable] = []
+        for argument in self.arguments:
+            for variable in argument.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+    def parameters(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for argument in self.arguments:
+            for name in argument.parameters():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return "FunctionCall(%r, %r)" % (self.name, self.arguments)
+
+
+class AggregateExpression(Expression):
+    """COUNT / SUM / AVG / MIN / MAX, optionally DISTINCT; COUNT(*) allowed."""
+
+    __slots__ = ("function", "argument", "distinct")
+
+    FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+    def __init__(self, function: str, argument: Optional[Expression], distinct: bool = False):
+        function = function.upper()
+        if function not in self.FUNCTIONS:
+            raise ValueError("unsupported aggregate %r" % function)
+        if argument is None and function != "COUNT":
+            raise ValueError("only COUNT may omit its argument (COUNT(*))")
+        self.function = function
+        self.argument = argument
+        self.distinct = distinct
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return self.argument.variables() if self.argument is not None else ()
+
+    def parameters(self) -> Tuple[str, ...]:
+        return self.argument.parameters() if self.argument is not None else ()
+
+    def __repr__(self) -> str:
+        return "AggregateExpression(%r, %r, distinct=%r)" % (self.function, self.argument, self.distinct)
+
+
+# -- graph patterns ---------------------------------------------------------------
+
+
+class ParameterTerm(Term):
+    """Placeholder term for a ``%name`` parameter inside a triple pattern.
+
+    It behaves like a term so that it can sit in a
+    :class:`~repro.rdf.triples.TriplePattern`; template instantiation
+    replaces it with a concrete term before the query reaches the optimizer.
+    """
+
+    __slots__ = ("name",)
+    _sort_rank = 4
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("parameter name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ParameterTerm is immutable")
+
+    def _local_key(self):
+        return (self.name,)
+
+    def n3(self) -> str:
+        return "%%%s" % self.name
+
+    def is_concrete(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ParameterTerm) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("ParameterTerm", self.name))
+
+    def __repr__(self) -> str:
+        return "ParameterTerm(%r)" % self.name
+
+
+class GroupGraphPattern:
+    """The contents of a ``{ ... }`` block.
+
+    ``patterns`` are the basic-graph-pattern triples, ``filters`` the FILTER
+    expressions, ``optionals`` the OPTIONAL sub-blocks and ``unions`` a list
+    of alternative sub-blocks (each entry is a list of alternatives).
+    """
+
+    def __init__(
+        self,
+        patterns: Optional[List[TriplePattern]] = None,
+        filters: Optional[List[Expression]] = None,
+        optionals: Optional[List["GroupGraphPattern"]] = None,
+        unions: Optional[List[List["GroupGraphPattern"]]] = None,
+    ):
+        self.patterns = patterns if patterns is not None else []
+        self.filters = filters if filters is not None else []
+        self.optionals = optionals if optionals is not None else []
+        self.unions = unions if unions is not None else []
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: List[Variable] = []
+
+        def record(items):
+            for variable in items:
+                if variable not in seen:
+                    seen.append(variable)
+
+        for pattern in self.patterns:
+            record(pattern.variables())
+        for expression in self.filters:
+            record(expression.variables())
+        for optional in self.optionals:
+            record(optional.variables())
+        for alternatives in self.unions:
+            for alternative in alternatives:
+                record(alternative.variables())
+        return tuple(seen)
+
+    def parameters(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+
+        def record(names):
+            for name in names:
+                if name not in seen:
+                    seen.append(name)
+
+        for pattern in self.patterns:
+            for term in pattern:
+                if isinstance(term, ParameterTerm):
+                    record([term.name])
+        for expression in self.filters:
+            record(expression.parameters())
+        for optional in self.optionals:
+            record(optional.parameters())
+        for alternatives in self.unions:
+            for alternative in alternatives:
+                record(alternative.parameters())
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return "GroupGraphPattern(patterns=%d, filters=%d, optionals=%d, unions=%d)" % (
+            len(self.patterns),
+            len(self.filters),
+            len(self.optionals),
+            len(self.unions),
+        )
+
+
+# -- query ------------------------------------------------------------------------
+
+
+class Projection:
+    """One SELECT item: a plain variable or ``(expression AS ?alias)``."""
+
+    __slots__ = ("variable", "expression")
+
+    def __init__(self, variable: Variable, expression: Optional[Expression] = None):
+        self.variable = variable
+        self.expression = expression
+
+    def __repr__(self) -> str:
+        if self.expression is None:
+            return "Projection(%r)" % (self.variable,)
+        return "Projection(%r, %r)" % (self.variable, self.expression)
+
+
+class OrderCondition:
+    """One ORDER BY condition."""
+
+    __slots__ = ("expression", "descending")
+
+    def __init__(self, expression: Expression, descending: bool = False):
+        self.expression = expression
+        self.descending = descending
+
+    def __repr__(self) -> str:
+        return "OrderCondition(%r, descending=%r)" % (self.expression, self.descending)
+
+
+class SelectQuery:
+    """A parsed SELECT query."""
+
+    def __init__(
+        self,
+        projections: Union[List[Projection], str],
+        where: GroupGraphPattern,
+        distinct: bool = False,
+        group_by: Optional[List[Variable]] = None,
+        having: Optional[List[Expression]] = None,
+        order_by: Optional[List[OrderCondition]] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        prefixes: Optional[dict] = None,
+    ):
+        self.projections = projections  # list of Projection, or "*"
+        self.where = where
+        self.distinct = distinct
+        self.group_by = group_by if group_by is not None else []
+        self.having = having if having is not None else []
+        self.order_by = order_by if order_by is not None else []
+        self.limit = limit
+        self.offset = offset
+        self.prefixes = prefixes if prefixes is not None else {}
+
+    def is_select_all(self) -> bool:
+        return self.projections == "*"
+
+    def projected_variables(self) -> List[Variable]:
+        if self.is_select_all():
+            return list(self.where.variables())
+        return [projection.variable for projection in self.projections]
+
+    def has_aggregates(self) -> bool:
+        if self.group_by:
+            return True
+        if self.is_select_all():
+            return False
+        return any(
+            isinstance(projection.expression, AggregateExpression)
+            for projection in self.projections
+            if projection.expression is not None
+        )
+
+    def parameters(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+
+        def record(names):
+            for name in names:
+                if name not in seen:
+                    seen.append(name)
+
+        record(self.where.parameters())
+        if not self.is_select_all():
+            for projection in self.projections:
+                if projection.expression is not None:
+                    record(projection.expression.parameters())
+        for expression in self.having:
+            record(expression.parameters())
+        for condition in self.order_by:
+            record(condition.expression.parameters())
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return "SelectQuery(projections=%r, where=%r, distinct=%r, limit=%r)" % (
+            "*" if self.is_select_all() else len(self.projections),
+            self.where,
+            self.distinct,
+            self.limit,
+        )

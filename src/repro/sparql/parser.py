@@ -1,0 +1,452 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Supported grammar (sufficient for the BSBM-BI and LDBC-style templates used
+throughout the paper, plus the usual analytic extras):
+
+* ``PREFIX`` declarations,
+* ``SELECT [DISTINCT] * | ?v ... | (expr AS ?v) ...``,
+* ``WHERE { ... }`` with triple patterns (``;`` and ``,`` abbreviations and
+  the ``a`` keyword), ``FILTER``, ``OPTIONAL`` and ``UNION`` blocks,
+* ``GROUP BY``, ``HAVING``, ``ORDER BY [ASC|DESC]``, ``LIMIT``, ``OFFSET``,
+* ``%name`` template parameters anywhere a term may appear.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..rdf.namespaces import DEFAULT_PREFIXES, XSD
+from ..rdf.terms import IRI, Literal, Term, Variable
+from ..rdf.triples import TriplePattern
+from .ast import (
+    AggregateExpression,
+    BinaryExpression,
+    Expression,
+    FunctionCall,
+    GroupGraphPattern,
+    OrderCondition,
+    ParameterExpression,
+    ParameterTerm,
+    Projection,
+    SelectQuery,
+    TermExpression,
+    UnaryExpression,
+)
+from .tokenizer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the query text does not conform to the grammar."""
+
+
+class Parser:
+    """One-shot parser over a token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: List[Token] = tokenize(text)
+        self.position = 0
+        self.prefixes = dict(DEFAULT_PREFIXES)
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError("%s (got %s %r at position %d)" % (message, token.kind, token.value, token.position))
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            expected = value if value is not None else kind
+            raise self.error("expected %s" % expected)
+        return token
+
+    def accept_keyword(self, *keywords: str) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in keywords:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.accept_keyword(keyword)
+        if token is None:
+            raise self.error("expected keyword %s" % keyword)
+        return token
+
+    # -- entry point ------------------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        self._parse_prologue()
+        query = self._parse_select()
+        if self.peek().kind != "EOF":
+            raise self.error("unexpected trailing input")
+        return query
+
+    # -- prologue ---------------------------------------------------------------
+
+    def _parse_prologue(self) -> None:
+        while self.accept_keyword("PREFIX"):
+            token = self.peek()
+            if token.kind == "PNAME_NS":
+                prefix = self.advance().value.rstrip(":")
+            elif token.kind == "NAME":
+                prefix = self.advance().value
+            else:
+                raise self.error("expected prefix name")
+            iri_token = self.expect("IRI")
+            self.prefixes[prefix] = iri_token.value[1:-1]
+
+    # -- select -------------------------------------------------------------------
+
+    def _parse_select(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT") is not None
+        projections = self._parse_projections()
+        if self.accept_keyword("WHERE") is None:
+            # WHERE keyword is optional in SPARQL
+            pass
+        where = self._parse_group_graph_pattern()
+        group_by: List[Variable] = []
+        having: List[Expression] = []
+        order_by: List[OrderCondition] = []
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            while self.peek().kind == "VAR":
+                group_by.append(Variable(self.advance().value))
+            if not group_by:
+                raise self.error("GROUP BY requires at least one variable")
+        if self.accept_keyword("HAVING"):
+            having.append(self._parse_bracketted_expression())
+            while self.peek().kind == "LPAREN":
+                having.append(self._parse_bracketted_expression())
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = self._parse_order_conditions()
+        if self.accept_keyword("LIMIT"):
+            limit = int(self.expect("INTEGER").value)
+        if self.accept_keyword("OFFSET"):
+            offset = int(self.expect("INTEGER").value)
+        # LIMIT may also precede OFFSET in either order
+        if limit is None and self.accept_keyword("LIMIT"):
+            limit = int(self.expect("INTEGER").value)
+
+        return SelectQuery(
+            projections=projections,
+            where=where,
+            distinct=distinct,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            prefixes=dict(self.prefixes),
+        )
+
+    def _parse_projections(self):
+        if self.accept("STAR"):
+            return "*"
+        projections: List[Projection] = []
+        while True:
+            token = self.peek()
+            if token.kind == "VAR":
+                projections.append(Projection(Variable(self.advance().value)))
+            elif token.kind == "LPAREN":
+                self.advance()
+                expression = self._parse_expression()
+                self.expect_keyword("AS")
+                variable = Variable(self.expect("VAR").value)
+                self.expect("RPAREN")
+                projections.append(Projection(variable, expression))
+            else:
+                break
+        if not projections:
+            raise self.error("SELECT requires * or at least one variable")
+        return projections
+
+    def _parse_order_conditions(self) -> List[OrderCondition]:
+        conditions: List[OrderCondition] = []
+        while True:
+            token = self.peek()
+            if token.kind == "KEYWORD" and token.value in ("ASC", "DESC"):
+                descending = self.advance().value == "DESC"
+                expression = self._parse_bracketted_expression()
+                conditions.append(OrderCondition(expression, descending))
+            elif token.kind == "VAR":
+                conditions.append(OrderCondition(TermExpression(Variable(self.advance().value))))
+            elif token.kind == "LPAREN":
+                conditions.append(OrderCondition(self._parse_bracketted_expression()))
+            else:
+                break
+        if not conditions:
+            raise self.error("ORDER BY requires at least one condition")
+        return conditions
+
+    def _parse_bracketted_expression(self) -> Expression:
+        self.expect("LPAREN")
+        expression = self._parse_expression()
+        self.expect("RPAREN")
+        return expression
+
+    # -- group graph pattern ---------------------------------------------------------
+
+    def _parse_group_graph_pattern(self) -> GroupGraphPattern:
+        self.expect("LBRACE")
+        group = GroupGraphPattern()
+        while True:
+            token = self.peek()
+            if token.kind == "RBRACE":
+                self.advance()
+                break
+            if token.kind == "EOF":
+                raise self.error("unterminated group graph pattern")
+            if token.kind == "KEYWORD" and token.value == "FILTER":
+                self.advance()
+                group.filters.append(self._parse_bracketted_expression())
+                self.accept("DOT")
+                continue
+            if token.kind == "KEYWORD" and token.value == "OPTIONAL":
+                self.advance()
+                group.optionals.append(self._parse_group_graph_pattern())
+                self.accept("DOT")
+                continue
+            if token.kind == "LBRACE":
+                alternatives = [self._parse_group_graph_pattern()]
+                while self.accept_keyword("UNION"):
+                    alternatives.append(self._parse_group_graph_pattern())
+                if len(alternatives) == 1:
+                    # A plain nested group: merge it into the current group.
+                    nested = alternatives[0]
+                    group.patterns.extend(nested.patterns)
+                    group.filters.extend(nested.filters)
+                    group.optionals.extend(nested.optionals)
+                    group.unions.extend(nested.unions)
+                else:
+                    group.unions.append(alternatives)
+                self.accept("DOT")
+                continue
+            self._parse_triples_block(group)
+        return group
+
+    def _parse_triples_block(self, group: GroupGraphPattern) -> None:
+        subject = self._parse_term(allow_literal=False)
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                object_ = self._parse_term(allow_literal=True)
+                group.patterns.append(TriplePattern(subject, predicate, object_))
+                if self.accept("COMMA"):
+                    continue
+                break
+            if self.accept("SEMICOLON"):
+                if self.peek().kind in ("DOT", "RBRACE"):
+                    break
+                continue
+            break
+        self.accept("DOT")
+
+    def _parse_verb(self) -> Term:
+        if self.accept_keyword("A"):
+            return IRI(DEFAULT_PREFIXES["rdf"] + "type")
+        return self._parse_term(allow_literal=False)
+
+    def _parse_term(self, allow_literal: bool) -> Term:
+        token = self.peek()
+        if token.kind == "VAR":
+            return Variable(self.advance().value)
+        if token.kind == "PARAM":
+            return ParameterTerm(self.advance().value)
+        if token.kind == "IRI":
+            return IRI(self.advance().value[1:-1])
+        if token.kind == "QNAME":
+            return self._expand_qname(self.advance().value)
+        if token.kind in ("INTEGER", "DOUBLE", "STRING") or (
+            token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE")
+        ):
+            if not allow_literal:
+                raise self.error("literal not allowed here")
+            return self._parse_literal()
+        raise self.error("expected an RDF term")
+
+    def _expand_qname(self, qname: str) -> IRI:
+        prefix, local = qname.split(":", 1)
+        if prefix not in self.prefixes:
+            raise ParseError("unknown prefix %r in %r" % (prefix, qname))
+        return IRI(self.prefixes[prefix] + local)
+
+    def _parse_literal(self) -> Literal:
+        token = self.advance()
+        if token.kind == "INTEGER":
+            return Literal(token.value, datatype=XSD["integer"])
+        if token.kind == "DOUBLE":
+            return Literal(token.value, datatype=XSD["double"])
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            return Literal(token.value.lower(), datatype=XSD["boolean"])
+        if token.kind == "STRING":
+            lexical = _unescape_string(token.value[1:-1])
+            next_token = self.peek()
+            if next_token.kind == "LANGTAG":
+                self.advance()
+                return Literal(lexical, language=next_token.value[1:])
+            if next_token.kind == "DOUBLE_CARET":
+                self.advance()
+                datatype_token = self.peek()
+                if datatype_token.kind == "IRI":
+                    self.advance()
+                    return Literal(lexical, datatype=IRI(datatype_token.value[1:-1]))
+                if datatype_token.kind == "QNAME":
+                    self.advance()
+                    return Literal(lexical, datatype=self._expand_qname(datatype_token.value))
+                raise self.error("expected datatype IRI after ^^")
+            return Literal(lexical)
+        raise self.error("expected a literal")
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.accept("OR"):
+            left = BinaryExpression("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_relational()
+        while self.accept("AND"):
+            left = BinaryExpression("&&", left, self._parse_relational())
+        return left
+
+    _RELATIONAL_TOKENS = {
+        "EQ": "=",
+        "NEQ": "!=",
+        "LT": "<",
+        "LE": "<=",
+        "GT": ">",
+        "GE": ">=",
+    }
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind in self._RELATIONAL_TOKENS:
+            self.advance()
+            right = self._parse_additive()
+            return BinaryExpression(self._RELATIONAL_TOKENS[token.kind], left, right)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            if self.accept("PLUS"):
+                left = BinaryExpression("+", left, self._parse_multiplicative())
+            elif self.accept("MINUS"):
+                left = BinaryExpression("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            if self.accept("STAR"):
+                left = BinaryExpression("*", left, self._parse_unary())
+            elif self.accept("SLASH"):
+                left = BinaryExpression("/", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        if self.accept("BANG"):
+            return UnaryExpression("!", self._parse_unary())
+        if self.accept("MINUS"):
+            return UnaryExpression("-", self._parse_unary())
+        if self.accept("PLUS"):
+            return UnaryExpression("+", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "LPAREN":
+            self.advance()
+            expression = self._parse_expression()
+            self.expect("RPAREN")
+            return expression
+        if token.kind == "VAR":
+            return TermExpression(Variable(self.advance().value))
+        if token.kind == "PARAM":
+            return ParameterExpression(self.advance().value)
+        if token.kind == "KEYWORD" and token.value in AggregateExpression.FUNCTIONS:
+            return self._parse_aggregate()
+        if token.kind == "KEYWORD" and token.value in FunctionCall.BUILTINS:
+            return self._parse_function_call()
+        if token.kind in ("INTEGER", "DOUBLE", "STRING") or (
+            token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE")
+        ):
+            return TermExpression(self._parse_literal())
+        if token.kind == "IRI":
+            return TermExpression(IRI(self.advance().value[1:-1]))
+        if token.kind == "QNAME":
+            return TermExpression(self._expand_qname(self.advance().value))
+        raise self.error("expected an expression")
+
+    def _parse_aggregate(self) -> Expression:
+        function = self.advance().value
+        self.expect("LPAREN")
+        distinct = self.accept_keyword("DISTINCT") is not None
+        if function == "COUNT" and self.accept("STAR"):
+            argument: Optional[Expression] = None
+        else:
+            argument = self._parse_expression()
+        self.expect("RPAREN")
+        return AggregateExpression(function, argument, distinct)
+
+    def _parse_function_call(self) -> Expression:
+        name = self.advance().value
+        self.expect("LPAREN")
+        arguments: List[Expression] = []
+        if self.peek().kind != "RPAREN":
+            arguments.append(self._parse_expression())
+            while self.accept("COMMA"):
+                arguments.append(self._parse_expression())
+        self.expect("RPAREN")
+        return FunctionCall(name, arguments)
+
+
+def _unescape_string(text: str) -> str:
+    result: List[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            escape = text[index + 1]
+            mapping = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+            result.append(mapping.get(escape, escape))
+            index += 2
+        else:
+            result.append(char)
+            index += 1
+    return "".join(result)
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse a query string into a :class:`~repro.sparql.ast.SelectQuery`."""
+    return Parser(text).parse_query()

@@ -1,0 +1,208 @@
+"""Query templates with ``%name`` substitution parameters.
+
+A benchmark workload is defined by *query templates*: query text in which
+some terms are parameters (the paper's example uses ``%name`` and
+``%country``).  :class:`QueryTemplate` parses the text once and can then be
+instantiated many times with different parameter bindings, producing fully
+concrete :class:`~repro.sparql.ast.SelectQuery` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..rdf.terms import Term
+from ..rdf.triples import TriplePattern
+from .ast import (
+    AggregateExpression,
+    BinaryExpression,
+    Expression,
+    FunctionCall,
+    GroupGraphPattern,
+    OrderCondition,
+    ParameterExpression,
+    ParameterTerm,
+    Projection,
+    SelectQuery,
+    TermExpression,
+    UnaryExpression,
+)
+from .parser import parse_query
+
+
+class MissingParameterError(KeyError):
+    """Raised when a template is instantiated without all its parameters."""
+
+
+class UnknownParameterError(KeyError):
+    """Raised when a binding names a parameter the template does not have."""
+
+
+# -- substitution helpers -----------------------------------------------------------
+
+
+def _substitute_term(term: Term, bindings: Mapping[str, Term]) -> Term:
+    if isinstance(term, ParameterTerm):
+        try:
+            return bindings[term.name]
+        except KeyError:
+            raise MissingParameterError(term.name) from None
+    return term
+
+
+def _substitute_expression(expression: Expression, bindings: Mapping[str, Term]) -> Expression:
+    if isinstance(expression, ParameterExpression):
+        try:
+            return TermExpression(bindings[expression.name])
+        except KeyError:
+            raise MissingParameterError(expression.name) from None
+    if isinstance(expression, TermExpression):
+        return expression
+    if isinstance(expression, UnaryExpression):
+        return UnaryExpression(expression.operator, _substitute_expression(expression.operand, bindings))
+    if isinstance(expression, BinaryExpression):
+        return BinaryExpression(
+            expression.operator,
+            _substitute_expression(expression.left, bindings),
+            _substitute_expression(expression.right, bindings),
+        )
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            expression.name,
+            [_substitute_expression(argument, bindings) for argument in expression.arguments],
+        )
+    if isinstance(expression, AggregateExpression):
+        argument = (
+            _substitute_expression(expression.argument, bindings)
+            if expression.argument is not None
+            else None
+        )
+        return AggregateExpression(expression.function, argument, expression.distinct)
+    raise TypeError("unsupported expression node %r" % (expression,))
+
+
+def _substitute_group(group: GroupGraphPattern, bindings: Mapping[str, Term]) -> GroupGraphPattern:
+    return GroupGraphPattern(
+        patterns=[
+            TriplePattern(
+                _substitute_term(pattern.subject, bindings),
+                _substitute_term(pattern.predicate, bindings),
+                _substitute_term(pattern.object, bindings),
+            )
+            for pattern in group.patterns
+        ],
+        filters=[_substitute_expression(expression, bindings) for expression in group.filters],
+        optionals=[_substitute_group(optional, bindings) for optional in group.optionals],
+        unions=[
+            [_substitute_group(alternative, bindings) for alternative in alternatives]
+            for alternatives in group.unions
+        ],
+    )
+
+
+def substitute_parameters(query: SelectQuery, bindings: Mapping[str, Term]) -> SelectQuery:
+    """Return a copy of ``query`` with every parameter replaced by a term."""
+    projections = query.projections
+    if not query.is_select_all():
+        projections = [
+            Projection(
+                projection.variable,
+                _substitute_expression(projection.expression, bindings)
+                if projection.expression is not None
+                else None,
+            )
+            for projection in query.projections
+        ]
+    return SelectQuery(
+        projections=projections,
+        where=_substitute_group(query.where, bindings),
+        distinct=query.distinct,
+        group_by=list(query.group_by),
+        having=[_substitute_expression(expression, bindings) for expression in query.having],
+        order_by=[
+            OrderCondition(_substitute_expression(condition.expression, bindings), condition.descending)
+            for condition in query.order_by
+        ],
+        limit=query.limit,
+        offset=query.offset,
+        prefixes=dict(query.prefixes),
+    )
+
+
+# -- the template class ----------------------------------------------------------------
+
+
+class QueryTemplate:
+    """A named, parameterised query template.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in workload definitions and reports (e.g.
+        ``"bsbm_bi_q4"``).
+    text:
+        The query text with ``%param`` placeholders.
+    description:
+        Optional human-readable summary (shown in reports).
+    """
+
+    def __init__(self, name: str, text: str, description: str = ""):
+        self.name = name
+        self.text = text
+        self.description = description
+        self.query = parse_query(text)
+        self.parameter_names: Tuple[str, ...] = self.query.parameters()
+
+    def instantiate(self, bindings: Mapping[str, Term]) -> SelectQuery:
+        """Instantiate the template with concrete terms for every parameter."""
+        unknown = set(bindings) - set(self.parameter_names)
+        if unknown:
+            raise UnknownParameterError(
+                "unknown parameters %s for template %s" % (sorted(unknown), self.name)
+            )
+        missing = set(self.parameter_names) - set(bindings)
+        if missing:
+            raise MissingParameterError(
+                "missing parameters %s for template %s" % (sorted(missing), self.name)
+            )
+        return substitute_parameters(self.query, bindings)
+
+    def __repr__(self) -> str:
+        return "QueryTemplate(%r, parameters=%r)" % (self.name, list(self.parameter_names))
+
+
+class TemplateRegistry:
+    """A named collection of query templates (one per benchmark workload)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._templates: Dict[str, QueryTemplate] = {}
+
+    def register(self, template: QueryTemplate) -> QueryTemplate:
+        if template.name in self._templates:
+            raise ValueError("duplicate template name %r" % template.name)
+        self._templates[template.name] = template
+        return template
+
+    def add(self, name: str, text: str, description: str = "") -> QueryTemplate:
+        return self.register(QueryTemplate(name, text, description))
+
+    def get(self, name: str) -> QueryTemplate:
+        if name not in self._templates:
+            raise KeyError("unknown template %r in registry %r" % (name, self.name))
+        return self._templates[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._templates)
+
+    def templates(self) -> List[QueryTemplate]:
+        return [self._templates[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._templates
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __repr__(self) -> str:
+        return "TemplateRegistry(%r, %d templates)" % (self.name, len(self))

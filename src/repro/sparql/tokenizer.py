@@ -1,0 +1,131 @@
+"""Tokenizer for the SPARQL subset used by the benchmark query templates.
+
+The token stream distinguishes IRIs, qualified names, variables, literals
+(numeric / string with language tag or datatype), punctuation, keywords and
+— specific to this library — *template parameters* written ``%name`` as in
+the paper's example query.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+class TokenizeError(ValueError):
+    """Raised on input that cannot be tokenized."""
+
+
+#: Keywords recognised case-insensitively; stored upper-case in tokens.
+KEYWORDS = frozenset(
+    [
+        "PREFIX",
+        "SELECT",
+        "DISTINCT",
+        "WHERE",
+        "FILTER",
+        "OPTIONAL",
+        "UNION",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "AS",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "BOUND",
+        "REGEX",
+        "STR",
+        "LANG",
+        "DATATYPE",
+        "NOT",
+        "EXISTS",
+        "IN",
+        "TRUE",
+        "FALSE",
+        "A",
+    ]
+)
+
+_TOKEN_SPECIFICATION = [
+    ("WHITESPACE", r"[ \t\r\n]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("IRI", r"<[^<>\"{}|^`\\ ]*>"),
+    ("DOUBLE", r"[+-]?\d+\.\d*(?:[eE][+-]?\d+)?|[+-]?\.\d+(?:[eE][+-]?\d+)?"),
+    ("INTEGER", r"[+-]?\d+"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("VAR", r"[?$][A-Za-z_][A-Za-z0-9_]*"),
+    ("PARAM", r"%[A-Za-z_][A-Za-z0-9_]*%?"),
+    ("LANGTAG", r"@[A-Za-z]+(?:-[A-Za-z0-9]+)*"),
+    ("DOUBLE_CARET", r"\^\^"),
+    ("QNAME", r"[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z_][A-Za-z0-9_\-]*(?:\.[A-Za-z0-9_\-]+)*"),
+    ("PNAME_NS", r"[A-Za-z_][A-Za-z0-9_\-]*:"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("NEQ", r"!="),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("AND", r"&&"),
+    ("OR", r"\|\|"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("DOT", r"\."),
+    ("SEMICOLON", r";"),
+    ("COMMA", r","),
+    ("EQ", r"="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("SLASH", r"/"),
+    ("BANG", r"!"),
+]
+
+_MASTER_PATTERN = re.compile("|".join("(?P<%s>%s)" % (name, pattern) for name, pattern in _TOKEN_SPECIFICATION))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a query string, dropping whitespace and comments."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _MASTER_PATTERN.match(text, position)
+        if match is None:
+            raise TokenizeError("unexpected character %r at position %d" % (text[position], position))
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind not in ("WHITESPACE", "COMMENT"):
+            if kind == "NAME" and value.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", value.upper(), position))
+            elif kind == "PARAM":
+                tokens.append(Token("PARAM", value.strip("%"), position))
+            else:
+                tokens.append(Token(kind, value, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def iter_parameter_names(text: str) -> Iterator[str]:
+    """Yield the distinct ``%param`` names of a template in occurrence order."""
+    seen = set()
+    for token in tokenize(text):
+        if token.kind == "PARAM" and token.value not in seen:
+            seen.add(token.value)
+            yield token.value

@@ -1,0 +1,14 @@
+"""Triple-store substrate: permutation indexes, the store and its statistics."""
+
+from .indexes import PermutationIndex, PERMUTATIONS, permutation_positions
+from .statistics import PredicateStatistics, StoreStatistics
+from .triple_store import TripleStore
+
+__all__ = [
+    "PERMUTATIONS",
+    "PermutationIndex",
+    "PredicateStatistics",
+    "StoreStatistics",
+    "TripleStore",
+    "permutation_positions",
+]

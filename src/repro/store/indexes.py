@@ -1,0 +1,132 @@
+"""Sorted permutation indexes over id-encoded triples.
+
+A :class:`PermutationIndex` stores every triple as a tuple of integer ids in
+one of the six orderings of (subject, predicate, object) — SPO, SOP, PSO,
+POS, OSP, OPS — kept sorted, so any lookup with a bound *prefix* of the
+ordering becomes a binary-search range scan.  This mirrors how RDF engines
+such as RDF-3X, Hexastore and Virtuoso organise their data and gives the
+cardinality estimator exact prefix counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+IdTriple = Tuple[int, int, int]
+
+#: Canonical component order of an id triple.
+SPO_COMPONENTS = ("subject", "predicate", "object")
+
+#: All six permutations, named by their component order.
+PERMUTATIONS = ("spo", "sop", "pso", "pos", "osp", "ops")
+
+_COMPONENT_POSITION = {"s": 0, "p": 1, "o": 2}
+
+
+def permutation_positions(name: str) -> Tuple[int, int, int]:
+    """Map a permutation name like ``"pos"`` to positions in an SPO tuple.
+
+    The result gives, for each slot of the permuted key, the index of the
+    component in the canonical (s, p, o) order: ``"pos"`` -> ``(1, 2, 0)``.
+    """
+    if len(name) != 3 or sorted(name) != ["o", "p", "s"]:
+        raise ValueError("invalid permutation name %r" % name)
+    return tuple(_COMPONENT_POSITION[ch] for ch in name)
+
+
+class PermutationIndex:
+    """One sorted permutation of the triple table."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.positions = permutation_positions(name)
+        self._keys: List[IdTriple] = []
+        self._finalised = False
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _permute(self, triple: IdTriple) -> IdTriple:
+        p0, p1, p2 = self.positions
+        return (triple[p0], triple[p1], triple[p2])
+
+    def _unpermute(self, key: IdTriple) -> IdTriple:
+        result = [0, 0, 0]
+        for slot, component in enumerate(self.positions):
+            result[component] = key[slot]
+        return (result[0], result[1], result[2])
+
+    # -- building ---------------------------------------------------------
+
+    def bulk_load(self, triples: Iterable[IdTriple]) -> None:
+        """(Re)build the index from an iterable of id triples."""
+        self._keys = sorted(self._permute(triple) for triple in triples)
+        self._finalised = True
+
+    def insert(self, triple: IdTriple) -> None:
+        """Insert a single triple keeping the index sorted."""
+        key = self._permute(triple)
+        position = bisect.bisect_left(self._keys, key)
+        if position < len(self._keys) and self._keys[position] == key:
+            return
+        self._keys.insert(position, key)
+
+    def remove(self, triple: IdTriple) -> bool:
+        """Remove a triple; returns True when it was present."""
+        key = self._permute(triple)
+        position = bisect.bisect_left(self._keys, key)
+        if position < len(self._keys) and self._keys[position] == key:
+            del self._keys[position]
+            return True
+        return False
+
+    # -- lookups ----------------------------------------------------------
+
+    def _range(self, prefix: Sequence[int]) -> Tuple[int, int]:
+        """Return the [low, high) slice of keys starting with ``prefix``."""
+        if not prefix:
+            return 0, len(self._keys)
+        low_key = tuple(prefix)
+        high_key = tuple(prefix[:-1]) + (prefix[-1] + 1,)
+        low = bisect.bisect_left(self._keys, low_key)
+        high = bisect.bisect_left(self._keys, high_key)
+        return low, high
+
+    def count_prefix(self, prefix: Sequence[int]) -> int:
+        """Count triples whose permuted key starts with ``prefix``."""
+        low, high = self._range(prefix)
+        return high - low
+
+    def scan_prefix(self, prefix: Sequence[int]) -> Iterator[IdTriple]:
+        """Yield triples (in canonical SPO component order) matching ``prefix``."""
+        low, high = self._range(prefix)
+        for position in range(low, high):
+            yield self._unpermute(self._keys[position])
+
+    def contains(self, triple: IdTriple) -> bool:
+        key = self._permute(triple)
+        position = bisect.bisect_left(self._keys, key)
+        return position < len(self._keys) and self._keys[position] == key
+
+    def distinct_prefix_values(self, prefix: Sequence[int]) -> int:
+        """Count distinct values of the next key component under ``prefix``.
+
+        For example on the POS index, ``distinct_prefix_values([p])`` is the
+        number of distinct objects for predicate ``p`` — exactly what the
+        cardinality estimator needs.
+        """
+        low, high = self._range(prefix)
+        depth = len(prefix)
+        distinct = 0
+        previous: Optional[int] = None
+        for position in range(low, high):
+            value = self._keys[position][depth]
+            if value != previous:
+                distinct += 1
+                previous = value
+        return distinct
+
+    def keys(self) -> Sequence[IdTriple]:
+        """Expose the raw sorted keys (used by statistics collection)."""
+        return self._keys

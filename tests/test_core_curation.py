@@ -1,0 +1,151 @@
+"""Tests for repro.core.curation."""
+
+import pytest
+
+from repro.core.analyzer import BindingAnalysis
+from repro.core.clustering import partition_bindings
+from repro.core.curation import (
+    CuratedWorkload,
+    curate,
+    greedy_window_curation,
+    select_reportable_classes,
+)
+from repro.core.domain import domain_from_values, ParameterSpace
+from repro.datagen.bsbm import template as bsbm_template
+from repro.rdf.terms import Literal
+
+
+def analysis(value, plan, cost):
+    return BindingAnalysis(
+        binding={"x": Literal(str(value))},
+        plan_signature=plan,
+        estimated_cout=cost,
+        actual_cout=cost,
+        runtime_ms=cost * 0.1 + 1.0,
+    )
+
+
+class TestSelectReportableClasses:
+    def make_partition(self):
+        analyses = (
+            [analysis("a%d" % index, "plan-a", 10 + index) for index in range(8)]
+            + [analysis("b%d" % index, "plan-a", 1000 + index) for index in range(3)]
+            + [analysis("c%d" % index, "plan-b", 40 + index) for index in range(2)]
+        )
+        return partition_bindings(analyses, cost_tolerance=0.5)
+
+    def test_min_size_filtering(self):
+        reportable = select_reportable_classes(self.make_partition(), min_size=3)
+        assert all(len(parameter_class) >= 3 for parameter_class in reportable)
+        assert len(reportable) == 2
+
+    def test_max_classes_keeps_largest(self):
+        partition = self.make_partition()
+        reportable = select_reportable_classes(partition, min_size=1, max_classes=1)
+        assert len(reportable) == 1
+        assert len(reportable[0]) == max(len(parameter_class) for parameter_class in partition)
+
+    def test_ordering_is_by_size_then_id(self):
+        reportable = select_reportable_classes(self.make_partition(), min_size=1)
+        sizes = [len(parameter_class) for parameter_class in reportable]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestGreedyWindowCuration:
+    def test_picks_tightest_cost_window(self):
+        analyses = (
+            [analysis("tight%d" % index, "p", 100 + index) for index in range(10)]
+            + [analysis("wild%d" % index, "p", 10 ** (index + 1)) for index in range(5)]
+        )
+        window = greedy_window_curation(analyses, count=8)
+        costs = [member.cost() for member in window]
+        assert max(costs) <= 110
+        assert len(window) == 8
+
+    def test_returns_all_when_fewer_candidates_than_count(self):
+        analyses = [analysis("a", "p", 1), analysis("b", "p", 2)]
+        assert len(greedy_window_curation(analyses, count=10)) == 2
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            greedy_window_curation([], count=0)
+
+    def test_window_is_contiguous_in_cost_order(self):
+        analyses = [analysis("v%d" % index, "p", float(index)) for index in range(20)]
+        window = greedy_window_curation(analyses, count=5)
+        costs = sorted(member.cost() for member in window)
+        assert costs == [costs[0] + offset for offset in range(5)]
+
+
+class TestCurateEndToEnd:
+    def test_curate_bsbm_q4(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        curated = curate(
+            bsbm_engine,
+            template,
+            space,
+            candidates=len(space.domain("type")),
+            cost_tolerance=0.5,
+            min_class_size=2,
+            seed=5,
+        )
+        assert isinstance(curated, CuratedWorkload)
+        assert len(curated.analyses) == space.size()
+        assert len(curated.partition) >= 2
+        assert curated.reportable_classes
+        # Classes satisfy conditions (a) and (b).
+        for parameter_class in curated.reportable_classes:
+            assert parameter_class.cost_spread(curated.partition.cost_measure) <= 0.5 + 1e-9
+
+    def test_curated_class_costs_are_tighter_than_whole_domain(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        curated = curate(bsbm_engine, template, space, candidates=space.size(), min_class_size=2, seed=5)
+        all_costs = [analysis.cost() for analysis in curated.analyses]
+        overall_spread = (max(all_costs) - min(all_costs)) / max(all_costs)
+        for parameter_class in curated.reportable_classes:
+            assert parameter_class.cost_spread() <= overall_spread
+
+    def test_sampler_for_class_and_unknown_class(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        curated = curate(bsbm_engine, template, space, candidates=space.size(), min_class_size=2, seed=5)
+        class_id = curated.class_ids()[0]
+        sampler = curated.sampler_for(class_id)
+        bindings = sampler.bindings(5)
+        assert len(bindings) == 5
+        with pytest.raises(KeyError):
+            curated.sampler_for("S999")
+
+    def test_stratified_sampler_covers_reportable_classes(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        curated = curate(bsbm_engine, template, space, candidates=space.size(), min_class_size=2, seed=5)
+        sampler = curated.stratified_sampler()
+        assert len(sampler.bindings(len(curated.reportable_classes) * 2)) == len(curated.reportable_classes) * 2
+
+    def test_sub_workload_names_are_suffixed(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        curated = curate(bsbm_engine, template, space, candidates=space.size(), min_class_size=2, seed=5)
+        names = curated.sub_workload_names()
+        assert names[0] == "bsbm_bi_q4a"
+        assert len(names) == len(curated.reportable_classes)
+
+    def test_describe_mentions_classes(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        curated = curate(bsbm_engine, template, space, candidates=space.size(), min_class_size=2, seed=5)
+        description = curated.describe()
+        assert "parameter classes" in description
+        assert "bsbm_bi_q4" in description
+
+    def test_plan_only_curation_is_cheaper_but_still_partitions(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        curated = curate(
+            bsbm_engine, template, space, candidates=space.size(), execute=False, min_class_size=1, seed=5
+        )
+        assert all(analysis.actual_cout is None for analysis in curated.analyses)
+        assert len(curated.partition) >= 2

@@ -1,0 +1,127 @@
+"""Tests for repro.core.domain."""
+
+import pytest
+
+from repro.core.domain import (
+    ParameterDomain,
+    ParameterSpace,
+    domain_from_values,
+    mine_instances_of,
+    mine_iri_objects,
+    mine_literal_objects,
+    mine_objects,
+    mine_subjects,
+)
+from repro.datagen.random_source import RandomSource
+from repro.rdf.terms import IRI, Literal
+
+EX = "http://example.org/"
+
+
+class TestParameterDomain:
+    def test_basic_properties(self):
+        domain = ParameterDomain("name", [Literal("Li"), Literal("John")])
+        assert len(domain) == 2
+        assert not domain.is_empty()
+        assert list(domain) == [Literal("Li"), Literal("John")]
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            ParameterDomain("", [Literal("x")])
+
+    def test_sample_uniform_with_replacement(self):
+        domain = ParameterDomain("name", [Literal("a"), Literal("b"), Literal("c")])
+        sample = domain.sample(RandomSource(3), 50)
+        assert len(sample) == 50
+        assert set(sample) <= set(domain.values)
+        assert len(set(sample)) > 1
+
+    def test_sample_from_empty_domain_raises(self):
+        with pytest.raises(ValueError):
+            ParameterDomain("x", []).sample(RandomSource(1), 3)
+
+    def test_domain_from_values_deduplicates_preserving_order(self):
+        domain = domain_from_values("d", [Literal("a"), Literal("b"), Literal("a")])
+        assert domain.values == [Literal("a"), Literal("b")]
+
+
+class TestParameterSpace:
+    def make_space(self):
+        return ParameterSpace(
+            [
+                ParameterDomain("name", [Literal("Li"), Literal("John")]),
+                ParameterDomain("country", [IRI(EX + "China"), IRI(EX + "USA"), IRI(EX + "Chile")]),
+            ]
+        )
+
+    def test_size_is_cross_product(self):
+        assert self.make_space().size() == 6
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([ParameterDomain("x", [Literal("a")]), ParameterDomain("x", [Literal("b")])])
+
+    def test_enumerate_covers_cross_product(self):
+        bindings = list(self.make_space().enumerate())
+        assert len(bindings) == 6
+        assert all(set(binding) == {"name", "country"} for binding in bindings)
+        assert len({tuple(sorted((k, v.n3()) for k, v in b.items())) for b in bindings}) == 6
+
+    def test_enumerate_with_limit(self):
+        assert len(list(self.make_space().enumerate(limit=4))) == 4
+
+    def test_sample_uniform(self):
+        space = self.make_space()
+        sample = space.sample(RandomSource(5), 30)
+        assert len(sample) == 30
+        assert all(binding in space for binding in sample)
+
+    def test_contains_rejects_foreign_values(self):
+        space = self.make_space()
+        assert {"name": Literal("Li"), "country": IRI(EX + "China")} in space
+        assert {"name": Literal("Nobody"), "country": IRI(EX + "China")} not in space
+        assert {"name": Literal("Li")} not in space
+
+    def test_empty_domain_makes_size_zero(self):
+        space = ParameterSpace([ParameterDomain("x", [])])
+        assert space.size() == 0
+
+    def test_domain_accessor(self):
+        space = self.make_space()
+        assert space.domain("name").name == "name"
+        with pytest.raises(KeyError):
+            space.domain("missing")
+
+    def test_parameter_names_order(self):
+        assert self.make_space().parameter_names == ("name", "country")
+
+
+class TestDomainMining:
+    def test_mine_objects(self, people_graph):
+        domain = mine_objects(people_graph, IRI(EX + "livesIn"), "country")
+        assert len(domain) == 3
+
+    def test_mine_literal_objects(self, people_graph):
+        domain = mine_literal_objects(people_graph, IRI(EX + "firstName"), "name")
+        assert set(domain.values) == {Literal("Li"), Literal("John"), Literal("Maria")}
+
+    def test_mine_iri_objects(self, people_graph):
+        domain = mine_iri_objects(people_graph, IRI(EX + "knows"), "friend")
+        assert len(domain) == 6
+
+    def test_mine_subjects(self, people_graph):
+        domain = mine_subjects(people_graph, IRI(EX + "age"), "person")
+        assert len(domain) == 6
+
+    def test_mine_subjects_with_object_restriction(self, people_graph):
+        domain = mine_subjects(people_graph, IRI(EX + "livesIn"), "person", IRI(EX + "China"))
+        assert len(domain) == 3
+
+    def test_mine_instances_of_on_bsbm(self, bsbm_tiny):
+        from repro.datagen.bsbm import schema
+
+        domain = mine_instances_of(bsbm_tiny.graph, schema.PRODUCT_TYPE, "type")
+        assert len(domain) == len(bsbm_tiny.type_nodes)
+
+    def test_mine_missing_predicate_gives_empty_domain(self, people_graph):
+        assert mine_objects(people_graph, IRI(EX + "salary"), "x").is_empty()

@@ -1,0 +1,125 @@
+"""Tests for repro.core.properties — P1, P2, P3 checkers."""
+
+import random
+
+import pytest
+
+from repro.core.properties import (
+    PropertyCheck,
+    check_p1_bounded_variance,
+    check_p2_stability,
+    check_p3_single_plan,
+    check_workload_properties,
+)
+
+
+def stable_sample(count=100, seed=1):
+    rng = random.Random(seed)
+    return [100.0 + rng.gauss(0, 5) for _ in range(count)]
+
+
+def bimodal_sample(count=100, seed=1):
+    rng = random.Random(seed)
+    return [10.0 + rng.random() for _ in range(count - 10)] + [5000.0 + rng.random() for _ in range(10)]
+
+
+class TestP1:
+    def test_stable_sample_passes(self):
+        check = check_p1_bounded_variance(stable_sample())
+        assert check.passed
+        assert check.value < 0.2
+
+    def test_bimodal_sample_fails(self):
+        check = check_p1_bounded_variance(bimodal_sample())
+        assert not check.passed
+
+    def test_mean_median_ratio_alone_can_fail_the_check(self):
+        # Tight CV threshold passes, but mean/median explodes.
+        sample = [1.0] * 95 + [400.0] * 5
+        check = check_p1_bounded_variance(sample, max_coefficient_of_variation=100.0, max_mean_to_median_ratio=2.0)
+        assert not check.passed
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            check_p1_bounded_variance([])
+
+    def test_property_check_is_truthy_when_passed(self):
+        check = check_p1_bounded_variance(stable_sample())
+        assert bool(check) is True
+        assert "PASS" in repr(check)
+
+
+class TestP2:
+    def test_identical_groups_pass(self):
+        groups = [stable_sample(seed=1), stable_sample(seed=1)]
+        assert check_p2_stability(groups).passed
+
+    def test_similar_groups_pass(self):
+        groups = [stable_sample(seed=1), stable_sample(seed=2), stable_sample(seed=3)]
+        assert check_p2_stability(groups).passed
+
+    def test_shifted_group_fails(self):
+        groups = [stable_sample(seed=1), [value * 3 for value in stable_sample(seed=2)]]
+        check = check_p2_stability(groups)
+        assert not check.passed
+
+    def test_distribution_shape_change_fails_via_ks(self):
+        groups = [stable_sample(200, seed=1), bimodal_sample(200, seed=2)]
+        check = check_p2_stability(groups, max_mean_deviation=10.0)  # disable the mean criterion
+        assert not check.passed
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError):
+            check_p2_stability([stable_sample()])
+
+
+class TestP3:
+    def test_single_plan_passes(self):
+        assert check_p3_single_plan(["plan-a"] * 10).passed
+
+    def test_multiple_plans_fail(self):
+        check = check_p3_single_plan(["plan-a"] * 5 + ["plan-b"] * 5)
+        assert not check.passed
+        assert check.value == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_p3_single_plan([])
+
+
+class TestWorkloadReport:
+    def test_all_passed_with_good_workload(self):
+        runtimes = stable_sample()
+        report = check_workload_properties(
+            runtimes,
+            ["plan-a"] * len(runtimes),
+            groups=[stable_sample(seed=2), stable_sample(seed=3)],
+        )
+        assert report.all_passed()
+        assert report.as_dict() == {"P1": True, "P2": True, "P3": True}
+
+    def test_without_groups_p2_is_skipped(self):
+        runtimes = stable_sample()
+        report = check_workload_properties(runtimes, ["plan-a"] * len(runtimes))
+        assert report.p2 is None
+        assert report.all_passed()
+        assert "P2" not in report.as_dict()
+
+    def test_uniform_style_workload_fails(self):
+        runtimes = bimodal_sample()
+        report = check_workload_properties(
+            runtimes,
+            ["plan-a"] * 50 + ["plan-b"] * 50,
+            groups=[bimodal_sample(seed=2), stable_sample(seed=3)],
+        )
+        assert not report.all_passed()
+        assert not report.p1.passed
+        assert not report.p3.passed
+
+    def test_describe_contains_all_checks(self):
+        runtimes = stable_sample()
+        report = check_workload_properties(
+            runtimes, ["plan-a"] * len(runtimes), groups=[stable_sample(seed=2), stable_sample(seed=3)]
+        )
+        description = report.describe()
+        assert "P1" in description and "P2" in description and "P3" in description

@@ -1,0 +1,64 @@
+"""Tests for repro.core.report."""
+
+import pytest
+
+from repro.bench.runner import WorkloadRunner
+from repro.core.analyzer import BindingAnalysis
+from repro.core.clustering import ParameterClass
+from repro.core.curation import curate
+from repro.core.domain import ParameterSpace, domain_from_values
+from repro.core.report import class_summary_rows, curation_report, per_class_report
+from repro.datagen.bsbm import template as bsbm_template
+from repro.rdf.terms import Literal
+from repro.sparql.template import QueryTemplate
+
+NAME_TEMPLATE = QueryTemplate(
+    "by_name", "SELECT ?p WHERE { ?p <http://example.org/firstName> %name }"
+)
+
+
+class TestPerClassReport:
+    def test_report_contains_one_row_per_workload(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        results = {
+            "q_a": runner.run_bindings(NAME_TEMPLATE, [{"name": Literal("Li")}] * 3, workload_name="q_a"),
+            "q_b": runner.run_bindings(NAME_TEMPLATE, [{"name": Literal("John")}] * 3, workload_name="q_b"),
+        }
+        report = per_class_report(results, {"q_a": "S1", "q_b": "S2"}, title="per-class")
+        assert "per-class" in report
+        assert "q_a" in report and "q_b" in report
+        assert "S1" in report and "S2" in report
+        assert "mean/median" in report
+
+    def test_report_without_class_mapping_uses_dash(self, people_engine):
+        runner = WorkloadRunner(people_engine)
+        results = {"q": runner.run_bindings(NAME_TEMPLATE, [{"name": Literal("Li")}] * 2)}
+        report = per_class_report(results)
+        assert "-" in report
+
+
+class TestCurationReport:
+    def test_report_lists_sub_workloads(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        curated = curate(bsbm_engine, template, space, candidates=space.size(), min_class_size=2, seed=3)
+        report = curation_report(curated)
+        assert "bsbm_bi_q4a" in report
+        assert "cost min" in report
+
+
+class TestClassSummaryRows:
+    def test_rows_contain_expected_keys(self):
+        members = [
+            BindingAnalysis({"x": Literal("a")}, "plan", 10.0, 10.0, runtime_ms=2.0),
+            BindingAnalysis({"x": Literal("b")}, "plan", 12.0, 12.0, runtime_ms=2.4),
+        ]
+        rows = class_summary_rows([ParameterClass("S1", "plan", members)])
+        assert rows[0]["class"] == "S1"
+        assert rows[0]["members"] == 2
+        assert rows[0]["mean_runtime_ms"] == pytest.approx(2.2)
+
+    def test_runtime_none_when_not_executed(self):
+        members = [BindingAnalysis({"x": Literal("a")}, "plan", 10.0)]
+        rows = class_summary_rows([ParameterClass("S1", "plan", members)], cost_measure="estimated")
+        assert rows[0]["mean_runtime_ms"] is None

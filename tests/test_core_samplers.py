@@ -1,0 +1,122 @@
+"""Tests for repro.core.samplers."""
+
+import pytest
+
+from repro.core.analyzer import BindingAnalysis
+from repro.core.clustering import ParameterClass
+from repro.core.domain import ParameterDomain, ParameterSpace
+from repro.core.samplers import ClassSampler, StratifiedSampler, UniformSampler
+from repro.rdf.terms import Literal
+
+
+def make_space():
+    return ParameterSpace(
+        [
+            ParameterDomain("name", [Literal(value) for value in "abcdefgh"]),
+            ParameterDomain("level", [Literal(str(value)) for value in range(5)]),
+        ]
+    )
+
+
+def make_class(class_id, values, plan="plan-x"):
+    members = [
+        BindingAnalysis(
+            binding={"name": Literal(value)},
+            plan_signature=plan,
+            estimated_cout=float(index),
+            actual_cout=float(index),
+        )
+        for index, value in enumerate(values)
+    ]
+    return ParameterClass(class_id=class_id, plan_signature=plan, members=members)
+
+
+class TestUniformSampler:
+    def test_bindings_shape(self):
+        sampler = UniformSampler(make_space(), seed=1)
+        bindings = sampler.bindings(20)
+        assert len(bindings) == 20
+        assert all(set(binding) == {"name", "level"} for binding in bindings)
+
+    def test_same_seed_reproducible(self):
+        space = make_space()
+        assert UniformSampler(space, seed=5).bindings(10) == UniformSampler(space, seed=5).bindings(10)
+
+    def test_different_seed_differs(self):
+        space = make_space()
+        assert UniformSampler(space, seed=5).bindings(10) != UniformSampler(space, seed=6).bindings(10)
+
+    def test_fresh_creates_independent_groups(self):
+        sampler = UniformSampler(make_space(), seed=5)
+        group1 = sampler.fresh(1).bindings(10)
+        group2 = sampler.fresh(2).bindings(10)
+        assert group1 != group2
+        # Fresh samplers are reproducible too.
+        assert sampler.fresh(1).bindings(10) == group1
+
+    def test_covers_domain_eventually(self):
+        sampler = UniformSampler(make_space(), seed=7)
+        names = {binding["name"] for binding in sampler.bindings(300)}
+        assert len(names) == 8
+
+
+class TestClassSampler:
+    def test_samples_only_class_members(self):
+        parameter_class = make_class("S1", "abc")
+        sampler = ClassSampler(parameter_class, seed=3)
+        member_bindings = {binding["name"].lexical for binding in parameter_class.bindings()}
+        for binding in sampler.bindings(30):
+            assert binding["name"].lexical in member_bindings
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            ClassSampler(ParameterClass("S1", "plan", []))
+
+    def test_reproducible_and_fresh(self):
+        parameter_class = make_class("S1", "abcdef")
+        first = ClassSampler(parameter_class, seed=3).bindings(10)
+        second = ClassSampler(parameter_class, seed=3).bindings(10)
+        assert first == second
+        assert ClassSampler(parameter_class, seed=3).fresh(1).bindings(10) != first
+
+
+class TestStratifiedSampler:
+    def test_equal_allocation_by_default(self):
+        classes = [make_class("S1", "ab", "plan-1"), make_class("S2", "cd", "plan-2")]
+        sampler = StratifiedSampler(classes, seed=1)
+        bindings = sampler.bindings(10)
+        assert len(bindings) == 10
+        values = [binding["name"].lexical for binding in bindings]
+        first_class = sum(1 for value in values if value in "ab")
+        assert first_class == 5
+
+    def test_weighted_allocation(self):
+        classes = [make_class("S1", "ab", "plan-1"), make_class("S2", "cd", "plan-2")]
+        sampler = StratifiedSampler(classes, seed=1, weights=[3.0, 1.0])
+        values = [binding["name"].lexical for binding in sampler.bindings(8)]
+        assert sum(1 for value in values if value in "ab") == 6
+
+    def test_rounding_remainder_is_distributed(self):
+        classes = [make_class("S%d" % index, letters, "plan-%d" % index) for index, letters in enumerate(["ab", "cd", "ef"])]
+        sampler = StratifiedSampler(classes, seed=1)
+        assert len(sampler.bindings(10)) == 10
+
+    def test_empty_classes_are_skipped(self):
+        classes = [make_class("S1", "ab"), ParameterClass("S2", "plan-2", [])]
+        sampler = StratifiedSampler(classes, seed=1)
+        assert len(sampler.classes) == 1
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StratifiedSampler([ParameterClass("S1", "p", [])])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StratifiedSampler([make_class("S1", "ab")], weights=[1.0, 2.0])
+
+    def test_per_class_bindings(self):
+        classes = [make_class("S1", "ab", "plan-1"), make_class("S2", "cd", "plan-2")]
+        sampler = StratifiedSampler(classes, seed=1)
+        per_class = sampler.per_class_bindings(4)
+        assert set(per_class) == {"S1", "S2"}
+        assert all(len(bindings) == 4 for bindings in per_class.values())

@@ -1,0 +1,156 @@
+"""Tests for the BSBM-like data generator and its query templates."""
+
+import pytest
+
+from repro.datagen.bsbm import BSBMConfig, BSBMGenerator, REGISTRY, generate_bsbm, template
+from repro.datagen.bsbm import schema
+from repro.datagen.bsbm.queries import PARAMETER_DOMAINS
+from repro.rdf.namespaces import RDF_TYPE
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        first = generate_bsbm(BSBMConfig(products=30, seed=5))
+        second = generate_bsbm(BSBMConfig(products=30, seed=5))
+        assert len(first.graph) == len(second.graph)
+        assert first.graph.to_ntriples() == second.graph.to_ntriples()
+
+    def test_different_seed_changes_data(self):
+        first = generate_bsbm(BSBMConfig(products=30, seed=5))
+        second = generate_bsbm(BSBMConfig(products=30, seed=6))
+        assert first.graph.to_ntriples() != second.graph.to_ntriples()
+
+    def test_entity_counts_match_config(self, bsbm_tiny):
+        config = bsbm_tiny.config
+        assert len(bsbm_tiny.products) == config.products
+        assert len(bsbm_tiny.features) == config.features
+        assert len(bsbm_tiny.producers) == config.producers
+        assert len(bsbm_tiny.vendors) == config.vendors
+        assert len(bsbm_tiny.reviewers) == config.reviewers
+
+    def test_offers_and_reviews_reference_existing_products(self, bsbm_tiny):
+        graph = bsbm_tiny.graph
+        products = set(bsbm_tiny.products)
+        for offer in bsbm_tiny.offers[:25]:
+            target = graph.value(offer, schema.OFFER_PRODUCT)
+            assert target in products
+        for review in bsbm_tiny.reviews[:25]:
+            target = graph.value(review, schema.REVIEW_FOR)
+            assert target in products
+
+
+class TestTypeHierarchy:
+    def test_single_root(self, bsbm_tiny):
+        roots = [node for node in bsbm_tiny.type_nodes if node.parent is None]
+        assert len(roots) == 1
+        assert roots[0].depth == 0
+
+    def test_depth_matches_config(self, bsbm_tiny):
+        assert max(node.depth for node in bsbm_tiny.type_nodes) == bsbm_tiny.config.type_depth
+
+    def test_subclass_triples_present(self, bsbm_tiny):
+        graph = bsbm_tiny.graph
+        child = bsbm_tiny.leaf_types[0]
+        assert graph.value(child.iri, schema.SUBCLASS_OF) == child.parent.iri
+
+    def test_ancestors_chain_reaches_root(self, bsbm_tiny):
+        leaf = bsbm_tiny.leaf_types[0]
+        chain = leaf.ancestors()
+        assert chain[0] is leaf
+        assert chain[-1].parent is None
+
+    def test_products_typed_with_full_ancestor_chain(self, bsbm_tiny):
+        graph = bsbm_tiny.graph
+        product = bsbm_tiny.products[0]
+        types = set(graph.objects(product, RDF_TYPE))
+        type_iris = {node.iri for node in bsbm_tiny.type_nodes}
+        product_types = types & type_iris
+        # The product carries a leaf type and every ancestor, i.e. depth+1 types.
+        assert len(product_types) == bsbm_tiny.config.type_depth + 1
+
+    def test_root_type_covers_all_products(self, bsbm_tiny):
+        root = next(node for node in bsbm_tiny.type_nodes if node.parent is None)
+        assert bsbm_tiny.products_per_type[root.iri] == bsbm_tiny.config.products
+
+    def test_type_popularity_is_skewed(self, bsbm_tiny):
+        counts = sorted(bsbm_tiny.products_per_type.values(), reverse=True)
+        # The most generic type touches at least an order of magnitude more
+        # products than the rarest one with any products at all.
+        non_zero = [count for count in counts if count > 0]
+        assert non_zero[0] >= 10 * non_zero[-1]
+
+    def test_leaf_types_have_no_children(self, bsbm_tiny):
+        assert all(node.is_leaf() for node in bsbm_tiny.leaf_types)
+
+
+class TestFeatureCorrelation:
+    def test_products_have_features_within_config_bounds(self, bsbm_tiny):
+        graph = bsbm_tiny.graph
+        low, high = bsbm_tiny.config.features_per_product
+        for product in bsbm_tiny.products[:20]:
+            features = graph.objects(product, schema.PRODUCT_FEATURE_PROP)
+            assert low <= len(features) <= high
+
+    def test_same_leaf_products_share_more_features_than_random_pairs(self, bsbm_tiny):
+        graph = bsbm_tiny.graph
+        by_leaf = {}
+        for product in bsbm_tiny.products:
+            types = set(graph.objects(product, RDF_TYPE))
+            leaf = next((node.iri for node in bsbm_tiny.leaf_types if node.iri in types), None)
+            by_leaf.setdefault(leaf, []).append(product)
+        same_leaf_pairs = []
+        for members in by_leaf.values():
+            if len(members) >= 2:
+                same_leaf_pairs.append((members[0], members[1]))
+        assert same_leaf_pairs, "expected at least one leaf type with two products"
+
+        def shared(a, b):
+            return len(set(graph.objects(a, schema.PRODUCT_FEATURE_PROP)) & set(graph.objects(b, schema.PRODUCT_FEATURE_PROP)))
+
+        same_leaf_overlap = sum(shared(a, b) for a, b in same_leaf_pairs) / len(same_leaf_pairs)
+        leaves = list(by_leaf.values())
+        cross_pairs = [(leaves[i][0], leaves[(i + len(leaves) // 2) % len(leaves)][0]) for i in range(len(leaves))]
+        cross_overlap = sum(shared(a, b) for a, b in cross_pairs) / len(cross_pairs)
+        assert same_leaf_overlap >= cross_overlap
+
+
+class TestTemplates:
+    def test_registry_contains_eight_templates(self):
+        assert len(REGISTRY) == 8
+
+    def test_parameter_names_match_documentation(self):
+        for name, expected in PARAMETER_DOMAINS.items():
+            assert set(template(name).parameter_names) == set(expected), name
+
+    def test_q2_and_q4_parse_with_expected_parameters(self):
+        assert template("bsbm_bi_q2").parameter_names == ("product",)
+        assert template("bsbm_bi_q4").parameter_names == ("type",)
+
+    def test_q4_runs_and_touches_more_data_for_generic_types(self, bsbm_tiny, bsbm_engine):
+        q4 = template("bsbm_bi_q4")
+        root = next(node for node in bsbm_tiny.type_nodes if node.parent is None)
+        leaf = min(bsbm_tiny.leaf_types, key=lambda node: bsbm_tiny.products_per_type[node.iri])
+        generic = bsbm_engine.execute_template(q4, {"type": root.iri})
+        specific = bsbm_engine.execute_template(q4, {"type": leaf.iri})
+        assert generic.actual_cout > specific.actual_cout
+
+    def test_q2_returns_at_most_ten_similar_products(self, bsbm_tiny, bsbm_engine):
+        q2 = template("bsbm_bi_q2")
+        result = bsbm_engine.execute_template(q2, {"product": bsbm_tiny.products[0]})
+        assert len(result) <= 10
+        for row in result.to_dicts():
+            assert row["other"] != bsbm_tiny.products[0]
+
+    def test_all_templates_execute_on_tiny_dataset(self, bsbm_tiny, bsbm_engine):
+        bindings_by_parameter = {
+            "type": bsbm_tiny.type_nodes[1].iri,
+            "product": bsbm_tiny.products[0],
+            "feature": bsbm_tiny.features[0],
+            "producer": bsbm_tiny.producers[0],
+            "vendorCountry": bsbm_tiny.graph.value(bsbm_tiny.vendors[0], schema.VENDOR_COUNTRY),
+        }
+        for name in REGISTRY.names():
+            query_template = template(name)
+            binding = {parameter: bindings_by_parameter[parameter] for parameter in query_template.parameter_names}
+            result = bsbm_engine.execute_template(query_template, binding)
+            assert result.runtime_ms > 0

@@ -1,0 +1,99 @@
+"""Tests for repro.datagen.dictionaries."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datagen.dictionaries import (
+    COUNTRIES,
+    FIRST_NAMES_BY_COUNTRY,
+    GLOBAL_FIRST_NAMES,
+    TAGS,
+    UNIVERSITIES_BY_COUNTRY,
+    all_first_names,
+    country_names,
+    make_label,
+    make_sentence,
+    pick_country,
+    pick_first_name,
+    pick_tag,
+    pick_university,
+)
+from repro.datagen.random_source import RandomSource
+
+
+class TestStaticTables:
+    def test_every_country_has_a_name_pool(self):
+        for country, _weight in COUNTRIES:
+            assert country in FIRST_NAMES_BY_COUNTRY
+            assert FIRST_NAMES_BY_COUNTRY[country]
+
+    def test_every_country_has_universities(self):
+        for country, _weight in COUNTRIES:
+            assert len(UNIVERSITIES_BY_COUNTRY[country]) >= 1
+
+    def test_country_weights_positive(self):
+        assert all(weight > 0 for _name, weight in COUNTRIES)
+
+    def test_country_names_ordering(self):
+        names = country_names()
+        assert names[0] == "China"
+        assert len(names) == len(COUNTRIES)
+
+    def test_all_first_names_includes_local_and_global(self):
+        names = all_first_names()
+        assert "Li" in names
+        assert "John" in names
+        assert GLOBAL_FIRST_NAMES[0][0] in names
+        assert names == sorted(names)
+
+
+class TestCorrelatedPicks:
+    def test_pick_country_is_population_skewed(self):
+        source = RandomSource(5)
+        counts = Counter(pick_country(source) for _ in range(3000))
+        assert counts["China"] > counts.get("Iceland", 0) * 10
+
+    def test_first_name_correlates_with_country(self):
+        source = RandomSource(7)
+        chinese = Counter(pick_first_name(source, "China") for _ in range(1000))
+        american = Counter(pick_first_name(source, "United_States") for _ in range(1000))
+        # The paper's example: Li is frequent in China, John in the US —
+        # and essentially absent the other way around.
+        assert chinese["Li"] > 100
+        assert american["John"] > 100
+        assert chinese.get("John", 0) < chinese["Li"] / 5
+        assert american.get("Li", 0) < american["John"] / 5
+
+    def test_global_names_leak_into_every_country(self):
+        source = RandomSource(9)
+        names = Counter(pick_first_name(source, "Iceland") for _ in range(2000))
+        assert any(names[name] > 0 for name, _weight in GLOBAL_FIRST_NAMES)
+
+    def test_university_is_usually_local(self):
+        source = RandomSource(11)
+        picks = [pick_university(source, "Chile") for _ in range(500)]
+        local = sum(1 for pick in picks if pick.startswith("Chile_University"))
+        assert local > 400
+
+    def test_pick_tag_is_zipf_skewed(self):
+        source = RandomSource(13)
+        counts = Counter(pick_tag(source) for _ in range(3000))
+        assert counts[TAGS[0]] > counts.get(TAGS[-1], 0)
+
+    def test_unknown_country_falls_back_to_global_pool(self):
+        source = RandomSource(15)
+        names = {pick_first_name(source, "Atlantis") for _ in range(50)}
+        assert names <= {name for name, _weight in GLOBAL_FIRST_NAMES}
+
+
+class TestTextHelpers:
+    def test_make_label_contains_index(self):
+        assert "42" in make_label(RandomSource(1), 42)
+
+    def test_make_sentence_word_count(self):
+        sentence = make_sentence(RandomSource(1), 7)
+        assert len(sentence.split()) == 7
+
+    def test_make_sentence_minimum_one_word(self):
+        assert len(make_sentence(RandomSource(1), 0).split()) == 1

@@ -1,0 +1,164 @@
+"""Tests for the LDBC SNB-like generator and its query templates."""
+
+import pytest
+
+from repro.datagen.ldbc import (
+    LDBCConfig,
+    REGISTRY,
+    average_same_country_fraction,
+    degree_histogram,
+    generate_ldbc,
+    template,
+)
+from repro.datagen.ldbc import schema
+from repro.datagen.ldbc.queries import PARAMETER_DOMAINS
+from repro.datagen.dictionaries import FIRST_NAMES_BY_COUNTRY
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        first = generate_ldbc(LDBCConfig(persons=25, seed=9))
+        second = generate_ldbc(LDBCConfig(persons=25, seed=9))
+        assert first.graph.to_ntriples() == second.graph.to_ntriples()
+
+    def test_person_count_matches_config(self, ldbc_tiny):
+        assert len(ldbc_tiny.persons) == ldbc_tiny.config.persons
+
+    def test_every_person_has_at_least_one_post(self, ldbc_tiny):
+        posts_per_person = ldbc_tiny.posts_per_person()
+        assert min(posts_per_person.values()) >= 1
+
+    def test_posts_reference_existing_creators(self, ldbc_tiny):
+        person_indexes = {person.index for person in ldbc_tiny.persons}
+        assert all(post.creator in person_indexes for post in ldbc_tiny.posts)
+
+    def test_graph_contains_person_attributes(self, ldbc_tiny):
+        graph = ldbc_tiny.graph
+        person = ldbc_tiny.persons[0]
+        subject = schema.person_iri(person.index)
+        assert graph.value(subject, schema.FIRST_NAME) is not None
+        assert graph.value(subject, schema.LIVES_IN) == schema.country_iri(person.country)
+
+    def test_forum_members_exist(self, ldbc_tiny):
+        person_indexes = {person.index for person in ldbc_tiny.persons}
+        for forum in ldbc_tiny.forums:
+            assert forum.moderator in person_indexes
+            assert set(forum.members) <= person_indexes
+
+
+class TestCorrelations:
+    def test_knows_edges_are_symmetric_in_graph(self, ldbc_tiny):
+        graph = ldbc_tiny.graph
+        person = next(person for person in ldbc_tiny.persons if person.friends)
+        friend = person.friends[0]
+        forward = graph.value(schema.person_iri(person.index), schema.KNOWS)
+        assert forward is not None
+        backward_objects = graph.objects(schema.person_iri(friend), schema.KNOWS)
+        assert schema.person_iri(person.index) in backward_objects
+
+    def test_degrees_are_skewed(self, ldbc_tiny):
+        histogram = degree_histogram(ldbc_tiny.persons)
+        degrees = sorted(histogram)
+        assert degrees[-1] >= 3 * max(1, degrees[0])
+
+    def test_friendships_correlate_with_country(self, ldbc_tiny):
+        # S3G2-style windowed generation: most friends share the country.
+        # Under uniform wiring the expected fraction equals the country
+        # population share (< 0.35 for this country table).
+        assert average_same_country_fraction(ldbc_tiny.persons) > 0.4
+
+    def test_first_names_correlate_with_country(self, ldbc_tiny):
+        matches = 0
+        total = 0
+        for person in ldbc_tiny.persons:
+            local_names = {name for name, _weight in FIRST_NAMES_BY_COUNTRY.get(person.country, [])}
+            if not local_names:
+                continue
+            total += 1
+            if person.first_name in local_names:
+                matches += 1
+        assert total > 0
+        assert matches / total > 0.6
+
+    def test_posts_are_usually_from_home_country(self, ldbc_tiny):
+        by_index = {person.index: person for person in ldbc_tiny.persons}
+        home = sum(1 for post in ldbc_tiny.posts if post.country == by_index[post.creator].country)
+        assert home / len(ldbc_tiny.posts) > 0.6
+
+    def test_travel_posts_exist(self, ldbc_tiny):
+        by_index = {person.index: person for person in ldbc_tiny.persons}
+        travel = sum(1 for post in ldbc_tiny.posts if post.country != by_index[post.creator].country)
+        assert travel > 0
+
+    def test_post_volume_correlates_with_degree(self, ldbc_tiny):
+        posts_per_person = ldbc_tiny.posts_per_person()
+        by_degree = sorted(ldbc_tiny.persons, key=lambda person: len(person.friends))
+        quarter = max(1, len(by_degree) // 4)
+        low_degree = by_degree[:quarter]
+        high_degree = by_degree[-quarter:]
+        low_avg = sum(posts_per_person[person.index] for person in low_degree) / len(low_degree)
+        high_avg = sum(posts_per_person[person.index] for person in high_degree) / len(high_degree)
+        assert high_avg > low_avg
+
+
+class TestTemplates:
+    def test_registry_contains_seven_templates(self):
+        assert len(REGISTRY) == 7
+
+    def test_parameter_names_match_documentation(self):
+        for name, expected in PARAMETER_DOMAINS.items():
+            assert set(template(name).parameter_names) == set(expected), name
+
+    def test_q2_newest_posts_of_friends(self, ldbc_tiny, ldbc_engine):
+        q2 = template("ldbc_q2")
+        person = max(ldbc_tiny.persons, key=lambda person: len(person.friends))
+        result = ldbc_engine.execute_template(q2, {"person": schema.person_iri(person.index)})
+        assert len(result) <= 20
+        dates = [row["date"].lexical for row in result.to_dicts()]
+        assert dates == sorted(dates, reverse=True)
+
+    def test_q2_busy_person_costs_more_than_loner(self, ldbc_tiny, ldbc_engine):
+        q2 = template("ldbc_q2")
+        posts_per_person = ldbc_tiny.posts_per_person()
+
+        def friend_post_volume(person):
+            return sum(posts_per_person[friend] for friend in person.friends)
+
+        busy = max(ldbc_tiny.persons, key=friend_post_volume)
+        quiet = min(ldbc_tiny.persons, key=friend_post_volume)
+        busy_result = ldbc_engine.execute_template(q2, {"person": schema.person_iri(busy.index)})
+        quiet_result = ldbc_engine.execute_template(q2, {"person": schema.person_iri(quiet.index)})
+        assert busy_result.actual_cout > quiet_result.actual_cout
+
+    def test_q3_executes_with_country_pair(self, ldbc_tiny, ldbc_engine):
+        q3 = template("ldbc_q3")
+        person = max(ldbc_tiny.persons, key=lambda person: len(person.friends))
+        result = ldbc_engine.execute_template(
+            q3,
+            {
+                "person": schema.person_iri(person.index),
+                "countryX": schema.country_iri("China"),
+                "countryY": schema.country_iri("India"),
+            },
+        )
+        assert result.runtime_ms > 0
+
+    def test_all_templates_execute_on_tiny_dataset(self, ldbc_tiny, ldbc_engine):
+        person = max(ldbc_tiny.persons, key=lambda person: len(person.friends))
+        bindings_by_parameter = {
+            "person": schema.person_iri(person.index),
+            "name": None,  # filled below
+            "countryX": schema.country_iri("China"),
+            "countryY": schema.country_iri("India"),
+            "tag": schema.tag_iri(ldbc_tiny.posts[0].tags[0]),
+            "country": schema.country_iri(ldbc_tiny.persons[0].country),
+        }
+        friend = ldbc_tiny.persons[person.friends[0] - 1] if person.friends else ldbc_tiny.persons[0]
+        from repro.rdf.terms import Literal
+
+        bindings_by_parameter["name"] = Literal(friend.first_name)
+        for name in REGISTRY.names():
+            query_template = template(name)
+            binding = {parameter: bindings_by_parameter[parameter] for parameter in query_template.parameter_names}
+            result = ldbc_engine.execute_template(query_template, binding)
+            assert result.runtime_ms > 0

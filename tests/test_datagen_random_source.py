@@ -1,0 +1,149 @@
+"""Tests for repro.datagen.random_source."""
+
+import pytest
+
+from repro.datagen.random_source import RandomSource, interleave_power_law_degrees
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = [RandomSource(7).uniform_int(0, 100) for _ in range(1)]
+        second = [RandomSource(7).uniform_int(0, 100) for _ in range(1)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = [RandomSource(1).random() for _ in range(5)]
+        second = [RandomSource(2).random() for _ in range(5)]
+        assert first != second
+
+    def test_fork_is_deterministic_and_independent(self):
+        a1 = RandomSource(5).fork("posts").random()
+        a2 = RandomSource(5).fork("posts").random()
+        b = RandomSource(5).fork("persons").random()
+        assert a1 == a2
+        assert a1 != b
+
+
+class TestUniformHelpers:
+    def test_uniform_int_bounds(self):
+        source = RandomSource(3)
+        values = [source.uniform_int(2, 5) for _ in range(200)]
+        assert min(values) >= 2
+        assert max(values) <= 5
+        assert set(values) == {2, 3, 4, 5}
+
+    def test_choice_and_sample(self):
+        source = RandomSource(3)
+        items = ["a", "b", "c"]
+        assert source.choice(items) in items
+        assert set(source.sample(items, 2)) <= set(items)
+        assert len(source.sample(items, 10)) == 3  # capped at population size
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).choice([])
+
+    def test_shuffle_returns_permutation_without_mutating(self):
+        source = RandomSource(3)
+        items = [1, 2, 3, 4, 5]
+        shuffled = source.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == [1, 2, 3, 4, 5]
+
+    def test_bernoulli_extremes(self):
+        source = RandomSource(3)
+        assert all(source.bernoulli(1.0) for _ in range(10))
+        assert not any(source.bernoulli(0.0) for _ in range(10))
+
+
+class TestSkewedDistributions:
+    def test_zipf_prefers_low_indexes(self):
+        source = RandomSource(11)
+        draws = [source.zipf_index(100, 1.0) for _ in range(3000)]
+        assert all(0 <= value < 100 for value in draws)
+        first_decile = sum(1 for value in draws if value < 10)
+        last_decile = sum(1 for value in draws if value >= 90)
+        assert first_decile > 5 * max(1, last_decile)
+
+    def test_zipf_choice_returns_items(self):
+        source = RandomSource(11)
+        items = ["x", "y", "z"]
+        assert all(source.zipf_choice(items) in items for _ in range(20))
+
+    def test_zipf_empty_domain_raises(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).zipf_index(0)
+
+    def test_power_law_int_bounds(self):
+        source = RandomSource(13)
+        values = [source.power_law_int(1, 50, exponent=2.0) for _ in range(2000)]
+        assert min(values) >= 1
+        assert max(values) <= 50
+
+    def test_power_law_int_is_skewed_towards_minimum(self):
+        source = RandomSource(13)
+        values = [source.power_law_int(1, 50, exponent=2.0) for _ in range(2000)]
+        small = sum(1 for value in values if value <= 5)
+        large = sum(1 for value in values if value >= 40)
+        assert small > 5 * max(1, large)
+
+    def test_power_law_int_with_zero_minimum(self):
+        source = RandomSource(13)
+        values = [source.power_law_int(0, 10) for _ in range(500)]
+        assert min(values) >= 0
+        assert max(values) <= 10
+
+    def test_power_law_degenerate_range(self):
+        assert RandomSource(1).power_law_int(4, 4) == 4
+
+    def test_power_law_invalid_range(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).power_law_int(5, 4)
+
+    def test_power_law_exponent_one(self):
+        source = RandomSource(17)
+        values = [source.power_law_int(1, 100, exponent=1.0) for _ in range(500)]
+        assert min(values) >= 1 and max(values) <= 100
+
+    def test_truncated_normal_respects_bounds(self):
+        source = RandomSource(19)
+        values = [source.truncated_normal(50, 100, 0, 60) for _ in range(500)]
+        assert min(values) >= 0
+        assert max(values) <= 60
+
+    def test_weighted_choice_prefers_heavy_items(self):
+        source = RandomSource(23)
+        draws = [source.weighted_choice([("heavy", 100.0), ("light", 1.0)]) for _ in range(500)]
+        assert draws.count("heavy") > 400
+
+    def test_weighted_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).weighted_choice([])
+
+
+class TestDates:
+    def test_iso_date_format_and_range(self):
+        source = RandomSource(29)
+        for _ in range(50):
+            date = source.iso_date(2011, 2013)
+            year, month, day = date.split("-")
+            assert 2011 <= int(year) <= 2013
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+
+    def test_iso_datetime_contains_time_part(self):
+        stamp = RandomSource(29).iso_datetime(2011, 2012)
+        assert "T" in stamp
+        assert len(stamp) == 19
+
+    def test_dates_sort_lexicographically(self):
+        source = RandomSource(31)
+        dates = sorted(source.iso_date(2010, 2014) for _ in range(100))
+        assert dates == sorted(dates)
+
+
+class TestHelpers:
+    def test_interleave_power_law_degrees(self):
+        degrees = interleave_power_law_degrees(RandomSource(1), 100, 1, 20)
+        assert len(degrees) == 100
+        assert all(1 <= degree <= 20 for degree in degrees)

@@ -1,0 +1,182 @@
+"""Tests for repro.engine.operators (expression evaluation)."""
+
+import pytest
+
+from repro.engine.operators import (
+    ExpressionError,
+    effective_boolean_value,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_filter,
+    ordering_key,
+    value_to_term,
+)
+from repro.rdf.terms import IRI, Literal, Variable, typed_literal
+from repro.sparql.parser import parse_query
+
+
+def expression_of(filter_text: str):
+    """Parse ``FILTER(<filter_text>)`` and return the expression."""
+    query = parse_query("SELECT * WHERE { ?s sn:x ?a . FILTER(%s) }" % filter_text)
+    return query.where.filters[0]
+
+
+def projection_expression(select_text: str):
+    query = parse_query("SELECT (%s AS ?out) WHERE { ?s sn:x ?a }" % select_text)
+    return query.projections[0].expression
+
+
+A = Variable("a")
+B = Variable("b")
+
+
+class TestBasicEvaluation:
+    def test_variable_lookup(self):
+        assert evaluate(expression_of("?a"), {A: typed_literal(5)}) == 5
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate(expression_of("?a"), {})
+
+    def test_arithmetic(self):
+        binding = {A: typed_literal(10), B: typed_literal(4)}
+        assert evaluate(expression_of("?a + ?b"), binding) == 14
+        assert evaluate(expression_of("?a - ?b"), binding) == 6
+        assert evaluate(expression_of("?a * ?b"), binding) == 40
+        assert evaluate(expression_of("?a / ?b"), binding) == pytest.approx(2.5)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate(expression_of("?a / 0"), {A: typed_literal(1)})
+
+    def test_unary_minus_and_not(self):
+        assert evaluate(expression_of("-?a"), {A: typed_literal(3)}) == -3
+        assert evaluate(expression_of("!(?a > 1)"), {A: typed_literal(3)}) is False
+
+    def test_comparisons_numeric(self):
+        binding = {A: typed_literal(5)}
+        assert evaluate(expression_of("?a > 3"), binding) is True
+        assert evaluate(expression_of("?a >= 5"), binding) is True
+        assert evaluate(expression_of("?a < 3"), binding) is False
+        assert evaluate(expression_of("?a <= 4"), binding) is False
+        assert evaluate(expression_of("?a = 5"), binding) is True
+        assert evaluate(expression_of("?a != 5"), binding) is False
+
+    def test_comparisons_strings_and_dates(self):
+        binding = {A: Literal("2013-05-01", datatype=IRI("http://www.w3.org/2001/XMLSchema#date"))}
+        assert evaluate(expression_of('?a > "2012-01-01"'), binding) is True
+        assert evaluate(expression_of('?a < "2014-01-01"'), binding) is True
+
+    def test_iri_equality(self):
+        binding = {A: IRI("http://example.org/x")}
+        assert evaluate(expression_of("?a = <http://example.org/x>"), binding) is True
+        assert evaluate(expression_of("?a != <http://example.org/y>"), binding) is True
+
+    def test_iri_vs_number_comparison_is_error(self):
+        with pytest.raises(ExpressionError):
+            evaluate(expression_of("?a > 3"), {A: IRI("http://example.org/x")})
+
+    def test_boolean_connectives(self):
+        binding = {A: typed_literal(5)}
+        assert evaluate(expression_of("?a > 1 && ?a < 10"), binding) is True
+        assert evaluate(expression_of("?a > 9 || ?a < 10"), binding) is True
+        assert evaluate(expression_of("?a > 9 && ?a < 10"), binding) is False
+
+    def test_or_is_true_if_either_side_true_despite_error(self):
+        # ?b is unbound: the left disjunct errors, the right one is true.
+        assert evaluate(expression_of("?b > 1 || ?a = 5"), {A: typed_literal(5)}) is True
+
+
+class TestFunctions:
+    def test_bound(self):
+        assert evaluate(expression_of("BOUND(?a)"), {A: typed_literal(1)}) is True
+        assert evaluate(expression_of("BOUND(?a)"), {}) is False
+
+    def test_regex(self):
+        binding = {A: Literal("durable widget 7")}
+        assert evaluate(expression_of('REGEX(?a, "widget")'), binding) is True
+        assert evaluate(expression_of('REGEX(?a, "gadget")'), binding) is False
+
+    def test_regex_case_insensitive_flag(self):
+        binding = {A: Literal("Widget")}
+        assert evaluate(expression_of('REGEX(?a, "widget", "i")'), binding) is True
+
+    def test_str_of_iri_and_literal(self):
+        assert evaluate(expression_of("STR(?a)"), {A: IRI("http://x")}) == "http://x"
+        assert evaluate(expression_of("STR(?a)"), {A: typed_literal(7)}) == "7"
+
+    def test_lang_and_datatype(self):
+        assert evaluate(expression_of("LANG(?a)"), {A: Literal("hi", language="en")}) == "en"
+        datatype = evaluate(expression_of("DATATYPE(?a)"), {A: typed_literal(7)})
+        assert datatype.value.endswith("integer")
+
+
+class TestEffectiveBooleanValue:
+    def test_booleans_and_numbers(self):
+        assert effective_boolean_value(True) is True
+        assert effective_boolean_value(0) is False
+        assert effective_boolean_value(2.5) is True
+
+    def test_strings(self):
+        assert effective_boolean_value("") is False
+        assert effective_boolean_value("x") is True
+
+    def test_literals(self):
+        assert effective_boolean_value(typed_literal(0)) is False
+        assert effective_boolean_value(Literal("yes")) is True
+
+    def test_iri_has_no_ebv(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(IRI("http://x"))
+
+    def test_evaluate_filter_swallows_errors(self):
+        assert evaluate_filter(expression_of("?missing > 1"), {}) is False
+        assert evaluate_filter(expression_of("?a > 1"), {A: typed_literal(2)}) is True
+
+
+class TestAggregates:
+    def make_rows(self, values):
+        return [{A: typed_literal(value)} for value in values]
+
+    def test_count_star(self):
+        aggregate = projection_expression("COUNT(*)")
+        assert evaluate_aggregate(aggregate, self.make_rows([1, 2, 3])) == 3
+
+    def test_count_expression_skips_errors(self):
+        aggregate = projection_expression("COUNT(?a)")
+        rows = self.make_rows([1, 2]) + [{}]
+        assert evaluate_aggregate(aggregate, rows) == 2
+
+    def test_count_distinct(self):
+        aggregate = projection_expression("COUNT(DISTINCT ?a)")
+        assert evaluate_aggregate(aggregate, self.make_rows([1, 1, 2])) == 2
+
+    def test_sum_avg_min_max(self):
+        rows = self.make_rows([2, 4, 6])
+        assert evaluate_aggregate(projection_expression("SUM(?a)"), rows) == 12
+        assert evaluate_aggregate(projection_expression("AVG(?a)"), rows) == pytest.approx(4.0)
+        assert evaluate_aggregate(projection_expression("MIN(?a)"), rows) == 2
+        assert evaluate_aggregate(projection_expression("MAX(?a)"), rows) == 6
+
+    def test_aggregate_over_empty_group_raises_except_count(self):
+        assert evaluate_aggregate(projection_expression("COUNT(?a)"), []) == 0
+        with pytest.raises(ExpressionError):
+            evaluate_aggregate(projection_expression("SUM(?a)"), [])
+
+
+class TestValueConversion:
+    def test_value_to_term_round_trips_numbers(self):
+        assert value_to_term(5).value == 5
+        assert value_to_term(2.5).value == pytest.approx(2.5)
+        assert value_to_term(True).value is True
+
+    def test_value_to_term_passes_terms_through(self):
+        iri = IRI("http://x")
+        assert value_to_term(iri) is iri
+
+    def test_ordering_key_numbers_before_strings(self):
+        assert ordering_key(5) < ordering_key("abc")
+        assert ordering_key(typed_literal(5)) < ordering_key(Literal("abc"))
+
+    def test_ordering_key_consistent_for_literals_and_raw_values(self):
+        assert ordering_key(typed_literal(7)) == ordering_key(7)

@@ -1,0 +1,119 @@
+"""Tests for repro.engine.runtime_model and query_engine."""
+
+import pytest
+
+from repro.engine.executor import ExecutionProfile
+from repro.engine.runtime_model import MeasuredRuntimeModel, RuntimeModel
+from repro.engine.query_engine import QueryEngine
+from repro.optimizer.cost import OPERATOR_COSTS
+from repro.rdf.terms import Literal
+from repro.sparql.template import QueryTemplate
+
+
+def make_profile(scans=1000, probes=500, outputs=200) -> ExecutionProfile:
+    profile = ExecutionProfile()
+    profile.add_work("scan_tuple", scans)
+    profile.add_work("hash_probe_tuple", probes)
+    profile.add_work("join_output_tuple", outputs)
+    profile.result_rows = outputs
+    return profile
+
+
+class TestRuntimeModel:
+    def test_work_milliseconds_includes_overhead(self):
+        model = RuntimeModel(noise_sigma=0.0)
+        empty = ExecutionProfile()
+        assert model.work_milliseconds(empty) == pytest.approx(OPERATOR_COSTS["query_overhead_ms"])
+
+    def test_work_scales_with_profile(self):
+        model = RuntimeModel(noise_sigma=0.0)
+        small = model.work_milliseconds(make_profile(scans=100))
+        large = model.work_milliseconds(make_profile(scans=100000))
+        assert large > small * 10
+
+    def test_zero_noise_is_deterministic_and_noise_free(self):
+        model = RuntimeModel(noise_sigma=0.0)
+        profile = make_profile()
+        assert model.runtime_milliseconds(profile, "a") == model.runtime_milliseconds(profile, "b")
+
+    def test_noise_is_deterministic_per_key(self):
+        model = RuntimeModel(noise_sigma=0.2)
+        profile = make_profile()
+        assert model.runtime_milliseconds(profile, "key1") == model.runtime_milliseconds(profile, "key1")
+
+    def test_noise_differs_between_keys(self):
+        model = RuntimeModel(noise_sigma=0.2)
+        profile = make_profile()
+        values = {model.runtime_milliseconds(profile, "key%d" % index) for index in range(10)}
+        assert len(values) > 1
+
+    def test_noise_is_bounded_in_practice(self):
+        model = RuntimeModel(noise_sigma=0.12)
+        profile = make_profile()
+        base = model.work_milliseconds(profile)
+        for index in range(50):
+            value = model.runtime_milliseconds(profile, "key%d" % index)
+            assert base * 0.5 < value < base * 2.0
+
+    def test_custom_operator_costs_override(self):
+        model = RuntimeModel(operator_costs={"scan_tuple": 1.0}, noise_sigma=0.0)
+        profile = ExecutionProfile()
+        profile.add_work("scan_tuple", 10)
+        assert model.work_milliseconds(profile) == pytest.approx(
+            10.0 + OPERATOR_COSTS["query_overhead_ms"]
+        )
+
+    def test_unknown_counters_are_ignored(self):
+        model = RuntimeModel(noise_sigma=0.0)
+        profile = ExecutionProfile()
+        profile.add_work("nonexistent_counter", 1e9)
+        assert model.work_milliseconds(profile) == pytest.approx(OPERATOR_COSTS["query_overhead_ms"])
+
+    def test_measured_model_has_no_noise(self):
+        model = MeasuredRuntimeModel()
+        profile = make_profile()
+        assert model.runtime_milliseconds(profile, "x") == model.work_milliseconds(profile)
+
+    def test_base_seed_changes_noise(self):
+        profile = make_profile()
+        first = RuntimeModel(noise_sigma=0.2, base_seed=1).runtime_milliseconds(profile, "k")
+        second = RuntimeModel(noise_sigma=0.2, base_seed=2).runtime_milliseconds(profile, "k")
+        assert first != second
+
+
+class TestQueryEngine:
+    def test_rejects_query_with_unbound_parameters(self, people_engine):
+        with pytest.raises(ValueError):
+            people_engine.execute("SELECT ?p WHERE { ?p <http://example.org/firstName> %name }")
+
+    def test_plan_without_execution(self, people_engine):
+        plan = people_engine.plan("SELECT ?p WHERE { ?p <http://example.org/firstName> \"Li\" }")
+        assert plan.estimated_cardinality == 3
+
+    def test_execute_template_is_reproducible(self, people_engine):
+        template = QueryTemplate(
+            "by_name", "SELECT ?p WHERE { ?p <http://example.org/firstName> %name }"
+        )
+        first = people_engine.execute_template(template, {"name": Literal("Li")})
+        second = people_engine.execute_template(template, {"name": Literal("Li")})
+        assert first.runtime_ms == second.runtime_ms
+        assert first.actual_cout == second.actual_cout
+
+    def test_execute_template_repetition_changes_noise_key(self, people_engine):
+        template = QueryTemplate(
+            "by_name", "SELECT ?p WHERE { ?p <http://example.org/firstName> %name }"
+        )
+        first = people_engine.execute_template(template, {"name": Literal("Li")}, repetition=0)
+        second = people_engine.execute_template(template, {"name": Literal("Li")}, repetition=1)
+        assert first.runtime_ms != second.runtime_ms
+        assert len(first.rows) == len(second.rows)
+
+    def test_query_result_repr_and_signature(self, people_engine):
+        result = people_engine.execute("SELECT ?p WHERE { ?p <http://example.org/firstName> \"Li\" }")
+        assert "rows=3" in repr(result)
+        assert result.plan_signature().startswith("scan[")
+
+    def test_engine_accepts_store_directly(self, people_graph):
+        engine = QueryEngine(people_graph.store)
+        result = engine.execute("SELECT ?p WHERE { ?p <http://example.org/firstName> \"Maria\" }")
+        assert len(result) == 1

@@ -1,0 +1,66 @@
+"""Smoke tests for the runnable examples.
+
+The two fast examples are executed end-to-end (their ``main()`` functions);
+the two benchmark-scale examples are only imported and their dataset /
+template builders exercised, so the test suite stays quick.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+
+def load_example(name):
+    sys.path.insert(0, "examples")
+    try:
+        return importlib.import_module(name)
+    finally:
+        sys.path.pop(0)
+
+
+class TestQuickstart:
+    def test_main_runs_and_tells_the_story(self, capsys):
+        example = load_example("quickstart")
+        example.main()
+        output = capsys.readouterr().out
+        assert "people in China older than 30" in output
+        assert "template parameters" in output
+        assert "Li / China" in output
+
+    def test_graph_has_expected_shape(self):
+        example = load_example("quickstart")
+        graph = example.build_graph()
+        assert len(graph) > 20
+
+
+class TestCustomBenchmark:
+    def test_main_runs_and_reports_classes(self, capsys):
+        example = load_example("custom_benchmark")
+        example.main()
+        output = capsys.readouterr().out
+        assert "parameter classes" in output
+        assert "uniform sampling" in output
+        assert "P1-bounded-variance" in output
+
+    def test_catalogue_is_skewed(self):
+        example = load_example("custom_benchmark")
+        graph = example.build_catalogue(books=100, seed=2)
+        from repro.rdf import IRI
+
+        genre_counts = {}
+        for triple in graph.triples(None, IRI("http://example.org/library/genre"), None):
+            genre_counts[triple.object] = genre_counts.get(triple.object, 0) + 1
+        counts = sorted(genre_counts.values(), reverse=True)
+        assert counts[0] > 3 * counts[-1]
+
+
+class TestBenchmarkScaleExamplesImport:
+    def test_bsbm_curation_example_importable(self):
+        example = load_example("bsbm_parameter_curation")
+        assert callable(example.main)
+
+    def test_ldbc_stability_example_importable(self):
+        example = load_example("ldbc_stability_study")
+        assert callable(example.main)
+        assert example.GROUPS >= 2

@@ -1,0 +1,128 @@
+"""Tests for the experiment modules (tiny scale).
+
+These tests check that every experiment runs end-to-end and that the *shape*
+claims of the paper hold directionally even at the tiny test scale.  The
+benchmark harness re-runs the same experiments at larger scales with the
+paper-level thresholds.
+"""
+
+import pytest
+
+from repro.experiments import (
+    common,
+    cost_correlation,
+    curation_eval,
+    e1_variance,
+    e2_stability,
+    e3_average,
+    e4_plans,
+)
+
+SCALE = "tiny"
+
+
+class TestCommonPlumbing:
+    def test_scale_presets(self):
+        assert common.scale("tiny").bsbm_products < common.scale("small").bsbm_products
+        with pytest.raises(KeyError):
+            common.scale("galactic")
+
+    def test_datasets_are_cached(self):
+        assert common.bsbm_dataset(SCALE) is common.bsbm_dataset(SCALE)
+        assert common.ldbc_engine(SCALE) is common.ldbc_engine(SCALE)
+
+    def test_parameter_spaces_are_mined_from_data(self):
+        assert common.bsbm_type_space(SCALE).size() == len(common.bsbm_dataset(SCALE).type_nodes)
+        assert common.bsbm_product_space(SCALE).size() == common.scale(SCALE).bsbm_products
+        assert common.ldbc_person_space(SCALE).size() == common.scale(SCALE).ldbc_persons
+        pair_space = common.ldbc_person_country_pair_space(SCALE)
+        assert pair_space.parameter_names == ("person", "countryX", "countryY")
+
+    def test_visited_country_counts_sum_to_posts(self):
+        counts = common.visited_country_counts(SCALE)
+        assert sum(counts.values()) == len(common.ldbc_dataset(SCALE).posts)
+
+
+class TestE1:
+    def test_runs_and_reports(self):
+        result = e1_variance.run(SCALE, executions=30)
+        report = result.report()
+        assert "variance" in report
+        assert result.q4_variance > 0
+
+    def test_uniform_sampling_is_high_variance_and_non_normal(self):
+        result = e1_variance.run(SCALE, executions=40)
+        # Orders-of-magnitude spread between cheap and expensive types.
+        assert result.q4_max_min_ratio > 5
+        # Clearly away from a fitted normal even at the tiny test scale
+        # (the statistically significant version runs at benchmark scale).
+        assert result.q2_ks_distance > 0.1
+        assert result.q2_ks_pvalue < 0.5
+
+
+class TestE2:
+    def test_group_tables_have_right_shape(self):
+        result = e2_stability.run(SCALE)
+        assert len(result.ldbc_q2.group_summaries) == common.scale(SCALE).groups
+        table = result.ldbc_q2.table()
+        assert "Group 1" in table
+        assert "Average" in table
+
+    def test_uniform_groups_are_unstable(self):
+        result = e2_stability.run(SCALE)
+        # Directional claim: group-to-group deviation is clearly nonzero.
+        assert result.ldbc_q2.comparison.mean_deviation() > 0.02
+        assert result.bsbm_q2.comparison.mean_deviation() > 0.0
+
+
+class TestE3:
+    def test_summary_and_clusters(self):
+        result = e3_average.run(SCALE, executions=40)
+        assert result.summary.count == 40
+        assert result.mean_to_median_ratio > 1.2
+        assert result.fraction_near_mean < 0.6
+        assert len(result.fast_cluster) + len(result.slow_cluster) == 40
+        assert "Min" in result.report()
+
+    def test_split_two_clusters_helper(self):
+        fast, slow = e3_average.split_two_clusters([1.0, 1.1, 1.2, 50.0, 55.0])
+        assert fast == [1.0, 1.1, 1.2]
+        assert slow == [50.0, 55.0]
+
+    def test_split_two_clusters_single_value(self):
+        fast, slow = e3_average.split_two_clusters([4.0])
+        assert fast == [4.0] and slow == []
+
+
+class TestE4:
+    def test_multiple_plans_found(self):
+        result = e4_plans.run(SCALE, persons=4, pairs=2)
+        assert result.distinct_plans() >= 2
+        assert sum(result.plan_histogram.values()) == len(result.analyses)
+        assert "E4" in result.report()
+
+    def test_plan_choice_depends_on_parameters(self):
+        result = e4_plans.run(SCALE, persons=6, pairs=3)
+        assert result.plan_depends_on_parameters()
+        assert 0.0 <= result.person_flip_fraction() <= 1.0
+
+
+class TestCostCorrelation:
+    def test_strong_positive_correlation(self):
+        result = cost_correlation.run(SCALE, bindings_per_template=12)
+        assert result.overall_pearson > 0.6
+        assert len(result.per_template_pearson) >= 4
+        assert "Pearson" in result.report()
+
+
+class TestCurationEval:
+    def test_curated_classes_restore_properties(self):
+        result = curation_eval.run(SCALE, candidates=30)
+        assert result.per_class, "expected at least one reportable class"
+        best = result.best_class()
+        # Within a curated class the variability drops vs uniform sampling.
+        assert best.summary.mean_to_median_ratio() <= result.uniform.summary.mean_to_median_ratio()
+        assert best.group_mean_deviation <= result.uniform.group_mean_deviation + 1e-9
+        assert best.properties.p1.passed
+        assert best.properties.p3.passed
+        assert "Curation evaluation" in result.report()

@@ -1,0 +1,122 @@
+"""Integration tests: the full pipeline the paper describes, end to end.
+
+Generate a benchmark dataset → mine parameter domains → run the uniform
+baseline → observe the pathologies (E1–E4) → partition the parameter domain
+(Section III) → run per-class workloads → observe that P1–P3 are restored.
+"""
+
+import pytest
+
+from repro.bench.runner import WorkloadRunner
+from repro.bench.stats import GroupComparison, RuntimeSummary
+from repro.core.curation import curate
+from repro.core.domain import ParameterSpace, domain_from_values
+from repro.core.properties import check_workload_properties
+from repro.core.samplers import ClassSampler, UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.datagen.ldbc import schema as ldbc_schema
+from repro.datagen.ldbc import template as ldbc_template
+
+
+class TestBSBMQ4Pipeline:
+    """The paper's Q4a/Q4b story on the BSBM type hierarchy."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, bsbm_tiny, bsbm_engine):
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        runner = WorkloadRunner(bsbm_engine)
+        return bsbm_tiny, bsbm_engine, template, space, runner
+
+    def test_uniform_baseline_violates_p1(self, setup):
+        _dataset, _engine, template, space, runner = setup
+        sampler = UniformSampler(space, seed=1)
+        result = runner.run_bindings(template, sampler.bindings(40))
+        report = check_workload_properties(result.runtimes(), result.plan_signatures())
+        assert not report.p1.passed
+
+    def test_curated_classes_restore_p1_and_p3(self, setup):
+        _dataset, engine, template, space, runner = setup
+        curated = curate(engine, template, space, candidates=space.size(), min_class_size=3, seed=2)
+        assert curated.reportable_classes
+        for parameter_class in curated.reportable_classes[:2]:
+            sampler = ClassSampler(parameter_class, seed=3)
+            result = runner.run_bindings(template, sampler.bindings(25))
+            report = check_workload_properties(result.runtimes(), result.plan_signatures())
+            assert report.p1.passed, parameter_class.class_id
+            assert report.p3.passed, parameter_class.class_id
+
+    def test_per_class_means_differ_meaningfully(self, setup):
+        """The classes actually separate cheap from expensive parameters."""
+        _dataset, engine, template, space, runner = setup
+        curated = curate(engine, template, space, candidates=space.size(), min_class_size=3, seed=2)
+        if len(curated.reportable_classes) < 2:
+            pytest.skip("tiny dataset produced a single reportable class")
+        means = []
+        for parameter_class in curated.reportable_classes[:2]:
+            sampler = ClassSampler(parameter_class, seed=4)
+            result = runner.run_bindings(template, sampler.bindings(15))
+            means.append(RuntimeSummary.from_values(result.runtimes()).mean)
+        assert max(means) > 1.5 * min(means)
+
+
+class TestLDBCQ2Pipeline:
+    """The E2 stability story on the social network."""
+
+    def test_group_stability_improves_within_a_class(self, ldbc_tiny, ldbc_engine):
+        template = ldbc_template("ldbc_q2")
+        space = ParameterSpace([domain_from_values("person", ldbc_tiny.person_iris())])
+        runner = WorkloadRunner(ldbc_engine)
+
+        def group_deviation(sampler_factory):
+            groups = []
+            for salt in range(3):
+                sampler = sampler_factory(salt)
+                result = runner.run_bindings(template, sampler.bindings(20))
+                groups.append(result.runtimes())
+            return GroupComparison.from_groups(groups).mean_deviation()
+
+        uniform_deviation = group_deviation(lambda salt: UniformSampler(space, seed=10 + salt))
+
+        curated = curate(ldbc_engine, template, space, candidates=40, min_class_size=5, seed=11)
+        assert curated.reportable_classes
+        largest = curated.reportable_classes[0]
+        curated_deviation = group_deviation(lambda salt: ClassSampler(largest, seed=20 + salt))
+
+        assert curated_deviation <= uniform_deviation + 0.05
+
+    def test_busy_and_quiet_persons_fall_into_different_classes(self, ldbc_tiny, ldbc_engine):
+        template = ldbc_template("ldbc_q2")
+        space = ParameterSpace([domain_from_values("person", ldbc_tiny.person_iris())])
+        curated = curate(ldbc_engine, template, space, candidates=space.size(), min_class_size=2, seed=12)
+        posts_per_person = ldbc_tiny.posts_per_person()
+
+        def friend_post_volume(person):
+            return sum(posts_per_person[friend] for friend in person.friends)
+
+        busy = max(ldbc_tiny.persons, key=friend_post_volume)
+        quiet = min(ldbc_tiny.persons, key=friend_post_volume)
+        busy_class = curated.partition.class_of({"person": ldbc_schema.person_iri(busy.index)})
+        quiet_class = curated.partition.class_of({"person": ldbc_schema.person_iri(quiet.index)})
+        assert busy_class is not None and quiet_class is not None
+        assert busy_class.class_id != quiet_class.class_id
+
+
+class TestWorkloadReportingPipeline:
+    def test_per_class_reporting_from_curated_workload(self, bsbm_tiny, bsbm_engine):
+        from repro.core.report import per_class_report
+
+        template = bsbm_template("bsbm_bi_q4")
+        space = ParameterSpace([domain_from_values("type", bsbm_tiny.product_type_iris())])
+        runner = WorkloadRunner(bsbm_engine)
+        curated = curate(bsbm_engine, template, space, candidates=space.size(), min_class_size=3, seed=6)
+        results = {}
+        class_of_workload = {}
+        for name, parameter_class in zip(curated.sub_workload_names(), curated.reportable_classes):
+            sampler = ClassSampler(parameter_class, seed=7)
+            results[name] = runner.run_bindings(template, sampler.bindings(10), workload_name=name)
+            class_of_workload[name] = parameter_class.class_id
+        report = per_class_report(results, class_of_workload, title="BSBM-BI Q4 per class")
+        assert "BSBM-BI Q4 per class" in report
+        for name in results:
+            assert name in report

@@ -1,0 +1,140 @@
+"""Tests for repro.optimizer.cardinality."""
+
+import pytest
+
+from repro.optimizer.cardinality import CardinalityEstimator, DEFAULT_SELECTIVITY, shared_variables
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.parser import parse_query
+from repro.store.statistics import StoreStatistics
+
+EX = "http://example.org/"
+
+
+@pytest.fixture(scope="module")
+def estimator(request):
+    # Build from the shared people graph without depending on function-scoped fixtures.
+    from tests.conftest import build_people_graph
+
+    graph = build_people_graph()
+    return CardinalityEstimator(StoreStatistics(graph.store).collect())
+
+
+def filter_of(text: str):
+    return parse_query(text).where.filters[0]
+
+
+class TestPatternCardinality:
+    def test_exact_for_predicate(self, estimator):
+        pattern = TriplePattern(Variable("p"), IRI(EX + "firstName"), Variable("n"))
+        assert estimator.pattern_cardinality(pattern) == 6
+
+    def test_exact_for_predicate_object(self, estimator):
+        pattern = TriplePattern(Variable("p"), IRI(EX + "firstName"), Literal("Li"))
+        assert estimator.pattern_cardinality(pattern) == 3
+
+    def test_unknown_constant_is_zero(self, estimator):
+        pattern = TriplePattern(Variable("p"), IRI(EX + "firstName"), Literal("Zorro"))
+        assert estimator.pattern_cardinality(pattern) == 0
+
+    def test_variable_counts_bounded_by_cardinality(self, estimator):
+        pattern = TriplePattern(Variable("p"), IRI(EX + "firstName"), Literal("Li"))
+        counts = estimator.variable_counts(pattern)
+        assert counts[Variable("p")] <= 3
+        assert counts[Variable("p")] >= 1
+
+    def test_variable_counts_use_predicate_statistics(self, estimator):
+        pattern = TriplePattern(Variable("p"), IRI(EX + "livesIn"), Variable("c"))
+        counts = estimator.variable_counts(pattern)
+        # 6 persons live in 3 distinct countries.
+        assert counts[Variable("p")] == pytest.approx(6)
+        assert counts[Variable("c")] == pytest.approx(3)
+
+    def test_predicate_variable_counts(self, estimator):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        counts = estimator.variable_counts(pattern)
+        assert counts[Variable("p")] == 4  # firstName, livesIn, age, knows
+
+
+class TestJoinCardinality:
+    def test_shared_variable_selectivity(self, estimator):
+        cardinality, counts = estimator.join_cardinality(
+            10.0, 20.0, {Variable("x"): 10.0}, {Variable("x"): 20.0}
+        )
+        assert cardinality == pytest.approx(10.0 * 20.0 / 20.0)
+        assert counts[Variable("x")] == pytest.approx(10.0)
+
+    def test_cross_product_without_shared_variables(self, estimator):
+        cardinality, _counts = estimator.join_cardinality(
+            5.0, 7.0, {Variable("a"): 5.0}, {Variable("b"): 7.0}
+        )
+        assert cardinality == pytest.approx(35.0)
+
+    def test_multiple_shared_variables_multiply_selectivities(self, estimator):
+        cardinality, _counts = estimator.join_cardinality(
+            100.0,
+            100.0,
+            {Variable("a"): 10.0, Variable("b"): 20.0},
+            {Variable("a"): 50.0, Variable("b"): 20.0},
+        )
+        assert cardinality == pytest.approx(100.0 * 100.0 / 50.0 / 20.0)
+
+    def test_distinct_counts_never_exceed_cardinality(self, estimator):
+        cardinality, counts = estimator.join_cardinality(
+            4.0, 3.0, {Variable("x"): 4.0}, {Variable("x"): 3.0}
+        )
+        for value in counts.values():
+            assert value <= max(cardinality, 1.0)
+
+    def test_zero_cardinality_propagates(self, estimator):
+        cardinality, counts = estimator.join_cardinality(
+            0.0, 10.0, {Variable("x"): 0.0}, {Variable("x"): 10.0}
+        )
+        assert cardinality == 0.0
+
+
+class TestFilterSelectivity:
+    def test_equality_is_most_selective(self, estimator):
+        equals = estimator.filter_selectivity(filter_of("SELECT * WHERE { ?s sn:x ?a . FILTER(?a = 1) }"))
+        greater = estimator.filter_selectivity(filter_of("SELECT * WHERE { ?s sn:x ?a . FILTER(?a > 1) }"))
+        assert equals < greater
+
+    def test_conjunction_multiplies(self, estimator):
+        single = estimator.filter_selectivity(filter_of("SELECT * WHERE { ?s sn:x ?a . FILTER(?a > 1) }"))
+        double = estimator.filter_selectivity(
+            filter_of("SELECT * WHERE { ?s sn:x ?a . FILTER(?a > 1 && ?a < 9) }")
+        )
+        assert double == pytest.approx(single * single)
+
+    def test_disjunction_is_less_selective_than_either(self, estimator):
+        single = estimator.filter_selectivity(filter_of("SELECT * WHERE { ?s sn:x ?a . FILTER(?a = 1) }"))
+        either = estimator.filter_selectivity(
+            filter_of("SELECT * WHERE { ?s sn:x ?a . FILTER(?a = 1 || ?a = 2) }")
+        )
+        assert either > single
+        assert either <= 1.0
+
+    def test_negation_complements(self, estimator):
+        positive = estimator.filter_selectivity(filter_of("SELECT * WHERE { ?s sn:x ?a . FILTER(?a = 1) }"))
+        negative = estimator.filter_selectivity(filter_of("SELECT * WHERE { ?s sn:x ?a . FILTER(!(?a = 1)) }"))
+        assert negative == pytest.approx(1.0 - positive)
+
+    def test_regex_uses_regex_constant(self, estimator):
+        value = estimator.filter_selectivity(
+            filter_of('SELECT * WHERE { ?s rdfs:label ?l . FILTER(REGEX(?l, "x")) }')
+        )
+        assert value == pytest.approx(DEFAULT_SELECTIVITY["regex"])
+
+    def test_selectivities_are_probabilities(self):
+        for value in DEFAULT_SELECTIVITY.values():
+            assert 0.0 < value <= 1.0
+
+
+class TestSharedVariables:
+    def test_ordered_intersection(self):
+        left = (Variable("a"), Variable("b"), Variable("c"))
+        right = (Variable("c"), Variable("b"))
+        assert shared_variables(left, right) == (Variable("b"), Variable("c"))
+
+    def test_disjoint(self):
+        assert shared_variables((Variable("a"),), (Variable("b"),)) == ()

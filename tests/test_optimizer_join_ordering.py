@@ -1,0 +1,189 @@
+"""Tests for repro.optimizer.join_ordering and plans."""
+
+import pytest
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.join_ordering import (
+    DynamicProgrammingOrderer,
+    GreedyOrderer,
+    JoinOrderingError,
+    lookup_target,
+    make_orderer,
+)
+from repro.optimizer.plans import FilterNode, JoinNode, ScanNode, collect_nodes, join_tree_signature
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.parser import parse_query
+from repro.store.statistics import StoreStatistics
+from tests.conftest import build_people_graph
+
+EX = "http://example.org/"
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    graph = build_people_graph()
+    return CardinalityEstimator(StoreStatistics(graph.store).collect())
+
+
+def patterns_for(text: str):
+    return parse_query(text).where.patterns
+
+
+def filters_for(text: str):
+    return parse_query(text).where.filters
+
+
+STAR_QUERY = """
+SELECT * WHERE {
+  ?p <http://example.org/firstName> "Li" .
+  ?p <http://example.org/livesIn> <http://example.org/China> .
+  ?p <http://example.org/age> ?age .
+}
+"""
+
+CHAIN_QUERY = """
+SELECT * WHERE {
+  ?a <http://example.org/knows> ?b .
+  ?b <http://example.org/knows> ?c .
+  ?c <http://example.org/firstName> ?name .
+}
+"""
+
+
+class TestScansAndHelpers:
+    def test_empty_bgp_rejected(self, estimator):
+        with pytest.raises(JoinOrderingError):
+            DynamicProgrammingOrderer(estimator).order([])
+        with pytest.raises(JoinOrderingError):
+            GreedyOrderer(estimator).order([])
+
+    def test_single_pattern_becomes_scan(self, estimator):
+        plan = DynamicProgrammingOrderer(estimator).order(patterns_for(STAR_QUERY)[:1])
+        assert isinstance(plan, ScanNode)
+        assert plan.estimated_cardinality == 3
+
+    def test_lookup_target_unwraps_filters(self, estimator):
+        scan = ScanNode(TriplePattern(Variable("s"), IRI(EX + "age"), Variable("o")), 0, 6)
+        filtered = FilterNode(filters_for("SELECT * WHERE { ?s sn:x ?o . FILTER(?o > 1) }")[0], scan, 3)
+        assert lookup_target(filtered) is scan
+        assert lookup_target(scan) is scan
+
+    def test_lookup_target_none_for_joins(self, estimator):
+        plan = DynamicProgrammingOrderer(estimator).order(patterns_for(STAR_QUERY))
+        assert lookup_target(plan) is None
+
+    def test_make_orderer_factory(self, estimator):
+        assert isinstance(make_orderer("dp", estimator), DynamicProgrammingOrderer)
+        assert isinstance(make_orderer("greedy", estimator), GreedyOrderer)
+        with pytest.raises(ValueError):
+            make_orderer("quantum", estimator)
+
+
+class TestDynamicProgramming:
+    def test_covers_all_patterns(self, estimator):
+        patterns = patterns_for(STAR_QUERY)
+        plan = DynamicProgrammingOrderer(estimator).order(patterns)
+        scans = [node for node in collect_nodes(plan) if isinstance(node, ScanNode)]
+        assert sorted(scan.pattern_index for scan in scans) == [0, 1, 2]
+
+    def test_starts_with_most_selective_patterns(self, estimator):
+        # firstName="Li" (3 rows) and livesIn=China (4 rows) should be joined
+        # before the unselective age pattern (6 rows).
+        plan = DynamicProgrammingOrderer(estimator).order(patterns_for(STAR_QUERY))
+        assert isinstance(plan, JoinNode)
+        deepest_scan_indexes = {
+            node.pattern_index
+            for node in collect_nodes(plan.left if isinstance(plan.left, JoinNode) else plan)
+            if isinstance(node, ScanNode)
+        }
+        assert 2 not in deepest_scan_indexes or len(deepest_scan_indexes) == 3
+
+    def test_estimated_cout_not_worse_than_greedy(self, estimator):
+        for text in (STAR_QUERY, CHAIN_QUERY):
+            patterns = patterns_for(text)
+            dp_plan = DynamicProgrammingOrderer(estimator).order(patterns)
+            greedy_plan = GreedyOrderer(estimator).order(patterns)
+            assert dp_plan.estimated_cout() <= greedy_plan.estimated_cout() + 1e-9
+
+    def test_deterministic(self, estimator):
+        patterns = patterns_for(CHAIN_QUERY)
+        first = DynamicProgrammingOrderer(estimator).order(patterns)
+        second = DynamicProgrammingOrderer(estimator).order(patterns)
+        assert first.signature() == second.signature()
+
+    def test_falls_back_to_greedy_beyond_max_patterns(self, estimator):
+        orderer = DynamicProgrammingOrderer(estimator, max_patterns=2)
+        plan = orderer.order(patterns_for(CHAIN_QUERY))
+        scans = [node for node in collect_nodes(plan) if isinstance(node, ScanNode)]
+        assert len(scans) == 3
+
+    def test_join_methods_prefer_index_lookup(self, estimator):
+        plan = DynamicProgrammingOrderer(estimator).order(patterns_for(CHAIN_QUERY))
+        joins = [node for node in collect_nodes(plan) if isinstance(node, JoinNode)]
+        assert joins
+        assert any(join.method == JoinNode.LOOKUP for join in joins)
+
+    def test_filters_are_attached_once(self, estimator):
+        text = """
+        SELECT * WHERE {
+          ?p <http://example.org/age> ?age .
+          ?p <http://example.org/knows> ?f .
+          FILTER(?age > 25)
+        }
+        """
+        plan = DynamicProgrammingOrderer(estimator).order(patterns_for(text), filters_for(text))
+        filter_nodes = [node for node in collect_nodes(plan) if isinstance(node, FilterNode)]
+        assert len(filter_nodes) == 1
+
+    def test_cross_product_only_when_unavoidable(self, estimator):
+        text = """
+        SELECT * WHERE {
+          ?a <http://example.org/firstName> "Li" .
+          ?b <http://example.org/firstName> "John" .
+        }
+        """
+        plan = DynamicProgrammingOrderer(estimator).order(patterns_for(text))
+        joins = [node for node in collect_nodes(plan) if isinstance(node, JoinNode)]
+        assert len(joins) == 1
+        assert joins[0].method == JoinNode.NESTED_LOOP
+
+
+class TestGreedy:
+    def test_covers_all_patterns(self, estimator):
+        plan = GreedyOrderer(estimator).order(patterns_for(CHAIN_QUERY))
+        scans = [node for node in collect_nodes(plan) if isinstance(node, ScanNode)]
+        assert sorted(scan.pattern_index for scan in scans) == [0, 1, 2]
+
+    def test_deterministic(self, estimator):
+        patterns = patterns_for(STAR_QUERY)
+        assert GreedyOrderer(estimator).order(patterns).signature() == GreedyOrderer(estimator).order(patterns).signature()
+
+    def test_single_filtered_pattern(self, estimator):
+        text = "SELECT * WHERE { ?p <http://example.org/age> ?age . FILTER(?age > 25) }"
+        plan = GreedyOrderer(estimator).order(patterns_for(text), filters_for(text))
+        assert isinstance(plan, FilterNode)
+        assert isinstance(plan.child, ScanNode)
+
+
+class TestPlanSignatures:
+    def test_signature_reflects_join_order(self, estimator):
+        patterns = patterns_for(CHAIN_QUERY)
+        plan = DynamicProgrammingOrderer(estimator).order(patterns)
+        signature = plan.signature()
+        assert "scan[0" in signature and "scan[1" in signature and "scan[2" in signature
+
+    def test_join_tree_signature_strips_modifiers(self, estimator):
+        plan = DynamicProgrammingOrderer(estimator).order(patterns_for(STAR_QUERY))
+        assert join_tree_signature(plan) == plan.signature()
+
+    def test_scan_access_path_in_signature(self, estimator):
+        pattern = TriplePattern(Variable("s"), IRI(EX + "age"), Literal("30"))
+        scan = ScanNode(pattern, 4, 1)
+        assert scan.signature() == "scan[4:?po]"
+        assert scan.access_path() == "?po"
+
+    def test_pretty_rendering_mentions_all_scans(self, estimator):
+        plan = DynamicProgrammingOrderer(estimator).order(patterns_for(STAR_QUERY))
+        rendered = plan.pretty()
+        assert rendered.count("Scan") == 3

@@ -1,0 +1,188 @@
+"""Tests for repro.optimizer.optimizer and cost."""
+
+import pytest
+
+from repro.optimizer.cost import OPERATOR_COSTS, actual_cout, describe_cost_model, estimated_cout, operator_cost
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plans import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LeftJoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SingletonNode,
+    SortNode,
+    UnionNode,
+    collect_nodes,
+)
+from repro.sparql.algebra import translate_query
+from repro.sparql.parser import parse_query
+from repro.store.statistics import StoreStatistics
+from tests.conftest import build_people_graph
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    graph = build_people_graph()
+    return Optimizer(StoreStatistics(graph.store).collect())
+
+
+def optimize(optimizer, text):
+    return optimizer.optimize(translate_query(parse_query(text)))
+
+
+class TestPlanShapes:
+    def test_simple_select_plan(self, optimizer):
+        plan = optimize(optimizer, "SELECT ?p WHERE { ?p <http://example.org/age> ?age }")
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, ScanNode)
+
+    def test_filter_pushed_into_bgp(self, optimizer):
+        plan = optimize(
+            optimizer,
+            "SELECT ?p WHERE { ?p <http://example.org/age> ?age . ?p <http://example.org/knows> ?f . FILTER(?age > 25) }",
+        )
+        filters = [node for node in collect_nodes(plan) if isinstance(node, FilterNode)]
+        assert len(filters) == 1
+        # The filter must sit below the top join, directly over the age scan.
+        assert isinstance(filters[0].child, ScanNode)
+        assert filters[0].child.pattern_index == 0
+
+    def test_optional_becomes_left_join_node(self, optimizer):
+        plan = optimize(
+            optimizer,
+            "SELECT * WHERE { ?p <http://example.org/age> ?age OPTIONAL { ?p <http://example.org/email> ?e } }",
+        )
+        left_joins = [node for node in collect_nodes(plan) if isinstance(node, LeftJoinNode)]
+        assert len(left_joins) == 1
+
+    def test_union_becomes_union_node(self, optimizer):
+        plan = optimize(
+            optimizer,
+            "SELECT * WHERE { { ?p <http://example.org/firstName> \"Li\" } UNION { ?p <http://example.org/firstName> \"John\" } }",
+        )
+        unions = [node for node in collect_nodes(plan) if isinstance(node, UnionNode)]
+        assert len(unions) == 1
+        assert unions[0].estimated_cardinality == pytest.approx(
+            sum(child.estimated_cardinality for child in unions[0].alternatives)
+        )
+
+    def test_group_by_becomes_aggregate_node(self, optimizer):
+        plan = optimize(
+            optimizer,
+            "SELECT ?p (COUNT(?f) AS ?c) WHERE { ?p <http://example.org/knows> ?f } GROUP BY ?p",
+        )
+        aggregates = [node for node in collect_nodes(plan) if isinstance(node, AggregateNode)]
+        assert len(aggregates) == 1
+        assert aggregates[0].estimated_cardinality <= aggregates[0].child.estimated_cardinality
+
+    def test_order_limit_distinct_wrapping(self, optimizer):
+        plan = optimize(
+            optimizer,
+            "SELECT DISTINCT ?p WHERE { ?p <http://example.org/age> ?age } ORDER BY DESC(?age) LIMIT 2",
+        )
+        assert isinstance(plan, LimitNode)
+        assert isinstance(plan.child, DistinctNode)
+        assert isinstance(plan.child.child, ProjectNode)
+        assert isinstance(plan.child.child.child, SortNode)
+
+    def test_empty_where_gives_singleton(self, optimizer):
+        plan = optimize(optimizer, "SELECT * WHERE { }")
+        singletons = [node for node in collect_nodes(plan) if isinstance(node, SingletonNode)]
+        assert len(singletons) == 1
+
+    def test_limit_caps_estimated_cardinality(self, optimizer):
+        plan = optimize(optimizer, "SELECT ?p WHERE { ?p <http://example.org/age> ?age } LIMIT 2")
+        assert plan.estimated_cardinality <= 2
+
+    def test_greedy_optimizer_produces_equivalent_scans(self):
+        graph = build_people_graph()
+        statistics = StoreStatistics(graph.store).collect()
+        greedy = Optimizer(statistics, join_ordering="greedy")
+        plan = optimize(
+            greedy,
+            "SELECT * WHERE { ?a <http://example.org/knows> ?b . ?b <http://example.org/age> ?age }",
+        )
+        scans = [node for node in collect_nodes(plan) if isinstance(node, ScanNode)]
+        assert len(scans) == 2
+
+
+class TestCostFunctions:
+    def test_scan_cout_is_zero(self):
+        from repro.rdf.terms import Variable
+        from repro.rdf.triples import TriplePattern
+
+        scan = ScanNode(TriplePattern(Variable("s"), Variable("p"), Variable("o")), 0, 100)
+        assert estimated_cout(scan) == 0.0
+
+    def test_join_cout_adds_cardinality(self):
+        from repro.rdf.terms import Variable
+        from repro.rdf.triples import TriplePattern
+
+        left = ScanNode(TriplePattern(Variable("s"), Variable("p"), Variable("o")), 0, 10)
+        right = ScanNode(TriplePattern(Variable("s"), Variable("q"), Variable("r")), 1, 20)
+        join = JoinNode(left, right, [Variable("s")], cardinality=15)
+        assert estimated_cout(join) == 15
+
+    def test_nested_join_cout_sums_intermediates(self):
+        from repro.rdf.terms import Variable
+        from repro.rdf.triples import TriplePattern
+
+        scans = [
+            ScanNode(TriplePattern(Variable("a"), Variable("p%d" % index), Variable("b")), index, 5)
+            for index in range(3)
+        ]
+        inner = JoinNode(scans[0], scans[1], [Variable("a")], cardinality=7)
+        outer = JoinNode(inner, scans[2], [Variable("a")], cardinality=3)
+        assert estimated_cout(outer) == 10
+
+    def test_actual_cout_uses_observed_sizes(self):
+        from repro.rdf.terms import Variable
+        from repro.rdf.triples import TriplePattern
+
+        left = ScanNode(TriplePattern(Variable("s"), Variable("p"), Variable("o")), 0, 10)
+        right = ScanNode(TriplePattern(Variable("s"), Variable("q"), Variable("r")), 1, 20)
+        join = JoinNode(left, right, [Variable("s")], cardinality=999)
+        observed = {id(join): 4}
+        assert actual_cout(join, observed) == 4
+
+    def test_actual_cout_ignores_scans_and_modifiers(self):
+        from repro.rdf.terms import Variable
+        from repro.rdf.triples import TriplePattern
+
+        scan = ScanNode(TriplePattern(Variable("s"), Variable("p"), Variable("o")), 0, 10)
+        project = ProjectNode(scan, [Variable("s")])
+        assert actual_cout(project, {id(scan): 10, id(project): 10}) == 0.0
+
+    def test_operator_cost_lookup(self):
+        assert operator_cost("scan_tuple") == OPERATOR_COSTS["scan_tuple"]
+        with pytest.raises(KeyError):
+            operator_cost("imaginary")
+
+    def test_cost_constants_are_positive(self):
+        for value in OPERATOR_COSTS.values():
+            assert value > 0
+
+    def test_describe_cost_model_lists_all_constants(self):
+        description = describe_cost_model()
+        for name in OPERATOR_COSTS:
+            assert name in description
+
+
+class TestParameterisedPlanChanges:
+    def test_selective_constant_changes_join_order(self, optimizer):
+        # "Li" matches 3 persons, "Maria" matches 1; both plans must still
+        # cover both patterns and stay deterministic.
+        text = """
+        SELECT * WHERE {
+          ?p <http://example.org/firstName> "%s" .
+          ?p <http://example.org/knows> ?f .
+        }
+        """
+        plan_li = optimize(optimizer, text % "Li")
+        plan_maria = optimize(optimizer, text % "Maria")
+        assert plan_li.estimated_cout() >= plan_maria.estimated_cout()

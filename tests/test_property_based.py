@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.stats import RuntimeSummary, mean, median, percentile, variance
+from repro.core.analyzer import BindingAnalysis
+from repro.core.clustering import ParameterPartitioner
+from repro.core.curation import greedy_window_curation
+from repro.rdf import ntriples
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.terms import IRI, Literal, Variable, typed_literal
+from repro.rdf.triples import Triple, TriplePattern
+from repro.store.indexes import PERMUTATIONS, PermutationIndex
+from repro.store.triple_store import TripleStore
+
+# -- strategies ---------------------------------------------------------------------
+
+iri_local = st.text(alphabet=string.ascii_letters + string.digits, min_size=1, max_size=12)
+iris = iri_local.map(lambda local: IRI("http://example.org/" + local))
+plain_literals = st.text(min_size=0, max_size=30).map(Literal)
+typed_literals = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6).map(typed_literal),
+    st.booleans().map(typed_literal),
+)
+literals = st.one_of(plain_literals, typed_literals)
+terms = st.one_of(iris, literals)
+id_triples = st.tuples(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=0, max_value=30),
+)
+
+
+class TestTermProperties:
+    @given(terms, terms)
+    def test_equality_implies_equal_hash(self, left, right):
+        if left == right:
+            assert hash(left) == hash(right)
+
+    @given(st.lists(terms, min_size=1, max_size=20))
+    def test_sort_key_gives_total_deterministic_order(self, term_list):
+        first = sorted(term_list, key=lambda term: term.sort_key())
+        second = sorted(list(reversed(term_list)), key=lambda term: term.sort_key())
+        assert first == second
+
+    @given(iris, iris, literals)
+    def test_ntriples_round_trip(self, subject, predicate, object_):
+        triple = Triple(subject, predicate, object_)
+        assert ntriples.parse_line(ntriples.serialize_triple(triple)) == triple
+
+    @given(st.lists(terms, min_size=0, max_size=40))
+    def test_dictionary_round_trip(self, term_list):
+        dictionary = TermDictionary()
+        ids = dictionary.encode_many(term_list)
+        assert dictionary.decode_many(ids) == term_list
+        # Distinct terms get distinct ids.
+        assert len(set(ids)) == len(set(term_list))
+
+
+class TestIndexProperties:
+    @given(st.lists(id_triples, min_size=0, max_size=60), st.sampled_from(PERMUTATIONS))
+    def test_every_permutation_returns_same_triple_set(self, triple_list, permutation):
+        index = PermutationIndex(permutation)
+        index.bulk_load(triple_list)
+        assert set(index.scan_prefix([])) == set(triple_list)
+
+    @given(st.lists(id_triples, min_size=1, max_size=60))
+    def test_prefix_counts_match_scans(self, triple_list):
+        index = PermutationIndex("pos")
+        index.bulk_load(triple_list)
+        predicates = {predicate for _s, predicate, _o in triple_list}
+        for predicate in predicates:
+            scanned = list(index.scan_prefix([predicate]))
+            assert index.count_prefix([predicate]) == len(scanned)
+            assert all(triple[1] == predicate for triple in scanned)
+
+    @given(st.lists(id_triples, min_size=0, max_size=50))
+    def test_store_pattern_count_equals_scan_length(self, triple_list):
+        store = TripleStore()
+        for s, p, o in triple_list:
+            store.add(
+                Triple(
+                    IRI("http://example.org/s%d" % s),
+                    IRI("http://example.org/p%d" % p),
+                    IRI("http://example.org/o%d" % o),
+                )
+            )
+        store.finalise()
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert store.count_pattern(pattern) == len(list(store.scan_pattern(pattern)))
+        assert store.count_pattern(pattern) == len(set(triple_list))
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=200))
+    def test_percentiles_are_monotone_and_bounded(self, values):
+        assert min(values) <= percentile(values, 0.1) <= percentile(values, 0.5) <= percentile(values, 0.9) <= max(values)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=200))
+    def test_summary_invariants(self, values):
+        summary = RuntimeSummary.from_values(values)
+        tolerance = 1e-9 * max(abs(value) for value in values)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
+        assert summary.variance >= 0
+        assert summary.count == len(values)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e3), min_size=2, max_size=100))
+    def test_variance_zero_iff_constant(self, values):
+        # Constant samples have (numerically) zero variance...
+        assert variance([values[0]] * len(values)) <= 1e-18 * max(values) ** 2
+        # ...and clearly non-constant samples have positive variance.
+        if max(values) - min(values) > 1e-6:
+            assert variance(values) > 0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100))
+    def test_mean_between_min_and_max(self, values):
+        assert min(values) - 1e-9 <= mean(values) <= max(values) + 1e-9
+
+
+def binding_analyses(min_size=1, max_size=60):
+    plan_names = st.sampled_from(["plan-a", "plan-b", "plan-c"])
+    costs = st.floats(min_value=0.0, max_value=1e6)
+    return st.lists(
+        st.builds(
+            lambda index, plan, cost: BindingAnalysis(
+                binding={"x": Literal("v%d" % index)},
+                plan_signature=plan,
+                estimated_cout=cost,
+                actual_cout=cost,
+            ),
+            st.integers(min_value=0, max_value=10**6),
+            plan_names,
+            costs,
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+class TestClusteringProperties:
+    @given(binding_analyses(), st.floats(min_value=0.0, max_value=2.0))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_partition_is_a_partition(self, analyses, tolerance):
+        partition = ParameterPartitioner(cost_tolerance=tolerance).partition(analyses)
+        members = [member for parameter_class in partition for member in parameter_class.members]
+        assert len(members) == len(analyses)
+        assert {id(member) for member in members} == {id(analysis) for analysis in analyses}
+
+    @given(binding_analyses(), st.floats(min_value=0.0, max_value=2.0))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_conditions_a_and_b_hold(self, analyses, tolerance):
+        partitioner = ParameterPartitioner(cost_tolerance=tolerance)
+        partition = partitioner.partition(analyses)
+        for parameter_class in partition:
+            assert len({member.plan_signature for member in parameter_class.members}) == 1
+            assert parameter_class.cost_spread() <= tolerance + 1e-9
+
+    @given(binding_analyses(min_size=2), st.integers(min_value=1, max_value=20))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_greedy_window_returns_requested_count_with_minimal_amplitude(self, analyses, count):
+        window = greedy_window_curation(analyses, count)
+        assert len(window) == min(count, len(analyses))
+        costs = [member.cost() for member in window]
+        # The window is contiguous in the cost-sorted order, hence its spread
+        # can never exceed the full spread.
+        all_costs = sorted(analysis.cost() for analysis in analyses)
+        assert max(costs) - min(costs) <= all_costs[-1] - all_costs[0] + 1e-9

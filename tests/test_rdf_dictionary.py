@@ -1,0 +1,69 @@
+"""Tests for repro.rdf.dictionary."""
+
+import pytest
+
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.terms import IRI, Literal
+
+
+class TestTermDictionary:
+    def test_encode_assigns_sequential_ids(self):
+        dictionary = TermDictionary()
+        first = dictionary.encode(IRI("http://a"))
+        second = dictionary.encode(IRI("http://b"))
+        assert (first, second) == (0, 1)
+
+    def test_encode_is_idempotent(self):
+        dictionary = TermDictionary()
+        assert dictionary.encode(IRI("http://a")) == dictionary.encode(IRI("http://a"))
+        assert len(dictionary) == 1
+
+    def test_lookup_does_not_mutate(self):
+        dictionary = TermDictionary()
+        assert dictionary.lookup(IRI("http://a")) is None
+        assert len(dictionary) == 0
+
+    def test_lookup_after_encode(self):
+        dictionary = TermDictionary()
+        term_id = dictionary.encode(Literal("x"))
+        assert dictionary.lookup(Literal("x")) == term_id
+
+    def test_decode_round_trip(self):
+        dictionary = TermDictionary()
+        term = Literal("42", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer"))
+        assert dictionary.decode(dictionary.encode(term)) == term
+
+    def test_decode_unknown_id_raises(self):
+        dictionary = TermDictionary()
+        with pytest.raises(KeyError):
+            dictionary.decode(5)
+        with pytest.raises(KeyError):
+            dictionary.decode(-1)
+
+    def test_encode_many_and_decode_many(self):
+        dictionary = TermDictionary()
+        terms = [IRI("http://a"), Literal("b"), IRI("http://a")]
+        ids = dictionary.encode_many(terms)
+        assert ids == [0, 1, 0]
+        assert dictionary.decode_many([0, 1]) == [IRI("http://a"), Literal("b")]
+
+    def test_contains(self):
+        dictionary = TermDictionary()
+        dictionary.encode(IRI("http://a"))
+        assert IRI("http://a") in dictionary
+        assert IRI("http://b") not in dictionary
+
+    def test_terms_iterates_in_id_order(self):
+        dictionary = TermDictionary()
+        dictionary.encode_many([IRI("http://b"), IRI("http://a")])
+        assert list(dictionary.terms()) == [IRI("http://b"), IRI("http://a")]
+
+    def test_items_pairs(self):
+        dictionary = TermDictionary()
+        dictionary.encode(Literal("x"))
+        assert list(dictionary.items()) == [(Literal("x"), 0)]
+
+    def test_distinct_terms_get_distinct_ids(self):
+        dictionary = TermDictionary()
+        ids = dictionary.encode_many([Literal("5"), IRI("http://5"), Literal("5", language="en")])
+        assert len(set(ids)) == 3

@@ -1,0 +1,93 @@
+"""Tests for repro.rdf.graph."""
+
+import pytest
+
+from repro.rdf.graph import Graph, iri_values, literal_values
+from repro.rdf.terms import IRI, Literal, typed_literal
+from repro.rdf.triples import Triple
+
+EX = "http://example.org/"
+
+
+def make_graph() -> Graph:
+    graph = Graph()
+    graph.add(IRI(EX + "a"), IRI(EX + "name"), Literal("Alice"))
+    graph.add(IRI(EX + "a"), IRI(EX + "age"), typed_literal(30))
+    graph.add(IRI(EX + "b"), IRI(EX + "name"), Literal("Bob"))
+    graph.add(IRI(EX + "a"), IRI(EX + "knows"), IRI(EX + "b"))
+    graph.finalise()
+    return graph
+
+
+class TestGraphBasics:
+    def test_len(self):
+        assert len(make_graph()) == 4
+
+    def test_contains(self):
+        graph = make_graph()
+        assert Triple(IRI(EX + "a"), IRI(EX + "name"), Literal("Alice")) in graph
+        assert Triple(IRI(EX + "a"), IRI(EX + "name"), Literal("Nobody")) not in graph
+
+    def test_duplicate_adds_are_ignored(self):
+        graph = make_graph()
+        graph.add(IRI(EX + "a"), IRI(EX + "name"), Literal("Alice"))
+        graph.finalise()
+        assert len(graph) == 4
+
+    def test_triples_wildcard(self):
+        assert len(list(make_graph().triples())) == 4
+
+    def test_triples_by_subject(self):
+        graph = make_graph()
+        subject_triples = list(graph.triples(subject=IRI(EX + "a")))
+        assert len(subject_triples) == 3
+        assert all(triple.subject == IRI(EX + "a") for triple in subject_triples)
+
+    def test_triples_by_predicate_and_object(self):
+        graph = make_graph()
+        matches = list(graph.triples(predicate=IRI(EX + "name"), object=Literal("Bob")))
+        assert len(matches) == 1
+        assert matches[0].subject == IRI(EX + "b")
+
+    def test_subjects_distinct(self):
+        graph = make_graph()
+        assert set(graph.subjects(IRI(EX + "name"))) == {IRI(EX + "a"), IRI(EX + "b")}
+
+    def test_objects_distinct(self):
+        graph = make_graph()
+        assert graph.objects(IRI(EX + "a"), IRI(EX + "knows")) == [IRI(EX + "b")]
+
+    def test_value_returns_first_or_none(self):
+        graph = make_graph()
+        assert graph.value(IRI(EX + "a"), IRI(EX + "name")) == Literal("Alice")
+        assert graph.value(IRI(EX + "b"), IRI(EX + "age")) is None
+
+    def test_predicates(self):
+        graph = make_graph()
+        assert set(graph.predicates()) == {IRI(EX + "name"), IRI(EX + "age"), IRI(EX + "knows")}
+
+    def test_from_triples(self):
+        triples = [Triple(IRI(EX + "x"), IRI(EX + "p"), Literal("1"))]
+        graph = Graph.from_triples(triples)
+        assert len(graph) == 1
+
+
+class TestSerialisationHelpers:
+    def test_to_ntriples_is_sorted_and_terminated(self):
+        text = make_graph().to_ntriples()
+        lines = text.strip().split("\n")
+        assert len(lines) == 4
+        assert lines == sorted(lines)
+        assert text.endswith("\n")
+
+    def test_empty_graph_serialises_to_empty_string(self):
+        assert Graph().to_ntriples() == ""
+
+    def test_literal_values_helper(self):
+        graph = make_graph()
+        values = literal_values(graph, IRI(EX + "name"))
+        assert set(values) == {Literal("Alice"), Literal("Bob")}
+
+    def test_iri_values_helper(self):
+        graph = make_graph()
+        assert iri_values(graph, IRI(EX + "knows")) == [IRI(EX + "b")]

@@ -1,0 +1,77 @@
+"""Tests for repro.rdf.namespaces."""
+
+import pytest
+
+from repro.rdf.namespaces import (
+    BSBM,
+    DEFAULT_PREFIXES,
+    Namespace,
+    RDF,
+    RDF_TYPE,
+    SNB,
+    XSD,
+    expand_qname,
+)
+from repro.rdf.terms import IRI
+
+
+class TestNamespace:
+    def test_term_building(self):
+        ns = Namespace("http://example.org/")
+        assert ns.term("x") == IRI("http://example.org/x")
+
+    def test_getitem_and_getattr(self):
+        ns = Namespace("http://example.org/")
+        assert ns["thing"] == ns.thing == IRI("http://example.org/thing")
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_contains(self):
+        ns = Namespace("http://example.org/")
+        assert ns["x"] in ns
+        assert IRI("http://other.org/x") not in ns
+
+    def test_local_name(self):
+        ns = Namespace("http://example.org/")
+        assert ns.local_name(ns["abc"]) == "abc"
+
+    def test_local_name_outside_namespace_raises(self):
+        ns = Namespace("http://example.org/")
+        with pytest.raises(ValueError):
+            ns.local_name(IRI("http://other.org/abc"))
+
+    def test_underscore_attribute_raises(self):
+        ns = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            ns._private
+
+
+class TestWellKnownNamespaces:
+    def test_rdf_type(self):
+        assert RDF_TYPE == RDF["type"]
+        assert RDF_TYPE.value.endswith("#type")
+
+    def test_xsd_namespace(self):
+        assert XSD["integer"].value == "http://www.w3.org/2001/XMLSchema#integer"
+
+    def test_default_prefixes_cover_benchmark_vocabularies(self):
+        assert DEFAULT_PREFIXES["bsbm"] == BSBM.prefix
+        assert DEFAULT_PREFIXES["sn"] == SNB.prefix
+        assert "rdf" in DEFAULT_PREFIXES
+        assert "rdfs" in DEFAULT_PREFIXES
+        assert "xsd" in DEFAULT_PREFIXES
+
+
+class TestExpandQname:
+    def test_expansion(self):
+        assert expand_qname("rdf:type", DEFAULT_PREFIXES) == RDF_TYPE
+
+    def test_unknown_prefix(self):
+        with pytest.raises(KeyError):
+            expand_qname("nope:thing", DEFAULT_PREFIXES)
+
+    def test_not_a_qname(self):
+        with pytest.raises(ValueError):
+            expand_qname("nocolon", DEFAULT_PREFIXES)

@@ -1,0 +1,97 @@
+"""Tests for repro.rdf.ntriples."""
+
+import io
+
+import pytest
+
+from repro.rdf import ntriples
+from repro.rdf.terms import BNode, IRI, Literal, typed_literal
+from repro.rdf.triples import Triple
+
+S = IRI("http://example.org/s")
+P = IRI("http://example.org/p")
+
+
+class TestSerialisation:
+    def test_single_triple(self):
+        line = ntriples.serialize_triple(Triple(S, P, Literal("x")))
+        assert line == '<http://example.org/s> <http://example.org/p> "x" .'
+
+    def test_document_ends_with_newline(self):
+        document = ntriples.serialize([Triple(S, P, Literal("x"))])
+        assert document.endswith("\n")
+
+    def test_empty_document(self):
+        assert ntriples.serialize([]) == ""
+
+    def test_write_counts_lines(self):
+        buffer = io.StringIO()
+        count = ntriples.write([Triple(S, P, Literal("a")), Triple(S, P, Literal("b"))], buffer)
+        assert count == 2
+        assert buffer.getvalue().count("\n") == 2
+
+
+class TestParsing:
+    def test_round_trip_plain_literal(self):
+        original = Triple(S, P, Literal("hello world"))
+        parsed = ntriples.parse_line(ntriples.serialize_triple(original))
+        assert parsed == original
+
+    def test_round_trip_language_literal(self):
+        original = Triple(S, P, Literal("hallo", language="de"))
+        assert ntriples.parse_line(ntriples.serialize_triple(original)) == original
+
+    def test_round_trip_typed_literal(self):
+        original = Triple(S, P, typed_literal(42))
+        assert ntriples.parse_line(ntriples.serialize_triple(original)) == original
+
+    def test_round_trip_bnode(self):
+        original = Triple(BNode("n1"), P, IRI("http://example.org/o"))
+        assert ntriples.parse_line(ntriples.serialize_triple(original)) == original
+
+    def test_round_trip_escaped_characters(self):
+        original = Triple(S, P, Literal('line1\nline2 "quoted" \\slash'))
+        assert ntriples.parse_line(ntriples.serialize_triple(original)) == original
+
+    def test_parse_document_skips_comments_and_blank_lines(self):
+        document = (
+            "# a comment\n"
+            "\n"
+            '<http://example.org/s> <http://example.org/p> "x" .\n'
+            '<http://example.org/s> <http://example.org/p> "y" .\n'
+        )
+        triples = list(ntriples.parse(document))
+        assert len(triples) == 2
+
+    def test_parse_unicode_escape(self):
+        line = '<http://example.org/s> <http://example.org/p> "\\u00e9" .'
+        assert ntriples.parse_line(line).object == Literal("é")
+
+    def test_unterminated_literal_raises(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line('<http://a> <http://b> "unterminated .')
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line('<http://a> <http://b> "x"')
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line('"x" <http://b> "y" .')
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line('<http://a> _:b "y" .')
+
+    def test_error_reports_line_number(self):
+        document = '<http://a> <http://b> "ok" .\nnot a triple\n'
+        with pytest.raises(ntriples.NTriplesError) as excinfo:
+            list(ntriples.parse(document))
+        assert "line 2" in str(excinfo.value)
+
+    def test_graph_round_trip(self, people_graph):
+        document = people_graph.to_ntriples()
+        parsed = list(ntriples.parse(document))
+        assert len(parsed) == len(people_graph)
+        for triple in parsed[:5]:
+            assert triple in people_graph

@@ -1,0 +1,177 @@
+"""Tests for repro.rdf.terms."""
+
+import pytest
+
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    Variable,
+    date_literal,
+    datetime_literal,
+    typed_literal,
+)
+
+
+class TestIRI:
+    def test_construction_and_value(self):
+        iri = IRI("http://example.org/thing")
+        assert iri.value == "http://example.org/thing"
+
+    def test_empty_iri_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_iri_with_spaces_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("http://example.org/has space")
+
+    def test_iri_with_angle_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("http://example.org/<bad>")
+
+    def test_equality_and_hash(self):
+        assert IRI("http://a") == IRI("http://a")
+        assert IRI("http://a") != IRI("http://b")
+        assert hash(IRI("http://a")) == hash(IRI("http://a"))
+
+    def test_not_equal_to_literal_with_same_text(self):
+        assert IRI("http://a") != Literal("http://a")
+
+    def test_n3(self):
+        assert IRI("http://a").n3() == "<http://a>"
+
+    def test_local_name_with_hash(self):
+        assert IRI("http://example.org/vocab#name").local_name() == "name"
+
+    def test_local_name_with_slash(self):
+        assert IRI("http://example.org/vocab/name").local_name() == "name"
+
+    def test_immutable(self):
+        iri = IRI("http://a")
+        with pytest.raises(AttributeError):
+            iri.value = "http://b"
+
+    def test_is_concrete(self):
+        assert IRI("http://a").is_concrete()
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        literal = Literal("hello")
+        assert literal.lexical == "hello"
+        assert literal.language is None
+        assert literal.datatype is None
+        assert literal.value == "hello"
+
+    def test_language_tag_normalised_to_lowercase(self):
+        assert Literal("hello", language="EN").language == "en"
+
+    def test_language_and_datatype_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="en", datatype=IRI("http://www.w3.org/2001/XMLSchema#string"))
+
+    def test_integer_value(self):
+        literal = typed_literal(42)
+        assert literal.is_numeric()
+        assert literal.value == 42
+        assert isinstance(literal.value, int)
+
+    def test_float_value(self):
+        literal = typed_literal(3.25)
+        assert literal.is_numeric()
+        assert literal.value == pytest.approx(3.25)
+
+    def test_boolean_value(self):
+        assert typed_literal(True).value is True
+        assert typed_literal(False).value is False
+        assert typed_literal(True).is_boolean()
+
+    def test_string_typed_literal(self):
+        literal = typed_literal("plain")
+        assert literal.value == "plain"
+        assert not literal.is_numeric()
+
+    def test_date_literal_is_temporal(self):
+        assert date_literal("2013-05-01").is_temporal()
+        assert datetime_literal("2013-05-01T10:00:00").is_temporal()
+
+    def test_numeric_ordering(self):
+        assert typed_literal(2) < typed_literal(10)
+        assert typed_literal(10.5) > typed_literal(2)
+
+    def test_lexical_ordering_for_plain_literals(self):
+        assert Literal("apple") < Literal("banana")
+
+    def test_n3_plain(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_n3_language(self):
+        assert Literal("hi", language="en").n3() == '"hi"@en'
+
+    def test_n3_typed(self):
+        rendered = typed_literal(5).n3()
+        assert rendered.startswith('"5"^^<')
+        assert rendered.endswith("integer>")
+
+    def test_n3_escapes_quotes_and_newlines(self):
+        rendered = Literal('say "hi"\nplease').n3()
+        assert '\\"hi\\"' in rendered
+        assert "\\n" in rendered
+
+    def test_equality_considers_datatype(self):
+        assert Literal("5") != typed_literal(5)
+        assert typed_literal(5) == typed_literal(5)
+
+    def test_equality_considers_language(self):
+        assert Literal("hi", language="en") != Literal("hi", language="de")
+
+    def test_immutable(self):
+        literal = Literal("x")
+        with pytest.raises(AttributeError):
+            literal.lexical = "y"
+
+
+class TestBNodeAndVariable:
+    def test_bnode_label(self):
+        assert BNode("b1").label == "b1"
+
+    def test_bnode_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            BNode("")
+
+    def test_bnode_n3(self):
+        assert BNode("x").n3() == "_:x"
+
+    def test_variable_strips_question_mark(self):
+        assert Variable("?name").name == "name"
+        assert Variable("$name").name == "name"
+        assert Variable("name") == Variable("?name")
+
+    def test_variable_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_variable_is_not_concrete(self):
+        assert not Variable("x").is_concrete()
+
+    def test_variable_n3(self):
+        assert Variable("x").n3() == "?x"
+
+
+class TestOrdering:
+    def test_cross_kind_ordering_is_total(self):
+        terms = [Variable("v"), Literal("a"), IRI("http://a"), BNode("b")]
+        ordered = sorted(terms)
+        # BNodes < IRIs < Literals < Variables
+        assert isinstance(ordered[0], BNode)
+        assert isinstance(ordered[1], IRI)
+        assert isinstance(ordered[2], Literal)
+        assert isinstance(ordered[3], Variable)
+
+    def test_sorting_is_deterministic(self):
+        terms = [IRI("http://b"), IRI("http://a"), Literal("z"), Literal("a")]
+        assert sorted(terms) == sorted(reversed(terms))
+
+    def test_comparison_with_non_term_returns_notimplemented(self):
+        assert IRI("http://a").__lt__(42) is NotImplemented

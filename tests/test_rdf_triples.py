@@ -1,0 +1,109 @@
+"""Tests for repro.rdf.triples."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import Triple, TriplePattern
+
+S = IRI("http://example.org/s")
+P = IRI("http://example.org/p")
+O = Literal("o")
+
+
+class TestTriple:
+    def test_components(self):
+        triple = Triple(S, P, O)
+        assert triple.subject == S
+        assert triple.predicate == P
+        assert triple.object == O
+
+    def test_iteration_order(self):
+        assert list(Triple(S, P, O)) == [S, P, O]
+
+    def test_as_tuple(self):
+        assert Triple(S, P, O).as_tuple() == (S, P, O)
+
+    def test_rejects_variables(self):
+        with pytest.raises(TypeError):
+            Triple(Variable("s"), P, O)
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Triple("not a term", P, O)
+
+    def test_equality_and_hash(self):
+        assert Triple(S, P, O) == Triple(S, P, O)
+        assert hash(Triple(S, P, O)) == hash(Triple(S, P, O))
+        assert Triple(S, P, O) != Triple(S, P, Literal("other"))
+
+    def test_n3_line(self):
+        line = Triple(S, P, O).n3()
+        assert line.startswith("<http://example.org/s> <http://example.org/p>")
+        assert line.endswith(".")
+
+    def test_immutable(self):
+        triple = Triple(S, P, O)
+        with pytest.raises(AttributeError):
+            triple.subject = P
+
+
+class TestTriplePattern:
+    def test_variables_in_position_order(self):
+        pattern = TriplePattern(Variable("a"), Variable("b"), Variable("a"))
+        assert pattern.variables() == (Variable("a"), Variable("b"))
+
+    def test_concrete_pattern_has_no_variables(self):
+        pattern = TriplePattern(S, P, O)
+        assert pattern.is_concrete()
+        assert pattern.variables() == ()
+
+    def test_bound_positions(self):
+        pattern = TriplePattern(S, Variable("p"), O)
+        assert pattern.bound_positions() == (True, False, True)
+
+    def test_substitute_full(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        result = pattern.substitute({Variable("s"): S, Variable("o"): O})
+        assert result == TriplePattern(S, P, O)
+
+    def test_substitute_partial_keeps_missing_variables(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        result = pattern.substitute({Variable("s"): S})
+        assert result.subject == S
+        assert result.object == Variable("o")
+
+    def test_substitute_does_not_mutate_original(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        pattern.substitute({Variable("s"): S})
+        assert pattern.subject == Variable("s")
+
+    def test_matches_success_returns_bindings(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        bindings = pattern.matches(Triple(S, P, O))
+        assert bindings == {Variable("s"): S, Variable("o"): O}
+
+    def test_matches_failure_on_constant_mismatch(self):
+        pattern = TriplePattern(S, P, Literal("different"))
+        assert pattern.matches(Triple(S, P, O)) is None
+
+    def test_matches_respects_existing_bindings(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        assert pattern.matches(Triple(S, P, O), {Variable("s"): IRI("http://other")}) is None
+        extended = pattern.matches(Triple(S, P, O), {Variable("s"): S})
+        assert extended[Variable("o")] == O
+
+    def test_matches_repeated_variable_requires_equal_terms(self):
+        pattern = TriplePattern(Variable("x"), P, Variable("x"))
+        assert pattern.matches(Triple(S, P, O)) is None
+        same = IRI("http://example.org/same")
+        assert pattern.matches(Triple(same, P, same)) == {Variable("x"): same}
+
+    def test_equality_and_hash(self):
+        first = TriplePattern(Variable("s"), P, O)
+        second = TriplePattern(Variable("s"), P, O)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_pattern_accepts_variables_anywhere(self):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert len(pattern.variables()) == 3

@@ -1,0 +1,145 @@
+"""Tests for repro.sparql.algebra."""
+
+import pytest
+
+from repro.rdf.terms import Variable
+from repro.sparql.algebra import (
+    BGP,
+    Distinct,
+    Filter,
+    Group,
+    Join,
+    LeftJoin,
+    OrderBy,
+    Project,
+    Slice,
+    Union,
+    collect_bgps,
+    translate_pattern,
+    translate_query,
+)
+from repro.sparql.parser import parse_query
+
+
+def unwrap(node, *types):
+    """Assert the node nesting matches ``types`` outside-in; return innermost."""
+    current = node
+    for expected in types:
+        assert isinstance(current, expected), "expected %s, got %r" % (expected.__name__, current)
+        current = current.children()[0] if current.children() else current
+    return current
+
+
+class TestTranslatePattern:
+    def test_plain_bgp(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o . ?o ?q ?r }")
+        node = translate_pattern(query.where)
+        assert isinstance(node, BGP)
+        assert len(node.patterns) == 2
+
+    def test_filter_wraps_bgp(self):
+        query = parse_query("SELECT * WHERE { ?s sn:x ?a . FILTER(?a > 1) }")
+        node = translate_pattern(query.where)
+        assert isinstance(node, Filter)
+        assert isinstance(node.child, BGP)
+
+    def test_optional_becomes_left_join(self):
+        query = parse_query("SELECT * WHERE { ?s sn:a ?x OPTIONAL { ?s sn:b ?y } }")
+        node = translate_pattern(query.where)
+        assert isinstance(node, LeftJoin)
+        assert isinstance(node.left, BGP)
+        assert isinstance(node.right, BGP)
+
+    def test_union_becomes_union_node(self):
+        query = parse_query("SELECT * WHERE { { ?s sn:a ?x } UNION { ?s sn:b ?x } }")
+        node = translate_pattern(query.where)
+        assert isinstance(node, Union)
+        assert len(node.alternatives) == 2
+
+    def test_union_joined_with_surrounding_patterns(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s sn:name ?n . { ?s sn:a ?x } UNION { ?s sn:b ?x } }"
+        )
+        node = translate_pattern(query.where)
+        assert isinstance(node, Join)
+        assert isinstance(node.left, BGP)
+        assert isinstance(node.right, Union)
+
+    def test_empty_group_is_empty_bgp(self):
+        query = parse_query("SELECT * WHERE { }")
+        node = translate_pattern(query.where)
+        assert isinstance(node, BGP)
+        assert node.patterns == []
+
+    def test_union_requires_two_alternatives(self):
+        with pytest.raises(ValueError):
+            Union([BGP([])])
+
+
+class TestTranslateQuery:
+    def test_modifier_stack_order(self):
+        query = parse_query(
+            "SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 5 OFFSET 1"
+        )
+        node = translate_query(query)
+        # Outside-in: Slice(Distinct(Project(OrderBy(BGP))))
+        assert isinstance(node, Slice)
+        assert node.limit == 5 and node.offset == 1
+        distinct = node.child
+        assert isinstance(distinct, Distinct)
+        project = distinct.child
+        assert isinstance(project, Project)
+        order = project.child
+        assert isinstance(order, OrderBy)
+        assert isinstance(order.child, BGP)
+
+    def test_group_by_becomes_group_node(self):
+        query = parse_query(
+            "SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?s"
+        )
+        node = translate_query(query)
+        project = node
+        assert isinstance(project, Project)
+        group = project.child
+        assert isinstance(group, Group)
+        assert group.group_variables == [Variable("s")]
+        assert len(group.aggregates) == 1
+
+    def test_aggregate_without_group_by_still_groups(self):
+        query = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }")
+        node = translate_query(query)
+        assert isinstance(node.child, Group)
+
+    def test_having_becomes_filter_above_group(self):
+        query = parse_query(
+            "SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?s HAVING(?c > 1)"
+        )
+        node = translate_query(query)
+        project = node
+        having = project.child
+        assert isinstance(having, Filter)
+        assert isinstance(having.child, Group)
+
+    def test_projection_variables(self):
+        query = parse_query("SELECT ?o WHERE { ?s ?p ?o }")
+        node = translate_query(query)
+        assert isinstance(node, Project)
+        assert node.projected == [Variable("o")]
+
+    def test_variables_propagate_through_tree(self):
+        query = parse_query("SELECT * WHERE { ?s sn:a ?x OPTIONAL { ?s sn:b ?y } }")
+        node = translate_query(query)
+        names = {variable.name for variable in node.variables()}
+        assert {"s", "x"} <= names
+
+
+class TestCollectBGPs:
+    def test_collects_nested_bgps(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s sn:name ?n OPTIONAL { ?s sn:b ?y } { ?s sn:a ?x } UNION { ?s sn:c ?x } }"
+        )
+        node = translate_query(query)
+        bgps = collect_bgps(node)
+        assert len(bgps) >= 3
+        total_patterns = sum(len(bgp.patterns) for bgp in bgps)
+        assert total_patterns == 4

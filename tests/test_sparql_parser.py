@@ -1,0 +1,208 @@
+"""Tests for repro.sparql.parser."""
+
+import pytest
+
+from repro.rdf.namespaces import BSBM, RDF_TYPE, SNB, XSD
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.ast import (
+    AggregateExpression,
+    BinaryExpression,
+    FunctionCall,
+    ParameterTerm,
+    TermExpression,
+)
+from repro.sparql.parser import ParseError, parse_query
+
+
+class TestSelectClause:
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert query.is_select_all()
+        assert set(query.projected_variables()) == {Variable("s"), Variable("p"), Variable("o")}
+
+    def test_select_variables(self):
+        query = parse_query("SELECT ?s ?o WHERE { ?s ?p ?o }")
+        assert [projection.variable for projection in query.projections] == [Variable("s"), Variable("o")]
+
+    def test_select_distinct(self):
+        assert parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o }").distinct
+
+    def test_select_expression_as(self):
+        query = parse_query("SELECT (COUNT(?o) AS ?cnt) WHERE { ?s ?p ?o } GROUP BY ?s")
+        projection = query.projections[0]
+        assert projection.variable == Variable("cnt")
+        assert isinstance(projection.expression, AggregateExpression)
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT WHERE { ?s ?p ?o }")
+
+    def test_where_keyword_is_optional(self):
+        query = parse_query("SELECT ?s { ?s ?p ?o }")
+        assert len(query.where.patterns) == 1
+
+
+class TestTriplesBlock:
+    def test_simple_pattern(self):
+        query = parse_query("SELECT * WHERE { ?s <http://example.org/p> ?o }")
+        pattern = query.where.patterns[0]
+        assert pattern.predicate == IRI("http://example.org/p")
+
+    def test_a_keyword_expands_to_rdf_type(self):
+        query = parse_query("SELECT * WHERE { ?s a bsbm:Product }")
+        assert query.where.patterns[0].predicate == RDF_TYPE
+        assert query.where.patterns[0].object == BSBM["Product"]
+
+    def test_qname_expansion_with_default_prefixes(self):
+        query = parse_query("SELECT * WHERE { ?p sn:firstName ?n }")
+        assert query.where.patterns[0].predicate == SNB["firstName"]
+
+    def test_prefix_declaration_overrides(self):
+        query = parse_query(
+            'PREFIX ex: <http://custom.org/> SELECT * WHERE { ?s ex:p ?o }'
+        )
+        assert query.where.patterns[0].predicate == IRI("http://custom.org/p")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?s unknown:p ?o }")
+
+    def test_semicolon_shares_subject(self):
+        query = parse_query("SELECT * WHERE { ?s sn:firstName ?n ; sn:lastName ?l . }")
+        patterns = query.where.patterns
+        assert len(patterns) == 2
+        assert patterns[0].subject == patterns[1].subject == Variable("s")
+
+    def test_comma_shares_subject_and_predicate(self):
+        query = parse_query('SELECT * WHERE { ?s sn:hasTag "a", "b", "c" . }')
+        patterns = query.where.patterns
+        assert len(patterns) == 3
+        assert {pattern.object for pattern in patterns} == {Literal("a"), Literal("b"), Literal("c")}
+
+    def test_integer_and_double_literals(self):
+        query = parse_query("SELECT * WHERE { ?s sn:length 42 . ?s sn:score 2.5 }")
+        objects = [pattern.object for pattern in query.where.patterns]
+        assert objects[0] == Literal("42", datatype=XSD["integer"])
+        assert objects[1] == Literal("2.5", datatype=XSD["double"])
+
+    def test_typed_and_language_literals(self):
+        query = parse_query(
+            'SELECT * WHERE { ?s sn:content "hi"@en . ?s sn:born "2000-01-01"^^xsd:date }'
+        )
+        first, second = [pattern.object for pattern in query.where.patterns]
+        assert first.language == "en"
+        assert second.datatype == XSD["date"]
+
+    def test_boolean_literal(self):
+        query = parse_query("SELECT * WHERE { ?s sn:active true }")
+        assert query.where.patterns[0].object.value is True
+
+    def test_literal_in_subject_position_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query('SELECT * WHERE { "x" sn:p ?o }')
+
+    def test_parameters_in_patterns(self):
+        query = parse_query("SELECT * WHERE { ?p sn:firstName %name . ?p sn:livesIn %country }")
+        assert query.parameters() == ("name", "country")
+        assert query.where.patterns[0].object == ParameterTerm("name")
+
+
+class TestFiltersOptionalsUnions:
+    def test_filter_expression(self):
+        query = parse_query("SELECT * WHERE { ?s sn:length ?l . FILTER(?l > 10 && ?l < 100) }")
+        assert len(query.where.filters) == 1
+        expression = query.where.filters[0]
+        assert isinstance(expression, BinaryExpression)
+        assert expression.operator == "&&"
+
+    def test_filter_with_regex(self):
+        query = parse_query('SELECT * WHERE { ?s rdfs:label ?l . FILTER(REGEX(?l, "abc")) }')
+        assert isinstance(query.where.filters[0], FunctionCall)
+
+    def test_optional_block(self):
+        query = parse_query("SELECT * WHERE { ?s sn:firstName ?n OPTIONAL { ?s sn:email ?e } }")
+        assert len(query.where.optionals) == 1
+        assert query.where.optionals[0].patterns[0].predicate == SNB["email"]
+
+    def test_union_blocks(self):
+        query = parse_query(
+            "SELECT * WHERE { { ?s sn:firstName ?n } UNION { ?s sn:lastName ?n } }"
+        )
+        assert len(query.where.unions) == 1
+        assert len(query.where.unions[0]) == 2
+
+    def test_nested_plain_group_is_merged(self):
+        query = parse_query("SELECT * WHERE { { ?s sn:firstName ?n . FILTER(?n != \"x\") } }")
+        assert len(query.where.patterns) == 1
+        assert len(query.where.filters) == 1
+
+    def test_unterminated_group_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?s ?p ?o ")
+
+
+class TestSolutionModifiers:
+    def test_order_by_mixed_directions(self):
+        query = parse_query("SELECT * WHERE { ?s sn:length ?l } ORDER BY DESC(?l) ?s")
+        assert len(query.order_by) == 2
+        assert query.order_by[0].descending is True
+        assert query.order_by[1].descending is False
+
+    def test_limit_and_offset(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o } LIMIT 10 OFFSET 5")
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_group_by_and_having(self):
+        query = parse_query(
+            "SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?s HAVING(?c > 2)"
+        )
+        assert query.group_by == [Variable("s")]
+        assert len(query.having) == 1
+        assert query.has_aggregates()
+
+    def test_group_by_without_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } GROUP BY")
+
+    def test_count_star(self):
+        query = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }")
+        aggregate = query.projections[0].expression
+        assert aggregate.argument is None
+
+    def test_count_distinct(self):
+        query = parse_query("SELECT (COUNT(DISTINCT ?o) AS ?c) WHERE { ?s ?p ?o }")
+        assert query.projections[0].expression.distinct
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?s ?p ?o } nonsense")
+
+
+class TestExpressions:
+    def test_operator_precedence_and_over_or(self):
+        query = parse_query("SELECT * WHERE { ?s sn:x ?a . FILTER(?a = 1 || ?a = 2 && ?a = 3) }")
+        expression = query.where.filters[0]
+        assert expression.operator == "||"
+        assert expression.right.operator == "&&"
+
+    def test_arithmetic_precedence(self):
+        query = parse_query("SELECT * WHERE { ?s sn:x ?a . FILTER(?a > 1 + 2 * 3) }")
+        comparison = query.where.filters[0]
+        assert comparison.operator == ">"
+        addition = comparison.right
+        assert addition.operator == "+"
+        assert addition.right.operator == "*"
+
+    def test_parenthesised_expression(self):
+        query = parse_query("SELECT * WHERE { ?s sn:x ?a . FILTER((?a + 1) * 2 > 4) }")
+        comparison = query.where.filters[0]
+        assert comparison.left.operator == "*"
+
+    def test_unary_negation(self):
+        query = parse_query("SELECT * WHERE { ?s sn:x ?a . FILTER(!BOUND(?a)) }")
+        assert query.where.filters[0].operator == "!"
+
+    def test_parameter_in_filter(self):
+        query = parse_query("SELECT * WHERE { ?s sn:x ?a . FILTER(?a != %threshold) }")
+        assert query.parameters() == ("threshold",)

@@ -1,0 +1,154 @@
+"""Tests for repro.sparql.template."""
+
+import pytest
+
+from repro.rdf.namespaces import SNB_INST
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.template import (
+    MissingParameterError,
+    QueryTemplate,
+    TemplateRegistry,
+    UnknownParameterError,
+    substitute_parameters,
+)
+from repro.sparql.parser import parse_query
+
+TEMPLATE_TEXT = """
+SELECT ?person WHERE {
+  ?person sn:firstName %name .
+  ?person sn:livesIn %country .
+  FILTER(?person != %excluded)
+}
+ORDER BY ?person
+LIMIT 10
+"""
+
+
+class TestQueryTemplate:
+    def test_parameter_names_discovered_in_order(self):
+        template = QueryTemplate("paper_example", TEMPLATE_TEXT)
+        assert template.parameter_names == ("name", "country", "excluded")
+
+    def test_instantiate_replaces_every_parameter(self):
+        template = QueryTemplate("paper_example", TEMPLATE_TEXT)
+        query = template.instantiate(
+            {
+                "name": Literal("Li"),
+                "country": SNB_INST["Country_China"],
+                "excluded": SNB_INST["Person1"],
+            }
+        )
+        assert query.parameters() == ()
+        objects = [pattern.object for pattern in query.where.patterns]
+        assert Literal("Li") in objects
+        assert SNB_INST["Country_China"] in objects
+
+    def test_instantiation_preserves_modifiers(self):
+        template = QueryTemplate("paper_example", TEMPLATE_TEXT)
+        query = template.instantiate(
+            {
+                "name": Literal("Li"),
+                "country": SNB_INST["Country_China"],
+                "excluded": SNB_INST["Person1"],
+            }
+        )
+        assert query.limit == 10
+        assert len(query.order_by) == 1
+
+    def test_missing_parameter_raises(self):
+        template = QueryTemplate("paper_example", TEMPLATE_TEXT)
+        with pytest.raises(MissingParameterError):
+            template.instantiate({"name": Literal("Li")})
+
+    def test_unknown_parameter_raises(self):
+        template = QueryTemplate("paper_example", TEMPLATE_TEXT)
+        with pytest.raises(UnknownParameterError):
+            template.instantiate(
+                {
+                    "name": Literal("Li"),
+                    "country": SNB_INST["Country_China"],
+                    "excluded": SNB_INST["Person1"],
+                    "extra": Literal("x"),
+                }
+            )
+
+    def test_instantiate_does_not_mutate_template(self):
+        template = QueryTemplate("paper_example", TEMPLATE_TEXT)
+        template.instantiate(
+            {
+                "name": Literal("Li"),
+                "country": SNB_INST["Country_China"],
+                "excluded": SNB_INST["Person1"],
+            }
+        )
+        assert template.query.parameters() == ("name", "country", "excluded")
+
+    def test_template_without_parameters(self):
+        template = QueryTemplate("fixed", "SELECT * WHERE { ?s ?p ?o }")
+        assert template.parameter_names == ()
+        assert template.instantiate({}).is_select_all()
+
+    def test_parameter_in_projection_expression(self):
+        template = QueryTemplate(
+            "expr",
+            "SELECT (?price * %factor AS ?scaled) WHERE { ?offer sn:price ?price }",
+        )
+        assert template.parameter_names == ("factor",)
+        query = template.instantiate({"factor": Literal("2", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer"))})
+        assert query.parameters() == ()
+
+
+class TestSubstituteParameters:
+    def test_substitution_in_optional_and_union(self):
+        text = """
+        SELECT * WHERE {
+          { ?s sn:hasTag %tag } UNION { ?s sn:hasTopic %tag }
+          OPTIONAL { ?s sn:isLocatedIn %country }
+        }
+        """
+        query = parse_query(text)
+        concrete = substitute_parameters(
+            query, {"tag": SNB_INST["Tag_music"], "country": SNB_INST["Country_Chile"]}
+        )
+        assert concrete.parameters() == ()
+
+    def test_substitution_in_having_and_order_by(self):
+        text = """
+        SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s sn:knows ?o }
+        GROUP BY ?s HAVING(?c > %minimum) ORDER BY DESC(?c)
+        """
+        query = parse_query(text)
+        concrete = substitute_parameters(query, {"minimum": Literal("3", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer"))})
+        assert concrete.parameters() == ()
+
+    def test_missing_parameter_in_substitution_raises(self):
+        query = parse_query("SELECT * WHERE { ?s sn:firstName %name }")
+        with pytest.raises(MissingParameterError):
+            substitute_parameters(query, {})
+
+
+class TestTemplateRegistry:
+    def test_add_and_get(self):
+        registry = TemplateRegistry("demo")
+        registry.add("q1", "SELECT * WHERE { ?s ?p ?o }")
+        assert registry.get("q1").name == "q1"
+        assert "q1" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_name_rejected(self):
+        registry = TemplateRegistry("demo")
+        registry.add("q1", "SELECT * WHERE { ?s ?p ?o }")
+        with pytest.raises(ValueError):
+            registry.add("q1", "SELECT * WHERE { ?s ?p ?o }")
+
+    def test_unknown_name_raises(self):
+        registry = TemplateRegistry("demo")
+        with pytest.raises(KeyError):
+            registry.get("missing")
+
+    def test_names_sorted(self):
+        registry = TemplateRegistry("demo")
+        registry.add("b", "SELECT * WHERE { ?s ?p ?o }")
+        registry.add("a", "SELECT * WHERE { ?s ?p ?o }")
+        assert registry.names() == ["a", "b"]
+        assert [template.name for template in registry.templates()] == ["a", "b"]

@@ -1,0 +1,91 @@
+"""Tests for repro.sparql.tokenizer."""
+
+import pytest
+
+from repro.sparql.tokenizer import TokenizeError, iter_parameter_names, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text) if token.kind != "EOF"]
+
+
+def values(text):
+    return [token.value for token in tokenize(text) if token.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("select Distinct WHERE")
+        assert [token.kind for token in tokens[:3]] == ["KEYWORD"] * 3
+        assert [token.value for token in tokens[:3]] == ["SELECT", "DISTINCT", "WHERE"]
+
+    def test_variables(self):
+        assert kinds("?x $y") == ["VAR", "VAR"]
+        assert values("?x $y") == ["?x", "$y"]
+
+    def test_iri(self):
+        assert kinds("<http://example.org/a>") == ["IRI"]
+
+    def test_qname(self):
+        assert kinds("bsbm:productFeature") == ["QNAME"]
+
+    def test_prefix_namespace_token(self):
+        assert kinds("foaf: <http://xmlns.com/foaf/0.1/>") == ["PNAME_NS", "IRI"]
+
+    def test_qname_does_not_swallow_trailing_dot(self):
+        token_kinds = kinds("?p a bsbm:Product .")
+        assert token_kinds == ["VAR", "KEYWORD", "QNAME", "DOT"]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 -7") == ["INTEGER", "DOUBLE", "INTEGER"]
+
+    def test_string_with_escape(self):
+        assert kinds('"hello \\"world\\""') == ["STRING"]
+
+    def test_string_with_language_tag(self):
+        assert kinds('"hallo"@de') == ["STRING", "LANGTAG"]
+
+    def test_typed_literal_tokens(self):
+        assert kinds('"5"^^xsd:integer') == ["STRING", "DOUBLE_CARET", "QNAME"]
+
+    def test_operators(self):
+        assert kinds("= != < <= > >= && || ! + - * /") == [
+            "EQ", "NEQ", "LT", "LE", "GT", "GE", "AND", "OR", "BANG",
+            "PLUS", "MINUS", "STAR", "SLASH",
+        ]
+
+    def test_braces_and_punctuation(self):
+        assert kinds("{ } ( ) . ; ,") == [
+            "LBRACE", "RBRACE", "LPAREN", "RPAREN", "DOT", "SEMICOLON", "COMMA",
+        ]
+
+    def test_comment_and_whitespace_dropped(self):
+        assert kinds("?x # a comment\n?y") == ["VAR", "VAR"]
+
+    def test_eof_token_present(self):
+        assert tokenize("?x")[-1].kind == "EOF"
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("?x @ ?y @@@ `")
+        with pytest.raises(TokenizeError):
+            tokenize("`")
+
+
+class TestParameters:
+    def test_parameter_token(self):
+        tokens = tokenize("%name")
+        assert tokens[0].kind == "PARAM"
+        assert tokens[0].value == "name"
+
+    def test_parameter_with_closing_percent(self):
+        assert tokenize("%country%")[0].value == "country"
+
+    def test_iter_parameter_names_order_and_uniqueness(self):
+        text = "SELECT * WHERE { ?p sn:firstName %name . ?p sn:livesIn %country . ?q sn:firstName %name }"
+        assert list(iter_parameter_names(text)) == ["name", "country"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("?a ?b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

@@ -1,0 +1,117 @@
+"""Tests for repro.store.indexes."""
+
+import pytest
+
+from repro.store.indexes import PERMUTATIONS, PermutationIndex, permutation_positions
+
+TRIPLES = [
+    (0, 10, 100),
+    (0, 10, 101),
+    (0, 11, 100),
+    (1, 10, 100),
+    (1, 12, 103),
+    (2, 10, 101),
+]
+
+
+def make_index(name: str) -> PermutationIndex:
+    index = PermutationIndex(name)
+    index.bulk_load(TRIPLES)
+    return index
+
+
+class TestPermutationPositions:
+    def test_spo(self):
+        assert permutation_positions("spo") == (0, 1, 2)
+
+    def test_pos(self):
+        assert permutation_positions("pos") == (1, 2, 0)
+
+    def test_osp(self):
+        assert permutation_positions("osp") == (2, 0, 1)
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            permutation_positions("spp")
+        with pytest.raises(ValueError):
+            permutation_positions("sp")
+
+    def test_all_six_permutations_are_valid(self):
+        for name in PERMUTATIONS:
+            assert len(permutation_positions(name)) == 3
+
+
+class TestBulkLoadAndScan:
+    def test_length(self):
+        assert len(make_index("spo")) == len(TRIPLES)
+
+    def test_scan_returns_canonical_component_order(self):
+        index = make_index("pos")
+        result = set(index.scan_prefix([10]))
+        assert result == {(0, 10, 100), (0, 10, 101), (1, 10, 100), (2, 10, 101)}
+
+    def test_scan_empty_prefix_returns_everything(self):
+        assert set(make_index("ops").scan_prefix([])) == set(TRIPLES)
+
+    def test_scan_two_component_prefix(self):
+        index = make_index("spo")
+        assert list(index.scan_prefix([0, 10])) == [(0, 10, 100), (0, 10, 101)]
+
+    def test_scan_full_key(self):
+        assert list(make_index("spo").scan_prefix([1, 12, 103])) == [(1, 12, 103)]
+
+    def test_scan_missing_prefix_is_empty(self):
+        assert list(make_index("spo").scan_prefix([99])) == []
+
+    def test_count_prefix(self):
+        index = make_index("pos")
+        assert index.count_prefix([10]) == 4
+        assert index.count_prefix([10, 100]) == 2
+        assert index.count_prefix([99]) == 0
+
+    def test_contains(self):
+        index = make_index("osp")
+        assert index.contains((0, 10, 100))
+        assert not index.contains((0, 10, 999))
+
+    def test_distinct_prefix_values(self):
+        index = make_index("pso")
+        # distinct predicates
+        assert index.distinct_prefix_values([]) == 3
+        # distinct subjects for predicate 10
+        assert index.distinct_prefix_values([10]) == 3
+
+    def test_bulk_load_deduplicates_nothing_but_sorts(self):
+        index = PermutationIndex("spo")
+        index.bulk_load(reversed(TRIPLES))
+        assert list(index.keys()) == sorted(TRIPLES)
+
+
+class TestIncrementalUpdates:
+    def test_insert_keeps_sorted_order(self):
+        index = make_index("spo")
+        index.insert((0, 9, 50))
+        keys = list(index.keys())
+        assert keys == sorted(keys)
+        assert index.contains((0, 9, 50))
+
+    def test_insert_duplicate_is_ignored(self):
+        index = make_index("spo")
+        index.insert((0, 10, 100))
+        assert len(index) == len(TRIPLES)
+
+    def test_remove_existing(self):
+        index = make_index("spo")
+        assert index.remove((1, 12, 103))
+        assert not index.contains((1, 12, 103))
+        assert len(index) == len(TRIPLES) - 1
+
+    def test_remove_missing_returns_false(self):
+        index = make_index("spo")
+        assert not index.remove((9, 9, 9))
+        assert len(index) == len(TRIPLES)
+
+    def test_consistency_across_all_permutations(self):
+        for name in PERMUTATIONS:
+            index = make_index(name)
+            assert set(index.scan_prefix([])) == set(TRIPLES), name

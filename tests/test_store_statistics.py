@@ -1,0 +1,106 @@
+"""Tests for repro.store.statistics."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import Triple, TriplePattern
+from repro.store.statistics import StoreStatistics, pattern_bound_mask
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+
+
+def make_store() -> TripleStore:
+    store = TripleStore()
+    triples = []
+    # Three people with names, two with ages; one extra "knows" edge.
+    for index, name in enumerate(["Alice", "Bob", "Carol"]):
+        subject = IRI(EX + "p%d" % index)
+        triples.append(Triple(subject, IRI(EX + "name"), Literal(name)))
+    triples.append(Triple(IRI(EX + "p0"), IRI(EX + "age"), Literal("30")))
+    triples.append(Triple(IRI(EX + "p1"), IRI(EX + "age"), Literal("30")))
+    triples.append(Triple(IRI(EX + "p0"), IRI(EX + "knows"), IRI(EX + "p1")))
+    store.add_many(triples)
+    store.finalise()
+    return store
+
+
+@pytest.fixture()
+def statistics() -> StoreStatistics:
+    return StoreStatistics(make_store()).collect()
+
+
+class TestCollection:
+    def test_total_triples(self, statistics):
+        assert statistics.total_triples == 6
+
+    def test_predicate_counts(self, statistics):
+        store = statistics.store
+        name_id = store.encode_term(IRI(EX + "name"))
+        age_id = store.encode_term(IRI(EX + "age"))
+        assert statistics.predicate_count(name_id) == 3
+        assert statistics.predicate_count(age_id) == 2
+
+    def test_unknown_predicate_count_is_zero(self, statistics):
+        assert statistics.predicate_count(999999) == 0
+
+    def test_distinct_subjects_and_objects_per_predicate(self, statistics):
+        store = statistics.store
+        age_id = store.encode_term(IRI(EX + "age"))
+        stats = statistics.predicate(age_id)
+        assert stats.distinct_subjects == 2
+        assert stats.distinct_objects == 1  # both ages are "30"
+
+    def test_average_fanouts(self, statistics):
+        store = statistics.store
+        age_id = store.encode_term(IRI(EX + "age"))
+        stats = statistics.predicate(age_id)
+        assert stats.average_objects_per_subject() == pytest.approx(1.0)
+        assert stats.average_subjects_per_object() == pytest.approx(2.0)
+
+    def test_summary_keys(self, statistics):
+        summary = statistics.summary()
+        assert summary["triples"] == 6
+        assert summary["predicates"] == 3
+        assert summary["subjects"] == 3
+        assert summary["characteristic_sets"] >= 2
+
+    def test_collect_is_lazy_but_automatic(self):
+        statistics = StoreStatistics(make_store())
+        # No explicit collect(): accessors trigger collection.
+        assert statistics.predicate_count(0) >= 0
+        assert statistics._collected
+
+
+class TestPatternCardinality:
+    def test_exact_counts(self, statistics):
+        name_pattern = TriplePattern(Variable("s"), IRI(EX + "name"), Variable("o"))
+        assert statistics.pattern_cardinality(name_pattern) == 3
+
+    def test_bound_object(self, statistics):
+        pattern = TriplePattern(Variable("s"), IRI(EX + "age"), Literal("30"))
+        assert statistics.pattern_cardinality(pattern) == 2
+
+    def test_unknown_constant_gives_zero(self, statistics):
+        pattern = TriplePattern(Variable("s"), IRI(EX + "salary"), Variable("o"))
+        assert statistics.pattern_cardinality(pattern) == 0
+
+
+class TestCharacteristicSets:
+    def test_superset_counting(self, statistics):
+        store = statistics.store
+        name_id = store.encode_term(IRI(EX + "name"))
+        age_id = store.encode_term(IRI(EX + "age"))
+        # Subjects having both name and age: p0 and p1.
+        assert statistics.characteristic_set_count(frozenset([name_id, age_id])) == 2
+        # Subjects having at least a name: all three.
+        assert statistics.characteristic_set_count(frozenset([name_id])) == 3
+
+    def test_empty_set_counts_all_subjects(self, statistics):
+        assert statistics.characteristic_set_count(frozenset()) == 3
+
+
+class TestHelpers:
+    def test_pattern_bound_mask(self):
+        pattern = TriplePattern(IRI(EX + "a"), Variable("p"), Literal("x"))
+        assert pattern_bound_mask(pattern) == (True, False, True)

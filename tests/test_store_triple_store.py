@@ -1,0 +1,125 @@
+"""Tests for repro.store.triple_store."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import Triple, TriplePattern
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+
+
+def make_store() -> TripleStore:
+    store = TripleStore()
+    store.add_many(
+        [
+            Triple(IRI(EX + "a"), IRI(EX + "name"), Literal("Alice")),
+            Triple(IRI(EX + "a"), IRI(EX + "knows"), IRI(EX + "b")),
+            Triple(IRI(EX + "b"), IRI(EX + "name"), Literal("Bob")),
+            Triple(IRI(EX + "b"), IRI(EX + "knows"), IRI(EX + "a")),
+            Triple(IRI(EX + "c"), IRI(EX + "name"), Literal("Carol")),
+        ]
+    )
+    store.finalise()
+    return store
+
+
+class TestLoading:
+    def test_len_counts_pending_and_loaded(self):
+        store = TripleStore()
+        store.add(Triple(IRI(EX + "a"), IRI(EX + "p"), Literal("1")))
+        assert len(store) == 1  # still pending
+        store.finalise()
+        assert len(store) == 1
+
+    def test_duplicates_collapse_on_finalise(self):
+        store = TripleStore()
+        triple = Triple(IRI(EX + "a"), IRI(EX + "p"), Literal("1"))
+        store.add(triple)
+        store.add(triple)
+        store.finalise()
+        assert len(store) == 1
+
+    def test_incremental_add_after_finalise(self):
+        store = make_store()
+        store.add(Triple(IRI(EX + "d"), IRI(EX + "name"), Literal("Dave")))
+        assert store.contains(Triple(IRI(EX + "d"), IRI(EX + "name"), Literal("Dave")))
+        assert len(store) == 6
+
+    def test_contains_unknown_term(self):
+        store = make_store()
+        assert not store.contains(Triple(IRI(EX + "zzz"), IRI(EX + "name"), Literal("x")))
+
+
+class TestPatternAccess:
+    def test_count_by_predicate(self):
+        store = make_store()
+        pattern = TriplePattern(Variable("s"), IRI(EX + "name"), Variable("o"))
+        assert store.count_pattern(pattern) == 3
+
+    def test_count_fully_unbound(self):
+        store = make_store()
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert store.count_pattern(pattern) == 5
+
+    def test_count_with_unknown_constant_is_zero(self):
+        store = make_store()
+        pattern = TriplePattern(Variable("s"), IRI(EX + "missing"), Variable("o"))
+        assert store.count_pattern(pattern) == 0
+
+    def test_scan_by_subject_and_predicate(self):
+        store = make_store()
+        pattern = TriplePattern(IRI(EX + "a"), IRI(EX + "knows"), Variable("o"))
+        results = list(store.triples(pattern))
+        assert len(results) == 1
+        assert results[0].object == IRI(EX + "b")
+
+    def test_scan_by_object(self):
+        store = make_store()
+        pattern = TriplePattern(Variable("s"), Variable("p"), Literal("Bob"))
+        results = list(store.triples(pattern))
+        assert len(results) == 1
+        assert results[0].subject == IRI(EX + "b")
+
+    def test_scan_repeated_variable_filters(self):
+        store = TripleStore()
+        store.add(Triple(IRI(EX + "x"), IRI(EX + "p"), IRI(EX + "x")))
+        store.add(Triple(IRI(EX + "x"), IRI(EX + "p"), IRI(EX + "y")))
+        store.finalise()
+        pattern = TriplePattern(Variable("a"), IRI(EX + "p"), Variable("a"))
+        results = list(store.scan_pattern(pattern))
+        assert len(results) == 1
+
+    def test_triples_without_pattern_returns_all(self):
+        assert len(list(make_store().triples())) == 5
+
+
+class TestStatisticsAccessors:
+    def test_distinct_subjects_total(self):
+        assert make_store().distinct_subjects() == 3
+
+    def test_distinct_predicates(self):
+        assert make_store().distinct_predicates() == 2
+
+    def test_distinct_objects_for_predicate(self):
+        store = make_store()
+        name_id = store.encode_term(IRI(EX + "name"))
+        assert store.distinct_objects(name_id) == 3
+
+    def test_distinct_subjects_for_predicate(self):
+        store = make_store()
+        knows_id = store.encode_term(IRI(EX + "knows"))
+        assert store.distinct_subjects(knows_id) == 2
+
+    def test_encode_term_unknown_is_none(self):
+        assert make_store().encode_term(IRI(EX + "nope")) is None
+
+    def test_decode_round_trip(self):
+        store = make_store()
+        term_id = store.encode_term(Literal("Alice"))
+        assert store.decode_id(term_id) == Literal("Alice")
+
+    def test_index_exposes_all_permutations(self):
+        store = make_store()
+        for name in ("spo", "sop", "pso", "pos", "osp", "ops"):
+            assert len(store.index(name)) == 5
