@@ -12,15 +12,19 @@ The package is organised in layers:
 * :mod:`repro.datagen` — BSBM-like and LDBC SNB-like data generators plus
   their query templates,
 * :mod:`repro.bench` — workload runner and the statistics the paper reports,
+* :mod:`repro.service` — the concurrent serving layer: prepared templates,
+  a parameter-aware plan cache, closed-loop client scheduling and serving
+  metrics (QPS, latency percentiles, cache hit rates),
 * :mod:`repro.core` — the paper's contribution: parameter domains, the
   plan/cost analyzer, the parameter-class partitioner, curation heuristics
   and P1/P2/P3 property checks,
 * :mod:`repro.experiments` — one module per table/figure/number in the paper.
 """
 
-from . import bench, core, datagen, engine, optimizer, rdf, sparql, store
+from . import bench, core, datagen, engine, optimizer, rdf, service, sparql, store
 from .engine import QueryEngine, QueryResult
 from .rdf import Graph, IRI, Literal, Variable
+from .service import QueryService
 from .sparql import QueryTemplate, parse_query
 
 __version__ = "1.0.0"
@@ -31,6 +35,7 @@ __all__ = [
     "Literal",
     "QueryEngine",
     "QueryResult",
+    "QueryService",
     "QueryTemplate",
     "Variable",
     "__version__",
@@ -41,6 +46,7 @@ __all__ = [
     "optimizer",
     "parse_query",
     "rdf",
+    "service",
     "sparql",
     "store",
 ]

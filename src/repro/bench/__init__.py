@@ -5,16 +5,18 @@ from .reporting import (
     group_table,
     instability_report,
     key_value_report,
+    service_report,
     summary_table,
     text_table,
 )
-from .runner import QueryExecution, WorkloadResult, WorkloadRunner
+from .runner import QueryExecution, WorkloadResult, WorkloadRunner, execution_record
 from .suites import (
     bsbm_parameter_spaces,
     build_suite,
     ldbc_parameter_spaces,
     run_full_benchmark,
     run_suite_report,
+    service_runner,
 )
 from .stats import (
     GroupComparison,
@@ -45,8 +47,10 @@ __all__ = [
     "build_suite",
     "coefficient_of_variation",
     "ldbc_parameter_spaces",
+    "execution_record",
     "run_full_benchmark",
     "run_suite_report",
+    "service_runner",
     "format_milliseconds",
     "group_table",
     "instability_report",
@@ -57,6 +61,7 @@ __all__ = [
     "median",
     "pearson_correlation",
     "percentile",
+    "service_report",
     "summary_table",
     "text_table",
     "variance",

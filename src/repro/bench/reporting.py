@@ -89,6 +89,26 @@ def instability_report(comparison: GroupComparison, title: str = "") -> str:
     return "\n".join(lines)
 
 
+def service_report(stats: Mapping[str, object], title: str = "") -> str:
+    """Render a query-service statistics mapping (QPS, latencies, cache).
+
+    ``stats`` is the flat mapping produced by
+    :meth:`repro.service.service.QueryService.service_stats`; keeping the
+    argument a plain mapping keeps ``repro.bench`` import-independent of
+    ``repro.service``.  Latency and rate keys get friendly formatting, the
+    rest falls back to :func:`key_value_report` rendering.
+    """
+    formatted: Dict[str, object] = {}
+    for key, value in stats.items():
+        if isinstance(value, float) and key.endswith("(ms)"):
+            formatted[key] = format_milliseconds(value)
+        elif isinstance(value, float) and "rate" in key:
+            formatted[key] = "%.1f %%" % (value * 100.0)
+        else:
+            formatted[key] = value
+    return key_value_report(formatted, title=title or "query service statistics")
+
+
 def key_value_report(values: Mapping[str, object], title: str = "") -> str:
     """Simple aligned ``key: value`` listing used by several experiments."""
     lines = []

@@ -5,18 +5,37 @@ and collects one :class:`QueryExecution` record per (template, binding)
 pair: the simulated runtime, the actual and estimated ``Cout``, the plan
 signature and the result size.  Every statistic reported by the experiments
 is computed from these records.
+
+The runner has two execution paths that produce identical records:
+
+* the **naive path** — instantiate, translate and optimize per execution
+  (instantiation is memoized per distinct binding, so repetition runs do
+  not re-instantiate the template), and
+* the **service path** — when constructed with a
+  :class:`~repro.service.service.QueryService`, executions go through the
+  prepared-template registry and the parameter-aware plan cache, optionally
+  on several concurrent closed-loop clients (``workers``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
-from ..engine.query_engine import QueryEngine
+from ..engine.query_engine import (
+    QueryEngine,
+    QueryResult,
+    binding_cache_key,
+    execution_noise_key,
+)
 from ..rdf.terms import Term
+from ..sparql.ast import SelectQuery
 from ..sparql.template import QueryTemplate
 from .stats import RuntimeSummary
 from .workload import ParameterBinding, Workload, WorkloadSuite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..service.service import QueryService
 
 
 @dataclass
@@ -31,10 +50,34 @@ class QueryExecution:
     plan_signature: str
     result_rows: int
     repetition: int = 0
+    #: operational metadata — whether the plan came from the plan cache.
+    #: Excluded from equality so that cached/uncached and concurrent/
+    #: sequential runs of the same workload compare as identical records.
+    plan_cached: bool = field(default=False, compare=False)
 
     def binding_key(self) -> str:
         """Stable string identifying the parameter binding."""
-        return "&".join("%s=%s" % (name, self.binding[name].n3()) for name in sorted(self.binding))
+        return binding_cache_key(self.binding)
+
+
+def execution_record(
+    template_name: str,
+    binding: ParameterBinding,
+    result: QueryResult,
+    repetition: int = 0,
+) -> QueryExecution:
+    """Build the benchmark record for one engine/service result."""
+    return QueryExecution(
+        template_name=template_name,
+        binding=dict(binding),
+        runtime_ms=result.runtime_ms,
+        actual_cout=result.actual_cout,
+        estimated_cout=result.estimated_cout,
+        plan_signature=result.plan_signature(),
+        result_rows=len(result),
+        repetition=repetition,
+        plan_cached=result.plan_cached,
+    )
 
 
 @dataclass
@@ -57,6 +100,16 @@ class WorkloadResult:
     def distinct_plans(self) -> int:
         return len(set(self.plan_signatures()))
 
+    def cache_hits(self) -> int:
+        """Executions whose plan was served from the plan cache."""
+        return sum(1 for execution in self.executions if execution.plan_cached)
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of executions served from the plan cache (0.0 when naive)."""
+        if not self.executions:
+            return 0.0
+        return self.cache_hits() / len(self.executions)
+
     def summary(self) -> RuntimeSummary:
         return RuntimeSummary.from_values(self.runtimes())
 
@@ -65,10 +118,13 @@ class WorkloadResult:
 
 
 class WorkloadRunner:
-    """Runs workloads on a query engine."""
+    """Runs workloads on a query engine, naively or through a query service."""
 
-    def __init__(self, engine: QueryEngine):
-        self.engine = engine
+    def __init__(self, engine: Optional[QueryEngine] = None, service: Optional["QueryService"] = None):
+        if engine is None and service is None:
+            raise ValueError("WorkloadRunner needs an engine or a service")
+        self.service = service
+        self.engine = engine if engine is not None else service.engine
 
     # -- single executions -----------------------------------------------------------
 
@@ -77,44 +133,67 @@ class WorkloadRunner:
         template: QueryTemplate,
         binding: ParameterBinding,
         repetition: int = 0,
+        query: Optional[SelectQuery] = None,
     ) -> QueryExecution:
-        result = self.engine.execute_template(template, binding, repetition=repetition)
-        return QueryExecution(
-            template_name=template.name,
-            binding=dict(binding),
-            runtime_ms=result.runtime_ms,
-            actual_cout=result.actual_cout,
-            estimated_cout=result.estimated_cout,
-            plan_signature=result.plan_signature(),
-            result_rows=len(result),
-            repetition=repetition,
-        )
+        """Execute one binding.
+
+        ``query`` optionally carries an already-instantiated query so that
+        repetition runs over the same binding skip re-instantiation (the
+        batch entry points pass it; the service path never needs it).
+        """
+        if self.service is not None:
+            return self.service.execute_recorded(template, binding, repetition)
+        if query is None:
+            query = template.instantiate(binding)
+        result = self.engine.execute(query, execution_noise_key(template.name, binding, repetition))
+        return execution_record(template.name, binding, result, repetition)
 
     def run_bindings(
         self,
         template: QueryTemplate,
         bindings: Sequence[ParameterBinding],
         workload_name: Optional[str] = None,
+        workers: int = 1,
     ) -> WorkloadResult:
+        if self.service is not None:
+            return self.service.run_bindings(
+                template, bindings, workload_name=workload_name, workers=workers
+            )
+        if workers > 1:
+            raise ValueError(
+                "concurrent execution needs a service-backed runner; "
+                "construct WorkloadRunner(engine, service=QueryService(engine))"
+            )
         result = WorkloadResult(
             workload_name=workload_name or template.name,
             template_name=template.name,
         )
+        # Instantiate each distinct binding exactly once; uniform samples and
+        # repetition runs repeat bindings, and re-substituting the same terms
+        # into the template per repetition was pure overhead.
+        instantiated: Dict[str, SelectQuery] = {}
         for index, binding in enumerate(bindings):
-            result.executions.append(self.run_once(template, binding, repetition=index))
+            key = binding_cache_key(binding)
+            query = instantiated.get(key)
+            if query is None:
+                query = instantiated[key] = template.instantiate(binding)
+            result.executions.append(self.run_once(template, binding, repetition=index, query=query))
         return result
 
     # -- workloads ----------------------------------------------------------------------
 
-    def run_workload(self, workload: Workload) -> WorkloadResult:
+    def run_workload(self, workload: Workload, workers: int = 1) -> WorkloadResult:
         return self.run_bindings(
             workload.template,
             workload.parameter_bindings(),
             workload_name=workload.name(),
+            workers=workers,
         )
 
-    def run_suite(self, suite: WorkloadSuite) -> Dict[str, WorkloadResult]:
-        return {workload.name(): self.run_workload(workload) for workload in suite}
+    def run_suite(self, suite: WorkloadSuite, workers: int = 1) -> Dict[str, WorkloadResult]:
+        return {
+            workload.name(): self.run_workload(workload, workers=workers) for workload in suite
+        }
 
     # -- grouped runs (the E2 experiment shape) -----------------------------------------------
 
@@ -122,6 +201,7 @@ class WorkloadRunner:
         self,
         template: QueryTemplate,
         groups: Sequence[Sequence[ParameterBinding]],
+        workers: int = 1,
     ) -> List[WorkloadResult]:
         """Run the same template over several independent groups of bindings."""
         results = []
@@ -131,6 +211,7 @@ class WorkloadRunner:
                     template,
                     group,
                     workload_name="%s/group%d" % (template.name, group_index + 1),
+                    workers=workers,
                 )
             )
         return results

@@ -119,12 +119,30 @@ def run_suite_report(
     suite: WorkloadSuite,
     runner: WorkloadRunner,
     title: Optional[str] = None,
+    workers: int = 1,
 ) -> str:
-    """Run a suite and render the per-workload report table."""
-    from ..core.report import per_class_report
+    """Run a suite and render the per-workload report table.
 
-    results: Dict[str, WorkloadResult] = runner.run_suite(suite)
-    return per_class_report(results, title=title or ("suite: %s" % suite.name))
+    When the runner is service-backed, the serving statistics (QPS, latency
+    percentiles, plan-cache hit rate) are appended below the table.
+    """
+    from ..core.report import per_class_report
+    from .reporting import service_report
+
+    results: Dict[str, WorkloadResult] = runner.run_suite(suite, workers=workers)
+    report = per_class_report(results, title=title or ("suite: %s" % suite.name))
+    if runner.service is not None:
+        report = "%s\n\n%s" % (report, service_report(runner.service.service_stats()))
+    return report
+
+
+def service_runner(engine: QueryEngine, plan_cache_capacity: int = 512) -> WorkloadRunner:
+    """A workload runner backed by a fresh :class:`QueryService` over ``engine``."""
+    # Imported here to keep repro.bench importable without repro.service
+    # (the service builds on bench, not the other way around).
+    from ..service.service import QueryService
+
+    return WorkloadRunner(engine, service=QueryService(engine, plan_cache_capacity=plan_cache_capacity))
 
 
 def run_full_benchmark(
@@ -133,15 +151,23 @@ def run_full_benchmark(
     executions: int = 30,
     curated: bool = False,
     seed: int = 42,
+    use_service: bool = True,
+    workers: int = 1,
 ) -> str:
-    """Run the complete BSBM-BI + LDBC-interactive mix and return the report."""
+    """Run the complete BSBM-BI + LDBC-interactive mix and return the report.
+
+    ``use_service`` routes every workload through the concurrent query
+    service (prepared templates + plan cache); the records are identical to
+    the naive path, only faster — repeated bindings skip re-optimization.
+    ``workers`` sets the number of closed-loop clients per workload.
+    """
     reports = []
     for label, dataset, registry, space_builder in (
         ("bsbm-bi", bsbm_dataset, BSBM_REGISTRY, bsbm_parameter_spaces),
         ("ldbc-interactive", ldbc_dataset, LDBC_REGISTRY, ldbc_parameter_spaces),
     ):
         engine = QueryEngine(dataset.graph)
-        runner = WorkloadRunner(engine)
+        runner = service_runner(engine) if use_service else WorkloadRunner(engine)
         suite = build_suite(
             label,
             registry,
@@ -152,5 +178,7 @@ def run_full_benchmark(
             seed=seed,
         )
         mode = "curated parameters" if curated else "uniform parameters"
-        reports.append(run_suite_report(suite, runner, title="%s (%s)" % (label, mode)))
+        reports.append(
+            run_suite_report(suite, runner, title="%s (%s)" % (label, mode), workers=workers)
+        )
     return "\n\n".join(reports)

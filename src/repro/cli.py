@@ -6,6 +6,7 @@ Exposes the experiments and the curation pipeline without writing Python::
     python -m repro.cli experiment all --scale tiny
     python -m repro.cli curate bsbm_bi_q4 --scale small --classes 3
     python -m repro.cli generate bsbm --products 200 --output bsbm.nt
+    python -m repro.cli throughput bsbm_bi_q4 --scale tiny --workers 4 --baseline
     python -m repro.cli scales
 
 The same entry point is installed as the ``repro-bench`` console script.
@@ -15,9 +16,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from .bench.reporting import format_milliseconds, key_value_report, service_report
+from .bench.runner import WorkloadRunner
+from .bench.workload import FixedBindings
 from .core.curation import curate
+from .core.samplers import UniformSampler
+from .service.service import QueryService
 from .core.report import curation_report
 from .datagen.bsbm import BSBMConfig, generate_bsbm
 from .datagen.bsbm import template as bsbm_template
@@ -53,6 +60,25 @@ _CURATABLE = {
     "ldbc_q3": (common.ldbc_engine, ldbc_template, common.ldbc_person_country_pair_space),
 }
 
+#: templates the throughput subcommand can serve (adds the join-heavy Q8,
+#: where plan caching pays off the most).
+_SERVABLE = dict(_CURATABLE)
+_SERVABLE["bsbm_bi_q8"] = (common.bsbm_engine, bsbm_template, common.bsbm_type_feature_space)
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer, got %d" % number)
+    return number
+
+
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError("must be >= 0, got %d" % number)
+    return number
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -80,6 +106,37 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=42)
     generate.add_argument("--output", default="-", help="output file ('-' for stdout)")
 
+    throughput = subparsers.add_parser(
+        "throughput",
+        help="serve a repeated-template workload through the concurrent query service",
+    )
+    throughput.add_argument("template", choices=sorted(_SERVABLE))
+    throughput.add_argument("--scale", default="tiny", choices=sorted(common.SCALES))
+    throughput.add_argument(
+        "--executions", type=_positive_int, default=200, help="total queries to serve"
+    )
+    throughput.add_argument(
+        "--distinct",
+        type=_positive_int,
+        default=8,
+        help="distinct parameter bindings cycled through the run",
+    )
+    throughput.add_argument(
+        "--workers", type=_positive_int, default=4, help="closed-loop client threads"
+    )
+    throughput.add_argument(
+        "--capacity",
+        type=_non_negative_int,
+        default=256,
+        help="plan cache capacity (0 disables caching)",
+    )
+    throughput.add_argument("--seed", type=int, default=42)
+    throughput.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also time the naive sequential path and report the speedup",
+    )
+
     subparsers.add_parser("scales", help="list the available dataset scale presets")
     return parser
 
@@ -105,6 +162,45 @@ def _run_curate(arguments, output) -> None:
         max_classes=arguments.classes,
     )
     print(curation_report(curated), file=output)
+
+
+def _run_throughput(arguments, output) -> None:
+    engine_factory, template_factory, space_factory = _SERVABLE[arguments.template]
+    engine = engine_factory(arguments.scale)
+    template = template_factory(arguments.template)
+    space = space_factory(arguments.scale)
+
+    distinct = UniformSampler(space, seed=arguments.seed).bindings(arguments.distinct)
+    bindings = FixedBindings(distinct).bindings(arguments.executions)
+
+    service = QueryService(engine, plan_cache_capacity=arguments.capacity)
+    runner = WorkloadRunner(engine, service=service)
+    started = time.perf_counter()
+    served = runner.run_bindings(template, bindings, workers=arguments.workers)
+    service_seconds = time.perf_counter() - started
+
+    title = "throughput: %s (%s scale, %d workers, %d executions, %d distinct bindings)" % (
+        arguments.template,
+        arguments.scale,
+        arguments.workers,
+        arguments.executions,
+        arguments.distinct,
+    )
+    print(service_report(service.service_stats(), title=title), file=output)
+
+    if arguments.baseline:
+        naive = WorkloadRunner(engine)
+        started = time.perf_counter()
+        baseline = naive.run_bindings(template, bindings)
+        naive_seconds = time.perf_counter() - started
+        comparison = {
+            "naive wall clock": format_milliseconds(naive_seconds * 1000.0),
+            "service wall clock": format_milliseconds(service_seconds * 1000.0),
+            "speedup": "%.1fx" % (naive_seconds / service_seconds if service_seconds > 0 else float("inf")),
+            "records identical": baseline.executions == served.executions,
+        }
+        print("", file=output)
+        print(key_value_report(comparison, title="naive vs service"), file=output)
 
 
 def _run_generate(arguments, output_stream) -> None:
@@ -143,6 +239,9 @@ def main(argv: Optional[List[str]] = None, output=None) -> int:
         return 0
     if arguments.command == "curate":
         _run_curate(arguments, output)
+        return 0
+    if arguments.command == "throughput":
+        _run_throughput(arguments, output)
         return 0
     if arguments.command == "generate":
         _run_generate(arguments, output)

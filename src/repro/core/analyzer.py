@@ -51,18 +51,36 @@ class BindingAnalysis:
 
 
 class PlanCostAnalyzer:
-    """Computes the optimal plan and its cost for candidate bindings."""
+    """Computes the optimal plan and its cost for candidate bindings.
 
-    def __init__(self, engine: QueryEngine, template: QueryTemplate, execute: bool = True):
+    ``service`` optionally routes the executing mode through a
+    :class:`~repro.service.service.QueryService`: repeated bindings then hit
+    the parameter-aware plan cache instead of re-running join ordering, and
+    the cache's ``distinct_plans()`` view lets experiments cross-check the
+    observed plan diversity.  The produced analyses are identical either way
+    (same plans, same simulated runtimes).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        template: QueryTemplate,
+        execute: bool = True,
+        service=None,
+    ):
         self.engine = engine
         self.template = template
         self.execute = execute
+        self.service = service
 
     # -- single binding -------------------------------------------------------------
 
     def analyze_binding(self, binding: ParameterBinding) -> BindingAnalysis:
         if self.execute:
-            result = self.engine.execute_template(self.template, binding)
+            if self.service is not None:
+                result = self.service.execute(self.template, binding)
+            else:
+                result = self.engine.execute_template(self.template, binding)
             return BindingAnalysis(
                 binding=dict(binding),
                 plan_signature=result.plan_signature(),

@@ -11,7 +11,7 @@ from .operators import (
     ordering_key,
     value_to_term,
 )
-from .query_engine import QueryEngine, QueryResult
+from .query_engine import QueryEngine, QueryResult, binding_cache_key, execution_noise_key
 from .runtime_model import MeasuredRuntimeModel, RuntimeModel
 
 __all__ = [
@@ -23,6 +23,8 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "RuntimeModel",
+    "binding_cache_key",
+    "execution_noise_key",
     "effective_boolean_value",
     "evaluate",
     "evaluate_aggregate",

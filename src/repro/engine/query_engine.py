@@ -25,6 +25,21 @@ from .executor import ExecutionProfile, Executor
 from .runtime_model import RuntimeModel
 
 
+def binding_cache_key(bindings: Mapping[str, Term]) -> str:
+    """Stable string identifying a parameter binding (cache / noise keys)."""
+    return "&".join("%s=%s" % (name, bindings[name].n3()) for name in sorted(bindings))
+
+
+def execution_noise_key(template_name: str, bindings: Mapping[str, Term], repetition: int = 0) -> str:
+    """The runtime-model noise key of one (template, binding, repetition).
+
+    Every execution path — naive, prepared, concurrent — must derive the key
+    the same way so that identical executions get identical simulated
+    runtimes regardless of how they were scheduled.
+    """
+    return "%s|%s|%d" % (template_name, binding_cache_key(bindings), repetition)
+
+
 class QueryResult:
     """The complete outcome of executing one query."""
 
@@ -43,6 +58,9 @@ class QueryResult:
         self.runtime_ms = runtime_ms
         self.estimated_cout = estimated_cout
         self.actual_cout = actual_cout
+        #: True when the plan was served from a plan cache rather than
+        #: optimized for this execution (set by the query service).
+        self.plan_cached = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -119,10 +137,6 @@ class QueryEngine:
     ) -> QueryResult:
         """Instantiate a template with parameter bindings and execute it."""
         query = template.instantiate(bindings)
-        noise_key = "%s|%s|%d" % (
-            template.name,
-            "&".join("%s=%s" % (name, bindings[name].n3()) for name in sorted(bindings)),
-            repetition,
-        )
+        noise_key = execution_noise_key(template.name, bindings, repetition)
         plan = self.optimizer.optimize(translate_query(query))
         return self.execute_plan(plan, noise_key)

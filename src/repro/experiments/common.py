@@ -24,6 +24,7 @@ from ..datagen.ldbc import LDBCConfig, LDBCDataset, generate_ldbc
 from ..datagen.ldbc import schema as ldbc_schema
 from ..engine.query_engine import QueryEngine
 from ..rdf.terms import IRI
+from ..service.service import QueryService
 
 
 @dataclass(frozen=True)
@@ -104,12 +105,34 @@ def ldbc_engine(scale_name: str = "small") -> QueryEngine:
     return QueryEngine(ldbc_dataset(scale_name).graph)
 
 
+@lru_cache(maxsize=None)
+def bsbm_service(scale_name: str = "small") -> QueryService:
+    """Shared query service over the BSBM engine of one scale.
+
+    Shared so that the plan cache amortizes across experiments in one
+    process; consequently its metrics/cache counters are *cumulative* over
+    every experiment run at this scale.  Reports that need per-run serving
+    statistics should build their own ``QueryService`` (see
+    ``repro.bench.suites.service_runner``).
+    """
+    return QueryService(bsbm_engine(scale_name))
+
+
+@lru_cache(maxsize=None)
+def ldbc_service(scale_name: str = "small") -> QueryService:
+    """Shared query service over the LDBC engine of one scale (cumulative
+    counters — see :func:`bsbm_service`)."""
+    return QueryService(ldbc_engine(scale_name))
+
+
 def bsbm_runner(scale_name: str = "small") -> WorkloadRunner:
-    return WorkloadRunner(bsbm_engine(scale_name))
+    """Service-backed runner: prepared templates + plan cache, identical records."""
+    return WorkloadRunner(bsbm_engine(scale_name), service=bsbm_service(scale_name))
 
 
 def ldbc_runner(scale_name: str = "small") -> WorkloadRunner:
-    return WorkloadRunner(ldbc_engine(scale_name))
+    """Service-backed runner: prepared templates + plan cache, identical records."""
+    return WorkloadRunner(ldbc_engine(scale_name), service=ldbc_service(scale_name))
 
 
 def clear_caches() -> None:
@@ -118,6 +141,8 @@ def clear_caches() -> None:
     bsbm_engine.cache_clear()
     ldbc_dataset.cache_clear()
     ldbc_engine.cache_clear()
+    bsbm_service.cache_clear()
+    ldbc_service.cache_clear()
 
 
 # -- parameter domains mined from the generated datasets --------------------------------------
@@ -143,6 +168,17 @@ def bsbm_feature_space(scale_name: str = "small") -> ParameterSpace:
 def bsbm_producer_space(scale_name: str = "small") -> ParameterSpace:
     dataset = bsbm_dataset(scale_name)
     return ParameterSpace([domain_from_values("producer", list(dataset.producers))])
+
+
+def bsbm_type_feature_space(scale_name: str = "small") -> ParameterSpace:
+    """Domain of the BSBM-BI Q8 parameters: product type x feature."""
+    dataset = bsbm_dataset(scale_name)
+    return ParameterSpace(
+        [
+            domain_from_values("type", dataset.product_type_iris()),
+            domain_from_values("feature", list(dataset.features)),
+        ]
+    )
 
 
 def ldbc_person_space(scale_name: str = "small") -> ParameterSpace:

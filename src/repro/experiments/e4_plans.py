@@ -39,6 +39,10 @@ class E4Result:
     rare_pair_plans: Dict[str, int]
     #: person IRI string -> (plans over frequent pairs, plans over rare pairs)
     per_person_plans: Dict[str, Tuple[Dict[str, int], Dict[str, int]]] = None
+    #: distinct plans as seen by the query service's parameter-aware plan
+    #: cache — must agree with the histogram: caching may never flatten the
+    #: per-binding plan diversity this experiment demonstrates.
+    cache_distinct_plans: int = 0
 
     def distinct_plans(self) -> int:
         return len(self.plan_histogram)
@@ -82,6 +86,7 @@ class E4Result:
         table = text_table(["optimal plan (join-tree signature)", "bindings"], rows)
         values = {
             "distinct optimal plans": self.distinct_plans(),
+            "distinct plans in the service plan cache": self.cache_distinct_plans,
             "dominant plan differs between rare and frequent pairs": self.plans_differ_between_rare_and_frequent(),
             "fraction of persons whose plan flips with the country pair": self.person_flip_fraction(),
         }
@@ -100,10 +105,20 @@ def _country_pairs_by_frequency(scale: str, pairs: int) -> Tuple[List[Tuple[str,
 
 
 def run(scale: str = "small", persons: int = 12, pairs: int = 4, seed: int = 17) -> E4Result:
-    """Analyze LDBC Q3 plans for frequent vs rare country pairs."""
+    """Analyze LDBC Q3 plans for frequent vs rare country pairs.
+
+    Executions go through a fresh :class:`~repro.service.QueryService` so
+    the experiment doubles as the acceptance check for the parameter-aware
+    plan cache: repeated (person, country pair) bindings hit the cache, yet
+    the cache's ``distinct_plans()`` still shows every plan the bindings
+    legitimately flip between.
+    """
+    from ..service.service import QueryService
+
     engine = common.ldbc_engine(scale)
     template = ldbc_template("ldbc_q3")
-    analyzer = PlanCostAnalyzer(engine, template, execute=True)
+    service = QueryService(engine)
+    analyzer = PlanCostAnalyzer(engine, template, execute=True, service=service)
 
     person_sampler = UniformSampler(common.ldbc_person_space(scale), seed=seed)
     person_bindings = person_sampler.bindings(persons)
@@ -151,6 +166,7 @@ def run(scale: str = "small", persons: int = 12, pairs: int = 4, seed: int = 17)
         frequent_pair_plans=plan_signature_histogram(frequent_analyses),
         rare_pair_plans=plan_signature_histogram(rare_analyses),
         per_person_plans=per_person_plans,
+        cache_distinct_plans=service.plan_cache.distinct_plans(),
     )
 
 

@@ -1,0 +1,27 @@
+"""Concurrent query service: prepared templates, plan cache, scheduler, metrics.
+
+This is the serving layer the ROADMAP's production north-star asks for: the
+benchmark harness (and any downstream user) executes templates through a
+:class:`QueryService`, which amortizes parsing/translation via prepared
+templates, skips repeated join ordering via a parameter-aware LRU plan
+cache, runs closed-loop concurrent clients over the shared read-only store,
+and reports QPS / latency percentiles / cache hit rates.
+"""
+
+from .metrics import MetricsCollector, ServiceMetrics
+from .plan_cache import PlanCache, PlanCacheStats
+from .prepared import PreparedTemplate, PreparedTemplateRegistry, substitute_algebra
+from .scheduler import ConcurrentScheduler
+from .service import QueryService
+
+__all__ = [
+    "ConcurrentScheduler",
+    "MetricsCollector",
+    "PlanCache",
+    "PlanCacheStats",
+    "PreparedTemplate",
+    "PreparedTemplateRegistry",
+    "QueryService",
+    "ServiceMetrics",
+    "substitute_algebra",
+]

@@ -1,0 +1,92 @@
+"""Serving metrics.
+
+The collector observes every execution the service performs and aggregates
+the numbers an operator of a query-serving system watches: throughput (QPS,
+from real wall-clock time) and the latency distribution (p50 / p95 / p99,
+over the *simulated* runtimes so that the figures stay deterministic and
+comparable with everything else the reproduction reports).
+
+Snapshots are plain dataclasses; :func:`repro.bench.reporting.service_report`
+renders them, keeping ``repro.bench`` free of any import of this package.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..bench.stats import mean, percentile
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Snapshot of everything the collector observed."""
+
+    executed: int
+    wall_clock_seconds: float
+    qps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "executed queries": self.executed,
+            "wall clock seconds": self.wall_clock_seconds,
+            "QPS": self.qps,
+            "latency mean (ms)": self.latency_mean_ms,
+            "latency p50 (ms)": self.latency_p50_ms,
+            "latency p95 (ms)": self.latency_p95_ms,
+            "latency p99 (ms)": self.latency_p99_ms,
+        }
+
+
+class MetricsCollector:
+    """Thread-safe accumulator of per-execution and per-batch observations."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latencies_ms: List[float] = []
+        #: wall-clock seconds of executions issued outside any batch (summed;
+        #: batched executions are covered by their batch's wall time instead).
+        self._unbatched_busy_seconds = 0.0
+        #: wall-clock seconds of scheduler batches (overlapping executions
+        #: counted once — the correct denominator for concurrent QPS).
+        self._batch_seconds = 0.0
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_execution(self, runtime_ms: float, wall_seconds: float, in_batch: bool = False) -> None:
+        with self._lock:
+            self._latencies_ms.append(runtime_ms)
+            if not in_batch:
+                self._unbatched_busy_seconds += wall_seconds
+
+    def record_batch(self, wall_seconds: float) -> None:
+        with self._lock:
+            self._batch_seconds += wall_seconds
+
+    def reset(self) -> None:
+        with self._lock:
+            self._latencies_ms = []
+            self._unbatched_busy_seconds = 0.0
+            self._batch_seconds = 0.0
+
+    # -- snapshot -----------------------------------------------------------------
+
+    def snapshot(self) -> ServiceMetrics:
+        with self._lock:
+            latencies = list(self._latencies_ms)
+            wall = self._batch_seconds + self._unbatched_busy_seconds
+        executed = len(latencies)
+        return ServiceMetrics(
+            executed=executed,
+            wall_clock_seconds=wall,
+            qps=executed / wall if wall > 0 else 0.0,
+            latency_mean_ms=mean(latencies) if latencies else 0.0,
+            latency_p50_ms=percentile(latencies, 0.50) if latencies else 0.0,
+            latency_p95_ms=percentile(latencies, 0.95) if latencies else 0.0,
+            latency_p99_ms=percentile(latencies, 0.99) if latencies else 0.0,
+        )

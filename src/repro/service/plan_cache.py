@@ -1,0 +1,183 @@
+"""Parameter-aware plan cache.
+
+Real engines amortize optimization by caching plans per prepared statement.
+A single plan per template would be *wrong* for this workload: E4 shows that
+different parameter bindings of the same template legitimately have
+different optimal join orders.  The cache therefore keys plans by
+``(template name, binding key)``, so every binding gets the plan the
+optimizer would have chosen for it, and caching can never change a plan —
+only skip recomputing it.
+
+The cache is a thread-safe LRU with hit/miss/eviction counters and a
+:meth:`PlanCache.distinct_plans` view over every join-tree signature ever
+inserted (it survives eviction), which the E4-style experiments assert
+against.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from ..optimizer.plans import PlanNode, join_tree_signature
+
+#: Cache key: (template name, binding key).
+PlanKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Snapshot of the cache counters at one point in time."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+    distinct_plans: int
+
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        lookups = self.lookups()
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "plan cache capacity": self.capacity,
+            "plan cache size": self.size,
+            "plan cache hits": self.hits,
+            "plan cache misses": self.misses,
+            "plan cache evictions": self.evictions,
+            "plan cache hit rate": self.hit_rate(),
+            "distinct cached plans": self.distinct_plans,
+        }
+
+
+class PlanCache:
+    """Thread-safe LRU cache of optimized plans keyed per parameter binding."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be >= 0, got %d" % capacity)
+        self.capacity = capacity
+        self._entries: "OrderedDict[PlanKey, PlanNode]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+        #: every join-tree signature ever inserted — eviction must not hide
+        #: plan diversity from the experiments.
+        self._signatures: Set[str] = set()
+
+    # -- core operations ---------------------------------------------------------
+
+    def lookup(self, key: PlanKey) -> Optional[PlanNode]:
+        """Return the cached plan for ``key`` (refreshing recency) or None."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return plan
+
+    def insert(self, key: PlanKey, plan: PlanNode) -> PlanNode:
+        """Insert ``plan`` under ``key``; return the canonical cached plan.
+
+        If another thread inserted the same key first, the existing plan wins
+        (both were produced by the same deterministic optimizer, so they are
+        structurally identical).
+        """
+        signature = join_tree_signature(plan)
+        with self._lock:
+            self._signatures.add(signature)
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._insertions += 1
+            if self.capacity == 0:
+                return plan
+            self._entries[key] = plan
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return plan
+
+    def get_or_create(self, key: PlanKey, factory: Callable[[], PlanNode]) -> Tuple[PlanNode, bool]:
+        """Return ``(plan, hit)``; on a miss, build the plan with ``factory``.
+
+        The factory runs outside the cache lock so concurrent clients can
+        optimize different templates in parallel; a racing duplicate build
+        for the *same* key is harmless (see :meth:`insert`).
+        """
+        plan = self.lookup(key)
+        if plan is not None:
+            return plan, True
+        return self.insert(key, factory()), False
+
+    def peek(self, key: PlanKey) -> Optional[PlanNode]:
+        """Return the cached plan without touching recency or counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    # -- views -------------------------------------------------------------------
+
+    def distinct_plans(self) -> int:
+        """Number of distinct join-tree signatures ever cached."""
+        with self._lock:
+            return len(self._signatures)
+
+    def plan_signatures(self) -> Set[str]:
+        """A copy of every join-tree signature ever cached."""
+        with self._lock:
+            return set(self._signatures)
+
+    def keys(self) -> List[PlanKey]:
+        """Currently cached keys in LRU order (oldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                distinct_plans=len(self._signatures),
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and counter (signatures included)."""
+        with self._lock:
+            self._entries.clear()
+            self._signatures.clear()
+            self._hits = self._misses = self._insertions = self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return "PlanCache(size=%d/%d, hits=%d, misses=%d, evictions=%d)" % (
+            stats.size,
+            stats.capacity,
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+        )

@@ -1,0 +1,221 @@
+"""Prepared query templates.
+
+The naive execution path repeats, for every single execution, work that
+depends only on the template: tokenize + parse (already amortized by
+:class:`~repro.sparql.template.QueryTemplate`) and the AST → algebra
+translation.  A :class:`PreparedTemplate` performs the translation exactly
+once, keeping the ``%param`` placeholders embedded in the algebra tree, and
+instantiates a binding by substituting terms directly into a structural copy
+of that tree — no reparse, no retranslation.
+
+Structure preservation is what makes this safe: parameter substitution never
+changes *which* algebra nodes exist (a parameter is always a term inside a
+triple pattern or expression), so substituting before or after translation
+yields the same logical plan, and therefore the same optimized physical
+plan.  ``tests/test_service.py`` asserts this equivalence against the naive
+path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..rdf.terms import Term
+from ..rdf.triples import TriplePattern
+from ..sparql import algebra
+from ..sparql.ast import OrderCondition, SelectQuery
+from ..sparql.template import (
+    MissingParameterError,
+    QueryTemplate,
+    UnknownParameterError,
+    substitute_expression,
+    substitute_term,
+)
+
+ParameterBinding = Mapping[str, Term]
+
+
+def substitute_algebra(node: algebra.AlgebraNode, bindings: ParameterBinding) -> algebra.AlgebraNode:
+    """Return a copy of an algebra tree with every parameter replaced by a term."""
+    if isinstance(node, algebra.BGP):
+        return algebra.BGP(
+            [
+                TriplePattern(
+                    substitute_term(pattern.subject, bindings),
+                    substitute_term(pattern.predicate, bindings),
+                    substitute_term(pattern.object, bindings),
+                )
+                for pattern in node.patterns
+            ]
+        )
+    if isinstance(node, algebra.Join):
+        return algebra.Join(
+            substitute_algebra(node.left, bindings), substitute_algebra(node.right, bindings)
+        )
+    if isinstance(node, algebra.LeftJoin):
+        condition = (
+            substitute_expression(node.condition, bindings) if node.condition is not None else None
+        )
+        return algebra.LeftJoin(
+            substitute_algebra(node.left, bindings),
+            substitute_algebra(node.right, bindings),
+            condition,
+        )
+    if isinstance(node, algebra.Union):
+        return algebra.Union(
+            [substitute_algebra(alternative, bindings) for alternative in node.alternatives]
+        )
+    if isinstance(node, algebra.Filter):
+        return algebra.Filter(
+            substitute_expression(node.expression, bindings),
+            substitute_algebra(node.child, bindings),
+        )
+    if isinstance(node, algebra.Extend):
+        return algebra.Extend(
+            substitute_algebra(node.child, bindings),
+            node.variable,
+            substitute_expression(node.expression, bindings),
+        )
+    if isinstance(node, algebra.Group):
+        return algebra.Group(
+            substitute_algebra(node.child, bindings),
+            node.group_variables,
+            [
+                (variable, substitute_expression(aggregate, bindings))
+                for variable, aggregate in node.aggregates
+            ],
+        )
+    if isinstance(node, algebra.OrderBy):
+        return algebra.OrderBy(
+            substitute_algebra(node.child, bindings),
+            [
+                OrderCondition(
+                    substitute_expression(condition.expression, bindings), condition.descending
+                )
+                for condition in node.conditions
+            ],
+        )
+    if isinstance(node, algebra.Project):
+        return algebra.Project(substitute_algebra(node.child, bindings), node.projected)
+    if isinstance(node, algebra.Distinct):
+        return algebra.Distinct(substitute_algebra(node.child, bindings))
+    if isinstance(node, algebra.Slice):
+        return algebra.Slice(substitute_algebra(node.child, bindings), node.limit, node.offset)
+    raise TypeError("unsupported algebra node %r" % (node,))
+
+
+class PreparedTemplate:
+    """A query template parsed and translated exactly once."""
+
+    def __init__(self, template: QueryTemplate):
+        self.template = template
+        self.name = template.name
+        self.parameter_names: Tuple[str, ...] = template.parameter_names
+        #: the algebra tree with parameters still embedded, built once.
+        self.algebra = algebra.translate_query(template.query)
+        self._lock = threading.Lock()
+        self._substitutions = 0
+        self._executions = 0
+
+    # -- instantiation ------------------------------------------------------------
+
+    def _check_bindings(self, bindings: ParameterBinding) -> None:
+        unknown = set(bindings) - set(self.parameter_names)
+        if unknown:
+            raise UnknownParameterError(
+                "unknown parameters %s for prepared template %s" % (sorted(unknown), self.name)
+            )
+        missing = set(self.parameter_names) - set(bindings)
+        if missing:
+            raise MissingParameterError(
+                "missing parameters %s for prepared template %s" % (sorted(missing), self.name)
+            )
+
+    def algebra_for(self, bindings: ParameterBinding) -> algebra.AlgebraNode:
+        """The fully-bound algebra tree for one binding (no reparse)."""
+        self._check_bindings(bindings)
+        with self._lock:
+            self._substitutions += 1
+        return substitute_algebra(self.algebra, bindings)
+
+    def instantiate(self, bindings: ParameterBinding) -> SelectQuery:
+        """AST-level instantiation, kept for compatibility with the naive path."""
+        return self.template.instantiate(bindings)
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def note_execution(self) -> None:
+        with self._lock:
+            self._executions += 1
+
+    @property
+    def substitutions(self) -> int:
+        """How many times a binding was substituted into the algebra tree."""
+        with self._lock:
+            return self._substitutions
+
+    @property
+    def executions(self) -> int:
+        """How many executions this prepared template served."""
+        with self._lock:
+            return self._executions
+
+    def __repr__(self) -> str:
+        return "PreparedTemplate(%r, executions=%d, substitutions=%d)" % (
+            self.name,
+            self.executions,
+            self.substitutions,
+        )
+
+
+class PreparedTemplateRegistry:
+    """Prepares each template exactly once and hands out the shared instance."""
+
+    def __init__(self):
+        self._prepared: Dict[str, PreparedTemplate] = {}
+        self._lock = threading.Lock()
+
+    def prepare(self, template: QueryTemplate) -> PreparedTemplate:
+        """Idempotently prepare ``template``; repeated calls reuse the work."""
+        with self._lock:
+            existing = self._prepared.get(template.name)
+            if existing is not None:
+                if existing.template.text != template.text:
+                    raise ValueError(
+                        "a different template is already prepared under name %r" % template.name
+                    )
+                return existing
+            prepared = PreparedTemplate(template)
+            self._prepared[template.name] = prepared
+            return prepared
+
+    def get(self, name: str) -> PreparedTemplate:
+        with self._lock:
+            if name not in self._prepared:
+                raise KeyError("template %r has not been prepared" % name)
+            return self._prepared[name]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._prepared)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            prepared = list(self._prepared.values())
+        executions = sum(template.executions for template in prepared)
+        substitutions = sum(template.substitutions for template in prepared)
+        return {
+            "prepared templates": len(prepared),
+            "prepared executions": executions,
+            "prepared substitutions": substitutions,
+            "reused plans": executions - substitutions,
+        }
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._prepared
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._prepared)

@@ -1,0 +1,198 @@
+"""The concurrent, cache-aware query service.
+
+:class:`QueryService` is the serving layer between the benchmark harness and
+the engine.  It owns
+
+* a :class:`~repro.service.prepared.PreparedTemplateRegistry` — each
+  template is parsed and translated exactly once,
+* a :class:`~repro.service.plan_cache.PlanCache` — optimized plans keyed per
+  ``(template, binding)`` so repeated executions skip join ordering entirely
+  while parameter-dependent plan choices (E4) stay intact,
+* a :class:`~repro.service.scheduler.ConcurrentScheduler` — closed-loop
+  clients over the shared read-only store, and
+* a :class:`~repro.service.metrics.MetricsCollector` — QPS and latency
+  percentiles for the serving reports.
+
+Executions produce exactly the :class:`~repro.bench.runner.QueryExecution`
+records the sequential naive path produces — same rows, same plan, same
+simulated runtime — because the runtime-model noise key depends only on
+(template, binding, repetition), never on scheduling or caching.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..engine.query_engine import (
+    QueryEngine,
+    QueryResult,
+    binding_cache_key,
+    execution_noise_key,
+)
+from ..sparql.template import QueryTemplate
+from ..bench.runner import QueryExecution, WorkloadResult, execution_record
+from ..bench.workload import ParameterBinding, Workload, WorkloadSuite
+from .metrics import MetricsCollector, ServiceMetrics
+from .plan_cache import PlanCache, PlanCacheStats
+from .prepared import PreparedTemplate, PreparedTemplateRegistry
+from .scheduler import ConcurrentScheduler
+
+TemplateOrName = Union[QueryTemplate, PreparedTemplate, str]
+
+
+class QueryService:
+    """Serves prepared, plan-cached query templates over one engine."""
+
+    def __init__(self, engine: QueryEngine, plan_cache_capacity: int = 512):
+        self.engine = engine
+        self.registry = PreparedTemplateRegistry()
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.metrics = MetricsCollector()
+
+    # -- preparation ---------------------------------------------------------------
+
+    def prepare(self, template: TemplateOrName) -> PreparedTemplate:
+        """Resolve ``template`` to its (lazily created) prepared form."""
+        if isinstance(template, PreparedTemplate):
+            return template
+        if isinstance(template, str):
+            return self.registry.get(template)
+        return self.registry.prepare(template)
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(
+        self,
+        template: TemplateOrName,
+        binding: ParameterBinding,
+        repetition: int = 0,
+    ) -> QueryResult:
+        """Execute one binding through the prepared/cached fast path."""
+        return self._serve(self.prepare(template), binding, repetition, in_batch=False)
+
+    def _serve(
+        self,
+        prepared: PreparedTemplate,
+        binding: ParameterBinding,
+        repetition: int,
+        in_batch: bool,
+    ) -> QueryResult:
+        started = time.perf_counter()
+        key = (prepared.name, binding_cache_key(binding))
+        plan, hit = self.plan_cache.get_or_create(
+            key, lambda: self.engine.optimizer.optimize(prepared.algebra_for(binding))
+        )
+        result = self.engine.execute_plan(
+            plan, execution_noise_key(prepared.name, binding, repetition)
+        )
+        result.plan_cached = hit
+        prepared.note_execution()
+        self.metrics.record_execution(
+            result.runtime_ms, time.perf_counter() - started, in_batch=in_batch
+        )
+        return result
+
+    def execute_recorded(
+        self,
+        template: TemplateOrName,
+        binding: ParameterBinding,
+        repetition: int = 0,
+    ) -> QueryExecution:
+        """Execute one binding and return the benchmark record for it."""
+        return self._record(self.prepare(template), binding, repetition, in_batch=False)
+
+    def _record(
+        self,
+        prepared: PreparedTemplate,
+        binding: ParameterBinding,
+        repetition: int,
+        in_batch: bool,
+    ) -> QueryExecution:
+        result = self._serve(prepared, binding, repetition, in_batch)
+        return execution_record(prepared.name, binding, result, repetition)
+
+    # -- batches -------------------------------------------------------------------
+
+    def run_bindings(
+        self,
+        template: TemplateOrName,
+        bindings: Sequence[ParameterBinding],
+        workload_name: Optional[str] = None,
+        workers: int = 1,
+    ) -> WorkloadResult:
+        """Run every binding (repetition = position) on ``workers`` clients.
+
+        The record list is identical — element by element — to what the
+        sequential naive path produces for the same bindings.
+        """
+        prepared = self.prepare(template)
+        scheduler = ConcurrentScheduler(workers)
+        started = time.perf_counter()
+        records = scheduler.run(
+            [
+                _RecordJob(self, prepared, binding, index)
+                for index, binding in enumerate(bindings)
+            ]
+        )
+        self.metrics.record_batch(time.perf_counter() - started)
+        return WorkloadResult(
+            workload_name=workload_name or prepared.name,
+            template_name=prepared.name,
+            executions=records,
+        )
+
+    def run_workload(self, workload: Workload, workers: int = 1) -> WorkloadResult:
+        return self.run_bindings(
+            workload.template,
+            workload.parameter_bindings(),
+            workload_name=workload.name(),
+            workers=workers,
+        )
+
+    def run_suite(self, suite: WorkloadSuite, workers: int = 1) -> Dict[str, WorkloadResult]:
+        return {workload.name(): self.run_workload(workload, workers=workers) for workload in suite}
+
+    # -- statistics ----------------------------------------------------------------
+
+    def cache_stats(self) -> PlanCacheStats:
+        return self.plan_cache.stats()
+
+    def service_metrics(self) -> ServiceMetrics:
+        return self.metrics.snapshot()
+
+    def service_stats(self) -> Dict[str, float]:
+        """One flat mapping with serving, plan-cache and template statistics.
+
+        This is the shape :func:`repro.bench.reporting.service_report`
+        renders.
+        """
+        stats: Dict[str, float] = {}
+        stats.update(self.service_metrics().as_dict())
+        stats.update(self.cache_stats().as_dict())
+        stats.update(self.registry.stats())
+        return stats
+
+    def __repr__(self) -> str:
+        return "QueryService(templates=%d, %r)" % (len(self.registry), self.plan_cache)
+
+
+class _RecordJob:
+    """One scheduled execution; picklable-free plain callable for the pool."""
+
+    __slots__ = ("service", "prepared", "binding", "repetition")
+
+    def __init__(
+        self,
+        service: QueryService,
+        prepared: PreparedTemplate,
+        binding: ParameterBinding,
+        repetition: int,
+    ):
+        self.service = service
+        self.prepared = prepared
+        self.binding = binding
+        self.repetition = repetition
+
+    def __call__(self) -> QueryExecution:
+        return self.service._record(self.prepared, self.binding, self.repetition, in_batch=True)

@@ -129,6 +129,12 @@ def substitute_parameters(query: SelectQuery, bindings: Mapping[str, Term]) -> S
     )
 
 
+#: Public aliases used by the prepared-statement layer, which substitutes
+#: parameters directly into translated algebra trees instead of the AST.
+substitute_term = _substitute_term
+substitute_expression = _substitute_expression
+
+
 # -- the template class ----------------------------------------------------------------
 
 

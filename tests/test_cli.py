@@ -69,3 +69,28 @@ class TestCommands:
         assert exit_code == 0
         assert "wrote" in output
         assert len(list(ntriples.parse(target.read_text()))) > 100
+
+    def test_throughput_serves_and_reports(self):
+        exit_code, output = run_cli(
+            [
+                "throughput",
+                "bsbm_bi_q8",
+                "--scale",
+                "tiny",
+                "--executions",
+                "40",
+                "--distinct",
+                "5",
+                "--workers",
+                "2",
+                "--baseline",
+            ]
+        )
+        assert exit_code == 0
+        assert "QPS" in output
+        assert "plan cache hit rate" in output
+        assert "records identical  : True" in output
+
+    def test_throughput_rejects_unknown_template(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["throughput", "nope"])

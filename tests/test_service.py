@@ -1,0 +1,292 @@
+"""Tests for repro.service: prepared templates, query service, scheduler.
+
+The three properties the serving layer must uphold:
+
+1. **Equivalence** — the prepared/cached path produces exactly the plans,
+   rows and simulated runtimes of the naive parse→translate→optimize path.
+2. **Determinism under concurrency** — the records of a workload are
+   identical for 1, 4 and 8 closed-loop workers, and identical to the
+   sequential naive runner's.
+3. **Parameter-awareness** — bindings whose optimal plans differ (the E4
+   situation) must never be served each other's cached plan.
+"""
+
+import pytest
+
+from repro.bench.runner import WorkloadRunner
+from repro.bench.workload import FixedBindings, Workload
+from repro.engine import QueryEngine, binding_cache_key
+from repro.rdf import Graph, IRI, Literal, Namespace
+from repro.service import ConcurrentScheduler, PreparedTemplateRegistry, QueryService
+from repro.sparql.template import (
+    MissingParameterError,
+    QueryTemplate,
+    UnknownParameterError,
+)
+
+EX = Namespace("http://example.org/")
+
+NAME_TEMPLATE = QueryTemplate(
+    "by_name",
+    "SELECT ?p WHERE { ?p <http://example.org/firstName> %name }",
+)
+
+NAME_COUNTRY_TEMPLATE = QueryTemplate(
+    "by_name_and_country",
+    """SELECT ?p WHERE {
+         ?p <http://example.org/firstName> %name .
+         ?p <http://example.org/livesIn> %country
+       }""",
+)
+
+FILTER_TEMPLATE = QueryTemplate(
+    "adults_in",
+    """SELECT ?p ?age WHERE {
+         ?p <http://example.org/livesIn> %country .
+         ?p <http://example.org/age> ?age .
+         FILTER(?age >= %minimum)
+       }
+       ORDER BY DESC(?age)
+       LIMIT 3""",
+)
+
+AGGREGATE_TEMPLATE = QueryTemplate(
+    "population",
+    """SELECT ?country (COUNT(?p) AS ?population) WHERE {
+         ?p <http://example.org/livesIn> ?country .
+         ?p <http://example.org/firstName> %name
+       }
+       GROUP BY ?country
+       ORDER BY ?country""",
+)
+
+
+def li_binding():
+    return {"name": Literal("Li")}
+
+
+FRIENDS_TEMPLATE = QueryTemplate(
+    "skewed_friends",
+    """SELECT ?a ?b WHERE {
+         ?a <http://example.org/firstName> %nameA .
+         ?a <http://example.org/knows> ?b .
+         ?b <http://example.org/firstName> %nameB
+       }""",
+)
+
+
+def skewed_graph() -> Graph:
+    """A graph whose value frequencies flip the optimal join order (E4).
+
+    One person is named "Rare", forty are named "Common", all on a knows
+    ring.  For (%nameA=Rare, %nameB=Common) the optimizer anchors the chain
+    at pattern 0; swapping the constants anchors it at pattern 2 — two
+    different optimal plans for the same template.
+    """
+    graph = Graph()
+    graph.add(EX["p0"], EX["firstName"], Literal("Rare"))
+    for index in range(1, 41):
+        graph.add(EX["p%d" % index], EX["firstName"], Literal("Common"))
+    for index in range(41):
+        neighbour = (index + 1) % 41
+        graph.add(EX["p%d" % index], EX["knows"], EX["p%d" % neighbour])
+        graph.add(EX["p%d" % neighbour], EX["knows"], EX["p%d" % index])
+    graph.finalise()
+    return graph
+
+
+def flip_bindings():
+    rare_first = {"nameA": Literal("Rare"), "nameB": Literal("Common")}
+    common_first = {"nameA": Literal("Common"), "nameB": Literal("Rare")}
+    return rare_first, common_first
+
+
+class TestPreparedTemplates:
+    def test_prepare_is_idempotent_and_translates_once(self, people_engine):
+        service = QueryService(people_engine)
+        first = service.prepare(NAME_TEMPLATE)
+        second = service.prepare(NAME_TEMPLATE)
+        assert first is second
+        assert len(service.registry) == 1
+
+    def test_conflicting_template_name_rejected(self):
+        registry = PreparedTemplateRegistry()
+        registry.prepare(NAME_TEMPLATE)
+        other = QueryTemplate("by_name", "SELECT ?p WHERE { ?p <http://example.org/age> %name }")
+        with pytest.raises(ValueError):
+            registry.prepare(other)
+
+    def test_unknown_template_name(self, people_engine):
+        service = QueryService(people_engine)
+        with pytest.raises(KeyError):
+            service.execute("never_prepared", li_binding())
+
+    def test_binding_validation(self, people_engine):
+        service = QueryService(people_engine)
+        with pytest.raises(MissingParameterError):
+            service.execute(NAME_TEMPLATE, {})
+        with pytest.raises(UnknownParameterError):
+            service.execute(NAME_TEMPLATE, {"name": Literal("Li"), "extra": Literal("x")})
+
+    @pytest.mark.parametrize(
+        "template,binding",
+        [
+            (NAME_TEMPLATE, {"name": Literal("Li")}),
+            (
+                NAME_COUNTRY_TEMPLATE,
+                {"name": Literal("Li"), "country": IRI("http://example.org/China")},
+            ),
+            (
+                FILTER_TEMPLATE,
+                {"country": IRI("http://example.org/China"), "minimum": Literal("25")},
+            ),
+            (AGGREGATE_TEMPLATE, {"name": Literal("Li")}),
+        ],
+    )
+    def test_prepared_path_equivalent_to_naive(self, people_engine, template, binding):
+        """Algebra-level substitution must reproduce the naive path exactly."""
+        service = QueryService(people_engine)
+        naive = people_engine.execute_template(template, binding)
+        served = service.execute(template, binding)
+        assert served.plan_signature() == naive.plan_signature()
+        assert served.to_dicts() == naive.to_dicts()
+        assert served.runtime_ms == naive.runtime_ms
+        assert served.estimated_cout == naive.estimated_cout
+        assert served.actual_cout == naive.actual_cout
+
+
+class TestPlanCacheIntegration:
+    def test_second_execution_hits_the_cache(self, people_engine):
+        service = QueryService(people_engine)
+        first = service.execute(NAME_TEMPLATE, li_binding())
+        second = service.execute(NAME_TEMPLATE, li_binding())
+        assert not first.plan_cached
+        assert second.plan_cached
+        assert first.plan is second.plan
+        stats = service.cache_stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_plan_flipping_bindings_get_their_own_plans(self):
+        engine = QueryEngine(skewed_graph())
+        service = QueryService(engine)
+        rare, common = flip_bindings()
+
+        # Warm the cache, then re-execute both bindings several times.
+        for _ in range(3):
+            rare_result = service.execute(FRIENDS_TEMPLATE, rare)
+            common_result = service.execute(FRIENDS_TEMPLATE, common)
+
+        assert rare_result.plan_cached and common_result.plan_cached
+        # The two bindings flip the join order — the cache must keep both.
+        assert rare_result.plan_signature() != common_result.plan_signature()
+        assert service.plan_cache.distinct_plans() == 2
+        # And each served plan is exactly what the optimizer would pick fresh.
+        for binding in (rare, common):
+            fresh = engine.execute_template(FRIENDS_TEMPLATE, binding)
+            cached = service.plan_cache.peek(
+                (FRIENDS_TEMPLATE.name, binding_cache_key(binding))
+            )
+            assert cached.signature() == fresh.plan.signature()
+
+    def test_eviction_keeps_results_correct(self):
+        engine = QueryEngine(skewed_graph())
+        service = QueryService(engine, plan_cache_capacity=1)
+        rare, common = flip_bindings()
+        baseline = {
+            "rare": engine.execute_template(FRIENDS_TEMPLATE, rare).to_dicts(),
+            "common": engine.execute_template(FRIENDS_TEMPLATE, common).to_dicts(),
+        }
+        # Alternating bindings with capacity 1 evicts on every step.
+        for _ in range(3):
+            assert service.execute(FRIENDS_TEMPLATE, rare).to_dicts() == baseline["rare"]
+            assert service.execute(FRIENDS_TEMPLATE, common).to_dicts() == baseline["common"]
+        stats = service.cache_stats()
+        assert stats.evictions >= 4
+        assert stats.size == 1
+        assert service.plan_cache.distinct_plans() == 2
+
+
+class TestConcurrentDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4, 8])
+    def test_concurrent_records_equal_sequential_naive(self, people_engine, workers):
+        bindings = FixedBindings(
+            [
+                {"name": Literal("Li")},
+                {"name": Literal("John")},
+                {"name": Literal("Maria")},
+            ]
+        ).bindings(24)
+        naive = WorkloadRunner(people_engine).run_bindings(NAME_TEMPLATE, bindings)
+        service = QueryService(people_engine)
+        served = WorkloadRunner(people_engine, service=service).run_bindings(
+            NAME_TEMPLATE, bindings, workers=workers
+        )
+        assert served.executions == naive.executions
+        assert [record.repetition for record in served.executions] == list(range(24))
+
+    def test_rerun_is_reproducible(self, people_engine):
+        bindings = FixedBindings([li_binding(), {"name": Literal("John")}]).bindings(10)
+        service = QueryService(people_engine)
+        runner = WorkloadRunner(people_engine, service=service)
+        first = runner.run_bindings(NAME_TEMPLATE, bindings, workers=4)
+        second = runner.run_bindings(NAME_TEMPLATE, bindings, workers=4)
+        assert first.executions == second.executions
+        # The second pass is fully cached.
+        assert second.cache_hit_rate() == 1.0
+
+    def test_scheduler_preserves_submission_order(self):
+        scheduler = ConcurrentScheduler(workers=4)
+        results = scheduler.run([(lambda value=value: value) for value in range(50)])
+        assert results == list(range(50))
+
+    def test_scheduler_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ConcurrentScheduler(workers=0)
+
+
+class TestServiceRunnerIntegration:
+    def test_runner_requires_engine_or_service(self):
+        with pytest.raises(ValueError):
+            WorkloadRunner()
+
+    def test_runner_derives_engine_from_service(self, people_engine):
+        runner = WorkloadRunner(service=QueryService(people_engine))
+        assert runner.engine is people_engine
+        execution = runner.run_once(NAME_TEMPLATE, li_binding())
+        assert execution.result_rows == 3
+
+    def test_run_workload_through_service(self, people_engine):
+        service = QueryService(people_engine)
+        runner = WorkloadRunner(people_engine, service=service)
+        workload = Workload(NAME_TEMPLATE, FixedBindings([li_binding()]), executions=5, label="li")
+        result = runner.run_workload(workload, workers=2)
+        assert result.workload_name == "li"
+        assert len(result) == 5
+        assert result.cache_hits() == 4  # everything after the first execution
+
+    def test_naive_runner_instantiates_each_distinct_binding_once(self, people_engine, monkeypatch):
+        calls = []
+        original = QueryTemplate.instantiate
+
+        def counting(self, bindings):
+            calls.append(binding_cache_key(bindings))
+            return original(self, bindings)
+
+        monkeypatch.setattr(QueryTemplate, "instantiate", counting)
+        bindings = FixedBindings([li_binding(), {"name": Literal("John")}]).bindings(12)
+        result = WorkloadRunner(people_engine).run_bindings(NAME_TEMPLATE, bindings)
+        assert len(result) == 12
+        assert len(calls) == 2  # one instantiation per distinct binding
+
+    def test_metrics_snapshot(self, people_engine):
+        service = QueryService(people_engine)
+        runner = WorkloadRunner(people_engine, service=service)
+        bindings = FixedBindings([li_binding()]).bindings(8)
+        runner.run_bindings(NAME_TEMPLATE, bindings, workers=2)
+        metrics = service.service_metrics()
+        assert metrics.executed == 8
+        assert metrics.qps > 0
+        assert metrics.latency_p50_ms <= metrics.latency_p95_ms <= metrics.latency_p99_ms
+        stats = service.service_stats()
+        assert stats["prepared templates"] == 1
+        assert stats["plan cache hits"] == 7

@@ -1,0 +1,152 @@
+"""Tests for repro.service.plan_cache (LRU behaviour and counters)."""
+
+import threading
+
+import pytest
+
+from repro.service.plan_cache import PlanCache
+from repro.optimizer.plans import ScanNode
+from repro.rdf.terms import IRI, Variable
+from repro.rdf.triples import TriplePattern
+
+
+_PLAN_INDEXES = {}
+
+
+def make_plan(tag: str) -> ScanNode:
+    """A tiny plan whose join-tree signature is unique per ``tag``.
+
+    Scan signatures are derived from the pattern index (constants are
+    deliberately ignored so that "same plan, different binding" compares
+    equal), so distinct tags get distinct pattern indexes.
+    """
+    index = _PLAN_INDEXES.setdefault(tag, len(_PLAN_INDEXES))
+    pattern = TriplePattern(Variable("s"), IRI("http://example.org/%s" % tag), Variable("o"))
+    return ScanNode(pattern, index, 1.0)
+
+
+def key(binding: str, template: str = "q"):
+    return (template, binding)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        assert cache.lookup(key("a")) is None
+        plan = make_plan("p")
+        cache.insert(key("a"), plan)
+        assert cache.lookup(key("a")) is plan
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.insertions == 1
+        assert stats.hit_rate() == 0.5
+
+    def test_get_or_create_runs_factory_once_per_key(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return make_plan("p")
+
+        plan, hit = cache.get_or_create(key("a"), factory)
+        assert not hit
+        again, hit = cache.get_or_create(key("a"), factory)
+        assert hit
+        assert again is plan
+        assert len(calls) == 1
+
+    def test_insert_keeps_existing_plan_on_duplicate_key(self):
+        cache = PlanCache(capacity=4)
+        first = make_plan("p")
+        second = make_plan("p")
+        cache.insert(key("a"), first)
+        assert cache.insert(key("a"), second) is first
+
+    def test_peek_does_not_touch_counters(self):
+        cache = PlanCache(capacity=4)
+        cache.insert(key("a"), make_plan("p"))
+        assert cache.peek(key("a")) is not None
+        assert cache.peek(key("b")) is None
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+
+class TestLRUEviction:
+    def test_evicts_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.insert(key("a"), make_plan("pa"))
+        cache.insert(key("b"), make_plan("pb"))
+        cache.lookup(key("a"))  # refresh a; b is now the LRU entry
+        cache.insert(key("c"), make_plan("pc"))
+        assert key("a") in cache
+        assert key("b") not in cache
+        assert key("c") in cache
+        assert cache.stats().evictions == 1
+
+    def test_size_never_exceeds_capacity(self):
+        cache = PlanCache(capacity=3)
+        for index in range(10):
+            cache.insert(key("b%d" % index), make_plan("p%d" % index))
+        assert len(cache) == 3
+        assert cache.stats().evictions == 7
+
+    def test_distinct_plans_survives_eviction(self):
+        cache = PlanCache(capacity=1)
+        cache.insert(key("a"), make_plan("pa"))
+        cache.insert(key("b"), make_plan("pb"))
+        cache.insert(key("c"), make_plan("pc"))
+        assert len(cache) == 1
+        assert cache.distinct_plans() == 3
+
+    def test_keys_in_lru_order(self):
+        cache = PlanCache(capacity=3)
+        cache.insert(key("a"), make_plan("pa"))
+        cache.insert(key("b"), make_plan("pb"))
+        cache.lookup(key("a"))
+        assert cache.keys() == [key("b"), key("a")]
+
+
+class TestEdgeCases:
+    def test_capacity_zero_disables_storage_but_tracks_signatures(self):
+        cache = PlanCache(capacity=0)
+        cache.insert(key("a"), make_plan("pa"))
+        assert len(cache) == 0
+        assert cache.lookup(key("a")) is None
+        assert cache.distinct_plans() == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=-1)
+
+    def test_clear_resets_everything(self):
+        cache = PlanCache(capacity=2)
+        cache.insert(key("a"), make_plan("pa"))
+        cache.lookup(key("a"))
+        cache.clear()
+        stats = cache.stats()
+        assert len(cache) == 0
+        assert stats.hits == stats.misses == stats.insertions == stats.evictions == 0
+        assert cache.distinct_plans() == 0
+
+    def test_thread_safety_smoke(self):
+        cache = PlanCache(capacity=8)
+        errors = []
+
+        def hammer(worker: int):
+            try:
+                for index in range(200):
+                    k = key("b%d" % (index % 16))
+                    plan, _hit = cache.get_or_create(k, lambda: make_plan("p%d" % (index % 16)))
+                    assert plan is not None
+            except Exception as error:  # pragma: no cover - only on failure
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(worker,)) for worker in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 8
