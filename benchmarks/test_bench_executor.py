@@ -1,0 +1,173 @@
+"""Executor wall-clock: tuple-at-a-time vs vectorized id-space execution.
+
+Both executors run exactly the same pre-optimized plans for the BSBM-BI Q8
+join workload (five patterns, lookup-join chain, filter, order, limit), so
+the comparison isolates pure execution cost from parsing/optimization.  The
+binding set crosses the *heaviest* product types with features — the
+paper's own observation about the type parameter: generic types touch
+orders of magnitude more data, which is precisely the regime where
+execution cost matters — plus uniformly sampled bindings for coverage.
+
+Acceptance bar: at bench scale (``small``/``medium``) the vector executor
+must be at least 3x faster while producing identical rows and identical
+execution records.  At ``tiny`` smoke scale the speedup is only recorded
+(batches of a few rows cannot amortize kernel overhead).
+
+Every run writes a JSON artifact (``benchmarks/artifacts/executor_bench.json``
+by default, override with ``REPRO_BENCH_ARTIFACT``) so CI uploads a perf
+trajectory for PR review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from benchmarks.conftest import run_once
+from repro.bench.runner import execution_record
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.engine.query_engine import execution_noise_key
+from repro.experiments import common
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.rdf.namespaces import RDF
+from repro.sparql.algebra import translate_query
+
+#: minimum tuple/vector speedup per scale (None = record only)
+SPEEDUP_FLOOR = {"tiny": None, "small": 3.0, "medium": 3.0}
+
+HEAVY_TYPES = 4
+HEAVY_FEATURES = 4
+UNIFORM_BINDINGS = 16
+
+
+def _artifact_path() -> str:
+    return os.environ.get(
+        "REPRO_BENCH_ARTIFACT",
+        os.path.join(os.path.dirname(__file__), "artifacts", "executor_bench.json"),
+    )
+
+
+def _join_workload(bench_scale):
+    """(engine, template, plans): the Q8 join plans of the mixed workload."""
+    engine = common.bsbm_engine(bench_scale)
+    dataset = common.bsbm_dataset(bench_scale)
+    template = bsbm_template("bsbm_bi_q8")
+
+    by_volume = sorted(
+        dataset.product_type_iris(),
+        key=lambda type_iri: engine.store.count_pattern(
+            TriplePattern(Variable("p"), RDF.type, type_iri)
+        ),
+        reverse=True,
+    )
+    heavy_types = by_volume[:HEAVY_TYPES]
+    features = sorted(dataset.features, key=lambda f: f.value)[:HEAVY_FEATURES]
+    bindings = [
+        {"type": type_iri, "feature": feature}
+        for type_iri in heavy_types
+        for feature in features
+    ]
+    bindings += UniformSampler(
+        common.bsbm_type_feature_space(bench_scale), seed=7
+    ).bindings(UNIFORM_BINDINGS)
+
+    plans = [
+        (
+            engine.optimizer.optimize(translate_query(template.instantiate(binding))),
+            execution_noise_key(template.name, binding, index),
+            binding,
+            index,
+        )
+        for index, binding in enumerate(bindings)
+    ]
+    return engine, template, plans
+
+
+def _execute_all(engine, plans):
+    started = perf_counter()
+    results = [engine.execute_plan(plan, noise_key) for plan, noise_key, _b, _i in plans]
+    return perf_counter() - started, results
+
+
+def test_vector_executor_speedup_on_bsbm_join_workload(benchmark, bench_scale):
+    engine, template, plans = _join_workload(bench_scale)
+    tuple_engine = engine.with_executor("tuple")
+    vector_engine = engine.with_executor("vector")
+
+    # Warm both paths (index column caches, packed prefixes).
+    _execute_all(tuple_engine, plans)
+    _execute_all(vector_engine, plans)
+
+    tuple_seconds, tuple_results = _execute_all(tuple_engine, plans)
+
+    def serve():
+        return _execute_all(vector_engine, plans)
+
+    vector_seconds, vector_results = run_once(benchmark, serve)
+
+    # Best-of-two shakes off scheduler noise without weakening the bar.
+    second_tuple, _ = _execute_all(tuple_engine, plans)
+    tuple_seconds = min(tuple_seconds, second_tuple)
+    second_vector, _ = _execute_all(vector_engine, plans)
+    vector_seconds = min(vector_seconds, second_vector)
+
+    # Bit-identical results and records, order included.
+    for (plan, _key, binding, index), expected, actual in zip(
+        plans, tuple_results, vector_results
+    ):
+        assert actual.rows == expected.rows
+        assert actual.runtime_ms == expected.runtime_ms
+        assert execution_record(template.name, binding, actual, index) == execution_record(
+            template.name, binding, expected, index
+        )
+
+    speedup = tuple_seconds / vector_seconds if vector_seconds > 0 else float("inf")
+    payload = {
+        "benchmark": "executor_bsbm_join",
+        "template": template.name,
+        "scale": bench_scale,
+        "executions": len(plans),
+        "tuple_seconds": round(tuple_seconds, 6),
+        "vector_seconds": round(vector_seconds, 6),
+        "speedup": round(speedup, 2),
+        "records_identical": True,
+    }
+    path = _artifact_path()
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print()
+    print(
+        "executor bench (%s scale): tuple %.3fs  vector %.3fs  speedup %.1fx  -> %s"
+        % (bench_scale, tuple_seconds, vector_seconds, speedup, path)
+    )
+    floor = SPEEDUP_FLOOR.get(bench_scale, 3.0)
+    if floor is not None:
+        assert speedup >= floor, (
+            "vector executor should be at least %.1fx faster than the tuple "
+            "executor on the BSBM join workload at %s scale, got %.2fx"
+            % (floor, bench_scale, speedup)
+        )
+
+
+def test_vector_executor_identical_through_the_service(bench_scale):
+    """The serving layer on the vector engine reproduces tuple-path records."""
+    from repro.bench.runner import WorkloadRunner
+    from repro.bench.workload import FixedBindings
+    from repro.service import QueryService
+
+    engine = common.bsbm_engine(bench_scale)
+    template = bsbm_template("bsbm_bi_q8")
+    distinct = UniformSampler(common.bsbm_type_feature_space(bench_scale), seed=11).bindings(6)
+    bindings = FixedBindings(distinct).bindings(36)
+
+    vector_served = WorkloadRunner(
+        engine, service=QueryService(engine, executor="vector")
+    ).run_bindings(template, bindings, workers=4)
+    tuple_naive = WorkloadRunner(engine.with_executor("tuple")).run_bindings(template, bindings)
+    assert vector_served.executions == tuple_naive.executions

@@ -1,0 +1,98 @@
+"""Vectorized id-space execution: before/after on an LDBC template.
+
+The engine ships two executors that produce bit-identical results, plans,
+profiles and simulated runtimes:
+
+* ``tuple`` — the classic interpreter: every intermediate result is a list
+  of ``{variable: term}`` dicts, every operator a Python loop;
+* ``vector`` (the default) — batch-at-a-time columnar processing: every
+  intermediate result is a set of ``int64`` dictionary-id arrays, operators
+  are numpy kernels over the store's permutation-index columns, and ids are
+  decoded to terms only at SELECT output (late materialization).
+
+This walkthrough runs LDBC Q3 ("friends within two steps that posted from
+both country X and country Y" — the paper's E4 template, a six-pattern join
+with grouping) under both executors, verifies the outputs are identical,
+and prints the wall-clock before/after.
+
+Run with::
+
+    python examples/vector_engine_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core import ParameterSpace, UniformSampler, domain_from_values
+from repro.datagen.ldbc import LDBCConfig, generate_ldbc, template
+from repro.engine import QueryEngine
+
+PERSONS = 220
+BINDINGS = 12
+
+
+def build_engine() -> tuple:
+    """Generate the social network and return (dataset, engine)."""
+    dataset = generate_ldbc(
+        LDBCConfig(persons=PERSONS, max_degree=60, max_posts_per_person=150, seed=20140331)
+    )
+    return dataset, QueryEngine(dataset.graph)  # executor="vector" is the default
+
+
+def time_executor(engine: QueryEngine, query_template, bindings) -> tuple:
+    """Execute every binding; return (seconds, results)."""
+    started = perf_counter()
+    results = [
+        engine.execute_template(query_template, binding, repetition)
+        for repetition, binding in enumerate(bindings)
+    ]
+    return perf_counter() - started, results
+
+
+def main() -> None:
+    dataset, engine = build_engine()
+    print("generated %s" % dataset)
+
+    q3 = template("ldbc_q3")
+    countries = list(dataset.country_iris())
+    space = ParameterSpace(
+        [
+            domain_from_values("person", dataset.person_iris()),
+            domain_from_values("countryX", countries),
+            domain_from_values("countryY", countries),
+        ]
+    )
+    bindings = UniformSampler(space, seed=5).bindings(BINDINGS)
+
+    tuple_engine = engine.with_executor("tuple")
+    vector_engine = engine.with_executor("vector")
+    # Warm both paths once so the comparison is steady-state execution.
+    time_executor(tuple_engine, q3, bindings[:2])
+    time_executor(vector_engine, q3, bindings[:2])
+
+    tuple_seconds, tuple_results = time_executor(tuple_engine, q3, bindings)
+    vector_seconds, vector_results = time_executor(vector_engine, q3, bindings)
+
+    identical = all(
+        before.rows == after.rows and before.runtime_ms == after.runtime_ms
+        for before, after in zip(tuple_results, vector_results)
+    )
+    print()
+    print("LDBC Q3, %d parameter bindings:" % BINDINGS)
+    print("  tuple executor  : %7.1f ms" % (tuple_seconds * 1000.0))
+    print("  vector executor : %7.1f ms" % (vector_seconds * 1000.0))
+    print("  speedup         : %7.1fx" % (tuple_seconds / max(vector_seconds, 1e-9)))
+    print("  identical rows and simulated runtimes: %s" % identical)
+    if not identical:
+        raise SystemExit("executor outputs diverged — this is a bug")
+    print()
+    print(
+        "The speedup is pure execution: both engines share the store, the\n"
+        "statistics, the optimizer and the plans; the vector executor just\n"
+        "stays in id space until the SELECT boundary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from .bench.reporting import format_milliseconds, key_value_report, service_report
 from .bench.runner import WorkloadRunner
+from .engine.query_engine import EXECUTORS
 from .bench.workload import FixedBindings
 from .core.curation import curate
 from .core.samplers import UniformSampler
@@ -87,13 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    engine_kwargs = dict(
+        choices=EXECUTORS,
+        default="vector",
+        help="execution engine: vectorized id-space batches (default) or tuple-at-a-time",
+    )
+
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
     experiment.add_argument("--scale", default="small", choices=sorted(common.SCALES))
+    experiment.add_argument("--engine", **engine_kwargs)
 
     curate_parser = subparsers.add_parser("curate", help="curate the parameters of a benchmark template")
     curate_parser.add_argument("template", choices=sorted(_CURATABLE))
     curate_parser.add_argument("--scale", default="small", choices=sorted(common.SCALES))
+    curate_parser.add_argument("--engine", **engine_kwargs)
     curate_parser.add_argument("--candidates", type=int, default=100)
     curate_parser.add_argument("--tolerance", type=float, default=0.5)
     curate_parser.add_argument("--min-class-size", type=int, default=5)
@@ -131,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan cache capacity (0 disables caching)",
     )
     throughput.add_argument("--seed", type=int, default=42)
+    throughput.add_argument("--engine", **engine_kwargs)
     throughput.add_argument(
         "--baseline",
         action="store_true",
@@ -141,15 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(name: str, scale: str, output) -> None:
+def _run_experiment(name: str, scale: str, executor: str, output) -> None:
     runner = EXPERIMENTS[name]
-    result = runner(scale=scale)
+    result = runner(scale=scale, executor=executor)
     print(result.report(), file=output)
 
 
 def _run_curate(arguments, output) -> None:
     engine_factory, template_factory, space_factory = _CURATABLE[arguments.template]
-    engine = engine_factory(arguments.scale)
+    engine = engine_factory(arguments.scale, arguments.engine)
     template = template_factory(arguments.template)
     space = space_factory(arguments.scale)
     curated = curate(
@@ -166,7 +176,7 @@ def _run_curate(arguments, output) -> None:
 
 def _run_throughput(arguments, output) -> None:
     engine_factory, template_factory, space_factory = _SERVABLE[arguments.template]
-    engine = engine_factory(arguments.scale)
+    engine = engine_factory(arguments.scale, arguments.engine)
     template = template_factory(arguments.template)
     space = space_factory(arguments.scale)
 
@@ -234,7 +244,7 @@ def main(argv: Optional[List[str]] = None, output=None) -> int:
         names = sorted(EXPERIMENTS) if arguments.name == "all" else [arguments.name]
         for name in names:
             print("== %s ==" % name, file=output)
-            _run_experiment(name, arguments.scale, output)
+            _run_experiment(name, arguments.scale, arguments.engine, output)
             print("", file=output)
         return 0
     if arguments.command == "curate":

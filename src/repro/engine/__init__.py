@@ -11,13 +11,25 @@ from .operators import (
     ordering_key,
     value_to_term,
 )
-from .query_engine import QueryEngine, QueryResult, binding_cache_key, execution_noise_key
+from .query_engine import (
+    EXECUTORS,
+    QueryEngine,
+    QueryResult,
+    binding_cache_key,
+    execution_noise_key,
+    make_executor,
+)
 from .runtime_model import MeasuredRuntimeModel, RuntimeModel
+from .vector import ColumnBatch, VectorExecutor
 
 __all__ = [
     "Binding",
+    "ColumnBatch",
+    "EXECUTORS",
     "ExecutionProfile",
     "Executor",
+    "VectorExecutor",
+    "make_executor",
     "ExpressionError",
     "MeasuredRuntimeModel",
     "QueryEngine",

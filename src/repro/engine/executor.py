@@ -8,16 +8,22 @@ mappings, and records two things the rest of the library depends on:
   paper) is computed, and
 * per-operator *work counters* (tuples scanned, hash probes, sort effort,
   ...) that feed the simulated runtime model.
+
+The row-level operator bodies (filter, project, distinct, sort, aggregate,
+limit) are module functions shared with the vectorized executor
+(:mod:`repro.engine.vector`), which switches from id-space batches to
+materialised rows above a GROUP BY: keeping one implementation guarantees
+both executors produce identical rows and identical work counters.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from math import log2
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..rdf.terms import Term, Variable
-from ..sparql.ast import OrderCondition
+from ..sparql.ast import Expression, OrderCondition
 from ..store.triple_store import TripleStore
 from ..optimizer.cost import actual_cout
 from ..optimizer.plans import (
@@ -80,8 +86,108 @@ class ExecutionProfile:
         return summary
 
 
+# -- shared row-level operators ----------------------------------------------------------
+#
+# Both executors funnel materialised-row processing through these functions so
+# that results and work counters are identical by construction.
+
+
+def filter_rows(
+    expression: Expression, rows: List[Binding], profile: ExecutionProfile
+) -> List[Binding]:
+    """FILTER over materialised rows."""
+    profile.add_work("filter_tuple", len(rows))
+    return [row for row in rows if evaluate_filter(expression, row)]
+
+
+def project_rows(
+    projected: Sequence[Variable], rows: List[Binding], profile: ExecutionProfile
+) -> List[Binding]:
+    """SELECT projection over materialised rows."""
+    profile.add_work("project_tuple", len(rows))
+    return [
+        {variable: row[variable] for variable in projected if variable in row} for row in rows
+    ]
+
+
+def distinct_rows(rows: List[Binding], profile: ExecutionProfile) -> List[Binding]:
+    """DISTINCT over materialised rows, keeping first occurrences in order."""
+    profile.add_work("distinct_tuple", len(rows))
+    seen = set()
+    result: List[Binding] = []
+    for row in rows:
+        key = frozenset((variable.name, term.n3()) for variable, term in row.items())
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result
+
+
+def limit_rows(limit: Optional[int], offset: int, rows: List[Binding]) -> List[Binding]:
+    """LIMIT/OFFSET slice."""
+    end = None if limit is None else offset + limit
+    return rows[offset:end]
+
+
+def sort_rows(
+    conditions: Sequence[OrderCondition], rows: List[Binding], profile: ExecutionProfile
+) -> List[Binding]:
+    """ORDER BY over materialised rows (stable, mixed-domain keys)."""
+    count = len(rows)
+    if count > 1:
+        profile.add_work("sort_tuple_log", count * max(1.0, log2(count)))
+
+    def sort_key(row: Binding):
+        keys = []
+        for condition in conditions:
+            try:
+                value = evaluate(condition.expression, row)
+                key = ordering_key(value)
+            except ExpressionError:
+                key = (9, 0.0, "")
+            keys.append(_DescendingWrapper(key) if condition.descending else key)
+        return keys
+
+    return sorted(rows, key=sort_key)
+
+
+def aggregate_rows(
+    node: AggregateNode, rows: List[Binding], profile: ExecutionProfile
+) -> List[Binding]:
+    """GROUP BY + aggregates over materialised rows."""
+    profile.add_work("aggregate_tuple", len(rows))
+
+    groups: Dict[tuple, List[Binding]] = defaultdict(list)
+    for row in rows:
+        key = tuple(
+            row[variable].n3() if variable in row else None for variable in node.group_variables
+        )
+        groups[key].append(row)
+
+    if not node.group_variables and not groups:
+        # Aggregates over an empty input still produce a single row
+        # (e.g. COUNT(*) = 0).
+        groups[()] = []
+
+    result: List[Binding] = []
+    for key, group in sorted(groups.items(), key=lambda item: tuple(str(part) for part in item[0])):
+        output: Binding = {}
+        if group:
+            representative = group[0]
+            for variable in node.group_variables:
+                if variable in representative:
+                    output[variable] = representative[variable]
+        for variable, aggregate in node.aggregates:
+            try:
+                output[variable] = value_to_term(evaluate_aggregate(aggregate, group))
+            except ExpressionError:
+                pass
+        result.append(output)
+    return result
+
+
 class Executor:
-    """Executes physical plans against a :class:`TripleStore`."""
+    """Executes physical plans against a :class:`TripleStore`, tuple-at-a-time."""
 
     def __init__(self, store: TripleStore):
         self.store = store
@@ -102,7 +208,7 @@ class Executor:
         elif isinstance(node, SingletonNode):
             rows = [{}]
         elif isinstance(node, FilterNode):
-            rows = self._execute_filter(node, profile)
+            rows = filter_rows(node.expression, self._execute(node.child, profile), profile)
         elif isinstance(node, JoinNode):
             rows = self._execute_join(node, profile)
         elif isinstance(node, LeftJoinNode):
@@ -112,15 +218,15 @@ class Executor:
         elif isinstance(node, ExtendNode):
             rows = self._execute_extend(node, profile)
         elif isinstance(node, AggregateNode):
-            rows = self._execute_aggregate(node, profile)
+            rows = aggregate_rows(node, self._execute(node.child, profile), profile)
         elif isinstance(node, SortNode):
-            rows = self._execute_sort(node, profile)
+            rows = sort_rows(node.conditions, self._execute(node.child, profile), profile)
         elif isinstance(node, ProjectNode):
-            rows = self._execute_project(node, profile)
+            rows = project_rows(node.projected, self._execute(node.child, profile), profile)
         elif isinstance(node, DistinctNode):
-            rows = self._execute_distinct(node, profile)
+            rows = distinct_rows(self._execute(node.child, profile), profile)
         elif isinstance(node, LimitNode):
-            rows = self._execute_limit(node, profile)
+            rows = limit_rows(node.limit, node.offset, self._execute(node.child, profile))
         else:
             raise TypeError("unsupported plan node %r" % (node,))
         profile.record_output(node, len(rows))
@@ -154,11 +260,6 @@ class Executor:
 
     # -- unary operators -----------------------------------------------------------------
 
-    def _execute_filter(self, node: FilterNode, profile: ExecutionProfile) -> List[Binding]:
-        child_rows = self._execute(node.child, profile)
-        profile.add_work("filter_tuple", len(child_rows))
-        return [row for row in child_rows if evaluate_filter(node.expression, row)]
-
     def _execute_extend(self, node: ExtendNode, profile: ExecutionProfile) -> List[Binding]:
         child_rows = self._execute(node.child, profile)
         profile.add_work("extend_tuple", len(child_rows))
@@ -170,84 +271,6 @@ class Executor:
             except ExpressionError:
                 pass  # leave the variable unbound, per SPARQL BIND semantics
             result.append(extended)
-        return result
-
-    def _execute_project(self, node: ProjectNode, profile: ExecutionProfile) -> List[Binding]:
-        child_rows = self._execute(node.child, profile)
-        profile.add_work("project_tuple", len(child_rows))
-        projected = node.projected
-        return [
-            {variable: row[variable] for variable in projected if variable in row}
-            for row in child_rows
-        ]
-
-    def _execute_distinct(self, node: DistinctNode, profile: ExecutionProfile) -> List[Binding]:
-        child_rows = self._execute(node.child, profile)
-        profile.add_work("distinct_tuple", len(child_rows))
-        seen = set()
-        result: List[Binding] = []
-        for row in child_rows:
-            key = frozenset((variable.name, term.n3()) for variable, term in row.items())
-            if key not in seen:
-                seen.add(key)
-                result.append(row)
-        return result
-
-    def _execute_limit(self, node: LimitNode, profile: ExecutionProfile) -> List[Binding]:
-        child_rows = self._execute(node.child, profile)
-        start = node.offset
-        end = None if node.limit is None else start + node.limit
-        return child_rows[start:end]
-
-    def _execute_sort(self, node: SortNode, profile: ExecutionProfile) -> List[Binding]:
-        child_rows = self._execute(node.child, profile)
-        count = len(child_rows)
-        if count > 1:
-            profile.add_work("sort_tuple_log", count * max(1.0, log2(count)))
-
-        def sort_key(row: Binding):
-            keys = []
-            for condition in node.conditions:
-                try:
-                    value = evaluate(condition.expression, row)
-                    key = ordering_key(value)
-                except ExpressionError:
-                    key = (9, 0.0, "")
-                keys.append(_DescendingWrapper(key) if condition.descending else key)
-            return keys
-
-        return sorted(child_rows, key=sort_key)
-
-    def _execute_aggregate(self, node: AggregateNode, profile: ExecutionProfile) -> List[Binding]:
-        child_rows = self._execute(node.child, profile)
-        profile.add_work("aggregate_tuple", len(child_rows))
-
-        groups: Dict[tuple, List[Binding]] = defaultdict(list)
-        for row in child_rows:
-            key = tuple(
-                row[variable].n3() if variable in row else None for variable in node.group_variables
-            )
-            groups[key].append(row)
-
-        if not node.group_variables and not groups:
-            # Aggregates over an empty input still produce a single row
-            # (e.g. COUNT(*) = 0).
-            groups[()] = []
-
-        result: List[Binding] = []
-        for key, rows in sorted(groups.items(), key=lambda item: tuple(str(part) for part in item[0])):
-            output: Binding = {}
-            if rows:
-                representative = rows[0]
-                for variable in node.group_variables:
-                    if variable in representative:
-                        output[variable] = representative[variable]
-            for variable, aggregate in node.aggregates:
-                try:
-                    output[variable] = value_to_term(evaluate_aggregate(aggregate, rows))
-                except ExpressionError:
-                    pass
-            result.append(output)
         return result
 
     # -- binary operators -------------------------------------------------------------------

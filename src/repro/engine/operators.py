@@ -271,12 +271,12 @@ def evaluate_aggregate(
         except ExpressionError:
             continue
     if aggregate.distinct:
-        seen = []
+        seen = set()
         unique: List[Value] = []
         for value in values:
             key = value.n3() if isinstance(value, Term) else value
             if key not in seen:
-                seen.append(key)
+                seen.add(key)
                 unique.append(value)
         values = unique
 

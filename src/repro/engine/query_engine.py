@@ -23,6 +23,25 @@ from ..optimizer.optimizer import Optimizer
 from ..optimizer.plans import PlanNode, join_tree_signature
 from .executor import ExecutionProfile, Executor
 from .runtime_model import RuntimeModel
+from .vector import VectorExecutor
+
+#: Executor implementations selectable via ``QueryEngine(executor=...)``.
+EXECUTORS = ("vector", "tuple")
+
+
+def make_executor(name: str, store: TripleStore):
+    """Instantiate an executor by name (``"vector"`` or ``"tuple"``).
+
+    The vector executor processes id-space column batches and decodes terms
+    only at SELECT output; the tuple executor materialises every intermediate
+    result.  Both produce identical rows, profiles and simulated runtimes —
+    only the wall clock differs.
+    """
+    if name == "tuple":
+        return Executor(store)
+    if name == "vector":
+        return VectorExecutor(store)
+    raise ValueError("unknown executor %r (have %s)" % (name, ", ".join(EXECUTORS)))
 
 
 def binding_cache_key(bindings: Mapping[str, Term]) -> str:
@@ -89,13 +108,34 @@ class QueryEngine:
         data: Union[Graph, TripleStore],
         join_ordering: str = "dp",
         runtime_model: Optional[RuntimeModel] = None,
+        executor: str = "vector",
     ):
         self.store = data.store if isinstance(data, Graph) else data
         self.store.finalise()
         self.statistics = StoreStatistics(self.store).collect()
         self.optimizer = Optimizer(self.statistics, join_ordering=join_ordering)
-        self.executor = Executor(self.store)
+        self.executor_name = executor
+        self.executor = make_executor(executor, self.store)
         self.runtime_model = runtime_model if runtime_model is not None else RuntimeModel()
+
+    def with_executor(self, executor: str) -> "QueryEngine":
+        """A sibling engine sharing store, statistics, optimizer and runtime
+        model but executing plans with a different executor.
+
+        Plans and simulated runtimes are identical across siblings by
+        construction; only the wall clock changes.  Used by the executor
+        benchmarks and the equivalence tests.
+        """
+        if executor == self.executor_name:
+            return self
+        sibling = self.__class__.__new__(self.__class__)
+        sibling.store = self.store
+        sibling.statistics = self.statistics
+        sibling.optimizer = self.optimizer
+        sibling.runtime_model = self.runtime_model
+        sibling.executor_name = executor
+        sibling.executor = make_executor(executor, self.store)
+        return sibling
 
     # -- planning ------------------------------------------------------------------
 

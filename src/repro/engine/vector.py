@@ -1,0 +1,738 @@
+"""Vectorized (batch-at-a-time) plan execution over integer ids.
+
+The tuple executor materialises every intermediate result as a list of
+``{Variable: Term}`` dicts, so at benchmark scale the Python interpreter —
+not the data — is the bottleneck.  :class:`VectorExecutor` keeps
+intermediate results in *id space*: a :class:`ColumnBatch` maps each
+variable to a contiguous ``int64`` array of dictionary ids, operators are
+numpy kernels (``searchsorted`` range scans, vectorized hash and index
+nested-loop joins, boolean-mask filters), and ids are decoded to
+:class:`~repro.rdf.terms.Term` objects only at SELECT output — late
+materialization, as in MonetDB-style columnar engines.
+
+**Equivalence contract.**  For every plan it covers, the vector executor
+produces *identical* output to the tuple executor: the same rows in the
+same order, the same :class:`~repro.engine.executor.ExecutionProfile` work
+counters and per-node output cardinalities, and therefore the same
+simulated runtimes and benchmark records.  ``tests/test_executor_equivalence.py``
+asserts this property on random graphs and on every E1–E4 experiment
+template.
+
+**Lowering and fallback.**  :meth:`VectorExecutor.covers` is the physical-
+plan lowering check: plans containing OPTIONAL (left join), UNION or BIND
+(extend) — constructs whose unbound-variable semantics the id-space
+representation does not model — are delegated to the tuple executor
+wholesale, so results never depend on which executor is configured.
+Above a GROUP BY the executor switches to materialised rows and runs the
+shared row-level operators from :mod:`repro.engine.executor` (aggregate
+outputs are freshly computed literals that have no dictionary ids).
+
+**Expression evaluation.**  FILTER and ORDER BY expressions are not
+evaluated per row; they are evaluated once per *distinct* id combination
+of the variables they touch and the verdicts broadcast back — on skewed
+benchmark data the distinct count sits orders of magnitude below the row
+count.  Term-identity comparisons against IRI constants
+(``FILTER(?x != <iri>)``) shortcut to pure id comparisons without decoding
+anything.
+"""
+
+from __future__ import annotations
+
+from math import log2
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..rdf.terms import IRI, Variable
+from ..sparql.ast import BinaryExpression, Expression, TermExpression
+from ..store.indexes import PACK_LIMIT
+from ..store.triple_store import TripleStore
+from ..optimizer.plans import (
+    AggregateNode,
+    DistinctNode,
+    ExtendNode,
+    FilterNode,
+    JoinNode,
+    LeftJoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SingletonNode,
+    SortNode,
+    UnionNode,
+)
+from .executor import (
+    ExecutionProfile,
+    Executor,
+    aggregate_rows,
+    distinct_rows,
+    filter_rows,
+    limit_rows,
+    project_rows,
+    sort_rows,
+)
+from .operators import (
+    Binding,
+    ExpressionError,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_filter,
+    ordering_key,
+    value_to_term,
+)
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: node types the vector path can execute (modulo the lookup-join shape check)
+_COVERED_NODES = (
+    ScanNode,
+    SingletonNode,
+    FilterNode,
+    JoinNode,
+    AggregateNode,
+    SortNode,
+    ProjectNode,
+    DistinctNode,
+    LimitNode,
+)
+
+
+class ColumnBatch:
+    """A batch of solution mappings in id space: variable -> int64 id column.
+
+    All columns share ``length``; ``variables`` fixes a stable column order
+    (binding dicts are order-insensitive, but deterministic iteration keeps
+    the executor reproducible).
+    """
+
+    __slots__ = ("variables", "columns", "length")
+
+    def __init__(self, variables: List[Variable], columns: Dict[Variable, np.ndarray], length: int):
+        self.variables = variables
+        self.columns = columns
+        self.length = length
+
+    def take(self, indexer) -> "ColumnBatch":
+        """Gather rows by an integer array or slice (order-preserving)."""
+        columns = {variable: column[indexer] for variable, column in self.columns.items()}
+        if columns:
+            length = int(next(iter(columns.values())).shape[0])
+        elif isinstance(indexer, slice):
+            length = len(range(*indexer.indices(self.length)))
+        else:
+            length = int(np.asarray(indexer).shape[0])
+        return ColumnBatch(list(self.variables), columns, length)
+
+
+#: what flows between operators: an id-space batch, or materialised rows
+#: (row mode starts at the aggregate operator).
+BatchOrRows = Union[ColumnBatch, List[Binding]]
+
+
+def _row_codes(columns: Sequence[np.ndarray], length: int) -> np.ndarray:
+    """Combine id columns into one dense int64 code per row.
+
+    Equal codes <=> equal id tuples.  Columns are folded in with
+    positional multipliers; when the running value range would overflow
+    int64 the partial codes are re-densified through ``np.unique`` first.
+    """
+    codes = np.zeros(length, dtype=np.int64)
+    if length == 0:
+        return codes
+    current_max = 0
+    for column in columns:
+        column_max = int(column.max())
+        base = column_max + 1
+        if current_max >= PACK_LIMIT // base:
+            _, codes = np.unique(codes, return_inverse=True)
+            codes = codes.astype(np.int64, copy=False)
+            current_max = int(codes.max())
+        codes = codes * base + column
+        current_max = current_max * base + column_max
+    return codes
+
+
+def _pair_codes(
+    left_columns: Sequence[np.ndarray], right_columns: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row codes for two batches that are comparable *across* the batches."""
+    n_left = int(left_columns[0].shape[0]) if left_columns else 0
+    n_right = int(right_columns[0].shape[0]) if right_columns else 0
+    left = np.zeros(n_left, dtype=np.int64)
+    right = np.zeros(n_right, dtype=np.int64)
+    current_max = 0
+    for left_column, right_column in zip(left_columns, right_columns):
+        column_max = 0
+        if n_left:
+            column_max = max(column_max, int(left_column.max()))
+        if n_right:
+            column_max = max(column_max, int(right_column.max()))
+        base = column_max + 1
+        if current_max >= PACK_LIMIT // base:
+            _, inverse = np.unique(np.concatenate([left, right]), return_inverse=True)
+            left = inverse[:n_left].astype(np.int64, copy=False)
+            right = inverse[n_left:].astype(np.int64, copy=False)
+            current_max = int(max(left.max(initial=0), right.max(initial=0)))
+        left = left * base + left_column
+        right = right * base + right_column
+        current_max = current_max * base + column_max
+    return left, right
+
+
+def _expand_ranges(lows: np.ndarray, highs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe ``[low, high)`` ranges into flat index pairs.
+
+    Returns ``(probe_index, position)`` arrays: for every probe row (in
+    order) every position inside its range (ascending).
+    """
+    counts = highs - lows
+    total = int(counts.sum())
+    probe_index = np.repeat(np.arange(lows.shape[0], dtype=np.int64), counts)
+    starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    positions = np.repeat(lows, counts) + offsets
+    return probe_index, positions
+
+
+class VectorExecutor:
+    """Executes covered plans batch-at-a-time in id space.
+
+    Drop-in replacement for :class:`~repro.engine.executor.Executor`:
+    ``execute(plan) -> (rows, profile)`` with identical output.
+    """
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+        #: plans outside the covered subset run tuple-at-a-time instead
+        self.tuple_executor = Executor(store)
+
+    # -- lowering ---------------------------------------------------------------
+
+    def covers(self, node: PlanNode) -> bool:
+        """Physical-plan lowering check: can this tree run in id space?
+
+        False for OPTIONAL / UNION / BIND subtrees (unbound-variable
+        semantics) and for join shapes the kernels do not handle; such
+        plans are executed by the tuple executor instead.
+        """
+        if isinstance(node, (LeftJoinNode, UnionNode, ExtendNode)):
+            return False
+        if not isinstance(node, _COVERED_NODES):
+            return False
+        if isinstance(node, JoinNode):
+            shared = set(node.left.output_variables()) & set(node.right.output_variables())
+            if not shared <= set(node.join_variables):
+                return False
+            if node.method == JoinNode.LOOKUP:
+                right = node.right
+                while isinstance(right, FilterNode):
+                    right = right.child
+                if not isinstance(right, ScanNode):
+                    return False
+                return self.covers(node.left)
+        return all(self.covers(child) for child in node.children())
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, plan: PlanNode) -> Tuple[List[Binding], ExecutionProfile]:
+        """Run the plan; return (solution mappings, execution profile)."""
+        if not self.covers(plan):
+            return self.tuple_executor.execute(plan)
+        profile = ExecutionProfile()
+        result = self._execute(plan, profile)
+        rows = result if isinstance(result, list) else self._materialise(result)
+        profile.result_rows = len(rows)
+        profile.add_work("output_tuple", len(rows))
+        return rows, profile
+
+    def _execute(self, node: PlanNode, profile: ExecutionProfile) -> BatchOrRows:
+        if isinstance(node, ScanNode):
+            result: BatchOrRows = self._scan(node, profile)
+        elif isinstance(node, SingletonNode):
+            result = ColumnBatch([], {}, 1)
+        elif isinstance(node, FilterNode):
+            result = self._filter(node, profile)
+        elif isinstance(node, JoinNode):
+            result = self._join(node, profile)
+        elif isinstance(node, AggregateNode):
+            result = self._aggregate(node, profile)
+        elif isinstance(node, SortNode):
+            result = self._sort(node, profile)
+        elif isinstance(node, ProjectNode):
+            result = self._project(node, profile)
+        elif isinstance(node, DistinctNode):
+            result = self._distinct(node, profile)
+        elif isinstance(node, LimitNode):
+            result = self._limit(node, profile)
+        else:  # pragma: no cover - covers() keeps this unreachable
+            raise TypeError("unsupported plan node %r" % (node,))
+        profile.record_output(
+            node, result.length if isinstance(result, ColumnBatch) else len(result)
+        )
+        return result
+
+    # -- leaf operators ----------------------------------------------------------
+
+    def _scan(self, node: ScanNode, profile: ExecutionProfile) -> ColumnBatch:
+        arrays = self.store.scan_pattern_arrays(node.pattern)
+        variables: List[Variable] = []
+        columns: Dict[Variable, np.ndarray] = {}
+        for position, term in enumerate(node.pattern):
+            if isinstance(term, Variable) and term not in columns:
+                variables.append(term)
+                columns[term] = arrays[position]
+        length = int(arrays[0].shape[0])
+        profile.add_work("scan_tuple", length)
+        return ColumnBatch(variables, columns, length)
+
+    # -- unary operators ----------------------------------------------------------
+
+    def _filter(self, node: FilterNode, profile: ExecutionProfile) -> BatchOrRows:
+        child = self._execute(node.child, profile)
+        if isinstance(child, list):
+            return filter_rows(node.expression, child, profile)
+        profile.add_work("filter_tuple", child.length)
+        mask = self._filter_mask(child, node.expression)
+        if mask.all():
+            return child
+        return child.take(np.flatnonzero(mask))
+
+    def _project(self, node: ProjectNode, profile: ExecutionProfile) -> BatchOrRows:
+        child = self._execute(node.child, profile)
+        if isinstance(child, list):
+            return project_rows(node.projected, child, profile)
+        profile.add_work("project_tuple", child.length)
+        kept = [variable for variable in node.projected if variable in child.columns]
+        return ColumnBatch(kept, {variable: child.columns[variable] for variable in kept}, child.length)
+
+    def _distinct(self, node: DistinctNode, profile: ExecutionProfile) -> BatchOrRows:
+        child = self._execute(node.child, profile)
+        if isinstance(child, list):
+            return distinct_rows(child, profile)
+        profile.add_work("distinct_tuple", child.length)
+        if child.length == 0:
+            return child
+        _, first_indices = self._factorize(child, child.variables)
+        if first_indices.shape[0] == child.length:
+            return child
+        return child.take(np.sort(first_indices))
+
+    def _limit(self, node: LimitNode, profile: ExecutionProfile) -> BatchOrRows:
+        child = self._execute(node.child, profile)
+        if isinstance(child, list):
+            return limit_rows(node.limit, node.offset, child)
+        end = child.length if node.limit is None else node.offset + node.limit
+        return child.take(slice(node.offset, end))
+
+    def _sort(self, node: SortNode, profile: ExecutionProfile) -> BatchOrRows:
+        child = self._execute(node.child, profile)
+        if isinstance(child, list):
+            return sort_rows(node.conditions, child, profile)
+        count = child.length
+        if count > 1:
+            profile.add_work("sort_tuple_log", count * max(1.0, log2(count)))
+        if count <= 1 or not node.conditions:
+            return child
+        # Per condition: evaluate the key once per distinct id combination,
+        # rank the distinct keys, broadcast ranks back, then one stable
+        # lexsort over the rank columns reproduces the tuple executor's
+        # stable mixed-domain sort exactly (equal keys get equal ranks).
+        rank_columns: List[np.ndarray] = []
+        for condition in node.conditions:
+            variables = [
+                variable
+                for variable in condition.expression.variables()
+                if variable in child.columns
+            ]
+            inverse, representatives = self._factorize(child, variables)
+            keys = []
+            for row_index in representatives.tolist():
+                binding = {
+                    variable: self.store.decode_id(int(child.columns[variable][row_index]))
+                    for variable in variables
+                }
+                try:
+                    keys.append(ordering_key(evaluate(condition.expression, binding)))
+                except ExpressionError:
+                    keys.append((9, 0.0, ""))
+            order = sorted(range(len(keys)), key=keys.__getitem__)
+            ranks = np.empty(len(keys), dtype=np.int64)
+            rank = 0
+            previous = None
+            for position in order:
+                if previous is not None and keys[position] != previous:
+                    rank += 1
+                ranks[position] = rank
+                previous = keys[position]
+            column = ranks[inverse]
+            rank_columns.append(-column if condition.descending else column)
+        permutation = np.lexsort(tuple(reversed(rank_columns)))
+        return child.take(permutation)
+
+    def _aggregate(self, node: AggregateNode, profile: ExecutionProfile) -> List[Binding]:
+        child = self._execute(node.child, profile)
+        if isinstance(child, list):
+            return aggregate_rows(node, child, profile)
+        if child.length == 0:
+            return aggregate_rows(node, [], profile)
+        length = child.length
+        profile.add_work("aggregate_tuple", length)
+        decode = self.store.decode_id
+        group_variables = [
+            variable for variable in node.group_variables if variable in child.columns
+        ]
+        inverse, representatives = self._factorize(child, group_variables)
+        group_count = int(representatives.shape[0])
+        sizes = np.bincount(inverse, minlength=group_count)
+
+        # COUNT(*) and COUNT(?boundVar) are just group sizes; anything else
+        # evaluates the shared aggregate semantics over minimal per-group rows.
+        plans = []
+        needed_variables: set = set()
+        for variable, aggregate in node.aggregates:
+            trivial_count = aggregate.function == "COUNT" and (
+                aggregate.argument is None
+                or (
+                    not aggregate.distinct
+                    and isinstance(aggregate.argument, TermExpression)
+                    and isinstance(aggregate.argument.term, Variable)
+                    and aggregate.argument.term in child.columns
+                )
+            )
+            plans.append((variable, aggregate, trivial_count))
+            if not trivial_count:
+                needed_variables.update(aggregate.variables())
+        rows_by_group: List[List[Binding]] = []
+        if any(not trivial for _v, _a, trivial in plans):
+            needed = [variable for variable in needed_variables if variable in child.columns]
+            term_columns = {
+                variable: self._decode_column(child.columns[variable]) for variable in needed
+            }
+            row_order = np.argsort(inverse, kind="stable")
+            boundaries = np.cumsum(sizes)[:-1]
+            for piece in np.split(row_order, boundaries):
+                rows_by_group.append(
+                    [
+                        {variable: term_columns[variable][row] for variable in needed}
+                        for row in piece.tolist()
+                    ]
+                )
+
+        # Group output order follows the tuple executor: sorted by the
+        # stringified (n3-or-None) group key parts.
+        key_parts: List[tuple] = []
+        for representative in representatives.tolist():
+            key_parts.append(
+                tuple(
+                    decode(int(child.columns[variable][representative])).n3()
+                    if variable in child.columns
+                    else None
+                    for variable in node.group_variables
+                )
+            )
+        group_order = sorted(
+            range(group_count), key=lambda g: tuple(str(part) for part in key_parts[g])
+        )
+
+        result: List[Binding] = []
+        for group in group_order:
+            representative = int(representatives[group])
+            output: Binding = {}
+            for variable in node.group_variables:
+                if variable in child.columns:
+                    output[variable] = decode(int(child.columns[variable][representative]))
+            for variable, aggregate, trivial_count in plans:
+                if trivial_count:
+                    output[variable] = value_to_term(int(sizes[group]))
+                else:
+                    try:
+                        output[variable] = value_to_term(
+                            evaluate_aggregate(aggregate, rows_by_group[group])
+                        )
+                    except ExpressionError:
+                        pass
+            result.append(output)
+        return result
+
+    # -- binary operators ----------------------------------------------------------
+
+    def _join(self, node: JoinNode, profile: ExecutionProfile) -> ColumnBatch:
+        if node.method == JoinNode.LOOKUP:
+            return self._lookup_join(node, profile)
+        left = self._execute(node.left, profile)
+        right = self._execute(node.right, profile)
+        assert isinstance(left, ColumnBatch) and isinstance(right, ColumnBatch)
+        if not node.join_variables:
+            profile.add_work("nested_loop_pair", left.length * right.length)
+            batch = self._cross(left, right)
+            profile.add_work("join_output_tuple", batch.length)
+            return batch
+
+        # Vectorized hash join, same build-side choice as the tuple path.
+        if left.length <= right.length:
+            build, probe = left, right
+        else:
+            build, probe = right, left
+        join_variables = node.join_variables
+        build_codes, probe_codes = _pair_codes(
+            [build.columns[variable] for variable in join_variables],
+            [probe.columns[variable] for variable in join_variables],
+        )
+        order = np.argsort(build_codes, kind="stable")
+        sorted_codes = build_codes[order]
+        lows = np.searchsorted(sorted_codes, probe_codes, side="left")
+        highs = np.searchsorted(sorted_codes, probe_codes, side="right")
+        probe_index, positions = _expand_ranges(lows, highs)
+        build_index = order[positions]
+        profile.add_work("hash_build_tuple", build.length)
+        profile.add_work("hash_probe_tuple", probe.length)
+
+        variables = list(probe.variables)
+        columns = {variable: probe.columns[variable][probe_index] for variable in probe.variables}
+        for variable in build.variables:
+            if variable not in columns:
+                variables.append(variable)
+                columns[variable] = build.columns[variable][build_index]
+        batch = ColumnBatch(variables, columns, int(probe_index.shape[0]))
+        profile.add_work("join_output_tuple", batch.length)
+        return batch
+
+    def _cross(self, left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
+        left_index = np.repeat(np.arange(left.length, dtype=np.int64), right.length)
+        right_index = np.tile(np.arange(right.length, dtype=np.int64), left.length)
+        variables = list(left.variables)
+        columns = {variable: left.columns[variable][left_index] for variable in left.variables}
+        for variable in right.variables:
+            if variable not in columns:
+                variables.append(variable)
+                columns[variable] = right.columns[variable][right_index]
+        return ColumnBatch(variables, columns, left.length * right.length)
+
+    def _lookup_join(self, node: JoinNode, profile: ExecutionProfile) -> ColumnBatch:
+        """Index nested-loop join over the permutation indexes, batched.
+
+        All left rows share the same bound-position mask, hence the same
+        permutation index; the per-row prefix probes collapse into two
+        ``searchsorted`` calls over the index's packed prefix keys.
+        """
+        left = self._execute(node.left, profile)
+        assert isinstance(left, ColumnBatch)
+        filters: List[Expression] = []
+        right: PlanNode = node.right
+        while isinstance(right, FilterNode):
+            filters.append(right.expression)
+            right = right.child
+        assert isinstance(right, ScanNode)
+        pattern = right.pattern
+        profile.add_work("index_lookup", left.length)
+
+        # Classify the pattern positions: constants and join variables are
+        # bound (they form the probe prefix), the rest are free outputs.
+        sources: List[Optional[Tuple[str, object]]] = []
+        bound_mask: List[bool] = []
+        unknown_constant = False
+        for term in pattern:
+            if isinstance(term, Variable):
+                if term in node.join_variables and term in left.columns:
+                    sources.append(("column", term))
+                    bound_mask.append(True)
+                else:
+                    sources.append(None)
+                    bound_mask.append(False)
+            else:
+                term_id = self.store.encode_term(term)
+                if term_id is None:
+                    unknown_constant = True
+                sources.append(("const", term_id))
+                bound_mask.append(True)
+        index = self.store.index_for_mask(tuple(bound_mask))
+        prefix_sources: List[Tuple[str, object]] = []
+        for slot in range(3):
+            component = index.positions[slot]
+            if not bound_mask[component]:
+                break
+            prefix_sources.append(sources[component])  # type: ignore[arg-type]
+        depth = len(prefix_sources)
+
+        count = left.length
+        if unknown_constant or count == 0:
+            lows = highs = np.zeros(count, dtype=np.int64)
+        elif depth == 0:
+            lows = np.zeros(count, dtype=np.int64)
+            highs = np.full(count, len(index), dtype=np.int64)
+        else:
+            lows, highs = self._probe_ranges(index, depth, prefix_sources, left, count)
+
+        left_index, positions = _expand_ranges(lows, highs)
+
+        # Gather the free variables from the index columns.
+        free_positions: Dict[Variable, List[int]] = {}
+        for position, term in enumerate(pattern):
+            if isinstance(term, Variable) and not bound_mask[position]:
+                free_positions.setdefault(term, []).append(position)
+        index_columns = index.columns()
+        gathered: Dict[Variable, np.ndarray] = {}
+        repeat_mask: Optional[np.ndarray] = None
+        for variable, component_positions in free_positions.items():
+            first = index_columns[index.slot_of[component_positions[0]]][positions]
+            for extra in component_positions[1:]:
+                other = index_columns[index.slot_of[extra]][positions]
+                same = first == other
+                repeat_mask = same if repeat_mask is None else repeat_mask & same
+            gathered[variable] = first
+        if repeat_mask is not None and not repeat_mask.all():
+            left_index = left_index[repeat_mask]
+            gathered = {variable: column[repeat_mask] for variable, column in gathered.items()}
+        fetched = int(left_index.shape[0])
+        profile.add_work("scan_tuple", fetched)
+
+        variables = list(left.variables)
+        columns = {variable: left.columns[variable][left_index] for variable in left.variables}
+        for variable, column in gathered.items():
+            if variable not in columns:
+                variables.append(variable)
+                columns[variable] = column
+        batch = ColumnBatch(variables, columns, fetched)
+
+        if filters:
+            profile.add_work("filter_tuple", fetched)
+            keep = np.ones(fetched, dtype=bool)
+            for expression in filters:
+                keep &= self._filter_mask(batch, expression)
+            if not keep.all():
+                batch = batch.take(np.flatnonzero(keep))
+        profile.add_work("join_output_tuple", batch.length)
+        # Record what the right-hand side produced for plan inspection even
+        # though it was never materialised on its own.
+        profile.node_output_rows.setdefault(id(right), fetched)
+        profile.node_output_rows.setdefault(id(node.right), fetched)
+        return batch
+
+    def _probe_ranges(
+        self,
+        index,
+        depth: int,
+        prefix_sources: List[Tuple[str, object]],
+        left: ColumnBatch,
+        count: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """[low, high) index ranges for every left row's probe prefix."""
+        packed_info = index.packed_prefix(depth)
+        probe_columns: List[np.ndarray] = []
+        for kind, value in prefix_sources:
+            if kind == "const":
+                probe_columns.append(np.full(count, value, dtype=np.int64))
+            else:
+                probe_columns.append(left.columns[value])
+        if packed_info is None:
+            # Id range too wide to pack: probe row by row (rare).
+            lows = np.empty(count, dtype=np.int64)
+            highs = np.empty(count, dtype=np.int64)
+            for row in range(count):
+                low, high = index.prefix_range([int(column[row]) for column in probe_columns])
+                lows[row], highs[row] = low, high
+            return lows, highs
+        packed, multipliers, maxima = packed_info
+        keys = np.zeros(count, dtype=np.int64)
+        valid = np.ones(count, dtype=bool)
+        for column, multiplier, maximum in zip(probe_columns, multipliers, maxima):
+            valid &= column <= maximum
+            keys += np.where(valid, column, 0) * multiplier
+        lows = np.searchsorted(packed, keys, side="left")
+        highs = np.searchsorted(packed, keys, side="right")
+        lows = np.where(valid, lows, 0)
+        highs = np.where(valid, highs, 0)
+        return lows, highs
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def _factorize(
+        self, batch: ColumnBatch, variables: Sequence[Variable]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense per-row codes over ``variables``.
+
+        Returns ``(inverse, first_indices)``: ``inverse[row]`` is the
+        distinct-combination index of the row, ``first_indices[k]`` the
+        first row exhibiting combination ``k`` (in code order).
+        """
+        codes = _row_codes([batch.columns[variable] for variable in variables], batch.length)
+        _, first_indices, inverse = np.unique(codes, return_index=True, return_inverse=True)
+        return inverse, first_indices
+
+    def _filter_mask(self, batch: ColumnBatch, expression: Expression) -> np.ndarray:
+        """Boolean verdict per row, equal to ``evaluate_filter`` row-by-row."""
+        if batch.length == 0:
+            return np.zeros(0, dtype=bool)
+        fast = self._identity_filter_mask(batch, expression)
+        if fast is not None:
+            return fast
+        variables = [
+            variable for variable in expression.variables() if variable in batch.columns
+        ]
+        if not variables:
+            return np.full(batch.length, evaluate_filter(expression, {}), dtype=bool)
+        inverse, representatives = self._factorize(batch, variables)
+        decode = self.store.decode_id
+        verdicts = np.empty(representatives.shape[0], dtype=bool)
+        for position, row_index in enumerate(representatives.tolist()):
+            binding = {
+                variable: decode(int(batch.columns[variable][row_index]))
+                for variable in variables
+            }
+            verdicts[position] = evaluate_filter(expression, binding)
+        return verdicts[inverse]
+
+    def _identity_filter_mask(
+        self, batch: ColumnBatch, expression: Expression
+    ) -> Optional[np.ndarray]:
+        """Pure id-space shortcut for ``?var = <iri>`` / ``?var != <iri>``.
+
+        IRI equality is term identity, and the dictionary is injective, so
+        the comparison never needs to decode.  (Literal constants must go
+        through value semantics — ``1`` equals ``1.0`` — so they take the
+        generic path.)
+        """
+        if not isinstance(expression, BinaryExpression) or expression.operator not in ("=", "!="):
+            return None
+        left, right = expression.left, expression.right
+        if not (isinstance(left, TermExpression) and isinstance(right, TermExpression)):
+            return None
+        terms = (left.term, right.term)
+        if isinstance(terms[0], Variable) and isinstance(terms[1], IRI):
+            variable, constant = terms[0], terms[1]
+        elif isinstance(terms[1], Variable) and isinstance(terms[0], IRI):
+            variable, constant = terms[1], terms[0]
+        else:
+            return None
+        column = batch.columns.get(variable)
+        if column is None:
+            return None
+        constant_id = self.store.encode_term(constant)
+        if constant_id is None:
+            equal = np.zeros(batch.length, dtype=bool)
+        else:
+            equal = column == constant_id
+        return equal if expression.operator == "=" else ~equal
+
+    # -- late materialization ---------------------------------------------------------
+
+    def _decode_column(self, column: np.ndarray) -> List:
+        """Decode an id column to a Term list (decoding each id once)."""
+        uniques, inverse = np.unique(column, return_inverse=True)
+        decode = self.store.decode_id
+        terms = [decode(int(term_id)) for term_id in uniques.tolist()]
+        return [terms[position] for position in inverse.tolist()]
+
+    def _materialise(self, batch: ColumnBatch) -> List[Binding]:
+        """Decode a batch into solution-mapping dicts (the SELECT boundary)."""
+        if batch.length == 0:
+            return []
+        term_columns = [
+            (variable, self._decode_column(batch.columns[variable]))
+            for variable in batch.variables
+        ]
+        return [
+            {variable: terms[row] for variable, terms in term_columns}
+            for row in range(batch.length)
+        ]

@@ -79,8 +79,13 @@ def bsbm_dataset(scale_name: str = "small") -> BSBMDataset:
 
 
 @lru_cache(maxsize=None)
-def bsbm_engine(scale_name: str = "small") -> QueryEngine:
-    return QueryEngine(bsbm_dataset(scale_name).graph)
+def _bsbm_engine(scale_name: str, executor: str) -> QueryEngine:
+    return QueryEngine(bsbm_dataset(scale_name).graph, executor=executor)
+
+
+def bsbm_engine(scale_name: str = "small", executor: str = "vector") -> QueryEngine:
+    # Thin wrapper so default-arg and explicit-arg calls share one cache key.
+    return _bsbm_engine(scale_name, executor)
 
 
 @lru_cache(maxsize=None)
@@ -101,12 +106,21 @@ def ldbc_dataset(scale_name: str = "small") -> LDBCDataset:
 
 
 @lru_cache(maxsize=None)
-def ldbc_engine(scale_name: str = "small") -> QueryEngine:
-    return QueryEngine(ldbc_dataset(scale_name).graph)
+def _ldbc_engine(scale_name: str, executor: str) -> QueryEngine:
+    return QueryEngine(ldbc_dataset(scale_name).graph, executor=executor)
+
+
+def ldbc_engine(scale_name: str = "small", executor: str = "vector") -> QueryEngine:
+    # Thin wrapper so default-arg and explicit-arg calls share one cache key.
+    return _ldbc_engine(scale_name, executor)
 
 
 @lru_cache(maxsize=None)
-def bsbm_service(scale_name: str = "small") -> QueryService:
+def _bsbm_service(scale_name: str, executor: str) -> QueryService:
+    return QueryService(bsbm_engine(scale_name, executor))
+
+
+def bsbm_service(scale_name: str = "small", executor: str = "vector") -> QueryService:
     """Shared query service over the BSBM engine of one scale.
 
     Shared so that the plan cache amortizes across experiments in one
@@ -115,34 +129,42 @@ def bsbm_service(scale_name: str = "small") -> QueryService:
     statistics should build their own ``QueryService`` (see
     ``repro.bench.suites.service_runner``).
     """
-    return QueryService(bsbm_engine(scale_name))
+    return _bsbm_service(scale_name, executor)
 
 
 @lru_cache(maxsize=None)
-def ldbc_service(scale_name: str = "small") -> QueryService:
+def _ldbc_service(scale_name: str, executor: str) -> QueryService:
+    return QueryService(ldbc_engine(scale_name, executor))
+
+
+def ldbc_service(scale_name: str = "small", executor: str = "vector") -> QueryService:
     """Shared query service over the LDBC engine of one scale (cumulative
     counters — see :func:`bsbm_service`)."""
-    return QueryService(ldbc_engine(scale_name))
+    return _ldbc_service(scale_name, executor)
 
 
-def bsbm_runner(scale_name: str = "small") -> WorkloadRunner:
+def bsbm_runner(scale_name: str = "small", executor: str = "vector") -> WorkloadRunner:
     """Service-backed runner: prepared templates + plan cache, identical records."""
-    return WorkloadRunner(bsbm_engine(scale_name), service=bsbm_service(scale_name))
+    return WorkloadRunner(
+        bsbm_engine(scale_name, executor), service=bsbm_service(scale_name, executor)
+    )
 
 
-def ldbc_runner(scale_name: str = "small") -> WorkloadRunner:
+def ldbc_runner(scale_name: str = "small", executor: str = "vector") -> WorkloadRunner:
     """Service-backed runner: prepared templates + plan cache, identical records."""
-    return WorkloadRunner(ldbc_engine(scale_name), service=ldbc_service(scale_name))
+    return WorkloadRunner(
+        ldbc_engine(scale_name, executor), service=ldbc_service(scale_name, executor)
+    )
 
 
 def clear_caches() -> None:
     """Drop all cached datasets/engines (tests use this to bound memory)."""
     bsbm_dataset.cache_clear()
-    bsbm_engine.cache_clear()
+    _bsbm_engine.cache_clear()
     ldbc_dataset.cache_clear()
-    ldbc_engine.cache_clear()
-    bsbm_service.cache_clear()
-    ldbc_service.cache_clear()
+    _ldbc_engine.cache_clear()
+    _bsbm_service.cache_clear()
+    _ldbc_service.cache_clear()
 
 
 # -- parameter domains mined from the generated datasets --------------------------------------

@@ -61,7 +61,9 @@ def _space_for(template_name: str, scale: str):
     raise KeyError("no parameter space registered for template %r" % template_name)
 
 
-def run(scale: str = "small", bindings_per_template: int = None, seed: int = 19) -> CostCorrelationResult:
+def run(
+    scale: str = "small", bindings_per_template: int = None, seed: int = 19, executor: str = "vector"
+) -> CostCorrelationResult:
     """Measure the Pearson correlation between actual Cout and runtime."""
     preset = common.scale(scale)
     count = bindings_per_template if bindings_per_template is not None else preset.bindings_per_group
@@ -70,8 +72,8 @@ def run(scale: str = "small", bindings_per_template: int = None, seed: int = 19)
     per_template: Dict[str, float] = {}
 
     plan: List[Tuple[str, WorkloadRunner]] = []
-    bsbm_runner = common.bsbm_runner(scale)
-    ldbc_runner = common.ldbc_runner(scale)
+    bsbm_runner = common.bsbm_runner(scale, executor)
+    ldbc_runner = common.ldbc_runner(scale, executor)
     for name in _BSBM_TEMPLATES:
         plan.append((name, bsbm_runner))
     for name in _LDBC_TEMPLATES:

@@ -120,14 +120,15 @@ def run(
     classes_to_evaluate: int = 2,
     cost_tolerance: float = 0.5,
     seed: int = 23,
+    executor: str = "vector",
 ) -> CurationEvaluation:
     """Evaluate uniform vs per-class sampling for one template."""
     preset = common.scale(scale)
     candidate_count = candidates if candidates is not None else preset.bindings_per_group * 2
 
     if template_name.startswith("bsbm"):
-        engine = common.bsbm_engine(scale)
-        runner = common.bsbm_runner(scale)
+        engine = common.bsbm_engine(scale, executor)
+        runner = common.bsbm_runner(scale, executor)
         template = bsbm_template(template_name)
         space = {
             "bsbm_bi_q4": common.bsbm_type_space,
@@ -135,8 +136,8 @@ def run(
             "bsbm_bi_q2": common.bsbm_product_space,
         }[template_name](scale)
     else:
-        engine = common.ldbc_engine(scale)
-        runner = common.ldbc_runner(scale)
+        engine = common.ldbc_engine(scale, executor)
+        runner = common.ldbc_runner(scale, executor)
         template = ldbc_template(template_name)
         space = {
             "ldbc_q2": common.ldbc_person_space,

@@ -79,11 +79,11 @@ class E3Result:
         return "%s\n%s" % (table, key_value_report(values))
 
 
-def run(scale: str = "small", executions: int = None, seed: int = 13) -> E3Result:
+def run(scale: str = "small", executions: int = None, seed: int = 13, executor: str = "vector") -> E3Result:
     """Run E3: BSBM-BI Q4 with uniformly drawn ProductType parameters."""
     preset = common.scale(scale)
     count = executions if executions is not None else preset.bindings_per_group * 2
-    runner = common.bsbm_runner(scale)
+    runner = common.bsbm_runner(scale, executor)
 
     template = bsbm_template("bsbm_bi_q4")
     sampler = UniformSampler(common.bsbm_type_space(scale), seed=seed)

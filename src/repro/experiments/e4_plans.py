@@ -104,7 +104,9 @@ def _country_pairs_by_frequency(scale: str, pairs: int) -> Tuple[List[Tuple[str,
     return frequent_pairs[:pairs], rare_pairs[:pairs]
 
 
-def run(scale: str = "small", persons: int = 12, pairs: int = 4, seed: int = 17) -> E4Result:
+def run(
+    scale: str = "small", persons: int = 12, pairs: int = 4, seed: int = 17, executor: str = "vector"
+) -> E4Result:
     """Analyze LDBC Q3 plans for frequent vs rare country pairs.
 
     Executions go through a fresh :class:`~repro.service.QueryService` so
@@ -115,7 +117,7 @@ def run(scale: str = "small", persons: int = 12, pairs: int = 4, seed: int = 17)
     """
     from ..service.service import QueryService
 
-    engine = common.ldbc_engine(scale)
+    engine = common.ldbc_engine(scale, executor)
     template = ldbc_template("ldbc_q3")
     service = QueryService(engine)
     analyzer = PlanCostAnalyzer(engine, template, execute=True, service=service)

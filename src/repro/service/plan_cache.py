@@ -27,6 +27,16 @@ from ..optimizer.plans import PlanNode, join_tree_signature
 PlanKey = Tuple[str, str]
 
 
+class _InflightBuild:
+    """One build in progress; same-key clients wait on ``ready``."""
+
+    __slots__ = ("ready", "plan")
+
+    def __init__(self):
+        self.ready = threading.Event()
+        self.plan: Optional[PlanNode] = None
+
+
 @dataclass(frozen=True)
 class PlanCacheStats:
     """Snapshot of the cache counters at one point in time."""
@@ -74,6 +84,8 @@ class PlanCache:
         #: every join-tree signature ever inserted — eviction must not hide
         #: plan diversity from the experiments.
         self._signatures: Set[str] = set()
+        #: key -> in-flight build other clients of the same key wait on
+        self._inflight: Dict[PlanKey, "_InflightBuild"] = {}
 
     # -- core operations ---------------------------------------------------------
 
@@ -115,13 +127,52 @@ class PlanCache:
         """Return ``(plan, hit)``; on a miss, build the plan with ``factory``.
 
         The factory runs outside the cache lock so concurrent clients can
-        optimize different templates in parallel; a racing duplicate build
-        for the *same* key is harmless (see :meth:`insert`).
+        optimize *different* templates in parallel, while concurrent
+        requests for the *same* key coalesce onto one build: exactly one
+        client optimizes, the others block on the in-flight build and count
+        as cache hits — which keeps hit accounting deterministic no matter
+        how the scheduler interleaves clients.  With caching disabled
+        (capacity 0) every caller builds its own plan.
         """
-        plan = self.lookup(key)
-        if plan is not None:
-            return plan, True
-        return self.insert(key, factory()), False
+        while True:
+            wait_for: Optional[_InflightBuild] = None
+            with self._lock:
+                plan = self._entries.get(key)
+                if plan is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return plan, True
+                if self.capacity > 0:
+                    wait_for = self._inflight.get(key)
+                    if wait_for is None:
+                        self._inflight[key] = _InflightBuild()
+                if wait_for is None:
+                    self._misses += 1
+                    break  # we are the builder (or caching is disabled)
+            wait_for.ready.wait()
+            if wait_for.plan is not None:
+                with self._lock:
+                    self._hits += 1
+                return wait_for.plan, True
+            # The build we waited on failed; retry from the top.
+
+        try:
+            plan = self.insert(key, factory())
+        except BaseException:
+            self._finish_build(key, None)
+            raise
+        self._finish_build(key, plan)
+        return plan, False
+
+    def _finish_build(self, key: PlanKey, plan: Optional[PlanNode]) -> None:
+        """Publish the outcome of an in-flight build and wake the waiters."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            build = self._inflight.pop(key, None)
+        if build is not None:
+            build.plan = plan
+            build.ready.set()
 
     def peek(self, key: PlanKey) -> Optional[PlanNode]:
         """Return the cached plan without touching recency or counters."""

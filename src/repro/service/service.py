@@ -42,10 +42,20 @@ TemplateOrName = Union[QueryTemplate, PreparedTemplate, str]
 
 
 class QueryService:
-    """Serves prepared, plan-cached query templates over one engine."""
+    """Serves prepared, plan-cached query templates over one engine.
 
-    def __init__(self, engine: QueryEngine, plan_cache_capacity: int = 512):
-        self.engine = engine
+    ``executor`` optionally overrides the engine's executor (``"vector"`` /
+    ``"tuple"``) via :meth:`~repro.engine.query_engine.QueryEngine.with_executor`;
+    records are identical either way, only the wall clock changes.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        plan_cache_capacity: int = 512,
+        executor: Optional[str] = None,
+    ):
+        self.engine = engine if executor is None else engine.with_executor(executor)
         self.registry = PreparedTemplateRegistry()
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.metrics = MetricsCollector()

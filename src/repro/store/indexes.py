@@ -1,17 +1,25 @@
-"""Sorted permutation indexes over id-encoded triples.
+"""Sorted permutation indexes over id-encoded triples, backed by numpy.
 
-A :class:`PermutationIndex` stores every triple as a tuple of integer ids in
-one of the six orderings of (subject, predicate, object) — SPO, SOP, PSO,
-POS, OSP, OPS — kept sorted, so any lookup with a bound *prefix* of the
-ordering becomes a binary-search range scan.  This mirrors how RDF engines
-such as RDF-3X, Hexastore and Virtuoso organise their data and gives the
-cardinality estimator exact prefix counts.
+A :class:`PermutationIndex` stores every triple as a key in one of the six
+orderings of (subject, predicate, object) — SPO, SOP, PSO, POS, OSP, OPS —
+kept sorted, so any lookup with a bound *prefix* of the ordering becomes a
+binary-search range scan.  This mirrors how RDF engines such as RDF-3X,
+Hexastore and Virtuoso organise their data and gives the cardinality
+estimator exact prefix counts.
+
+The keys live in three contiguous ``int64`` column arrays sorted
+lexicographically.  Prefix lookups are hierarchical ``numpy.searchsorted``
+calls, distinct-value counts are vectorized difference scans, and the
+vectorized executor (:mod:`repro.engine.vector`) reads the column views
+directly — a whole batch of index probes becomes two ``searchsorted`` calls
+over a packed key array instead of a Python loop.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 IdTriple = Tuple[int, int, int]
 
@@ -22,6 +30,13 @@ SPO_COMPONENTS = ("subject", "predicate", "object")
 PERMUTATIONS = ("spo", "sop", "pso", "pos", "osp", "ops")
 
 _COMPONENT_POSITION = {"s": 0, "p": 1, "o": 2}
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: Shared bound for every int64 key-packing scheme (index prefix keys here,
+#: row/join codes in :mod:`repro.engine.vector`): packed values must stay
+#: below this so one more fold step cannot overflow int64.
+PACK_LIMIT = 2 ** 62
 
 
 def permutation_positions(name: str) -> Tuple[int, int, int]:
@@ -36,16 +51,22 @@ def permutation_positions(name: str) -> Tuple[int, int, int]:
 
 
 class PermutationIndex:
-    """One sorted permutation of the triple table."""
+    """One sorted permutation of the triple table, stored columnar."""
 
     def __init__(self, name: str):
         self.name = name
         self.positions = permutation_positions(name)
-        self._keys: List[IdTriple] = []
+        #: for each canonical component (s, p, o), the key slot holding it
+        self.slot_of = [0, 0, 0]
+        for slot, component in enumerate(self.positions):
+            self.slot_of[component] = slot
+        self._columns: Tuple[np.ndarray, np.ndarray, np.ndarray] = (_EMPTY, _EMPTY, _EMPTY)
+        #: depth -> (packed keys, multipliers, per-column maxima) or None
+        self._packed: Dict[int, Optional[Tuple[np.ndarray, List[int], List[int]]]] = {}
         self._finalised = False
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return int(self._columns[0].shape[0])
 
     def _permute(self, triple: IdTriple) -> IdTriple:
         p0, p1, p2 = self.positions
@@ -60,38 +81,60 @@ class PermutationIndex:
     # -- building ---------------------------------------------------------
 
     def bulk_load(self, triples: Iterable[IdTriple]) -> None:
-        """(Re)build the index from an iterable of id triples."""
-        self._keys = sorted(self._permute(triple) for triple in triples)
+        """(Re)build the index from id triples (iterable or an ``(n, 3)`` array)."""
+        if isinstance(triples, np.ndarray):
+            data = triples.astype(np.int64, copy=False).reshape(-1, 3)
+        else:
+            data = np.asarray(list(triples), dtype=np.int64).reshape(-1, 3)
+        p0, p1, p2 = self.positions
+        c0, c1, c2 = data[:, p0], data[:, p1], data[:, p2]
+        order = np.lexsort((c2, c1, c0))
+        self._columns = (
+            np.ascontiguousarray(c0[order]),
+            np.ascontiguousarray(c1[order]),
+            np.ascontiguousarray(c2[order]),
+        )
+        self._packed = {}
         self._finalised = True
 
     def insert(self, triple: IdTriple) -> None:
         """Insert a single triple keeping the index sorted."""
         key = self._permute(triple)
-        position = bisect.bisect_left(self._keys, key)
-        if position < len(self._keys) and self._keys[position] == key:
+        low, high = self._range(key)
+        if high > low:
             return
-        self._keys.insert(position, key)
+        self._columns = tuple(
+            np.insert(column, low, key[slot]) for slot, column in enumerate(self._columns)
+        )
+        self._packed = {}
 
     def remove(self, triple: IdTriple) -> bool:
         """Remove a triple; returns True when it was present."""
         key = self._permute(triple)
-        position = bisect.bisect_left(self._keys, key)
-        if position < len(self._keys) and self._keys[position] == key:
-            del self._keys[position]
-            return True
-        return False
+        low, high = self._range(key)
+        if high <= low:
+            return False
+        self._columns = tuple(np.delete(column, low) for column in self._columns)
+        self._packed = {}
+        return True
 
     # -- lookups ----------------------------------------------------------
 
     def _range(self, prefix: Sequence[int]) -> Tuple[int, int]:
         """Return the [low, high) slice of keys starting with ``prefix``."""
-        if not prefix:
-            return 0, len(self._keys)
-        low_key = tuple(prefix)
-        high_key = tuple(prefix[:-1]) + (prefix[-1] + 1,)
-        low = bisect.bisect_left(self._keys, low_key)
-        high = bisect.bisect_left(self._keys, high_key)
+        low, high = 0, len(self)
+        for depth, value in enumerate(prefix):
+            segment = self._columns[depth][low:high]
+            left = int(np.searchsorted(segment, value, side="left"))
+            right = int(np.searchsorted(segment, value, side="right"))
+            low, high = low + left, low + right
+            if low >= high:
+                return low, low
         return low, high
+
+    def prefix_range(self, prefix: Sequence[int]) -> Tuple[int, int]:
+        """Public alias of the [low, high) range lookup (vectorized callers)."""
+        return self._range(prefix)
 
     def count_prefix(self, prefix: Sequence[int]) -> int:
         """Count triples whose permuted key starts with ``prefix``."""
@@ -101,13 +144,14 @@ class PermutationIndex:
     def scan_prefix(self, prefix: Sequence[int]) -> Iterator[IdTriple]:
         """Yield triples (in canonical SPO component order) matching ``prefix``."""
         low, high = self._range(prefix)
-        for position in range(low, high):
-            yield self._unpermute(self._keys[position])
+        if high <= low:
+            return
+        s, p, o = self.spo_columns(low, high)
+        yield from zip(s.tolist(), p.tolist(), o.tolist())
 
     def contains(self, triple: IdTriple) -> bool:
-        key = self._permute(triple)
-        position = bisect.bisect_left(self._keys, key)
-        return position < len(self._keys) and self._keys[position] == key
+        low, high = self._range(self._permute(triple))
+        return high > low
 
     def distinct_prefix_values(self, prefix: Sequence[int]) -> int:
         """Count distinct values of the next key component under ``prefix``.
@@ -117,16 +161,60 @@ class PermutationIndex:
         cardinality estimator needs.
         """
         low, high = self._range(prefix)
-        depth = len(prefix)
-        distinct = 0
-        previous: Optional[int] = None
-        for position in range(low, high):
-            value = self._keys[position][depth]
-            if value != previous:
-                distinct += 1
-                previous = value
-        return distinct
+        if high <= low:
+            return 0
+        segment = self._columns[len(prefix)][low:high]
+        return int(np.count_nonzero(segment[1:] != segment[:-1])) + 1
 
     def keys(self) -> Sequence[IdTriple]:
-        """Expose the raw sorted keys (used by statistics collection)."""
-        return self._keys
+        """Expose the sorted permuted keys as tuples (statistics, tests)."""
+        c0, c1, c2 = self._columns
+        return list(zip(c0.tolist(), c1.tolist(), c2.tolist()))
+
+    # -- columnar access (vectorized execution path) -----------------------
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The raw sorted key columns in permuted order (treat as read-only)."""
+        return self._columns
+
+    def spo_columns(self, low: int, high: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical (s, p, o) column views over the key range [low, high)."""
+        s_slot, p_slot, o_slot = self.slot_of
+        columns = self._columns
+        return columns[s_slot][low:high], columns[p_slot][low:high], columns[o_slot][low:high]
+
+    def packed_prefix(
+        self, depth: int
+    ) -> Optional[Tuple[np.ndarray, List[int], List[int]]]:
+        """Packed int64 keys of the first ``depth`` components, built lazily.
+
+        Returns ``(packed, multipliers, maxima)`` where
+        ``packed[i] == sum(columns[d][i] * multipliers[d])`` — one sorted
+        int64 array preserving the lexicographic key order, so a whole batch
+        of prefix probes becomes two vectorized ``searchsorted`` calls.
+        Probe values must be clamped to ``maxima`` (larger values cannot
+        occur in the column and would alias a neighbouring prefix).
+        Returns ``None`` when the id range is too large to pack without
+        overflow; callers then probe row by row.
+        """
+        if depth in self._packed:
+            return self._packed[depth]
+        count = len(self)
+        maxima = [
+            int(self._columns[d].max()) if count else 0 for d in range(depth)
+        ]
+        multipliers = [1] * depth
+        for d in range(depth - 2, -1, -1):
+            multipliers[d] = multipliers[d + 1] * (maxima[d + 1] + 1)
+        result: Optional[Tuple[np.ndarray, List[int], List[int]]] = None
+        total = multipliers[0] * (maxima[0] + 1) if depth else 1
+        if total < PACK_LIMIT:
+            if depth == 1:
+                packed = self._columns[0]
+            else:
+                packed = np.zeros(count, dtype=np.int64)
+                for d in range(depth):
+                    packed += self._columns[d] * multipliers[d]
+            result = (packed, multipliers, maxima)
+        self._packed[depth] = result
+        return result

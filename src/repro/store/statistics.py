@@ -16,8 +16,11 @@ effects we want to reproduce.  :class:`StoreStatistics` therefore collects:
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+import threading
+from collections import Counter
 from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
 
 from ..rdf.terms import Variable
 from ..rdf.triples import TriplePattern
@@ -59,7 +62,13 @@ class PredicateStatistics:
 
 
 class StoreStatistics:
-    """Statistics snapshot of a :class:`TripleStore`."""
+    """Statistics snapshot of a :class:`TripleStore`.
+
+    The snapshot remembers the store's :attr:`~TripleStore.data_version` it
+    was collected at; any later mutation (staged loads, :meth:`~TripleStore.insert`,
+    :meth:`~TripleStore.remove`) makes the next statistics access re-collect
+    automatically, so estimates never silently desync from the data.
+    """
 
     def __init__(self, store: TripleStore):
         self.store = store
@@ -67,40 +76,61 @@ class StoreStatistics:
         self.predicate_stats: Dict[int, PredicateStatistics] = {}
         self.characteristic_sets: Counter = Counter()
         self._collected = False
+        self._version: Optional[int] = None
+        self._collect_lock = threading.Lock()
 
     # -- collection ---------------------------------------------------------
 
     def collect(self) -> "StoreStatistics":
-        """Scan the store once and build all summaries."""
-        store = self.store
-        store.finalise()
-        self.total_triples = len(store)
+        """Scan the store once and build all summaries.
 
-        pso = store.index("pso")
-        keys = pso.keys()  # sorted (p, s, o)
-        predicate_triples: Counter = Counter()
-        for p, _s, _o in keys:
-            predicate_triples[p] += 1
-        for predicate_id, triple_count in predicate_triples.items():
-            self.predicate_stats[predicate_id] = PredicateStatistics(
-                predicate_id=predicate_id,
-                triple_count=triple_count,
-                distinct_subjects=pso.distinct_prefix_values([predicate_id]),
-                distinct_objects=store.index("pos").distinct_prefix_values([predicate_id]),
-            )
+        Safe for concurrent readers: the summaries are built into fresh
+        containers and swapped in whole, so a thread reading the previous
+        snapshot mid-refresh still sees a consistent one; the lock keeps
+        racing refreshers from collecting twice.
+        """
+        with self._collect_lock:
+            store = self.store
+            store.finalise()
+            version = store.data_version
+            predicate_stats: Dict[int, PredicateStatistics] = {}
+            characteristic_sets: Counter = Counter()
 
-        # Characteristic sets: predicates per subject.
-        subject_predicates: Dict[int, set] = defaultdict(set)
-        for s, p, _o in store.index("spo").keys():
-            subject_predicates[s].add(p)
-        for predicates in subject_predicates.values():
-            self.characteristic_sets[frozenset(predicates)] += 1
+            pso = store.index("pso")
+            pos = store.index("pos")
+            predicates, counts = np.unique(pso.columns()[0], return_counts=True)
+            for predicate_id, triple_count in zip(predicates.tolist(), counts.tolist()):
+                predicate_stats[predicate_id] = PredicateStatistics(
+                    predicate_id=predicate_id,
+                    triple_count=triple_count,
+                    distinct_subjects=pso.distinct_prefix_values([predicate_id]),
+                    distinct_objects=pos.distinct_prefix_values([predicate_id]),
+                )
 
-        self._collected = True
+            # Characteristic sets: predicates per subject.  The SPO columns
+            # are sorted by (s, p, o), so deduplicating consecutive (s, p)
+            # pairs and splitting on subject boundaries yields each
+            # subject's predicate set.
+            spo = store.index("spo")
+            s_col, p_col = spo.columns()[0], spo.columns()[1]
+            if s_col.shape[0]:
+                keep = np.empty(s_col.shape[0], dtype=bool)
+                keep[0] = True
+                keep[1:] = (s_col[1:] != s_col[:-1]) | (p_col[1:] != p_col[:-1])
+                subjects, predicates_of = s_col[keep], p_col[keep]
+                boundaries = np.flatnonzero(subjects[1:] != subjects[:-1]) + 1
+                for piece in np.split(predicates_of, boundaries):
+                    characteristic_sets[frozenset(piece.tolist())] += 1
+
+            self.total_triples = len(store)
+            self.predicate_stats = predicate_stats
+            self.characteristic_sets = characteristic_sets
+            self._collected = True
+            self._version = version
         return self
 
     def _require_collected(self) -> None:
-        if not self._collected:
+        if not self._collected or self._version != self.store.data_version:
             self.collect()
 
     # -- basic lookups --------------------------------------------------------

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from ..rdf.dictionary import TermDictionary
 from ..rdf.terms import Term, Variable
 from ..rdf.triples import Triple, TriplePattern
@@ -43,9 +45,20 @@ class TripleStore:
         self._size = 0
         self._pending: List[IdTriple] = []
         self._loaded = False
+        self._version = 0
 
     def __len__(self) -> int:
         return self._size + len(self._pending)
+
+    @property
+    def data_version(self) -> int:
+        """Monotone counter bumped by every mutation of the triple set.
+
+        Staged-but-unloaded triples already count as a pending mutation, so
+        statistics consumers (see :class:`~repro.store.statistics.StoreStatistics`)
+        can detect staleness *before* the lazy rebuild runs.
+        """
+        return self._version + (1 if self._pending else 0)
 
     # -- loading -----------------------------------------------------------
 
@@ -69,20 +82,65 @@ class TripleStore:
     def _ensure_loaded(self) -> None:
         if not self._pending and self._loaded:
             return
-        if self._pending or not self._loaded:
-            existing = list(self._indexes["spo"].keys()) if self._loaded else []
-            merged = set(existing)
-            merged.update(self._pending)
-            ordered = sorted(merged)
-            for index in self._indexes.values():
-                index.bulk_load(ordered)
-            self._size = len(ordered)
-            self._pending = []
-            self._loaded = True
+        parts: List[np.ndarray] = []
+        if self._loaded and self._size:
+            # The SPO index's permuted key order *is* the canonical order.
+            parts.append(np.stack(self._indexes["spo"].columns(), axis=1))
+        if self._pending:
+            parts.append(np.asarray(self._pending, dtype=np.int64).reshape(-1, 3))
+        if parts:
+            merged = np.unique(np.concatenate(parts, axis=0), axis=0)
+        else:
+            merged = np.empty((0, 3), dtype=np.int64)
+        for index in self._indexes.values():
+            index.bulk_load(merged)
+        self._size = int(merged.shape[0])
+        self._pending = []
+        self._loaded = True
+        self._version += 1
 
     def finalise(self) -> None:
         """Force any staged triples into the indexes."""
         self._ensure_loaded()
+
+    # -- point mutations ----------------------------------------------------
+
+    def insert(self, triple: Triple) -> bool:
+        """Insert one triple directly into the live indexes.
+
+        Returns True when the triple was new.  Bumps :attr:`data_version`
+        so statistics snapshots refresh instead of silently desyncing.
+        """
+        self._ensure_loaded()
+        encoded = (
+            self.dictionary.encode(triple.subject),
+            self.dictionary.encode(triple.predicate),
+            self.dictionary.encode(triple.object),
+        )
+        if self._indexes["spo"].contains(encoded):
+            return False
+        for index in self._indexes.values():
+            index.insert(encoded)
+        self._size += 1
+        self._version += 1
+        return True
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove one triple from the live indexes; True when it was present.
+
+        Bumps :attr:`data_version` like :meth:`insert`.
+        """
+        self._ensure_loaded()
+        ids = tuple(self.dictionary.lookup(term) for term in triple)
+        if any(term_id is None for term_id in ids):
+            return False
+        if not self._indexes["spo"].contains(ids):  # type: ignore[arg-type]
+            return False
+        for index in self._indexes.values():
+            index.remove(ids)  # type: ignore[arg-type]
+        self._size -= 1
+        self._version += 1
+        return True
 
     # -- term helpers --------------------------------------------------------
 
@@ -154,6 +212,44 @@ class TripleStore:
             if same_po and p != o:
                 continue
             yield id_triple
+
+    def scan_pattern_arrays(
+        self, pattern: TriplePattern
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical (s, p, o) id arrays matching ``pattern``.
+
+        The columnar counterpart of :meth:`scan_pattern`: repeated variables
+        are honoured, unknown constants yield empty arrays, and the returned
+        arrays are views into the index columns whenever no repeated-variable
+        mask applies (treat them as read-only).
+        """
+        self._ensure_loaded()
+        resolved = self._pattern_to_prefix(pattern)
+        if resolved is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        index_name, prefix = resolved
+        index = self._indexes[index_name]
+        low, high = index.prefix_range(prefix)
+        s, p, o = index.spo_columns(low, high)
+        subject, predicate, object_ = pattern.as_tuple()
+        mask: Optional[np.ndarray] = None
+        if isinstance(subject, Variable) and subject == object_:
+            mask = s == o
+        if isinstance(subject, Variable) and subject == predicate:
+            same = s == p
+            mask = same if mask is None else mask & same
+        if isinstance(predicate, Variable) and predicate == object_:
+            same = p == o
+            mask = same if mask is None else mask & same
+        if mask is not None:
+            s, p, o = s[mask], p[mask], o[mask]
+        return s, p, o
+
+    def index_for_mask(self, mask: Tuple[bool, bool, bool]) -> PermutationIndex:
+        """The permutation index serving a bound-positions (s, p, o) mask."""
+        self._ensure_loaded()
+        return self._indexes[_INDEX_FOR_MASK[mask]]
 
     def contains(self, triple: Triple) -> bool:
         self._ensure_loaded()

@@ -64,3 +64,15 @@ class TestBenchmarkScaleExamplesImport:
         example = load_example("ldbc_stability_study")
         assert callable(example.main)
         assert example.GROUPS >= 2
+
+
+class TestVectorEngineWalkthrough:
+    def test_main_runs_small_and_verifies_identity(self, capsys, monkeypatch):
+        example = load_example("vector_engine_walkthrough")
+        monkeypatch.setattr(example, "PERSONS", 60)
+        monkeypatch.setattr(example, "BINDINGS", 4)
+        example.main()
+        output = capsys.readouterr().out
+        assert "tuple executor" in output
+        assert "vector executor" in output
+        assert "identical rows and simulated runtimes: True" in output

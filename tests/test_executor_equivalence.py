@@ -1,0 +1,173 @@
+"""Tuple vs vector executor equivalence.
+
+The vector executor's contract is *bit-identical* execution: the same rows
+in the same order, the same profile work counters and node cardinalities,
+and therefore the same simulated runtimes and benchmark records as the
+tuple executor — for arbitrary data and for every query shape it covers
+(and, via wholesale fallback, for the shapes it does not).
+
+Two layers of evidence:
+
+* a Hypothesis property test over random small graphs and a query pool that
+  exercises scans, hash/lookup joins, cross products, filters, DISTINCT,
+  ORDER BY, LIMIT/OFFSET, GROUP BY aggregates, repeated variables, OPTIONAL
+  and UNION;
+* a deterministic sweep over every template the paper's experiments E1–E4
+  execute (BSBM-BI Q2/Q4, LDBC Q2/Q3) plus the other mix templates, at the
+  tiny dataset scale, asserting identical ``QueryExecution`` records.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import execution_record
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.datagen.ldbc import template as ldbc_template
+from repro.engine import QueryEngine
+from repro.experiments import common
+from repro.rdf.terms import IRI, typed_literal
+from repro.rdf.triples import Triple
+from repro.sparql.algebra import translate_query
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+
+SUBJECTS = [IRI(EX + "s%d" % i) for i in range(5)]
+PREDICATES = [IRI(EX + "p%d" % i) for i in range(3)]
+OBJECTS = (
+    SUBJECTS
+    + [IRI(EX + "o%d" % i) for i in range(3)]
+    + [typed_literal(value) for value in (1, 2, 3, 5, 10)]
+    + [typed_literal(text) for text in ("a", "b", "1")]
+)
+
+P0, P1, P2 = (predicate.n3() for predicate in PREDICATES)
+
+#: Query pool: each entry names the shape it exercises.
+QUERIES = [
+    "SELECT ?s ?o WHERE { ?s %s ?o }" % P0,
+    # chain join (lookup-join candidate) and star join
+    "SELECT ?s ?o ?x WHERE { ?s %s ?o . ?o %s ?x }" % (P0, P1),
+    "SELECT ?s ?x ?y WHERE { ?s %s ?x . ?s %s ?y }" % (P0, P1),
+    # bound-object pattern plus join
+    "SELECT ?s ?y WHERE { ?s %s <%so0> . ?s %s ?y }" % (P0, EX, P1),
+    # filters: numeric comparison, term inequality, arithmetic
+    "SELECT ?s ?v WHERE { ?s %s ?v . FILTER(?v >= 3) }" % P2,
+    "SELECT ?a ?b ?o WHERE { ?a %s ?o . ?b %s ?o . FILTER(?a != ?b) }" % (P0, P0),
+    "SELECT ?s ?v WHERE { ?s %s ?v . FILTER(?v * 2 < 11) }" % P2,
+    # IRI-constant (in)equality: exercises the id-space filter shortcut
+    "SELECT ?s ?o WHERE { ?s %s ?o . FILTER(?o != <%ss0>) }" % (P0, EX),
+    "SELECT ?s ?o WHERE { ?s %s ?o . FILTER(?s = <%ss1>) }" % (P0, EX),
+    # distinct / ordering / slicing
+    "SELECT DISTINCT ?o WHERE { ?s %s ?o }" % P0,
+    "SELECT ?s ?v WHERE { ?s %s ?v } ORDER BY DESC(?v) ?s LIMIT 3 OFFSET 1" % P2,
+    "SELECT DISTINCT ?s WHERE { ?s %s ?o . ?s %s ?v } ORDER BY ?s LIMIT 4" % (P0, P2),
+    # aggregates: plain counts, AVG/COUNT(*), DISTINCT count, HAVING
+    "SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s %s ?o } GROUP BY ?s ORDER BY DESC(?c) ?s" % P0,
+    "SELECT (AVG(?v) AS ?a) (COUNT(*) AS ?c) WHERE { ?s %s ?v }" % P2,
+    "SELECT (COUNT(DISTINCT ?o) AS ?c) WHERE { ?s ?p ?o }",
+    "SELECT ?s (MAX(?v) AS ?m) WHERE { ?s %s ?v } GROUP BY ?s HAVING(?m > 2) ORDER BY ?s" % P2,
+    # repeated variable and cross product
+    "SELECT ?s WHERE { ?s %s ?s }" % P0,
+    "SELECT ?a ?b WHERE { ?a %s <%so0> . ?b %s <%so1> }" % (P0, EX, P1, EX),
+    # fallback shapes: OPTIONAL and UNION run tuple-at-a-time either way
+    "SELECT ?s ?o ?y WHERE { ?s %s ?o . OPTIONAL { ?s %s ?y } }" % (P0, P1),
+    "SELECT ?s ?o WHERE { { ?s %s ?o } UNION { ?s %s ?o } }" % (P0, P1),
+]
+
+triples_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(SUBJECTS), st.sampled_from(PREDICATES), st.sampled_from(OBJECTS)
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def assert_equivalent(tuple_result, vector_result):
+    """Full bit-identity check between two QueryResult objects."""
+    assert vector_result.rows == tuple_result.rows
+    assert vector_result.plan_signature() == tuple_result.plan_signature()
+    assert vector_result.profile.work == tuple_result.profile.work
+    assert (
+        vector_result.profile.intermediate_sizes == tuple_result.profile.intermediate_sizes
+    )
+    assert vector_result.profile.result_rows == tuple_result.profile.result_rows
+    assert vector_result.actual_cout == tuple_result.actual_cout
+    assert vector_result.estimated_cout == tuple_result.estimated_cout
+    assert vector_result.runtime_ms == tuple_result.runtime_ms
+
+
+class TestRandomGraphs:
+    @settings(max_examples=60, deadline=None)
+    @given(triples=triples_strategy, query=st.sampled_from(QUERIES))
+    def test_identical_rows_and_profiles(self, triples, query):
+        store = TripleStore()
+        store.add_many(Triple(s, p, o) for s, p, o in triples)
+        tuple_engine = QueryEngine(store, executor="tuple")
+        vector_engine = tuple_engine.with_executor("vector")
+        assert_equivalent(tuple_engine.execute(query), vector_engine.execute(query))
+
+
+#: every template executed by the experiments E1–E4 (Q2/Q4 for E1/E2/E3,
+#: Q3 for E4) plus the remaining mix templates with registered spaces.
+EXPERIMENT_TEMPLATES = [
+    ("bsbm_bi_q1", common.bsbm_type_space),
+    ("bsbm_bi_q2", common.bsbm_product_space),
+    ("bsbm_bi_q3", common.bsbm_feature_space),
+    ("bsbm_bi_q4", common.bsbm_type_space),
+    ("bsbm_bi_q5", common.bsbm_product_space),
+    ("bsbm_bi_q6", common.bsbm_producer_space),
+    ("bsbm_bi_q8", common.bsbm_type_feature_space),
+    ("ldbc_q2", common.ldbc_person_space),
+    ("ldbc_q3", common.ldbc_person_country_pair_space),
+    ("ldbc_q4", common.ldbc_person_space),
+    ("ldbc_q5", common.ldbc_person_space),
+    ("ldbc_q7", common.ldbc_country_space),
+]
+
+SCALE = "tiny"
+
+
+class TestExperimentTemplates:
+    @pytest.mark.parametrize("template_name,space_factory", EXPERIMENT_TEMPLATES)
+    def test_identical_records_on_experiment_templates(self, template_name, space_factory):
+        if template_name.startswith("bsbm"):
+            engine = common.bsbm_engine(SCALE)
+            template = bsbm_template(template_name)
+        else:
+            engine = common.ldbc_engine(SCALE)
+            template = ldbc_template(template_name)
+        tuple_engine = engine.with_executor("tuple")
+        vector_engine = engine.with_executor("vector")
+        sampler = UniformSampler(space_factory(SCALE), seed=5)
+        for repetition, binding in enumerate(sampler.bindings(5)):
+            tuple_result = tuple_engine.execute_template(template, binding, repetition)
+            vector_result = vector_engine.execute_template(template, binding, repetition)
+            assert_equivalent(tuple_result, vector_result)
+            # The benchmark records every experiment statistic is computed
+            # from must also match field by field.
+            assert execution_record(template.name, binding, vector_result, repetition) == (
+                execution_record(template.name, binding, tuple_result, repetition)
+            )
+
+    def test_vector_path_actually_covers_the_join_templates(self):
+        """Guard against silently falling back to tuple execution."""
+        engine = common.bsbm_engine(SCALE)
+        template = bsbm_template("bsbm_bi_q8")
+        binding = UniformSampler(common.bsbm_type_feature_space(SCALE), seed=5).bindings(1)[0]
+        plan = engine.optimizer.optimize(translate_query(template.instantiate(binding)))
+        assert engine.executor.covers(plan)
+
+    def test_fallback_plans_delegate_to_tuple_execution(self):
+        store = TripleStore()
+        store.add_many(Triple(s, p, o) for s, p, o in [(SUBJECTS[0], PREDICATES[0], OBJECTS[0])])
+        engine = QueryEngine(store, executor="vector")
+        plan = engine.plan(
+            "SELECT ?s ?o ?y WHERE { ?s %s ?o . OPTIONAL { ?s %s ?y } }" % (P0, P1)
+        )
+        assert not engine.executor.covers(plan)
+        rows, profile = engine.executor.execute(plan)
+        assert profile.result_rows == len(rows)

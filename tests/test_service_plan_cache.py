@@ -1,6 +1,7 @@
 """Tests for repro.service.plan_cache (LRU behaviour and counters)."""
 
 import threading
+import time
 
 import pytest
 
@@ -150,3 +151,70 @@ class TestEdgeCases:
             thread.join()
         assert not errors
         assert len(cache) <= 8
+
+
+class TestInflightCoalescing:
+    """Concurrent same-key builds coalesce: one miss, deterministic hits."""
+
+    def test_racing_builders_yield_one_miss_and_hits_for_the_rest(self):
+        cache = PlanCache(capacity=4)
+        release = threading.Event()
+        builds = []
+
+        def slow_factory():
+            builds.append(threading.get_ident())
+            release.wait(timeout=5.0)
+            return make_plan("coalesced")
+
+        results = []
+
+        def client():
+            results.append(cache.get_or_create(key("a"), slow_factory))
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        # Give the followers time to block on the in-flight build, then
+        # let the single builder finish.
+        deadline = time.monotonic() + 5.0
+        while not builds and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+        assert len(builds) == 1  # exactly one thread ran the optimizer
+        plans = {id(plan) for plan, _hit in results}
+        assert len(plans) == 1  # everyone got the same plan object
+        assert sorted(hit for _plan, hit in results) == [False, True, True, True]
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.hits == 3
+
+    def test_failed_build_retries_and_does_not_wedge_waiters(self):
+        cache = PlanCache(capacity=4)
+        attempts = []
+
+        def flaky_factory():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("optimizer exploded")
+            return make_plan("retried")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create(key("b"), flaky_factory)
+        plan, hit = cache.get_or_create(key("b"), flaky_factory)
+        assert not hit and len(attempts) == 2
+        assert cache.get_or_create(key("b"), flaky_factory)[1] is True
+
+    def test_capacity_zero_still_builds_per_caller(self):
+        cache = PlanCache(capacity=0)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return make_plan("uncached")
+
+        for _ in range(3):
+            _plan, hit = cache.get_or_create(key("c"), factory)
+            assert hit is False
+        assert len(calls) == 3

@@ -115,3 +115,50 @@ class TestIncrementalUpdates:
         for name in PERMUTATIONS:
             index = make_index(name)
             assert set(index.scan_prefix([])) == set(TRIPLES), name
+
+
+class TestColumnarAccess:
+    """The numpy-backed views the vectorized executor reads directly."""
+
+    def test_columns_are_lexicographically_sorted_int64(self):
+        import numpy as np
+
+        for name in PERMUTATIONS:
+            index = make_index(name)
+            c0, c1, c2 = index.columns()
+            assert c0.dtype == np.int64 and c1.dtype == np.int64 and c2.dtype == np.int64
+            keys = list(zip(c0.tolist(), c1.tolist(), c2.tolist()))
+            assert keys == sorted(keys), name
+
+    def test_prefix_range_matches_count(self):
+        index = make_index("pos")
+        low, high = index.prefix_range([10])
+        assert high - low == index.count_prefix([10]) == 4
+
+    def test_spo_columns_return_canonical_order(self):
+        index = make_index("pos")
+        low, high = index.prefix_range([10, 100])
+        s, p, o = index.spo_columns(low, high)
+        assert sorted(zip(s.tolist(), p.tolist(), o.tolist())) == [(0, 10, 100), (1, 10, 100)]
+
+    def test_packed_prefix_preserves_lexicographic_order(self):
+        import numpy as np
+
+        for depth in (1, 2, 3):
+            index = make_index("spo")
+            packed_info = index.packed_prefix(depth)
+            assert packed_info is not None
+            packed, multipliers, maxima = packed_info
+            assert (np.diff(packed) >= 0).all()
+            # Re-packing the keys by hand gives the same array.
+            expected = sum(
+                index.columns()[d].astype(object) * multipliers[d] for d in range(depth)
+            )
+            assert packed.tolist() == list(expected)
+
+    def test_packed_prefix_cache_invalidates_on_mutation(self):
+        index = make_index("spo")
+        before = index.packed_prefix(2)[0]
+        index.insert((7, 7, 7))
+        after = index.packed_prefix(2)[0]
+        assert after.shape[0] == before.shape[0] + 1

@@ -104,3 +104,88 @@ class TestHelpers:
     def test_pattern_bound_mask(self):
         pattern = TriplePattern(IRI(EX + "a"), Variable("p"), Literal("x"))
         assert pattern_bound_mask(pattern) == (True, False, True)
+
+
+class TestMutationRefresh:
+    """Statistics must follow store mutations instead of silently desyncing."""
+
+    def test_insert_refreshes_pattern_cardinality(self, statistics):
+        store = statistics.store
+        pattern = TriplePattern(Variable("s"), IRI(EX + "name"), Variable("o"))
+        assert statistics.pattern_cardinality(pattern) == 3
+        assert store.insert(Triple(IRI(EX + "p3"), IRI(EX + "name"), Literal("Dave")))
+        assert statistics.pattern_cardinality(pattern) == 4
+        assert statistics.summary()["triples"] == 7
+
+    def test_insert_refreshes_predicate_and_characteristic_stats(self, statistics):
+        store = statistics.store
+        store.insert(Triple(IRI(EX + "p2"), IRI(EX + "age"), Literal("41")))
+        age_id = store.encode_term(IRI(EX + "age"))
+        name_id = store.encode_term(IRI(EX + "name"))
+        assert statistics.predicate_count(age_id) == 3
+        # All three subjects now carry both name and age.
+        assert statistics.characteristic_set_count(frozenset([name_id, age_id])) == 3
+
+    def test_remove_refreshes_statistics(self, statistics):
+        store = statistics.store
+        pattern = TriplePattern(Variable("s"), IRI(EX + "age"), Variable("o"))
+        assert store.remove(Triple(IRI(EX + "p1"), IRI(EX + "age"), Literal("30")))
+        assert statistics.pattern_cardinality(pattern) == 1
+        assert statistics.summary()["triples"] == 5
+
+    def test_duplicate_insert_and_missing_remove_are_noops(self, statistics):
+        store = statistics.store
+        version = store.data_version
+        assert not store.insert(Triple(IRI(EX + "p0"), IRI(EX + "age"), Literal("30")))
+        assert not store.remove(Triple(IRI(EX + "p9"), IRI(EX + "age"), Literal("30")))
+        assert store.data_version == version
+
+    def test_staged_add_refreshes_on_next_access(self, statistics):
+        store = statistics.store
+        pattern = TriplePattern(Variable("s"), IRI(EX + "name"), Variable("o"))
+        store.add(Triple(IRI(EX + "p4"), IRI(EX + "name"), Literal("Eve")))
+        assert statistics.pattern_cardinality(pattern) == 4
+
+    def test_engine_estimates_follow_mutations(self):
+        from repro.engine import QueryEngine
+
+        store = make_store()
+        engine = QueryEngine(store)
+        query = "SELECT ?s WHERE { ?s <%sname> ?o }" % EX
+        assert len(engine.execute(query)) == 3
+        store.insert(Triple(IRI(EX + "p5"), IRI(EX + "name"), Literal("Fay")))
+        result = engine.execute(query)
+        assert len(result) == 4
+        # The optimizer's exact single-pattern estimate tracks the new data.
+        assert engine.statistics.pattern_cardinality(
+            TriplePattern(Variable("s"), IRI(EX + "name"), Variable("o"))
+        ) == 4
+
+    def test_concurrent_readers_survive_mutation_refresh(self):
+        import threading
+
+        store = make_store()
+        statistics = StoreStatistics(store).collect()
+        pattern = TriplePattern(Variable("s"), IRI(EX + "name"), Variable("o"))
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    count = statistics.pattern_cardinality(pattern)
+                    assert count >= 3
+                    statistics.summary()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for index in range(20):
+            store.insert(Triple(IRI(EX + "extra%d" % index), IRI(EX + "name"), Literal("X%d" % index)))
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not errors
+        assert statistics.pattern_cardinality(pattern) == 23
