@@ -6,8 +6,14 @@ Exposes the experiments and the curation pipeline without writing Python::
     python -m repro.cli experiment all --scale tiny
     python -m repro.cli curate bsbm_bi_q4 --scale small --classes 3
     python -m repro.cli generate bsbm --products 200 --output bsbm.nt
-    python -m repro.cli throughput bsbm_bi_q4 --scale tiny --workers 4 --baseline
+    python -m repro.cli throughput bsbm_bi_q4 --scale tiny --workers 4 --parallelism 4 --baseline
+    python -m repro.cli explain ldbc_q3 --scale tiny --parallelism 4
     python -m repro.cli scales
+
+Two concurrency knobs exist and are independent: ``--workers`` is the number
+of closed-loop *client* threads issuing queries at the service, while
+``--parallelism`` is the number of *morsel worker* threads a single query's
+operators fan out to inside the vector executor.
 
 The same entry point is installed as the ``repro-bench`` console script.
 """
@@ -61,10 +67,12 @@ _CURATABLE = {
     "ldbc_q3": (common.ldbc_engine, ldbc_template, common.ldbc_person_country_pair_space),
 }
 
-#: templates the throughput subcommand can serve (adds the join-heavy Q8,
-#: where plan caching pays off the most).
+#: templates the throughput/explain subcommands can serve (adds the
+#: join-heavy BSBM Q8, where plan caching pays off the most, and the
+#: OPTIONAL/UNION-heavy LDBC Q8 friend-profile template).
 _SERVABLE = dict(_CURATABLE)
 _SERVABLE["bsbm_bi_q8"] = (common.bsbm_engine, bsbm_template, common.bsbm_type_feature_space)
+_SERVABLE["ldbc_q8"] = (common.ldbc_engine, ldbc_template, common.ldbc_person_space)
 
 
 def _positive_int(value: str) -> int:
@@ -93,16 +101,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="vector",
         help="execution engine: vectorized id-space batches (default) or tuple-at-a-time",
     )
+    parallelism_kwargs = dict(
+        type=_positive_int,
+        default=1,
+        help="intra-query parallelism: morsel worker threads per query "
+        "(vector engine only; results are identical for every degree)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
     experiment.add_argument("--scale", default="small", choices=sorted(common.SCALES))
     experiment.add_argument("--engine", **engine_kwargs)
+    experiment.add_argument("--parallelism", **parallelism_kwargs)
 
     curate_parser = subparsers.add_parser("curate", help="curate the parameters of a benchmark template")
     curate_parser.add_argument("template", choices=sorted(_CURATABLE))
     curate_parser.add_argument("--scale", default="small", choices=sorted(common.SCALES))
     curate_parser.add_argument("--engine", **engine_kwargs)
+    curate_parser.add_argument("--parallelism", **parallelism_kwargs)
     curate_parser.add_argument("--candidates", type=int, default=100)
     curate_parser.add_argument("--tolerance", type=float, default=0.5)
     curate_parser.add_argument("--min-class-size", type=int, default=5)
@@ -131,7 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="distinct parameter bindings cycled through the run",
     )
     throughput.add_argument(
-        "--workers", type=_positive_int, default=4, help="closed-loop client threads"
+        "--workers",
+        type=_positive_int,
+        default=4,
+        help="client concurrency: closed-loop client threads issuing queries "
+        "at the service (distinct from --parallelism, the per-query morsel workers)",
     )
     throughput.add_argument(
         "--capacity",
@@ -141,25 +161,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     throughput.add_argument("--seed", type=int, default=42)
     throughput.add_argument("--engine", **engine_kwargs)
+    throughput.add_argument("--parallelism", **parallelism_kwargs)
     throughput.add_argument(
         "--baseline",
         action="store_true",
         help="also time the naive sequential path and report the speedup",
     )
 
+    explain = subparsers.add_parser(
+        "explain",
+        help="print the optimized plan of a template, annotated with the "
+        "physical operator each node lowers to",
+    )
+    explain.add_argument("template", choices=sorted(_SERVABLE))
+    explain.add_argument("--scale", default="tiny", choices=sorted(common.SCALES))
+    explain.add_argument("--engine", **engine_kwargs)
+    explain.add_argument("--parallelism", **parallelism_kwargs)
+    explain.add_argument(
+        "--seed", type=int, default=42, help="seed for sampling the parameter binding"
+    )
+
     subparsers.add_parser("scales", help="list the available dataset scale presets")
     return parser
 
 
-def _run_experiment(name: str, scale: str, executor: str, output) -> None:
+def _run_experiment(name: str, scale: str, executor: str, parallelism: int, output) -> None:
     runner = EXPERIMENTS[name]
-    result = runner(scale=scale, executor=executor)
+    result = runner(scale=scale, executor=executor, parallelism=parallelism)
     print(result.report(), file=output)
 
 
 def _run_curate(arguments, output) -> None:
     engine_factory, template_factory, space_factory = _CURATABLE[arguments.template]
-    engine = engine_factory(arguments.scale, arguments.engine)
+    engine = engine_factory(arguments.scale, arguments.engine, arguments.parallelism)
     template = template_factory(arguments.template)
     space = space_factory(arguments.scale)
     curated = curate(
@@ -176,7 +210,7 @@ def _run_curate(arguments, output) -> None:
 
 def _run_throughput(arguments, output) -> None:
     engine_factory, template_factory, space_factory = _SERVABLE[arguments.template]
-    engine = engine_factory(arguments.scale, arguments.engine)
+    engine = engine_factory(arguments.scale, arguments.engine, arguments.parallelism)
     template = template_factory(arguments.template)
     space = space_factory(arguments.scale)
 
@@ -189,12 +223,17 @@ def _run_throughput(arguments, output) -> None:
     served = runner.run_bindings(template, bindings, workers=arguments.workers)
     service_seconds = time.perf_counter() - started
 
-    title = "throughput: %s (%s scale, %d workers, %d executions, %d distinct bindings)" % (
-        arguments.template,
-        arguments.scale,
-        arguments.workers,
-        arguments.executions,
-        arguments.distinct,
+    title = (
+        "throughput: %s (%s scale, %d client workers, parallelism %d, "
+        "%d executions, %d distinct bindings)"
+        % (
+            arguments.template,
+            arguments.scale,
+            arguments.workers,
+            arguments.parallelism,
+            arguments.executions,
+            arguments.distinct,
+        )
     )
     print(service_report(service.service_stats(), title=title), file=output)
 
@@ -211,6 +250,27 @@ def _run_throughput(arguments, output) -> None:
         }
         print("", file=output)
         print(key_value_report(comparison, title="naive vs service"), file=output)
+
+
+def _run_explain(arguments, output) -> None:
+    engine_factory, template_factory, space_factory = _SERVABLE[arguments.template]
+    engine = engine_factory(arguments.scale, arguments.engine, arguments.parallelism)
+    template = template_factory(arguments.template)
+    space = space_factory(arguments.scale)
+    binding = UniformSampler(space, seed=arguments.seed).bindings(1)[0]
+    plan = engine.plan(template.instantiate(binding))
+    print(
+        "explain: %s (%s scale, %s engine, parallelism %d)"
+        % (arguments.template, arguments.scale, arguments.engine, arguments.parallelism),
+        file=output,
+    )
+    print(
+        "binding: %s"
+        % ", ".join("%s=%s" % (name, binding[name].n3()) for name in sorted(binding)),
+        file=output,
+    )
+    print("", file=output)
+    print(engine.explain(plan), file=output)
 
 
 def _run_generate(arguments, output_stream) -> None:
@@ -244,7 +304,7 @@ def main(argv: Optional[List[str]] = None, output=None) -> int:
         names = sorted(EXPERIMENTS) if arguments.name == "all" else [arguments.name]
         for name in names:
             print("== %s ==" % name, file=output)
-            _run_experiment(name, arguments.scale, arguments.engine, output)
+            _run_experiment(name, arguments.scale, arguments.engine, arguments.parallelism, output)
             print("", file=output)
         return 0
     if arguments.command == "curate":
@@ -252,6 +312,9 @@ def main(argv: Optional[List[str]] = None, output=None) -> int:
         return 0
     if arguments.command == "throughput":
         _run_throughput(arguments, output)
+        return 0
+    if arguments.command == "explain":
+        _run_explain(arguments, output)
         return 0
     if arguments.command == "generate":
         _run_generate(arguments, output)

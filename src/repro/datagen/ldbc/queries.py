@@ -29,6 +29,7 @@ PARAMETER_DOMAINS = {
     "ldbc_q5": ("person",),
     "ldbc_q6": ("person", "tag"),
     "ldbc_q7": ("country",),
+    "ldbc_q8": ("person",),
 }
 
 
@@ -146,6 +147,25 @@ def build_registry() -> TemplateRegistry:
         LIMIT 20
         """,
         description="Most active posters from a given country.",
+    )
+
+    registry.add(
+        "ldbc_q8",
+        """
+        SELECT ?friend ?lastName ?home ?item WHERE {
+          %person sn:knows ?friend .
+          ?friend sn:lastName ?lastName .
+          OPTIONAL { ?friend sn:livesIn ?home }
+          { ?item sn:hasCreator ?friend } UNION { ?item sn:hasMember ?friend }
+        }
+        ORDER BY ?lastName ?friend ?item
+        LIMIT 100
+        """,
+        description=(
+            "BI-style friend profile: every friend's activity (posts "
+            "authored unioned with forum memberships) left-joined with the "
+            "optional home city — the OPTIONAL/UNION-heavy executor workload."
+        ),
     )
 
     return registry

@@ -16,11 +16,12 @@ from .query_engine import (
     QueryEngine,
     QueryResult,
     binding_cache_key,
+    default_executor,
     execution_noise_key,
     make_executor,
 )
 from .runtime_model import MeasuredRuntimeModel, RuntimeModel
-from .vector import ColumnBatch, VectorExecutor
+from .vector import NULL_ID, ColumnBatch, VectorExecutor
 
 __all__ = [
     "Binding",
@@ -28,7 +29,9 @@ __all__ = [
     "EXECUTORS",
     "ExecutionProfile",
     "Executor",
+    "NULL_ID",
     "VectorExecutor",
+    "default_executor",
     "make_executor",
     "ExpressionError",
     "MeasuredRuntimeModel",

@@ -10,10 +10,12 @@ mappings, and records two things the rest of the library depends on:
   ...) that feed the simulated runtime model.
 
 The row-level operator bodies (filter, project, distinct, sort, aggregate,
-limit) are module functions shared with the vectorized executor
-(:mod:`repro.engine.vector`), which switches from id-space batches to
-materialised rows above a GROUP BY: keeping one implementation guarantees
-both executors produce identical rows and identical work counters.
+limit) are module functions so they read as the executable specification of
+each operator's semantics.  The vectorized executor
+(:mod:`repro.engine.vector`) no longer calls them — it runs every operator
+in id space — but must reproduce their behaviour bit for bit (same rows,
+same order, same work counters); ``tests/test_executor_equivalence.py``
+enforces that contract on random graphs and every experiment template.
 """
 
 from __future__ import annotations
@@ -191,6 +193,22 @@ class Executor:
 
     def __init__(self, store: TripleStore):
         self.store = store
+
+    def physical_annotation(self, node: PlanNode) -> str:
+        """Short physical-operator label for one plan node (``explain``)."""
+        if isinstance(node, ScanNode):
+            return "tuple index scan"
+        if isinstance(node, JoinNode):
+            if node.method == JoinNode.LOOKUP:
+                return "tuple index-lookup join (per-row probes)"
+            if node.method == JoinNode.NESTED_LOOP:
+                return "tuple nested-loop join"
+            return "tuple hash join"
+        if isinstance(node, LeftJoinNode):
+            return "tuple left-outer hash join"
+        if isinstance(node, UnionNode):
+            return "tuple append"
+        return "tuple row operator"
 
     def execute(self, plan: PlanNode) -> Tuple[List[Binding], ExecutionProfile]:
         """Run the plan; return (solution mappings, execution profile)."""

@@ -9,6 +9,7 @@ and actual ``Cout``, and the simulated runtime.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Mapping, Optional, Union
 
 from ..rdf.graph import Graph
@@ -29,18 +30,29 @@ from .vector import VectorExecutor
 EXECUTORS = ("vector", "tuple")
 
 
-def make_executor(name: str, store: TripleStore):
+def default_executor() -> str:
+    """The executor name used when none is given explicitly.
+
+    Reads the ``REPRO_EXECUTOR`` environment variable (CI runs the tier-1
+    suite under both executors through it); defaults to ``"vector"``.
+    """
+    return os.environ.get("REPRO_EXECUTOR", "vector")
+
+
+def make_executor(name: str, store: TripleStore, parallelism: int = 1):
     """Instantiate an executor by name (``"vector"`` or ``"tuple"``).
 
     The vector executor processes id-space column batches and decodes terms
     only at SELECT output; the tuple executor materialises every intermediate
     result.  Both produce identical rows, profiles and simulated runtimes —
-    only the wall clock differs.
+    only the wall clock differs.  ``parallelism`` sets the vector executor's
+    morsel worker count (the tuple executor is inherently serial and ignores
+    it); results are bit-identical for every degree.
     """
     if name == "tuple":
         return Executor(store)
     if name == "vector":
-        return VectorExecutor(store)
+        return VectorExecutor(store, parallelism=parallelism)
     raise ValueError("unknown executor %r (have %s)" % (name, ", ".join(EXECUTORS)))
 
 
@@ -108,25 +120,27 @@ class QueryEngine:
         data: Union[Graph, TripleStore],
         join_ordering: str = "dp",
         runtime_model: Optional[RuntimeModel] = None,
-        executor: str = "vector",
+        executor: Optional[str] = None,
+        parallelism: int = 1,
     ):
         self.store = data.store if isinstance(data, Graph) else data
         self.store.finalise()
         self.statistics = StoreStatistics(self.store).collect()
         self.optimizer = Optimizer(self.statistics, join_ordering=join_ordering)
-        self.executor_name = executor
-        self.executor = make_executor(executor, self.store)
+        self.executor_name = executor if executor is not None else default_executor()
+        self.parallelism = max(1, int(parallelism))
+        self.executor = make_executor(self.executor_name, self.store, self.parallelism)
         self.runtime_model = runtime_model if runtime_model is not None else RuntimeModel()
 
-    def with_executor(self, executor: str) -> "QueryEngine":
+    def _sibling(self, executor: str, parallelism: int) -> "QueryEngine":
         """A sibling engine sharing store, statistics, optimizer and runtime
-        model but executing plans with a different executor.
+        model but executing plans with a different executor configuration.
 
         Plans and simulated runtimes are identical across siblings by
         construction; only the wall clock changes.  Used by the executor
         benchmarks and the equivalence tests.
         """
-        if executor == self.executor_name:
+        if executor == self.executor_name and parallelism == self.parallelism:
             return self
         sibling = self.__class__.__new__(self.__class__)
         sibling.store = self.store
@@ -134,8 +148,17 @@ class QueryEngine:
         sibling.optimizer = self.optimizer
         sibling.runtime_model = self.runtime_model
         sibling.executor_name = executor
-        sibling.executor = make_executor(executor, self.store)
+        sibling.parallelism = max(1, int(parallelism))
+        sibling.executor = make_executor(executor, self.store, sibling.parallelism)
         return sibling
+
+    def with_executor(self, executor: str) -> "QueryEngine":
+        """Sibling engine running plans with a different executor."""
+        return self._sibling(executor, self.parallelism)
+
+    def with_parallelism(self, parallelism: int) -> "QueryEngine":
+        """Sibling engine with a different intra-query morsel parallelism."""
+        return self._sibling(self.executor_name, parallelism)
 
     # -- planning ------------------------------------------------------------------
 
@@ -148,6 +171,16 @@ class QueryEngine:
                 "template first" % (parsed.parameters(),)
             )
         return self.optimizer.optimize(translate_query(parsed))
+
+    def explain(self, query: Union[str, SelectQuery, PlanNode]) -> str:
+        """The optimized plan tree annotated with physical operators.
+
+        Each line carries the logical operator (with estimated rows) plus
+        the physical operator the configured executor would run it with,
+        including the morsel parallel degree where it applies.
+        """
+        plan = query if isinstance(query, PlanNode) else self.plan(query)
+        return plan.pretty(annotate=self.executor.physical_annotation)
 
     # -- execution ------------------------------------------------------------------
 

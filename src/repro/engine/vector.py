@@ -10,7 +10,7 @@ nested-loop joins, boolean-mask filters), and ids are decoded to
 :class:`~repro.rdf.terms.Term` objects only at SELECT output — late
 materialization, as in MonetDB-style columnar engines.
 
-**Equivalence contract.**  For every plan it covers, the vector executor
+**Equivalence contract.**  The vector executor executes *every* plan and
 produces *identical* output to the tuple executor: the same rows in the
 same order, the same :class:`~repro.engine.executor.ExecutionProfile` work
 counters and per-node output cardinalities, and therefore the same
@@ -18,32 +18,51 @@ simulated runtimes and benchmark records.  ``tests/test_executor_equivalence.py`
 asserts this property on random graphs and on every E1–E4 experiment
 template.
 
-**Lowering and fallback.**  :meth:`VectorExecutor.covers` is the physical-
-plan lowering check: plans containing OPTIONAL (left join), UNION or BIND
-(extend) — constructs whose unbound-variable semantics the id-space
-representation does not model — are delegated to the tuple executor
-wholesale, so results never depend on which executor is configured.
-Above a GROUP BY the executor switches to materialised rows and runs the
-shared row-level operators from :mod:`repro.engine.executor` (aggregate
-outputs are freshly computed literals that have no dictionary ids).
+**Unbound variables (validity masks).**  Solution mappings may leave
+variables unbound (OPTIONAL, UNION over unequal variable sets, failed BIND,
+grouping on a partially bound variable).  Id columns represent an unbound
+value with the :data:`NULL_ID` sentinel; :meth:`ColumnBatch.validity`
+exposes the per-column validity mask and ``ColumnBatch.nullable`` tracks
+which columns can contain nulls so fully bound columns pay nothing.  Join
+keys compare null-to-null (the tuple executor's ``row.get`` semantics),
+merges prefer the bound side, and nulls vanish at materialization.
 
-**Expression evaluation.**  FILTER and ORDER BY expressions are not
+**Expression-valued columns.**  BIND and aggregate outputs are freshly
+computed literals that have no dictionary id.  The executor assigns such
+terms *extension ids* (negative, below :data:`NULL_ID`) from a per-query
+side table keyed by the term's canonical N3 form, so expression results
+flow through joins, DISTINCT, ORDER BY and GROUP BY in pure id space like
+any stored term and decode at the SELECT boundary.  The table is
+thread-local and reset per ``execute`` call: ids never outlive the query
+that allocated them, so concurrent serving neither shares nor leaks them.
+
+**Expression evaluation.**  FILTER, BIND and ORDER BY expressions are not
 evaluated per row; they are evaluated once per *distinct* id combination
-of the variables they touch and the verdicts broadcast back — on skewed
+of the variables they touch and the results broadcast back — on skewed
 benchmark data the distinct count sits orders of magnitude below the row
 count.  Term-identity comparisons against IRI constants
 (``FILTER(?x != <iri>)``) shortcut to pure id comparisons without decoding
 anything.
+
+**Morsel-driven parallelism.**  With ``parallelism > 1`` the executor owns
+a worker pool and splits the probe side of hash, left-outer and index
+lookup joins (and repeated-variable scan compaction) into fixed-size
+*morsels* executed concurrently; hash tables and index structures are built
+once and shared read-only.  Morsel results are concatenated in morsel
+order, so output is bit-identical for every parallelism degree — the knob
+only changes wall-clock time.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from math import log2
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..rdf.terms import IRI, Variable
+from ..rdf.terms import IRI, Term, Variable
 from ..sparql.ast import BinaryExpression, Expression, TermExpression
 from ..store.indexes import PACK_LIMIT
 from ..store.triple_store import TripleStore
@@ -62,16 +81,7 @@ from ..optimizer.plans import (
     SortNode,
     UnionNode,
 )
-from .executor import (
-    ExecutionProfile,
-    Executor,
-    aggregate_rows,
-    distinct_rows,
-    filter_rows,
-    limit_rows,
-    project_rows,
-    sort_rows,
-)
+from .executor import ExecutionProfile
 from .operators import (
     Binding,
     ExpressionError,
@@ -84,18 +94,16 @@ from .operators import (
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
-#: node types the vector path can execute (modulo the lookup-join shape check)
-_COVERED_NODES = (
-    ScanNode,
-    SingletonNode,
-    FilterNode,
-    JoinNode,
-    AggregateNode,
-    SortNode,
-    ProjectNode,
-    DistinctNode,
-    LimitNode,
-)
+#: Sentinel id of an unbound variable inside an id column.  Dictionary ids
+#: are non-negative; extension ids (BIND/aggregate outputs) are <= -2.
+NULL_ID = -1
+
+#: Rows per morsel when splitting probe work across the worker pool.
+MORSEL_SIZE = 8192
+
+#: Probe batches smaller than this run serially even with parallelism > 1
+#: (thread handoff would cost more than the kernel).
+MIN_PARALLEL_ROWS = 8192
 
 
 class ColumnBatch:
@@ -103,15 +111,41 @@ class ColumnBatch:
 
     All columns share ``length``; ``variables`` fixes a stable column order
     (binding dicts are order-insensitive, but deterministic iteration keeps
-    the executor reproducible).
+    the executor reproducible).  ``nullable`` names the columns that may
+    contain :data:`NULL_ID` (unbound) entries; columns outside it are
+    guaranteed fully valid, so operators skip null handling for them.
     """
 
-    __slots__ = ("variables", "columns", "length")
+    __slots__ = ("variables", "columns", "length", "nullable")
 
-    def __init__(self, variables: List[Variable], columns: Dict[Variable, np.ndarray], length: int):
+    def __init__(
+        self,
+        variables: List[Variable],
+        columns: Dict[Variable, np.ndarray],
+        length: int,
+        nullable: frozenset = frozenset(),
+    ):
         self.variables = variables
         self.columns = columns
         self.length = length
+        self.nullable = nullable
+
+    def validity(self, variable: Variable) -> np.ndarray:
+        """Boolean validity mask of one column (True where bound)."""
+        if variable not in self.nullable:
+            return np.ones(self.length, dtype=bool)
+        return self.columns[variable] != NULL_ID
+
+    def column_or_null(self, variable: Variable) -> np.ndarray:
+        """The id column of ``variable``, or an all-null column if absent.
+
+        Mirrors the tuple executor's ``row.get(variable)`` returning
+        ``None`` for variables a solution mapping does not bind.
+        """
+        column = self.columns.get(variable)
+        if column is None:
+            return np.full(self.length, NULL_ID, dtype=np.int64)
+        return column
 
     def take(self, indexer) -> "ColumnBatch":
         """Gather rows by an integer array or slice (order-preserving)."""
@@ -122,33 +156,31 @@ class ColumnBatch:
             length = len(range(*indexer.indices(self.length)))
         else:
             length = int(np.asarray(indexer).shape[0])
-        return ColumnBatch(list(self.variables), columns, length)
-
-
-#: what flows between operators: an id-space batch, or materialised rows
-#: (row mode starts at the aggregate operator).
-BatchOrRows = Union[ColumnBatch, List[Binding]]
+        return ColumnBatch(list(self.variables), columns, length, self.nullable)
 
 
 def _row_codes(columns: Sequence[np.ndarray], length: int) -> np.ndarray:
     """Combine id columns into one dense int64 code per row.
 
     Equal codes <=> equal id tuples.  Columns are folded in with
-    positional multipliers; when the running value range would overflow
-    int64 the partial codes are re-densified through ``np.unique`` first.
+    positional multipliers; each column is shifted by its minimum first so
+    null sentinels and extension ids (negative) pack like any other value.
+    When the running value range would overflow int64 the partial codes are
+    re-densified through ``np.unique``.
     """
     codes = np.zeros(length, dtype=np.int64)
     if length == 0:
         return codes
     current_max = 0
     for column in columns:
-        column_max = int(column.max())
+        column_min = int(column.min())
+        column_max = int(column.max()) - column_min
         base = column_max + 1
         if current_max >= PACK_LIMIT // base:
             _, codes = np.unique(codes, return_inverse=True)
             codes = codes.astype(np.int64, copy=False)
             current_max = int(codes.max())
-        codes = codes * base + column
+        codes = codes * base + (column - column_min)
         current_max = current_max * base + column_max
     return codes
 
@@ -163,19 +195,23 @@ def _pair_codes(
     right = np.zeros(n_right, dtype=np.int64)
     current_max = 0
     for left_column, right_column in zip(left_columns, right_columns):
+        column_min = 0
         column_max = 0
         if n_left:
+            column_min = min(column_min, int(left_column.min()))
             column_max = max(column_max, int(left_column.max()))
         if n_right:
+            column_min = min(column_min, int(right_column.min()))
             column_max = max(column_max, int(right_column.max()))
+        column_max -= column_min
         base = column_max + 1
         if current_max >= PACK_LIMIT // base:
             _, inverse = np.unique(np.concatenate([left, right]), return_inverse=True)
             left = inverse[:n_left].astype(np.int64, copy=False)
             right = inverse[n_left:].astype(np.int64, copy=False)
             current_max = int(max(left.max(initial=0), right.max(initial=0)))
-        left = left * base + left_column
-        right = right * base + right_column
+        left = left * base + (left_column - column_min)
+        right = right * base + (right_column - column_min)
         current_max = current_max * base + column_max
     return left, right
 
@@ -196,65 +232,128 @@ def _expand_ranges(lows: np.ndarray, highs: np.ndarray) -> Tuple[np.ndarray, np.
 
 
 class VectorExecutor:
-    """Executes covered plans batch-at-a-time in id space.
+    """Executes every plan batch-at-a-time in id space.
 
     Drop-in replacement for :class:`~repro.engine.executor.Executor`:
     ``execute(plan) -> (rows, profile)`` with identical output.
+    ``parallelism`` sets the morsel worker count (1 = serial); any value
+    produces bit-identical results.
     """
 
-    def __init__(self, store: TripleStore):
+    def __init__(self, store: TripleStore, parallelism: int = 1):
         self.store = store
-        #: plans outside the covered subset run tuple-at-a-time instead
-        self.tuple_executor = Executor(store)
+        self.parallelism = max(1, int(parallelism))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        # Extension ids for terms outside the store dictionary (BIND and
+        # aggregate outputs), keyed by canonical N3.  Ids are <= -2 and
+        # only meaningful within one query's batches, so the tables live
+        # in thread-local storage and are reset at the top of every
+        # ``execute`` call — concurrently served queries never share them
+        # and long-lived services never accumulate interned terms.
+        self._extension = threading.local()
 
-    # -- lowering ---------------------------------------------------------------
+    # -- id <-> term codec -------------------------------------------------------
 
-    def covers(self, node: PlanNode) -> bool:
-        """Physical-plan lowering check: can this tree run in id space?
+    def _extension_tables(self) -> Tuple[Dict[str, int], Dict[int, Term]]:
+        """This thread's (n3 -> id, id -> term) extension tables."""
+        try:
+            return self._extension.ids, self._extension.terms
+        except AttributeError:
+            self._extension.ids = {}
+            self._extension.terms = {}
+            return self._extension.ids, self._extension.terms
 
-        False for OPTIONAL / UNION / BIND subtrees (unbound-variable
-        semantics) and for join shapes the kernels do not handle; such
-        plans are executed by the tuple executor instead.
+    def _reset_extension_tables(self) -> None:
+        self._extension.ids = {}
+        self._extension.terms = {}
+
+    def _decode(self, term_id: int) -> Optional[Term]:
+        """Decode any id: dictionary, null sentinel, or extension table."""
+        if term_id >= 0:
+            return self.store.decode_id(term_id)
+        if term_id == NULL_ID:
+            return None
+        return self._extension_tables()[1][term_id]
+
+    def _encode_result_term(self, term: Term) -> int:
+        """Id for an expression result, allocating an extension id if new."""
+        term_id = self.store.encode_term(term)
+        if term_id is not None:
+            return term_id
+        ids, terms = self._extension_tables()
+        key = term.n3()
+        term_id = ids.get(key)
+        if term_id is None:
+            term_id = -2 - len(ids)
+            ids[key] = term_id
+            terms[term_id] = term
+        return term_id
+
+    def _lookup_constant(self, term: Term) -> Optional[int]:
+        """Id of a constant if it can occur in any column, else ``None``."""
+        term_id = self.store.encode_term(term)
+        if term_id is not None:
+            return term_id
+        return self._extension_tables()[0].get(term.n3())
+
+    # -- morsel scheduling -------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.parallelism,
+                        thread_name_prefix="repro-morsel",
+                    )
+        return self._pool
+
+    def _run_morsels(self, total: int, worker: Callable[[int, int], object]) -> List[object]:
+        """Run ``worker(low, high)`` over morsels of ``range(total)``.
+
+        Returns the chunk results in morsel order (concatenating them
+        reproduces the serial result exactly).  Falls back to one serial
+        call when parallelism is off or the input is too small to amortize
+        thread handoff.
         """
-        if isinstance(node, (LeftJoinNode, UnionNode, ExtendNode)):
-            return False
-        if not isinstance(node, _COVERED_NODES):
-            return False
-        if isinstance(node, JoinNode):
-            shared = set(node.left.output_variables()) & set(node.right.output_variables())
-            if not shared <= set(node.join_variables):
-                return False
-            if node.method == JoinNode.LOOKUP:
-                right = node.right
-                while isinstance(right, FilterNode):
-                    right = right.child
-                if not isinstance(right, ScanNode):
-                    return False
-                return self.covers(node.left)
-        return all(self.covers(child) for child in node.children())
+        if self.parallelism <= 1 or total < MIN_PARALLEL_ROWS:
+            return [worker(0, total)]
+        size = max(MORSEL_SIZE, -(-total // (4 * self.parallelism)))
+        bounds = list(range(0, total, size)) + [total]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(worker, low, high) for low, high in zip(bounds, bounds[1:])
+        ]
+        return [future.result() for future in futures]
 
     # -- execution --------------------------------------------------------------
 
     def execute(self, plan: PlanNode) -> Tuple[List[Binding], ExecutionProfile]:
         """Run the plan; return (solution mappings, execution profile)."""
-        if not self.covers(plan):
-            return self.tuple_executor.execute(plan)
+        self._reset_extension_tables()
         profile = ExecutionProfile()
-        result = self._execute(plan, profile)
-        rows = result if isinstance(result, list) else self._materialise(result)
+        batch = self._execute(plan, profile)
+        rows = self._materialise(batch)
         profile.result_rows = len(rows)
         profile.add_work("output_tuple", len(rows))
         return rows, profile
 
-    def _execute(self, node: PlanNode, profile: ExecutionProfile) -> BatchOrRows:
+    def _execute(self, node: PlanNode, profile: ExecutionProfile) -> ColumnBatch:
         if isinstance(node, ScanNode):
-            result: BatchOrRows = self._scan(node, profile)
+            result = self._scan(node, profile)
         elif isinstance(node, SingletonNode):
             result = ColumnBatch([], {}, 1)
         elif isinstance(node, FilterNode):
             result = self._filter(node, profile)
         elif isinstance(node, JoinNode):
             result = self._join(node, profile)
+        elif isinstance(node, LeftJoinNode):
+            result = self._left_join(node, profile)
+        elif isinstance(node, UnionNode):
+            result = self._union(node, profile)
+        elif isinstance(node, ExtendNode):
+            result = self._extend(node, profile)
         elif isinstance(node, AggregateNode):
             result = self._aggregate(node, profile)
         elif isinstance(node, SortNode):
@@ -265,20 +364,58 @@ class VectorExecutor:
             result = self._distinct(node, profile)
         elif isinstance(node, LimitNode):
             result = self._limit(node, profile)
-        else:  # pragma: no cover - covers() keeps this unreachable
+        else:
             raise TypeError("unsupported plan node %r" % (node,))
-        profile.record_output(
-            node, result.length if isinstance(result, ColumnBatch) else len(result)
-        )
+        profile.record_output(node, result.length)
         return result
+
+    # -- physical plan annotation (explain) --------------------------------------
+
+    def physical_annotation(self, node: PlanNode) -> str:
+        """Short physical-operator label for one plan node (``explain``)."""
+        morsels = " [morsels x%d]" % self.parallelism if self.parallelism > 1 else ""
+        if isinstance(node, ScanNode):
+            return "vector index-range scan" + morsels
+        if isinstance(node, JoinNode):
+            if node.method == JoinNode.LOOKUP:
+                return "vector batched index-lookup join" + morsels
+            if node.method == JoinNode.NESTED_LOOP:
+                return "vector cross product"
+            return "vector hash join" + morsels
+        if isinstance(node, LeftJoinNode):
+            return "vector left-outer hash join" + morsels
+        if isinstance(node, UnionNode):
+            return "vector batch concatenation"
+        if isinstance(node, ExtendNode):
+            return "vector expression column (per distinct input)"
+        if isinstance(node, AggregateNode):
+            return "vector grouped aggregation"
+        if isinstance(node, SortNode):
+            return "vector rank sort (per distinct key)"
+        if isinstance(node, FilterNode):
+            return "vector mask filter"
+        if isinstance(node, DistinctNode):
+            return "vector code distinct"
+        if isinstance(node, ProjectNode):
+            return "vector column projection"
+        if isinstance(node, LimitNode):
+            return "vector slice"
+        if isinstance(node, SingletonNode):
+            return "vector singleton"
+        return "vector"
 
     # -- leaf operators ----------------------------------------------------------
 
     def _scan(self, node: ScanNode, profile: ExecutionProfile) -> ColumnBatch:
-        arrays = self.store.scan_pattern_arrays(node.pattern)
+        pattern = node.pattern
+        repeated = self.store.pattern_has_repeated_variables(pattern)
+        if repeated and self.parallelism > 1:
+            arrays = self._scan_morsels(pattern)
+        else:
+            arrays = self.store.scan_pattern_arrays(pattern)
         variables: List[Variable] = []
         columns: Dict[Variable, np.ndarray] = {}
-        for position, term in enumerate(node.pattern):
+        for position, term in enumerate(pattern):
             if isinstance(term, Variable) and term not in columns:
                 variables.append(term)
                 columns[term] = arrays[position]
@@ -286,30 +423,42 @@ class VectorExecutor:
         profile.add_work("scan_tuple", length)
         return ColumnBatch(variables, columns, length)
 
+    def _scan_morsels(self, pattern) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Repeated-variable scan compacted morsel-by-morsel in parallel."""
+        morsels = self.store.scan_pattern_morsels(pattern, MORSEL_SIZE)
+        if len(morsels) <= 1:
+            return self.store.scan_pattern_arrays(pattern)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self.store.filter_repeated_variables, pattern, *morsel)
+            for morsel in morsels
+        ]
+        parts = [future.result() for future in futures]
+        return tuple(np.concatenate([part[i] for part in parts]) for i in range(3))
+
     # -- unary operators ----------------------------------------------------------
 
-    def _filter(self, node: FilterNode, profile: ExecutionProfile) -> BatchOrRows:
+    def _filter(self, node: FilterNode, profile: ExecutionProfile) -> ColumnBatch:
         child = self._execute(node.child, profile)
-        if isinstance(child, list):
-            return filter_rows(node.expression, child, profile)
         profile.add_work("filter_tuple", child.length)
         mask = self._filter_mask(child, node.expression)
         if mask.all():
             return child
         return child.take(np.flatnonzero(mask))
 
-    def _project(self, node: ProjectNode, profile: ExecutionProfile) -> BatchOrRows:
+    def _project(self, node: ProjectNode, profile: ExecutionProfile) -> ColumnBatch:
         child = self._execute(node.child, profile)
-        if isinstance(child, list):
-            return project_rows(node.projected, child, profile)
         profile.add_work("project_tuple", child.length)
         kept = [variable for variable in node.projected if variable in child.columns]
-        return ColumnBatch(kept, {variable: child.columns[variable] for variable in kept}, child.length)
+        return ColumnBatch(
+            kept,
+            {variable: child.columns[variable] for variable in kept},
+            child.length,
+            frozenset(variable for variable in kept if variable in child.nullable),
+        )
 
-    def _distinct(self, node: DistinctNode, profile: ExecutionProfile) -> BatchOrRows:
+    def _distinct(self, node: DistinctNode, profile: ExecutionProfile) -> ColumnBatch:
         child = self._execute(node.child, profile)
-        if isinstance(child, list):
-            return distinct_rows(child, profile)
         profile.add_work("distinct_tuple", child.length)
         if child.length == 0:
             return child
@@ -318,17 +467,13 @@ class VectorExecutor:
             return child
         return child.take(np.sort(first_indices))
 
-    def _limit(self, node: LimitNode, profile: ExecutionProfile) -> BatchOrRows:
+    def _limit(self, node: LimitNode, profile: ExecutionProfile) -> ColumnBatch:
         child = self._execute(node.child, profile)
-        if isinstance(child, list):
-            return limit_rows(node.limit, node.offset, child)
         end = child.length if node.limit is None else node.offset + node.limit
         return child.take(slice(node.offset, end))
 
-    def _sort(self, node: SortNode, profile: ExecutionProfile) -> BatchOrRows:
+    def _sort(self, node: SortNode, profile: ExecutionProfile) -> ColumnBatch:
         child = self._execute(node.child, profile)
-        if isinstance(child, list):
-            return sort_rows(node.conditions, child, profile)
         count = child.length
         if count > 1:
             profile.add_work("sort_tuple_log", count * max(1.0, log2(count)))
@@ -348,10 +493,7 @@ class VectorExecutor:
             inverse, representatives = self._factorize(child, variables)
             keys = []
             for row_index in representatives.tolist():
-                binding = {
-                    variable: self.store.decode_id(int(child.columns[variable][row_index]))
-                    for variable in variables
-                }
+                binding = self._representative_binding(child, variables, row_index)
                 try:
                     keys.append(ordering_key(evaluate(condition.expression, binding)))
                 except ExpressionError:
@@ -370,24 +512,76 @@ class VectorExecutor:
         permutation = np.lexsort(tuple(reversed(rank_columns)))
         return child.take(permutation)
 
-    def _aggregate(self, node: AggregateNode, profile: ExecutionProfile) -> List[Binding]:
+    def _extend(self, node: ExtendNode, profile: ExecutionProfile) -> ColumnBatch:
+        """BIND: evaluate once per distinct input combination, broadcast ids."""
         child = self._execute(node.child, profile)
-        if isinstance(child, list):
-            return aggregate_rows(node, child, profile)
+        profile.add_work("extend_tuple", child.length)
+        variables = [
+            variable for variable in node.expression.variables() if variable in child.columns
+        ]
+        existing = child.columns.get(node.variable)
         if child.length == 0:
-            return aggregate_rows(node, [], profile)
+            column = _EMPTY
+            has_error = False
+        else:
+            inverse, representatives = self._factorize(child, variables)
+            ids = np.empty(representatives.shape[0], dtype=np.int64)
+            errors = np.zeros(representatives.shape[0], dtype=bool)
+            has_error = False
+            for position, row_index in enumerate(representatives.tolist()):
+                binding = self._representative_binding(child, variables, row_index)
+                try:
+                    ids[position] = self._encode_result_term(
+                        value_to_term(evaluate(node.expression, binding))
+                    )
+                except ExpressionError:
+                    # leave the variable as it was (unbound if it was new),
+                    # per SPARQL BIND semantics and the tuple executor
+                    ids[position] = NULL_ID
+                    errors[position] = True
+                    has_error = True
+            column = ids[inverse]
+            if has_error and existing is not None:
+                column = np.where(errors[inverse], existing, column)
+        out_variables = list(child.variables)
+        if node.variable not in out_variables:
+            out_variables.append(node.variable)
+        columns = dict(child.columns)
+        columns[node.variable] = column
+        nullable = set(child.nullable)
+        nullable.discard(node.variable)
+        if has_error and (existing is None or node.variable in child.nullable):
+            nullable.add(node.variable)
+        return ColumnBatch(out_variables, columns, child.length, frozenset(nullable))
+
+    def _aggregate(self, node: AggregateNode, profile: ExecutionProfile) -> ColumnBatch:
+        child = self._execute(node.child, profile)
         length = child.length
         profile.add_work("aggregate_tuple", length)
-        decode = self.store.decode_id
         group_variables = [
             variable for variable in node.group_variables if variable in child.columns
         ]
-        inverse, representatives = self._factorize(child, group_variables)
-        group_count = int(representatives.shape[0])
-        sizes = np.bincount(inverse, minlength=group_count)
+        if length:
+            inverse, representatives = self._factorize(child, group_variables)
+            group_count = int(representatives.shape[0])
+            sizes = np.bincount(inverse, minlength=group_count)
+        elif node.group_variables:
+            # No input rows and explicit grouping: no groups at all.
+            inverse = _EMPTY
+            representatives = _EMPTY
+            group_count = 0
+            sizes = _EMPTY
+        else:
+            # Aggregates over an empty input still produce a single row
+            # (e.g. COUNT(*) = 0).
+            inverse = _EMPTY
+            representatives = None
+            group_count = 1
+            sizes = np.zeros(1, dtype=np.int64)
 
-        # COUNT(*) and COUNT(?boundVar) are just group sizes; anything else
-        # evaluates the shared aggregate semantics over minimal per-group rows.
+        # COUNT(*) and COUNT(?boundVar) over a null-free column are just
+        # group sizes; anything else evaluates the shared aggregate
+        # semantics over minimal per-group rows.
         plans = []
         needed_variables: set = set()
         for variable, aggregate in node.aggregates:
@@ -398,6 +592,7 @@ class VectorExecutor:
                     and isinstance(aggregate.argument, TermExpression)
                     and isinstance(aggregate.argument.term, Variable)
                     and aggregate.argument.term in child.columns
+                    and aggregate.argument.term not in child.nullable
                 )
             )
             plans.append((variable, aggregate, trivial_count))
@@ -409,63 +604,181 @@ class VectorExecutor:
             term_columns = {
                 variable: self._decode_column(child.columns[variable]) for variable in needed
             }
-            row_order = np.argsort(inverse, kind="stable")
-            boundaries = np.cumsum(sizes)[:-1]
-            for piece in np.split(row_order, boundaries):
-                rows_by_group.append(
-                    [
-                        {variable: term_columns[variable][row] for variable in needed}
-                        for row in piece.tolist()
-                    ]
-                )
+            if length:
+                row_order = np.argsort(inverse, kind="stable")
+                boundaries = np.cumsum(sizes)[:-1]
+                pieces = np.split(row_order, boundaries)
+            else:
+                pieces = [np.empty(0, dtype=np.int64)] * group_count
+            for piece in pieces:
+                group_rows: List[Binding] = []
+                for row in piece.tolist():
+                    binding: Binding = {}
+                    for variable in needed:
+                        term = term_columns[variable][row]
+                        if term is not None:
+                            binding[variable] = term
+                    group_rows.append(binding)
+                rows_by_group.append(group_rows)
 
         # Group output order follows the tuple executor: sorted by the
         # stringified (n3-or-None) group key parts.
         key_parts: List[tuple] = []
-        for representative in representatives.tolist():
-            key_parts.append(
-                tuple(
-                    decode(int(child.columns[variable][representative])).n3()
-                    if variable in child.columns
-                    else None
-                    for variable in node.group_variables
+        for group in range(group_count):
+            parts = []
+            for variable in node.group_variables:
+                term_id = (
+                    int(child.columns[variable][representatives[group]])
+                    if variable in child.columns and representatives is not None
+                    else NULL_ID
                 )
-            )
+                parts.append(None if term_id == NULL_ID else self._decode(term_id).n3())
+            key_parts.append(tuple(parts))
         group_order = sorted(
             range(group_count), key=lambda g: tuple(str(part) for part in key_parts[g])
         )
 
-        result: List[Binding] = []
-        for group in group_order:
-            representative = int(representatives[group])
-            output: Binding = {}
-            for variable in node.group_variables:
-                if variable in child.columns:
-                    output[variable] = decode(int(child.columns[variable][representative]))
-            for variable, aggregate, trivial_count in plans:
+        # Assemble the output batch: group-key columns gathered from the
+        # representatives, aggregate columns encoded through the id codec.
+        out_variables: List[Variable] = list(group_variables)
+        for variable, _aggregate in node.aggregates:
+            if variable not in out_variables:
+                out_variables.append(variable)
+        out_columns: Dict[Variable, np.ndarray] = {}
+        nullable = set()
+        order_array = np.asarray(group_order, dtype=np.int64)
+        for variable in group_variables:
+            if group_count and representatives is not None:
+                gathered = child.columns[variable][representatives][order_array]
+            else:
+                gathered = _EMPTY
+            out_columns[variable] = gathered
+            if variable in child.nullable:
+                nullable.add(variable)
+        for variable, aggregate, trivial_count in plans:
+            ids = np.empty(len(group_order), dtype=np.int64)
+            for position, group in enumerate(group_order):
                 if trivial_count:
-                    output[variable] = value_to_term(int(sizes[group]))
-                else:
-                    try:
-                        output[variable] = value_to_term(
-                            evaluate_aggregate(aggregate, rows_by_group[group])
-                        )
-                    except ExpressionError:
-                        pass
-            result.append(output)
-        return result
+                    ids[position] = self._encode_result_term(value_to_term(int(sizes[group])))
+                    continue
+                try:
+                    ids[position] = self._encode_result_term(
+                        value_to_term(evaluate_aggregate(aggregate, rows_by_group[group]))
+                    )
+                except ExpressionError:
+                    ids[position] = NULL_ID
+                    nullable.add(variable)
+            out_columns[variable] = ids
+        return ColumnBatch(out_variables, out_columns, len(group_order), frozenset(nullable))
 
     # -- binary operators ----------------------------------------------------------
+
+    def _join_codes(
+        self, build: ColumnBatch, probe: ColumnBatch, variables: Sequence[Variable]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Comparable row codes over the join key, null-aware.
+
+        A variable missing from a side contributes an all-null column, so
+        codes reproduce the tuple executor's ``row.get``-based join keys
+        (null matches null, never a bound value).
+        """
+        return _pair_codes(
+            [build.column_or_null(variable) for variable in variables],
+            [probe.column_or_null(variable) for variable in variables],
+        )
+
+    def _merge_gather(
+        self,
+        probe: ColumnBatch,
+        build: ColumnBatch,
+        probe_index: np.ndarray,
+        build_index: np.ndarray,
+        assume_equal: Sequence[Variable] = (),
+    ) -> ColumnBatch:
+        """Merge matched row pairs into one batch, tuple-``_merge`` style.
+
+        The probe side wins for variables bound on both sides; a null on
+        the probe side takes the build side's value; rows where both sides
+        bind a shared variable to *different* values are dropped (binding
+        conflict).  ``assume_equal`` names variables the join key already
+        proved equal (including null-to-null), skipping the merge work.
+        """
+        assume = set(assume_equal)
+        variables = list(probe.variables)
+        columns: Dict[Variable, np.ndarray] = {
+            variable: probe.columns[variable][probe_index] for variable in probe.variables
+        }
+        nullable = set(variable for variable in probe.variables if variable in probe.nullable)
+        conflict: Optional[np.ndarray] = None
+        for variable in build.variables:
+            build_column = build.columns[variable][build_index]
+            if variable not in columns:
+                variables.append(variable)
+                columns[variable] = build_column
+                if variable in build.nullable:
+                    nullable.add(variable)
+                continue
+            if variable in assume:
+                continue
+            probe_column = columns[variable]
+            probe_nullable = variable in probe.nullable
+            build_nullable = variable in build.nullable
+            if probe_nullable:
+                columns[variable] = np.where(probe_column == NULL_ID, build_column, probe_column)
+                if not build_nullable:
+                    nullable.discard(variable)
+            if probe_nullable or build_nullable:
+                clash = (
+                    (probe_column != NULL_ID)
+                    & (build_column != NULL_ID)
+                    & (probe_column != build_column)
+                )
+            else:
+                clash = probe_column != build_column
+            conflict = clash if conflict is None else conflict | clash
+        length = int(np.asarray(probe_index).shape[0])
+        batch = ColumnBatch(variables, columns, length, frozenset(nullable))
+        if conflict is not None and conflict.any():
+            batch = batch.take(np.flatnonzero(~conflict))
+        return batch
+
+    def _hash_match(
+        self, build: ColumnBatch, probe: ColumnBatch, variables: Sequence[Variable]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All matching (probe_index, build_index) pairs on the join key.
+
+        Pairs are ordered by probe row, then by build row — the order a
+        tuple-at-a-time probe of an insertion-ordered hash table yields.
+        The probe side is split into morsels executed on the worker pool.
+        """
+        build_codes, probe_codes = self._join_codes(build, probe, variables)
+        order = np.argsort(build_codes, kind="stable")
+        sorted_codes = build_codes[order]
+
+        def probe_chunk(low: int, high: int):
+            codes = probe_codes[low:high]
+            lows = np.searchsorted(sorted_codes, codes, side="left")
+            highs = np.searchsorted(sorted_codes, codes, side="right")
+            probe_index, positions = _expand_ranges(lows, highs)
+            return probe_index + low, order[positions]
+
+        chunks = self._run_morsels(probe.length, probe_chunk)
+        if len(chunks) == 1:
+            return chunks[0]
+        probe_index = np.concatenate([chunk[0] for chunk in chunks])
+        build_index = np.concatenate([chunk[1] for chunk in chunks])
+        return probe_index, build_index
 
     def _join(self, node: JoinNode, profile: ExecutionProfile) -> ColumnBatch:
         if node.method == JoinNode.LOOKUP:
             return self._lookup_join(node, profile)
         left = self._execute(node.left, profile)
         right = self._execute(node.right, profile)
-        assert isinstance(left, ColumnBatch) and isinstance(right, ColumnBatch)
         if not node.join_variables:
             profile.add_work("nested_loop_pair", left.length * right.length)
-            batch = self._cross(left, right)
+            left_index = np.repeat(np.arange(left.length, dtype=np.int64), right.length)
+            right_index = np.tile(np.arange(right.length, dtype=np.int64), left.length)
+            batch = self._merge_gather(left, right, left_index, right_index)
             profile.add_work("join_output_tuple", batch.length)
             return batch
 
@@ -474,56 +787,122 @@ class VectorExecutor:
             build, probe = left, right
         else:
             build, probe = right, left
-        join_variables = node.join_variables
-        build_codes, probe_codes = _pair_codes(
-            [build.columns[variable] for variable in join_variables],
-            [probe.columns[variable] for variable in join_variables],
-        )
-        order = np.argsort(build_codes, kind="stable")
-        sorted_codes = build_codes[order]
-        lows = np.searchsorted(sorted_codes, probe_codes, side="left")
-        highs = np.searchsorted(sorted_codes, probe_codes, side="right")
-        probe_index, positions = _expand_ranges(lows, highs)
-        build_index = order[positions]
+        probe_index, build_index = self._hash_match(build, probe, node.join_variables)
         profile.add_work("hash_build_tuple", build.length)
         profile.add_work("hash_probe_tuple", probe.length)
-
-        variables = list(probe.variables)
-        columns = {variable: probe.columns[variable][probe_index] for variable in probe.variables}
-        for variable in build.variables:
-            if variable not in columns:
-                variables.append(variable)
-                columns[variable] = build.columns[variable][build_index]
-        batch = ColumnBatch(variables, columns, int(probe_index.shape[0]))
+        batch = self._merge_gather(
+            probe, build, probe_index, build_index, assume_equal=node.join_variables
+        )
         profile.add_work("join_output_tuple", batch.length)
         return batch
 
-    def _cross(self, left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
-        left_index = np.repeat(np.arange(left.length, dtype=np.int64), right.length)
-        right_index = np.tile(np.arange(right.length, dtype=np.int64), left.length)
-        variables = list(left.variables)
-        columns = {variable: left.columns[variable][left_index] for variable in left.variables}
-        for variable in right.variables:
-            if variable not in columns:
-                variables.append(variable)
-                columns[variable] = right.columns[variable][right_index]
-        return ColumnBatch(variables, columns, left.length * right.length)
+    def _left_join(self, node: LeftJoinNode, profile: ExecutionProfile) -> ColumnBatch:
+        """OPTIONAL: left outer hash join with null padding for non-matches."""
+        left = self._execute(node.left, profile)
+        right = self._execute(node.right, profile)
+        right_variables = set(node.right.output_variables())
+        shared = [
+            variable
+            for variable in node.left.output_variables()
+            if variable in right_variables
+        ]
+        profile.add_work("hash_build_tuple", right.length)
+        profile.add_work("leftjoin_probe_tuple", left.length)
+
+        if shared:
+            left_index, right_index = self._hash_match(right, left, shared)
+        else:
+            left_index = np.repeat(np.arange(left.length, dtype=np.int64), right.length)
+            right_index = np.tile(np.arange(right.length, dtype=np.int64), left.length)
+        candidates = self._merge_gather(
+            left, right, left_index, right_index, assume_equal=shared
+        )
+        if node.condition is not None and candidates.length:
+            mask = self._filter_mask(candidates, node.condition)
+            if not mask.all():
+                keep = np.flatnonzero(mask)
+                left_index = left_index[keep]
+                candidates = candidates.take(keep)
+
+        matched = np.zeros(left.length, dtype=bool)
+        matched[left_index] = True
+        bare = np.flatnonzero(~matched)
+        if bare.shape[0] == 0:
+            profile.add_work("join_output_tuple", candidates.length)
+            return candidates
+
+        # Pad unmatched left rows with nulls for the right-only variables,
+        # then interleave so output follows left-row order with each row's
+        # matches (in right order) in place — exactly the tuple loop.
+        variables = list(candidates.variables)
+        columns: Dict[Variable, np.ndarray] = {}
+        nullable = set(candidates.nullable)
+        for variable in variables:
+            left_column = left.columns.get(variable)
+            if left_column is not None:
+                pad = left_column[bare]
+                if variable in left.nullable:
+                    nullable.add(variable)
+            else:
+                pad = np.full(bare.shape[0], NULL_ID, dtype=np.int64)
+                nullable.add(variable)
+            columns[variable] = np.concatenate([candidates.columns[variable], pad])
+        all_left = np.concatenate([left_index, bare])
+        order = np.argsort(all_left, kind="stable")
+        batch = ColumnBatch(
+            variables,
+            {variable: column[order] for variable, column in columns.items()},
+            int(all_left.shape[0]),
+            frozenset(nullable),
+        )
+        profile.add_work("join_output_tuple", batch.length)
+        return batch
+
+    def _union(self, node: UnionNode, profile: ExecutionProfile) -> ColumnBatch:
+        """UNION: aligned column concatenation, null-padding absent columns."""
+        batches: List[ColumnBatch] = []
+        variables: List[Variable] = []
+        for child in node.alternatives:
+            batch = self._execute(child, profile)
+            profile.add_work("union_tuple", batch.length)
+            batches.append(batch)
+            for variable in batch.variables:
+                if variable not in variables:
+                    variables.append(variable)
+        length = sum(batch.length for batch in batches)
+        columns: Dict[Variable, np.ndarray] = {}
+        nullable = set()
+        for variable in variables:
+            parts = []
+            for batch in batches:
+                column = batch.columns.get(variable)
+                if column is None:
+                    parts.append(np.full(batch.length, NULL_ID, dtype=np.int64))
+                    if batch.length:
+                        nullable.add(variable)
+                else:
+                    parts.append(column)
+                    if variable in batch.nullable:
+                        nullable.add(variable)
+            columns[variable] = np.concatenate(parts) if parts else _EMPTY
+        return ColumnBatch(variables, columns, length, frozenset(nullable))
 
     def _lookup_join(self, node: JoinNode, profile: ExecutionProfile) -> ColumnBatch:
         """Index nested-loop join over the permutation indexes, batched.
 
         All left rows share the same bound-position mask, hence the same
         permutation index; the per-row prefix probes collapse into two
-        ``searchsorted`` calls over the index's packed prefix keys.
+        ``searchsorted`` calls over the index's packed prefix keys, with
+        the probe side morselized across the worker pool.
         """
         left = self._execute(node.left, profile)
-        assert isinstance(left, ColumnBatch)
         filters: List[Expression] = []
         right: PlanNode = node.right
         while isinstance(right, FilterNode):
             filters.append(right.expression)
             right = right.child
-        assert isinstance(right, ScanNode)
+        if not isinstance(right, ScanNode):
+            raise TypeError("lookup join requires a scan on the right side, got %r" % (right,))
         pattern = right.pattern
         profile.add_work("index_lookup", left.length)
 
@@ -532,11 +911,16 @@ class VectorExecutor:
         sources: List[Optional[Tuple[str, object]]] = []
         bound_mask: List[bool] = []
         unknown_constant = False
+        null_probe = False
         for term in pattern:
             if isinstance(term, Variable):
                 if term in node.join_variables and term in left.columns:
                     sources.append(("column", term))
                     bound_mask.append(True)
+                    if term in left.nullable and bool(
+                        (left.columns[term] == NULL_ID).any()
+                    ):
+                        null_probe = True
                 else:
                     sources.append(None)
                     bound_mask.append(False)
@@ -546,6 +930,11 @@ class VectorExecutor:
                     unknown_constant = True
                 sources.append(("const", term_id))
                 bound_mask.append(True)
+        if null_probe:
+            # A left row leaves a probe variable unbound: its per-row probe
+            # pattern differs, so run the tuple-semantics row loop (rare —
+            # only reachable when OPTIONAL/UNION feeds a lookup join).
+            return self._lookup_join_rows(node, left, filters, right, pattern, profile)
         index = self.store.index_for_mask(tuple(bound_mask))
         prefix_sources: List[Tuple[str, object]] = []
         for slot in range(3):
@@ -555,49 +944,92 @@ class VectorExecutor:
             prefix_sources.append(sources[component])  # type: ignore[arg-type]
         depth = len(prefix_sources)
 
-        count = left.length
-        if unknown_constant or count == 0:
-            lows = highs = np.zeros(count, dtype=np.int64)
-        elif depth == 0:
-            lows = np.zeros(count, dtype=np.int64)
-            highs = np.full(count, len(index), dtype=np.int64)
-        else:
-            lows, highs = self._probe_ranges(index, depth, prefix_sources, left, count)
-
-        left_index, positions = _expand_ranges(lows, highs)
-
-        # Gather the free variables from the index columns.
+        # Free variables are gathered from the index columns; a variable
+        # repeated across free positions must match itself (repeat mask).
         free_positions: Dict[Variable, List[int]] = {}
         for position, term in enumerate(pattern):
             if isinstance(term, Variable) and not bound_mask[position]:
                 free_positions.setdefault(term, []).append(position)
         index_columns = index.columns()
-        gathered: Dict[Variable, np.ndarray] = {}
-        repeat_mask: Optional[np.ndarray] = None
-        for variable, component_positions in free_positions.items():
-            first = index_columns[index.slot_of[component_positions[0]]][positions]
-            for extra in component_positions[1:]:
-                other = index_columns[index.slot_of[extra]][positions]
-                same = first == other
-                repeat_mask = same if repeat_mask is None else repeat_mask & same
-            gathered[variable] = first
-        if repeat_mask is not None and not repeat_mask.all():
-            left_index = left_index[repeat_mask]
-            gathered = {variable: column[repeat_mask] for variable, column in gathered.items()}
+        count = left.length
+        packed_ready = depth and not unknown_constant and count > 0
+        if packed_ready:
+            # Build the packed prefix once before fanning out morsels.
+            index.packed_prefix(depth)
+
+        def lookup_chunk(low: int, high: int):
+            if unknown_constant or count == 0:
+                lows = highs = np.zeros(high - low, dtype=np.int64)
+            elif depth == 0:
+                lows = np.zeros(high - low, dtype=np.int64)
+                highs = np.full(high - low, len(index), dtype=np.int64)
+            else:
+                lows, highs = self._probe_ranges(
+                    index, depth, prefix_sources, left, low, high
+                )
+            chunk_left, positions = _expand_ranges(lows, highs)
+            chunk_left += low
+            gathered: Dict[Variable, np.ndarray] = {}
+            repeat_mask: Optional[np.ndarray] = None
+            for variable, component_positions in free_positions.items():
+                first = index_columns[index.slot_of[component_positions[0]]][positions]
+                for extra in component_positions[1:]:
+                    other = index_columns[index.slot_of[extra]][positions]
+                    same = first == other
+                    repeat_mask = same if repeat_mask is None else repeat_mask & same
+                gathered[variable] = first
+            if repeat_mask is not None and not repeat_mask.all():
+                chunk_left = chunk_left[repeat_mask]
+                gathered = {
+                    variable: column[repeat_mask] for variable, column in gathered.items()
+                }
+            return chunk_left, gathered
+
+        chunks = self._run_morsels(count, lookup_chunk)
+        if len(chunks) == 1:
+            left_index, gathered = chunks[0]
+        else:
+            left_index = np.concatenate([chunk[0] for chunk in chunks])
+            gathered = {
+                variable: np.concatenate([chunk[1][variable] for chunk in chunks])
+                for variable in free_positions
+            }
         fetched = int(left_index.shape[0])
         profile.add_work("scan_tuple", fetched)
 
         variables = list(left.variables)
         columns = {variable: left.columns[variable][left_index] for variable in left.variables}
+        nullable = set(variable for variable in left.nullable)
+        conflict: Optional[np.ndarray] = None
         for variable, column in gathered.items():
-            if variable not in columns:
+            existing = columns.get(variable)
+            if existing is None:
                 variables.append(variable)
                 columns[variable] = column
-        batch = ColumnBatch(variables, columns, fetched)
+                continue
+            # A free pattern variable that the left side also binds (it is
+            # not a join variable, so it was scanned unconstrained): keep
+            # the left value, fill nulls from the scan, drop conflicts —
+            # the tuple loop's binding-consistency check.
+            if variable in left.nullable:
+                clash = (existing != NULL_ID) & (existing != column)
+                columns[variable] = np.where(existing == NULL_ID, column, existing)
+                nullable.discard(variable)
+            else:
+                clash = existing != column
+            conflict = clash if conflict is None else conflict | clash
+        batch = ColumnBatch(
+            variables,
+            columns,
+            fetched,
+            frozenset(variable for variable in nullable if variable in columns),
+        )
+        if conflict is not None and conflict.any():
+            batch = batch.take(np.flatnonzero(~conflict))
 
         if filters:
             profile.add_work("filter_tuple", fetched)
-            keep = np.ones(fetched, dtype=bool)
+            keep = np.ones(batch.length, dtype=bool)
             for expression in filters:
                 keep &= self._filter_mask(batch, expression)
             if not keep.all():
@@ -609,35 +1041,137 @@ class VectorExecutor:
         profile.node_output_rows.setdefault(id(node.right), fetched)
         return batch
 
+    def _lookup_join_rows(
+        self,
+        node: JoinNode,
+        left: ColumnBatch,
+        filters: List[Expression],
+        right: ScanNode,
+        pattern,
+        profile: ExecutionProfile,
+    ) -> ColumnBatch:
+        """Row-at-a-time lookup join for left rows with unbound probe keys.
+
+        Mirrors the tuple executor's per-row substitution loop (each row's
+        null pattern picks its own index) while keeping the result in id
+        space.  Only reachable when an OPTIONAL/UNION/BIND feeds the left
+        side of an index lookup join, which the optimizer does not emit for
+        hot paths — correctness trumps vectorization here.
+        """
+        join_variables = [
+            variable for variable in node.join_variables if variable in left.columns
+        ]
+        decoded = {
+            variable: self._decode_column(left.columns[variable])
+            for variable in join_variables
+        }
+        pattern_variables = [
+            (position, term)
+            for position, term in enumerate(pattern)
+            if isinstance(term, Variable)
+        ]
+        left_rows: List[int] = []
+        scanned: List[Tuple[int, int, int]] = []
+        fetched = 0
+        for row in range(left.length):
+            bound = {
+                variable: decoded[variable][row]
+                for variable in join_variables
+                if decoded[variable][row] is not None
+            }
+            probe_pattern = pattern.substitute(bound)
+            for id_triple in self.store.scan_pattern(probe_pattern):
+                fetched += 1
+                valid = True
+                seen: Dict[Variable, int] = {}
+                for position, variable in pattern_variables:
+                    value = id_triple[position]
+                    left_column = left.columns.get(variable)
+                    if left_column is not None:
+                        existing = int(left_column[row])
+                        if existing != NULL_ID and existing != value:
+                            valid = False
+                            break
+                    previous = seen.get(variable)
+                    if previous is not None and previous != value:
+                        valid = False
+                        break
+                    seen[variable] = value
+                if valid:
+                    left_rows.append(row)
+                    scanned.append(id_triple)
+        profile.add_work("scan_tuple", fetched)
+
+        left_index = np.asarray(left_rows, dtype=np.int64)
+        variables = list(left.variables)
+        columns = {
+            variable: left.columns[variable][left_index] for variable in left.variables
+        }
+        nullable = set(variable for variable in left.nullable if variable in columns)
+        scanned_array = (
+            np.asarray(scanned, dtype=np.int64).reshape(-1, 3)
+            if scanned
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        for position, variable in pattern_variables:
+            column = scanned_array[:, position]
+            if variable in columns:
+                # The scan bound it for every row (null rows included).
+                columns[variable] = column
+                nullable.discard(variable)
+            else:
+                variables.append(variable)
+                columns[variable] = column
+        batch = ColumnBatch(variables, columns, int(left_index.shape[0]), frozenset(nullable))
+
+        if filters:
+            profile.add_work("filter_tuple", fetched)
+            keep = np.ones(batch.length, dtype=bool)
+            for expression in filters:
+                keep &= self._filter_mask(batch, expression)
+            if not keep.all():
+                batch = batch.take(np.flatnonzero(keep))
+        profile.add_work("join_output_tuple", batch.length)
+        profile.node_output_rows.setdefault(id(right), fetched)
+        profile.node_output_rows.setdefault(id(node.right), fetched)
+        return batch
+
     def _probe_ranges(
         self,
         index,
         depth: int,
         prefix_sources: List[Tuple[str, object]],
         left: ColumnBatch,
-        count: int,
+        low: int,
+        high: int,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """[low, high) index ranges for every left row's probe prefix."""
+        """[low, high) index ranges for the probe prefixes of a left-row slice."""
         packed_info = index.packed_prefix(depth)
+        count = high - low
         probe_columns: List[np.ndarray] = []
         for kind, value in prefix_sources:
             if kind == "const":
                 probe_columns.append(np.full(count, value, dtype=np.int64))
             else:
-                probe_columns.append(left.columns[value])
+                probe_columns.append(left.columns[value][low:high])
         if packed_info is None:
             # Id range too wide to pack: probe row by row (rare).
             lows = np.empty(count, dtype=np.int64)
             highs = np.empty(count, dtype=np.int64)
             for row in range(count):
-                low, high = index.prefix_range([int(column[row]) for column in probe_columns])
-                lows[row], highs[row] = low, high
+                range_low, range_high = index.prefix_range(
+                    [int(column[row]) for column in probe_columns]
+                )
+                lows[row], highs[row] = range_low, range_high
             return lows, highs
         packed, multipliers, maxima = packed_info
         keys = np.zeros(count, dtype=np.int64)
         valid = np.ones(count, dtype=bool)
         for column, multiplier, maximum in zip(probe_columns, multipliers, maxima):
-            valid &= column <= maximum
+            # Out-of-range probe values (above the column maximum, or
+            # negative — extension ids never occur in the store) cannot
+            # match and must not alias a neighbouring packed prefix.
+            valid &= (column >= 0) & (column <= maximum)
             keys += np.where(valid, column, 0) * multiplier
         lows = np.searchsorted(packed, keys, side="left")
         highs = np.searchsorted(packed, keys, side="right")
@@ -660,6 +1194,17 @@ class VectorExecutor:
         _, first_indices, inverse = np.unique(codes, return_index=True, return_inverse=True)
         return inverse, first_indices
 
+    def _representative_binding(
+        self, batch: ColumnBatch, variables: Sequence[Variable], row_index: int
+    ) -> Binding:
+        """Decoded binding of one representative row (nulls stay unbound)."""
+        binding: Binding = {}
+        for variable in variables:
+            term_id = int(batch.columns[variable][row_index])
+            if term_id != NULL_ID:
+                binding[variable] = self._decode(term_id)
+        return binding
+
     def _filter_mask(self, batch: ColumnBatch, expression: Expression) -> np.ndarray:
         """Boolean verdict per row, equal to ``evaluate_filter`` row-by-row."""
         if batch.length == 0:
@@ -673,13 +1218,9 @@ class VectorExecutor:
         if not variables:
             return np.full(batch.length, evaluate_filter(expression, {}), dtype=bool)
         inverse, representatives = self._factorize(batch, variables)
-        decode = self.store.decode_id
         verdicts = np.empty(representatives.shape[0], dtype=bool)
         for position, row_index in enumerate(representatives.tolist()):
-            binding = {
-                variable: decode(int(batch.columns[variable][row_index]))
-                for variable in variables
-            }
+            binding = self._representative_binding(batch, variables, row_index)
             verdicts[position] = evaluate_filter(expression, binding)
         return verdicts[inverse]
 
@@ -688,10 +1229,12 @@ class VectorExecutor:
     ) -> Optional[np.ndarray]:
         """Pure id-space shortcut for ``?var = <iri>`` / ``?var != <iri>``.
 
-        IRI equality is term identity, and the dictionary is injective, so
-        the comparison never needs to decode.  (Literal constants must go
-        through value semantics — ``1`` equals ``1.0`` — so they take the
-        generic path.)
+        IRI equality is term identity, and the id codec is injective, so
+        the comparison never needs to decode.  Null entries compare false
+        either way (an unbound variable is an expression error, and errors
+        make a FILTER reject the row).  (Literal constants must go through
+        value semantics — ``1`` equals ``1.0`` — so they take the generic
+        path.)
         """
         if not isinstance(expression, BinaryExpression) or expression.operator not in ("=", "!="):
             return None
@@ -708,20 +1251,26 @@ class VectorExecutor:
         column = batch.columns.get(variable)
         if column is None:
             return None
-        constant_id = self.store.encode_term(constant)
+        constant_id = self._lookup_constant(constant)
         if constant_id is None:
             equal = np.zeros(batch.length, dtype=bool)
         else:
             equal = column == constant_id
-        return equal if expression.operator == "=" else ~equal
+        mask = equal if expression.operator == "=" else ~equal
+        if variable in batch.nullable:
+            mask = mask & (column != NULL_ID)
+        return mask
 
     # -- late materialization ---------------------------------------------------------
 
-    def _decode_column(self, column: np.ndarray) -> List:
-        """Decode an id column to a Term list (decoding each id once)."""
+    def _decode_column(self, column: np.ndarray) -> List[Optional[Term]]:
+        """Decode an id column to a Term list (decoding each id once).
+
+        Null entries decode to ``None`` — callers drop them from bindings,
+        matching the tuple executor's absent dictionary keys.
+        """
         uniques, inverse = np.unique(column, return_inverse=True)
-        decode = self.store.decode_id
-        terms = [decode(int(term_id)) for term_id in uniques.tolist()]
+        terms = [self._decode(int(term_id)) for term_id in uniques.tolist()]
         return [terms[position] for position in inverse.tolist()]
 
     def _materialise(self, batch: ColumnBatch) -> List[Binding]:
@@ -732,7 +1281,12 @@ class VectorExecutor:
             (variable, self._decode_column(batch.columns[variable]))
             for variable in batch.variables
         ]
-        return [
-            {variable: terms[row] for variable, terms in term_columns}
-            for row in range(batch.length)
-        ]
+        rows: List[Binding] = []
+        for row in range(batch.length):
+            binding: Binding = {}
+            for variable, terms in term_columns:
+                term = terms[row]
+                if term is not None:
+                    binding[variable] = term
+            rows.append(binding)
+        return rows

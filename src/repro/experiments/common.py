@@ -79,13 +79,17 @@ def bsbm_dataset(scale_name: str = "small") -> BSBMDataset:
 
 
 @lru_cache(maxsize=None)
-def _bsbm_engine(scale_name: str, executor: str) -> QueryEngine:
-    return QueryEngine(bsbm_dataset(scale_name).graph, executor=executor)
+def _bsbm_engine(scale_name: str, executor: str, parallelism: int) -> QueryEngine:
+    return QueryEngine(
+        bsbm_dataset(scale_name).graph, executor=executor, parallelism=parallelism
+    )
 
 
-def bsbm_engine(scale_name: str = "small", executor: str = "vector") -> QueryEngine:
+def bsbm_engine(
+    scale_name: str = "small", executor: str = "vector", parallelism: int = 1
+) -> QueryEngine:
     # Thin wrapper so default-arg and explicit-arg calls share one cache key.
-    return _bsbm_engine(scale_name, executor)
+    return _bsbm_engine(scale_name, executor, parallelism)
 
 
 @lru_cache(maxsize=None)
@@ -106,21 +110,27 @@ def ldbc_dataset(scale_name: str = "small") -> LDBCDataset:
 
 
 @lru_cache(maxsize=None)
-def _ldbc_engine(scale_name: str, executor: str) -> QueryEngine:
-    return QueryEngine(ldbc_dataset(scale_name).graph, executor=executor)
+def _ldbc_engine(scale_name: str, executor: str, parallelism: int) -> QueryEngine:
+    return QueryEngine(
+        ldbc_dataset(scale_name).graph, executor=executor, parallelism=parallelism
+    )
 
 
-def ldbc_engine(scale_name: str = "small", executor: str = "vector") -> QueryEngine:
+def ldbc_engine(
+    scale_name: str = "small", executor: str = "vector", parallelism: int = 1
+) -> QueryEngine:
     # Thin wrapper so default-arg and explicit-arg calls share one cache key.
-    return _ldbc_engine(scale_name, executor)
+    return _ldbc_engine(scale_name, executor, parallelism)
 
 
 @lru_cache(maxsize=None)
-def _bsbm_service(scale_name: str, executor: str) -> QueryService:
-    return QueryService(bsbm_engine(scale_name, executor))
+def _bsbm_service(scale_name: str, executor: str, parallelism: int) -> QueryService:
+    return QueryService(bsbm_engine(scale_name, executor, parallelism))
 
 
-def bsbm_service(scale_name: str = "small", executor: str = "vector") -> QueryService:
+def bsbm_service(
+    scale_name: str = "small", executor: str = "vector", parallelism: int = 1
+) -> QueryService:
     """Shared query service over the BSBM engine of one scale.
 
     Shared so that the plan cache amortizes across experiments in one
@@ -129,31 +139,39 @@ def bsbm_service(scale_name: str = "small", executor: str = "vector") -> QuerySe
     statistics should build their own ``QueryService`` (see
     ``repro.bench.suites.service_runner``).
     """
-    return _bsbm_service(scale_name, executor)
+    return _bsbm_service(scale_name, executor, parallelism)
 
 
 @lru_cache(maxsize=None)
-def _ldbc_service(scale_name: str, executor: str) -> QueryService:
-    return QueryService(ldbc_engine(scale_name, executor))
+def _ldbc_service(scale_name: str, executor: str, parallelism: int) -> QueryService:
+    return QueryService(ldbc_engine(scale_name, executor, parallelism))
 
 
-def ldbc_service(scale_name: str = "small", executor: str = "vector") -> QueryService:
+def ldbc_service(
+    scale_name: str = "small", executor: str = "vector", parallelism: int = 1
+) -> QueryService:
     """Shared query service over the LDBC engine of one scale (cumulative
     counters — see :func:`bsbm_service`)."""
-    return _ldbc_service(scale_name, executor)
+    return _ldbc_service(scale_name, executor, parallelism)
 
 
-def bsbm_runner(scale_name: str = "small", executor: str = "vector") -> WorkloadRunner:
+def bsbm_runner(
+    scale_name: str = "small", executor: str = "vector", parallelism: int = 1
+) -> WorkloadRunner:
     """Service-backed runner: prepared templates + plan cache, identical records."""
     return WorkloadRunner(
-        bsbm_engine(scale_name, executor), service=bsbm_service(scale_name, executor)
+        bsbm_engine(scale_name, executor, parallelism),
+        service=bsbm_service(scale_name, executor, parallelism),
     )
 
 
-def ldbc_runner(scale_name: str = "small", executor: str = "vector") -> WorkloadRunner:
+def ldbc_runner(
+    scale_name: str = "small", executor: str = "vector", parallelism: int = 1
+) -> WorkloadRunner:
     """Service-backed runner: prepared templates + plan cache, identical records."""
     return WorkloadRunner(
-        ldbc_engine(scale_name, executor), service=ldbc_service(scale_name, executor)
+        ldbc_engine(scale_name, executor, parallelism),
+        service=ldbc_service(scale_name, executor, parallelism),
     )
 
 

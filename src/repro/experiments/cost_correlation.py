@@ -62,7 +62,11 @@ def _space_for(template_name: str, scale: str):
 
 
 def run(
-    scale: str = "small", bindings_per_template: int = None, seed: int = 19, executor: str = "vector"
+    scale: str = "small",
+    bindings_per_template: int = None,
+    seed: int = 19,
+    executor: str = "vector",
+    parallelism: int = 1,
 ) -> CostCorrelationResult:
     """Measure the Pearson correlation between actual Cout and runtime."""
     preset = common.scale(scale)
@@ -72,8 +76,8 @@ def run(
     per_template: Dict[str, float] = {}
 
     plan: List[Tuple[str, WorkloadRunner]] = []
-    bsbm_runner = common.bsbm_runner(scale, executor)
-    ldbc_runner = common.ldbc_runner(scale, executor)
+    bsbm_runner = common.bsbm_runner(scale, executor, parallelism)
+    ldbc_runner = common.ldbc_runner(scale, executor, parallelism)
     for name in _BSBM_TEMPLATES:
         plan.append((name, bsbm_runner))
     for name in _LDBC_TEMPLATES:

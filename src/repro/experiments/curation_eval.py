@@ -121,14 +121,15 @@ def run(
     cost_tolerance: float = 0.5,
     seed: int = 23,
     executor: str = "vector",
+    parallelism: int = 1,
 ) -> CurationEvaluation:
     """Evaluate uniform vs per-class sampling for one template."""
     preset = common.scale(scale)
     candidate_count = candidates if candidates is not None else preset.bindings_per_group * 2
 
     if template_name.startswith("bsbm"):
-        engine = common.bsbm_engine(scale, executor)
-        runner = common.bsbm_runner(scale, executor)
+        engine = common.bsbm_engine(scale, executor, parallelism)
+        runner = common.bsbm_runner(scale, executor, parallelism)
         template = bsbm_template(template_name)
         space = {
             "bsbm_bi_q4": common.bsbm_type_space,
@@ -136,8 +137,8 @@ def run(
             "bsbm_bi_q2": common.bsbm_product_space,
         }[template_name](scale)
     else:
-        engine = common.ldbc_engine(scale, executor)
-        runner = common.ldbc_runner(scale, executor)
+        engine = common.ldbc_engine(scale, executor, parallelism)
+        runner = common.ldbc_runner(scale, executor, parallelism)
         template = ldbc_template(template_name)
         space = {
             "ldbc_q2": common.ldbc_person_space,

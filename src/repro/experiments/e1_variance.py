@@ -52,11 +52,17 @@ class E1Result:
         return key_value_report(values, title="E1: variance and non-normality under uniform sampling")
 
 
-def run(scale: str = "small", executions: int = None, seed: int = 7, executor: str = "vector") -> E1Result:
+def run(
+    scale: str = "small",
+    executions: int = None,
+    seed: int = 7,
+    executor: str = "vector",
+    parallelism: int = 1,
+) -> E1Result:
     """Run E1: uniform parameters for BSBM-BI Q4 (variance) and Q2 (KS test)."""
     preset = common.scale(scale)
     count = executions if executions is not None else preset.bindings_per_group * 2
-    runner = common.bsbm_runner(scale, executor)
+    runner = common.bsbm_runner(scale, executor, parallelism)
 
     q4 = bsbm_template("bsbm_bi_q4")
     q4_sampler = UniformSampler(common.bsbm_type_space(scale), seed=seed)

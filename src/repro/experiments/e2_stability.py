@@ -73,19 +73,21 @@ def _run_groups(
     )
 
 
-def run(scale: str = "small", seed: int = 11, executor: str = "vector") -> E2Result:
+def run(
+    scale: str = "small", seed: int = 11, executor: str = "vector", parallelism: int = 1
+) -> E2Result:
     """Run E2 for LDBC Q2 and BSBM-BI Q2."""
     preset = common.scale(scale)
 
     ldbc_q2 = _run_groups(
-        common.ldbc_runner(scale, executor),
+        common.ldbc_runner(scale, executor, parallelism),
         ldbc_template("ldbc_q2"),
         UniformSampler(common.ldbc_person_space(scale), seed=seed),
         groups=preset.groups,
         bindings_per_group=preset.bindings_per_group,
     )
     bsbm_q2 = _run_groups(
-        common.bsbm_runner(scale, executor),
+        common.bsbm_runner(scale, executor, parallelism),
         bsbm_template("bsbm_bi_q2"),
         UniformSampler(common.bsbm_product_space(scale), seed=seed + 100),
         groups=preset.groups,

@@ -79,11 +79,17 @@ class E3Result:
         return "%s\n%s" % (table, key_value_report(values))
 
 
-def run(scale: str = "small", executions: int = None, seed: int = 13, executor: str = "vector") -> E3Result:
+def run(
+    scale: str = "small",
+    executions: int = None,
+    seed: int = 13,
+    executor: str = "vector",
+    parallelism: int = 1,
+) -> E3Result:
     """Run E3: BSBM-BI Q4 with uniformly drawn ProductType parameters."""
     preset = common.scale(scale)
     count = executions if executions is not None else preset.bindings_per_group * 2
-    runner = common.bsbm_runner(scale, executor)
+    runner = common.bsbm_runner(scale, executor, parallelism)
 
     template = bsbm_template("bsbm_bi_q4")
     sampler = UniformSampler(common.bsbm_type_space(scale), seed=seed)

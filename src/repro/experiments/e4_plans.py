@@ -105,7 +105,12 @@ def _country_pairs_by_frequency(scale: str, pairs: int) -> Tuple[List[Tuple[str,
 
 
 def run(
-    scale: str = "small", persons: int = 12, pairs: int = 4, seed: int = 17, executor: str = "vector"
+    scale: str = "small",
+    persons: int = 12,
+    pairs: int = 4,
+    seed: int = 17,
+    executor: str = "vector",
+    parallelism: int = 1,
 ) -> E4Result:
     """Analyze LDBC Q3 plans for frequent vs rare country pairs.
 
@@ -117,7 +122,7 @@ def run(
     """
     from ..service.service import QueryService
 
-    engine = common.ldbc_engine(scale, executor)
+    engine = common.ldbc_engine(scale, executor, parallelism)
     template = ldbc_template("ldbc_q3")
     service = QueryService(engine)
     analyzer = PlanCostAnalyzer(engine, template, execute=True, service=service)

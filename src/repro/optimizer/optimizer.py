@@ -76,8 +76,20 @@ class Optimizer:
         if isinstance(node, algebra.Union):
             return self._wrap_filters(self._optimize_union(node), pending_filters)
         if isinstance(node, algebra.Extend):
-            child = self._optimize(node.child, pending_filters)
-            return ExtendNode(child, node.variable, node.expression)
+            # Filters over the BIND output must stay above the Extend; the
+            # rest may keep sinking toward the BGP.
+            blocked = [
+                expression
+                for expression in pending_filters
+                if node.variable in expression.variables()
+            ]
+            sinking = [
+                expression for expression in pending_filters if expression not in blocked
+            ]
+            child = self._optimize(node.child, sinking)
+            return self._wrap_filters(
+                ExtendNode(child, node.variable, node.expression), blocked
+            )
         if isinstance(node, algebra.Group):
             return self._optimize_group(node, pending_filters)
         if isinstance(node, algebra.OrderBy):

@@ -63,12 +63,21 @@ class PlanNode:
         """Canonical description of the plan shape (not of its cardinalities)."""
         raise NotImplementedError
 
-    def pretty(self, indent: int = 0) -> str:
-        """Human-readable multi-line plan rendering."""
+    def pretty(self, indent: int = 0, annotate=None) -> str:
+        """Human-readable multi-line plan rendering.
+
+        ``annotate`` optionally maps a plan node to a short extra label
+        (the executors use it to show the physical operator each node
+        lowers to — see ``QueryEngine.explain``).
+        """
         line = "  " * indent + self.describe()
+        if annotate is not None:
+            suffix = annotate(self)
+            if suffix:
+                line = "%s  · %s" % (line, suffix)
         parts = [line]
         for child in self.children():
-            parts.append(child.pretty(indent + 1))
+            parts.append(child.pretty(indent + 1, annotate))
         return "\n".join(parts)
 
     def describe(self) -> str:

@@ -46,7 +46,11 @@ class QueryService:
 
     ``executor`` optionally overrides the engine's executor (``"vector"`` /
     ``"tuple"``) via :meth:`~repro.engine.query_engine.QueryEngine.with_executor`;
-    records are identical either way, only the wall clock changes.
+    ``parallelism`` optionally overrides the engine's *intra-query* morsel
+    parallelism (how many worker threads one query's joins and scans fan
+    out to — independent of how many closed-loop client workers call into
+    the service concurrently).  Records are identical for every setting;
+    only the wall clock changes.
     """
 
     def __init__(
@@ -54,11 +58,19 @@ class QueryService:
         engine: QueryEngine,
         plan_cache_capacity: int = 512,
         executor: Optional[str] = None,
+        parallelism: Optional[int] = None,
     ):
-        self.engine = engine if executor is None else engine.with_executor(executor)
+        if executor is not None:
+            engine = engine.with_executor(executor)
+        if parallelism is not None:
+            engine = engine.with_parallelism(parallelism)
+        self.engine = engine
         self.registry = PreparedTemplateRegistry()
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.metrics = MetricsCollector()
+        #: client workers used by the most recent batch entry point (the
+        #: closed-loop concurrency knob, as opposed to ``engine.parallelism``).
+        self.last_batch_workers = 1
 
     # -- preparation ---------------------------------------------------------------
 
@@ -137,6 +149,7 @@ class QueryService:
         sequential naive path produces for the same bindings.
         """
         prepared = self.prepare(template)
+        self.last_batch_workers = workers
         scheduler = ConcurrentScheduler(workers)
         started = time.perf_counter()
         records = scheduler.run(
@@ -179,6 +192,10 @@ class QueryService:
         """
         stats: Dict[str, float] = {}
         stats.update(self.service_metrics().as_dict())
+        # The two concurrency knobs, kept visibly distinct: closed-loop
+        # client threads issuing queries vs. morsel workers inside one query.
+        stats["client workers (closed-loop)"] = self.last_batch_workers
+        stats["intra-query parallelism (morsel workers)"] = self.engine.parallelism
         stats.update(self.cache_stats().as_dict())
         stats.update(self.registry.stats())
         return stats

@@ -238,6 +238,9 @@ def translate_pattern(group: GroupGraphPattern) -> AlgebraNode:
     for optional in group.optionals:
         node = LeftJoin(node, translate_pattern(optional))
 
+    for variable, expression in group.binds:
+        node = Extend(node, variable, expression)
+
     for expression in group.filters:
         node = Filter(expression, node)
 

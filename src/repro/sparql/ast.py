@@ -243,11 +243,14 @@ class GroupGraphPattern:
         filters: Optional[List[Expression]] = None,
         optionals: Optional[List["GroupGraphPattern"]] = None,
         unions: Optional[List[List["GroupGraphPattern"]]] = None,
+        binds: Optional[List[Tuple[Variable, Expression]]] = None,
     ):
         self.patterns = patterns if patterns is not None else []
         self.filters = filters if filters is not None else []
         self.optionals = optionals if optionals is not None else []
         self.unions = unions if unions is not None else []
+        #: ``BIND(expression AS ?variable)`` clauses, in source order.
+        self.binds = binds if binds is not None else []
 
     def variables(self) -> Tuple[Variable, ...]:
         seen: List[Variable] = []
@@ -266,6 +269,9 @@ class GroupGraphPattern:
         for alternatives in self.unions:
             for alternative in alternatives:
                 record(alternative.variables())
+        for variable, expression in self.binds:
+            record(expression.variables())
+            record([variable])
         return tuple(seen)
 
     def parameters(self) -> Tuple[str, ...]:
@@ -287,14 +293,17 @@ class GroupGraphPattern:
         for alternatives in self.unions:
             for alternative in alternatives:
                 record(alternative.parameters())
+        for _variable, expression in self.binds:
+            record(expression.parameters())
         return tuple(seen)
 
     def __repr__(self) -> str:
-        return "GroupGraphPattern(patterns=%d, filters=%d, optionals=%d, unions=%d)" % (
+        return "GroupGraphPattern(patterns=%d, filters=%d, optionals=%d, unions=%d, binds=%d)" % (
             len(self.patterns),
             len(self.filters),
             len(self.optionals),
             len(self.unions),
+            len(self.binds),
         )
 
 

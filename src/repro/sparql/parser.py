@@ -6,7 +6,8 @@ throughout the paper, plus the usual analytic extras):
 * ``PREFIX`` declarations,
 * ``SELECT [DISTINCT] * | ?v ... | (expr AS ?v) ...``,
 * ``WHERE { ... }`` with triple patterns (``;`` and ``,`` abbreviations and
-  the ``a`` keyword), ``FILTER``, ``OPTIONAL`` and ``UNION`` blocks,
+  the ``a`` keyword), ``FILTER``, ``OPTIONAL``, ``UNION`` and
+  ``BIND(expr AS ?v)`` blocks,
 * ``GROUP BY``, ``HAVING``, ``ORDER BY [ASC|DESC]``, ``LIMIT``, ``OFFSET``,
 * ``%name`` template parameters anywhere a term may appear.
 """
@@ -228,6 +229,17 @@ class Parser:
                 group.optionals.append(self._parse_group_graph_pattern())
                 self.accept("DOT")
                 continue
+            if token.kind == "KEYWORD" and token.value == "BIND":
+                self.advance()
+                self.expect("LPAREN")
+                expression = self._parse_expression()
+                if not self.accept_keyword("AS"):
+                    raise self.error("BIND requires 'AS ?variable'")
+                variable_token = self.expect("VAR")
+                self.expect("RPAREN")
+                group.binds.append((Variable(variable_token.value), expression))
+                self.accept("DOT")
+                continue
             if token.kind == "LBRACE":
                 alternatives = [self._parse_group_graph_pattern()]
                 while self.accept_keyword("UNION"):
@@ -239,6 +251,7 @@ class Parser:
                     group.filters.extend(nested.filters)
                     group.optionals.extend(nested.optionals)
                     group.unions.extend(nested.unions)
+                    group.binds.extend(nested.binds)
                 else:
                     group.unions.append(alternatives)
                 self.accept("DOT")

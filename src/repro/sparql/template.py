@@ -97,6 +97,10 @@ def _substitute_group(group: GroupGraphPattern, bindings: Mapping[str, Term]) ->
             [_substitute_group(alternative, bindings) for alternative in alternatives]
             for alternatives in group.unions
         ],
+        binds=[
+            (variable, _substitute_expression(expression, bindings))
+            for variable, expression in group.binds
+        ],
     )
 
 

@@ -41,6 +41,7 @@ KEYWORDS = frozenset(
         "LIMIT",
         "OFFSET",
         "AS",
+        "BIND",
         "COUNT",
         "SUM",
         "AVG",

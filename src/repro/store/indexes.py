@@ -183,6 +183,18 @@ class PermutationIndex:
         columns = self._columns
         return columns[s_slot][low:high], columns[p_slot][low:high], columns[o_slot][low:high]
 
+    def morsel_ranges(self, low: int, high: int, morsel_size: int) -> List[Tuple[int, int]]:
+        """Split the key range [low, high) into ``morsel_size``-row chunks.
+
+        The morsel boundaries are deterministic for a given range and size,
+        so parallel consumers that concatenate per-morsel results in order
+        reproduce the serial scan bit for bit.
+        """
+        if morsel_size <= 0:
+            raise ValueError("morsel_size must be positive, got %d" % morsel_size)
+        bounds = list(range(low, high, morsel_size)) + [high]
+        return list(zip(bounds, bounds[1:]))
+
     def packed_prefix(
         self, depth: int
     ) -> Optional[Tuple[np.ndarray, List[int], List[int]]]:

@@ -232,6 +232,45 @@ class TripleStore:
         index = self._indexes[index_name]
         low, high = index.prefix_range(prefix)
         s, p, o = index.spo_columns(low, high)
+        return self.filter_repeated_variables(pattern, s, p, o)
+
+    @staticmethod
+    def pattern_has_repeated_variables(pattern: TriplePattern) -> bool:
+        """True when the pattern repeats a variable (``?x p ?x``)."""
+        subject, predicate, object_ = pattern.as_tuple()
+        return (
+            (isinstance(subject, Variable) and (subject == predicate or subject == object_))
+            or (isinstance(predicate, Variable) and predicate == object_)
+        )
+
+    def scan_pattern_morsels(
+        self, pattern: TriplePattern, morsel_size: int
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Split the index range matching ``pattern`` into morsel views.
+
+        Each entry is an (s, p, o) triple of column views covering up to
+        ``morsel_size`` rows; concatenating the morsels in order equals the
+        full :meth:`scan_pattern_arrays` range *before* repeated-variable
+        filtering (apply :meth:`filter_repeated_variables` per morsel).
+        Parallel executors fan the morsels out to a worker pool.
+        """
+        self._ensure_loaded()
+        resolved = self._pattern_to_prefix(pattern)
+        if resolved is None:
+            return []
+        index_name, prefix = resolved
+        index = self._indexes[index_name]
+        low, high = index.prefix_range(prefix)
+        return [
+            index.spo_columns(morsel_low, morsel_high)
+            for morsel_low, morsel_high in index.morsel_ranges(low, high, morsel_size)
+        ]
+
+    @staticmethod
+    def filter_repeated_variables(
+        pattern: TriplePattern, s: np.ndarray, p: np.ndarray, o: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compact (s, p, o) columns to rows honouring repeated variables."""
         subject, predicate, object_ = pattern.as_tuple()
         mask: Optional[np.ndarray] = None
         if isinstance(subject, Variable) and subject == object_:

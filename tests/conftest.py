@@ -3,9 +3,17 @@
 Dataset generation and engine construction are comparatively expensive, so
 the fixtures that need them are session-scoped; each test must treat them as
 read-only.
+
+The suite runs under either executor: ``REPRO_EXECUTOR`` (``vector`` —
+default — or ``tuple``) selects the executor every default-constructed
+:class:`~repro.engine.QueryEngine` uses, and CI runs the tier-1 suite once
+per executor.  Tests that compare the two paths pin their executors
+explicitly and are unaffected.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -15,6 +23,12 @@ from repro.engine import QueryEngine
 from repro.rdf import Graph, IRI, Literal, Namespace, typed_literal
 
 EX = Namespace("http://example.org/")
+
+
+@pytest.fixture(scope="session")
+def default_executor() -> str:
+    """The executor name the suite is running under (env-selected)."""
+    return os.environ.get("REPRO_EXECUTOR", "vector")
 
 
 def build_people_graph() -> Graph:
@@ -54,8 +68,8 @@ def people_graph() -> Graph:
 
 
 @pytest.fixture(scope="session")
-def people_engine(people_graph) -> QueryEngine:
-    return QueryEngine(people_graph)
+def people_engine(people_graph, default_executor) -> QueryEngine:
+    return QueryEngine(people_graph, executor=default_executor)
 
 
 @pytest.fixture(scope="session")
@@ -64,8 +78,8 @@ def bsbm_tiny():
 
 
 @pytest.fixture(scope="session")
-def bsbm_engine(bsbm_tiny) -> QueryEngine:
-    return QueryEngine(bsbm_tiny.graph)
+def bsbm_engine(bsbm_tiny, default_executor) -> QueryEngine:
+    return QueryEngine(bsbm_tiny.graph, executor=default_executor)
 
 
 @pytest.fixture(scope="session")
@@ -74,5 +88,5 @@ def ldbc_tiny():
 
 
 @pytest.fixture(scope="session")
-def ldbc_engine(ldbc_tiny) -> QueryEngine:
-    return QueryEngine(ldbc_tiny.graph)
+def ldbc_engine(ldbc_tiny, default_executor) -> QueryEngine:
+    return QueryEngine(ldbc_tiny.graph, executor=default_executor)

@@ -94,3 +94,57 @@ class TestCommands:
     def test_throughput_rejects_unknown_template(self):
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["throughput", "nope"])
+
+    def test_throughput_with_parallelism_reports_both_knobs(self):
+        exit_code, output = run_cli(
+            [
+                "throughput",
+                "bsbm_bi_q8",
+                "--scale",
+                "tiny",
+                "--executions",
+                "20",
+                "--distinct",
+                "4",
+                "--workers",
+                "2",
+                "--parallelism",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        # Client concurrency and intra-query parallelism are reported as
+        # two distinct figures so the knobs cannot be conflated.
+        assert "client workers (closed-loop)" in output
+        assert "intra-query parallelism (morsel workers)" in output
+        assert "2 client workers, parallelism 2" in output
+
+    def test_explain_prints_annotated_plan(self):
+        exit_code, output = run_cli(
+            ["explain", "ldbc_q8", "--scale", "tiny", "--parallelism", "4"]
+        )
+        assert exit_code == 0
+        assert "binding: person=" in output
+        assert "LeftJoin" in output and "Union" in output
+        assert "vector left-outer hash join [morsels x4]" in output
+        assert "vector batch concatenation" in output
+
+    def test_explain_tuple_engine_annotates_tuple_operators(self):
+        exit_code, output = run_cli(
+            ["explain", "bsbm_bi_q8", "--scale", "tiny", "--engine", "tuple"]
+        )
+        assert exit_code == 0
+        assert "tuple index-lookup join (per-row probes)" in output
+
+    def test_workers_help_distinguishes_the_two_knobs(self):
+        parser = cli.build_parser()
+        helptext = parser.format_help()
+        # Subparser help: fetch the throughput parser's help directly.
+        throughput = None
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices and "throughput" in action.choices:
+                throughput = action.choices["throughput"]
+        assert throughput is not None
+        text = throughput.format_help()
+        assert "client" in text and "morsel" in text
+        assert "closed-loop" in text

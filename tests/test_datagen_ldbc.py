@@ -102,8 +102,8 @@ class TestCorrelations:
 
 
 class TestTemplates:
-    def test_registry_contains_seven_templates(self):
-        assert len(REGISTRY) == 7
+    def test_registry_contains_eight_templates(self):
+        assert len(REGISTRY) == 8
 
     def test_parameter_names_match_documentation(self):
         for name, expected in PARAMETER_DOMAINS.items():

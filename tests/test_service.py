@@ -290,3 +290,35 @@ class TestServiceRunnerIntegration:
         stats = service.service_stats()
         assert stats["prepared templates"] == 1
         assert stats["plan cache hits"] == 7
+
+
+class TestParallelismKnob:
+    """The two concurrency knobs stay independent and visible."""
+
+    def test_service_parallelism_override_derives_a_sibling_engine(self, people_graph):
+        engine = QueryEngine(people_graph, executor="vector")
+        service = QueryService(engine, parallelism=4)
+        assert service.engine is not engine
+        assert service.engine.parallelism == 4
+        assert service.engine.store is engine.store
+
+    def test_service_stats_report_both_knobs(self, people_graph):
+        engine = QueryEngine(people_graph, executor="vector")
+        service = QueryService(engine, parallelism=2)
+        runner = WorkloadRunner(engine, service=service)
+        bindings = FixedBindings([{"name": Literal("Li")}]).bindings(6)
+        runner.run_bindings(NAME_TEMPLATE, bindings, workers=3)
+        stats = service.service_stats()
+        assert stats["client workers (closed-loop)"] == 3
+        assert stats["intra-query parallelism (morsel workers)"] == 2
+
+    def test_parallel_service_records_match_serial_naive(self, people_graph):
+        engine = QueryEngine(people_graph, executor="vector")
+        bindings = FixedBindings(
+            [{"name": Literal("Li")}, {"name": Literal("John")}]
+        ).bindings(10)
+        served = WorkloadRunner(
+            engine, service=QueryService(engine, parallelism=4)
+        ).run_bindings(NAME_TEMPLATE, bindings, workers=4)
+        naive = WorkloadRunner(engine).run_bindings(NAME_TEMPLATE, bindings)
+        assert served.executions == naive.executions

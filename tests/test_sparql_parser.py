@@ -206,3 +206,27 @@ class TestExpressions:
     def test_parameter_in_filter(self):
         query = parse_query("SELECT * WHERE { ?s sn:x ?a . FILTER(?a != %threshold) }")
         assert query.parameters() == ("threshold",)
+
+
+class TestBind:
+    def test_bind_clause_parses(self):
+        query = parse_query("SELECT * WHERE { ?s sn:length ?l . BIND(?l * 2 AS ?double) }")
+        assert len(query.where.binds) == 1
+        variable, expression = query.where.binds[0]
+        assert variable == Variable("double")
+        assert isinstance(expression, BinaryExpression)
+        assert expression.operator == "*"
+
+    def test_bind_variable_is_visible(self):
+        query = parse_query("SELECT * WHERE { ?s sn:length ?l . BIND(?l * 2 AS ?double) }")
+        assert Variable("double") in query.where.variables()
+
+    def test_bind_requires_as(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?s sn:length ?l . BIND(?l * 2) }")
+
+    def test_bind_inside_nested_group_is_merged(self):
+        query = parse_query(
+            "SELECT * WHERE { { ?s sn:length ?l . BIND(?l + 1 AS ?next) } }"
+        )
+        assert len(query.where.binds) == 1

@@ -162,3 +162,24 @@ class TestColumnarAccess:
         index.insert((7, 7, 7))
         after = index.packed_prefix(2)[0]
         assert after.shape[0] == before.shape[0] + 1
+
+
+class TestMorselRanges:
+    def test_partitions_cover_the_range_in_order(self):
+        index = make_index("spo")
+        ranges = index.morsel_ranges(0, len(index), 2)
+        assert ranges == [(0, 2), (2, 4), (4, 6)]
+
+    def test_uneven_tail_morsel(self):
+        index = make_index("spo")
+        ranges = index.morsel_ranges(1, 6, 4)
+        assert ranges == [(1, 5), (5, 6)]
+
+    def test_empty_range_has_no_morsels(self):
+        index = make_index("spo")
+        assert index.morsel_ranges(3, 3, 4) == []
+
+    def test_invalid_morsel_size_rejected(self):
+        index = make_index("spo")
+        with pytest.raises(ValueError):
+            index.morsel_ranges(0, 6, 0)

@@ -123,3 +123,39 @@ class TestStatisticsAccessors:
         store = make_store()
         for name in ("spo", "sop", "pso", "pos", "osp", "ops"):
             assert len(store.index(name)) == 5
+
+
+class TestMorselScans:
+    def test_morsels_concatenate_to_the_full_scan(self):
+        store = make_store()
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        full = store.scan_pattern_arrays(pattern)
+        morsels = store.scan_pattern_morsels(pattern, 2)
+        assert len(morsels) == 3  # 5 rows in 2-row morsels
+        for component in range(3):
+            merged = [value for morsel in morsels for value in morsel[component].tolist()]
+            assert merged == full[component].tolist()
+
+    def test_unknown_constant_yields_no_morsels(self):
+        store = make_store()
+        pattern = TriplePattern(Variable("s"), IRI(EX + "missing"), Variable("o"))
+        assert store.scan_pattern_morsels(pattern, 2) == []
+
+    def test_repeated_variable_filter_applies_per_morsel(self):
+        store = TripleStore()
+        store.add(Triple(IRI(EX + "x"), IRI(EX + "p"), IRI(EX + "x")))
+        store.add(Triple(IRI(EX + "x"), IRI(EX + "p"), IRI(EX + "y")))
+        store.add(Triple(IRI(EX + "z"), IRI(EX + "p"), IRI(EX + "z")))
+        store.finalise()
+        pattern = TriplePattern(Variable("a"), IRI(EX + "p"), Variable("a"))
+        assert store.pattern_has_repeated_variables(pattern)
+        kept = 0
+        for morsel in store.scan_pattern_morsels(pattern, 1):
+            s, p, o = store.filter_repeated_variables(pattern, *morsel)
+            assert (s == o).all()
+            kept += int(s.shape[0])
+        assert kept == len(list(store.scan_pattern(pattern)))
+
+    def test_plain_pattern_has_no_repeated_variables(self):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert not TripleStore.pattern_has_repeated_variables(pattern)
