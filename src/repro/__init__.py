@@ -3,7 +3,9 @@
 The package is organised in layers:
 
 * :mod:`repro.rdf` / :mod:`repro.store` — RDF data model and a
-  dictionary-encoded triple store with six permutation indexes,
+  dictionary-encoded triple store with six permutation indexes, plus
+  versioned store snapshots loaded zero-copy via ``np.memmap``
+  (:mod:`repro.store.snapshot`),
 * :mod:`repro.sparql` — a SPARQL-subset parser, algebra and query templates
   with ``%param`` substitution parameters,
 * :mod:`repro.optimizer` / :mod:`repro.engine` — a ``Cout``-based optimizer
@@ -26,6 +28,7 @@ from .engine import QueryEngine, QueryResult
 from .rdf import Graph, IRI, Literal, Variable
 from .service import QueryService
 from .sparql import QueryTemplate, parse_query
+from .store import TripleStore
 
 __version__ = "1.0.0"
 
@@ -37,6 +40,7 @@ __all__ = [
     "QueryResult",
     "QueryService",
     "QueryTemplate",
+    "TripleStore",
     "Variable",
     "__version__",
     "bench",

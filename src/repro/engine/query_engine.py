@@ -122,10 +122,16 @@ class QueryEngine:
         runtime_model: Optional[RuntimeModel] = None,
         executor: Optional[str] = None,
         parallelism: int = 1,
+        statistics: Optional[StoreStatistics] = None,
     ):
         self.store = data.store if isinstance(data, Graph) else data
         self.store.finalise()
-        self.statistics = StoreStatistics(self.store).collect()
+        if statistics is not None and statistics.store is not self.store:
+            raise ValueError("statistics were collected over a different store")
+        # A warm statistics snapshot (e.g. loaded from a store snapshot,
+        # see repro.store.snapshot) skips the O(N) collection scan here:
+        # collect() re-checks the data_version and returns immediately.
+        self.statistics = (statistics if statistics is not None else StoreStatistics(self.store)).collect()
         self.optimizer = Optimizer(self.statistics, join_ordering=join_ordering)
         self.executor_name = executor if executor is not None else default_executor()
         self.parallelism = max(1, int(parallelism))

@@ -59,7 +59,14 @@ class CardinalityEstimator:
         return float(self.statistics.pattern_cardinality(pattern))
 
     def variable_counts(self, pattern: TriplePattern, cardinality: Optional[float] = None) -> Dict[Variable, float]:
-        """Estimated distinct-value count per variable of a single pattern."""
+        """Estimated distinct-value count per variable of a single pattern.
+
+        A variable occurring in several positions (``?x :p ?x``) is an
+        equality constraint: its value must be drawn from the *intersection*
+        of the per-position value sets, so the estimate is the minimum of
+        the per-position estimates (a later position must never blindly
+        overwrite an earlier, tighter one).
+        """
         if cardinality is None:
             cardinality = self.pattern_cardinality(pattern)
         counts: Dict[Variable, float] = {}
@@ -82,7 +89,12 @@ class CardinalityEstimator:
             if position == "predicate":
                 estimate = self.statistics.store.distinct_predicates()
             # Never claim more distinct values than rows.
-            counts[term] = max(1.0, min(float(estimate), float(cardinality))) if cardinality else 0.0
+            bounded = max(1.0, min(float(estimate), float(cardinality))) if cardinality else 0.0
+            if term in counts:
+                # Repeated variable: keep the tightest per-position estimate.
+                counts[term] = min(counts[term], bounded)
+            else:
+                counts[term] = bounded
         return counts
 
     # -- joins -------------------------------------------------------------------

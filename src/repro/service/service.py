@@ -72,6 +72,37 @@ class QueryService:
         #: closed-loop concurrency knob, as opposed to ``engine.parallelism``).
         self.last_batch_workers = 1
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str,
+        plan_cache_capacity: int = 512,
+        executor: Optional[str] = None,
+        parallelism: Optional[int] = None,
+        join_ordering: str = "dp",
+    ) -> "QueryService":
+        """Serve straight from a store snapshot (see :mod:`repro.store.snapshot`).
+
+        Loads the store zero-copy (memory-mapped indexes, lazy dictionary)
+        and adopts the persisted statistics so the optimizer is warm from
+        the first query — the production cold-start path: no dataset
+        regeneration, no index re-sort, no statistics scan.
+        """
+        from ..store.snapshot import load_snapshot
+
+        snapshot = load_snapshot(path)
+        engine = QueryEngine(
+            snapshot.store,
+            join_ordering=join_ordering,
+            statistics=snapshot.statistics(),
+        )
+        return cls(
+            engine,
+            plan_cache_capacity=plan_cache_capacity,
+            executor=executor,
+            parallelism=parallelism,
+        )
+
     # -- preparation ---------------------------------------------------------------
 
     def prepare(self, template: TemplateOrName) -> PreparedTemplate:

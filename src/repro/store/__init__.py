@@ -1,6 +1,14 @@
-"""Triple-store substrate: permutation indexes, the store and its statistics."""
+"""Triple-store substrate: permutation indexes, the store, statistics, snapshots."""
 
 from .indexes import PermutationIndex, PERMUTATIONS, permutation_positions
+from .snapshot import (
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    StoreSnapshot,
+    load_snapshot,
+    save_snapshot,
+)
 from .statistics import PredicateStatistics, StoreStatistics
 from .triple_store import TripleStore
 
@@ -8,7 +16,13 @@ __all__ = [
     "PERMUTATIONS",
     "PermutationIndex",
     "PredicateStatistics",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotIntegrityError",
+    "StoreSnapshot",
     "StoreStatistics",
     "TripleStore",
+    "load_snapshot",
     "permutation_positions",
+    "save_snapshot",
 ]

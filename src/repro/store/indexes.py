@@ -97,6 +97,22 @@ class PermutationIndex:
         self._packed = {}
         self._finalised = True
 
+    def adopt_sorted_columns(
+        self, columns: Tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> None:
+        """Adopt already-sorted key columns without copying or re-sorting.
+
+        The snapshot loader hands the index memory-mapped column views in
+        exactly the lexicographic order :meth:`bulk_load` would have
+        produced — adopting them is what makes snapshot load zero-copy.
+        The columns are treated as read-only; point mutations copy them
+        into fresh arrays (``np.insert`` / ``np.delete``), never write in
+        place.
+        """
+        self._columns = tuple(columns)
+        self._packed = {}
+        self._finalised = True
+
     def insert(self, triple: IdTriple) -> None:
         """Insert a single triple keeping the index sorted."""
         key = self._permute(triple)

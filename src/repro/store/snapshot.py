@@ -1,0 +1,501 @@
+"""Zero-copy store snapshots: persist a finalised store, load it via mmap.
+
+Every experiment and service run used to regenerate its dataset, re-encode
+the term dictionary and re-sort all six permutation indexes in-process —
+pure startup cost for the paper's repeated-runs-over-curated-data
+methodology.  A snapshot captures the finished product of that work once:
+
+* the six :class:`~repro.store.indexes.PermutationIndex` column arrays are
+  written out verbatim (already sorted), so loading *adopts* them as
+  ``np.memmap`` views instead of re-sorting — the OS pages data in on
+  demand and shares it between processes;
+* the :class:`~repro.rdf.dictionary.TermDictionary` is written as a packed
+  blob and decoded *lazily*: terms materialise one by one the first time an
+  id is decoded (late materialization means most never are), and the
+  term→id map hydrates only when a query actually looks a constant up;
+* the collected :class:`~repro.store.statistics.StoreStatistics` (predicate
+  stats + characteristic sets) ride along keyed by
+  :attr:`~repro.store.triple_store.TripleStore.data_version`, so the
+  optimizer is warm immediately after load.
+
+A loaded store is **bit-identical** to the freshly built one: same
+dictionary ids, same index order, same statistics — every query answers
+exactly the same rows, profiles and ``Cout`` under either executor and any
+morsel parallelism degree (asserted by ``tests/test_store_snapshot.py``).
+
+On-disk format (version 1)
+--------------------------
+
+One file, little-endian::
+
+    offset  size  field
+    0       8     magic ``b"REPROSNP"``
+    8       4     format version (uint32)
+    12      4     header length in bytes (uint32)
+    16      4     CRC-32 of every byte from offset 24 to EOF (uint32)
+    20      4     zero padding
+    24      var   header: UTF-8 JSON (see below)
+    ...           zero padding to the next 8-byte boundary
+    ...           payload: the sections, each 8-byte aligned
+
+The JSON header records ``format_version``, ``triples``, ``terms``,
+``data_version``, ``payload_size``, an optional ``statistics`` payload, an
+optional ``fingerprint`` string (callers that cache snapshots — the
+``--snapshot`` engine factories — store a generator-config fingerprint
+there and rebuild on mismatch, so a stale cache never silently serves an
+outdated dataset), and a ``sections`` table mapping section names to
+``{offset, count, dtype}`` (offsets relative to the payload base).
+Sections are:
+
+* ``dictionary/kinds`` (uint8) — term kind tag per id,
+* ``dictionary/offsets`` (int64, ``terms + 1`` entries) — blob offsets,
+* ``dictionary/blob`` (uint8) — packed term payloads,
+* ``index/<perm>/<slot>`` (int64) — the three sorted key columns of each
+  of the six permutations (``spo`` … ``ops``).
+
+Versioning policy: the format version is bumped on **any** layout change;
+readers accept exactly their own version and raise
+:class:`SnapshotFormatError` otherwise (no silent migration).  Corruption
+and truncation are caught by the size check plus the CRC and raise
+:class:`SnapshotIntegrityError` — a snapshot either loads bit-identically
+or not at all, never as garbage results.  The CRC scan reads the whole
+file once; a per-process cache keyed by (path, size, mtime, crc) skips it
+for repeated loads of an unchanged file, so only the *first* load of a
+snapshot pays O(file size) and later engine constructions over the same
+snapshot stay page-on-demand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..rdf.dictionary import TermDictionary
+from ..rdf.terms import BNode, IRI, Literal, Term
+from .indexes import PERMUTATIONS
+from .statistics import StoreStatistics
+from .triple_store import TripleStore
+
+#: First 8 bytes of every snapshot file.
+MAGIC = b"REPROSNP"
+
+#: Bumped on any change to the layout documented above.
+FORMAT_VERSION = 1
+
+#: Fixed-size preamble before the JSON header.
+_PREAMBLE = struct.Struct("<8sIII4x")
+
+_ALIGNMENT = 8
+
+#: Term kind tags used in the ``dictionary/kinds`` section.
+_KIND_BNODE = 0
+_KIND_IRI = 1
+_KIND_PLAIN_LITERAL = 2
+_KIND_LANG_LITERAL = 3
+_KIND_TYPED_LITERAL = 4
+
+_LEN = struct.Struct("<I")
+
+_DTYPES = {"int64": np.int64, "uint8": np.uint8}
+
+
+class SnapshotError(Exception):
+    """Base class for every snapshot load/save failure."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """The file is not a snapshot, or its format version is unsupported."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """The file is truncated or corrupted (size/checksum mismatch)."""
+
+
+# -- term payload encoding ----------------------------------------------------
+
+
+def _encode_term(term: Term) -> Tuple[int, bytes]:
+    """Return the (kind tag, payload bytes) encoding of a concrete term."""
+    if isinstance(term, BNode):
+        return _KIND_BNODE, term.label.encode("utf-8")
+    if isinstance(term, IRI):
+        return _KIND_IRI, term.value.encode("utf-8")
+    if isinstance(term, Literal):
+        lexical = term.lexical.encode("utf-8")
+        if term.language is not None:
+            return _KIND_LANG_LITERAL, _LEN.pack(len(lexical)) + lexical + term.language.encode("utf-8")
+        if term.datatype is not None:
+            return (
+                _KIND_TYPED_LITERAL,
+                _LEN.pack(len(lexical)) + lexical + term.datatype.value.encode("utf-8"),
+            )
+        return _KIND_PLAIN_LITERAL, lexical
+    raise SnapshotError("cannot snapshot non-concrete term %r" % (term,))
+
+
+def _decode_term(kind: int, payload: bytes) -> Term:
+    if kind == _KIND_BNODE:
+        return BNode(payload.decode("utf-8"))
+    if kind == _KIND_IRI:
+        return IRI(payload.decode("utf-8"))
+    if kind == _KIND_PLAIN_LITERAL:
+        return Literal(payload.decode("utf-8"))
+    if kind in (_KIND_LANG_LITERAL, _KIND_TYPED_LITERAL):
+        (lexical_length,) = _LEN.unpack_from(payload)
+        lexical = payload[_LEN.size : _LEN.size + lexical_length].decode("utf-8")
+        rest = payload[_LEN.size + lexical_length :].decode("utf-8")
+        if kind == _KIND_LANG_LITERAL:
+            return Literal(lexical, language=rest)
+        return Literal(lexical, datatype=IRI(rest))
+    raise SnapshotFormatError("unknown term kind tag %d" % kind)
+
+
+class LazyTermDictionary(TermDictionary):
+    """A :class:`TermDictionary` hydrating from a snapshot blob on demand.
+
+    ``decode(id)`` parses exactly one term from the mapped blob the first
+    time that id is asked for (late materialization means most ids never
+    are).  The term→id direction (``lookup`` / ``encode`` / ``in``)
+    hydrates the whole reverse map once, on first use — queries with
+    constants pay that cost on their first execution, not at load time.
+    Mutation (``encode`` of a fresh term) works exactly as on the eager
+    dictionary after hydration.
+    """
+
+    def __init__(self, kinds: np.ndarray, offsets: np.ndarray, blob: np.ndarray):
+        super().__init__()
+        self._kinds = kinds
+        self._offsets = offsets
+        self._blob = blob
+        count = int(kinds.shape[0])
+        self._id_to_term: List[Optional[Term]] = [None] * count
+        self._decoded = 0
+        self._reverse_built = count == 0
+
+    @property
+    def decoded_terms(self) -> int:
+        """How many terms have been parsed from the blob (laziness probe)."""
+        return self._decoded
+
+    @property
+    def reverse_hydrated(self) -> bool:
+        """True once the term→id map has been built (laziness probe)."""
+        return self._reverse_built
+
+    def decode(self, term_id: int) -> Term:
+        if 0 <= term_id < len(self._id_to_term):
+            term = self._id_to_term[term_id]
+            if term is None:
+                start = int(self._offsets[term_id])
+                stop = int(self._offsets[term_id + 1])
+                term = _decode_term(int(self._kinds[term_id]), bytes(self._blob[start:stop]))
+                self._id_to_term[term_id] = term
+                self._decoded += 1
+            return term
+        raise KeyError("unknown term id %r" % term_id)
+
+    def _hydrate_reverse(self) -> None:
+        if self._reverse_built:
+            return
+        for term_id in range(len(self._id_to_term)):
+            self._term_to_id[self.decode(term_id)] = term_id
+        self._reverse_built = True
+
+    def lookup(self, term: Term) -> Optional[int]:
+        self._hydrate_reverse()
+        return super().lookup(term)
+
+    def encode(self, term: Term) -> int:
+        self._hydrate_reverse()
+        return super().encode(term)
+
+    def __contains__(self, term: Term) -> bool:
+        self._hydrate_reverse()
+        return super().__contains__(term)
+
+    def terms(self) -> Iterator[Term]:
+        self._hydrate_reverse()
+        return super().terms()
+
+    def items(self) -> Iterator[tuple]:
+        self._hydrate_reverse()
+        return super().items()
+
+
+# -- saving -------------------------------------------------------------------
+
+
+def _pad_to(size: int, alignment: int = _ALIGNMENT) -> int:
+    remainder = size % alignment
+    return 0 if remainder == 0 else alignment - remainder
+
+
+def _dictionary_sections(dictionary: TermDictionary) -> List[Tuple[str, np.ndarray]]:
+    kinds = np.empty(len(dictionary), dtype=np.uint8)
+    offsets = np.zeros(len(dictionary) + 1, dtype=np.int64)
+    blob = bytearray()
+    for term, term_id in dictionary.items():
+        kind, payload = _encode_term(term)
+        kinds[term_id] = kind
+        blob.extend(payload)
+        offsets[term_id + 1] = len(blob)
+    return [
+        ("dictionary/kinds", kinds),
+        ("dictionary/offsets", offsets),
+        ("dictionary/blob", np.frombuffer(bytes(blob), dtype=np.uint8)),
+    ]
+
+
+def save_snapshot(
+    path: str,
+    store: TripleStore,
+    statistics: Optional[StoreStatistics] = None,
+    fingerprint: Optional[str] = None,
+) -> Dict:
+    """Serialize a finalised store (and optionally its statistics) to ``path``.
+
+    Returns the header dict that was written.  The write is atomic (temp
+    file + rename), so a crashed save never leaves a half-written snapshot
+    where a loader could find it.  ``fingerprint`` is an opaque string the
+    caller can use to identify *what* was snapshotted (e.g. a generator
+    config); cache-style consumers compare it on load and rebuild on
+    mismatch.
+    """
+    store.finalise()
+    sections: List[Tuple[str, np.ndarray]] = _dictionary_sections(store.dictionary)
+    for name in PERMUTATIONS:
+        for slot, column in enumerate(store.index(name).columns()):
+            sections.append(
+                ("index/%s/%d" % (name, slot), np.ascontiguousarray(column, dtype=np.int64))
+            )
+
+    section_table: Dict[str, Dict] = {}
+    payload_size = 0
+    for name, array in sections:
+        payload_size += _pad_to(payload_size)
+        section_table[name] = {
+            "offset": payload_size,
+            "count": int(array.shape[0]),
+            "dtype": str(array.dtype),
+        }
+        payload_size += array.nbytes
+
+    statistics_payload = None
+    if statistics is not None:
+        if statistics.store is not store:
+            raise SnapshotError("statistics were collected over a different store")
+        # as_payload() collects (or refreshes) first, so the payload is
+        # always keyed by the data_version being written.
+        statistics_payload = statistics.as_payload()
+
+    header = {
+        "format_version": FORMAT_VERSION,
+        "triples": len(store),
+        "terms": len(store.dictionary),
+        "data_version": store.data_version,
+        "payload_size": payload_size,
+        "fingerprint": fingerprint,
+        "statistics": statistics_payload,
+        "sections": section_table,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    header_padding = b"\0" * _pad_to(len(header_bytes))
+
+    # A unique temp name keeps concurrent savers of the same path from
+    # interleaving writes; os.replace publishes whole files only.
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    handle = tempfile.NamedTemporaryFile(
+        mode="wb",
+        dir=directory,
+        prefix=os.path.basename(path) + ".",
+        suffix=".tmp",
+        delete=False,
+    )
+    temp_path = handle.name
+    try:
+        with handle:
+            # One serialization pass: each section's bytes feed the CRC and
+            # the file once; the CRC is patched into the preamble afterwards.
+            handle.write(_PREAMBLE.pack(MAGIC, FORMAT_VERSION, len(header_bytes), 0))
+            crc = zlib.crc32(header_bytes)
+            handle.write(header_bytes)
+            crc = zlib.crc32(header_padding, crc)
+            handle.write(header_padding)
+            written = 0
+            for name, array in sections:
+                gap = section_table[name]["offset"] - written
+                if gap:
+                    padding = b"\0" * gap
+                    crc = zlib.crc32(padding, crc)
+                    handle.write(padding)
+                    written += gap
+                data = array.tobytes()
+                crc = zlib.crc32(data, crc)
+                handle.write(data)
+                written += array.nbytes
+            handle.seek(16)
+            handle.write(struct.pack("<I", crc & 0xFFFFFFFF))
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return header
+
+
+# -- loading ------------------------------------------------------------------
+
+
+def _checksum_body(path: str) -> int:
+    crc = 0
+    with open(path, "rb") as handle:
+        handle.seek(_PREAMBLE.size)
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                return crc & 0xFFFFFFFF
+            crc = zlib.crc32(chunk, crc)
+
+
+#: Files whose body CRC already verified this process, keyed by
+#: (absolute path, size, mtime_ns, crc).  Any rewrite of the file changes
+#: the key, so corruption after a successful load is still caught; the
+#: cache only spares *repeated* loads of an unchanged snapshot (one per
+#: executor/parallelism engine, say) from re-reading the whole file.
+_verified_bodies: Dict[Tuple[str, int, int, int], bool] = {}
+
+
+def _read_header(path: str) -> Tuple[Dict, int, int]:
+    """Validate preamble + checksum; return (header, payload_base, crc)."""
+    try:
+        file_size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            preamble = handle.read(_PREAMBLE.size)
+            if len(preamble) < _PREAMBLE.size:
+                raise SnapshotFormatError("%s: too short to be a snapshot" % path)
+            magic, version, header_length, crc = _PREAMBLE.unpack(preamble)
+            if magic != MAGIC:
+                raise SnapshotFormatError("%s: not a repro snapshot (bad magic)" % path)
+            if version != FORMAT_VERSION:
+                raise SnapshotFormatError(
+                    "%s: snapshot format version %d is not supported (this "
+                    "build reads version %d); regenerate the snapshot"
+                    % (path, version, FORMAT_VERSION)
+                )
+            header_bytes = handle.read(header_length)
+    except OSError as error:
+        raise SnapshotError("%s: cannot read snapshot (%s)" % (path, error)) from error
+    if len(header_bytes) < header_length:
+        raise SnapshotIntegrityError("%s: truncated snapshot header" % path)
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotIntegrityError("%s: corrupted snapshot header (%s)" % (path, error)) from error
+    if not isinstance(header, dict) or any(
+        key not in header
+        for key in ("payload_size", "triples", "terms", "data_version", "sections")
+    ):
+        raise SnapshotIntegrityError("%s: snapshot header is missing required fields" % path)
+
+    payload_base = _PREAMBLE.size + header_length + _pad_to(header_length)
+    expected_size = payload_base + header["payload_size"]
+    if file_size != expected_size:
+        raise SnapshotIntegrityError(
+            "%s: snapshot is %d bytes but the header promises %d "
+            "(truncated or overwritten)" % (path, file_size, expected_size)
+        )
+    try:
+        mtime_ns = os.stat(path).st_mtime_ns
+    except OSError:
+        mtime_ns = -1
+    verified_key = (os.path.abspath(path), file_size, mtime_ns, crc)
+    if verified_key not in _verified_bodies:
+        if _checksum_body(path) != crc:
+            raise SnapshotIntegrityError("%s: snapshot checksum mismatch (corrupted)" % path)
+        _verified_bodies[verified_key] = True
+    return header, payload_base, crc
+
+
+def _map_section(path: str, payload_base: int, meta: Dict) -> np.ndarray:
+    dtype = _DTYPES.get(meta["dtype"])
+    if dtype is None:
+        raise SnapshotFormatError("%s: unknown section dtype %r" % (path, meta["dtype"]))
+    count = int(meta["count"])
+    if count == 0:
+        return np.empty(0, dtype=dtype)
+    return np.memmap(
+        path, mode="r", dtype=dtype, offset=payload_base + int(meta["offset"]), shape=(count,)
+    )
+
+
+class StoreSnapshot:
+    """A loaded snapshot: the memory-mapped store plus its header metadata."""
+
+    def __init__(self, path: str, store: TripleStore, header: Dict):
+        self.path = path
+        self.store = store
+        self.header = header
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """The saver-provided identity string (``None`` when not recorded)."""
+        return self.header.get("fingerprint")
+
+    def statistics(self) -> Optional[StoreStatistics]:
+        """The persisted statistics, rebuilt warm over the loaded store.
+
+        Returns ``None`` when the snapshot was saved without statistics.
+        The payload is keyed by ``data_version``; a mismatch (which cannot
+        happen for an unmutated snapshot) falls back to ``None`` so the
+        caller re-collects instead of serving stale estimates.
+        """
+        payload = self.header.get("statistics")
+        if not payload or payload.get("data_version") != self.store.data_version:
+            return None
+        return StoreStatistics.from_persisted(self.store, payload)
+
+    def __repr__(self) -> str:
+        return "StoreSnapshot(%r, triples=%d, terms=%d)" % (
+            self.path,
+            self.header["triples"],
+            self.header["terms"],
+        )
+
+
+def load_snapshot(path: str) -> StoreSnapshot:
+    """Load a snapshot zero-copy: mmap the index columns, decode terms lazily.
+
+    Raises :class:`SnapshotFormatError` for non-snapshots and unsupported
+    format versions, :class:`SnapshotIntegrityError` for truncated or
+    corrupted files.
+    """
+    header, payload_base, _crc = _read_header(path)
+    sections = header["sections"]
+
+    def mapped(name: str) -> np.ndarray:
+        meta = sections.get(name)
+        if meta is None:
+            raise SnapshotFormatError("%s: snapshot is missing section %r" % (path, name))
+        return _map_section(path, payload_base, meta)
+
+    dictionary = LazyTermDictionary(
+        mapped("dictionary/kinds"), mapped("dictionary/offsets"), mapped("dictionary/blob")
+    )
+    store = TripleStore()
+    store.dictionary = dictionary
+    for name in PERMUTATIONS:
+        columns = tuple(mapped("index/%s/%d" % (name, slot)) for slot in range(3))
+        store._indexes[name].adopt_sorted_columns(columns)
+    store._size = int(header["triples"])
+    store._pending = []
+    store._loaded = True
+    store._version = int(header["data_version"])
+    return StoreSnapshot(path, store, header)

@@ -75,9 +75,17 @@ class StoreStatistics:
         self.total_triples = 0
         self.predicate_stats: Dict[int, PredicateStatistics] = {}
         self.characteristic_sets: Counter = Counter()
+        #: how many full O(N) collection scans have actually run (racing
+        #: refreshers that found a fresh snapshot inside the lock skip the
+        #: scan and do not count).
+        self.collections = 0
         self._collected = False
         self._version: Optional[int] = None
         self._collect_lock = threading.Lock()
+        #: memoized characteristic_set_count results for the current
+        #: data_version; replaced whole by every collection, so a store
+        #: mutation invalidates the memo together with the summaries.
+        self._superset_counts: Dict[FrozenSet[int], int] = {}
 
     # -- collection ---------------------------------------------------------
 
@@ -86,13 +94,18 @@ class StoreStatistics:
 
         Safe for concurrent readers: the summaries are built into fresh
         containers and swapped in whole, so a thread reading the previous
-        snapshot mid-refresh still sees a consistent one; the lock keeps
-        racing refreshers from collecting twice.
+        snapshot mid-refresh still sees a consistent one.  The lock keeps
+        racing refreshers from collecting twice: the data_version is
+        re-checked *inside* the lock, so the loser of the race finds the
+        winner's fresh snapshot and returns without scanning.
         """
         with self._collect_lock:
             store = self.store
             store.finalise()
             version = store.data_version
+            if self._collected and self._version == version:
+                return self
+            self.collections += 1
             predicate_stats: Dict[int, PredicateStatistics] = {}
             characteristic_sets: Counter = Counter()
 
@@ -125,6 +138,7 @@ class StoreStatistics:
             self.total_triples = len(store)
             self.predicate_stats = predicate_stats
             self.characteristic_sets = characteristic_sets
+            self._superset_counts = {}
             self._collected = True
             self._version = version
         return self
@@ -168,14 +182,81 @@ class StoreStatistics:
         """Number of subjects whose predicate set is a superset of ``predicates``.
 
         Used to estimate the number of distinct subjects surviving a star
-        join over the given predicates.
+        join over the given predicates.  The O(|csets|) superset scan is
+        memoized per (predicate set, data_version): the memo dict is
+        replaced whole by :meth:`collect`, so any store mutation (which
+        bumps the data_version and triggers a re-collect) invalidates it.
         """
         self._require_collected()
-        total = 0
-        for cset, count in self.characteristic_sets.items():
-            if predicates <= cset:
-                total += count
-        return total
+        memo = self._superset_counts
+        cached = memo.get(predicates)
+        if cached is None:
+            cached = 0
+            for cset, count in self.characteristic_sets.items():
+                if predicates <= cset:
+                    cached += count
+            memo[predicates] = cached
+        return cached
+
+    # -- persistence (snapshot subsystem) ----------------------------------------
+
+    def as_payload(self) -> Dict:
+        """JSON-serialisable snapshot of the collected summaries.
+
+        Keyed by the store's ``data_version`` so a loader can tell whether
+        the persisted statistics still describe the mapped triples.
+        """
+        self._require_collected()
+        return {
+            "data_version": self._version,
+            "total_triples": self.total_triples,
+            "predicates": [
+                [
+                    self.predicate_stats[predicate_id].predicate_id,
+                    self.predicate_stats[predicate_id].triple_count,
+                    self.predicate_stats[predicate_id].distinct_subjects,
+                    self.predicate_stats[predicate_id].distinct_objects,
+                ]
+                for predicate_id in sorted(self.predicate_stats)
+            ],
+            "characteristic_sets": [
+                [sorted(cset), count]
+                for cset, count in sorted(
+                    self.characteristic_sets.items(), key=lambda item: sorted(item[0])
+                )
+            ],
+        }
+
+    @classmethod
+    def from_persisted(cls, store: TripleStore, payload: Dict) -> "StoreStatistics":
+        """Rebuild a warm statistics snapshot from :meth:`as_payload` output.
+
+        No scan runs: the summaries are adopted as collected at the
+        payload's ``data_version``.  A later store mutation re-collects
+        automatically, exactly like a live snapshot.
+        """
+        statistics = cls(store)
+        statistics.total_triples = int(payload["total_triples"])
+        statistics.predicate_stats = {
+            int(predicate_id): PredicateStatistics(
+                predicate_id=int(predicate_id),
+                triple_count=int(triple_count),
+                distinct_subjects=int(distinct_subjects),
+                distinct_objects=int(distinct_objects),
+            )
+            for predicate_id, triple_count, distinct_subjects, distinct_objects in payload[
+                "predicates"
+            ]
+        }
+        statistics.characteristic_sets = Counter(
+            {
+                frozenset(int(predicate_id) for predicate_id in cset): int(count)
+                for cset, count in payload["characteristic_sets"]
+            }
+        )
+        statistics._collected = True
+        statistics._version = int(payload["data_version"])
+        return statistics
 
     # -- convenience for tests / reporting --------------------------------------
 

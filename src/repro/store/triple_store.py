@@ -103,6 +103,34 @@ class TripleStore:
         """Force any staged triples into the indexes."""
         self._ensure_loaded()
 
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str, statistics=None, fingerprint=None) -> dict:
+        """Persist the finalised store (and optional statistics) to ``path``.
+
+        See :mod:`repro.store.snapshot` for the on-disk format.  Returns
+        the written header dict.
+        """
+        from .snapshot import save_snapshot
+
+        return save_snapshot(path, self, statistics=statistics, fingerprint=fingerprint)
+
+    @classmethod
+    def load(cls, path: str) -> "TripleStore":
+        """Load a snapshot zero-copy: memory-mapped indexes, lazy dictionary.
+
+        The loaded store is bit-identical to the one that was saved —
+        same dictionary ids, same index order, same ``data_version`` — so
+        every query answers exactly as it would against the original.
+        Raises :class:`repro.store.snapshot.SnapshotError` subclasses on
+        format/integrity problems, never returns a partially loaded store.
+        Use :func:`repro.store.snapshot.load_snapshot` instead when the
+        persisted statistics are wanted too.
+        """
+        from .snapshot import load_snapshot
+
+        return load_snapshot(path).store
+
     # -- point mutations ----------------------------------------------------
 
     def insert(self, triple: Triple) -> bool:

@@ -136,6 +136,69 @@ class TestCommands:
         assert exit_code == 0
         assert "tuple index-lookup join (per-row probes)" in output
 
+    def test_generate_with_output_snapshot(self, tmp_path):
+        target = tmp_path / "bsbm.snapshot"
+        exit_code, output = run_cli(
+            ["generate", "bsbm", "--products", "10", "--seed", "3", "--output-snapshot", str(target)]
+        )
+        assert exit_code == 0
+        assert "wrote snapshot" in output
+        # With no --output, the dataset is not dumped to stdout as well.
+        assert "<http" not in output
+
+        from repro.store import TripleStore, load_snapshot
+
+        loaded = TripleStore.load(str(target))
+        assert len(loaded) > 50
+        # The statistics ride along, keyed to the store's data version.
+        assert load_snapshot(str(target)).statistics() is not None
+
+    def test_generate_explicit_stdout_with_snapshot_keeps_data_clean(self, tmp_path, capsys):
+        target = tmp_path / "bsbm.snapshot"
+        exit_code, output = run_cli(
+            [
+                "generate",
+                "bsbm",
+                "--products",
+                "10",
+                "--seed",
+                "3",
+                "--output",
+                "-",
+                "--output-snapshot",
+                str(target),
+            ]
+        )
+        assert exit_code == 0
+        # Explicitly requested stdout dump still happens, and the snapshot
+        # status line goes to stderr so the data stream stays parseable.
+        assert "wrote snapshot" not in output
+        assert len(list(ntriples.parse(output))) > 50
+        assert "wrote snapshot" in capsys.readouterr().err
+        assert target.exists()
+
+    def test_snapshot_cache_serves_identical_results(self, tmp_path):
+        from repro.experiments import common
+
+        exit_code, plain = run_cli(["explain", "bsbm_bi_q8", "--scale", "tiny"])
+        assert exit_code == 0
+        try:
+            exit_code, cold = run_cli(
+                ["explain", "bsbm_bi_q8", "--scale", "tiny", "--snapshot", str(tmp_path)]
+            )
+            assert exit_code == 0
+            assert (tmp_path / "bsbm_tiny.snapshot").exists()
+            # Second run loads the persisted snapshot instead of building.
+            exit_code, warm = run_cli(
+                ["explain", "bsbm_bi_q8", "--scale", "tiny", "--snapshot", str(tmp_path)]
+            )
+            assert exit_code == 0
+        finally:
+            common.set_snapshot_dir(None)
+        # Same binding, same plan, same physical annotations either way.
+        assert cold == plain
+        assert warm == plain
+
     def test_workers_help_distinguishes_the_two_knobs(self):
         parser = cli.build_parser()
         helptext = parser.format_help()

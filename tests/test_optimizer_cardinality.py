@@ -56,6 +56,78 @@ class TestPatternCardinality:
         assert counts[Variable("p")] == 4  # firstName, livesIn, age, knows
 
 
+class TestRepeatedVariablePatterns:
+    """A variable in several positions is an equality constraint: the later
+    position must not blindly overwrite the earlier estimate — the combined
+    estimate is the minimum of the per-position ones."""
+
+    @pytest.fixture(scope="class")
+    def skewed_estimator(self):
+        # One hub subject fans out to three objects through p, so the
+        # subject estimate (1) is strictly tighter than the object one (3):
+        # an overwrite-instead-of-min bug yields 3 where min gives 1.
+        from repro.rdf.graph import Graph
+
+        graph = Graph()
+        hub = IRI(EX + "hub")
+        for index in range(3):
+            graph.add(hub, IRI(EX + "p"), IRI(EX + "o%d" % index))
+        graph.add(IRI(EX + "a"), IRI(EX + "q"), IRI(EX + "a"))
+        graph.add(IRI(EX + "b"), IRI(EX + "q"), IRI(EX + "b"))
+        graph.finalise()
+        return CardinalityEstimator(StoreStatistics(graph.store).collect())
+
+    def test_subject_object_repeated_takes_the_minimum(self, skewed_estimator):
+        pattern = TriplePattern(Variable("x"), IRI(EX + "p"), Variable("x"))
+        counts = skewed_estimator.variable_counts(pattern)
+        # distinct subjects of p = 1, distinct objects = 3: min wins.
+        assert counts == {Variable("x"): 1.0}
+
+    def test_order_of_positions_does_not_matter(self, skewed_estimator):
+        # Mirror case: through q, subjects (2) vs objects (2) are equal, but
+        # cardinality caps both; the single entry must still be the min.
+        pattern = TriplePattern(Variable("x"), IRI(EX + "q"), Variable("x"))
+        counts = skewed_estimator.variable_counts(pattern)
+        assert counts == {Variable("x"): 2.0}
+
+    def test_subject_predicate_repeated(self, skewed_estimator):
+        pattern = TriplePattern(Variable("x"), Variable("x"), Variable("o"))
+        counts = skewed_estimator.variable_counts(pattern)
+        cardinality = skewed_estimator.pattern_cardinality(pattern)
+        # predicate position estimates distinct predicates (2); subject
+        # position estimates the full cardinality (5): min is 2.
+        assert counts[Variable("x")] == 2.0
+        assert counts[Variable("o")] == cardinality
+
+    def test_predicate_object_repeated(self, skewed_estimator):
+        pattern = TriplePattern(Variable("s"), Variable("x"), Variable("x"))
+        counts = skewed_estimator.variable_counts(pattern)
+        assert counts[Variable("x")] == 2.0  # distinct predicates
+
+    def test_all_three_positions_repeated(self, skewed_estimator):
+        pattern = TriplePattern(Variable("x"), Variable("x"), Variable("x"))
+        counts = skewed_estimator.variable_counts(pattern)
+        assert set(counts) == {Variable("x")}
+        assert counts[Variable("x")] == 2.0  # predicate position is tightest
+
+    def test_estimates_never_exceed_cardinality(self, skewed_estimator):
+        for pattern in (
+            TriplePattern(Variable("x"), IRI(EX + "p"), Variable("x")),
+            TriplePattern(Variable("x"), Variable("x"), Variable("o")),
+            TriplePattern(Variable("x"), Variable("x"), Variable("x")),
+        ):
+            cardinality = skewed_estimator.pattern_cardinality(pattern)
+            for value in skewed_estimator.variable_counts(pattern).values():
+                assert value <= max(cardinality, 1.0)
+
+    def test_repeated_variables_on_people_graph(self, estimator):
+        # ?x knows ?x on the symmetric friendship graph: both positions
+        # estimate 6 distinct persons; the single entry is exactly that.
+        pattern = TriplePattern(Variable("x"), IRI(EX + "knows"), Variable("x"))
+        counts = estimator.variable_counts(pattern)
+        assert counts == {Variable("x"): 6.0}
+
+
 class TestJoinCardinality:
     def test_shared_variable_selectivity(self, estimator):
         cardinality, counts = estimator.join_cardinality(

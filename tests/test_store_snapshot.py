@@ -1,0 +1,408 @@
+"""Snapshot round-trip: bit-identical loaded stores, hard failures on bad files.
+
+The snapshot contract has two halves:
+
+* a loaded store is **indistinguishable** from the store that was saved —
+  same dictionary ids, same index order, same statistics, and therefore
+  bit-identical rows, profiles and ``Cout`` for every query, under both
+  executors and any morsel parallelism degree;
+* a snapshot file that is not exactly what was written (truncated,
+  corrupted, wrong version, not a snapshot at all) raises a dedicated
+  :class:`~repro.store.snapshot.SnapshotError` subclass — never garbage
+  results.
+
+Evidence: a Hypothesis property test over random graphs and the executor
+equivalence query pool, a deterministic sweep over every E1–E4 / BSBM /
+LDBC experiment template, and byte-surgery corruption tests.  The
+``REPRO_SNAPSHOT`` smoke (used by CI's executor matrix against a prebuilt
+artifact) round-trips a snapshot produced by ``generate --output-snapshot``.
+"""
+
+import itertools
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import execution_record
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import BSBMConfig, generate_bsbm
+from repro.datagen.bsbm import template as bsbm_template
+from repro.datagen.ldbc import template as ldbc_template
+from repro.engine import QueryEngine
+from repro.experiments import common
+from repro.rdf.terms import IRI, Literal, typed_literal
+from repro.rdf.triples import Triple
+from repro.service import QueryService
+from repro.store.snapshot import (
+    FORMAT_VERSION,
+    LazyTermDictionary,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.store.statistics import StoreStatistics
+from repro.store.triple_store import TripleStore
+from tests.test_executor_equivalence import (
+    EXPERIMENT_TEMPLATES,
+    QUERIES,
+    assert_equivalent,
+    triples_strategy,
+)
+
+EX = "http://example.org/"
+
+_counter = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("snapshots")
+
+
+def _round_trip(store: TripleStore, directory) -> TripleStore:
+    path = str(directory / ("store_%d.snapshot" % next(_counter)))
+    store.save(path)
+    return TripleStore.load(path)
+
+
+def build_store(triples) -> TripleStore:
+    store = TripleStore()
+    store.add_many(Triple(s, p, o) for s, p, o in triples)
+    store.finalise()
+    return store
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(triples=triples_strategy, query=st.sampled_from(QUERIES))
+    def test_loaded_store_is_bit_identical(self, snapshot_dir, triples, query):
+        store = build_store(triples)
+        loaded = _round_trip(store, snapshot_dir)
+        assert len(loaded) == len(store)
+        assert loaded.index("spo").keys() == store.index("spo").keys()
+        generated_engine = QueryEngine(store, executor="tuple")
+        for engine in (
+            QueryEngine(loaded, executor="tuple"),
+            QueryEngine(loaded, executor="vector"),
+            QueryEngine(loaded, executor="vector", parallelism=3),
+        ):
+            assert_equivalent(generated_engine.execute(query), engine.execute(query))
+
+    def test_dictionary_round_trips_every_term_kind(self, snapshot_dir):
+        from repro.rdf.terms import BNode, date_literal
+
+        terms = [
+            IRI(EX + "iri"),
+            BNode("b0"),
+            Literal("plain"),
+            Literal('quoted "text"\nwith\tescapes\\'),
+            Literal("hei", language="no"),
+            Literal("hallo", language="DE"),
+            typed_literal(42),
+            typed_literal(2.5),
+            typed_literal(True),
+            date_literal("2014-03-31"),
+            Literal("snø", language="no"),
+            Literal("ünïcödé ❄"),
+        ]
+        store = TripleStore()
+        predicate = IRI(EX + "p")
+        store.add_many(Triple(IRI(EX + "s%d" % i), predicate, term) for i, term in enumerate(terms))
+        store.finalise()
+        loaded = _round_trip(store, snapshot_dir)
+        assert list(loaded.dictionary.items()) == list(store.dictionary.items())
+        assert sorted(t.n3() for t in loaded.triples()) == sorted(t.n3() for t in store.triples())
+
+    def test_load_is_zero_copy_and_lazy(self, snapshot_dir):
+        store = build_store(
+            [(IRI(EX + "s"), IRI(EX + "p"), typed_literal(i)) for i in range(10)]
+        )
+        loaded = _round_trip(store, snapshot_dir)
+        # Index columns are memory-mapped views, not re-sorted copies.
+        for name in ("spo", "sop", "pso", "pos", "osp", "ops"):
+            for column in loaded.index(name).columns():
+                assert isinstance(column, np.memmap)
+        # No term has been decoded and the term->id map is not hydrated yet.
+        dictionary = loaded.dictionary
+        assert isinstance(dictionary, LazyTermDictionary)
+        assert dictionary.decoded_terms == 0
+        assert not dictionary.reverse_hydrated
+        # Counting touches only the mapped columns.
+        from repro.rdf.terms import Variable
+        from repro.rdf.triples import TriplePattern
+
+        assert loaded.count_pattern(
+            TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        ) == 10
+        assert dictionary.decoded_terms == 0
+
+    def test_loaded_store_accepts_mutations(self, snapshot_dir):
+        store = build_store([(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b"))])
+        loaded = _round_trip(store, snapshot_dir)
+        version = loaded.data_version
+        assert loaded.insert(Triple(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "c")))
+        assert loaded.data_version == version + 1
+        assert len(loaded) == 2
+        assert loaded.remove(Triple(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b")))
+        assert sorted(t.n3() for t in loaded.triples()) == [
+            "<%sa> <%sp> <%sc> ." % (EX, EX, EX)
+        ]
+        # A new term encodes beyond the persisted id range.
+        new_id = loaded.dictionary.encode(IRI(EX + "fresh"))
+        assert loaded.dictionary.decode(new_id) == IRI(EX + "fresh")
+
+    def test_persisted_statistics_are_warm_and_identical(self, snapshot_dir):
+        store = build_store(
+            [
+                (IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b")),
+                (IRI(EX + "a"), IRI(EX + "q"), typed_literal(1)),
+                (IRI(EX + "b"), IRI(EX + "p"), typed_literal(2)),
+            ]
+        )
+        fresh = StoreStatistics(store).collect()
+        path = str(snapshot_dir / "with_stats.snapshot")
+        save_snapshot(path, store, statistics=fresh)
+        snapshot = load_snapshot(path)
+        warm = snapshot.statistics()
+        assert warm is not None
+        # No collection scan ran, yet every summary matches a fresh scan.
+        assert warm.collections == 0
+        assert warm.as_payload() == fresh.as_payload()
+        assert warm.collections == 0
+        # A mutation invalidates the warm snapshot like any other.
+        snapshot.store.insert(Triple(IRI(EX + "c"), IRI(EX + "p"), typed_literal(3)))
+        assert warm.summary()["triples"] == 4
+        assert warm.collections == 1
+
+    def test_snapshot_without_statistics_reports_none(self, snapshot_dir):
+        store = build_store([(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b"))])
+        path = str(snapshot_dir / "no_stats.snapshot")
+        save_snapshot(path, store)
+        assert load_snapshot(path).statistics() is None
+
+    def test_empty_store_round_trips(self, snapshot_dir):
+        store = TripleStore()
+        store.finalise()
+        loaded = _round_trip(store, snapshot_dir)
+        assert len(loaded) == 0
+        assert len(QueryEngine(loaded).execute("SELECT ?s WHERE { ?s ?p ?o }")) == 0
+
+    def test_query_service_from_snapshot(self, snapshot_dir):
+        store = build_store(
+            [(IRI(EX + "s%d" % i), IRI(EX + "name"), Literal("n%d" % (i % 3))) for i in range(9)]
+        )
+        path = str(snapshot_dir / "service.snapshot")
+        save_snapshot(path, store, statistics=StoreStatistics(store).collect())
+        service = QueryService.from_snapshot(path)
+        assert service.engine.statistics.collections == 0
+        result = service.engine.execute(
+            "SELECT ?s WHERE { ?s <%sname> ?o . FILTER(?o = \"n0\") } ORDER BY ?s" % EX
+        )
+        expected = QueryEngine(store).execute(
+            "SELECT ?s WHERE { ?s <%sname> ?o . FILTER(?o = \"n0\") } ORDER BY ?s" % EX
+        )
+        assert result.rows == expected.rows
+
+
+SWEEP_SCALE = "tiny"
+
+
+@pytest.fixture(scope="module")
+def sweep_engines(snapshot_dir):
+    """Generated-store and snapshot-store engines for both benchmarks."""
+    engines = {}
+    for benchmark in ("bsbm", "ldbc"):
+        generated = (
+            common.bsbm_engine(SWEEP_SCALE)
+            if benchmark == "bsbm"
+            else common.ldbc_engine(SWEEP_SCALE)
+        )
+        path = str(snapshot_dir / ("%s_sweep.snapshot" % benchmark))
+        generated.store.save(path, statistics=generated.statistics)
+        snapshot = load_snapshot(path)
+        loaded = QueryEngine(snapshot.store, statistics=snapshot.statistics())
+        engines[benchmark] = (generated, loaded)
+    return engines
+
+
+class TestTemplateSweep:
+    """The full experiment template sweep: generated vs loaded, bit for bit."""
+
+    @pytest.mark.parametrize("template_name,space_factory", EXPERIMENT_TEMPLATES)
+    def test_loaded_store_matches_generated_on_template(
+        self, sweep_engines, template_name, space_factory
+    ):
+        if template_name.startswith("bsbm"):
+            generated, loaded = sweep_engines["bsbm"]
+            template = bsbm_template(template_name)
+        else:
+            generated, loaded = sweep_engines["ldbc"]
+            template = ldbc_template(template_name)
+        sampler = UniformSampler(space_factory(SWEEP_SCALE), seed=17)
+        bindings = sampler.bindings(3)
+        for executor, parallelism in (("tuple", 1), ("vector", 1), ("vector", 4)):
+            reference = generated.with_executor("tuple")
+            candidate = loaded.with_executor(executor).with_parallelism(parallelism)
+            for repetition, binding in enumerate(bindings):
+                expected = reference.execute_template(template, binding, repetition)
+                actual = candidate.execute_template(template, binding, repetition)
+                assert_equivalent(expected, actual)
+                assert execution_record(template.name, binding, actual, repetition) == (
+                    execution_record(template.name, binding, expected, repetition)
+                )
+
+
+class TestBadSnapshots:
+    """A bad file raises the dedicated error — never garbage results."""
+
+    def _saved(self, tmp_path) -> str:
+        store = build_store(
+            [(IRI(EX + "s%d" % i), IRI(EX + "p"), typed_literal(i)) for i in range(20)]
+        )
+        path = str(tmp_path / "good.snapshot")
+        save_snapshot(path, store, statistics=StoreStatistics(store).collect())
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            TripleStore.load(str(tmp_path / "nowhere.snapshot"))
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = str(tmp_path / "garbage.snapshot")
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a snapshot, but long enough to read")
+        with pytest.raises(SnapshotFormatError):
+            TripleStore.load(path)
+
+    def test_too_short_to_be_a_snapshot(self, tmp_path):
+        path = str(tmp_path / "short.snapshot")
+        with open(path, "wb") as handle:
+            handle.write(b"REPRO")
+        with pytest.raises(SnapshotFormatError):
+            TripleStore.load(path)
+
+    def test_unsupported_format_version(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.seek(8)
+            handle.write((FORMAT_VERSION + 1).to_bytes(4, "little"))
+        with pytest.raises(SnapshotFormatError) as excinfo:
+            TripleStore.load(path)
+        assert "version" in str(excinfo.value)
+
+    def test_truncated_payload(self, tmp_path):
+        path = self._saved(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 64)
+        with pytest.raises(SnapshotIntegrityError):
+            TripleStore.load(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(30)
+        with pytest.raises(SnapshotIntegrityError):
+            TripleStore.load(path)
+
+    def test_corrupted_payload_fails_checksum(self, tmp_path):
+        path = self._saved(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 9)
+            original = handle.read(1)
+            handle.seek(size - 9)
+            handle.write(bytes([original[0] ^ 0xFF]))
+        with pytest.raises(SnapshotIntegrityError) as excinfo:
+            TripleStore.load(path)
+        assert "checksum" in str(excinfo.value)
+
+    def test_corrupted_header_json(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.seek(24)
+            handle.write(b"\xff\xfe")
+        with pytest.raises(SnapshotIntegrityError):
+            TripleStore.load(path)
+
+    def test_appended_bytes_are_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"\0" * 16)
+        with pytest.raises(SnapshotIntegrityError):
+            TripleStore.load(path)
+
+    def test_corruption_after_a_successful_load_is_still_caught(self, tmp_path):
+        """The per-process verified-CRC cache is keyed by (size, mtime, crc):
+        rewriting the file invalidates it, so a later load re-verifies."""
+        path = self._saved(tmp_path)
+        TripleStore.load(path)  # verifies and caches the body CRC
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 9)
+            original = handle.read(1)
+            handle.seek(size - 9)
+            handle.write(bytes([original[0] ^ 0xFF]))
+        stat = os.stat(path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        with pytest.raises(SnapshotIntegrityError):
+            TripleStore.load(path)
+
+
+class TestSnapshotCacheRecovery:
+    def test_engine_factory_rebuilds_a_corrupted_cache_file(self, tmp_path):
+        """A stale-version or corrupted cached snapshot must not wedge the
+        --snapshot cache directory: the factory rebuilds it in place."""
+        path = common.snapshot_path(str(tmp_path), "bsbm", "tiny")
+        with open(path, "wb") as handle:
+            handle.write(b"REPROSNP garbage that is not a valid snapshot at all")
+        engine = common._snapshot_engine("bsbm", "tiny", "vector", 1, str(tmp_path))
+        assert len(engine.store) == len(common.bsbm_dataset("tiny").graph.store)
+        # The broken file was replaced by a loadable snapshot.
+        assert load_snapshot(path).header["triples"] == len(engine.store)
+
+    def test_engine_factory_rebuilds_on_fingerprint_mismatch(self, tmp_path):
+        """A cache file from a *different* generator config (or none) must
+        be rebuilt, not silently served as the current dataset."""
+        path = common.snapshot_path(str(tmp_path), "bsbm", "tiny")
+        stale = build_store([(IRI(EX + "old"), IRI(EX + "p"), IRI(EX + "data"))])
+        save_snapshot(path, stale, fingerprint="some-older-generator-config")
+        engine = common._snapshot_engine("bsbm", "tiny", "vector", 1, str(tmp_path))
+        expected = len(common.bsbm_dataset("tiny").graph.store)
+        assert len(engine.store) == expected
+        rebuilt = load_snapshot(path)
+        assert rebuilt.header["triples"] == expected
+        assert rebuilt.fingerprint == repr(common.bsbm_config("tiny"))
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SNAPSHOT"),
+    reason="REPRO_SNAPSHOT not set (CI runs this against the prebuilt artifact)",
+)
+class TestPrebuiltSnapshotSmoke:
+    """CI smoke: a snapshot built by ``generate --output-snapshot`` (default
+    BSBM config) answers queries exactly like a regenerated store, under the
+    executor the matrix selected via ``REPRO_EXECUTOR``."""
+
+    def test_prebuilt_snapshot_round_trip(self, default_executor):
+        snapshot = load_snapshot(os.environ["REPRO_SNAPSHOT"])
+        dataset = generate_bsbm(BSBMConfig())
+        store = dataset.graph.store
+        assert len(snapshot.store) == len(store)
+        assert list(snapshot.store.dictionary.items()) == list(store.dictionary.items())
+        generated = QueryEngine(store, executor=default_executor)
+        loaded = QueryEngine(
+            snapshot.store, executor=default_executor, statistics=snapshot.statistics()
+        )
+        template = bsbm_template("bsbm_bi_q4")
+        for repetition, type_iri in enumerate(dataset.product_type_iris()[:5]):
+            binding = {"type": type_iri}
+            assert_equivalent(
+                generated.execute_template(template, binding, repetition),
+                loaded.execute_template(template, binding, repetition),
+            )

@@ -99,6 +99,29 @@ class TestCharacteristicSets:
     def test_empty_set_counts_all_subjects(self, statistics):
         assert statistics.characteristic_set_count(frozenset()) == 3
 
+    def test_superset_scan_is_memoized(self, statistics):
+        store = statistics.store
+        name_id = store.encode_term(IRI(EX + "name"))
+        query = frozenset([name_id])
+        assert statistics.characteristic_set_count(query) == 3
+        assert statistics._superset_counts[query] == 3
+        # A poisoned memo entry proves the second call never re-scans.
+        statistics._superset_counts[query] = 99
+        assert statistics.characteristic_set_count(query) == 99
+
+    def test_mutation_invalidates_the_memo(self, statistics):
+        store = statistics.store
+        name_id = store.encode_term(IRI(EX + "name"))
+        age_id = store.encode_term(IRI(EX + "age"))
+        both = frozenset([name_id, age_id])
+        assert statistics.characteristic_set_count(both) == 2
+        # insert(): p2 now also has an age -> the memoized 2 must not survive.
+        assert store.insert(Triple(IRI(EX + "p2"), IRI(EX + "age"), Literal("55")))
+        assert statistics.characteristic_set_count(both) == 3
+        # remove() invalidates as well.
+        assert store.remove(Triple(IRI(EX + "p2"), IRI(EX + "age"), Literal("55")))
+        assert statistics.characteristic_set_count(both) == 2
+
 
 class TestHelpers:
     def test_pattern_bound_mask(self):
@@ -160,6 +183,44 @@ class TestMutationRefresh:
         assert engine.statistics.pattern_cardinality(
             TriplePattern(Variable("s"), IRI(EX + "name"), Variable("o"))
         ) == 4
+
+    def test_racing_collectors_scan_exactly_once(self):
+        """Two threads hitting collect() simultaneously must not both pay
+        the O(N) scan: the loser re-checks the data_version inside the lock
+        and adopts the winner's snapshot."""
+        import threading
+
+        store = make_store()
+        statistics = StoreStatistics(store)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def refresher():
+            try:
+                barrier.wait(timeout=5.0)
+                statistics.collect()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=refresher) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not errors
+        assert statistics._collected
+        assert statistics.collections == 1
+
+    def test_collect_scans_again_only_after_mutation(self):
+        store = make_store()
+        statistics = StoreStatistics(store).collect()
+        assert statistics.collections == 1
+        # Same data_version: a second explicit collect() is a no-op.
+        statistics.collect()
+        assert statistics.collections == 1
+        store.insert(Triple(IRI(EX + "p7"), IRI(EX + "name"), Literal("Gil")))
+        statistics.collect()
+        assert statistics.collections == 2
 
     def test_concurrent_readers_survive_mutation_refresh(self):
         import threading
