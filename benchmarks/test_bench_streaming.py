@@ -1,0 +1,116 @@
+"""Streaming first-page latency vs full materialization.
+
+The whole point of the ``Cursor`` facade is that a consumer of the first
+page never pays for the rest of the result: execution stays in id space
+and only ``page_size`` rows are decoded to RDF terms before the first page
+is in hand, while ``QueryEngine.execute`` decodes every row up front.  On
+a large-LIMIT scan the decode *is* the dominant cost, so time-to-first-page
+must beat full materialization clearly.
+
+Acceptance bar: first page at least **2x** faster than ``execute()`` at the
+``small``/``medium`` bench scales (recorded only at ``tiny``, where the
+result is a few thousand rows and constant costs dominate).  The streamed
+pages must concatenate to exactly the materialised rows.
+
+Every run writes ``benchmarks/artifacts/streaming_bench.json`` recording
+both timings so CI tracks the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from benchmarks.conftest import run_once
+from repro.api import Dataset
+from repro.experiments import common
+
+#: minimum full/first-page speedup per scale (None = record only)
+SPEEDUP_FLOOR = {"tiny": None, "small": 2.0, "medium": 2.0}
+
+PAGE_SIZE = 128
+
+#: a full scan with a huge LIMIT: the id-space part is trivial, the decode
+#: of every row is what full materialization pays and streaming defers.
+QUERY = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 1000000"
+
+
+def _write_artifact(payload: dict) -> str:
+    directory = os.path.join(os.path.dirname(__file__), "artifacts")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "streaming_bench.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_first_page_latency_beats_full_materialization(benchmark, bench_scale):
+    # Pinned to the vector executor: deferred decode is what streaming
+    # exploits (the tuple executor materialises eagerly by design, so its
+    # first page costs the same as the full result).
+    engine = common.bsbm_engine(bench_scale, "vector")
+    dataset = Dataset(engine.store, statistics=engine.statistics, source="bsbm:" + bench_scale)
+    session = dataset.session(executor="vector", page_size=PAGE_SIZE)
+
+    # Warm everything once (imports, indexes, dictionary, plan cache of the
+    # session) so both timed paths start from the same hot state.
+    expected = engine.execute(QUERY)
+    session.execute(QUERY).fetchall()
+
+    started = perf_counter()
+    materialised = engine.execute(QUERY)
+    full_seconds = perf_counter() - started
+
+    def first_page():
+        started = perf_counter()
+        cursor = session.execute(QUERY)
+        page = next(cursor.pages())
+        return perf_counter() - started, cursor, page
+
+    first_seconds, cursor, page = run_once(benchmark, first_page)
+    second_seconds, _cursor2, _page2 = first_page()
+    first_seconds = min(first_seconds, second_seconds)
+
+    # Streaming must not change results: the first page plus the rest is
+    # exactly the materialised row list.
+    assert page == expected.rows[:PAGE_SIZE]
+    assert page + cursor.fetchall() == expected.rows
+    assert materialised.rows == expected.rows
+
+    speedup = full_seconds / first_seconds if first_seconds > 0 else float("inf")
+    payload = {
+        "benchmark": "streaming_first_page_vs_full_materialization",
+        "scale": bench_scale,
+        "rows": len(expected.rows),
+        "page_size": PAGE_SIZE,
+        "full_materialization_seconds": round(full_seconds, 6),
+        "first_page_seconds": round(first_seconds, 6),
+        "speedup": round(speedup, 2),
+        "pages_concatenate_identically": True,
+    }
+    path = _write_artifact(payload)
+
+    print()
+    print(
+        "streaming bench (%s scale, %d rows, page size %d): full %.4fs  "
+        "first page %.4fs  speedup %.1fx  -> %s"
+        % (
+            bench_scale,
+            len(expected.rows),
+            PAGE_SIZE,
+            full_seconds,
+            first_seconds,
+            speedup,
+            path,
+        )
+    )
+
+    floor = SPEEDUP_FLOOR.get(bench_scale)
+    if floor is not None:
+        assert speedup >= floor, (
+            "first-page latency should be at least %.1fx better than full "
+            "materialization at the %s scale, measured %.1fx"
+            % (floor, bench_scale, speedup)
+        )

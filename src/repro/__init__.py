@@ -17,40 +17,88 @@ The package is organised in layers:
 * :mod:`repro.service` — the concurrent serving layer: prepared templates,
   a parameter-aware plan cache, closed-loop client scheduling and serving
   metrics (QPS, latency percentiles, cache hit rates),
+* :mod:`repro.api` — the **public facade**: :func:`connect` /
+  :class:`Dataset` / :class:`Session` / streaming :class:`Cursor`, the
+  structured :class:`ReproError` hierarchy, SPARQL JSON/CSV/TSV result
+  serialisation, and a stdlib SPARQL 1.1 Protocol HTTP endpoint
+  (:func:`serve`, :class:`SparqlServer`, :class:`RemoteEndpoint`),
 * :mod:`repro.core` — the paper's contribution: parameter domains, the
   plan/cost analyzer, the parameter-class partitioner, curation heuristics
   and P1/P2/P3 property checks,
 * :mod:`repro.experiments` — one module per table/figure/number in the paper.
+
+The facade is the documented entry point::
+
+    import repro
+
+    dataset = repro.connect("bsbm:tiny")              # or a .snapshot path
+    for row in dataset.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }", limit=5):
+        print(row)
+    server = repro.serve(dataset, port=0)             # SPARQL 1.1 endpoint
 """
 
-from . import bench, core, datagen, engine, optimizer, rdf, service, sparql, store
-from .engine import QueryEngine, QueryResult
-from .rdf import Graph, IRI, Literal, Variable
+from . import api, bench, core, datagen, engine, optimizer, rdf, service, sparql, store
+from .api import (
+    Cursor,
+    Dataset,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    QueryTimeout,
+    RemoteEndpoint,
+    ReproError,
+    Session,
+    SparqlServer,
+    connect,
+    serve,
+)
+from .bench import WorkloadRunner
+from .engine import QueryEngine, QueryResult, RowStream
+from .rdf import BNode, Graph, IRI, Literal, Triple, TriplePattern, Variable
 from .service import QueryService
-from .sparql import QueryTemplate, parse_query
+from .sparql import QueryTemplate, parse_query, translate_query
 from .store import TripleStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BNode",
+    "Cursor",
+    "Dataset",
+    "ExecutionError",
     "Graph",
     "IRI",
     "Literal",
+    "ParseError",
+    "PlanError",
     "QueryEngine",
     "QueryResult",
     "QueryService",
     "QueryTemplate",
+    "QueryTimeout",
+    "RemoteEndpoint",
+    "ReproError",
+    "RowStream",
+    "Session",
+    "SparqlServer",
+    "Triple",
+    "TriplePattern",
     "TripleStore",
     "Variable",
+    "WorkloadRunner",
     "__version__",
+    "api",
     "bench",
+    "connect",
     "core",
     "datagen",
     "engine",
     "optimizer",
     "parse_query",
     "rdf",
+    "serve",
     "service",
     "sparql",
     "store",
+    "translate_query",
 ]

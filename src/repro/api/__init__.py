@@ -1,0 +1,77 @@
+"""The public API facade: datasets, sessions, streaming cursors, HTTP serving.
+
+This package is the documented front door of the library::
+
+    import repro
+
+    dataset = repro.connect("bsbm.snapshot")          # or "bsbm:tiny", a store...
+    with dataset.session(parallelism=4, timeout=5.0) as session:
+        cursor = session.execute("SELECT ?s ?p ?o WHERE { ?s ?p ?o }", limit=100)
+        for row in cursor:                            # streams page by page
+            ...
+
+    with repro.serve(dataset, port=0) as server:      # SPARQL 1.1 Protocol
+        print(server.url)                             # http://127.0.0.1:PORT/sparql
+
+Layers: :mod:`repro.api.errors` (the stable exception taxonomy),
+:mod:`repro.api.results` (SPARQL JSON/CSV/TSV serialisation),
+:mod:`repro.api.dataset` (``connect`` / ``Dataset`` / ``Session``),
+:mod:`repro.api.cursor` (streaming results), :mod:`repro.api.server`
+(the stdlib HTTP endpoint) and :mod:`repro.api.client`
+(``RemoteEndpoint``, the protocol client).
+"""
+
+from .client import FORMATS, RemoteEndpoint
+from .cursor import Cursor
+from .dataset import Dataset, Session, connect
+from .errors import (
+    BadRequestError,
+    ERRORS_BY_CODE,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    QueryTimeout,
+    ReproError,
+    error_for_code,
+)
+from .results import (
+    CSVSerializer,
+    JSONSerializer,
+    SERIALIZERS,
+    TSVSerializer,
+    negotiate,
+    parse_csv,
+    parse_json,
+    parse_tsv,
+    serializer_for,
+)
+from .server import DEFAULT_PORT, SparqlServer, serve
+
+__all__ = [
+    "BadRequestError",
+    "CSVSerializer",
+    "Cursor",
+    "DEFAULT_PORT",
+    "Dataset",
+    "ERRORS_BY_CODE",
+    "ExecutionError",
+    "FORMATS",
+    "JSONSerializer",
+    "ParseError",
+    "PlanError",
+    "QueryTimeout",
+    "RemoteEndpoint",
+    "ReproError",
+    "SERIALIZERS",
+    "Session",
+    "SparqlServer",
+    "TSVSerializer",
+    "connect",
+    "error_for_code",
+    "negotiate",
+    "parse_csv",
+    "parse_json",
+    "parse_tsv",
+    "serializer_for",
+    "serve",
+]

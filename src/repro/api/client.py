@@ -1,0 +1,119 @@
+"""A small SPARQL 1.1 Protocol client (stdlib ``urllib`` only).
+
+:class:`RemoteEndpoint` is the client half of :mod:`repro.api.server` and
+the transport behind ``repro.cli query --endpoint URL``.  It POSTs queries
+as ``application/sparql-query``, negotiates one of the three result
+formats, and maps the endpoint's structured error bodies back onto the
+exact :class:`~repro.api.errors.ReproError` subclass the server raised —
+a remote ``parse_error`` raises :class:`~repro.api.errors.ParseError`
+locally, so callers handle local and remote datasets identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+from urllib import request as _request
+from urllib.error import HTTPError, URLError
+
+from ..rdf.terms import Term, Variable
+from .errors import ExecutionError, ReproError, error_for_code
+from .results import SERIALIZERS, parse_csv, parse_json, parse_tsv, serializer_for
+from .server import SPARQL_QUERY_TYPE
+
+
+class RemoteEndpoint:
+    """One SPARQL endpoint, addressed by its query URL."""
+
+    def __init__(self, url: str, timeout: float = 60.0):
+        if not url.startswith(("http://", "https://")):
+            raise ValueError("endpoint URL must be http(s)://, got %r" % url)
+        #: the query endpoint; a bare host URL gets /sparql appended
+        self.url = url if url.rstrip("/").endswith("/sparql") else url.rstrip("/") + "/sparql"
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def query_raw(self, query: str, format: str = "json") -> str:
+        """Execute ``query`` remotely; return the serialized result document.
+
+        Protocol errors re-raise as the matching :class:`ReproError`
+        subclass; transport failures raise :class:`ExecutionError`.
+        """
+        serializer = serializer_for(format)  # validates the format key
+        payload = query.encode("utf-8")
+        http_request = _request.Request(
+            self.url,
+            data=payload,
+            headers={
+                "Content-Type": SPARQL_QUERY_TYPE,
+                "Accept": serializer.content_type,
+            },
+            method="POST",
+        )
+        try:
+            with _request.urlopen(http_request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except HTTPError as error:
+            raise self._protocol_error(error) from error
+        except URLError as error:
+            raise ExecutionError(
+                "cannot reach endpoint %s: %s" % (self.url, error.reason), cause=error
+            ) from error
+
+    def _protocol_error(self, error: HTTPError) -> ReproError:
+        """Rebuild the server's exception from its structured error body."""
+        try:
+            body = json.loads(error.read().decode("utf-8"))
+            details = body["error"]
+            return error_for_code(details["code"], details["message"])
+        except (ValueError, KeyError, TypeError):
+            return ExecutionError(
+                "endpoint %s answered HTTP %d" % (self.url, error.code), cause=error
+            )
+
+    # -- parsed results --------------------------------------------------------
+
+    def query(self, query: str) -> Tuple[List[str], List[Dict[Variable, Term]]]:
+        """Execute remotely and parse the rows back to solution mappings.
+
+        Uses SPARQL JSON under the hood (lossless), so the returned rows
+        are bit-identical to what a local session streams for the same
+        query against the same data.
+        """
+        return parse_json(self.query_raw(query, "json"))
+
+    def query_tsv(self, query: str) -> Tuple[List[str], List[Dict[Variable, Term]]]:
+        """Like :meth:`query` but over the TSV wire format (also lossless)."""
+        return parse_tsv(self.query_raw(query, "tsv"))
+
+    def query_csv(self, query: str) -> Tuple[List[str], List[Dict[str, str]]]:
+        """The CSV wire format: plain string cells (lossy by design)."""
+        return parse_csv(self.query_raw(query, "csv"))
+
+    def health(self) -> dict:
+        """The endpoint's ``/healthz`` document."""
+        return self._get_json("/healthz")
+
+    def metrics(self) -> dict:
+        """The endpoint's ``/metrics`` document."""
+        return self._get_json("/metrics")
+
+    def _get_json(self, path: str) -> dict:
+        base = self.url.rsplit("/sparql", 1)[0]
+        try:
+            with _request.urlopen(base + path, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            raise self._protocol_error(error) from error
+        except URLError as error:
+            raise ExecutionError(
+                "cannot reach endpoint %s: %s" % (base + path, error.reason), cause=error
+            ) from error
+
+    def __repr__(self) -> str:
+        return "RemoteEndpoint(%r)" % self.url
+
+
+#: formats the CLI's --format flag accepts (mirrors the serializers).
+FORMATS = tuple(sorted(SERIALIZERS))

@@ -1,0 +1,135 @@
+"""Streaming result cursor.
+
+A :class:`Cursor` wraps the engine's :class:`~repro.engine.RowStream`: the
+query has already executed in id space (plan, profile and simulated runtime
+are available immediately), but rows decode to RDF terms lazily, page by
+page, as the cursor is consumed — a memory-bounded consumer never holds
+more than one page of materialised terms.  Iteration yields the engine's
+native ``{Variable: Term}`` solution mappings, bit-identical to
+``QueryEngine.execute(...)`` for the same query.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional
+
+from ..engine.query_engine import RowStream
+from ..rdf.terms import Term, Variable
+from .errors import QueryTimeout
+
+Binding = Dict[Variable, Term]
+
+
+class Cursor:
+    """Iterator over one query's result, streamed page by page."""
+
+    def __init__(self, stream: RowStream, deadline: Optional[float] = None):
+        self._stream = stream
+        self._pages = stream.pages()
+        #: monotonic-clock instant after which further pages raise
+        #: :class:`QueryTimeout` (None = no budget)
+        self._deadline = deadline
+        self._buffer: List[Binding] = []
+        self._exhausted = False
+        #: rows handed out so far
+        self.rows_streamed = 0
+
+    # -- result metadata -------------------------------------------------------
+
+    @property
+    def variables(self) -> List[str]:
+        """Result variable names, in projection order."""
+        return [variable.name for variable in self._stream.variables]
+
+    @property
+    def plan(self):
+        """The optimized physical plan that produced this result."""
+        return self._stream.plan
+
+    @property
+    def profile(self):
+        """The execution profile (work counters, cardinalities)."""
+        return self._stream.profile
+
+    @property
+    def runtime_ms(self) -> float:
+        """The simulated runtime of the execution."""
+        return self._stream.runtime_ms
+
+    @property
+    def plan_cached(self) -> bool:
+        """True when the plan came from the session's plan cache."""
+        return self._stream.plan_cached
+
+    def __len__(self) -> int:
+        """Total rows of the result (known before any decoding)."""
+        return len(self._stream)
+
+    # -- streaming -------------------------------------------------------------
+
+    def _check_deadline(self) -> None:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise QueryTimeout("query result streaming exceeded the timeout budget")
+
+    def pages(self) -> Iterator[List[Binding]]:
+        """Yield the remaining rows page by page (single use)."""
+        while True:
+            page = self._next_page()
+            if page is None:
+                return
+            yield page
+
+    def _next_page(self) -> Optional[List[Binding]]:
+        if self._buffer:
+            page, self._buffer = self._buffer, []
+            return page
+        if self._exhausted:
+            return None
+        self._check_deadline()
+        for page in self._pages:
+            self.rows_streamed += len(page)
+            return page
+        self._exhausted = True
+        return None
+
+    def __iter__(self) -> Iterator[Binding]:
+        while True:
+            page = self._next_page()
+            if page is None:
+                return
+            yield from page
+
+    def fetchone(self) -> Optional[Binding]:
+        """The next row, or ``None`` when the result is exhausted."""
+        rows = self.fetchmany(1)
+        return rows[0] if rows else None
+
+    def fetchmany(self, count: int) -> List[Binding]:
+        """Up to ``count`` further rows (shorter only at the end)."""
+        taken: List[Binding] = []
+        while len(taken) < count:
+            page = self._next_page()
+            if page is None:
+                break
+            need = count - len(taken)
+            taken.extend(page[:need])
+            if need < len(page):
+                self._buffer = page[need:]
+        return taken
+
+    def fetchall(self) -> List[Binding]:
+        """Every remaining row, materialised."""
+        rows: List[Binding] = []
+        while True:
+            page = self._next_page()
+            if page is None:
+                return rows
+            rows.extend(page)
+
+    def __repr__(self) -> str:
+        return "Cursor(rows=%d, streamed=%d, runtime=%.2fms)" % (
+            len(self),
+            self.rows_streamed,
+            self.runtime_ms,
+        )

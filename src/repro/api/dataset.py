@@ -1,0 +1,350 @@
+"""The public front door: ``repro.connect`` → :class:`Dataset` → :class:`Session`.
+
+Everything the library can do is reachable through three objects:
+
+* :class:`Dataset` — an opened, finalised store plus its warm statistics.
+  Open one from a **snapshot file** (zero-copy ``np.memmap`` load), a
+  **generator spec** (``"bsbm:tiny"`` / ``"ldbc:small"`` — the experiment
+  scale presets), or an **existing** :class:`~repro.store.TripleStore` /
+  :class:`~repro.rdf.Graph`.
+* :class:`Session` — per-client execution settings (executor, morsel
+  parallelism, timeout, page size) over a shared dataset.  Each session
+  owns a :class:`~repro.service.QueryService` — raw query strings go
+  through its plan cache and are counted in its serving metrics — and an
+  optional worker pool that enforces the timeout budget.
+* :class:`~repro.api.cursor.Cursor` — the streaming result: pages of
+  decoded rows, bit-identical in concatenation to
+  ``QueryEngine.execute(...)``.
+
+Every failure surfaces as a :class:`~repro.api.errors.ReproError` subclass
+with a stable machine-readable code — the same taxonomy the HTTP endpoint
+(:mod:`repro.api.server`) speaks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional, Union
+
+from ..engine.query_engine import DEFAULT_PAGE_SIZE, QueryEngine, RowStream
+from ..optimizer.plans import LimitNode
+from ..rdf.graph import Graph
+from ..service.service import QueryService
+from ..sparql.parser import ParseError as _SparqlParseError
+from ..sparql.tokenizer import TokenizeError as _TokenizeError
+from ..store.statistics import StoreStatistics
+from ..store.triple_store import TripleStore
+from .cursor import Cursor
+from .errors import ExecutionError, ParseError, PlanError, QueryTimeout, ReproError
+
+#: generator specs ``connect`` understands: ``"<benchmark>[:<scale>]"``.
+GENERATOR_BENCHMARKS = ("bsbm", "ldbc")
+
+_UNSET = object()
+
+
+def connect(
+    source: Union[str, TripleStore, Graph, "Dataset"],
+    **session_options,
+) -> "Dataset":
+    """Open a dataset — the one-call entry point of the public API.
+
+    ``source`` may be a snapshot file path, a generator spec like
+    ``"bsbm:tiny"``, an in-memory :class:`TripleStore` / :class:`Graph`,
+    or an already-open :class:`Dataset` (returned as-is).  Keyword options
+    become the defaults of every session the dataset opens (see
+    :meth:`Dataset.session`).
+    """
+    if isinstance(source, Dataset):
+        return source
+    if isinstance(source, (TripleStore, Graph)):
+        return Dataset.from_store(source, **session_options)
+    if isinstance(source, str):
+        if os.path.exists(source):
+            return Dataset.from_snapshot(source, **session_options)
+        benchmark, _, scale = source.partition(":")
+        if benchmark in GENERATOR_BENCHMARKS:
+            return Dataset.generate(benchmark, scale or "tiny", **session_options)
+        raise ValueError(
+            "cannot open %r: not a snapshot file on disk and not a generator "
+            "spec (expected '<benchmark>[:<scale>]' with benchmark in %s)"
+            % (source, "/".join(GENERATOR_BENCHMARKS))
+        )
+    raise TypeError(
+        "connect() takes a snapshot path, a generator spec, a TripleStore, "
+        "a Graph or a Dataset; got %r" % (type(source).__name__,)
+    )
+
+
+class Dataset:
+    """An opened store: the shared, read-only half of the public API."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        statistics: Optional[StoreStatistics] = None,
+        source: str = "memory",
+        **session_options,
+    ):
+        store.finalise()
+        self.store = store
+        self.source = source
+        self._session_options = dict(session_options)
+        #: the base engine every session derives its sibling from; building
+        #: it here collects (or adopts) statistics exactly once per dataset
+        self.engine = QueryEngine(store, statistics=statistics)
+        self._default_session: Optional[Session] = None
+        self._lock = threading.Lock()
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, path: str, **session_options) -> "Dataset":
+        """Open a store snapshot zero-copy (mmap indexes, lazy dictionary)."""
+        from ..store.snapshot import load_snapshot
+
+        snapshot = load_snapshot(path)
+        return cls(
+            snapshot.store,
+            statistics=snapshot.statistics(),
+            source=path,
+            **session_options,
+        )
+
+    @classmethod
+    def generate(cls, benchmark: str, scale: str = "tiny", **session_options) -> "Dataset":
+        """Generate one of the benchmark datasets at a named scale preset."""
+        from ..experiments import common
+
+        if benchmark == "bsbm":
+            dataset = common.bsbm_dataset(common.scale(scale).name)
+        elif benchmark == "ldbc":
+            dataset = common.ldbc_dataset(common.scale(scale).name)
+        else:
+            raise ValueError(
+                "unknown benchmark %r (have %s)"
+                % (benchmark, "/".join(GENERATOR_BENCHMARKS))
+            )
+        return cls(
+            dataset.graph.store,
+            source="%s:%s" % (benchmark, scale),
+            **session_options,
+        )
+
+    @classmethod
+    def from_store(cls, store: Union[TripleStore, Graph], **session_options) -> "Dataset":
+        """Wrap an existing in-memory store or graph."""
+        if isinstance(store, Graph):
+            store = store.store
+        return cls(store, **session_options)
+
+    # -- sessions --------------------------------------------------------------
+
+    def session(self, **options) -> "Session":
+        """A new session; options override the dataset-level defaults."""
+        merged = dict(self._session_options)
+        merged.update(options)
+        return Session(self, **merged)
+
+    def default_session(self) -> "Session":
+        """The lazily created shared session behind :meth:`query`."""
+        with self._lock:
+            if self._default_session is None:
+                self._default_session = self.session()
+            return self._default_session
+
+    def query(self, query: str, **execute_options) -> Cursor:
+        """Execute one query on the shared default session."""
+        return self.default_session().execute(query, **execute_options)
+
+    def explain(self, query: str) -> str:
+        """The annotated physical plan of ``query`` (default session)."""
+        return self.default_session().explain(query)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release session resources (worker pools).  The store stays usable."""
+        with self._lock:
+            session, self._default_session = self._default_session, None
+        if session is not None:
+            session.close()
+
+    def __enter__(self) -> "Dataset":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:
+        return "Dataset(source=%r, triples=%d)" % (self.source, len(self.store))
+
+
+class Session:
+    """Per-client execution settings over a shared :class:`Dataset`.
+
+    ``executor`` / ``parallelism`` pick the engine configuration (results
+    are bit-identical across all of them); ``timeout`` (seconds) bounds
+    each query — planning and eager execution run on a dedicated worker
+    thread and are abandoned when the budget is exceeded
+    (:class:`QueryTimeout`), and the same budget covers subsequent page
+    streaming; ``page_size`` is the default cursor page granularity.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        executor: Optional[str] = None,
+        parallelism: Optional[int] = None,
+        timeout: Optional[float] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        plan_cache_capacity: int = 512,
+    ):
+        self.dataset = dataset
+        self.service = QueryService(
+            dataset.engine,
+            plan_cache_capacity=plan_cache_capacity,
+            executor=executor,
+            parallelism=parallelism,
+        )
+        self.engine = self.service.engine
+        self.timeout = timeout
+        if page_size < 1:
+            raise ValueError("page_size must be a positive integer, got %r" % (page_size,))
+        self.page_size = page_size
+        self._closed = False
+
+    # -- planning --------------------------------------------------------------
+
+    def _plan(self, query: str):
+        """Parse + optimize through the service's plan cache, error-mapped.
+
+        The cache key is the *verbatim* query text: any normalisation (say,
+        whitespace collapsing) would also rewrite whitespace inside string
+        literals and let two different queries share one plan — silently
+        wrong results.  Reformatted duplicates just miss the cache.
+        """
+        key = ("sparql", query)
+        try:
+            plan, hit = self.service.plan_cache.get_or_create(
+                key, lambda: self.engine.plan(query)
+            )
+        except ReproError:
+            raise
+        except (_SparqlParseError, _TokenizeError) as error:
+            raise ParseError(str(error), cause=error) from error
+        except (ValueError, KeyError, TypeError) as error:
+            raise PlanError(str(error), cause=error) from error
+        return plan, hit
+
+    def explain(self, query: str) -> str:
+        """The optimized plan annotated with physical operators."""
+        plan, _hit = self._plan(query)
+        return self.engine.explain(plan)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        limit: Optional[int] = None,
+        offset: int = 0,
+        page_size: Optional[int] = None,
+        timeout: Optional[float] = _UNSET,  # type: ignore[assignment]
+    ) -> Cursor:
+        """Execute ``query``; stream the result through a :class:`Cursor`.
+
+        ``limit``/``offset`` are pushed down into the plan as an id-space
+        slice before anything is decoded.  ``timeout`` overrides the
+        session budget for this call (``None`` disables it).
+        """
+        budget = self.timeout if timeout is _UNSET else timeout
+        started = time.monotonic()
+        deadline = started + budget if budget is not None else None
+        step = page_size if page_size is not None else self.page_size
+        if step < 1:
+            raise ValueError("page_size must be a positive integer, got %r" % (step,))
+
+        def run() -> RowStream:
+            wall_started = time.perf_counter()
+            plan, hit = self._plan(query)
+            if limit is not None or offset:
+                plan = LimitNode(plan, limit, offset)
+            try:
+                stream = self.engine.execute_plan_iter(plan, page_size=step)
+            except ReproError:
+                raise
+            except Exception as error:
+                raise ExecutionError(str(error), cause=error) from error
+            stream.plan_cached = hit
+            self.service.metrics.record_execution(
+                stream.runtime_ms, time.perf_counter() - wall_started, in_batch=False
+            )
+            return stream
+
+        if budget is None:
+            stream = run()
+        else:
+            stream = self._run_with_timeout(run, budget)
+        return Cursor(stream, deadline=deadline)
+
+    def _run_with_timeout(self, run, budget: float) -> RowStream:
+        """Run ``run()`` on a dedicated daemon thread, bounded by ``budget``.
+
+        One thread *per timed query*, not a fixed pool: a pool's workers
+        would stay occupied by abandoned (timed-out but still running)
+        executions, and once all were zombies every later request — however
+        cheap — would starve behind them and time out spuriously.  An
+        abandoned thread finishes on its own and frees itself; it cannot
+        block anybody else.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        outcome: dict = {}
+        done = threading.Event()
+
+        def target():
+            try:
+                outcome["stream"] = run()
+            except BaseException as error:  # re-raised on the caller thread
+                outcome["error"] = error
+            finally:
+                done.set()
+
+        threading.Thread(
+            target=target, name="repro-session-query", daemon=True
+        ).start()
+        if not done.wait(budget):
+            raise QueryTimeout("query exceeded the %.3fs timeout budget" % budget)
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["stream"]
+
+    def metrics(self) -> dict:
+        """Serving metrics + plan-cache statistics of this session."""
+        return self.service.service_stats()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Mark the session closed (timed executions are refused).  Idempotent."""
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "Session(%r, executor=%r, parallelism=%d, timeout=%r)" % (
+            self.dataset.source,
+            self.engine.executor_name,
+            self.engine.parallelism,
+            self.timeout,
+        )

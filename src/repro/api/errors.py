@@ -1,0 +1,98 @@
+"""The public exception hierarchy of the facade and the protocol endpoint.
+
+Every error the public API raises is a :class:`ReproError` carrying a
+*stable, machine-readable* ``code`` — the same code the HTTP endpoint puts
+in its JSON error bodies, so remote clients can re-raise the exact local
+exception class (:func:`error_for_code`).  The hierarchy mirrors the query
+lifecycle:
+
+* :class:`ParseError` — the query text does not conform to the grammar
+  (also a :class:`repro.sparql.parser.ParseError`, so existing handlers
+  keep working),
+* :class:`PlanError` — the query parsed but cannot be planned (unbound
+  template parameters, unsupported shapes, unknown prefixes),
+* :class:`ExecutionError` — the plan failed while executing,
+* :class:`QueryTimeout` — the execution exceeded the session/request
+  timeout budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..sparql.parser import ParseError as _SparqlParseError
+
+
+class ReproError(Exception):
+    """Base class of every error the public API raises.
+
+    ``code`` is stable across releases (clients may dispatch on it);
+    ``http_status`` is the status the SPARQL endpoint answers with.
+    """
+
+    code = "error"
+    http_status = 500
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.message = message
+        #: the underlying exception, when the error wraps a lower layer's
+        self.cause = cause
+
+    def as_dict(self) -> Dict[str, str]:
+        """The structured form the HTTP endpoint serialises (and clients parse)."""
+        return {"code": self.code, "message": self.message}
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class ParseError(ReproError, _SparqlParseError):
+    """The query text is not valid SPARQL (for this subset)."""
+
+    code = "parse_error"
+    http_status = 400
+
+
+class PlanError(ReproError):
+    """The query parsed but could not be planned."""
+
+    code = "plan_error"
+    http_status = 400
+
+
+class ExecutionError(ReproError):
+    """The plan failed during execution."""
+
+    code = "execution_error"
+    http_status = 500
+
+
+class QueryTimeout(ReproError):
+    """The execution exceeded the configured timeout budget."""
+
+    code = "query_timeout"
+    http_status = 503
+
+
+class BadRequestError(ReproError):
+    """A malformed protocol request (missing query, bad media type...)."""
+
+    code = "bad_request"
+    http_status = 400
+
+
+#: code -> exception class, for re-raising protocol errors client-side.
+ERRORS_BY_CODE: Dict[str, Type[ReproError]] = {
+    error.code: error
+    for error in (ReproError, ParseError, PlanError, ExecutionError, QueryTimeout, BadRequestError)
+}
+
+
+def error_for_code(code: str, message: str) -> ReproError:
+    """Rebuild the exception a structured error body describes.
+
+    Unknown codes (a newer server, say) degrade to the base
+    :class:`ReproError` rather than failing the client.
+    """
+    return ERRORS_BY_CODE.get(code, ReproError)(message)

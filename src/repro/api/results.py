@@ -1,0 +1,298 @@
+"""SPARQL 1.1 query-result serialisation: JSON, CSV and TSV.
+
+These are the wire formats of the protocol endpoint
+(:mod:`repro.api.server`) and the interop surface of
+:meth:`repro.engine.QueryResult.to_json`.  Serializers are *incremental* —
+``begin`` / ``rows`` / ``end`` produce the document in pieces so the server
+can stream a :class:`~repro.api.cursor.Cursor` page by page over chunked
+transfer encoding without ever materialising the full result — and
+``serialize`` is the one-shot convenience over the three.
+
+Round-tripping:
+
+* **JSON** (``application/sparql-results+json``) and **TSV**
+  (``text/tab-separated-values``) are lossless: :func:`parse_json` /
+  :func:`parse_tsv` reconstruct the exact ``{Variable: Term}`` solution
+  mappings the engine produced (the equivalence tests assert
+  bit-identity through an HTTP round trip).
+* **CSV** (``text/csv``) is the spec-mandated *lossy* form — plain lexical
+  values, no term kinds — so :func:`parse_csv` returns string cells.
+
+Serializer instances are single-use and not thread-safe (the JSON writer
+tracks whether a row separator is due); build one per response.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type
+
+from ..rdf.ntriples import parse_term
+from ..rdf.terms import BNode, IRI, Literal, Term, Variable
+
+#: rows are the engine's solution mappings
+Binding = Mapping[Variable, Term]
+
+SPARQL_JSON_TYPE = "application/sparql-results+json"
+CSV_TYPE = "text/csv"
+TSV_TYPE = "text/tab-separated-values"
+
+
+# -- term <-> JSON binding objects -------------------------------------------------
+
+
+def term_to_json(term: Term) -> Dict[str, str]:
+    """One term as a SPARQL JSON results binding object."""
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        binding: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language:
+            binding["xml:lang"] = term.language
+        elif term.datatype is not None:
+            binding["datatype"] = term.datatype.value
+        return binding
+    raise TypeError("cannot serialise term %r" % (term,))
+
+
+def term_from_json(binding: Mapping[str, str]) -> Term:
+    """Rebuild the exact term a binding object describes."""
+    kind = binding.get("type")
+    value = binding.get("value", "")
+    if kind == "uri":
+        return IRI(value)
+    if kind == "bnode":
+        return BNode(value)
+    if kind in ("literal", "typed-literal"):
+        language = binding.get("xml:lang")
+        if language:
+            return Literal(value, language=language)
+        datatype = binding.get("datatype")
+        if datatype:
+            return Literal(value, datatype=IRI(datatype))
+        return Literal(value)
+    raise ValueError("unknown binding type %r" % (kind,))
+
+
+def _csv_cell(term: Optional[Term]) -> str:
+    """The spec's plain-value CSV cell: lexical forms, no term markers."""
+    if term is None:
+        return ""
+    if isinstance(term, IRI):
+        return term.value
+    if isinstance(term, BNode):
+        return "_:%s" % term.label
+    return term.lexical
+
+
+# -- serializers -------------------------------------------------------------------
+
+
+class ResultSerializer:
+    """Incremental writer of one result document (single-use)."""
+
+    format = ""
+    content_type = ""
+
+    def begin(self, variables: Sequence[str]) -> str:
+        raise NotImplementedError
+
+    def rows(self, rows: Iterable[Binding]) -> str:
+        raise NotImplementedError
+
+    def end(self) -> str:
+        raise NotImplementedError
+
+    def serialize(self, variables: Sequence[str], rows: Iterable[Binding]) -> str:
+        """The whole document in one string."""
+        return self.begin(variables) + self.rows(rows) + self.end()
+
+
+class JSONSerializer(ResultSerializer):
+    """``application/sparql-results+json`` (SPARQL 1.1 Query Results JSON)."""
+
+    format = "json"
+    content_type = SPARQL_JSON_TYPE
+
+    def __init__(self):
+        self._variables: List[str] = []
+        self._first = True
+
+    def begin(self, variables: Sequence[str]) -> str:
+        self._variables = list(variables)
+        self._first = True
+        return '{"head": {"vars": %s}, "results": {"bindings": [' % (
+            json.dumps(self._variables),
+        )
+
+    def rows(self, rows: Iterable[Binding]) -> str:
+        parts: List[str] = []
+        for row in rows:
+            by_name = {variable.name: term for variable, term in row.items()}
+            encoded = json.dumps(
+                {
+                    name: term_to_json(by_name[name])
+                    for name in self._variables
+                    if name in by_name
+                }
+            )
+            parts.append(encoded if self._first else ", " + encoded)
+            self._first = False
+        return "".join(parts)
+
+    def end(self) -> str:
+        return "]}}"
+
+
+class CSVSerializer(ResultSerializer):
+    """``text/csv`` (SPARQL 1.1 CSV results: plain lexical values)."""
+
+    format = "csv"
+    content_type = CSV_TYPE
+
+    def __init__(self):
+        self._variables: List[str] = []
+
+    def _write(self, write_row) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\r\n")
+        write_row(writer)
+        return buffer.getvalue()
+
+    def begin(self, variables: Sequence[str]) -> str:
+        self._variables = list(variables)
+        return self._write(lambda writer: writer.writerow(self._variables))
+
+    def rows(self, rows: Iterable[Binding]) -> str:
+        def write(writer):
+            for row in rows:
+                by_name = {variable.name: term for variable, term in row.items()}
+                writer.writerow([_csv_cell(by_name.get(name)) for name in self._variables])
+
+        return self._write(write)
+
+    def end(self) -> str:
+        return ""
+
+
+class TSVSerializer(ResultSerializer):
+    """``text/tab-separated-values`` (SPARQL 1.1 TSV: full term syntax)."""
+
+    format = "tsv"
+    content_type = TSV_TYPE
+
+    def __init__(self):
+        self._variables: List[str] = []
+
+    def begin(self, variables: Sequence[str]) -> str:
+        self._variables = list(variables)
+        return "\t".join("?" + name for name in self._variables) + "\n"
+
+    def rows(self, rows: Iterable[Binding]) -> str:
+        lines: List[str] = []
+        for row in rows:
+            by_name = {variable.name: term for variable, term in row.items()}
+            cells = [
+                by_name[name].n3() if name in by_name else ""
+                for name in self._variables
+            ]
+            lines.append("\t".join(cells) + "\n")
+        return "".join(lines)
+
+    def end(self) -> str:
+        return ""
+
+
+#: format key -> serializer class (the CLI's ``--format`` choices).
+SERIALIZERS: Dict[str, Type[ResultSerializer]] = {
+    serializer.format: serializer
+    for serializer in (JSONSerializer, CSVSerializer, TSVSerializer)
+}
+
+#: media type -> format key, for content negotiation.
+MEDIA_TYPES: Dict[str, str] = {
+    SPARQL_JSON_TYPE: "json",
+    "application/json": "json",
+    CSV_TYPE: "csv",
+    TSV_TYPE: "tsv",
+}
+
+
+def serializer_for(format_key: str) -> ResultSerializer:
+    """A fresh serializer for one of ``json`` / ``csv`` / ``tsv``."""
+    try:
+        return SERIALIZERS[format_key]()
+    except KeyError:
+        raise ValueError(
+            "unknown result format %r (have %s)" % (format_key, ", ".join(sorted(SERIALIZERS)))
+        ) from None
+
+
+def negotiate(accept_header: Optional[str], explicit: Optional[str] = None) -> Optional[str]:
+    """Pick a result format from an ``Accept`` header (or explicit override).
+
+    ``explicit`` (the endpoint's non-standard ``format=`` parameter) wins.
+    An absent or wildcard Accept header defaults to SPARQL JSON.  Returns
+    ``None`` when the client only accepts media types we cannot produce —
+    the server answers 406.
+    """
+    if explicit:
+        return explicit if explicit in SERIALIZERS else None
+    if not accept_header:
+        return "json"
+    for entry in accept_header.split(","):
+        media_type = entry.split(";", 1)[0].strip().lower()
+        if media_type in ("*/*", "application/*", "text/*"):
+            return "json" if media_type != "text/*" else "csv"
+        if media_type in MEDIA_TYPES:
+            return MEDIA_TYPES[media_type]
+    return None
+
+
+# -- parsers -----------------------------------------------------------------------
+
+
+def parse_json(document: str) -> Tuple[List[str], List[Dict[Variable, Term]]]:
+    """Parse a SPARQL JSON results document back to solution mappings."""
+    payload = json.loads(document)
+    variables = list(payload["head"]["vars"])
+    rows: List[Dict[Variable, Term]] = []
+    for binding in payload["results"]["bindings"]:
+        rows.append(
+            {Variable(name): term_from_json(value) for name, value in binding.items()}
+        )
+    return variables, rows
+
+
+def parse_tsv(document: str) -> Tuple[List[str], List[Dict[Variable, Term]]]:
+    """Parse a SPARQL TSV results document back to solution mappings."""
+    lines = document.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # the trailing newline, not an (all-unbound) empty row
+    if not lines or not lines[0]:
+        return [], []
+    variables = [cell.lstrip("?$") for cell in lines[0].rstrip("\r").split("\t")]
+    rows: List[Dict[Variable, Term]] = []
+    for line in lines[1:]:
+        cells = line.rstrip("\r").split("\t")
+        row: Dict[Variable, Term] = {}
+        for name, cell in zip(variables, cells):
+            if cell:
+                row[Variable(name)] = parse_term(cell)
+        rows.append(row)
+    return variables, rows
+
+
+def parse_csv(document: str) -> Tuple[List[str], List[Dict[str, str]]]:
+    """Parse a SPARQL CSV results document (lossy: plain string cells)."""
+    reader = csv.reader(io.StringIO(document))
+    try:
+        variables = next(reader)
+    except StopIteration:
+        return [], []
+    rows = [dict(zip(variables, cells)) for cells in reader]
+    return variables, rows

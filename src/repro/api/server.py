@@ -1,0 +1,314 @@
+"""A stdlib-only SPARQL 1.1 Protocol endpoint over a :class:`Session`.
+
+The server speaks the query half of the SPARQL 1.1 Protocol:
+
+* ``GET /sparql?query=...`` and ``POST /sparql`` (either
+  ``application/x-www-form-urlencoded`` with a ``query`` field or a raw
+  ``application/sparql-query`` body),
+* content negotiation over the three result serialisations of
+  :mod:`repro.api.results` — SPARQL JSON (default), CSV and TSV — via the
+  ``Accept`` header or the non-standard ``format=json|csv|tsv`` parameter,
+* **streamed** responses: pages come off the :class:`Cursor` and go out as
+  chunks (``Transfer-Encoding: chunked``), so a million-row result never
+  materialises server-side,
+* structured errors: every failure is a JSON body
+  ``{"error": {"code": ..., "message": ...}}`` whose ``code`` is the
+  stable :class:`~repro.api.errors.ReproError` code and whose status
+  follows the class (400 parse/plan, 503 timeout, 500 execution),
+* ``GET /healthz`` (liveness + triple count) and ``GET /metrics`` (the
+  session's serving metrics, plan-cache counters and request totals),
+* graceful shutdown: :meth:`SparqlServer.shutdown` (or the context
+  manager, or SIGINT/SIGTERM under ``repro.cli serve``) stops accepting,
+  finishes in-flight handlers and closes the socket.
+
+Concurrency comes from ``ThreadingHTTPServer`` (a thread per request) on
+top of the engine's thread-safe read path; per-request work runs under the
+session's timeout budget.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .cursor import Cursor
+from .dataset import Dataset, Session, connect
+from .errors import BadRequestError, ReproError
+from .results import negotiate, serializer_for
+
+#: default TCP port (0 = pick an ephemeral port and report it)
+DEFAULT_PORT = 8347
+
+SPARQL_QUERY_TYPE = "application/sparql-query"
+FORM_TYPE = "application/x-www-form-urlencoded"
+
+#: request bodies larger than this are rejected up front (64 MiB)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _SparqlHTTPServer(ThreadingHTTPServer):
+    """One handler thread per request; daemonic so shutdown never hangs."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, facade: "SparqlServer"):
+        super().__init__(address, handler)
+        self.facade = facade
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-sparql/1.1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def facade(self) -> "SparqlServer":
+        return self.server.facade  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.facade.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_document(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type + "; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            # Set by handlers that rejected a request without draining its
+            # body: keep-alive framing would misread the undrained bytes as
+            # the next request, so tell the client the connection ends here.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_document(status, json.dumps(payload, indent=2) + "\n", "application/json")
+
+    def _send_error_body(self, error: ReproError) -> None:
+        self.facade.count_request(error=True)
+        self._send_json(error.http_status, {"error": error.as_dict()})
+
+    def _write_chunk(self, text: str) -> None:
+        if not text:
+            return
+        data = text.encode("utf-8")
+        self.wfile.write(b"%x\r\n" % len(data))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+
+    # -- endpoints -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        url = urlsplit(self.path)
+        if url.path == self.facade.endpoint_path:
+            parameters = parse_qs(url.query)
+            query = parameters.get("query", [None])[0]
+            self._answer_query(query, parameters.get("format", [None])[0])
+        elif url.path == "/healthz":
+            self.facade.count_request()
+            self._send_json(200, self.facade.health())
+        elif url.path == "/metrics":
+            self.facade.count_request()
+            self._send_json(200, self.facade.metrics())
+        else:
+            self._send_error_body(BadRequestError("no such resource: %s" % url.path))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        url = urlsplit(self.path)
+        if url.path != self.facade.endpoint_path:
+            self._send_error_body(BadRequestError("no such resource: %s" % url.path))
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            # The body stays undrained; the connection must not be reused.
+            self.close_connection = True
+            self._send_error_body(BadRequestError("missing or oversized request body"))
+            return
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        content_type = (self.headers.get("Content-Type") or "").split(";", 1)[0].strip().lower()
+        explicit_format = parse_qs(url.query).get("format", [None])[0]
+        if content_type == SPARQL_QUERY_TYPE:
+            self._answer_query(body, explicit_format)
+        elif content_type == FORM_TYPE or content_type == "":
+            form = parse_qs(body)
+            query = form.get("query", [None])[0]
+            self._answer_query(query, explicit_format or form.get("format", [None])[0])
+        else:
+            error = BadRequestError("unsupported media type %r" % content_type)
+            error.http_status = 415
+            self._send_error_body(error)
+
+    # -- query handling --------------------------------------------------------
+
+    def _answer_query(self, query: Optional[str], explicit_format: Optional[str]) -> None:
+        if not query or not query.strip():
+            self._send_error_body(BadRequestError("missing 'query' parameter"))
+            return
+        format_key = negotiate(self.headers.get("Accept"), explicit_format)
+        if format_key is None:
+            error = BadRequestError(
+                "cannot produce any media type in %r; supported: "
+                "application/sparql-results+json, text/csv, text/tab-separated-values"
+                % (explicit_format or self.headers.get("Accept"),)
+            )
+            error.http_status = 406
+            self._send_error_body(error)
+            return
+        try:
+            cursor = self.facade.session.execute(query)
+        except ReproError as error:
+            self._send_error_body(error)
+            return
+        except Exception as error:  # defensive: never leak a traceback as HTML
+            wrapped = ReproError("internal error: %s" % error, cause=error)
+            self._send_error_body(wrapped)
+            return
+        self.facade.count_request()
+        self._stream_result(cursor, format_key)
+
+    def _stream_result(self, cursor: Cursor, format_key: str) -> None:
+        serializer = serializer_for(format_key)
+        self.send_response(200)
+        self.send_header("Content-Type", serializer.content_type + "; charset=utf-8")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        # Headers are out: errors past this point can only truncate the
+        # chunked body (the client sees an incomplete-read error, never a
+        # silently wrong result).
+        self._write_chunk(serializer.begin(cursor.variables))
+        for page in cursor.pages():
+            self._write_chunk(serializer.rows(page))
+        self._write_chunk(serializer.end())
+        self.wfile.write(b"0\r\n\r\n")
+
+
+class SparqlServer:
+    """The SPARQL endpoint: a threaded HTTP server over one session."""
+
+    def __init__(
+        self,
+        source,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        endpoint_path: str = "/sparql",
+        verbose: bool = False,
+        **session_options,
+    ):
+        """Bind (but do not yet serve) an endpoint for ``source``.
+
+        ``source`` is anything :func:`repro.api.connect` accepts — or an
+        already-built :class:`Session`.  ``session_options`` (executor,
+        parallelism, timeout, page_size, plan_cache_capacity...) configure
+        the serving session.
+        """
+        if isinstance(source, Session):
+            self.session = source
+            self.dataset = source.dataset
+        else:
+            self.dataset = connect(source)
+            self.session = self.dataset.session(**session_options)
+        self.endpoint_path = endpoint_path
+        self.verbose = verbose
+        self._httpd = _SparqlHTTPServer((host, port), _Handler, self)
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+
+    # -- addresses -------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — the real port even when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """The query endpoint URL."""
+        host, port = self.address
+        return "http://%s:%d%s" % (host, port, self.endpoint_path)
+
+    # -- serving ---------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` is called."""
+        self._serving = True
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "SparqlServer":
+        """Serve on a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-sparql-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain in-flight handlers, close the socket.
+
+        Safe on a server that was never started: ``BaseServer.shutdown``
+        blocks until the serve loop acknowledges, which would wait forever
+        when no loop ever ran, so it is only invoked once one has (or is
+        about to — a just-started background thread exits promptly).
+        """
+        if self._serving or self._thread is not None:
+            self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._serving = False
+        self._httpd.server_close()
+        self.session.close()
+
+    def __enter__(self) -> "SparqlServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- introspection ---------------------------------------------------------
+
+    def count_request(self, error: bool = False) -> None:
+        with self._lock:
+            self._requests += 1
+            if error:
+                self._errors += 1
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "triples": len(self.dataset),
+            "source": self.dataset.source,
+            "executor": self.session.engine.executor_name,
+            "parallelism": self.session.engine.parallelism,
+        }
+
+    def metrics(self) -> dict:
+        with self._lock:
+            totals = {"requests_total": self._requests, "errors_total": self._errors}
+        payload = dict(self.session.metrics())
+        payload.update(totals)
+        return payload
+
+    def __repr__(self) -> str:
+        return "SparqlServer(%s over %r)" % (self.url, self.dataset.source)
+
+
+def serve(source, **options) -> SparqlServer:
+    """Build and start a background endpoint in one call.
+
+    ``with repro.serve("bsbm.snapshot", port=0) as server:`` gives a live
+    endpoint at ``server.url``; leaving the block shuts it down.
+    """
+    return SparqlServer(source, **options).start()

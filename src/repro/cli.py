@@ -10,6 +10,9 @@ Exposes the experiments and the curation pipeline without writing Python::
     python -m repro.cli throughput bsbm_bi_q4 --scale tiny --workers 4 --parallelism 4 --baseline
     python -m repro.cli throughput bsbm_bi_q8 --scale small --snapshot ./snapshots
     python -m repro.cli explain ldbc_q3 --scale tiny --parallelism 4
+    python -m repro.cli serve bsbm.snapshot --port 8347 --parallelism 4
+    python -m repro.cli query "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5" --source bsbm:tiny
+    python -m repro.cli query "SELECT ..." --endpoint http://127.0.0.1:8347 --format tsv
     python -m repro.cli scales
 
 Two concurrency knobs exist and are independent: ``--workers`` is the number
@@ -28,9 +31,14 @@ The same entry point is installed as the ``repro-bench`` console script.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from typing import List, Optional
+
+from .api import RemoteEndpoint, ReproError, SparqlServer, connect, serializer_for
+from .api.client import FORMATS
+from .store.snapshot import SnapshotError
 
 from .bench.reporting import format_milliseconds, key_value_report, service_report
 from .bench.runner import WorkloadRunner
@@ -213,6 +221,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=42, help="seed for sampling the parameter binding"
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve a dataset over HTTP as a SPARQL 1.1 Protocol endpoint",
+    )
+    serve_parser.add_argument(
+        "source",
+        help="what to serve: a store snapshot path (see 'generate "
+        "--output-snapshot') or a generator spec like bsbm:tiny / ldbc:small",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=8347,
+        help="TCP port (0 picks an ephemeral port; the bound URL is printed)",
+    )
+    serve_parser.add_argument("--engine", **engine_kwargs)
+    serve_parser.add_argument("--parallelism", **parallelism_kwargs)
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request execution timeout in seconds (0 disables it); "
+        "exceeded requests answer 503 with error code query_timeout",
+    )
+    serve_parser.add_argument(
+        "--capacity",
+        type=_non_negative_int,
+        default=512,
+        help="plan cache capacity of the serving session (0 disables caching)",
+    )
+    serve_parser.add_argument(
+        "--page-size",
+        type=_positive_int,
+        default=1024,
+        help="rows per streamed response chunk",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="execute one SPARQL query against a local dataset or a remote endpoint",
+    )
+    query_parser.add_argument(
+        "sparql",
+        help="the query text; '-' reads it from stdin, @FILE reads it from FILE",
+    )
+    target = query_parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--source",
+        help="local dataset: a store snapshot path or a generator spec (bsbm:tiny)",
+    )
+    target.add_argument(
+        "--endpoint",
+        help="remote SPARQL endpoint URL (e.g. http://127.0.0.1:8347)",
+    )
+    query_parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="json",
+        help="result serialization: SPARQL JSON, CSV or TSV",
+    )
+    query_parser.add_argument("--engine", **engine_kwargs)
+    query_parser.add_argument("--parallelism", **parallelism_kwargs)
+    query_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="execution timeout in seconds (0 or omitted disables it locally; "
+        "bounds the HTTP request for --endpoint)",
+    )
+    query_parser.add_argument(
+        "--limit",
+        type=_non_negative_int,
+        default=None,
+        help="client-side LIMIT pushdown, sliced in id space before decoding "
+        "(local --source only; for --endpoint put LIMIT in the query text)",
+    )
+    query_parser.add_argument(
+        "--offset",
+        type=_non_negative_int,
+        default=0,
+        help="client-side OFFSET pushdown (local --source only)",
+    )
+
     subparsers.add_parser("scales", help="list the available dataset scale presets")
     return parser
 
@@ -340,6 +435,109 @@ def _run_generate(arguments, output_stream) -> None:
         print("wrote %d triples to %s" % (count, output), file=output_stream)
 
 
+def _run_serve(arguments, output) -> SparqlServer:
+    """Build, announce and return the endpoint (caller decides how to serve)."""
+    server = SparqlServer(
+        arguments.source,
+        host=arguments.host,
+        port=arguments.port,
+        verbose=arguments.verbose,
+        executor=arguments.engine,
+        parallelism=arguments.parallelism,
+        timeout=arguments.timeout if arguments.timeout > 0 else None,
+        plan_cache_capacity=arguments.capacity,
+        page_size=arguments.page_size,
+    )
+    print(
+        "serving %s (%d triples) at %s  [healthz: /healthz, metrics: /metrics]"
+        % (arguments.source, len(server.dataset), server.url),
+        file=output,
+        flush=True,
+    )
+    return server
+
+
+def _serve_until_interrupted(server: SparqlServer, output) -> None:
+    """Serve on this thread; SIGINT/SIGTERM trigger a graceful shutdown."""
+
+    def handle_signal(_signum, _frame):
+        # shutdown() must not run on the serving thread; hand it off.
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handle_signal)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("server stopped", file=output, flush=True)
+
+
+def _read_query_text(argument: str) -> str:
+    if argument == "-":
+        return sys.stdin.read()
+    if argument.startswith("@"):
+        with open(argument[1:], "r", encoding="utf-8") as handle:
+            return handle.read()
+    return argument
+
+
+def _run_query(arguments, output) -> None:
+    query = _read_query_text(arguments.sparql)
+    # Same convention as `serve --timeout`: 0 (or omitted) disables the budget.
+    timeout = arguments.timeout if arguments.timeout and arguments.timeout > 0 else None
+    if arguments.endpoint:
+        # Flags that configure *local* execution have no remote equivalent;
+        # failing beats silently ignoring them (--timeout does apply: it
+        # bounds the HTTP request).
+        local_only = []
+        if arguments.limit is not None:
+            local_only.append("--limit")
+        if arguments.offset:
+            local_only.append("--offset")
+        if arguments.engine != "vector":
+            local_only.append("--engine")
+        if arguments.parallelism != 1:
+            local_only.append("--parallelism")
+        if local_only:
+            raise ValueError(
+                "%s only apply to local --source execution; put LIMIT/OFFSET "
+                "in the query text and configure the server's engine via "
+                "'serve' flags" % "/".join(local_only)
+            )
+        endpoint = RemoteEndpoint(
+            arguments.endpoint, timeout=timeout if timeout is not None else 60.0
+        )
+        document = endpoint.query_raw(query, format=arguments.format)
+        output.write(document)
+        if not document.endswith("\n"):
+            output.write("\n")
+        return
+    dataset = connect(arguments.source)
+    with dataset.session(
+        executor=arguments.engine,
+        parallelism=arguments.parallelism,
+        timeout=timeout,
+    ) as session:
+        cursor = session.execute(
+            query, limit=arguments.limit, offset=arguments.offset
+        )
+        serializer = serializer_for(arguments.format)
+        output.write(serializer.begin(cursor.variables))
+        for page in cursor.pages():
+            output.write(serializer.rows(page))
+        output.write(serializer.end())
+        if arguments.format == "json":
+            output.write("\n")
+
+
 def main(argv: Optional[List[str]] = None, output=None) -> int:
     """CLI entry point; returns the process exit code."""
     output = output if output is not None else sys.stdout
@@ -377,6 +575,27 @@ def main(argv: Optional[List[str]] = None, output=None) -> int:
         return 0
     if arguments.command == "generate":
         _run_generate(arguments, output)
+        return 0
+    if arguments.command == "serve":
+        try:
+            server = _run_serve(arguments, output)
+        except ReproError as error:
+            print("error [%s]: %s" % (error.code, error.message), file=sys.stderr)
+            return 1
+        except (OSError, ValueError, KeyError, SnapshotError) as error:
+            print("error: %s" % (error,), file=sys.stderr)
+            return 1
+        _serve_until_interrupted(server, output)
+        return 0
+    if arguments.command == "query":
+        try:
+            _run_query(arguments, output)
+        except ReproError as error:
+            print("error [%s]: %s" % (error.code, error.message), file=sys.stderr)
+            return 1
+        except (OSError, ValueError, KeyError, SnapshotError) as error:
+            print("error: %s" % (error,), file=sys.stderr)
+            return 1
         return 0
     return 2
 

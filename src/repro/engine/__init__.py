@@ -12,9 +12,11 @@ from .operators import (
     value_to_term,
 )
 from .query_engine import (
+    DEFAULT_PAGE_SIZE,
     EXECUTORS,
     QueryEngine,
     QueryResult,
+    RowStream,
     binding_cache_key,
     default_executor,
     execution_noise_key,
@@ -26,7 +28,9 @@ from .vector import NULL_ID, ColumnBatch, VectorExecutor
 __all__ = [
     "Binding",
     "ColumnBatch",
+    "DEFAULT_PAGE_SIZE",
     "EXECUTORS",
+    "RowStream",
     "ExecutionProfile",
     "Executor",
     "NULL_ID",

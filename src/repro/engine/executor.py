@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from math import log2
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.terms import Term, Variable
 from ..sparql.ast import Expression, OrderCondition
@@ -217,6 +217,25 @@ class Executor:
         profile.result_rows = len(rows)
         profile.add_work("output_tuple", len(rows))
         return rows, profile
+
+    def execute_pages(
+        self, plan: PlanNode, page_size: Optional[int] = None
+    ) -> Tuple[Iterator[List[Binding]], ExecutionProfile]:
+        """Run the plan; return the rows as an iterator of pages.
+
+        The tuple executor materialises everything up front, so paging only
+        slices the finished row list — the seam exists so both executors
+        expose the same incremental-result protocol
+        (``QueryEngine.execute_iter``), with identical concatenated output.
+        """
+        rows, profile = self.execute(plan)
+        step = len(rows) if page_size is None else max(1, page_size)
+
+        def pages() -> Iterator[List[Binding]]:
+            for start in range(0, len(rows), max(1, step)):
+                yield rows[start:start + step]
+
+        return pages(), profile
 
     # -- dispatch ---------------------------------------------------------------
 

@@ -10,7 +10,7 @@ and actual ``Cout``, and the simulated runtime.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from ..rdf.graph import Graph
 from ..rdf.terms import Term, Variable
@@ -21,13 +21,17 @@ from ..sparql.template import QueryTemplate
 from ..store.statistics import StoreStatistics
 from ..store.triple_store import TripleStore
 from ..optimizer.optimizer import Optimizer
-from ..optimizer.plans import PlanNode, join_tree_signature
+from ..optimizer.plans import LimitNode, PlanNode, join_tree_signature
 from .executor import ExecutionProfile, Executor
+from .operators import Binding
 from .runtime_model import RuntimeModel
 from .vector import VectorExecutor
 
 #: Executor implementations selectable via ``QueryEngine(executor=...)``.
 EXECUTORS = ("vector", "tuple")
+
+#: Rows per page when streaming results through ``execute_iter``.
+DEFAULT_PAGE_SIZE = 1024
 
 
 def default_executor() -> str:
@@ -71,6 +75,73 @@ def execution_noise_key(template_name: str, bindings: Mapping[str, Term], repeti
     return "%s|%s|%d" % (template_name, binding_cache_key(bindings), repetition)
 
 
+class RowStream:
+    """The incremental outcome of executing one query.
+
+    Execution itself is eager (the profile, simulated runtime and ``Cout``
+    values are final on construction); only the decode of id columns to RDF
+    terms is deferred, ``page_size`` rows at a time, as :meth:`pages` is
+    consumed — late materialization per page.  Concatenating every page
+    yields exactly the row list :meth:`QueryEngine.execute` returns for the
+    same plan.  The page iterator is single-use.
+    """
+
+    def __init__(
+        self,
+        pages: Iterator[List[Binding]],
+        plan: PlanNode,
+        profile: ExecutionProfile,
+        runtime_ms: float,
+    ):
+        self._pages = pages
+        self._consumed = False
+        self.plan = plan
+        self.profile = profile
+        self.runtime_ms = runtime_ms
+        self.estimated_cout = plan.estimated_cout()
+        self.actual_cout = profile.actual_cout(plan)
+        #: True when the plan was served from a plan cache (set by callers).
+        self.plan_cached = False
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """The result variables, in projection order."""
+        return self.plan.output_variables()
+
+    def __len__(self) -> int:
+        """Total result rows (known up front; streaming only defers decode)."""
+        return self.profile.result_rows
+
+    def pages(self) -> Iterator[List[Binding]]:
+        """The row pages, decoded lazily.  May be iterated once."""
+        if self._consumed:
+            raise RuntimeError("RowStream pages were already consumed")
+        self._consumed = True
+        return self._pages
+
+    def rows(self) -> Iterator[Binding]:
+        """The rows, one by one (consumes the page iterator)."""
+        for page in self.pages():
+            yield from page
+
+    def result(self) -> "QueryResult":
+        """Materialise the remaining pages into a :class:`QueryResult`."""
+        rows = [row for page in self.pages() for row in page]
+        result = QueryResult(
+            rows=rows,
+            plan=self.plan,
+            profile=self.profile,
+            runtime_ms=self.runtime_ms,
+            estimated_cout=self.estimated_cout,
+            actual_cout=self.actual_cout,
+        )
+        result.plan_cached = self.plan_cached
+        return result
+
+    def __repr__(self) -> str:
+        return "RowStream(rows=%d, runtime=%.2fms)" % (len(self), self.runtime_ms)
+
+
 class QueryResult:
     """The complete outcome of executing one query."""
 
@@ -96,6 +167,18 @@ class QueryResult:
     def __len__(self) -> int:
         return len(self.rows)
 
+    def __iter__(self):
+        """Iterate over the solution mappings."""
+        return iter(self.rows)
+
+    def __getitem__(self, index):
+        """Row (or row slice) access by position."""
+        return self.rows[index]
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The result variables, in projection order."""
+        return self.plan.output_variables()
+
     def plan_signature(self) -> str:
         """Canonical join-tree signature (the paper's plan identity)."""
         return join_tree_signature(self.plan)
@@ -103,6 +186,20 @@ class QueryResult:
     def to_dicts(self) -> List[Dict[str, Term]]:
         """Rows with plain string keys, convenient for assertions and display."""
         return [{variable.name: term for variable, term in row.items()} for row in self.rows]
+
+    def to_json(self) -> str:
+        """The rows as a SPARQL 1.1 Query Results JSON document.
+
+        The same serialisation the HTTP endpoint sends for
+        ``application/sparql-results+json`` (see :mod:`repro.api.results`),
+        so in-process results interoperate with protocol clients without
+        conversion boilerplate.
+        """
+        from ..api.results import JSONSerializer
+
+        return JSONSerializer().serialize(
+            [variable.name for variable in self.variables()], self.rows
+        )
 
     def __repr__(self) -> str:
         return "QueryResult(rows=%d, runtime=%.2fms, cout=%.0f)" % (
@@ -196,17 +293,44 @@ class QueryEngine:
         return self.execute_plan(plan, noise_key)
 
     def execute_plan(self, plan: PlanNode, noise_key: str = "") -> QueryResult:
-        """Execute an already-optimized plan."""
-        rows, profile = self.executor.execute(plan)
+        """Execute an already-optimized plan (materialising wrapper).
+
+        Thin shell over :meth:`execute_plan_iter`: one page, fully decoded.
+        """
+        return self.execute_plan_iter(plan, noise_key, page_size=None).result()
+
+    def execute_iter(
+        self,
+        query: Union[str, SelectQuery],
+        noise_key: str = "",
+        page_size: Optional[int] = DEFAULT_PAGE_SIZE,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> RowStream:
+        """Plan and execute a query, streaming decoded rows page by page.
+
+        ``limit``/``offset`` are pushed down into the plan as an id-space
+        slice *before* any term is decoded, so a client asking for the
+        first page of a huge result never pays for the rest.  Without them
+        the concatenated pages are exactly :meth:`execute`'s rows.
+        """
+        plan = self.plan(query)
+        if limit is not None or offset:
+            plan = LimitNode(plan, limit, offset)
+        return self.execute_plan_iter(plan, noise_key, page_size)
+
+    def execute_plan_iter(
+        self,
+        plan: PlanNode,
+        noise_key: str = "",
+        page_size: Optional[int] = DEFAULT_PAGE_SIZE,
+    ) -> RowStream:
+        """Execute an already-optimized plan as a :class:`RowStream`."""
+        if page_size is not None and page_size < 1:
+            raise ValueError("page_size must be a positive integer or None, got %r" % (page_size,))
+        pages, profile = self.executor.execute_pages(plan, page_size)
         runtime = self.runtime_model.runtime_milliseconds(profile, noise_key)
-        return QueryResult(
-            rows=rows,
-            plan=plan,
-            profile=profile,
-            runtime_ms=runtime,
-            estimated_cout=plan.estimated_cout(),
-            actual_cout=profile.actual_cout(plan),
-        )
+        return RowStream(pages, plan, profile, runtime)
 
     def execute_template(
         self,

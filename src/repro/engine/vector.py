@@ -58,7 +58,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from math import log2
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -270,11 +270,22 @@ class VectorExecutor:
 
     def _decode(self, term_id: int) -> Optional[Term]:
         """Decode any id: dictionary, null sentinel, or extension table."""
+        return self._decode_with(term_id, self._extension_tables()[1])
+
+    def _decode_with(
+        self, term_id: int, extension_terms: Dict[int, Term]
+    ) -> Optional[Term]:
+        """Decode one id against an explicitly captured extension table.
+
+        Page iterators hold the table of the execution that produced them,
+        so decoding stays correct after the thread-local tables have been
+        reset by a newer query on the same thread.
+        """
         if term_id >= 0:
             return self.store.decode_id(term_id)
         if term_id == NULL_ID:
             return None
-        return self._extension_tables()[1][term_id]
+        return extension_terms[term_id]
 
     def _encode_result_term(self, term: Term) -> int:
         """Id for an expression result, allocating an extension id if new."""
@@ -331,13 +342,41 @@ class VectorExecutor:
 
     def execute(self, plan: PlanNode) -> Tuple[List[Binding], ExecutionProfile]:
         """Run the plan; return (solution mappings, execution profile)."""
+        pages, profile = self.execute_pages(plan, page_size=None)
+        rows = [row for page in pages for row in page]
+        return rows, profile
+
+    def execute_pages(
+        self, plan: PlanNode, page_size: Optional[int] = None
+    ) -> Tuple[Iterator[List[Binding]], ExecutionProfile]:
+        """Run the plan eagerly; decode the result page by page.
+
+        The pipeline executes to completion in id space (so the profile —
+        and therefore the simulated runtime — is final when this returns),
+        but the expensive id→term decode happens lazily, ``page_size`` rows
+        at a time, as the returned iterator is consumed.  ``page_size=None``
+        decodes everything as one page.  Concatenating the pages yields
+        exactly what :meth:`execute` returns.
+
+        The extension-id table of this execution is captured by the page
+        iterator, so pages stay decodable after a later ``execute`` call on
+        the same thread has reset the thread-local tables.
+        """
         self._reset_extension_tables()
         profile = ExecutionProfile()
         batch = self._execute(plan, profile)
-        rows = self._materialise(batch)
-        profile.result_rows = len(rows)
-        profile.add_work("output_tuple", len(rows))
-        return rows, profile
+        profile.result_rows = batch.length
+        profile.add_work("output_tuple", batch.length)
+        _ids, extension_terms = self._extension_tables()
+
+        step = batch.length if page_size is None else max(1, page_size)
+
+        def pages() -> Iterator[List[Binding]]:
+            for start in range(0, batch.length, max(1, step)):
+                page = batch.take(slice(start, start + step))
+                yield self._materialise(page, extension_terms)
+
+        return pages(), profile
 
     def _execute(self, node: PlanNode, profile: ExecutionProfile) -> ColumnBatch:
         if isinstance(node, ScanNode):
@@ -1263,22 +1302,31 @@ class VectorExecutor:
 
     # -- late materialization ---------------------------------------------------------
 
-    def _decode_column(self, column: np.ndarray) -> List[Optional[Term]]:
+    def _decode_column(
+        self, column: np.ndarray, extension_terms: Optional[Dict[int, Term]] = None
+    ) -> List[Optional[Term]]:
         """Decode an id column to a Term list (decoding each id once).
 
         Null entries decode to ``None`` — callers drop them from bindings,
         matching the tuple executor's absent dictionary keys.
         """
+        if extension_terms is None:
+            extension_terms = self._extension_tables()[1]
         uniques, inverse = np.unique(column, return_inverse=True)
-        terms = [self._decode(int(term_id)) for term_id in uniques.tolist()]
+        terms = [
+            self._decode_with(int(term_id), extension_terms)
+            for term_id in uniques.tolist()
+        ]
         return [terms[position] for position in inverse.tolist()]
 
-    def _materialise(self, batch: ColumnBatch) -> List[Binding]:
+    def _materialise(
+        self, batch: ColumnBatch, extension_terms: Optional[Dict[int, Term]] = None
+    ) -> List[Binding]:
         """Decode a batch into solution-mapping dicts (the SELECT boundary)."""
         if batch.length == 0:
             return []
         term_columns = [
-            (variable, self._decode_column(batch.columns[variable]))
+            (variable, self._decode_column(batch.columns[variable], extension_terms))
             for variable in batch.variables
         ]
         rows: List[Binding] = []

@@ -161,6 +161,21 @@ class _LineParser:
         return Triple(subject, predicate, object_)
 
 
+def parse_term(text: str) -> Term:
+    """Parse a single term in N-Triples surface form.
+
+    Accepts exactly what :meth:`~repro.rdf.terms.Term.n3` produces — IRIs,
+    blank nodes, plain / language-tagged / typed literals — which is also
+    the cell encoding of SPARQL 1.1 TSV results (``repro.api.results``).
+    """
+    parser = _LineParser(text)
+    term = parser.parse_term(allow_literal=True)
+    parser.skip_whitespace()
+    if not parser.at_end():
+        raise parser.error("trailing characters after term")
+    return term
+
+
 def parse_line(line: str) -> Triple:
     """Parse one N-Triples line into a :class:`Triple`."""
     return _LineParser(line).parse_triple()

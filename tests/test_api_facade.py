@@ -1,0 +1,300 @@
+"""The public facade: ``repro.connect`` / ``Dataset`` / ``Session`` / ``Cursor``.
+
+The facade's contract: every way of opening a dataset serves bit-identical
+rows to ``QueryEngine.execute`` on the same store, streaming never changes
+results, every failure is a :class:`ReproError` subclass with its stable
+code, and timeouts surface as :class:`QueryTimeout`.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.api import (
+    Cursor,
+    Dataset,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    QueryTimeout,
+    ReproError,
+    Session,
+    connect,
+    error_for_code,
+)
+from repro.engine import QueryEngine
+from repro.rdf.terms import IRI, Literal, Variable, typed_literal
+from repro.rdf.triples import Triple
+from repro.sparql.parser import ParseError as SparqlParseError
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+QUERY = "SELECT ?s ?o WHERE { ?s <%sp> ?o } ORDER BY ?s ?o" % EX
+
+
+def build_store() -> TripleStore:
+    store = TripleStore()
+    store.add_many(
+        Triple(IRI(EX + "s%d" % index), IRI(EX + "p"), typed_literal(index % 4))
+        for index in range(20)
+    )
+    return store
+
+
+@pytest.fixture()
+def dataset():
+    with connect(build_store()) as opened:
+        yield opened
+
+
+class TestConnect:
+    def test_from_store_and_graph(self):
+        store = build_store()
+        assert connect(store).store is store
+        from repro.rdf.graph import Graph
+
+        graph = Graph()
+        graph.add(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b"))
+        assert connect(graph).store is graph.store
+
+    def test_dataset_passes_through(self, dataset):
+        assert connect(dataset) is dataset
+
+    def test_generator_spec(self):
+        opened = connect("bsbm:tiny")
+        assert len(opened) > 0
+        assert opened.source == "bsbm:tiny"
+
+    def test_snapshot_path(self, tmp_path):
+        store = build_store()
+        store.finalise()
+        path = str(tmp_path / "facade.snapshot")
+        store.save(path)
+        opened = connect(path)
+        assert opened.source == path
+        expected = QueryEngine(store).execute(QUERY)
+        assert opened.query(QUERY).fetchall() == expected.rows
+
+    def test_bad_sources_are_rejected(self):
+        with pytest.raises(ValueError):
+            connect("no/such/file.or.spec")
+        with pytest.raises(TypeError):
+            connect(42)
+
+
+class TestCursorStreaming:
+    def test_rows_match_engine_execute_bit_identically(self, dataset):
+        expected = QueryEngine(dataset.store).execute(QUERY)
+        cursor = dataset.query(QUERY)
+        assert isinstance(cursor, Cursor)
+        assert cursor.fetchall() == expected.rows
+        assert len(cursor) == len(expected.rows)
+
+    def test_page_granularity_does_not_change_rows(self, dataset):
+        expected = dataset.query(QUERY).fetchall()
+        for page_size in (1, 3, 7, 100):
+            session = dataset.session(page_size=page_size)
+            cursor = session.execute(QUERY)
+            pages = list(cursor.pages())
+            assert [row for page in pages for row in page] == expected
+            assert all(len(page) <= page_size for page in pages)
+
+    def test_fetch_interfaces(self, dataset):
+        expected = dataset.query(QUERY).fetchall()
+        cursor = dataset.session(page_size=3).execute(QUERY)
+        first = cursor.fetchone()
+        some = cursor.fetchmany(5)
+        rest = cursor.fetchall()
+        assert [first] + some + rest == expected
+        assert cursor.fetchone() is None
+        assert cursor.rows_streamed == len(expected)
+
+    def test_iteration_and_metadata(self, dataset):
+        cursor = dataset.query(QUERY)
+        assert cursor.variables == ["s", "o"]
+        assert cursor.runtime_ms > 0
+        assert list(cursor) == dataset.query(QUERY).fetchall()
+
+    def test_limit_offset_pushdown(self, dataset):
+        everything = dataset.query(QUERY).fetchall()
+        assert dataset.query(QUERY, limit=3, offset=2).fetchall() == everything[2:5]
+        # the slice happened before decoding: the cursor knows its size up front
+        assert len(dataset.query(QUERY, limit=3)) == 3
+
+
+class TestSessions:
+    def test_executor_and_parallelism_are_bit_identical(self, dataset):
+        expected = dataset.session(executor="tuple").execute(QUERY).fetchall()
+        for executor, parallelism in (("vector", 1), ("vector", 4), ("tuple", 1)):
+            session = dataset.session(executor=executor, parallelism=parallelism)
+            assert session.execute(QUERY).fetchall() == expected
+
+    def test_plan_cache_marks_repeat_executions(self, dataset):
+        session = dataset.session()
+        first = session.execute(QUERY)
+        second = session.execute(QUERY)
+        assert first.plan_cached is False
+        assert second.plan_cached is True
+
+    def test_queries_differing_only_inside_literals_do_not_share_plans(self):
+        """The cache key is the verbatim text: whitespace inside a string
+        literal distinguishes queries (a collapsed key would alias them)."""
+        store = TripleStore()
+        store.add_many(
+            [
+                Triple(IRI(EX + "s1"), IRI(EX + "p"), Literal("a b")),
+                Triple(IRI(EX + "s2"), IRI(EX + "p"), Literal("a  b")),
+            ]
+        )
+        session = connect(store).session()
+        one = session.execute('SELECT ?s WHERE { ?s <%sp> "a b" }' % EX).fetchall()
+        two = session.execute('SELECT ?s WHERE { ?s <%sp> "a  b" }' % EX).fetchall()
+        assert one == [{Variable("s"): IRI(EX + "s1")}]
+        assert two == [{Variable("s"): IRI(EX + "s2")}]
+
+    def test_metrics_expose_serving_and_cache_counters(self, dataset):
+        session = dataset.session()
+        session.execute(QUERY).fetchall()
+        metrics = session.metrics()
+        assert metrics["executed queries"] >= 1
+        assert "plan cache hits" in metrics
+
+    def test_explain_annotates_the_plan(self, dataset):
+        assert "Scan" in dataset.session().explain(QUERY)
+
+    def test_non_positive_page_sizes_are_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.session(page_size=0)
+        session = dataset.session()
+        with pytest.raises(ValueError):
+            session.execute(QUERY, page_size=0)
+        with pytest.raises(ValueError):
+            QueryEngine(dataset.store).execute_iter(QUERY, page_size=-1)
+
+    def test_session_options_flow_from_connect(self):
+        opened = connect(build_store(), executor="tuple", page_size=2)
+        session = opened.default_session()
+        assert session.engine.executor_name == "tuple"
+        assert session.page_size == 2
+
+
+class TestErrorHierarchy:
+    def test_parse_error(self, dataset):
+        with pytest.raises(ParseError) as caught:
+            dataset.query("SELEKT nonsense")
+        assert caught.value.code == "parse_error"
+        assert isinstance(caught.value, ReproError)
+        # also catchable as the parser-layer exception
+        assert isinstance(caught.value, SparqlParseError)
+
+    def test_plan_error_on_unbound_parameters(self, dataset):
+        with pytest.raises(PlanError) as caught:
+            dataset.query("SELECT ?s WHERE { ?s <%sp> %%param }" % EX)
+        assert caught.value.code == "plan_error"
+
+    def test_plan_error_on_unknown_prefix(self, dataset):
+        with pytest.raises((ParseError, PlanError)) as caught:
+            dataset.query("SELECT ?s WHERE { ?s nope:broken ?o }")
+        assert caught.value.code in ("parse_error", "plan_error")
+
+    def test_codes_round_trip_to_classes(self):
+        for code, cls in (
+            ("parse_error", ParseError),
+            ("plan_error", PlanError),
+            ("execution_error", ExecutionError),
+            ("query_timeout", QueryTimeout),
+        ):
+            error = error_for_code(code, "boom")
+            assert type(error) is cls
+            assert error.as_dict() == {"code": code, "message": "boom"}
+        assert type(error_for_code("from_the_future", "x")) is ReproError
+
+
+class _SlowEngine:
+    """Engine stand-in whose execution blocks long enough to trip timeouts."""
+
+    def __init__(self, engine, delay):
+        self._engine = engine
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def execute_plan_iter(self, plan, noise_key="", page_size=None):
+        time.sleep(self._delay)
+        return self._engine.execute_plan_iter(plan, noise_key, page_size)
+
+
+class TestTimeouts:
+    def test_execution_timeout_raises_query_timeout(self, dataset):
+        session = dataset.session(timeout=0.05)
+        session.engine = _SlowEngine(session.engine, delay=0.5)
+        with pytest.raises(QueryTimeout) as caught:
+            session.execute(QUERY)
+        assert caught.value.code == "query_timeout"
+
+    def test_generous_timeout_passes(self, dataset):
+        session = dataset.session(timeout=30.0)
+        assert session.execute(QUERY).fetchall() == dataset.query(QUERY).fetchall()
+
+    def test_per_call_override_disables_session_timeout(self, dataset):
+        session = dataset.session(timeout=0.05)
+        session.engine = _SlowEngine(session.engine, delay=0.2)
+        rows = session.execute(QUERY, timeout=None).fetchall()
+        assert rows == dataset.query(QUERY).fetchall()
+
+    def test_timed_out_queries_do_not_starve_later_requests(self, dataset):
+        """Abandoned (timed-out but still running) executions must not
+        occupy a shared pool: a later request with budget to spare runs
+        immediately instead of queueing behind zombies."""
+        session = dataset.session(timeout=0.02)
+        original = session.engine
+        session.engine = _SlowEngine(original, delay=0.6)
+        for _attempt in range(10):
+            with pytest.raises(QueryTimeout):
+                session.execute(QUERY)
+        session.engine = original
+        started = time.monotonic()
+        rows = session.execute(QUERY, timeout=5.0).fetchall()
+        assert rows == dataset.query(QUERY).fetchall()
+        assert time.monotonic() - started < 0.5
+
+    def test_streaming_deadline_is_enforced(self, dataset):
+        cursor = dataset.session(timeout=30.0, page_size=1).execute(QUERY)
+        cursor._deadline = time.monotonic() - 1.0  # budget already spent
+        with pytest.raises(QueryTimeout):
+            cursor.fetchall()
+
+
+class TestPackageSurface:
+    def test_version_bumped(self):
+        assert repro.__version__ == "1.1.0"
+
+    def test_facade_is_exported_at_top_level(self):
+        for name in (
+            "connect",
+            "serve",
+            "Dataset",
+            "Session",
+            "Cursor",
+            "ReproError",
+            "ParseError",
+            "PlanError",
+            "ExecutionError",
+            "QueryTimeout",
+            "RemoteEndpoint",
+            "SparqlServer",
+            "RowStream",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_previously_missing_exports_are_filled(self):
+        for name in ("QueryService", "parse_query", "translate_query", "BNode",
+                     "Triple", "TriplePattern", "WorkloadRunner"):
+            assert name in repro.__all__, name
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name

@@ -1,0 +1,106 @@
+"""Acceptance sweep: HTTP protocol responses == in-process execution.
+
+For every template the paper's experiments execute (the full E1–E4 /
+BSBM-BI / LDBC mix, as in ``test_executor_equivalence.py``), under both
+executors and morsel parallelism 1 and 4:
+
+* the HTTP endpoint's responses in **all three** result formats parse back
+  to row sets bit-identical to ``QueryEngine.execute()`` on the same
+  engine configuration (CSV, being lossy by spec, is compared as the
+  byte-exact CSV serialisation of the in-process rows), and
+* ``execute_iter()`` page streams concatenate to exactly ``execute()``'s
+  rows.
+
+One server per (dataset, configuration) serves every template of its
+benchmark — the sweep exercises the plan cache and the threaded handler
+path along the way.
+"""
+
+import re
+
+import pytest
+
+from repro.api import Dataset, RemoteEndpoint, SparqlServer
+from repro.api.results import CSVSerializer
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.datagen.ldbc import template as ldbc_template
+from repro.experiments import common
+
+SCALE = "tiny"
+BINDINGS_PER_TEMPLATE = 2
+
+#: every experiment-reachable template with a registered parameter space.
+EXPERIMENT_TEMPLATES = [
+    ("bsbm_bi_q1", common.bsbm_type_space),
+    ("bsbm_bi_q2", common.bsbm_product_space),
+    ("bsbm_bi_q3", common.bsbm_feature_space),
+    ("bsbm_bi_q4", common.bsbm_type_space),
+    ("bsbm_bi_q5", common.bsbm_product_space),
+    ("bsbm_bi_q6", common.bsbm_producer_space),
+    ("bsbm_bi_q8", common.bsbm_type_feature_space),
+    ("ldbc_q2", common.ldbc_person_space),
+    ("ldbc_q3", common.ldbc_person_country_pair_space),
+    ("ldbc_q4", common.ldbc_person_space),
+    ("ldbc_q5", common.ldbc_person_space),
+    ("ldbc_q7", common.ldbc_country_space),
+    ("ldbc_q8", common.ldbc_person_space),
+]
+
+CONFIGURATIONS = [
+    ("vector", 1),
+    ("vector", 4),
+    ("tuple", 1),
+    ("tuple", 4),
+]
+
+_PARAM = re.compile(r"%([A-Za-z_][A-Za-z0-9_]*)%?")
+
+
+def concrete_text(template, binding) -> str:
+    """Substitute ``%param`` placeholders, yielding protocol-ready text."""
+    return _PARAM.sub(lambda match: binding[match.group(1)].n3(), template.text)
+
+
+def sweep_queries(mix: str):
+    """(template name, concrete query text) pairs of one benchmark's mix."""
+    queries = []
+    for name, space_factory in EXPERIMENT_TEMPLATES:
+        if not name.startswith(mix):
+            continue
+        template = bsbm_template(name) if mix == "bsbm" else ldbc_template(name)
+        sampler = UniformSampler(space_factory(SCALE), seed=7)
+        for binding in sampler.bindings(BINDINGS_PER_TEMPLATE):
+            queries.append((name, concrete_text(template, binding)))
+    return queries
+
+
+@pytest.mark.parametrize("executor,parallelism", CONFIGURATIONS)
+@pytest.mark.parametrize("mix", ["bsbm", "ldbc"])
+def test_protocol_sweep_is_bit_identical(mix, executor, parallelism):
+    engine = (
+        common.bsbm_engine(SCALE, executor, parallelism)
+        if mix == "bsbm"
+        else common.ldbc_engine(SCALE, executor, parallelism)
+    )
+    dataset = Dataset.from_store(engine.store)
+    session = dataset.session(executor=executor, parallelism=parallelism)
+    with SparqlServer(session, port=0) as server:
+        client = RemoteEndpoint(server.url)
+        for name, query in sweep_queries(mix):
+            expected = engine.execute(query)
+
+            # the engine seam: page streams concatenate to execute()'s rows
+            for page_size in (7, None):
+                stream = engine.execute_iter(query, page_size=page_size)
+                assert list(stream.rows()) == expected.rows, name
+
+            # the protocol: every format round-trips the same row set
+            _variables, json_rows = client.query(query)
+            assert json_rows == expected.rows, name
+            _variables, tsv_rows = client.query_tsv(query)
+            assert tsv_rows == expected.rows, name
+            expected_csv = CSVSerializer().serialize(
+                [variable.name for variable in expected.variables()], expected.rows
+            )
+            assert client.query_raw(query, "csv") == expected_csv, name

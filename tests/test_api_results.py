@@ -1,0 +1,137 @@
+"""SPARQL JSON / CSV / TSV result serialisation and parsing."""
+
+import pytest
+
+from repro.api.results import (
+    CSVSerializer,
+    JSONSerializer,
+    TSVSerializer,
+    negotiate,
+    parse_csv,
+    parse_json,
+    parse_tsv,
+    serializer_for,
+    term_from_json,
+    term_to_json,
+)
+from repro.rdf.terms import BNode, IRI, Literal, Variable, date_literal, typed_literal
+
+S, O = Variable("s"), Variable("o")
+
+#: one row per term kind, including the escaping-hostile literals.
+TERMS = [
+    IRI("http://example.org/thing#1"),
+    BNode("b42"),
+    Literal("plain"),
+    Literal("hällo wörld"),
+    Literal("bonjour", language="FR"),  # language tags normalise to lowercase
+    typed_literal(7),
+    typed_literal(2.5),
+    typed_literal(True),
+    date_literal("2014-03-31"),
+    Literal('quotes " and, commas'),
+    Literal("tab\tand\nnewline"),
+]
+
+ROWS = [{S: IRI("http://example.org/s%d" % index), O: term} for index, term in enumerate(TERMS)]
+ROWS.append({S: IRI("http://example.org/unbound")})  # ?o unbound
+ROWS.append({})  # fully unbound row (OPTIONAL can produce these)
+
+
+class TestTermJson:
+    @pytest.mark.parametrize("term", TERMS)
+    def test_round_trip(self, term):
+        assert term_from_json(term_to_json(term)) == term
+
+    def test_shapes(self):
+        assert term_to_json(IRI("http://x/y")) == {"type": "uri", "value": "http://x/y"}
+        assert term_to_json(BNode("b")) == {"type": "bnode", "value": "b"}
+        assert term_to_json(Literal("a", language="en")) == {
+            "type": "literal",
+            "value": "a",
+            "xml:lang": "en",
+        }
+        assert term_to_json(typed_literal(1))["datatype"].endswith("#integer")
+
+
+class TestJsonDocument:
+    def test_round_trips_bit_identically(self):
+        document = JSONSerializer().serialize(["s", "o"], ROWS)
+        variables, rows = parse_json(document)
+        assert variables == ["s", "o"]
+        assert rows == ROWS
+
+    def test_incremental_equals_one_shot(self):
+        serializer = JSONSerializer()
+        incremental = serializer.begin(["s", "o"])
+        for row in ROWS:
+            incremental += serializer.rows([row])
+        incremental += serializer.end()
+        assert incremental == JSONSerializer().serialize(["s", "o"], ROWS)
+
+    def test_empty_result(self):
+        variables, rows = parse_json(JSONSerializer().serialize(["s"], []))
+        assert variables == ["s"]
+        assert rows == []
+
+
+class TestTsvDocument:
+    def test_round_trips_bit_identically(self):
+        document = TSVSerializer().serialize(["s", "o"], ROWS)
+        variables, rows = parse_tsv(document)
+        assert variables == ["s", "o"]
+        assert rows == ROWS
+
+    def test_header_and_term_syntax(self):
+        document = TSVSerializer().serialize(["s", "o"], ROWS[:1])
+        lines = document.split("\n")
+        assert lines[0] == "?s\t?o"
+        assert lines[1].startswith("<http://example.org/s0>\t")
+
+    def test_escaped_tabs_and_newlines_stay_one_line(self):
+        row = {S: Literal("a\tb\nc")}
+        document = TSVSerializer().serialize(["s"], [row])
+        assert document.count("\n") == 2  # header + one data line
+        _variables, rows = parse_tsv(document)
+        assert rows == [row]
+
+
+class TestCsvDocument:
+    def test_plain_values_and_quoting(self):
+        document = CSVSerializer().serialize(["s", "o"], ROWS)
+        variables, rows = parse_csv(document)
+        assert variables == ["s", "o"]
+        assert len(rows) == len(ROWS)
+        assert rows[0]["o"] == "http://example.org/thing#1"  # IRI: bare value
+        assert rows[1]["o"] == "_:b42"
+        assert rows[5]["o"] == "7"  # typed literal: lexical form only
+        assert rows[9]["o"] == 'quotes " and, commas'  # RFC 4180 quoting held
+        assert rows[-2]["o"] == ""  # unbound -> empty cell
+
+    def test_crlf_line_endings(self):
+        document = CSVSerializer().serialize(["s"], ROWS[:2])
+        assert document.count("\r\n") == 3
+
+
+class TestNegotiation:
+    def test_defaults_to_json(self):
+        assert negotiate(None) == "json"
+        assert negotiate("*/*") == "json"
+        assert negotiate("application/sparql-results+json") == "json"
+        assert negotiate("application/json") == "json"
+
+    def test_explicit_format_wins(self):
+        assert negotiate("text/csv", explicit="tsv") == "tsv"
+        assert negotiate(None, explicit="nope") is None
+
+    def test_media_types(self):
+        assert negotiate("text/csv") == "csv"
+        assert negotiate("text/tab-separated-values") == "tsv"
+        assert negotiate("text/csv;q=0.9, application/sparql-results+json") == "csv"
+
+    def test_unsupported_is_none(self):
+        assert negotiate("application/xml") is None
+
+    def test_serializer_for_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            serializer_for("xml")

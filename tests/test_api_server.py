@@ -1,0 +1,319 @@
+"""The SPARQL 1.1 Protocol endpoint: request handling, errors, lifecycle.
+
+Also hosts the CI end-to-end smoke: with ``REPRO_SNAPSHOT`` pointing at a
+prebuilt snapshot artifact, ``repro.cli serve`` is started as a real
+subprocess and protocol responses in all three formats are asserted
+bit-identical to in-process ``QueryEngine.execute`` under both executors.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.api import RemoteEndpoint, QueryTimeout, SparqlServer, connect, serve
+from repro.api.results import parse_csv, parse_json, parse_tsv
+from repro.engine import QueryEngine
+from repro.rdf.terms import IRI, typed_literal
+from repro.rdf.triples import Triple
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+QUERY = "SELECT ?s ?o WHERE { ?s <%sp> ?o } ORDER BY ?s ?o" % EX
+
+
+def build_store() -> TripleStore:
+    store = TripleStore()
+    store.add_many(
+        Triple(IRI(EX + "s%d" % index), IRI(EX + "p"), typed_literal(index % 5))
+        for index in range(30)
+    )
+    return store
+
+
+@pytest.fixture(scope="module")
+def server():
+    with serve(build_store(), port=0) as running:
+        yield running
+
+
+def http_get(url, accept=None):
+    request = urllib.request.Request(url, headers={"Accept": accept} if accept else {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read().decode("utf-8")
+
+
+def get_query(server, query, accept=None, extra=""):
+    url = server.url + "?query=" + urllib.parse.quote(query) + extra
+    return http_get(url, accept)
+
+
+class TestQueryEndpoint:
+    def test_get_json_matches_in_process_execution(self, server):
+        status, headers, body = get_query(server, QUERY)
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/sparql-results+json")
+        variables, rows = parse_json(body)
+        expected = QueryEngine(server.dataset.store).execute(QUERY)
+        assert variables == ["s", "o"]
+        assert rows == expected.rows
+
+    def test_responses_are_chunk_streamed(self, server):
+        _status, headers, _body = get_query(server, QUERY)
+        assert headers.get("Transfer-Encoding") == "chunked"
+        assert "Content-Length" not in headers
+
+    def test_accept_negotiation_csv_and_tsv(self, server):
+        expected = QueryEngine(server.dataset.store).execute(QUERY)
+        _status, headers, body = get_query(server, QUERY, accept="text/tab-separated-values")
+        assert headers["Content-Type"].startswith("text/tab-separated-values")
+        assert parse_tsv(body)[1] == expected.rows
+        _status, headers, body = get_query(server, QUERY, accept="text/csv")
+        assert headers["Content-Type"].startswith("text/csv")
+        variables, rows = parse_csv(body)
+        assert variables == ["s", "o"]
+        assert len(rows) == len(expected.rows)
+
+    def test_format_parameter_overrides_accept(self, server):
+        _status, headers, _body = get_query(server, QUERY, accept="text/csv", extra="&format=tsv")
+        assert headers["Content-Type"].startswith("text/tab-separated-values")
+
+    def test_post_form_and_raw_query(self, server):
+        expected = QueryEngine(server.dataset.store).execute(QUERY)
+        form = urllib.parse.urlencode({"query": QUERY}).encode()
+        request = urllib.request.Request(
+            server.url, data=form,
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert parse_json(response.read().decode())[1] == expected.rows
+        request = urllib.request.Request(
+            server.url, data=QUERY.encode(),
+            headers={"Content-Type": "application/sparql-query"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert parse_json(response.read().decode())[1] == expected.rows
+
+    def test_remote_endpoint_client_round_trip(self, server):
+        client = RemoteEndpoint(server.url)
+        expected = QueryEngine(server.dataset.store).execute(QUERY)
+        assert client.query(QUERY)[1] == expected.rows
+        assert client.query_tsv(QUERY)[1] == expected.rows
+        assert len(client.query_csv(QUERY)[1]) == len(expected.rows)
+
+
+def error_body(exception):
+    return json.loads(exception.read().decode())["error"]
+
+
+class TestErrorResponses:
+    def test_malformed_query_is_400_with_parse_error_code(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get_query(server, "SELEKT broken")
+        assert caught.value.code == 400
+        details = error_body(caught.value)
+        assert details["code"] == "parse_error"
+        assert "SELECT" in details["message"]
+
+    def test_unplannable_query_is_400_with_plan_error_code(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get_query(server, "SELECT ?s WHERE { ?s <%sp> %%param }" % EX)
+        assert caught.value.code == 400
+        assert error_body(caught.value)["code"] == "plan_error"
+
+    def test_missing_query_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            http_get(server.url)
+        assert caught.value.code == 400
+        assert error_body(caught.value)["code"] == "bad_request"
+
+    def test_unknown_path_is_404_shaped_error(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            http_get(server.url.replace("/sparql", "/nope"))
+        assert error_body(caught.value)["code"] == "bad_request"
+
+    def test_unacceptable_accept_is_406(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get_query(server, QUERY, accept="application/xml")
+        assert caught.value.code == 406
+
+    def test_undrained_post_body_closes_the_connection(self, server):
+        """An oversized body is rejected without being read; the server
+        must end the keep-alive connection so the pending bytes cannot be
+        misparsed as the next request."""
+        import http.client
+
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.putrequest("POST", "/sparql")
+            connection.putheader("Content-Type", "application/x-www-form-urlencoded")
+            connection.putheader("Content-Length", str(512 * 1024 * 1024))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+            assert json.loads(response.read())["error"]["code"] == "bad_request"
+        finally:
+            connection.close()
+
+    def test_unsupported_post_media_type_is_415(self, server):
+        request = urllib.request.Request(
+            server.url, data=b"{}", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10)
+        assert caught.value.code == 415
+
+    def test_client_reraises_the_exact_error_class(self, server):
+        from repro.api import ParseError
+
+        with pytest.raises(ParseError) as caught:
+            RemoteEndpoint(server.url).query("SELEKT broken")
+        assert caught.value.code == "parse_error"
+
+
+class _SlowEngine:
+    """Delays execution so the session's timeout deterministically fires."""
+
+    def __init__(self, engine, delay):
+        self._engine = engine
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def execute_plan_iter(self, plan, noise_key="", page_size=None):
+        time.sleep(self._delay)
+        return self._engine.execute_plan_iter(plan, noise_key, page_size)
+
+
+class TestTimeout503:
+    def test_engine_timeout_answers_503_query_timeout(self):
+        dataset = connect(build_store())
+        session = dataset.session(timeout=0.05)
+        session.engine = _SlowEngine(session.engine, delay=1.0)
+        with SparqlServer(session, port=0) as running:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                get_query(running, QUERY)
+            assert caught.value.code == 503
+            assert error_body(caught.value)["code"] == "query_timeout"
+            # and the client maps it back onto QueryTimeout
+            with pytest.raises(QueryTimeout):
+                RemoteEndpoint(running.url).query(QUERY)
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, server):
+        status, _headers, body = http_get(server.url.replace("/sparql", "/healthz"))
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["triples"] == len(server.dataset)
+
+    def test_metrics_counts_requests_and_cache(self, server):
+        get_query(server, QUERY)
+        _status, _headers, body = http_get(server.url.replace("/sparql", "/metrics"))
+        payload = json.loads(body)
+        assert payload["requests_total"] >= 1
+        assert "plan cache hits" in payload
+        assert payload["executed queries"] >= 1
+
+
+class TestLifecycle:
+    def test_shutdown_before_start_returns_promptly(self):
+        """shutdown() on a bound-but-never-served endpoint must not block
+        waiting for a serve loop that never ran."""
+        never_started = SparqlServer(build_store(), port=0)
+        finished = []
+
+        def shut():
+            never_started.shutdown()
+            finished.append(True)
+
+        import threading
+
+        worker = threading.Thread(target=shut, daemon=True)
+        worker.start()
+        worker.join(timeout=5.0)
+        assert finished, "shutdown() deadlocked on a never-started server"
+
+    def test_graceful_shutdown_frees_the_port(self):
+        first = serve(build_store(), port=0)
+        host, port = first.address
+        get_query(first, QUERY)
+        first.shutdown()
+        # the port is released: a new server can bind it immediately
+        second = SparqlServer(build_store(), host=host, port=port).start()
+        try:
+            status, _headers, _body = get_query(second, QUERY)
+            assert status == 200
+        finally:
+            second.shutdown()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            http_get("http://%s:%d/healthz" % (host, port))
+
+
+#: set by CI to the prebuilt snapshot artifact (see snapshot-build job).
+PREBUILT = os.environ.get("REPRO_SNAPSHOT")
+
+SMOKE_QUERIES = [
+    "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 25",
+    "SELECT ?p (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?c) ?p",
+    "SELECT DISTINCT ?t WHERE { ?s <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?t } ORDER BY ?t LIMIT 10",
+]
+
+
+@pytest.mark.skipif(not PREBUILT, reason="REPRO_SNAPSHOT not set (CI server-smoke job)")
+class TestPrebuiltSnapshotServeSmoke:
+    def test_cli_serve_answers_protocol_queries_bit_identically(self, tmp_path):
+        """End to end: the real ``repro.cli serve`` process over the CI
+        snapshot artifact, checked in all three formats against in-process
+        execution under both executors and parallelism 1 and 4."""
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = "src" + os.pathsep + environment.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", PREBUILT, "--port", "0",
+             "--parallelism", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=environment,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[^ ]+/sparql", banner)
+            assert match, "no endpoint URL in %r" % banner
+            client = RemoteEndpoint(match.group(0))
+            assert client.health()["status"] == "ok"
+            engines = [
+                connect(PREBUILT).session(executor=executor, parallelism=parallelism).engine
+                for executor in ("vector", "tuple")
+                for parallelism in (1, 4)
+            ]
+            for query in SMOKE_QUERIES:
+                remote_json = client.query(query)[1]
+                remote_tsv = client.query_tsv(query)[1]
+                remote_csv = client.query_csv(query)[1]
+                for engine in engines:
+                    expected = engine.execute(query)
+                    assert remote_json == expected.rows
+                    assert remote_tsv == expected.rows
+                    assert len(remote_csv) == len(expected.rows)
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                output, _ = process.communicate(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise
+        assert process.returncode == 0
+        assert "server stopped" in output

@@ -211,3 +211,149 @@ class TestCommands:
         text = throughput.format_help()
         assert "client" in text and "morsel" in text
         assert "closed-loop" in text
+
+
+class TestQueryCommand:
+    """The ``query`` subcommand: local datasets, remote endpoints, errors."""
+
+    QUERY = "SELECT ?p (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?c) ?p"
+
+    def test_local_json_matches_in_process_execution(self):
+        from repro.api import connect
+        from repro.api.results import parse_json
+
+        exit_code, output = run_cli(
+            ["query", self.QUERY, "--source", "bsbm:tiny", "--limit", "3"]
+        )
+        assert exit_code == 0
+        _variables, rows = parse_json(output)
+        expected = connect("bsbm:tiny").query(self.QUERY, limit=3).fetchall()
+        assert rows == expected
+
+    def test_local_csv_and_tsv(self):
+        exit_code, csv_output = run_cli(
+            ["query", self.QUERY, "--source", "bsbm:tiny", "--format", "csv", "--limit", "2"]
+        )
+        assert exit_code == 0
+        assert csv_output.splitlines()[0] == "p,c"
+        exit_code, tsv_output = run_cli(
+            ["query", self.QUERY, "--source", "bsbm:tiny", "--format", "tsv", "--limit", "2"]
+        )
+        assert exit_code == 0
+        assert tsv_output.splitlines()[0] == "?p\t?c"
+
+    def test_snapshot_source(self, tmp_path):
+        path = str(tmp_path / "cli.snapshot")
+        exit_code, _output = run_cli(
+            ["generate", "bsbm", "--products", "30", "--output-snapshot", path]
+        )
+        assert exit_code == 0
+        exit_code, output = run_cli(
+            ["query", "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 2", "--source", path]
+        )
+        assert exit_code == 0
+        assert '"bindings"' in output
+
+    def test_malformed_query_exits_nonzero_with_stderr_message(self, capsys):
+        exit_code, output = run_cli(["query", "SELEKT broken", "--source", "bsbm:tiny"])
+        assert exit_code == 1
+        assert output == ""  # nothing on the data stream
+        captured = capsys.readouterr()
+        assert "error [parse_error]" in captured.err
+        assert "SELECT" in captured.err
+
+    def test_unbound_parameter_is_a_plan_error(self, capsys):
+        exit_code, _output = run_cli(
+            ["query", "SELECT ?s WHERE { ?s ?p %param }", "--source", "bsbm:tiny"]
+        )
+        assert exit_code == 1
+        assert "error [plan_error]" in capsys.readouterr().err
+
+    def test_missing_source_file_fails_cleanly(self, capsys):
+        exit_code, _output = run_cli(
+            ["query", "SELECT ?s WHERE { ?s ?p ?o }", "--source", "missing.snapshot"]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_snapshot_fails_cleanly_for_query_and_serve(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.snapshot"
+        corrupt.write_bytes(b"not a snapshot at all")
+        exit_code, _output = run_cli(
+            ["query", "SELECT ?s WHERE { ?s ?p ?o }", "--source", str(corrupt)]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+        exit_code, _output = run_cli(["serve", str(corrupt), "--port", "0"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_timeout_zero_disables_the_budget_locally(self):
+        exit_code, output = run_cli(
+            [
+                "query",
+                "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 1",
+                "--source",
+                "bsbm:tiny",
+                "--timeout",
+                "0",
+            ]
+        )
+        assert exit_code == 0
+        assert '"bindings"' in output
+
+    def test_unreachable_endpoint_fails_cleanly(self, capsys):
+        exit_code, _output = run_cli(
+            [
+                "query",
+                "SELECT ?s WHERE { ?s ?p ?o }",
+                "--endpoint",
+                "http://127.0.0.1:9",  # discard port: nothing listens
+            ]
+        )
+        assert exit_code == 1
+        assert "error [execution_error]" in capsys.readouterr().err
+
+    def test_local_only_flags_are_rejected_with_endpoint(self, capsys):
+        exit_code, _output = run_cli(
+            [
+                "query",
+                "SELECT ?s WHERE { ?s ?p ?o }",
+                "--endpoint",
+                "http://127.0.0.1:9",
+                "--limit",
+                "5",
+            ]
+        )
+        assert exit_code == 1
+        captured = capsys.readouterr().err
+        assert "--limit" in captured and "local --source" in captured
+
+    def test_endpoint_round_trip_against_live_server(self):
+        from repro.api import connect, serve
+        from repro.api.results import parse_json
+
+        dataset = connect("bsbm:tiny")
+        with serve(dataset, port=0) as server:
+            exit_code, output = run_cli(
+                ["query", self.QUERY, "--endpoint", server.url]
+            )
+        assert exit_code == 0
+        _variables, rows = parse_json(output)
+        assert rows == dataset.query(self.QUERY).fetchall()
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        arguments = cli.build_parser().parse_args(["serve", "bsbm.snapshot"])
+        assert arguments.port == 8347
+        assert arguments.timeout == 30.0
+        assert arguments.engine == "vector"
+
+    def test_query_requires_exactly_one_target(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["query", "SELECT * WHERE { }"])
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(
+                ["query", "q", "--source", "a", "--endpoint", "b"]
+            )

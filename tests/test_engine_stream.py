@@ -1,0 +1,163 @@
+"""The incremental execution protocol: ``execute_iter`` / ``RowStream``.
+
+Contract: for every query, under both executors and any parallelism
+degree, the concatenation of the pages ``execute_iter`` yields is exactly
+the row list ``execute`` returns — same rows, same order — and the stream
+carries the same profile, simulated runtime and ``Cout`` values.  Client
+``limit``/``offset`` push down into the plan as an id-space slice.
+"""
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.engine.query_engine import RowStream
+from repro.rdf.terms import IRI, typed_literal
+from repro.rdf.triples import Triple
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+
+#: query shapes that exercise scans, joins, filters, OPTIONAL/UNION/BIND,
+#: aggregation, DISTINCT, ORDER BY and LIMIT through the paging seam.
+QUERIES = [
+    "SELECT ?s ?o WHERE { ?s <%sp0> ?o }" % EX,
+    "SELECT ?s ?o ?x WHERE { ?s <%sp0> ?o . ?o <%sp1> ?x }" % (EX, EX),
+    "SELECT ?s ?v WHERE { ?s <%sp2> ?v . FILTER(?v >= 3) }" % EX,
+    "SELECT DISTINCT ?o WHERE { ?s <%sp0> ?o } ORDER BY ?o" % EX,
+    "SELECT ?s ?v WHERE { ?s <%sp2> ?v } ORDER BY DESC(?v) ?s LIMIT 3 OFFSET 1" % EX,
+    "SELECT ?s ?o ?y WHERE { ?s <%sp0> ?o . OPTIONAL { ?s <%sp1> ?y } }" % (EX, EX),
+    "SELECT ?s ?o ?v WHERE { { ?s <%sp0> ?o } UNION { ?s <%sp2> ?v } }" % (EX, EX),
+    "SELECT ?s ?w WHERE { ?s <%sp2> ?v . BIND(?v * 2 AS ?w) }" % EX,
+    "SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s <%sp0> ?o } GROUP BY ?s ORDER BY DESC(?c) ?s" % EX,
+]
+
+
+def build_store() -> TripleStore:
+    store = TripleStore()
+    subjects = [IRI(EX + "s%d" % index) for index in range(6)]
+    store.add_many(
+        Triple(subjects[index], IRI(EX + "p0"), subjects[(index + 1) % 6])
+        for index in range(6)
+    )
+    store.add_many(
+        Triple(subjects[index], IRI(EX + "p1"), IRI(EX + "o%d" % (index % 3)))
+        for index in range(4)
+    )
+    store.add_many(
+        Triple(subjects[index], IRI(EX + "p2"), typed_literal(value))
+        for index, value in enumerate((1, 2, 3, 5, 10))
+    )
+    return store
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_store()
+
+
+@pytest.mark.parametrize("executor", ["vector", "tuple"])
+@pytest.mark.parametrize("query", QUERIES)
+class TestPagesConcatenateToExecute:
+    def test_pages_concatenate_bit_identically(self, store, executor, query):
+        engine = QueryEngine(store, executor=executor)
+        expected = engine.execute(query)
+        for page_size in (1, 2, None):
+            stream = engine.execute_iter(query, page_size=page_size)
+            pages = list(stream.pages())
+            assert [row for page in pages for row in page] == expected.rows
+            if page_size is not None and expected.rows:
+                assert all(len(page) <= page_size for page in pages)
+            assert stream.runtime_ms == expected.runtime_ms
+            assert stream.profile.work == expected.profile.work
+            assert stream.estimated_cout == expected.estimated_cout
+            assert stream.actual_cout == expected.actual_cout
+            assert len(stream) == len(expected)
+
+    def test_parallel_stream_matches_serial_execute(self, store, executor, query):
+        engine = QueryEngine(store, executor=executor)
+        parallel = engine.with_parallelism(4)
+        expected = engine.execute(query)
+        stream = parallel.execute_iter(query, page_size=2)
+        assert list(stream.rows()) == expected.rows
+
+
+class TestStreamMetadata:
+    def test_variables_follow_projection_order(self, store):
+        engine = QueryEngine(store)
+        stream = engine.execute_iter("SELECT ?o ?s WHERE { ?s <%sp0> ?o }" % EX)
+        assert [variable.name for variable in stream.variables] == ["o", "s"]
+
+    def test_pages_are_single_use(self, store):
+        engine = QueryEngine(store)
+        stream = engine.execute_iter("SELECT ?s ?o WHERE { ?s <%sp0> ?o }" % EX)
+        list(stream.pages())
+        with pytest.raises(RuntimeError):
+            stream.pages()
+
+    def test_result_materialises_the_stream(self, store):
+        engine = QueryEngine(store)
+        query = "SELECT ?s ?o WHERE { ?s <%sp0> ?o }" % EX
+        result = engine.execute_iter(query, page_size=2).result()
+        expected = engine.execute(query)
+        assert result.rows == expected.rows
+        assert result.runtime_ms == expected.runtime_ms
+
+
+class TestLimitOffsetPushdown:
+    @pytest.mark.parametrize("executor", ["vector", "tuple"])
+    def test_limit_offset_slice_the_result(self, store, executor):
+        engine = QueryEngine(store, executor=executor)
+        query = "SELECT ?s ?o WHERE { ?s <%sp0> ?o } ORDER BY ?s ?o" % EX
+        everything = engine.execute(query).rows
+        sliced = list(engine.execute_iter(query, limit=2, offset=1).rows())
+        assert sliced == everything[1:3]
+        tail = list(engine.execute_iter(query, limit=None, offset=4).rows())
+        assert tail == everything[4:]
+
+    def test_pushdown_limits_decoded_output_work(self, store):
+        engine = QueryEngine(store, executor="vector")
+        query = "SELECT ?s ?o WHERE { ?s <%sp0> ?o }" % EX
+        full = engine.execute_iter(query)
+        limited = engine.execute_iter(query, limit=1)
+        # the slice happened in id space before the output boundary
+        assert limited.profile.result_rows == 1
+        assert full.profile.result_rows > 1
+        assert limited.profile.work["output_tuple"] == 1
+
+
+class TestExtensionTableCapture:
+    def test_open_stream_survives_a_newer_query_on_the_same_thread(self, store):
+        """BIND outputs decode through the extension table captured at
+        execute time, even after a later query reset the thread-locals."""
+        engine = QueryEngine(store, executor="vector")
+        query = "SELECT ?s ?w WHERE { ?s <%sp2> ?v . BIND(?v * 7 AS ?w) } ORDER BY ?w" % EX
+        expected = engine.execute(query)
+        stream = engine.execute_iter(query, page_size=1)
+        pages = stream.pages()
+        first = next(pages)
+        # a second query on the same engine/thread resets the tables
+        engine.execute("SELECT ?s ?w WHERE { ?s <%sp2> ?v . BIND(?v + 1 AS ?w) }" % EX)
+        rest = [row for page in pages for row in page]
+        assert first + rest == expected.rows
+
+
+class TestQueryResultInterop:
+    def test_iter_getitem_and_len(self, store):
+        engine = QueryEngine(store)
+        result = engine.execute("SELECT ?s ?o WHERE { ?s <%sp0> ?o } ORDER BY ?s ?o" % EX)
+        assert list(result) == result.rows
+        assert result[0] == result.rows[0]
+        assert result[-1] == result.rows[-1]
+        assert result[1:3] == result.rows[1:3]
+        assert len(result) == len(result.rows)
+
+    def test_to_json_round_trips(self, store):
+        from repro.api.results import parse_json
+
+        engine = QueryEngine(store)
+        result = engine.execute(
+            "SELECT ?s ?v WHERE { ?s <%sp2> ?v } ORDER BY ?v ?s" % EX
+        )
+        variables, rows = parse_json(result.to_json())
+        assert variables == [variable.name for variable in result.variables()]
+        assert rows == result.rows

@@ -76,3 +76,15 @@ class TestVectorEngineWalkthrough:
         assert "tuple executor" in output
         assert "vector executor" in output
         assert "identical rows and simulated runtimes: True" in output
+
+
+class TestHttpEndpointWalkthrough:
+    def test_main_serves_and_round_trips(self, capsys):
+        example = load_example("http_endpoint_walkthrough")
+        example.main()
+        output = capsys.readouterr().out
+        assert "wrote snapshot" in output
+        assert "serving at http://" in output
+        assert "protocol rows == in-process execute(): True" in output
+        assert "health: ok" in output
+        assert "server shut down gracefully" in output
