@@ -1,0 +1,155 @@
+"""Tracing overhead: the observability layer must cost ~nothing when off.
+
+The BSBM-BI Q8 join workload (the same plans as ``test_bench_executor``)
+is executed three ways on the vector executor:
+
+* **baseline** — ``execute_plan`` with no tracer argument at all,
+* **disabled** — a :class:`NullTracer` passed explicitly (the coerce path),
+* **enabled** — a live :class:`Tracer` per execution, full span trees.
+
+Acceptance bars: tracing *disabled* adds at most 5% over baseline, and
+tracing *enabled* at most 25% on this workload — asserted at every scale,
+tiny smoke included, because the disabled path is scale-independent (one
+attribute load and a ``None`` check per plan node).  Rows must stay
+bit-identical in all three modes.  Timings are best-of-N minima with the
+three modes interleaved round-robin (so clock-frequency or GC drift hits
+every mode equally), and a noisy measurement is retried before the bar is
+enforced; the measured ratios land in
+``benchmarks/artifacts/tracing_overhead_bench.json`` for the CI perf
+trajectory.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from benchmarks.conftest import run_once
+from benchmarks.test_bench_executor import _join_workload, _write_artifact
+from repro.obs import NullTracer, Tracer
+
+#: maximum slowdown ratios over the untraced baseline.
+DISABLED_CEILING = 1.05
+ENABLED_CEILING = 1.25
+
+#: best-of-N timing rounds per mode.
+ROUNDS = 5
+
+#: noisy measurements are re-taken up to this many times before failing.
+ATTEMPTS = 3
+
+
+def _run_plans(engine, plans, make_tracer):
+    """One timed pass over the workload; returns (seconds, results)."""
+    started = perf_counter()
+    if make_tracer is None:
+        outcome = [
+            engine.execute_plan(plan, noise_key)
+            for plan, noise_key, _binding, _index in plans
+        ]
+    else:
+        outcome = [
+            engine.execute_plan(plan, noise_key, tracer=make_tracer())
+            for plan, noise_key, _binding, _index in plans
+        ]
+    return perf_counter() - started, outcome
+
+
+def _measure_modes(engine, plans, rounds=ROUNDS):
+    """Best-of-N seconds per mode, modes interleaved within each round.
+
+    Interleaving means a mid-test clock-frequency shift or GC pause
+    degrades all three modes alike instead of skewing one ratio.
+    """
+    modes = [None, NullTracer, lambda: Tracer()]
+    best = [float("inf")] * len(modes)
+    results = [None] * len(modes)
+    for _ in range(rounds):
+        for index, make_tracer in enumerate(modes):
+            seconds, outcome = _run_plans(engine, plans, make_tracer)
+            best[index] = min(best[index], seconds)
+            results[index] = outcome
+    return best, results
+
+
+def test_tracing_overhead_is_bounded(benchmark, bench_scale):
+    engine, template, plans = _join_workload(bench_scale)
+    vector_engine = engine.with_executor("vector")
+
+    # Warm caches (index columns, packed prefixes) off the clock.
+    _run_plans(vector_engine, plans, None)
+
+    def measure():
+        attempts = 0
+        while True:
+            attempts += 1
+            timings, outcomes = _measure_modes(vector_engine, plans)
+            baseline, disabled, enabled = timings
+            within_bars = (
+                disabled <= baseline * DISABLED_CEILING
+                and enabled <= baseline * ENABLED_CEILING
+            )
+            if within_bars or attempts >= ATTEMPTS:
+                return timings, outcomes, attempts
+
+    (
+        (baseline_seconds, disabled_seconds, enabled_seconds),
+        (baseline_results, disabled_results, enabled_results),
+        attempts,
+    ) = run_once(benchmark, measure)
+
+    # Bit-identical rows and simulated runtimes in every mode.
+    for plain, disabled, enabled in zip(
+        baseline_results, disabled_results, enabled_results
+    ):
+        assert disabled.rows == plain.rows
+        assert enabled.rows == plain.rows
+        assert disabled.runtime_ms == plain.runtime_ms
+        assert enabled.runtime_ms == plain.runtime_ms
+        assert enabled.trace is not None
+        assert enabled.trace.root.actual_rows == len(plain.rows)
+        assert disabled.trace is None
+
+    disabled_ratio = disabled_seconds / baseline_seconds
+    enabled_ratio = enabled_seconds / baseline_seconds
+    payload = {
+        "benchmark": "tracing_overhead",
+        "template": template.name,
+        "scale": bench_scale,
+        "executions": len(plans),
+        "rounds": ROUNDS,
+        "attempts": attempts,
+        "baseline_seconds": round(baseline_seconds, 6),
+        "disabled_seconds": round(disabled_seconds, 6),
+        "enabled_seconds": round(enabled_seconds, 6),
+        "disabled_overhead_ratio": round(disabled_ratio, 4),
+        "enabled_overhead_ratio": round(enabled_ratio, 4),
+        "disabled_ceiling": DISABLED_CEILING,
+        "enabled_ceiling": ENABLED_CEILING,
+        "rows_identical": True,
+    }
+    path = _write_artifact("tracing_overhead_bench.json", payload)
+
+    print()
+    print(
+        "tracing overhead (%s scale): baseline %.3fs  disabled %.3fs (%.1f%%)  "
+        "enabled %.3fs (%.1f%%)  -> %s"
+        % (
+            bench_scale,
+            baseline_seconds,
+            disabled_seconds,
+            (disabled_ratio - 1.0) * 100.0,
+            enabled_seconds,
+            (enabled_ratio - 1.0) * 100.0,
+            path,
+        )
+    )
+    assert disabled_ratio <= DISABLED_CEILING, (
+        "tracing disabled must cost at most %.0f%% on the join workload, "
+        "measured %.1f%%"
+        % ((DISABLED_CEILING - 1.0) * 100.0, (disabled_ratio - 1.0) * 100.0)
+    )
+    assert enabled_ratio <= ENABLED_CEILING, (
+        "tracing enabled must cost at most %.0f%% on the join workload, "
+        "measured %.1f%%"
+        % ((ENABLED_CEILING - 1.0) * 100.0, (enabled_ratio - 1.0) * 100.0)
+    )

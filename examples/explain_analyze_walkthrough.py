@@ -1,0 +1,105 @@
+"""EXPLAIN ANALYZE: watching the optimizer's estimates meet reality.
+
+The optimizer picks join orders from cardinality estimates; ``EXPLAIN``
+shows those estimates, but only executing the plan reveals how wrong they
+were.  ``engine.explain_analyze(query)`` runs the query with operator-level
+tracing on and renders the plan tree with *estimated vs actual* rows and
+per-operator wall time, followed by a cardinality-drift summary (q-error =
+``(max(est, actual) + 1) / (min(est, actual) + 1)``).
+
+LDBC Q3 is the paper's poster child for parameter sensitivity (experiment
+E4): "friends within two steps that posted from both country X and
+country Y".  The estimator assumes country mentions are independent and
+uniform, but real bindings correlate — some (person, countryX, countryY)
+triples produce thousands of intermediate rows and some produce none, from
+the *same* plan.  This walkthrough samples a handful of bindings, runs
+``EXPLAIN ANALYZE`` on the most mis-estimated one, and shows the drift the
+summary statistics flag.
+
+Run with::
+
+    python examples/explain_analyze_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ParameterSpace, UniformSampler, domain_from_values
+from repro.datagen.ldbc import LDBCConfig, generate_ldbc, template
+from repro.engine import QueryEngine
+from repro.obs import DRIFT_THRESHOLD, drift_summary
+
+PERSONS = 220
+BINDINGS = 6
+
+
+def build_engine():
+    """Generate the social network and return (dataset, engine)."""
+    dataset = generate_ldbc(
+        LDBCConfig(persons=PERSONS, max_degree=60, max_posts_per_person=150, seed=20140331)
+    )
+    return dataset, QueryEngine(dataset.graph)
+
+
+def sample_queries(dataset, count=BINDINGS):
+    """Instantiate LDBC Q3 for ``count`` uniformly sampled bindings."""
+    q3 = template("ldbc_q3")
+    countries = list(dataset.country_iris())
+    space = ParameterSpace(
+        [
+            domain_from_values("person", dataset.person_iris()),
+            domain_from_values("countryX", countries),
+            domain_from_values("countryY", countries),
+        ]
+    )
+    return [q3.instantiate(binding) for binding in UniformSampler(space, seed=5).bindings(count)]
+
+
+def main() -> None:
+    dataset, engine = build_engine()
+    print("generated %s" % dataset)
+
+    # Trace every sampled binding and keep the one the estimator got
+    # most wrong — same template, same plan shape, wildly different truth.
+    queries = sample_queries(dataset)
+    traced = [(query, engine.execute_traced(query).trace) for query in queries]
+    summaries = [(drift_summary(trace), query, trace) for query, trace in traced]
+    summaries.sort(key=lambda entry: entry[0]["mean_q_error"], reverse=True)
+
+    print()
+    print("LDBC Q3 over %d sampled bindings (drift threshold %.1fx):" % (len(queries), DRIFT_THRESHOLD))
+    for summary, _query, trace in summaries:
+        print(
+            "  trace %s: %2d operators, mean q-error %6.2fx, %d drifted, %d rows"
+            % (
+                trace.trace_id[:8],
+                summary["operators"],
+                summary["mean_q_error"],
+                summary["drifted_operators"],
+                trace.result_rows,
+            )
+        )
+
+    worst_summary, worst_query, _worst_trace = summaries[0]
+    print()
+    print("explain analyze of the most mis-estimated binding:")
+    print()
+    print(engine.explain_analyze(worst_query))
+    worst_operator = worst_summary["worst_operator"]
+    print()
+    print(
+        "The optimizer estimated %.0f rows for `%s` but execution observed %d —\n"
+        "a q-error of %.1fx. Estimates drift hardest above the joins, where the\n"
+        "independence assumption compounds; the paper's parameter curation\n"
+        "(repro.core) exists precisely to group bindings whose true\n"
+        "cardinalities — and therefore runtimes — actually behave alike."
+        % (
+            worst_operator["estimated_rows"],
+            worst_operator["operator"],
+            worst_operator["actual_rows"],
+            worst_summary["worst_q_error"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

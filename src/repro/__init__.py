@@ -14,6 +14,9 @@ The package is organised in layers:
 * :mod:`repro.datagen` — BSBM-like and LDBC SNB-like data generators plus
   their query templates,
 * :mod:`repro.bench` — workload runner and the statistics the paper reports,
+* :mod:`repro.obs` — observability: operator-level query tracing
+  (EXPLAIN ANALYZE), the metrics registry with Prometheus text exposition,
+  and the slow-query log,
 * :mod:`repro.service` — the concurrent serving layer: prepared templates,
   a parameter-aware plan cache, closed-loop client scheduling and serving
   metrics (QPS, latency percentiles, cache hit rates),
@@ -37,7 +40,7 @@ The facade is the documented entry point::
     server = repro.serve(dataset, port=0)             # SPARQL 1.1 endpoint
 """
 
-from . import api, bench, core, datagen, engine, optimizer, rdf, service, sparql, store
+from . import api, bench, core, datagen, engine, obs, optimizer, rdf, service, sparql, store
 from .api import (
     Cursor,
     Dataset,
@@ -93,6 +96,7 @@ __all__ = [
     "core",
     "datagen",
     "engine",
+    "obs",
     "optimizer",
     "parse_query",
     "rdf",

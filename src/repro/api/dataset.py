@@ -29,6 +29,8 @@ import time
 from typing import Optional, Union
 
 from ..engine.query_engine import DEFAULT_PAGE_SIZE, QueryEngine, RowStream
+from ..obs.slowlog import DEFAULT_SLOW_MS, SlowQueryLog
+from ..obs.trace import TraceBuffer, Tracer
 from ..optimizer.plans import LimitNode
 from ..rdf.graph import Graph
 from ..service.service import QueryService
@@ -194,6 +196,14 @@ class Session:
     thread and are abandoned when the budget is exceeded
     (:class:`QueryTimeout`), and the same budget covers subsequent page
     streaming; ``page_size`` is the default cursor page granularity.
+
+    Observability knobs (all off by default, zero cost when off):
+    ``trace_capacity`` > 0 traces every execution and keeps the most
+    recent traces in a bounded ring (``session.trace_buffer``, served by
+    ``GET /traces``); ``slow_log`` (a path or a
+    :class:`~repro.obs.SlowQueryLog`) writes a JSON line for every query
+    whose wall-clock time reaches ``slow_query_ms``.  Traced execution is
+    bit-identical to untraced execution.
     """
 
     def __init__(
@@ -204,6 +214,9 @@ class Session:
         timeout: Optional[float] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         plan_cache_capacity: int = 512,
+        trace_capacity: int = 0,
+        slow_log=None,
+        slow_query_ms: float = DEFAULT_SLOW_MS,
     ):
         self.dataset = dataset
         self.service = QueryService(
@@ -217,6 +230,14 @@ class Session:
         if page_size < 1:
             raise ValueError("page_size must be a positive integer, got %r" % (page_size,))
         self.page_size = page_size
+        self.trace_buffer = TraceBuffer(trace_capacity) if trace_capacity > 0 else None
+        self._owns_slow_log = slow_log is not None and not isinstance(slow_log, SlowQueryLog)
+        if slow_log is None:
+            self.slow_log: Optional[SlowQueryLog] = None
+        elif isinstance(slow_log, SlowQueryLog):
+            self.slow_log = slow_log
+        else:
+            self.slow_log = SlowQueryLog(slow_log, threshold_ms=slow_query_ms)
         self._closed = False
 
     # -- planning --------------------------------------------------------------
@@ -247,6 +268,10 @@ class Session:
         plan, _hit = self._plan(query)
         return self.engine.explain(plan)
 
+    def explain_analyze(self, query: str) -> str:
+        """Execute ``query`` traced and render the est-vs-actual plan tree."""
+        return self.engine.explain_analyze(query)
+
     # -- execution -------------------------------------------------------------
 
     def execute(
@@ -256,12 +281,16 @@ class Session:
         offset: int = 0,
         page_size: Optional[int] = None,
         timeout: Optional[float] = _UNSET,  # type: ignore[assignment]
+        trace_id: Optional[str] = None,
     ) -> Cursor:
         """Execute ``query``; stream the result through a :class:`Cursor`.
 
         ``limit``/``offset`` are pushed down into the plan as an id-space
         slice before anything is decoded.  ``timeout`` overrides the
-        session budget for this call (``None`` disables it).
+        session budget for this call (``None`` disables it).  ``trace_id``
+        names the trace when session tracing is enabled (the HTTP server
+        propagates ``X-Repro-Trace-Id`` this way); otherwise ids come from
+        the engine's (optionally seeded) generator.
         """
         budget = self.timeout if timeout is _UNSET else timeout
         started = time.monotonic()
@@ -275,16 +304,36 @@ class Session:
             plan, hit = self._plan(query)
             if limit is not None or offset:
                 plan = LimitNode(plan, limit, offset)
+            tracer = None
+            if self.trace_buffer is not None:
+                tracer = Tracer(trace_id or self.engine.trace_ids.new_id())
             try:
-                stream = self.engine.execute_plan_iter(plan, page_size=step)
+                if tracer is not None:
+                    stream = self.engine.execute_plan_iter(plan, page_size=step, tracer=tracer)
+                else:
+                    stream = self.engine.execute_plan_iter(plan, page_size=step)
             except ReproError:
                 raise
             except Exception as error:
                 raise ExecutionError(str(error), cause=error) from error
             stream.plan_cached = hit
+            wall_seconds = time.perf_counter() - wall_started
             self.service.metrics.record_execution(
-                stream.runtime_ms, time.perf_counter() - wall_started, in_batch=False
+                stream.runtime_ms, wall_seconds, in_batch=False
             )
+            if stream.trace is not None:
+                stream.trace.query = query
+                if self.trace_buffer is not None:
+                    self.trace_buffer.append(stream.trace)
+            if self.slow_log is not None:
+                self.slow_log.observe(
+                    wall_seconds * 1000.0,
+                    query=query,
+                    runtime_ms=stream.runtime_ms,
+                    rows=stream.profile.result_rows,
+                    trace_id=stream.trace.trace_id if stream.trace is not None else None,
+                    executor=self.engine.executor_name,
+                )
             return stream
 
         if budget is None:
@@ -329,11 +378,19 @@ class Session:
         """Serving metrics + plan-cache statistics of this session."""
         return self.service.service_stats()
 
+    def traces(self) -> list:
+        """The retained traces, oldest first (empty unless tracing is on)."""
+        if self.trace_buffer is None:
+            return []
+        return self.trace_buffer.snapshot()
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
         """Mark the session closed (timed executions are refused).  Idempotent."""
         self._closed = True
+        if self._owns_slow_log and self.slow_log is not None:
+            self.slow_log.close()
 
     def __enter__(self) -> "Session":
         return self

@@ -16,7 +16,14 @@ The server speaks the query half of the SPARQL 1.1 Protocol:
   stable :class:`~repro.api.errors.ReproError` code and whose status
   follows the class (400 parse/plan, 503 timeout, 500 execution),
 * ``GET /healthz`` (liveness + triple count) and ``GET /metrics`` (the
-  session's serving metrics, plan-cache counters and request totals),
+  session's serving metrics, plan-cache counters and per-status-class
+  request totals — JSON by default, Prometheus text exposition when the
+  ``Accept`` header asks for ``text/plain`` / OpenMetrics or
+  ``?format=prometheus`` is passed),
+* observability: every response carries an ``X-Repro-Trace-Id`` header
+  (echoed from the request header or freshly minted), error bodies repeat
+  it, and when the serving session traces (``trace_capacity`` > 0) the
+  retained traces are served at ``GET /traces``,
 * graceful shutdown: :meth:`SparqlServer.shutdown` (or the context
   manager, or SIGINT/SIGTERM under ``repro.cli serve``) stops accepting,
   finishes in-flight handlers and closes the socket.
@@ -34,6 +41,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs.registry import MetricsRegistry, render_text
 from .cursor import Cursor
 from .dataset import Dataset, Session, connect
 from .errors import BadRequestError, ReproError
@@ -74,11 +82,22 @@ class _Handler(BaseHTTPRequestHandler):
         if self.facade.verbose:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
+    def _begin_request(self) -> None:
+        """Per-request setup: adopt or mint the request's trace id."""
+        incoming = (self.headers.get("X-Repro-Trace-Id") or "").strip()
+        self.trace_id = incoming or self.facade.session.engine.trace_ids.new_id()
+
     def _send_document(self, status: int, body: str, content_type: str) -> None:
+        # Every non-streamed response funnels through here, so this is the
+        # single place request outcomes are counted (by status code).
+        self.facade.count_response(status)
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type + "; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
+        trace_id = getattr(self, "trace_id", None)
+        if trace_id:
+            self.send_header("X-Repro-Trace-Id", trace_id)
         if self.close_connection:
             # Set by handlers that rejected a request without draining its
             # body: keep-alive framing would misread the undrained bytes as
@@ -91,8 +110,11 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_document(status, json.dumps(payload, indent=2) + "\n", "application/json")
 
     def _send_error_body(self, error: ReproError) -> None:
-        self.facade.count_request(error=True)
-        self._send_json(error.http_status, {"error": error.as_dict()})
+        body = {"error": error.as_dict()}
+        trace_id = getattr(self, "trace_id", None)
+        if trace_id:
+            body["error"]["trace_id"] = trace_id
+        self._send_json(error.http_status, body)
 
     def _write_chunk(self, text: str) -> None:
         if not text:
@@ -105,21 +127,48 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._begin_request()
         url = urlsplit(self.path)
         if url.path == self.facade.endpoint_path:
             parameters = parse_qs(url.query)
             query = parameters.get("query", [None])[0]
             self._answer_query(query, parameters.get("format", [None])[0])
         elif url.path == "/healthz":
-            self.facade.count_request()
             self._send_json(200, self.facade.health())
         elif url.path == "/metrics":
-            self.facade.count_request()
-            self._send_json(200, self.facade.metrics())
+            self._answer_metrics(parse_qs(url.query).get("format", [None])[0])
+        elif url.path == "/traces":
+            self._answer_traces()
         else:
             self._send_error_body(BadRequestError("no such resource: %s" % url.path))
 
+    def _answer_metrics(self, explicit_format: Optional[str]) -> None:
+        accept = (self.headers.get("Accept") or "").lower()
+        wants_text = explicit_format in ("prometheus", "text") or (
+            explicit_format is None
+            and ("text/plain" in accept or "openmetrics" in accept)
+        )
+        if wants_text:
+            self._send_document(
+                200, self.facade.metrics_text(), "text/plain; version=0.0.4"
+            )
+        else:
+            self._send_json(200, self.facade.metrics())
+
+    def _answer_traces(self) -> None:
+        if self.facade.session.trace_buffer is None:
+            error = BadRequestError(
+                "tracing is disabled on this endpoint (start the session with "
+                "trace_capacity > 0, e.g. `repro.cli serve --trace-buffer N`)"
+            )
+            error.http_status = 404
+            self._send_error_body(error)
+            return
+        traces = self.facade.session.traces()
+        self._send_json(200, {"count": len(traces), "traces": [t.as_dict() for t in traces]})
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._begin_request()
         url = urlsplit(self.path)
         if url.path != self.facade.endpoint_path:
             self._send_error_body(BadRequestError("no such resource: %s" % url.path))
@@ -164,7 +213,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_body(error)
             return
         try:
-            cursor = self.facade.session.execute(query)
+            cursor = self.facade.session.execute(query, trace_id=getattr(self, "trace_id", None))
         except ReproError as error:
             self._send_error_body(error)
             return
@@ -172,14 +221,17 @@ class _Handler(BaseHTTPRequestHandler):
             wrapped = ReproError("internal error: %s" % error, cause=error)
             self._send_error_body(wrapped)
             return
-        self.facade.count_request()
         self._stream_result(cursor, format_key)
 
     def _stream_result(self, cursor: Cursor, format_key: str) -> None:
+        self.facade.count_response(200)
         serializer = serializer_for(format_key)
         self.send_response(200)
         self.send_header("Content-Type", serializer.content_type + "; charset=utf-8")
         self.send_header("Transfer-Encoding", "chunked")
+        trace_id = getattr(self, "trace_id", None)
+        if trace_id:
+            self.send_header("X-Repro-Trace-Id", trace_id)
         self.end_headers()
         # Headers are out: errors past this point can only truncate the
         # chunked body (the client sees an incomplete-read error, never a
@@ -222,8 +274,14 @@ class SparqlServer:
         self._thread: Optional[threading.Thread] = None
         self._serving = False
         self._lock = threading.Lock()
-        self._requests = 0
-        self._errors = 0
+        #: HTTP-layer instruments; exposed next to the session's collector
+        #: registry in the Prometheus text endpoint.
+        self.registry = MetricsRegistry()
+        self._responses = self.registry.counter(
+            "repro_http_responses_total",
+            "HTTP responses sent, by status code",
+            labels=("code",),
+        )
 
     # -- addresses -------------------------------------------------------------
 
@@ -279,11 +337,21 @@ class SparqlServer:
 
     # -- introspection ---------------------------------------------------------
 
-    def count_request(self, error: bool = False) -> None:
-        with self._lock:
-            self._requests += 1
-            if error:
-                self._errors += 1
+    def count_response(self, status: int) -> None:
+        self._responses.inc(code=str(status))
+
+    def response_counts(self) -> dict:
+        """Per-status-class response totals (plus exact per-code counts)."""
+        per_code = {}
+        for key, value in self._responses.as_dict().items():
+            code = key.split('code="', 1)[1].split('"', 1)[0]
+            per_code[code] = per_code.get(code, 0) + int(value)
+        classes = {"2xx": 0, "3xx": 0, "4xx": 0, "5xx": 0}
+        for code, count in per_code.items():
+            bucket = code[0] + "xx"
+            if bucket in classes:
+                classes[bucket] += count
+        return {"by_code": per_code, "by_class": classes}
 
     def health(self) -> dict:
         return {
@@ -295,11 +363,16 @@ class SparqlServer:
         }
 
     def metrics(self) -> dict:
-        with self._lock:
-            totals = {"requests_total": self._requests, "errors_total": self._errors}
+        counts = self.response_counts()
         payload = dict(self.session.metrics())
-        payload.update(totals)
+        payload["requests_total"] = sum(counts["by_code"].values())
+        payload["errors_total"] = counts["by_class"]["4xx"] + counts["by_class"]["5xx"]
+        payload["responses"] = counts
         return payload
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition: HTTP counters + session instruments."""
+        return render_text([self.registry, self.session.service.metrics.registry])
 
     def __repr__(self) -> str:
         return "SparqlServer(%s over %r)" % (self.url, self.dataset.source)

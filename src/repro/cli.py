@@ -10,7 +10,9 @@ Exposes the experiments and the curation pipeline without writing Python::
     python -m repro.cli throughput bsbm_bi_q4 --scale tiny --workers 4 --parallelism 4 --baseline
     python -m repro.cli throughput bsbm_bi_q8 --scale small --snapshot ./snapshots
     python -m repro.cli explain ldbc_q3 --scale tiny --parallelism 4
+    python -m repro.cli explain ldbc_q3 --scale tiny --analyze
     python -m repro.cli serve bsbm.snapshot --port 8347 --parallelism 4
+    python -m repro.cli serve bsbm:tiny --trace-buffer 128 --slow-query-log slow.jsonl
     python -m repro.cli query "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5" --source bsbm:tiny
     python -m repro.cli query "SELECT ..." --endpoint http://127.0.0.1:8347 --format tsv
     python -m repro.cli scales
@@ -220,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--seed", type=int, default=42, help="seed for sampling the parameter binding"
     )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query with operator tracing and print the plan "
+        "tree with estimated vs actual rows, per-operator wall time and a "
+        "cardinality-drift summary",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -257,6 +266,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1024,
         help="rows per streamed response chunk",
+    )
+    serve_parser.add_argument(
+        "--trace-buffer",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help="trace every query and keep the last N traces, served at "
+        "GET /traces (0, the default, disables tracing)",
+    )
+    serve_parser.add_argument(
+        "--slow-query-log",
+        default=None,
+        metavar="PATH",
+        help="append a JSON line to PATH for every query at or above the "
+        "--slow-query-ms wall-clock threshold",
+    )
+    serve_parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=500.0,
+        help="slow-query threshold in wall-clock milliseconds (default 500)",
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
@@ -385,10 +415,16 @@ def _run_explain(arguments, output) -> None:
     template = template_factory(arguments.template)
     space = space_factory(arguments.scale)
     binding = UniformSampler(space, seed=arguments.seed).bindings(1)[0]
-    plan = engine.plan(template.instantiate(binding))
+    query = template.instantiate(binding)
     print(
-        "explain: %s (%s scale, %s engine, parallelism %d)"
-        % (arguments.template, arguments.scale, arguments.engine, arguments.parallelism),
+        "explain%s: %s (%s scale, %s engine, parallelism %d)"
+        % (
+            " analyze" if arguments.analyze else "",
+            arguments.template,
+            arguments.scale,
+            arguments.engine,
+            arguments.parallelism,
+        ),
         file=output,
     )
     print(
@@ -397,7 +433,10 @@ def _run_explain(arguments, output) -> None:
         file=output,
     )
     print("", file=output)
-    print(engine.explain(plan), file=output)
+    if arguments.analyze:
+        print(engine.explain_analyze(query), file=output)
+    else:
+        print(engine.explain(engine.plan(query)), file=output)
 
 
 def _run_generate(arguments, output_stream) -> None:
@@ -447,10 +486,16 @@ def _run_serve(arguments, output) -> SparqlServer:
         timeout=arguments.timeout if arguments.timeout > 0 else None,
         plan_cache_capacity=arguments.capacity,
         page_size=arguments.page_size,
+        trace_capacity=arguments.trace_buffer,
+        slow_log=arguments.slow_query_log,
+        slow_query_ms=arguments.slow_query_ms,
     )
+    endpoints = "healthz: /healthz, metrics: /metrics"
+    if arguments.trace_buffer:
+        endpoints += ", traces: /traces"
     print(
-        "serving %s (%d triples) at %s  [healthz: /healthz, metrics: /metrics]"
-        % (arguments.source, len(server.dataset), server.url),
+        "serving %s (%d triples) at %s  [%s]"
+        % (arguments.source, len(server.dataset), server.url, endpoints),
         file=output,
         flush=True,
     )

@@ -24,6 +24,7 @@ from .query_engine import (
 )
 from .runtime_model import MeasuredRuntimeModel, RuntimeModel
 from .vector import NULL_ID, ColumnBatch, VectorExecutor
+from ..obs.trace import QueryTrace, TraceBuffer, Tracer
 
 __all__ = [
     "Binding",
@@ -41,7 +42,10 @@ __all__ = [
     "MeasuredRuntimeModel",
     "QueryEngine",
     "QueryResult",
+    "QueryTrace",
     "RuntimeModel",
+    "TraceBuffer",
+    "Tracer",
     "binding_cache_key",
     "execution_noise_key",
     "effective_boolean_value",

@@ -55,9 +55,16 @@ from .operators import (
 
 
 class ExecutionProfile:
-    """Everything observed while executing one plan."""
+    """Everything observed while executing one plan.
 
-    def __init__(self):
+    ``tracer`` optionally carries a :class:`repro.obs.Tracer` along the
+    recursive dispatch — the profile is already threaded through every
+    operator, so riding on it keeps per-query trace state off the (shared,
+    concurrently used) executor objects.  ``None`` means tracing is off;
+    the executors check exactly that and pay nothing else.
+    """
+
+    def __init__(self, tracer=None):
         #: id(plan node) -> number of rows the node produced
         self.node_output_rows: Dict[int, int] = {}
         #: work counter name -> amount (tuples, probe operations, ...)
@@ -66,6 +73,8 @@ class ExecutionProfile:
         self.intermediate_sizes: List[int] = []
         #: number of rows in the final result
         self.result_rows: int = 0
+        #: the active tracer of this execution, or None (tracing disabled)
+        self.tracer = tracer
 
     def record_output(self, node: PlanNode, rows: int) -> None:
         self.node_output_rows[id(node)] = rows
@@ -210,16 +219,22 @@ class Executor:
             return "tuple append"
         return "tuple row operator"
 
-    def execute(self, plan: PlanNode) -> Tuple[List[Binding], ExecutionProfile]:
-        """Run the plan; return (solution mappings, execution profile)."""
-        profile = ExecutionProfile()
+    def execute(self, plan: PlanNode, tracer=None) -> Tuple[List[Binding], ExecutionProfile]:
+        """Run the plan; return (solution mappings, execution profile).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`, optional) records a span
+        per operator; results and profiles are bit-identical either way.
+        """
+        from ..obs.trace import coerce_tracer
+
+        profile = ExecutionProfile(tracer=coerce_tracer(tracer))
         rows = self._execute(plan, profile)
         profile.result_rows = len(rows)
         profile.add_work("output_tuple", len(rows))
         return rows, profile
 
     def execute_pages(
-        self, plan: PlanNode, page_size: Optional[int] = None
+        self, plan: PlanNode, page_size: Optional[int] = None, tracer=None
     ) -> Tuple[Iterator[List[Binding]], ExecutionProfile]:
         """Run the plan; return the rows as an iterator of pages.
 
@@ -228,7 +243,7 @@ class Executor:
         expose the same incremental-result protocol
         (``QueryEngine.execute_iter``), with identical concatenated output.
         """
-        rows, profile = self.execute(plan)
+        rows, profile = self.execute(plan, tracer=tracer)
         step = len(rows) if page_size is None else max(1, page_size)
 
         def pages() -> Iterator[List[Binding]]:
@@ -240,6 +255,22 @@ class Executor:
     # -- dispatch ---------------------------------------------------------------
 
     def _execute(self, node: PlanNode, profile: ExecutionProfile) -> List[Binding]:
+        tracer = profile.tracer
+        if tracer is None:
+            rows = self._dispatch(node, profile)
+            profile.record_output(node, len(rows))
+            return rows
+        span = tracer.enter(node)
+        try:
+            rows = self._dispatch(node, profile)
+        except BaseException:
+            tracer.exit(span, None)
+            raise
+        profile.record_output(node, len(rows))
+        tracer.exit(span, len(rows))
+        return rows
+
+    def _dispatch(self, node: PlanNode, profile: ExecutionProfile) -> List[Binding]:
         if isinstance(node, ScanNode):
             rows = self._execute_scan(node, profile)
         elif isinstance(node, SingletonNode):
@@ -266,7 +297,6 @@ class Executor:
             rows = limit_rows(node.limit, node.offset, self._execute(node.child, profile))
         else:
             raise TypeError("unsupported plan node %r" % (node,))
-        profile.record_output(node, len(rows))
         return rows
 
     # -- leaf operators ---------------------------------------------------------------

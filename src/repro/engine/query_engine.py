@@ -20,6 +20,8 @@ from ..sparql.parser import parse_query
 from ..sparql.template import QueryTemplate
 from ..store.statistics import StoreStatistics
 from ..store.triple_store import TripleStore
+from ..obs.analyze import render_analyze
+from ..obs.trace import QueryTrace, TraceBuffer, TraceIdGenerator, Tracer, coerce_tracer
 from ..optimizer.optimizer import Optimizer
 from ..optimizer.plans import LimitNode, PlanNode, join_tree_signature
 from .executor import ExecutionProfile, Executor
@@ -102,6 +104,8 @@ class RowStream:
         self.actual_cout = profile.actual_cout(plan)
         #: True when the plan was served from a plan cache (set by callers).
         self.plan_cached = False
+        #: the finished operator trace when the execution was traced, else None
+        self.trace: Optional[QueryTrace] = None
 
     @property
     def variables(self) -> Tuple[Variable, ...]:
@@ -136,6 +140,7 @@ class RowStream:
             actual_cout=self.actual_cout,
         )
         result.plan_cached = self.plan_cached
+        result.trace = self.trace
         return result
 
     def __repr__(self) -> str:
@@ -163,6 +168,8 @@ class QueryResult:
         #: True when the plan was served from a plan cache rather than
         #: optimized for this execution (set by the query service).
         self.plan_cached = False
+        #: the finished operator trace when the execution was traced, else None
+        self.trace: Optional[QueryTrace] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -220,6 +227,8 @@ class QueryEngine:
         executor: Optional[str] = None,
         parallelism: int = 1,
         statistics: Optional[StoreStatistics] = None,
+        trace_buffer: Optional[TraceBuffer] = None,
+        trace_seed: Optional[int] = None,
     ):
         self.store = data.store if isinstance(data, Graph) else data
         self.store.finalise()
@@ -234,6 +243,11 @@ class QueryEngine:
         self.parallelism = max(1, int(parallelism))
         self.executor = make_executor(self.executor_name, self.store, self.parallelism)
         self.runtime_model = runtime_model if runtime_model is not None else RuntimeModel()
+        #: observability: when a trace buffer is attached, every execution
+        #: is traced and its finished trace retained there; otherwise only
+        #: explicitly traced calls (execute_traced / tracer=...) pay for spans.
+        self.trace_buffer = trace_buffer
+        self.trace_ids = TraceIdGenerator(seed=trace_seed)
 
     def _sibling(self, executor: str, parallelism: int) -> "QueryEngine":
         """A sibling engine sharing store, statistics, optimizer and runtime
@@ -253,6 +267,8 @@ class QueryEngine:
         sibling.executor_name = executor
         sibling.parallelism = max(1, int(parallelism))
         sibling.executor = make_executor(executor, self.store, sibling.parallelism)
+        sibling.trace_buffer = self.trace_buffer
+        sibling.trace_ids = self.trace_ids
         return sibling
 
     def with_executor(self, executor: str) -> "QueryEngine":
@@ -285,6 +301,19 @@ class QueryEngine:
         plan = query if isinstance(query, PlanNode) else self.plan(query)
         return plan.pretty(annotate=self.executor.physical_annotation)
 
+    def explain_analyze(
+        self, query: Union[str, SelectQuery, PlanNode], noise_key: str = ""
+    ) -> str:
+        """Execute the query traced and render estimated-vs-actual per node.
+
+        Every line shows the logical operator, the physical operator it ran
+        as, the optimizer's row estimate next to the observed cardinality
+        and the operator's wall-clock time; a q-error drift summary closes
+        the report.  The execution is bit-identical to :meth:`execute`.
+        """
+        result = self.execute_traced(query, noise_key)
+        return render_analyze(result.trace, annotate=self.executor.physical_annotation)
+
     # -- execution ------------------------------------------------------------------
 
     def execute(self, query: Union[str, SelectQuery], noise_key: str = "") -> QueryResult:
@@ -292,12 +321,26 @@ class QueryEngine:
         plan = self.plan(query)
         return self.execute_plan(plan, noise_key)
 
-    def execute_plan(self, plan: PlanNode, noise_key: str = "") -> QueryResult:
+    def execute_plan(
+        self, plan: PlanNode, noise_key: str = "", tracer: Optional[Tracer] = None
+    ) -> QueryResult:
         """Execute an already-optimized plan (materialising wrapper).
 
         Thin shell over :meth:`execute_plan_iter`: one page, fully decoded.
         """
-        return self.execute_plan_iter(plan, noise_key, page_size=None).result()
+        return self.execute_plan_iter(plan, noise_key, page_size=None, tracer=tracer).result()
+
+    def execute_traced(
+        self, query: Union[str, SelectQuery, PlanNode], noise_key: str = ""
+    ) -> QueryResult:
+        """Execute with operator tracing on; the result carries ``.trace``.
+
+        Rows, profile, Cout values and simulated runtime are bit-identical
+        to the untraced :meth:`execute` — tracing only observes.
+        """
+        plan = query if isinstance(query, PlanNode) else self.plan(query)
+        tracer = Tracer(self.trace_ids.new_id())
+        return self.execute_plan(plan, noise_key, tracer=tracer)
 
     def execute_iter(
         self,
@@ -324,13 +367,34 @@ class QueryEngine:
         plan: PlanNode,
         noise_key: str = "",
         page_size: Optional[int] = DEFAULT_PAGE_SIZE,
+        tracer: Optional[Tracer] = None,
     ) -> RowStream:
-        """Execute an already-optimized plan as a :class:`RowStream`."""
+        """Execute an already-optimized plan as a :class:`RowStream`.
+
+        ``tracer`` turns on per-operator span recording for this execution;
+        when the engine owns a :class:`TraceBuffer` every execution is
+        traced implicitly and the finished trace retained there.  Either
+        way the finished :class:`~repro.obs.QueryTrace` rides on the
+        stream's ``.trace``.
+        """
         if page_size is not None and page_size < 1:
             raise ValueError("page_size must be a positive integer or None, got %r" % (page_size,))
-        pages, profile = self.executor.execute_pages(plan, page_size)
+        tracer = coerce_tracer(tracer)
+        if tracer is None and self.trace_buffer is not None:
+            tracer = Tracer(self.trace_ids.new_id())
+        pages, profile = self.executor.execute_pages(plan, page_size, tracer=tracer)
         runtime = self.runtime_model.runtime_milliseconds(profile, noise_key)
-        return RowStream(pages, plan, profile, runtime)
+        stream = RowStream(pages, plan, profile, runtime)
+        if tracer is not None:
+            stream.trace = tracer.finish(
+                result_rows=profile.result_rows,
+                runtime_ms=runtime,
+                executor=self.executor_name,
+                parallelism=self.parallelism,
+            )
+            if self.trace_buffer is not None:
+                self.trace_buffer.append(stream.trace)
+        return stream
 
     def execute_template(
         self,

@@ -320,15 +320,20 @@ class VectorExecutor:
                     )
         return self._pool
 
-    def _run_morsels(self, total: int, worker: Callable[[int, int], object]) -> List[object]:
+    def _run_morsels(
+        self, total: int, worker: Callable[[int, int], object], tracer=None
+    ) -> List[object]:
         """Run ``worker(low, high)`` over morsels of ``range(total)``.
 
         Returns the chunk results in morsel order (concatenating them
         reproduces the serial result exactly).  Falls back to one serial
         call when parallelism is off or the input is too small to amortize
-        thread handoff.
+        thread handoff.  ``tracer`` attributes the chunk count to the
+        current span (1 for the serial fallback).
         """
         if self.parallelism <= 1 or total < MIN_PARALLEL_ROWS:
+            if tracer is not None:
+                tracer.add_morsels(1)
             return [worker(0, total)]
         size = max(MORSEL_SIZE, -(-total // (4 * self.parallelism)))
         bounds = list(range(0, total, size)) + [total]
@@ -336,18 +341,20 @@ class VectorExecutor:
         futures = [
             pool.submit(worker, low, high) for low, high in zip(bounds, bounds[1:])
         ]
+        if tracer is not None:
+            tracer.add_morsels(len(futures))
         return [future.result() for future in futures]
 
     # -- execution --------------------------------------------------------------
 
-    def execute(self, plan: PlanNode) -> Tuple[List[Binding], ExecutionProfile]:
+    def execute(self, plan: PlanNode, tracer=None) -> Tuple[List[Binding], ExecutionProfile]:
         """Run the plan; return (solution mappings, execution profile)."""
-        pages, profile = self.execute_pages(plan, page_size=None)
+        pages, profile = self.execute_pages(plan, page_size=None, tracer=tracer)
         rows = [row for page in pages for row in page]
         return rows, profile
 
     def execute_pages(
-        self, plan: PlanNode, page_size: Optional[int] = None
+        self, plan: PlanNode, page_size: Optional[int] = None, tracer=None
     ) -> Tuple[Iterator[List[Binding]], ExecutionProfile]:
         """Run the plan eagerly; decode the result page by page.
 
@@ -362,8 +369,10 @@ class VectorExecutor:
         iterator, so pages stay decodable after a later ``execute`` call on
         the same thread has reset the thread-local tables.
         """
+        from ..obs.trace import coerce_tracer
+
         self._reset_extension_tables()
-        profile = ExecutionProfile()
+        profile = ExecutionProfile(tracer=coerce_tracer(tracer))
         batch = self._execute(plan, profile)
         profile.result_rows = batch.length
         profile.add_work("output_tuple", batch.length)
@@ -379,6 +388,22 @@ class VectorExecutor:
         return pages(), profile
 
     def _execute(self, node: PlanNode, profile: ExecutionProfile) -> ColumnBatch:
+        tracer = profile.tracer
+        if tracer is None:
+            result = self._dispatch(node, profile)
+            profile.record_output(node, result.length)
+            return result
+        span = tracer.enter(node)
+        try:
+            result = self._dispatch(node, profile)
+        except BaseException:
+            tracer.exit(span, None)
+            raise
+        profile.record_output(node, result.length)
+        tracer.exit(span, result.length)
+        return result
+
+    def _dispatch(self, node: PlanNode, profile: ExecutionProfile) -> ColumnBatch:
         if isinstance(node, ScanNode):
             result = self._scan(node, profile)
         elif isinstance(node, SingletonNode):
@@ -405,7 +430,6 @@ class VectorExecutor:
             result = self._limit(node, profile)
         else:
             raise TypeError("unsupported plan node %r" % (node,))
-        profile.record_output(node, result.length)
         return result
 
     # -- physical plan annotation (explain) --------------------------------------
@@ -449,7 +473,7 @@ class VectorExecutor:
         pattern = node.pattern
         repeated = self.store.pattern_has_repeated_variables(pattern)
         if repeated and self.parallelism > 1:
-            arrays = self._scan_morsels(pattern)
+            arrays = self._scan_morsels(pattern, tracer=profile.tracer)
         else:
             arrays = self.store.scan_pattern_arrays(pattern)
         variables: List[Variable] = []
@@ -462,11 +486,13 @@ class VectorExecutor:
         profile.add_work("scan_tuple", length)
         return ColumnBatch(variables, columns, length)
 
-    def _scan_morsels(self, pattern) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _scan_morsels(self, pattern, tracer=None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Repeated-variable scan compacted morsel-by-morsel in parallel."""
         morsels = self.store.scan_pattern_morsels(pattern, MORSEL_SIZE)
         if len(morsels) <= 1:
             return self.store.scan_pattern_arrays(pattern)
+        if tracer is not None:
+            tracer.add_morsels(len(morsels))
         pool = self._ensure_pool()
         futures = [
             pool.submit(self.store.filter_repeated_variables, pattern, *morsel)
@@ -782,7 +808,11 @@ class VectorExecutor:
         return batch
 
     def _hash_match(
-        self, build: ColumnBatch, probe: ColumnBatch, variables: Sequence[Variable]
+        self,
+        build: ColumnBatch,
+        probe: ColumnBatch,
+        variables: Sequence[Variable],
+        tracer=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """All matching (probe_index, build_index) pairs on the join key.
 
@@ -801,7 +831,7 @@ class VectorExecutor:
             probe_index, positions = _expand_ranges(lows, highs)
             return probe_index + low, order[positions]
 
-        chunks = self._run_morsels(probe.length, probe_chunk)
+        chunks = self._run_morsels(probe.length, probe_chunk, tracer=tracer)
         if len(chunks) == 1:
             return chunks[0]
         probe_index = np.concatenate([chunk[0] for chunk in chunks])
@@ -826,7 +856,9 @@ class VectorExecutor:
             build, probe = left, right
         else:
             build, probe = right, left
-        probe_index, build_index = self._hash_match(build, probe, node.join_variables)
+        probe_index, build_index = self._hash_match(
+            build, probe, node.join_variables, tracer=profile.tracer
+        )
         profile.add_work("hash_build_tuple", build.length)
         profile.add_work("hash_probe_tuple", probe.length)
         batch = self._merge_gather(
@@ -849,7 +881,9 @@ class VectorExecutor:
         profile.add_work("leftjoin_probe_tuple", left.length)
 
         if shared:
-            left_index, right_index = self._hash_match(right, left, shared)
+            left_index, right_index = self._hash_match(
+                right, left, shared, tracer=profile.tracer
+            )
         else:
             left_index = np.repeat(np.arange(left.length, dtype=np.int64), right.length)
             right_index = np.tile(np.arange(right.length, dtype=np.int64), left.length)
@@ -1024,7 +1058,7 @@ class VectorExecutor:
                 }
             return chunk_left, gathered
 
-        chunks = self._run_morsels(count, lookup_chunk)
+        chunks = self._run_morsels(count, lookup_chunk, tracer=profile.tracer)
         if len(chunks) == 1:
             left_index, gathered = chunks[0]
         else:

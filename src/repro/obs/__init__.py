@@ -1,0 +1,70 @@
+"""Observability: operator tracing, the metrics registry, slow-query logging.
+
+The data plane of the estimate → execute → correct loop.  Both executors
+emit per-operator :class:`Span` trees through a :class:`Tracer` (rows
+in/out, batches, morsels, estimated vs actual cardinality, monotonic
+wall-clock time); a :class:`MetricsRegistry` unifies counters, gauges and
+fixed-bucket histograms behind Prometheus text exposition; a
+:class:`TraceBuffer` retains recent traces for ``GET /traces``; a
+:class:`SlowQueryLog` writes JSON lines for queries over a threshold; and
+:func:`render_analyze` produces the ``explain --analyze`` report with its
+q-error drift summary.
+
+Tracing is strictly opt-in: the disabled mode is ``tracer=None`` and costs
+one ``None`` check per plan node; traced execution is bit-identical to
+untraced execution (spans observe, never influence).
+"""
+
+from .analyze import DRIFT_THRESHOLD, drift_summary, q_error, render_analyze
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    format_value,
+    quantile_from_histogram,
+    render_text,
+)
+from .slowlog import DEFAULT_SLOW_MS, SlowQueryLog
+from .trace import (
+    JOIN_SPAN_NAMES,
+    NullTracer,
+    QueryTrace,
+    SPAN_NAMES,
+    Span,
+    TraceBuffer,
+    TraceIdGenerator,
+    Tracer,
+    coerce_tracer,
+    default_trace_seed,
+    span_name,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SLOW_MS",
+    "DRIFT_THRESHOLD",
+    "Gauge",
+    "Histogram",
+    "JOIN_SPAN_NAMES",
+    "LATENCY_BUCKETS_MS",
+    "MetricsRegistry",
+    "NullTracer",
+    "QueryTrace",
+    "SPAN_NAMES",
+    "SlowQueryLog",
+    "Span",
+    "TraceBuffer",
+    "TraceIdGenerator",
+    "Tracer",
+    "coerce_tracer",
+    "default_trace_seed",
+    "drift_summary",
+    "format_value",
+    "q_error",
+    "quantile_from_histogram",
+    "render_analyze",
+    "render_text",
+    "span_name",
+]

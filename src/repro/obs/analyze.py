@@ -1,0 +1,134 @@
+"""EXPLAIN ANALYZE rendering: estimated vs actual, per-operator time, drift.
+
+:func:`render_analyze` turns one :class:`~repro.obs.trace.QueryTrace` into
+the annotated plan tree ``repro.cli explain --analyze`` prints: every line
+shows the logical operator, the physical operator the executor ran it
+with, and ``est N rows, actual M rows, T ms`` (plus the morsel count for
+parallel kernels).  A drift summary follows, built on the optimizer
+literature's *q-error* — ``max(est, actual) / min(est, actual)`` with
++1 smoothing so empty results stay finite — naming the worst-estimated
+operators.  :func:`drift_summary` is the programmatic form; the ROADMAP's
+adaptive-optimization item consumes exactly this signal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..optimizer.plans import PlanNode
+from .trace import QueryTrace, Span
+
+#: operators whose q-error at least this large count as "drifted" in the
+#: summary (a factor of 2 is the usual optimizer-quality threshold).
+DRIFT_THRESHOLD = 2.0
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The symmetric estimation error factor, +1-smoothed against zeros."""
+    low = min(estimated, actual) + 1.0
+    high = max(estimated, actual) + 1.0
+    return high / low
+
+
+def drift_summary(trace: QueryTrace, threshold: float = DRIFT_THRESHOLD) -> dict:
+    """Per-trace cardinality-drift statistics over every span.
+
+    Returns operator count, mean/worst q-error, the worst span (name,
+    estimate, actual) and how many operators drifted past ``threshold``.
+    """
+    spans = [span for span in trace.spans() if span.actual_rows is not None]
+    if not spans:
+        return {
+            "operators": 0,
+            "mean_q_error": 1.0,
+            "worst_q_error": 1.0,
+            "worst_operator": None,
+            "drifted_operators": 0,
+        }
+    errors = [(q_error(span.estimated_rows, float(span.actual_rows)), span) for span in spans]
+    worst_error, worst_span = max(errors, key=lambda pair: pair[0])
+    return {
+        "operators": len(spans),
+        "mean_q_error": sum(error for error, _span in errors) / len(errors),
+        "worst_q_error": worst_error,
+        "worst_operator": {
+            "name": worst_span.name,
+            "operator": worst_span.node.describe(),
+            "estimated_rows": worst_span.estimated_rows,
+            "actual_rows": worst_span.actual_rows,
+        },
+        "drifted_operators": sum(1 for error, _span in errors if error >= threshold),
+    }
+
+
+def _render_span(
+    span: Span,
+    annotate: Optional[Callable[[PlanNode], str]],
+    indent: int,
+    lines: List[str],
+) -> None:
+    padding = "  " * indent
+    label = span.node.describe()
+    if annotate is not None:
+        annotation = annotate(span.node)
+        if annotation:
+            label = "%s  · %s" % (label, annotation)
+    stats = "est %.0f rows, actual %d rows, %.3f ms" % (
+        span.estimated_rows,
+        span.actual_rows if span.actual_rows is not None else -1,
+        span.elapsed_ms,
+    )
+    if span.morsels > 1:
+        stats += ", %d morsels" % span.morsels
+    lines.append("%s%s  [%s]" % (padding, label, stats))
+    for child in span.children:
+        _render_span(child, annotate, indent + 1, lines)
+
+
+def render_analyze(
+    trace: QueryTrace,
+    annotate: Optional[Callable[[PlanNode], str]] = None,
+    threshold: float = DRIFT_THRESHOLD,
+) -> str:
+    """The full ``explain --analyze`` report for one trace."""
+    lines: List[str] = []
+    if trace.root is None:
+        return "(no spans recorded)"
+    _render_span(trace.root, annotate, 0, lines)
+    summary = drift_summary(trace, threshold)
+    lines.append("")
+    lines.append(
+        "execution: %d rows in %.3f ms wall (%s executor, parallelism %d, "
+        "simulated %.2f ms)  [trace %s]"
+        % (
+            trace.result_rows,
+            trace.total_ms,
+            trace.executor or "?",
+            trace.parallelism,
+            trace.runtime_ms,
+            trace.trace_id,
+        )
+    )
+    worst = summary["worst_operator"]
+    if worst is None:
+        lines.append("cardinality drift: no operators recorded")
+    else:
+        lines.append(
+            "cardinality drift: %d operators, mean q-error %.2fx, %d drifted "
+            "beyond %.1fx" % (
+                summary["operators"],
+                summary["mean_q_error"],
+                summary["drifted_operators"],
+                threshold,
+            )
+        )
+        lines.append(
+            "  worst: %s — est %.0f rows, actual %d rows (q-error %.2fx)"
+            % (
+                worst["operator"],
+                worst["estimated_rows"],
+                worst["actual_rows"],
+                summary["worst_q_error"],
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,342 @@
+"""A unified metrics registry with Prometheus text exposition.
+
+:class:`MetricsRegistry` replaces the ad-hoc counter dicts that used to
+live in ``service/metrics.py`` and ``api/server.py`` with three first-class
+instrument families:
+
+* :class:`Counter` — monotonic (labelled) totals,
+* :class:`Gauge` — point-in-time values, settable or computed at scrape
+  time from a callback (QPS, latency percentiles),
+* :class:`Histogram` — fixed upper-bound buckets with cumulative counts,
+  ``_sum`` and ``_count``, Prometheus-style.
+
+``expose_text()`` renders the standard text format (``# HELP`` / ``# TYPE``
+lines, escaped label values, ``le="+Inf"`` closing bucket);
+``render_text()`` concatenates several registries — the HTTP endpoint
+serves its own request counters next to the session's serving metrics.
+All instruments are thread-safe; registration order is exposition order.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: default latency buckets (milliseconds) — roughly logarithmic, covering
+#: sub-millisecond plan-cache hits up to multi-second analytical queries.
+LATENCY_BUCKETS_MS = (0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string per the Prometheus text format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Render a sample value (integers without a decimal point)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def _label_text(label_names: Sequence[str], label_values: Tuple[str, ...]) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        '%s="%s"' % (name, escape_label_value(str(value)))
+        for name, value in zip(label_names, label_values)
+    )
+    return "{%s}" % pairs
+
+
+class _Metric:
+    """Shared machinery: name, help, label resolution, one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str] = ()):
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                "metric %s takes labels %r, got %r"
+                % (self.name, self.label_names, tuple(sorted(labels)))
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _header(self) -> List[str]:
+        return [
+            "# HELP %s %s" % (self.name, escape_help(self.help)),
+            "# TYPE %s %s" % (self.name, self.kind),
+        ]
+
+
+class Counter(_Metric):
+    """A monotonically increasing total, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str] = ()):
+        super().__init__(name, help_text, label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; got increment %r" % (amount,))
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def expose(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                "%s%s %s" % (self.name, _label_text(self.label_names, key), format_value(value))
+            )
+        return lines
+
+    def as_dict(self) -> Dict[str, float]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not self.label_names:
+            return {self.name: items[0][1] if items else 0.0}
+        return {
+            self.name + _label_text(self.label_names, key): value for key, value in items
+        }
+
+
+class Gauge(_Metric):
+    """A point-in-time value: set directly, or computed at scrape time."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        callback: Optional[Callable[[], float]] = None,
+    ):
+        super().__init__(name, help_text, ())
+        self._value = 0.0
+        self._callback = callback
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def value(self) -> float:
+        if self._callback is not None:
+            return float(self._callback())
+        with self._lock:
+            return self._value
+
+    def clear(self) -> None:
+        self.set(0.0)
+
+    def expose(self) -> List[str]:
+        return self._header() + ["%s %s" % (self.name, format_value(self.value()))]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {self.name: self.value()}
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with cumulative exposition.
+
+    ``buckets`` are the finite upper bounds, ascending; an implicit
+    ``+Inf`` bucket closes the distribution.  Exposed counts are
+    cumulative (each ``le`` bucket includes every smaller one), so bucket
+    values are non-decreasing and the ``+Inf`` bucket equals ``_count`` —
+    the invariants the round-trip test enforces.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, buckets: Sequence[float]):
+        super().__init__(name, help_text, ())
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(later <= earlier for later, earlier in zip(bounds[1:], bounds)):
+            raise ValueError("histogram buckets must be ascending and non-empty")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot: > max bound
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[position] += 1
+                    return
+            self._counts[-1] += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def expose(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            counts, total_sum, total = list(self._counts), self._sum, self._count
+        cumulative = 0
+        for bound, count in zip(self.buckets, counts):
+            cumulative += count
+            lines.append(
+                '%s_bucket{le="%s"} %d' % (self.name, format_value(bound), cumulative)
+            )
+        lines.append('%s_bucket{le="+Inf"} %d' % (self.name, total))
+        lines.append("%s_sum %s" % (self.name, format_value(total_sum)))
+        lines.append("%s_count %d" % (self.name, total))
+        return lines
+
+    def as_dict(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                self.name + "_sum": self._sum,
+                self.name + "_count": float(self._count),
+            }
+
+
+class MetricsRegistry:
+    """Orders and exposes a set of instruments; names are unique."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        "metric %s already registered with a different type" % metric.name
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, labels))  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        callback: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, callback))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, buckets))  # type: ignore[return-value]
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def clear(self) -> None:
+        """Reset every instrument to zero (report/test isolation)."""
+        for metric in self.metrics():
+            metric.clear()
+
+    def expose_text(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        return render_text([self])
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``{sample name: value}`` mapping (the JSON exposition)."""
+        flat: Dict[str, float] = {}
+        for metric in self.metrics():
+            flat.update(metric.as_dict())
+        return flat
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return "MetricsRegistry(%d metrics)" % len(self)
+
+
+def render_text(registries: Sequence[MetricsRegistry]) -> str:
+    """One text-format document over several registries, duplicates dropped."""
+    lines: List[str] = []
+    seen = set()
+    for registry in registries:
+        for metric in registry.metrics():
+            if metric.name in seen:
+                continue
+            seen.add(metric.name)
+            lines.extend(metric.expose())
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def quantile_from_histogram(histogram: Histogram, fraction: float) -> float:
+    """Approximate a quantile from bucket counts (linear within a bucket).
+
+    Serving reports keep their exact list-based percentiles; this helper
+    exists for consumers that only have the exposition.
+    """
+    with histogram._lock:
+        counts = list(histogram._counts)
+        total = histogram._count
+    if total == 0:
+        return 0.0
+    rank = max(1, int(math.ceil(fraction * total)))
+    cumulative = 0
+    previous_bound = 0.0
+    for bound, count in zip(histogram.buckets, counts):
+        if count:
+            if cumulative + count >= rank:
+                within = (rank - cumulative) / count
+                return previous_bound + (bound - previous_bound) * within
+            cumulative += count
+        previous_bound = bound
+    return previous_bound

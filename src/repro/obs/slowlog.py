@@ -1,0 +1,115 @@
+"""Structured JSON-lines slow-query logging.
+
+One :class:`SlowQueryLog` guards one output (a path opened lazily in
+append mode, or any file-like object) behind a lock; every query whose
+wall-clock time reaches the threshold becomes a single JSON line::
+
+    {"ts": ..., "trace_id": "...", "wall_ms": ..., "runtime_ms": ...,
+     "rows": ..., "executor": "...", "query": "...", "plan": "..."}
+
+A threshold of 0 logs every query (useful for tests and short captures);
+``serve --slow-query-log PATH --slow-query-ms N`` wires it into the HTTP
+endpoint.  Logging failures never fail the query — the log is best-effort
+observability, not a durability channel.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Optional, TextIO
+
+#: default wall-clock threshold (milliseconds) above which queries are logged.
+DEFAULT_SLOW_MS = 500.0
+
+#: logged query text is clipped to keep lines bounded.
+MAX_QUERY_CHARS = 2000
+
+
+class SlowQueryLog:
+    """Append-only JSON-lines log of queries slower than a threshold."""
+
+    def __init__(self, target, threshold_ms: float = DEFAULT_SLOW_MS):
+        """``target`` is a filesystem path or an open text stream."""
+        self.threshold_ms = float(threshold_ms)
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self._path: Optional[str] = None
+            self._stream: Optional[TextIO] = target
+        else:
+            self._path = str(target)
+            self._stream = None
+        self.logged = 0
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    def observe(
+        self,
+        wall_ms: float,
+        query: Optional[str] = None,
+        runtime_ms: Optional[float] = None,
+        rows: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        executor: Optional[str] = None,
+        plan_signature: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> bool:
+        """Log one execution if it crossed the threshold; returns whether it did."""
+        if wall_ms < self.threshold_ms:
+            return False
+        entry = {
+            "ts": time.time(),
+            "wall_ms": round(float(wall_ms), 3),
+        }
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        if runtime_ms is not None:
+            entry["runtime_ms"] = round(float(runtime_ms), 3)
+        if rows is not None:
+            entry["rows"] = int(rows)
+        if executor is not None:
+            entry["executor"] = executor
+        if plan_signature is not None:
+            entry["plan"] = plan_signature
+        if error is not None:
+            entry["error"] = error
+        if query is not None:
+            entry["query"] = query[:MAX_QUERY_CHARS]
+        line = json.dumps(entry, sort_keys=True)
+        try:
+            with self._lock:
+                stream = self._ensure_stream()
+                stream.write(line + "\n")
+                stream.flush()
+                self.logged += 1
+        except OSError:  # pragma: no cover - disk-full / closed-stream guard
+            return False
+        return True
+
+    def _ensure_stream(self) -> TextIO:
+        if self._stream is None:
+            self._stream = open(self._path, "a", encoding="utf-8")
+        return self._stream
+
+    def close(self) -> None:
+        with self._lock:
+            if self._path is not None and self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "SlowQueryLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        target = self._path if self._path is not None else "<stream>"
+        return "SlowQueryLog(%s, threshold=%.0fms, logged=%d)" % (
+            target,
+            self.threshold_ms,
+            self.logged,
+        )

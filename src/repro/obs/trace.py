@@ -1,0 +1,400 @@
+"""Operator-level query tracing.
+
+A :class:`Tracer` observes one query execution: both executors wrap every
+plan-node dispatch in a :class:`Span` that records the node's estimated
+cardinality next to what actually happened — rows in/out, batches, morsel
+count and wall-clock time (monotonic, via ``time.perf_counter``).  Finished
+traces become immutable :class:`QueryTrace` objects that a bounded
+:class:`TraceBuffer` retains for the ``/traces`` endpoint and the
+``explain --analyze`` renderer.
+
+Design constraints, in order:
+
+* **Zero cost when off.**  The disabled mode is ``tracer=None``; the hot
+  dispatch path pays one attribute load and a ``None`` check per plan node
+  and allocates nothing.  ``coerce_tracer`` normalises disabled tracer
+  objects to ``None`` once per query so operators never re-check a flag.
+* **Bit-identical results when on.**  Spans only *read* the execution
+  (timings, lengths); they never touch batches, profiles or work counters.
+* **Deterministic structure.**  Span ids number spans in dispatch order
+  (``s1``, ``s2``, ...), so two executions of the same plan produce
+  structurally identical traces; trace ids come from
+  :class:`TraceIdGenerator`, which yields a reproducible sequence under a
+  seed (``REPRO_TRACE_SEED``) and random UUIDs otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..optimizer.plans import (
+    AggregateNode,
+    DistinctNode,
+    ExtendNode,
+    FilterNode,
+    JoinNode,
+    LeftJoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SingletonNode,
+    SortNode,
+    UnionNode,
+)
+
+#: environment variable holding the deterministic trace-id seed (tests /
+#: reproducible serving runs); unset means random UUID trace ids.
+TRACE_SEED_ENV = "REPRO_TRACE_SEED"
+
+#: physical span name of every non-join plan-node type.  The mapping is
+#: exhaustive by construction — ``span_name`` raises on unknown nodes and
+#: ``tests/test_obs_trace.py`` asserts no PlanNode subclass is missing, so
+#: no operator can ever execute untraced.
+SPAN_NAMES: Dict[type, str] = {
+    ScanNode: "scan",
+    SingletonNode: "singleton",
+    FilterNode: "filter",
+    LeftJoinNode: "leftjoin",
+    UnionNode: "union",
+    ExtendNode: "extend",
+    AggregateNode: "aggregate",
+    SortNode: "sort",
+    ProjectNode: "project",
+    DistinctNode: "distinct",
+    LimitNode: "limit",
+}
+
+#: join spans are refined by the chosen physical method.
+JOIN_SPAN_NAMES: Dict[str, str] = {
+    JoinNode.HASH: "join.hash",
+    JoinNode.NESTED_LOOP: "join.nestedloop",
+    JoinNode.LOOKUP: "join.lookup",
+}
+
+
+def span_name(node: PlanNode) -> str:
+    """The physical span name of one plan node (every node type has one)."""
+    if isinstance(node, JoinNode):
+        try:
+            return JOIN_SPAN_NAMES[node.method]
+        except KeyError:
+            raise KeyError("join method %r has no span name" % (node.method,))
+    name = SPAN_NAMES.get(type(node))
+    if name is None:
+        raise KeyError("plan node type %s has no span name" % type(node).__name__)
+    return name
+
+
+class Span:
+    """One operator execution inside a trace.
+
+    ``estimated_rows`` is the optimizer's cardinality estimate for the
+    node; ``actual_rows`` the observed output (``None`` if the operator
+    raised); ``rows_in`` the sum of the direct children's outputs;
+    ``morsels`` how many morsel chunks the operator's parallel kernels
+    processed (0 for operators that never fan out); ``batches`` the number
+    of column-batch chunks processed (``max(1, morsels)`` for the vector
+    executor, 1 for the tuple executor).  Times are wall-clock
+    milliseconds from the monotonic clock.
+    """
+
+    __slots__ = (
+        "span_id",
+        "name",
+        "node",
+        "estimated_rows",
+        "actual_rows",
+        "rows_in",
+        "morsels",
+        "batches",
+        "elapsed_ms",
+        "children",
+        "_started",
+    )
+
+    def __init__(self, span_id: str, name: str, node: PlanNode, started: float):
+        self.span_id = span_id
+        self.name = name
+        self.node = node
+        self.estimated_rows = float(node.estimated_cardinality)
+        self.actual_rows: Optional[int] = None
+        self.rows_in = 0
+        self.morsels = 0
+        self.batches = 0
+        self.elapsed_ms = 0.0
+        self.children: List["Span"] = []
+        self._started = started
+
+    @property
+    def self_ms(self) -> float:
+        """Time spent in this operator excluding its children."""
+        return max(0.0, self.elapsed_ms - sum(child.elapsed_ms for child in self.children))
+
+    def walk(self):
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (the ``/traces`` endpoint payload)."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "operator": self.node.describe(),
+            "estimated_rows": self.estimated_rows,
+            "actual_rows": self.actual_rows,
+            "rows_in": self.rows_in,
+            "morsels": self.morsels,
+            "batches": self.batches,
+            "elapsed_ms": self.elapsed_ms,
+            "self_ms": self.self_ms,
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return "Span(%s, est=%.0f, actual=%r, %.3fms)" % (
+            self.name,
+            self.estimated_rows,
+            self.actual_rows,
+            self.elapsed_ms,
+        )
+
+
+class Tracer:
+    """Collects the span tree of one query execution.
+
+    A tracer is single-use and single-threaded: both executors dispatch
+    plan nodes on one thread per query (morsel workers run *inside* an
+    operator, never across span boundaries), so enter/exit need no locks.
+    """
+
+    __slots__ = ("trace_id", "enabled", "root", "_stack", "_clock", "_counter")
+
+    def __init__(self, trace_id: Optional[str] = None, clock=time.perf_counter):
+        self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex
+        self.enabled = True
+        self.root: Optional[Span] = None
+        self._stack: List[Span] = []
+        self._clock = clock
+        self._counter = 0
+
+    # -- span lifecycle (called from the executors' dispatch loop) ---------------
+
+    def enter(self, node: PlanNode) -> Span:
+        """Open a span for ``node``; it becomes the current span."""
+        self._counter += 1
+        span = Span("s%d" % self._counter, span_name(node), node, self._clock())
+        self._stack.append(span)
+        return span
+
+    def exit(self, span: Span, rows_out: Optional[int]) -> None:
+        """Close the current span with its observed output cardinality.
+
+        ``rows_out=None`` marks an operator that raised; the span still
+        closes so the stack stays consistent and the partial trace remains
+        inspectable.
+        """
+        span.elapsed_ms = (self._clock() - span._started) * 1000.0
+        span.actual_rows = rows_out
+        span.rows_in = sum(child.actual_rows or 0 for child in span.children)
+        if span.batches == 0:
+            span.batches = max(1, span.morsels)
+        popped = self._stack.pop()
+        if popped is not span:  # pragma: no cover - executor bug guard
+            raise RuntimeError("span exit out of order: %r != %r" % (popped, span))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.root = span
+
+    def add_morsels(self, count: int) -> None:
+        """Attribute ``count`` morsel chunks to the current span."""
+        if self._stack:
+            self._stack[-1].morsels += count
+
+    # -- completion --------------------------------------------------------------
+
+    def finish(
+        self,
+        result_rows: int = 0,
+        runtime_ms: float = 0.0,
+        executor: str = "",
+        parallelism: int = 1,
+        query: Optional[str] = None,
+    ) -> "QueryTrace":
+        """Seal the trace once execution (and profiling) is complete."""
+        return QueryTrace(
+            trace_id=self.trace_id,
+            root=self.root,
+            result_rows=result_rows,
+            runtime_ms=runtime_ms,
+            executor=executor,
+            parallelism=parallelism,
+            query=query,
+        )
+
+
+class NullTracer:
+    """API-compatible disabled tracer (``enabled`` is False).
+
+    Executors normalise it to ``None`` at the query boundary via
+    :func:`coerce_tracer`, so its methods only run if someone calls them
+    directly — and then they do nothing.
+    """
+
+    __slots__ = ()
+    enabled = False
+    trace_id = None
+    root = None
+
+    def enter(self, node: PlanNode) -> None:
+        return None
+
+    def exit(self, span, rows_out) -> None:
+        return None
+
+    def add_morsels(self, count: int) -> None:
+        return None
+
+
+def coerce_tracer(tracer) -> Optional[Tracer]:
+    """Normalise any disabled tracer to ``None`` (the executor fast path)."""
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return None
+    return tracer
+
+
+class QueryTrace:
+    """The finished, immutable trace of one query execution."""
+
+    __slots__ = (
+        "trace_id",
+        "root",
+        "result_rows",
+        "runtime_ms",
+        "executor",
+        "parallelism",
+        "query",
+        "created_at",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        root: Optional[Span],
+        result_rows: int,
+        runtime_ms: float,
+        executor: str,
+        parallelism: int,
+        query: Optional[str] = None,
+    ):
+        self.trace_id = trace_id
+        self.root = root
+        self.result_rows = result_rows
+        self.runtime_ms = runtime_ms
+        self.executor = executor
+        self.parallelism = parallelism
+        self.query = query
+        self.created_at = time.time()
+
+    @property
+    def total_ms(self) -> float:
+        """Wall-clock milliseconds of the traced execution (root span)."""
+        return self.root.elapsed_ms if self.root is not None else 0.0
+
+    def spans(self) -> List[Span]:
+        """Every span, pre-order."""
+        return list(self.root.walk()) if self.root is not None else []
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "created_at": self.created_at,
+            "executor": self.executor,
+            "parallelism": self.parallelism,
+            "result_rows": self.result_rows,
+            "runtime_ms": self.runtime_ms,
+            "total_ms": self.total_ms,
+            "query": self.query,
+            "root": self.root.as_dict() if self.root is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        return "QueryTrace(%s, spans=%d, rows=%d, %.3fms)" % (
+            self.trace_id,
+            len(self.spans()),
+            self.result_rows,
+            self.total_ms,
+        )
+
+
+class TraceIdGenerator:
+    """Thread-safe trace-id source, deterministic under a seed.
+
+    With ``seed`` (explicit, or via the ``REPRO_TRACE_SEED`` environment
+    variable) ids form a reproducible hex sequence, so tests and recorded
+    serving runs can assert on trace identity; without a seed ids are
+    random UUIDs.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        if seed is None:
+            seed = default_trace_seed()
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed) if seed is not None else None
+
+    def new_id(self) -> str:
+        if self._rng is None:
+            return uuid.uuid4().hex
+        with self._lock:
+            return "%032x" % self._rng.getrandbits(128)
+
+
+def default_trace_seed() -> Optional[int]:
+    """The ``REPRO_TRACE_SEED`` environment seed, if set and an integer."""
+    raw = os.environ.get(TRACE_SEED_ENV)
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+class TraceBuffer:
+    """Bounded, thread-safe ring of the most recent query traces."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("trace buffer capacity must be >= 1, got %r" % (capacity,))
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque = deque(maxlen=capacity)
+
+    def append(self, trace: QueryTrace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+
+    def snapshot(self) -> List[QueryTrace]:
+        """The retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def __repr__(self) -> str:
+        return "TraceBuffer(%d/%d)" % (len(self), self.capacity)

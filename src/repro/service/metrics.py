@@ -6,8 +6,14 @@ from real wall-clock time) and the latency distribution (p50 / p95 / p99,
 over the *simulated* runtimes so that the figures stay deterministic and
 comparable with everything else the reproduction reports).
 
-Snapshots are plain dataclasses; :func:`repro.bench.reporting.service_report`
-renders them, keeping ``repro.bench`` free of any import of this package.
+Since the observability PR the collector is backed by a
+:class:`repro.obs.MetricsRegistry` — the executed-query counter, the
+latency histogram and the scrape-time QPS/percentile gauges are first-class
+instruments, so the HTTP endpoint exposes them in Prometheus text format
+next to its own request counters.  The exact-percentile snapshot path is
+unchanged: :meth:`snapshot` still computes over the full latency list, and
+:func:`repro.bench.reporting.service_report` renders the same keys as
+before.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..bench.stats import mean, percentile
+from ..obs.registry import LATENCY_BUCKETS_MS, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -46,7 +53,7 @@ class ServiceMetrics:
 class MetricsCollector:
     """Thread-safe accumulator of per-execution and per-batch observations."""
 
-    def __init__(self):
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
         self._lock = threading.Lock()
         self._latencies_ms: List[float] = []
         #: wall-clock seconds of executions issued outside any batch (summed;
@@ -55,6 +62,35 @@ class MetricsCollector:
         #: wall-clock seconds of scheduler batches (overlapping executions
         #: counted once — the correct denominator for concurrent QPS).
         self._batch_seconds = 0.0
+        #: the registry exposing these observations as Prometheus families.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._executed = self.registry.counter(
+            "repro_queries_executed_total", "Queries executed by the service"
+        )
+        self._latency = self.registry.histogram(
+            "repro_query_latency_ms",
+            "Simulated query latency distribution (milliseconds)",
+            buckets=LATENCY_BUCKETS_MS,
+        )
+        self._busy = self.registry.counter(
+            "repro_service_busy_seconds_total",
+            "Wall-clock seconds spent executing queries (batches counted once)",
+        )
+        # Scrape-time gauges: exact values computed from the latency list at
+        # exposition, so the text format matches snapshot() to the digit.
+        self.registry.gauge(
+            "repro_service_qps", "Queries per wall-clock second", callback=lambda: self.snapshot().qps
+        )
+        self.registry.gauge(
+            "repro_service_latency_p50_ms",
+            "Median simulated latency (milliseconds)",
+            callback=lambda: self.snapshot().latency_p50_ms,
+        )
+        self.registry.gauge(
+            "repro_service_latency_p99_ms",
+            "99th-percentile simulated latency (milliseconds)",
+            callback=lambda: self.snapshot().latency_p99_ms,
+        )
 
     # -- recording ----------------------------------------------------------------
 
@@ -63,16 +99,24 @@ class MetricsCollector:
             self._latencies_ms.append(runtime_ms)
             if not in_batch:
                 self._unbatched_busy_seconds += wall_seconds
+        self._executed.inc()
+        self._latency.observe(runtime_ms)
+        if not in_batch:
+            self._busy.inc(wall_seconds)
 
     def record_batch(self, wall_seconds: float) -> None:
         with self._lock:
             self._batch_seconds += wall_seconds
+        self._busy.inc(wall_seconds)
 
     def reset(self) -> None:
         with self._lock:
             self._latencies_ms = []
             self._unbatched_busy_seconds = 0.0
             self._batch_seconds = 0.0
+        self._executed.clear()
+        self._latency.clear()
+        self._busy.clear()
 
     # -- snapshot -----------------------------------------------------------------
 

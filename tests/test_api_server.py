@@ -227,6 +227,100 @@ class TestOperationalEndpoints:
         assert "plan cache hits" in payload
         assert payload["executed queries"] >= 1
 
+    def test_metrics_count_per_status_class(self, server):
+        metrics_url = server.url.replace("/sparql", "/metrics")
+        with pytest.raises(urllib.error.HTTPError):
+            get_query(server, "SELEKT broken")  # one 4xx
+        get_query(server, QUERY)  # one 2xx
+        payload = json.loads(http_get(metrics_url)[2])
+        classes = payload["responses"]["by_class"]
+        assert classes["2xx"] >= 1
+        assert classes["4xx"] >= 1
+        assert payload["errors_total"] == classes["4xx"] + classes["5xx"]
+        assert payload["requests_total"] == sum(
+            payload["responses"]["by_code"].values()
+        )
+
+    def test_503_is_counted_in_its_own_code_bucket(self):
+        dataset = connect(build_store())
+        session = dataset.session(timeout=0.05)
+        session.engine = _SlowEngine(session.engine, delay=1.0)
+        with SparqlServer(session, port=0) as running:
+            with pytest.raises(urllib.error.HTTPError):
+                get_query(running, QUERY)
+            payload = json.loads(http_get(running.url.replace("/sparql", "/metrics"))[2])
+            assert payload["responses"]["by_code"].get("503") == 1
+            assert payload["responses"]["by_class"]["5xx"] == 1
+
+    def test_metrics_prometheus_negotiation(self, server):
+        metrics_url = server.url.replace("/sparql", "/metrics")
+        get_query(server, QUERY)
+        status, headers, body = http_get(metrics_url, accept="text/plain")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert "# TYPE repro_http_responses_total counter" in body
+        assert "# TYPE repro_query_latency_ms histogram" in body
+        assert 'repro_http_responses_total{code="200"}' in body
+        assert 'le="+Inf"' in body
+        # the explicit parameter wins without any Accept header
+        _status, headers, body = http_get(metrics_url + "?format=prometheus")
+        assert headers["Content-Type"].startswith("text/plain")
+        # and the default (no Accept preference) stays JSON
+        _status, headers, body = http_get(metrics_url)
+        assert headers["Content-Type"].startswith("application/json")
+        json.loads(body)
+
+
+class TestTracing:
+    @pytest.fixture()
+    def traced_server(self):
+        with serve(build_store(), port=0, trace_capacity=8) as running:
+            yield running
+
+    def test_trace_id_header_is_minted_and_echoed(self, traced_server):
+        _status, headers, _body = get_query(traced_server, QUERY)
+        minted = headers.get("X-Repro-Trace-Id")
+        assert minted
+        request = urllib.request.Request(
+            traced_server.url + "?query=" + urllib.parse.quote(QUERY),
+            headers={"X-Repro-Trace-Id": "client-chosen-id"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers["X-Repro-Trace-Id"] == "client-chosen-id"
+            response.read()
+
+    def test_error_body_repeats_the_trace_id(self, traced_server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get_query(traced_server, "SELEKT broken")
+        assert caught.value.headers["X-Repro-Trace-Id"] == (
+            error_body(caught.value)["trace_id"]
+        )
+
+    def test_traces_endpoint_serves_the_ring(self, traced_server):
+        request = urllib.request.Request(
+            traced_server.url + "?query=" + urllib.parse.quote(QUERY),
+            headers={"X-Repro-Trace-Id": "lookup-me"},
+        )
+        urllib.request.urlopen(request, timeout=10).read()
+        _status, _headers, body = http_get(
+            traced_server.url.replace("/sparql", "/traces")
+        )
+        payload = json.loads(body)
+        assert payload["count"] >= 1
+        mine = [t for t in payload["traces"] if t["trace_id"] == "lookup-me"]
+        assert len(mine) == 1
+        assert mine[0]["root"]["actual_rows"] == mine[0]["result_rows"]
+        assert mine[0]["query"] == QUERY
+
+    def test_traces_endpoint_is_404_when_tracing_off(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            http_get(server.url.replace("/sparql", "/traces"))
+        assert caught.value.code == 404
+
+    def test_trace_header_present_on_untraced_server_too(self, server):
+        _status, headers, _body = get_query(server, QUERY)
+        assert headers.get("X-Repro-Trace-Id")
+
 
 class TestLifecycle:
     def test_shutdown_before_start_returns_promptly(self):

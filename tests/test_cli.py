@@ -136,6 +136,30 @@ class TestCommands:
         assert exit_code == 0
         assert "tuple index-lookup join (per-row probes)" in output
 
+    def test_explain_analyze_reports_actuals_and_drift(self):
+        exit_code, output = run_cli(["explain", "ldbc_q3", "--scale", "tiny", "--analyze"])
+        assert exit_code == 0
+        assert output.startswith("explain analyze: ldbc_q3")
+        assert "est " in output and "actual " in output
+        assert "cardinality drift:" in output
+        assert "vector executor" in output
+
+    def test_explain_analyze_is_identical_in_structure_across_engines(self):
+        import re
+
+        def skeleton(text):
+            # keep only the est/actual figures; strip timings and trace ids
+            return re.findall(r"est \d+ rows, actual \d+ rows", text)
+
+        _code, vector_output = run_cli(
+            ["explain", "bsbm_bi_q4", "--scale", "tiny", "--analyze"]
+        )
+        _code, tuple_output = run_cli(
+            ["explain", "bsbm_bi_q4", "--scale", "tiny", "--engine", "tuple", "--analyze"]
+        )
+        assert skeleton(vector_output) == skeleton(tuple_output)
+        assert skeleton(vector_output)  # the sweep actually matched something
+
     def test_generate_with_output_snapshot(self, tmp_path):
         target = tmp_path / "bsbm.snapshot"
         exit_code, output = run_cli(

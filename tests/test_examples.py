@@ -78,6 +78,19 @@ class TestVectorEngineWalkthrough:
         assert "identical rows and simulated runtimes: True" in output
 
 
+class TestExplainAnalyzeWalkthrough:
+    def test_main_runs_small_and_reports_drift(self, capsys, monkeypatch):
+        example = load_example("explain_analyze_walkthrough")
+        monkeypatch.setattr(example, "PERSONS", 60)
+        monkeypatch.setattr(example, "BINDINGS", 3)
+        example.main()
+        output = capsys.readouterr().out
+        assert "explain analyze of the most mis-estimated binding" in output
+        assert "mean q-error" in output
+        assert "est" in output and "actual" in output
+        assert "q-error of" in output
+
+
 class TestHttpEndpointWalkthrough:
     def test_main_serves_and_round_trips(self, capsys):
         example = load_example("http_endpoint_walkthrough")

@@ -1,0 +1,149 @@
+"""EXPLAIN ANALYZE rendering, drift statistics and the slow-query log."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.obs import (
+    DRIFT_THRESHOLD,
+    QueryTrace,
+    SlowQueryLog,
+    drift_summary,
+    q_error,
+    render_analyze,
+)
+from repro.obs.slowlog import MAX_QUERY_CHARS
+from repro.rdf.terms import IRI, typed_literal
+from repro.rdf.triples import Triple
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+
+
+def engine(executor="vector"):
+    store = TripleStore()
+    store.add_many(
+        Triple(IRI(EX + "s%d" % i), IRI(EX + "p%d" % (i % 2)), typed_literal(i))
+        for i in range(30)
+    )
+    return QueryEngine(store, executor=executor)
+
+
+class TestQError:
+    def test_symmetric_and_smoothed(self):
+        assert q_error(10, 10) == 1.0
+        assert q_error(10, 100) == q_error(100, 10)
+        assert q_error(0, 0) == 1.0  # +1 smoothing keeps zeros finite
+        assert q_error(0, 9) == 10.0
+
+    def test_drift_summary_on_real_trace(self):
+        result = engine().execute_traced(
+            "SELECT ?s ?v WHERE { ?s <%sp0> ?v . FILTER(?v > 20) }" % EX
+        )
+        summary = drift_summary(result.trace)
+        assert summary["operators"] == len(result.trace.spans())
+        assert summary["worst_q_error"] >= summary["mean_q_error"] >= 1.0
+        assert summary["worst_operator"]["name"] in (
+            span.name for span in result.trace.spans()
+        )
+        assert 0 <= summary["drifted_operators"] <= summary["operators"]
+
+    def test_drift_summary_of_empty_trace(self):
+        empty = QueryTrace("t", None, 0, 0.0, "tuple", 1)
+        summary = drift_summary(empty)
+        assert summary["operators"] == 0
+        assert summary["worst_operator"] is None
+
+
+class TestRenderAnalyze:
+    def test_report_carries_estimates_actuals_and_drift(self):
+        query = "SELECT ?s ?v WHERE { ?s <%sp0> ?v . FILTER(?v > 20) } ORDER BY ?s" % EX
+        result = engine().execute_traced(query)
+        report = render_analyze(result.trace)
+        assert "est " in report and "actual " in report and " ms]" in report
+        assert "cardinality drift:" in report
+        assert "trace %s" % result.trace.trace_id in report
+        # one tree line per span, plus the summary block
+        tree_lines = [line for line in report.splitlines() if line.endswith(" ms]")]
+        assert len(tree_lines) == len(result.trace.spans())
+
+    def test_explain_analyze_matches_both_engines(self):
+        query = "SELECT ?s ?v WHERE { ?s <%sp1> ?v } ORDER BY DESC(?v) LIMIT 3" % EX
+        for executor in ("tuple", "vector"):
+            report = engine(executor).explain_analyze(query)
+            assert "%s executor" % executor in report
+
+    def test_empty_trace_renders_placeholder(self):
+        assert render_analyze(QueryTrace("t", None, 0, 0.0, "", 1)) == "(no spans recorded)"
+
+    def test_threshold_is_honoured(self):
+        result = engine().execute_traced("SELECT ?s WHERE { ?s <%sp0> ?o }" % EX)
+        strict = drift_summary(result.trace, threshold=1.0)
+        assert strict["drifted_operators"] == strict["operators"]
+        loose = drift_summary(result.trace, threshold=float("inf"))
+        assert loose["drifted_operators"] == 0
+        assert DRIFT_THRESHOLD == 2.0
+
+
+class TestSlowQueryLog:
+    def test_threshold_gates_logging(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(stream, threshold_ms=100.0)
+        assert log.observe(50.0, query="fast") is False
+        assert log.observe(150.0, query="slow", rows=3) is True
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1 and log.logged == 1
+        entry = json.loads(lines[0])
+        assert entry["query"] == "slow"
+        assert entry["wall_ms"] == 150.0
+        assert entry["rows"] == 3
+
+    def test_query_text_is_clipped(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(stream, threshold_ms=0.0)
+        log.observe(1.0, query="x" * (MAX_QUERY_CHARS + 500))
+        entry = json.loads(stream.getvalue())
+        assert len(entry["query"]) == MAX_QUERY_CHARS
+
+    def test_optional_fields_are_omitted_when_absent(self):
+        stream = io.StringIO()
+        SlowQueryLog(stream, threshold_ms=0.0).observe(1.0)
+        entry = json.loads(stream.getvalue())
+        assert set(entry) == {"ts", "wall_ms"}
+
+    def test_path_target_appends_and_closes(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        with SlowQueryLog(str(path), threshold_ms=0.0) as log:
+            log.observe(5.0, query="a", trace_id="t1")
+            log.observe(6.0, query="b", executor="vector", error="boom")
+        assert log.path == str(path)
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["query"] for e in entries] == ["a", "b"]
+        assert entries[0]["trace_id"] == "t1"
+        assert entries[1]["error"] == "boom"
+        # reopening appends rather than truncating
+        with SlowQueryLog(str(path), threshold_ms=0.0) as log:
+            log.observe(7.0, query="c")
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_session_wires_slow_log_and_traces(self, tmp_path):
+        from repro.api import connect
+
+        path = tmp_path / "slow.jsonl"
+        store = TripleStore()
+        store.add_many(
+            Triple(IRI(EX + "s%d" % i), IRI(EX + "p"), typed_literal(i)) for i in range(10)
+        )
+        dataset = connect(store)
+        with dataset.session(
+            trace_capacity=2, slow_log=str(path), slow_query_ms=0.0
+        ) as session:
+            for _ in range(3):
+                session.execute("SELECT ?s WHERE { ?s <%sp> ?o }" % EX).fetchall()
+            assert len(session.traces()) == 2  # ring bounded at capacity
+            assert session.traces()[-1].query is not None
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(entries) == 3
+        assert entries[0]["trace_id"] == session.traces()[0].trace_id or entries[0]["trace_id"]

@@ -1,0 +1,101 @@
+"""Trace equivalence across executors and parallelism degrees.
+
+The tracing contract extends the executor bit-identity contract: both
+executors dispatch the *same* optimized plan, so the span tree — names,
+nesting, estimated and actual cardinalities — must be identical between
+the tuple and vector executors and across morsel-parallelism degrees.
+Only timings (and morsel counts, a vector-internal detail) may differ.
+
+The sweep covers every template the paper's experiments E1–E4 execute plus
+the remaining BSBM/LDBC mix templates, at the tiny scale, under
+tuple / vector×1 / vector×4.
+"""
+
+import pytest
+
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.datagen.ldbc import template as ldbc_template
+from repro.engine import Tracer
+from repro.experiments import common
+from repro.sparql.algebra import translate_query
+
+from tests.test_executor_equivalence import EXPERIMENT_TEMPLATES
+
+SCALE = "tiny"
+
+
+def trace_shape(trace):
+    """The executor-independent skeleton: (id, name, est, actual, depth)."""
+
+    def walk(span, depth):
+        yield (span.span_id, span.name, span.estimated_rows, span.actual_rows, depth)
+        for child in span.children:
+            yield from walk(child, depth + 1)
+
+    return list(walk(trace.root, 0))
+
+
+def engines_for(template_name):
+    base = common.bsbm_engine(SCALE) if template_name.startswith("bsbm") else common.ldbc_engine(SCALE)
+    return [
+        ("tuple", base.with_executor("tuple")),
+        ("vector x1", base.with_executor("vector")),
+        ("vector x4", base.with_executor("vector").with_parallelism(4)),
+    ]
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("template_name,space_factory", EXPERIMENT_TEMPLATES)
+    def test_span_trees_agree_across_executors_and_parallelism(
+        self, template_name, space_factory
+    ):
+        template = (
+            bsbm_template(template_name)
+            if template_name.startswith("bsbm")
+            else ldbc_template(template_name)
+        )
+        sampler = UniformSampler(space_factory(SCALE), seed=11)
+        configurations = engines_for(template_name)
+        for binding in sampler.bindings(2):
+            query = template.instantiate(binding)
+            outcomes = []
+            for label, engine in configurations:
+                plan = engine.optimizer.optimize(translate_query(query))
+                result = engine.execute_plan(plan, tracer=Tracer("t-%s" % label))
+                outcomes.append((label, result.rows, trace_shape(result.trace)))
+            reference_label, reference_rows, reference_shape = outcomes[0]
+            for label, rows, shape in outcomes[1:]:
+                assert rows == reference_rows, "%s rows differ from %s" % (
+                    label,
+                    reference_label,
+                )
+                assert shape == reference_shape, "%s span tree differs from %s" % (
+                    label,
+                    reference_label,
+                )
+            # root span observes the final result cardinality
+            assert reference_shape[0][3] == len(reference_rows)
+
+    def test_forced_morsel_parallelism_keeps_the_shape(self):
+        """With morsel thresholds forced down, the parallel kernels run and
+        record morsel counts — the span skeleton still must not move."""
+        from repro.engine import vector as vector_module
+
+        template = ldbc_template("ldbc_q8")
+        binding = UniformSampler(common.ldbc_person_space(SCALE), seed=3).bindings(1)[0]
+        query = template.instantiate(binding)
+        engine = common.ldbc_engine(SCALE).with_executor("vector")
+        plan = engine.optimizer.optimize(translate_query(query))
+        serial = engine.execute_plan(plan, tracer=Tracer("serial"))
+        saved = (vector_module.MIN_PARALLEL_ROWS, vector_module.MORSEL_SIZE)
+        vector_module.MIN_PARALLEL_ROWS, vector_module.MORSEL_SIZE = 2, 2
+        try:
+            parallel = engine.with_parallelism(4).execute_plan(
+                plan, tracer=Tracer("parallel")
+            )
+        finally:
+            vector_module.MIN_PARALLEL_ROWS, vector_module.MORSEL_SIZE = saved
+        assert parallel.rows == serial.rows
+        assert trace_shape(parallel.trace) == trace_shape(serial.trace)
+        assert any(span.morsels > 1 for span in parallel.trace.spans())

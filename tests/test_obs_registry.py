@@ -1,0 +1,206 @@
+"""Metrics registry: instrument semantics and a Prometheus round-trip.
+
+The round-trip half implements a minimal parser of the Prometheus text
+exposition format and feeds ``expose_text()`` back through it, asserting
+the structural invariants a real scraper relies on: a ``# HELP`` and
+``# TYPE`` line per family, parseable sample lines, label-escaping that
+survives the round trip, cumulative (monotone) histogram buckets whose
+``+Inf`` bucket equals ``_count``.
+"""
+
+import re
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    format_value,
+    quantile_from_histogram,
+    render_text,
+)
+from repro.obs.registry import escape_label_value
+
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>NaN|[+-]Inf|-?[0-9.e+-]+)$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def unescape(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_exposition(text: str):
+    """Parse the text format into {family: {"type", "help", "samples"}}.
+
+    ``samples`` maps ``(sample_name, labels_tuple)`` to the float value.
+    """
+    families = {}
+    current = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            current = families.setdefault(
+                name, {"type": None, "help": None, "samples": {}}
+            )
+            current["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": None, "samples": {}})[
+                "type"
+            ] = kind
+        else:
+            match = SAMPLE_LINE.match(line)
+            assert match, "unparseable sample line: %r" % line
+            sample = match.group("name")
+            labels = tuple(
+                (key, unescape(raw))
+                for key, raw in LABEL_PAIR.findall(match.group("labels") or "")
+            )
+            family = sample
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample.endswith(suffix) and sample[: -len(suffix)] in families:
+                    family = sample[: -len(suffix)]
+            assert family in families, "sample %r outside any family" % sample
+            value = match.group("value")
+            number = {"NaN": float("nan"), "+Inf": float("inf"), "-Inf": float("-inf")}.get(
+                value, None
+            )
+            families[family]["samples"][(sample, labels)] = (
+                float(value) if number is None else number
+            )
+    return families
+
+
+class TestInstruments:
+    def test_counter_rejects_negative_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_counter_keys_and_totals(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("http_total", "help", labels=("code",))
+        counter.inc(code="200")
+        counter.inc(code="200")
+        counter.inc(code="503")
+        assert counter.value(code="200") == 2
+        assert counter.total() == 3
+        with pytest.raises(ValueError):
+            counter.inc(status="200")  # wrong label set
+
+    def test_gauge_callback_wins_over_set(self):
+        registry = MetricsRegistry()
+        plain = registry.gauge("g", "help")
+        plain.set(7)
+        plain.dec(2)
+        assert plain.value() == 5
+        computed = registry.gauge("g2", "help", callback=lambda: 42.0)
+        assert computed.value() == 42.0
+
+    def test_histogram_requires_ascending_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", "help", buckets=(5, 1))
+        with pytest.raises(ValueError):
+            registry.histogram("h", "help", buckets=())
+        assert registry.histogram("h", "help", buckets=(1, 2, 3)) is not None
+
+    def test_registry_deduplicates_by_name_and_type(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        assert registry.counter("c_total", "other help") is first
+        with pytest.raises(ValueError):
+            registry.gauge("c_total", "now a gauge")
+
+    def test_quantile_from_histogram_brackets_observations(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_ms", "help", buckets=(1, 10, 100))
+        for value in (0.5, 5, 5, 50):
+            histogram.observe(value)
+        median = quantile_from_histogram(histogram, 0.5)
+        assert 1 <= median <= 10
+
+
+class TestPrometheusRoundTrip:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        responses = registry.counter("http_responses_total", "By status", labels=("code",))
+        responses.inc(code="200")
+        responses.inc(code="200")
+        responses.inc(code="503")
+        latency = registry.histogram("latency_ms", "Latency", buckets=LATENCY_BUCKETS_MS)
+        for value in (0.3, 3, 30, 300, 30000):
+            latency.observe(value)
+        registry.gauge("qps", "Throughput", callback=lambda: 12.5)
+        registry.counter("untouched_total", "Never incremented")
+        return registry
+
+    def test_families_have_help_and_type(self):
+        families = parse_exposition(self.build_registry().expose_text())
+        assert families["http_responses_total"]["type"] == "counter"
+        assert families["latency_ms"]["type"] == "histogram"
+        assert families["qps"]["type"] == "gauge"
+        for family in families.values():
+            assert family["help"] is not None
+            assert family["samples"], "family exposed no samples"
+
+    def test_counter_samples_round_trip(self):
+        families = parse_exposition(self.build_registry().expose_text())
+        samples = families["http_responses_total"]["samples"]
+        assert samples[("http_responses_total", (("code", "200"),))] == 2
+        assert samples[("http_responses_total", (("code", "503"),))] == 1
+        # an unlabelled counter that was never incremented still exposes 0
+        assert families["untouched_total"]["samples"][("untouched_total", ())] == 0
+
+    def test_histogram_buckets_are_cumulative_and_closed_by_inf(self):
+        families = parse_exposition(self.build_registry().expose_text())
+        samples = families["latency_ms"]["samples"]
+        buckets = [
+            (labels[0][1], value)
+            for (sample, labels), value in samples.items()
+            if sample == "latency_ms_bucket"
+        ]
+        values = [value for _le, value in buckets]
+        assert values == sorted(values), "bucket counts must be non-decreasing"
+        inf_bucket = dict(buckets)["+Inf"]
+        assert inf_bucket == samples[("latency_ms_count", ())] == 5
+        assert samples[("latency_ms_sum", ())] == pytest.approx(30333.3)
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("odd_total", "help", labels=("q",))
+        nasty = 'back\\slash "quoted"\nnewline'
+        counter.inc(q=nasty)
+        families = parse_exposition(registry.expose_text())
+        (sample_key,) = families["odd_total"]["samples"]
+        assert sample_key[1] == (("q", nasty),)
+        # and the escaped on-the-wire form contains no raw newline
+        assert "\n" not in escape_label_value(nasty)
+
+    def test_render_text_merges_registries_without_duplicates(self):
+        first = MetricsRegistry()
+        first.counter("a_total", "help").inc()
+        second = MetricsRegistry()
+        second.counter("a_total", "help").inc(5)  # shadowed duplicate
+        second.gauge("b", "help").set(1)
+        families = parse_exposition(render_text([first, second]))
+        assert families["a_total"]["samples"][("a_total", ())] == 1
+        assert families["b"]["samples"][("b", ())] == 1
+
+    def test_format_value_edge_cases(self):
+        assert format_value(3.0) == "3"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(2.5) == "2.5"

@@ -1,0 +1,188 @@
+"""Tracer core: span naming, determinism, ring buffer, bit-identity.
+
+The completeness test is the structural guarantee behind the observability
+PR: every concrete :class:`PlanNode` subclass (and every join method) must
+map to a span name, so no physical operator can ever execute untraced.
+"""
+
+import inspect
+import json
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.obs import (
+    JOIN_SPAN_NAMES,
+    NullTracer,
+    QueryTrace,
+    SPAN_NAMES,
+    TraceBuffer,
+    TraceIdGenerator,
+    Tracer,
+    coerce_tracer,
+    span_name,
+)
+from repro.obs.trace import TRACE_SEED_ENV, default_trace_seed
+from repro.optimizer import plans as plans_module
+from repro.optimizer.plans import JoinNode, PlanNode, ScanNode
+from repro.rdf.terms import IRI, Variable, typed_literal
+from repro.rdf.triples import Triple, TriplePattern
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+
+
+def small_store():
+    store = TripleStore()
+    store.add_many(
+        Triple(IRI(EX + "s%d" % i), IRI(EX + "p%d" % (i % 2)), typed_literal(i))
+        for i in range(20)
+    )
+    return store
+
+
+class TestSpanNames:
+    def test_every_plan_node_type_has_a_span_name(self):
+        """No concrete PlanNode subclass may be missing from the mapping."""
+        for _name, cls in inspect.getmembers(plans_module, inspect.isclass):
+            if not issubclass(cls, PlanNode) or cls is PlanNode:
+                continue
+            if cls is JoinNode:
+                continue  # named per join method, checked below
+            assert cls in SPAN_NAMES, "PlanNode subclass %s has no span name" % cls.__name__
+
+    def test_every_join_method_has_a_span_name(self):
+        for method in (JoinNode.HASH, JoinNode.NESTED_LOOP, JoinNode.LOOKUP):
+            assert method in JOIN_SPAN_NAMES
+
+    def test_span_name_dispatches_on_join_method(self):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        left = ScanNode(pattern, 0, 1.0)
+        right = ScanNode(pattern, 1, 1.0)
+        join = JoinNode(left, right, [Variable("s")], 1.0, JoinNode.HASH)
+        assert span_name(join) == "join.hash"
+        assert span_name(left) == "scan"
+
+    def test_span_name_raises_on_unknown_type(self):
+        class NotAPlanNode:
+            estimated_cardinality = 1.0
+
+        with pytest.raises(KeyError):
+            span_name(NotAPlanNode())
+
+
+class TestTracerMechanics:
+    def test_nested_spans_build_a_tree_with_sequential_ids(self):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        parent_node = ScanNode(pattern, 0, 10.0)
+        child_node = ScanNode(pattern, 1, 5.0)
+        tracer = Tracer("t1")
+        parent = tracer.enter(parent_node)
+        child = tracer.enter(child_node)
+        tracer.exit(child, 5)
+        tracer.exit(parent, 3)
+        assert tracer.root is parent
+        assert parent.span_id == "s1" and child.span_id == "s2"
+        assert parent.children == [child]
+        assert parent.rows_in == 5  # sum of direct children's outputs
+        assert parent.actual_rows == 3
+        assert child.batches == 1  # defaults to max(1, morsels)
+
+    def test_exit_with_none_marks_failed_operator(self):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        tracer = Tracer("t1")
+        span = tracer.enter(ScanNode(pattern, 0, 1.0))
+        tracer.exit(span, None)
+        assert tracer.root.actual_rows is None
+
+    def test_morsels_attach_to_the_current_span(self):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        tracer = Tracer("t1")
+        span = tracer.enter(ScanNode(pattern, 0, 1.0))
+        tracer.add_morsels(4)
+        tracer.exit(span, 8)
+        assert span.morsels == 4
+        assert span.batches == 4
+
+    def test_coerce_tracer_normalises_disabled_to_none(self):
+        assert coerce_tracer(None) is None
+        assert coerce_tracer(NullTracer()) is None
+        live = Tracer("t")
+        assert coerce_tracer(live) is live
+
+    def test_finished_trace_is_json_serialisable(self):
+        engine = QueryEngine(small_store(), executor="vector")
+        result = engine.execute_traced(
+            "SELECT ?s ?v WHERE { ?s <%sp0> ?v } ORDER BY ?s" % EX
+        )
+        payload = json.dumps(result.trace.as_dict())
+        decoded = json.loads(payload)
+        assert decoded["trace_id"] == result.trace.trace_id
+        assert decoded["root"]["name"] in ("project", "sort")
+
+
+class TestDeterministicIds:
+    def test_seeded_generator_is_reproducible(self):
+        first = TraceIdGenerator(seed=7)
+        second = TraceIdGenerator(seed=7)
+        assert [first.new_id() for _ in range(5)] == [second.new_id() for _ in range(5)]
+
+    def test_different_seeds_diverge(self):
+        assert TraceIdGenerator(seed=1).new_id() != TraceIdGenerator(seed=2).new_id()
+
+    def test_unseeded_ids_are_unique(self):
+        generator = TraceIdGenerator()
+        ids = {generator.new_id() for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_environment_seed_is_honoured(self, monkeypatch):
+        monkeypatch.setenv(TRACE_SEED_ENV, "99")
+        assert default_trace_seed() == 99
+        assert TraceIdGenerator().new_id() == TraceIdGenerator(seed=99).new_id()
+        monkeypatch.setenv(TRACE_SEED_ENV, "not-a-number")
+        assert default_trace_seed() is None
+        monkeypatch.delenv(TRACE_SEED_ENV)
+        assert default_trace_seed() is None
+
+    def test_span_ids_are_deterministic_across_runs(self):
+        engine = QueryEngine(small_store(), executor="tuple")
+        query = "SELECT ?s ?v WHERE { ?s <%sp0> ?v . FILTER(?v > 2) }" % EX
+        first = engine.execute_traced(query).trace
+        second = engine.execute_traced(query).trace
+        assert [s.span_id for s in first.spans()] == [s.span_id for s in second.spans()]
+        assert [s.name for s in first.spans()] == [s.name for s in second.spans()]
+
+
+class TestTraceBuffer:
+    def test_ring_is_bounded_and_evicts_oldest(self):
+        buffer = TraceBuffer(capacity=3)
+        for i in range(5):
+            buffer.append(QueryTrace("t%d" % i, None, 0, 0.0, "tuple", 1))
+        assert len(buffer) == 3
+        assert [t.trace_id for t in buffer.snapshot()] == ["t2", "t3", "t4"]
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+class TestBitIdentity:
+    QUERY = (
+        "SELECT ?s ?v (COUNT(*) AS ?c) WHERE { ?s <%sp0> ?v . FILTER(?v >= 2) } "
+        "GROUP BY ?s ?v ORDER BY ?s" % EX
+    )
+
+    @pytest.mark.parametrize("executor", ["tuple", "vector"])
+    def test_traced_execution_is_bit_identical(self, executor):
+        engine = QueryEngine(small_store(), executor=executor)
+        plain = engine.execute(self.QUERY)
+        traced = engine.execute_traced(self.QUERY)
+        assert traced.rows == plain.rows
+        assert traced.profile.work == plain.profile.work
+        assert traced.profile.intermediate_sizes == plain.profile.intermediate_sizes
+        assert traced.runtime_ms == plain.runtime_ms
+        assert traced.trace is not None and plain.trace is None
+        root = traced.trace.root
+        assert root.actual_rows == len(traced.rows)
