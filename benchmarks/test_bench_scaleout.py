@@ -1,0 +1,270 @@
+"""Multi-process scale-out: closed-loop HTTP clients vs a prefork pool.
+
+The GIL pins one serving process to roughly one core no matter how many
+handler threads it spawns; the prefork :class:`repro.api.WorkerPool` is
+how the endpoint scales past it.  This benchmark measures exactly that
+claim, end to end over real sockets:
+
+* **Scaling** — a swarm of closed-loop HTTP clients (each issues the next
+  query the moment the previous answer arrives) drives first a 1-worker
+  pool, then an N-worker pool, over the *same* mmap'd snapshot.  QPS and
+  client-observed latency percentiles are recorded for both.  On hosts
+  with at least 4 CPU cores, 4 workers must sustain **>= 2.5x** the QPS
+  of 1 worker without giving up p99 latency (below 4 cores the numbers
+  are recorded only — scaling across processes needs cores to scale on).
+* **Overload** — a deliberately tiny admission budget is driven at ~2x
+  its capacity.  Every response must be either a complete 200 or a
+  structured 503 (code ``overloaded``, ``Retry-After`` header): zero
+  hung connections, zero truncated bodies, zero unstructured failures.
+  The pool's aggregate ``/metrics`` must equal the per-worker sums.
+
+Every run writes ``benchmarks/artifacts/scaleout_bench.json`` so CI
+tracks the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from time import perf_counter
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.api import WorkerPool
+from repro.experiments import common
+
+#: closed-loop client threads per scale (the ISSUE's "swarm").
+CLIENTS = {"tiny": 24, "small": 100, "medium": 200}
+
+#: seconds each configuration is driven.
+DURATION = {"tiny": 2.0, "small": 4.0, "medium": 8.0}
+
+#: QPS multiple 4 workers must reach over 1 worker (None = record only).
+SCALING_FLOOR = 2.5
+
+#: the workload: cheap point-ish lookups, the serving-path hot case.
+QUERY = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 20"
+
+CORES = os.cpu_count() or 1
+ENOUGH_CORES = CORES >= 4
+
+
+def _write_artifact(payload: dict) -> str:
+    directory = os.path.join(os.path.dirname(__file__), "artifacts")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "scaleout_bench.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _percentile(samples, fraction):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))]
+
+
+class _ClosedLoopClient(threading.Thread):
+    """Issues QUERY back-to-back until the deadline; records every outcome."""
+
+    def __init__(self, url, deadline):
+        super().__init__(daemon=True)
+        self.url = url + "?query=" + urllib.parse.quote(QUERY)
+        self.deadline = deadline
+        self.latencies = []
+        self.ok = 0
+        self.shed = 0
+        self.failures = []
+
+    def run(self):
+        while perf_counter() < self.deadline:
+            started = perf_counter()
+            try:
+                with urllib.request.urlopen(self.url, timeout=30) as response:
+                    body = response.read()
+                json.loads(body)["results"]  # a truncated body would not parse
+                self.ok += 1
+                self.latencies.append(perf_counter() - started)
+            except urllib.error.HTTPError as error:
+                payload = json.loads(error.read().decode("utf-8"))
+                if (
+                    error.code == 503
+                    and payload["error"]["code"] == "overloaded"
+                    and error.headers.get("Retry-After")
+                ):
+                    self.shed += 1
+                else:
+                    self.failures.append("unstructured %d: %r" % (error.code, payload))
+            except Exception as error:  # noqa: BLE001 - the bench must report, not die
+                self.failures.append(repr(error))
+
+
+def _drive(url, clients, seconds):
+    """Run a closed-loop swarm; returns (qps, p50, p99, ok, shed, failures)."""
+    deadline = perf_counter() + seconds
+    swarm = [_ClosedLoopClient(url, deadline) for _ in range(clients)]
+    started = perf_counter()
+    for client in swarm:
+        client.start()
+    for client in swarm:
+        client.join(timeout=seconds + 60)
+        assert not client.is_alive(), "hung connection: a client never finished"
+    elapsed = perf_counter() - started
+    latencies = [sample for client in swarm for sample in client.latencies]
+    ok = sum(client.ok for client in swarm)
+    shed = sum(client.shed for client in swarm)
+    failures = [failure for client in swarm for failure in client.failures]
+    return {
+        "qps": ok / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "completed": ok,
+        "shed": shed,
+        "failures": failures,
+    }
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory, bench_scale):
+    engine = common.bsbm_engine(bench_scale, "vector", 1)
+    path = str(tmp_path_factory.mktemp("scaleout") / "bsbm.snapshot")
+    engine.store.save(path)
+    return path
+
+
+def _pool(snapshot_path, workers, **options):
+    # Every bench client shares 127.0.0.1, so per-client fairness must not
+    # mistake the swarm for one greedy client.
+    options.setdefault("per_client_limit", 1_000_000)
+    return WorkerPool(snapshot_path, workers=workers, port=0, **options)
+
+
+def test_worker_pool_scales_qps_near_linearly(benchmark, bench_scale, snapshot_path):
+    clients = CLIENTS.get(bench_scale, 24)
+    seconds = DURATION.get(bench_scale, 2.0)
+    target_workers = 4
+
+    with _pool(snapshot_path, workers=1) as pool:
+        _drive(pool.url, clients, seconds / 2)  # warmup: plan cache, page cache
+        baseline = _drive(pool.url, clients, seconds)
+    assert not baseline["failures"], baseline["failures"][:5]
+
+    with _pool(snapshot_path, workers=target_workers) as pool:
+        _drive(pool.url, clients, seconds / 2)
+        scaled = run_once(benchmark, _drive, pool.url, clients, seconds)
+    assert not scaled["failures"], scaled["failures"][:5]
+
+    speedup = scaled["qps"] / baseline["qps"] if baseline["qps"] else float("inf")
+    payload = {
+        "benchmark": "prefork_scaleout_closed_loop",
+        "scale": bench_scale,
+        "cpu_cores": CORES,
+        "clients": clients,
+        "seconds_per_configuration": seconds,
+        "query": QUERY,
+        "workers_1": {key: value for key, value in baseline.items() if key != "failures"},
+        "workers_%d" % target_workers: {
+            key: value for key, value in scaled.items() if key != "failures"
+        },
+        "qps_speedup": round(speedup, 2),
+        "scaling_floor": SCALING_FLOOR if ENOUGH_CORES else None,
+    }
+    path = _write_artifact(payload)
+
+    print()
+    print(
+        "scaleout bench (%s scale, %d clients, %d cores): 1 worker %.0f qps "
+        "p99 %.1fms | %d workers %.0f qps p99 %.1fms | speedup %.2fx -> %s"
+        % (
+            bench_scale,
+            clients,
+            CORES,
+            baseline["qps"],
+            baseline["p99_ms"],
+            target_workers,
+            scaled["qps"],
+            scaled["p99_ms"],
+            speedup,
+            path,
+        )
+    )
+
+    if not ENOUGH_CORES:
+        pytest.skip(
+            "recorded only: %d CPU cores cannot demonstrate process scaling "
+            "(need >= 4)" % CORES
+        )
+    assert speedup >= SCALING_FLOOR, (
+        "%d workers over %d cores should sustain >= %.1fx the single-worker "
+        "QPS, measured %.2fx" % (target_workers, CORES, SCALING_FLOOR, speedup)
+    )
+    assert scaled["p99_ms"] <= max(baseline["p99_ms"] * 2.0, baseline["p99_ms"] + 50.0), (
+        "scaling must not come at the cost of p99 latency: 1 worker %.1fms, "
+        "%d workers %.1fms" % (baseline["p99_ms"], target_workers, scaled["p99_ms"])
+    )
+
+
+def test_overload_sheds_structurally_and_metrics_stay_consistent(
+    bench_scale, snapshot_path
+):
+    """~2x overload against a tiny admission budget: every response is a
+    complete 200 or a structured 503, and the pool-wide metrics aggregate
+    equals the per-worker sums."""
+    workers = 2
+    budget_per_worker = 2  # max_inflight + admission_queue
+    overload_clients = 2 * workers * budget_per_worker * 2  # ~2x total capacity
+
+    with _pool(
+        snapshot_path,
+        workers=workers,
+        max_inflight=1,
+        admission_queue=1,
+        queue_timeout=0.05,
+    ) as pool:
+        outcome = _drive(pool.url, overload_clients, DURATION.get(bench_scale, 2.0))
+        assert not outcome["failures"], (
+            "overload must shed with structured 503s only: %r" % outcome["failures"][:5]
+        )
+        assert outcome["completed"] > 0, "overload must not starve everyone"
+        assert outcome["shed"] > 0, (
+            "driving ~%dx capacity with %d clients must trigger load shedding"
+            % (2, overload_clients)
+        )
+
+        document = pool.metrics()
+        parts = list(document["workers"].values()) + [document["retired"]]
+        for sample, value in document["aggregate"].items():
+            if sample.startswith("repro_pool_") or not sample.partition("{")[
+                0
+            ].endswith(("_total", "_sum", "_count")):
+                continue
+            summed = sum(part.get(sample, 0.0) for part in parts)
+            assert summed == pytest.approx(value), sample
+        served = sum(
+            value
+            for sample, value in document["aggregate"].items()
+            if sample.startswith("repro_http_responses_total{")
+        )
+        # every client-observed response is accounted for server-side
+        assert served >= outcome["completed"] + outcome["shed"]
+
+    print()
+    print(
+        "overload bench (%s scale, %d clients vs %d workers x budget %d): "
+        "%d completed, %d shed, 0 unstructured failures"
+        % (
+            bench_scale,
+            overload_clients,
+            workers,
+            budget_per_worker,
+            outcome["completed"],
+            outcome["shed"],
+        )
+    )

@@ -50,10 +50,13 @@ from .api import (
     QueryTimeout,
     RemoteEndpoint,
     ReproError,
+    ServerOverloadedError,
     Session,
     SparqlServer,
+    WorkerPool,
     connect,
     serve,
+    serve_pool,
 )
 from .bench import WorkloadRunner
 from .engine import QueryEngine, QueryResult, RowStream
@@ -82,12 +85,14 @@ __all__ = [
     "RemoteEndpoint",
     "ReproError",
     "RowStream",
+    "ServerOverloadedError",
     "Session",
     "SparqlServer",
     "Triple",
     "TriplePattern",
     "TripleStore",
     "Variable",
+    "WorkerPool",
     "WorkloadRunner",
     "__version__",
     "api",
@@ -101,6 +106,7 @@ __all__ = [
     "parse_query",
     "rdf",
     "serve",
+    "serve_pool",
     "service",
     "sparql",
     "store",

@@ -32,8 +32,10 @@ from .errors import (
     PlanError,
     QueryTimeout,
     ReproError,
+    ServerOverloadedError,
     error_for_code,
 )
+from .pool import WorkerPool, serve_pool
 from .results import (
     CSVSerializer,
     JSONSerializer,
@@ -63,9 +65,11 @@ __all__ = [
     "RemoteEndpoint",
     "ReproError",
     "SERIALIZERS",
+    "ServerOverloadedError",
     "Session",
     "SparqlServer",
     "TSVSerializer",
+    "WorkerPool",
     "connect",
     "error_for_code",
     "negotiate",
@@ -74,4 +78,5 @@ __all__ = [
     "parse_tsv",
     "serializer_for",
     "serve",
+    "serve_pool",
 ]

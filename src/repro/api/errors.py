@@ -82,10 +82,54 @@ class BadRequestError(ReproError):
     http_status = 400
 
 
+class ServerOverloadedError(ReproError):
+    """The server shed this request at its admission-control front door.
+
+    Raised (and answered as a 503 with a ``Retry-After`` header) when the
+    bounded in-flight budget plus backlog is exhausted, when the request
+    waited out its queue budget, when one client exceeds its fair share,
+    or when the server is draining for shutdown.  ``queue_depth`` (requests
+    waiting at shed time) and ``reason`` travel in the structured body so
+    clients can back off intelligently.
+    """
+
+    code = "overloaded"
+    http_status = 503
+
+    def __init__(
+        self,
+        message: str,
+        cause: Optional[BaseException] = None,
+        reason: Optional[str] = None,
+        queue_depth: Optional[int] = None,
+        retry_after: int = 1,
+    ):
+        super().__init__(message, cause=cause)
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+
+    def as_dict(self) -> Dict[str, str]:
+        payload = super().as_dict()
+        if self.reason is not None:
+            payload["reason"] = self.reason
+        if self.queue_depth is not None:
+            payload["queue_depth"] = self.queue_depth  # type: ignore[assignment]
+        return payload
+
+
 #: code -> exception class, for re-raising protocol errors client-side.
 ERRORS_BY_CODE: Dict[str, Type[ReproError]] = {
     error.code: error
-    for error in (ReproError, ParseError, PlanError, ExecutionError, QueryTimeout, BadRequestError)
+    for error in (
+        ReproError,
+        ParseError,
+        PlanError,
+        ExecutionError,
+        QueryTimeout,
+        BadRequestError,
+        ServerOverloadedError,
+    )
 }
 
 

@@ -1,0 +1,741 @@
+"""Multi-process sharded serving: a prefork worker pool over one snapshot.
+
+One CPython process caps the engine's throughput no matter how good the
+morsel-driven vectorized executor is — the GIL serializes every concurrent
+query behind one interpreter.  :class:`WorkerPool` is the classic prefork
+answer, built from two ingredients the codebase already has:
+
+* the **zero-copy mmap snapshot** (:mod:`repro.store.snapshot`): every
+  worker process opens the *same* snapshot file and adopts its index
+  columns as ``np.memmap`` views, so the OS page cache backs all workers
+  with ~one physical copy of the store regardless of worker count;
+* the **stdlib SPARQL endpoint** (:mod:`repro.api.server`): each worker
+  runs the unchanged protocol server — admission control, load-shedding
+  503s, chunked streaming, graceful drain — over a *shared listening
+  socket*.
+
+Architecture::
+
+    parent process                      worker processes (N)
+    --------------                      --------------------
+    bind + listen once      --fork-->   accept() on the inherited socket
+    verify snapshot CRC once            mmap the same snapshot (CRC cached)
+    supervise (restart-on-crash)        serve /sparql with the front door
+    aggregate metrics       <--pipes--> publish MetricsRegistry dumps
+    rolling SIGTERM drain   --------->  finish in-flight streams, exit
+
+The parent opens the listening socket once and forks N workers that all
+``accept()`` on it concurrently — the kernel load-balances connections
+across blocked acceptors.  When ``fork`` is unavailable (spawn-only
+platforms) each worker binds its own ``SO_REUSEPORT`` socket to the same
+address instead.
+
+**Supervision.**  A worker that dies unexpectedly is restarted with
+exponential backoff (its final metrics are folded into a *retired*
+accumulator first, so counters never go backwards).  ``shutdown()``
+performs a rolling drain: workers are asked to drain one at a time
+(SIGTERM + a ``drain`` control command), each finishing its in-flight
+streamed responses within the drain deadline before the next is touched.
+
+**Metrics stay truthful under sharding.**  Every worker periodically
+publishes a structured dump of its registries (HTTP counters + session
+instruments) over its control pipe.  When any worker receives ``GET
+/metrics`` (or ``/healthz``) it asks the parent over a scrape pipe; the
+parent requests fresh dumps from every live worker, merges them with the
+retired accumulator (counters and histograms sum exactly — see
+:func:`repro.obs.registry.merge_dumps`) and hands back one document whose
+``aggregate`` equals the sum of its per-worker parts by construction.
+``/healthz`` gains ``workers_expected`` / ``workers_alive`` so rolling
+restarts and crashes are observable.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from multiprocessing.connection import Connection
+from typing import Dict, List, Optional
+
+from ..obs.registry import counter_total, dump_registries, flatten_dump, merge_dumps
+from .server import DEFAULT_DRAIN_TIMEOUT, DEFAULT_PORT, SparqlServer
+
+#: how often each worker pushes its metrics dump to the parent (seconds);
+#: also the worst-case staleness of a crashed worker's retired counters.
+DEFAULT_PUBLISH_INTERVAL = 0.25
+
+#: how long the parent waits for fresh dumps when aggregating a scrape.
+COLLECT_TIMEOUT = 1.0
+
+#: how long a worker's /metrics handler waits for the parent's aggregate
+#: before degrading to its local-only document.
+SCRAPE_TIMEOUT = 2.0
+
+#: listen(2) backlog of the shared socket.
+LISTEN_BACKLOG = 128
+
+#: restart backoff: base * 2^consecutive_failures, capped.
+RESTART_BACKOFF_BASE = 0.05
+RESTART_BACKOFF_CAP = 2.0
+
+#: a worker alive this long resets its consecutive-failure count.
+STABLE_SECONDS = 5.0
+
+
+class PoolError(RuntimeError):
+    """The pool cannot be built or started as configured."""
+
+
+# -- worker process ------------------------------------------------------------
+
+
+class _WorkerConfig:
+    """The picklable bundle a worker process is born with."""
+
+    def __init__(
+        self,
+        slot: int,
+        source: str,
+        host: str,
+        port: int,
+        endpoint_path: str,
+        verbose: bool,
+        publish_interval: float,
+        server_options: Dict,
+    ):
+        self.slot = slot
+        self.source = source
+        self.host = host
+        self.port = port
+        self.endpoint_path = endpoint_path
+        self.verbose = verbose
+        self.publish_interval = publish_interval
+        self.server_options = server_options
+
+
+class _PoolWorkerClient:
+    """The worker-side handle to the parent's control plane.
+
+    The HTTP handler thread serving ``/metrics`` or ``/healthz`` calls
+    this; it round-trips the scrape pipe under a lock (one outstanding
+    scrape per worker).  ``None`` means the parent did not answer in time
+    — the server then degrades to its local document instead of hanging
+    the operational endpoint.
+    """
+
+    def __init__(self, slot: int, scrape_connection: Connection, timeout: float = SCRAPE_TIMEOUT):
+        self.slot = slot
+        self._connection = scrape_connection
+        self._lock = threading.Lock()
+        self._timeout = timeout
+
+    def _ask(self, operation: str) -> Optional[dict]:
+        with self._lock:
+            try:
+                self._connection.send({"op": operation})
+                if self._connection.poll(self._timeout):
+                    reply = self._connection.recv()
+                    return reply.get("doc")
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            return None
+
+    def metrics_document(self) -> Optional[dict]:
+        document = self._ask("metrics")
+        if document is not None:
+            document["worker"] = self.slot
+        return document
+
+    def health_overlay(self) -> Optional[dict]:
+        overlay = self._ask("health")
+        if overlay is not None:
+            overlay["worker"] = self.slot
+        return overlay
+
+
+def _worker_dump(server: SparqlServer) -> Dict[str, Dict]:
+    return dump_registries([server.registry, server.session.service.metrics.registry])
+
+
+def _worker_main(
+    config: _WorkerConfig,
+    control_connection: Connection,
+    scrape_connection: Connection,
+    listen_socket: Optional[socket.socket],
+) -> None:
+    """Entry point of one worker process: map, accept, serve, drain."""
+    if listen_socket is None:
+        listen_socket = _reuseport_socket(config.host, config.port)
+
+    server = SparqlServer(
+        config.source,
+        endpoint_path=config.endpoint_path,
+        verbose=config.verbose,
+        listen_socket=listen_socket,
+        pool_client=_PoolWorkerClient(config.slot, scrape_connection),
+        **config.server_options,
+    )
+
+    send_lock = threading.Lock()
+    sequence = [0]
+
+    def push_metrics() -> None:
+        payload = _worker_dump(server)
+        with send_lock:
+            sequence[0] += 1
+            control_connection.send(
+                {"type": "metrics", "seq": sequence[0], "payload": payload}
+            )
+
+    drained = threading.Event()
+    drain_started = threading.Lock()
+
+    def drain() -> None:
+        # Idempotent: the first trigger (SIGTERM, drain command, or parent
+        # death) wins; shutdown() must not run on the serving thread.
+        if not drain_started.acquire(blocking=False):
+            return
+
+        def run() -> None:
+            try:
+                server.shutdown()
+            finally:
+                drained.set()
+
+        threading.Thread(target=run, name="repro-worker-drain", daemon=True).start()
+
+    def handle_signal(_signum, _frame) -> None:
+        drain()
+
+    # SIGTERM is the rolling-drain signal; SIGINT arrives for the whole
+    # process group on Ctrl-C, and draining on it keeps workers correct
+    # even if the parent dies before orchestrating the drain.
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+
+    def control_loop() -> None:
+        while True:
+            try:
+                if control_connection.poll(config.publish_interval):
+                    command = control_connection.recv()
+                    operation = command.get("op")
+                    if operation == "report":
+                        push_metrics()
+                    elif operation == "drain":
+                        push_metrics()
+                        drain()
+                else:
+                    push_metrics()
+            except (EOFError, OSError, BrokenPipeError):
+                # The parent is gone: do not serve unsupervised forever.
+                drain()
+                return
+
+    threading.Thread(target=control_loop, name="repro-worker-control", daemon=True).start()
+
+    try:
+        server.serve_forever()
+    finally:
+        # serve_forever returns as soon as the accept loop stops; the drain
+        # (bounded by the server's drain_timeout) may still be finishing
+        # in-flight streams — wait for it so exiting never truncates one.
+        if drain_started.acquire(blocking=False):
+            # shutdown() came from outside serve_forever (tests); nothing to wait for
+            drained.set()
+        drained.wait(timeout=server.drain_timeout + 5.0)
+        try:
+            push_metrics()  # final counts, so the parent's retired bucket is exact
+        except (OSError, BrokenPipeError):
+            pass
+        control_connection.close()
+
+
+def _reuseport_socket(host: str, port: int) -> socket.socket:
+    if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover - platform
+        raise PoolError(
+            "this platform offers neither fork (shared inherited socket) "
+            "nor SO_REUSEPORT; a multi-process pool cannot share the port"
+        )
+    opened = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    opened.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    opened.bind((host, port))
+    opened.listen(LISTEN_BACKLOG)
+    return opened
+
+
+# -- parent process ------------------------------------------------------------
+
+
+class _WorkerRecord:
+    """Parent-side state of one worker slot."""
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.control: Optional[Connection] = None
+        self.scrape: Optional[Connection] = None
+        self.send_lock = threading.Lock()
+        self.latest_seq = 0
+        self.latest_payload: Optional[Dict] = None
+        self.started_at = 0.0
+        self.consecutive_failures = 0
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def send_command(self, command: dict) -> bool:
+        connection = self.control
+        if connection is None:
+            return False
+        with self.send_lock:
+            try:
+                connection.send(command)
+                return True
+            except (OSError, BrokenPipeError):
+                return False
+
+
+class WorkerPool:
+    """N forked SPARQL workers accepting on one socket over one snapshot.
+
+    ``source`` must be a string ``connect()`` understands — a snapshot
+    path (the intended, zero-copy case: every worker maps the same file)
+    or a generator spec like ``"bsbm:tiny"`` (each worker generates its
+    own copy; fine for tests, memory-multiplying at scale).
+
+    ``server_options`` are passed to every worker's
+    :class:`~repro.api.server.SparqlServer` — session options (executor,
+    parallelism, timeout, page size...) and the admission-control knobs
+    (``max_inflight``, ``admission_queue``, ``queue_timeout``,
+    ``drain_timeout``) alike, so the front door is enforced per worker.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        endpoint_path: str = "/sparql",
+        verbose: bool = False,
+        publish_interval: float = DEFAULT_PUBLISH_INTERVAL,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        restart: bool = True,
+        **server_options,
+    ):
+        if not isinstance(source, str):
+            raise PoolError(
+                "a worker pool needs a re-openable source (snapshot path or "
+                "generator spec), not an in-memory %s" % type(source).__name__
+            )
+        if workers < 1:
+            raise PoolError("workers must be >= 1, got %d" % workers)
+        self.source = source
+        self.workers_expected = workers
+        self.host = host
+        self.endpoint_path = endpoint_path
+        self.verbose = verbose
+        self.publish_interval = publish_interval
+        self.drain_timeout = drain_timeout
+        self.restart = restart
+        self._server_options = dict(server_options)
+        self._server_options.setdefault("drain_timeout", drain_timeout)
+        self._requested_port = port
+
+        start_methods = multiprocessing.get_all_start_methods()
+        self._use_fork = "fork" in start_methods
+        self._context = multiprocessing.get_context("fork" if self._use_fork else "spawn")
+
+        self._listen_socket: Optional[socket.socket] = None
+        self._port: Optional[int] = None
+        self._records: List[_WorkerRecord] = []
+        self._threads: List[threading.Thread] = []
+        self._collect_lock = threading.Lock()
+        self._collect_condition = threading.Condition()
+        self._retired: Dict[str, Dict] = {}
+        self._retired_lock = threading.Lock()
+        self._restarts_total = 0
+        self._started = False
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+
+    # -- addresses -------------------------------------------------------------
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` — the real port even when 0 was asked."""
+        if self._port is None:
+            raise PoolError("pool is not started")
+        return (self.host, self._port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return "http://%s:%d%s" % (host, port, self.endpoint_path)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Bind the socket, verify the snapshot once, fork the workers."""
+        if self._started:
+            return self
+        self._started = True
+
+        # Fail fast on a bad snapshot and warm the per-process CRC cache:
+        # forked workers inherit it, so N workers verify the file once total.
+        if os.path.exists(self.source):
+            from ..store.snapshot import verify_snapshot
+
+            verify_snapshot(self.source)
+
+        if self._use_fork:
+            self._listen_socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listen_socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listen_socket.bind((self.host, self._requested_port))
+            self._listen_socket.listen(LISTEN_BACKLOG)
+            self._port = self._listen_socket.getsockname()[1]
+        else:
+            # Spawned workers each bind their own SO_REUSEPORT socket; a
+            # throwaway bind resolves an ephemeral port request first.
+            probe = _reuseport_socket(self.host, self._requested_port)
+            self._port = probe.getsockname()[1]
+            probe.close()
+
+        for slot in range(self.workers_expected):
+            record = _WorkerRecord(slot)
+            self._records.append(record)
+            self._spawn(record)
+
+        supervisor = threading.Thread(
+            target=self._supervise, name="repro-pool-supervisor", daemon=True
+        )
+        supervisor.start()
+        self._threads.append(supervisor)
+        return self
+
+    def _spawn(self, record: _WorkerRecord) -> None:
+        control_parent, control_child = self._context.Pipe(duplex=True)
+        scrape_parent, scrape_child = self._context.Pipe(duplex=True)
+        config = _WorkerConfig(
+            slot=record.slot,
+            source=self.source,
+            host=self.host,
+            port=self._port,
+            endpoint_path=self.endpoint_path,
+            verbose=self.verbose,
+            publish_interval=self.publish_interval,
+            server_options=self._server_options,
+        )
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                config,
+                control_child,
+                scrape_child,
+                self._listen_socket if self._use_fork else None,
+            ),
+            name="repro-sparql-worker-%d" % record.slot,
+        )
+        process.start()
+        control_child.close()
+        scrape_child.close()
+        record.process = process
+        record.control = control_parent
+        record.scrape = scrape_parent
+        record.latest_seq = 0
+        record.latest_payload = None
+        record.started_at = time.monotonic()
+
+        reader = threading.Thread(
+            target=self._read_publications,
+            args=(record, control_parent),
+            name="repro-pool-reader-%d" % record.slot,
+            daemon=True,
+        )
+        reader.start()
+        scraper = threading.Thread(
+            target=self._serve_scrapes,
+            args=(record, scrape_parent),
+            name="repro-pool-scraper-%d" % record.slot,
+            daemon=True,
+        )
+        scraper.start()
+        self._threads.extend([reader, scraper])
+
+    # -- parent-side control plane ---------------------------------------------
+
+    def _read_publications(self, record: _WorkerRecord, connection: Connection) -> None:
+        """Drain one worker's pushes; the freshest dump wins."""
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                return
+            if message.get("type") == "metrics":
+                with self._collect_condition:
+                    if message["seq"] > record.latest_seq or record.latest_payload is None:
+                        record.latest_seq = message["seq"]
+                        record.latest_payload = message["payload"]
+                    self._collect_condition.notify_all()
+
+    def _serve_scrapes(self, record: _WorkerRecord, connection: Connection) -> None:
+        """Answer one worker's /metrics and /healthz aggregate requests."""
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                return
+            operation = message.get("op")
+            if operation == "metrics":
+                document = self.metrics()
+            elif operation == "health":
+                document = self.health()
+            else:
+                document = None
+            try:
+                connection.send({"doc": document})
+            except (OSError, BrokenPipeError):
+                return
+
+    def _supervise(self) -> None:
+        """Restart crashed workers (with backoff); fold their final counts."""
+        while not self._stopping.is_set():
+            # Keyed on "has a process", not "is alive": a worker that died
+            # while a sibling was being reaped must still be noticed — its
+            # sentinel is ready immediately.
+            sentinels = {
+                record.process.sentinel: record
+                for record in self._records
+                if record.process is not None
+            }
+            if not sentinels:
+                if self._stopping.wait(0.2):
+                    return
+                continue
+            ready = multiprocessing.connection.wait(list(sentinels), timeout=0.2)
+            for sentinel in ready:
+                record = sentinels[sentinel]
+                if self._stopping.is_set():
+                    return
+                self._reap(record)
+
+    def _reap(self, record: _WorkerRecord) -> None:
+        process = record.process
+        if process is None:
+            return
+        process.join(timeout=1.0)
+        uptime = time.monotonic() - record.started_at
+        self._fold_into_retired(record)
+        for connection in (record.control, record.scrape):
+            if connection is not None:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+        record.control = record.scrape = None
+        record.process = None
+        if not self.restart or self._stopping.is_set():
+            return
+        if uptime >= STABLE_SECONDS:
+            record.consecutive_failures = 0
+        backoff = min(
+            RESTART_BACKOFF_CAP, RESTART_BACKOFF_BASE * (2 ** record.consecutive_failures)
+        )
+        record.consecutive_failures += 1
+        self._restarts_total += 1
+        if self._stopping.wait(backoff):
+            return
+        self._spawn(record)
+
+    def _fold_into_retired(self, record: _WorkerRecord) -> None:
+        """Accumulate a dead worker's last published dump, then forget it.
+
+        Retired counts keep the aggregate monotonic across restarts; at
+        worst one publish interval of increments is lost when a worker is
+        killed without warning.
+        """
+        with self._collect_condition:
+            payload, record.latest_payload, record.latest_seq = (
+                record.latest_payload,
+                None,
+                0,
+            )
+        if payload:
+            with self._retired_lock:
+                self._retired = merge_dumps([self._retired, payload])
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _collect_fresh(self, timeout: float = COLLECT_TIMEOUT) -> Dict[int, Dict]:
+        """Ask every live worker for a fresh dump; wait (bounded) for them."""
+        with self._collect_lock:
+            with self._collect_condition:
+                watermarks = {
+                    record.slot: record.latest_seq
+                    for record in self._records
+                    if record.alive()
+                }
+            for record in self._records:
+                if record.alive():
+                    record.send_command({"op": "report"})
+            deadline = time.monotonic() + timeout
+            with self._collect_condition:
+                while True:
+                    pending = [
+                        record
+                        for record in self._records
+                        if record.alive()
+                        and record.slot in watermarks
+                        and record.latest_seq <= watermarks[record.slot]
+                    ]
+                    remaining = deadline - time.monotonic()
+                    if not pending or remaining <= 0:
+                        break
+                    self._collect_condition.wait(remaining)
+                return {
+                    record.slot: record.latest_payload
+                    for record in self._records
+                    if record.latest_payload is not None
+                }
+
+    def metrics(self) -> dict:
+        """The cross-worker aggregate document (also what workers serve).
+
+        ``aggregate`` equals the per-sample sum of ``workers`` plus
+        ``retired`` by construction — the merge and the parts come from
+        the same collected dumps.
+        """
+        worker_dumps = self._collect_fresh()
+        with self._retired_lock:
+            retired = self._retired
+        parts = list(worker_dumps.values()) + ([retired] if retired else [])
+        merged = merge_dumps(parts) if parts else {}
+        alive = self.workers_alive
+        merged["repro_pool_workers_expected"] = {
+            "kind": "gauge",
+            "help": "Worker processes the pool is configured for",
+            "value": float(self.workers_expected),
+        }
+        merged["repro_pool_workers_alive"] = {
+            "kind": "gauge",
+            "help": "Worker processes currently alive",
+            "value": float(alive),
+        }
+        merged["repro_pool_worker_restarts_total"] = {
+            "kind": "counter",
+            "help": "Times the supervisor restarted a dead worker",
+            "labels": [],
+            "values": {json.dumps([]): float(self._restarts_total)},
+        }
+        return {
+            "workers_expected": self.workers_expected,
+            "workers_alive": alive,
+            "worker_restarts_total": self._restarts_total,
+            "requests_total": counter_total(merged, "repro_http_responses_total"),
+            "errors_total": self._errors_total(merged),
+            "aggregate": flatten_dump(merged),
+            "workers": {
+                str(slot): flatten_dump(dump) for slot, dump in sorted(worker_dumps.items())
+            },
+            "retired": flatten_dump(retired) if retired else {},
+            "aggregate_dump": merged,
+        }
+
+    @staticmethod
+    def _errors_total(merged: Dict[str, Dict]) -> float:
+        entry = merged.get("repro_http_responses_total")
+        if entry is None or entry.get("kind") != "counter":
+            return 0.0
+        total = 0.0
+        for key, value in entry["values"].items():
+            code = json.loads(key)[0]
+            if code and code[0] in ("4", "5"):
+                total += value
+        return total
+
+    def health(self) -> dict:
+        return {
+            "workers_expected": self.workers_expected,
+            "workers_alive": self.workers_alive,
+            "worker_restarts_total": self._restarts_total,
+        }
+
+    @property
+    def workers_alive(self) -> int:
+        return sum(1 for record in self._records if record.alive())
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (tests kill these on purpose)."""
+        return [
+            record.process.pid
+            for record in self._records
+            if record.process is not None and record.process.is_alive()
+        ]
+
+    # -- shutdown --------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Rolling drain: one worker at a time finishes its streams and exits.
+
+        Each worker gets the ``drain`` control command *and* SIGTERM (either
+        alone suffices; both covers a wedged control thread), then up to
+        ``drain_timeout`` plus a grace period to exit before escalation.
+        """
+        if not self._started or self._stopped.is_set():
+            self._stopped.set()
+            return
+        self._stopping.set()
+        for record in self._records:
+            process = record.process
+            if process is None or not process.is_alive():
+                continue
+            record.send_command({"op": "drain"})
+            try:
+                if process.pid:
+                    os.kill(process.pid, signal.SIGTERM)
+            except (OSError, ProcessLookupError):
+                pass
+            process.join(timeout=self.drain_timeout + 5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=2.0)
+            self._fold_into_retired(record)
+            record.process = None
+        if self._listen_socket is not None:
+            try:
+                self._listen_socket.close()
+            except OSError:
+                pass
+            self._listen_socket = None
+        self._stopped.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`shutdown` completes (signal handlers call it)."""
+        return self._stopped.wait(timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "up" if self._started and not self._stopped.is_set() else "down"
+        return "WorkerPool(%r, workers=%d/%d, %s)" % (
+            self.source,
+            self.workers_alive,
+            self.workers_expected,
+            state,
+        )
+
+
+def serve_pool(source: str, **options) -> WorkerPool:
+    """Build and start a prefork pool in one call (mirrors :func:`serve`)."""
+    return WorkerPool(source, **options).start()

@@ -24,19 +24,32 @@ The server speaks the query half of the SPARQL 1.1 Protocol:
   (echoed from the request header or freshly minted), error bodies repeat
   it, and when the serving session traces (``trace_capacity`` > 0) the
   retained traces are served at ``GET /traces``,
+* **admission control**: query requests pass a bounded front door — at most
+  ``max_inflight`` execute concurrently, at most ``admission_queue`` wait
+  (for at most ``queue_timeout`` seconds), and no single client may hold
+  more than its fair share of the capacity.  Anything beyond the budget is
+  *load-shed* immediately with a structured 503 (code ``overloaded``,
+  ``Retry-After`` header, ``queue_depth`` in the body) instead of
+  accumulating handler threads,
 * graceful shutdown: :meth:`SparqlServer.shutdown` (or the context
   manager, or SIGINT/SIGTERM under ``repro.cli serve``) stops accepting,
-  finishes in-flight handlers and closes the socket.
+  **drains** in-flight handlers — streamed chunked responses finish within
+  a bounded ``drain_timeout`` instead of being truncated mid-chunk — and
+  closes the socket.
 
 Concurrency comes from ``ThreadingHTTPServer`` (a thread per request) on
 top of the engine's thread-safe read path; per-request work runs under the
-session's timeout budget.
+session's timeout budget.  For multi-core scaling beyond one interpreter,
+:mod:`repro.api.pool` preforks N worker processes that each run this exact
+server over one shared listening socket and one shared mmap snapshot.
 """
 
 from __future__ import annotations
 
 import json
+import socket as _socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -44,7 +57,7 @@ from urllib.parse import parse_qs, urlsplit
 from ..obs.registry import MetricsRegistry, render_text
 from .cursor import Cursor
 from .dataset import Dataset, Session, connect
-from .errors import BadRequestError, ReproError
+from .errors import BadRequestError, ReproError, ServerOverloadedError
 from .results import negotiate, serializer_for
 
 #: default TCP port (0 = pick an ephemeral port and report it)
@@ -56,15 +69,160 @@ FORM_TYPE = "application/x-www-form-urlencoded"
 #: request bodies larger than this are rejected up front (64 MiB)
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: admission-control defaults: generous enough that a lightly loaded
+#: endpoint never sheds, bounded enough that overload degrades into fast
+#: structured 503s instead of an unbounded thread pile-up.
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_ADMISSION_QUEUE = 128
+DEFAULT_QUEUE_TIMEOUT = 2.0
+
+#: how long shutdown waits for in-flight responses to finish streaming.
+DEFAULT_DRAIN_TIMEOUT = 5.0
+
+
+class AdmissionController:
+    """The bounded front door: in-flight budget, backlog, per-client fairness.
+
+    ``admit(client)`` either returns normally (a slot is held; call
+    ``release(client)`` in a ``finally``) or raises
+    :class:`ServerOverloadedError` with the shed reason:
+
+    * ``queue_full`` — ``max_inflight`` requests are executing and
+      ``max_queue`` more are already waiting,
+    * ``queue_timeout`` — the request waited ``queue_timeout`` seconds
+      without a slot freeing up,
+    * ``client_limit`` — this client already holds ``per_client_limit``
+      slots (executing + waiting), so admitting it would let one greedy
+      client starve everyone else.
+
+    ``per_client_limit`` defaults to half the total capacity (at least 1):
+    a single client can never occupy the whole server.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_queue: int = DEFAULT_ADMISSION_QUEUE,
+        queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+        per_client_limit: Optional[int] = None,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1, got %r" % (max_inflight,))
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0, got %r" % (max_queue,))
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        capacity = max_inflight + max_queue
+        self.per_client_limit = (
+            per_client_limit if per_client_limit else max(1, (capacity + 1) // 2)
+        )
+        self._condition = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+        self._per_client: dict = {}
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._condition:
+            return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        with self._condition:
+            return self._waiting
+
+    # -- the front door --------------------------------------------------------
+
+    def _shed(self, reason: str, message: str) -> ServerOverloadedError:
+        # Called under self._condition.
+        return ServerOverloadedError(
+            message, reason=reason, queue_depth=self._waiting, retry_after=1
+        )
+
+    def admit(self, client: str) -> None:
+        """Hold a slot for ``client`` or raise :class:`ServerOverloadedError`."""
+        deadline = time.monotonic() + self.queue_timeout
+        with self._condition:
+            held = self._per_client.get(client, 0)
+            if held >= self.per_client_limit:
+                raise self._shed(
+                    "client_limit",
+                    "client %s already holds %d of %d allowed slots"
+                    % (client, held, self.per_client_limit),
+                )
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._per_client[client] = held + 1
+                return
+            if self._waiting >= self.max_queue:
+                raise self._shed(
+                    "queue_full",
+                    "server at capacity (%d in flight, %d queued)"
+                    % (self._inflight, self._waiting),
+                )
+            self._waiting += 1
+            self._per_client[client] = held + 1
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._drop_client(client)
+                        raise self._shed(
+                            "queue_timeout",
+                            "request waited %.3fs for a slot" % self.queue_timeout,
+                        )
+                    self._condition.wait(remaining)
+                self._inflight += 1
+            finally:
+                self._waiting -= 1
+
+    def release(self, client: str) -> None:
+        """Free the slot ``admit`` granted; wakes one queued waiter."""
+        with self._condition:
+            self._inflight -= 1
+            self._drop_client(client)
+            self._condition.notify()
+
+    def _drop_client(self, client: str) -> None:
+        held = self._per_client.get(client, 0) - 1
+        if held <= 0:
+            self._per_client.pop(client, None)
+        else:
+            self._per_client[client] = held
+
 
 class _SparqlHTTPServer(ThreadingHTTPServer):
-    """One handler thread per request; daemonic so shutdown never hangs."""
+    """One handler thread per request; daemonic so shutdown never hangs.
+
+    ``listen_socket`` adopts an already-bound, already-listening socket
+    instead of binding a fresh one — the prefork worker pool opens the
+    socket once in the parent and every forked worker serves on it.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, handler, facade: "SparqlServer"):
-        super().__init__(address, handler)
+    def __init__(
+        self,
+        address,
+        handler,
+        facade: "SparqlServer",
+        listen_socket: Optional[_socket.socket] = None,
+    ):
+        if listen_socket is not None:
+            super().__init__(address, handler, bind_and_activate=False)
+            self.socket.close()  # replace the unused fresh socket
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            # what server_bind would have derived (handlers log these)
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
+        else:
+            super().__init__(address, handler)
         self.facade = facade
 
 
@@ -87,7 +245,9 @@ class _Handler(BaseHTTPRequestHandler):
         incoming = (self.headers.get("X-Repro-Trace-Id") or "").strip()
         self.trace_id = incoming or self.facade.session.engine.trace_ids.new_id()
 
-    def _send_document(self, status: int, body: str, content_type: str) -> None:
+    def _send_document(
+        self, status: int, body: str, content_type: str, extra_headers: Optional[dict] = None
+    ) -> None:
         # Every non-streamed response funnels through here, so this is the
         # single place request outcomes are counted (by status code).
         self.facade.count_response(status)
@@ -95,6 +255,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type + "; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         trace_id = getattr(self, "trace_id", None)
         if trace_id:
             self.send_header("X-Repro-Trace-Id", trace_id)
@@ -106,15 +268,22 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        self._send_document(status, json.dumps(payload, indent=2) + "\n", "application/json")
+    def _send_json(self, status: int, payload: dict, extra_headers: Optional[dict] = None) -> None:
+        self._send_document(
+            status, json.dumps(payload, indent=2) + "\n", "application/json", extra_headers
+        )
 
     def _send_error_body(self, error: ReproError) -> None:
         body = {"error": error.as_dict()}
         trace_id = getattr(self, "trace_id", None)
         if trace_id:
             body["error"]["trace_id"] = trace_id
-        self._send_json(error.http_status, body)
+        headers = None
+        if error.http_status == 503:
+            # Both shed ("overloaded") and budget ("query_timeout") 503s tell
+            # the client when to come back.
+            headers = {"Retry-After": str(getattr(error, "retry_after", 1))}
+        self._send_json(error.http_status, body, headers)
 
     def _write_chunk(self, text: str) -> None:
         if not text:
@@ -127,12 +296,45 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._handle_request(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._handle_request(self._route_post)
+
+    def _handle_request(self, route) -> None:
+        """Per-request bookkeeping shared by every method.
+
+        The in-flight count is what graceful shutdown drains on: a chunked
+        stream in progress keeps the server open (up to the drain deadline)
+        instead of being truncated mid-chunk.  Once draining starts, new
+        requests — including ones arriving on established keep-alive
+        connections after the listener stopped accepting — are shed with a
+        structured 503 and ``Connection: close`` so clients reconnect
+        (to the next worker, under the pool's rolling restarts).
+        """
         self._begin_request()
+        facade = self.facade
+        facade._request_started()
+        try:
+            if facade.draining:
+                self.close_connection = True
+                facade.count_shed("draining")
+                self._send_error_body(
+                    ServerOverloadedError(
+                        "server is draining for shutdown", reason="draining"
+                    )
+                )
+                return
+            route()
+        finally:
+            facade._request_finished()
+
+    def _route_get(self) -> None:
         url = urlsplit(self.path)
         if url.path == self.facade.endpoint_path:
             parameters = parse_qs(url.query)
             query = parameters.get("query", [None])[0]
-            self._answer_query(query, parameters.get("format", [None])[0])
+            self._admitted_query(query, parameters.get("format", [None])[0])
         elif url.path == "/healthz":
             self._send_json(200, self.facade.health())
         elif url.path == "/metrics":
@@ -141,6 +343,26 @@ class _Handler(BaseHTTPRequestHandler):
             self._answer_traces()
         else:
             self._send_error_body(BadRequestError("no such resource: %s" % url.path))
+
+    def _admitted_query(self, query: Optional[str], explicit_format: Optional[str]) -> None:
+        """Route a query request through the admission-control front door.
+
+        Operational endpoints (``/healthz``, ``/metrics``, ``/traces``)
+        bypass admission on purpose: they must stay answerable while the
+        server sheds query load.
+        """
+        facade = self.facade
+        client = self.client_address[0] if self.client_address else "unknown"
+        try:
+            facade.admission.admit(client)
+        except ServerOverloadedError as error:
+            facade.count_shed(error.reason or "shed")
+            self._send_error_body(error)
+            return
+        try:
+            self._answer_query(query, explicit_format)
+        finally:
+            facade.admission.release(client)
 
     def _answer_metrics(self, explicit_format: Optional[str]) -> None:
         accept = (self.headers.get("Accept") or "").lower()
@@ -167,8 +389,7 @@ class _Handler(BaseHTTPRequestHandler):
         traces = self.facade.session.traces()
         self._send_json(200, {"count": len(traces), "traces": [t.as_dict() for t in traces]})
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        self._begin_request()
+    def _route_post(self) -> None:
         url = urlsplit(self.path)
         if url.path != self.facade.endpoint_path:
             self._send_error_body(BadRequestError("no such resource: %s" % url.path))
@@ -182,15 +403,17 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._send_error_body(BadRequestError("missing or oversized request body"))
             return
+        # The body is read *before* admission, so a shed response leaves the
+        # connection cleanly reusable.
         body = self.rfile.read(length).decode("utf-8", errors="replace")
         content_type = (self.headers.get("Content-Type") or "").split(";", 1)[0].strip().lower()
         explicit_format = parse_qs(url.query).get("format", [None])[0]
         if content_type == SPARQL_QUERY_TYPE:
-            self._answer_query(body, explicit_format)
+            self._admitted_query(body, explicit_format)
         elif content_type == FORM_TYPE or content_type == "":
             form = parse_qs(body)
             query = form.get("query", [None])[0]
-            self._answer_query(query, explicit_format or form.get("format", [None])[0])
+            self._admitted_query(query, explicit_format or form.get("format", [None])[0])
         else:
             error = BadRequestError("unsupported media type %r" % content_type)
             error.http_status = 415
@@ -253,6 +476,13 @@ class SparqlServer:
         port: int = DEFAULT_PORT,
         endpoint_path: str = "/sparql",
         verbose: bool = False,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        admission_queue: int = DEFAULT_ADMISSION_QUEUE,
+        queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+        per_client_limit: Optional[int] = None,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        listen_socket: Optional[_socket.socket] = None,
+        pool_client=None,
         **session_options,
     ):
         """Bind (but do not yet serve) an endpoint for ``source``.
@@ -261,6 +491,15 @@ class SparqlServer:
         already-built :class:`Session`.  ``session_options`` (executor,
         parallelism, timeout, page_size, plan_cache_capacity...) configure
         the serving session.
+
+        ``max_inflight`` / ``admission_queue`` / ``queue_timeout`` /
+        ``per_client_limit`` configure the admission-control front door
+        (see :class:`AdmissionController`); ``drain_timeout`` bounds how
+        long :meth:`shutdown` waits for in-flight streamed responses.
+        ``listen_socket`` adopts a pre-bound listening socket instead of
+        binding ``(host, port)`` and ``pool_client`` connects a prefork
+        worker to its parent's control plane — both are wired by
+        :class:`repro.api.pool.WorkerPool`.
         """
         if isinstance(source, Session):
             self.session = source
@@ -270,7 +509,19 @@ class SparqlServer:
             self.session = self.dataset.session(**session_options)
         self.endpoint_path = endpoint_path
         self.verbose = verbose
-        self._httpd = _SparqlHTTPServer((host, port), _Handler, self)
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            max_queue=admission_queue,
+            queue_timeout=queue_timeout,
+            per_client_limit=per_client_limit,
+        )
+        self.drain_timeout = drain_timeout
+        self.pool_client = pool_client
+        #: set by shutdown(): new requests are shed, in-flight ones drain.
+        self.draining = False
+        self._active_requests = 0
+        self._active_condition = threading.Condition()
+        self._httpd = _SparqlHTTPServer((host, port), _Handler, self, listen_socket)
         self._thread: Optional[threading.Thread] = None
         self._serving = False
         self._lock = threading.Lock()
@@ -281,6 +532,21 @@ class SparqlServer:
             "repro_http_responses_total",
             "HTTP responses sent, by status code",
             labels=("code",),
+        )
+        self._sheds = self.registry.counter(
+            "repro_http_requests_shed_total",
+            "Requests load-shed at the admission-control front door, by reason",
+            labels=("reason",),
+        )
+        self.registry.gauge(
+            "repro_http_inflight_queries",
+            "Admitted query requests currently executing",
+            callback=lambda: self.admission.inflight,
+        )
+        self.registry.gauge(
+            "repro_http_admission_queue_depth",
+            "Query requests waiting at the admission-control front door",
+            callback=lambda: self.admission.queue_depth,
         )
 
     # -- addresses -------------------------------------------------------------
@@ -312,22 +578,58 @@ class SparqlServer:
             self._thread.start()
         return self
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain_timeout: Optional[float] = None) -> bool:
         """Stop accepting, drain in-flight handlers, close the socket.
+
+        In-flight responses — including chunked streams mid-page — get up
+        to ``drain_timeout`` seconds (the constructor's ``drain_timeout``
+        when not given) to finish before the server closes; new requests
+        arriving during the drain are shed with a structured 503.  Returns
+        ``True`` when everything drained, ``False`` on deadline.
 
         Safe on a server that was never started: ``BaseServer.shutdown``
         blocks until the serve loop acknowledges, which would wait forever
         when no loop ever ran, so it is only invoked once one has (or is
         about to — a just-started background thread exits promptly).
         """
+        budget = self.drain_timeout if drain_timeout is None else drain_timeout
+        self.draining = True
         if self._serving or self._thread is not None:
             self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
         self._serving = False
+        drained = self._drain(budget)
         self._httpd.server_close()
         self.session.close()
+        return drained
+
+    def _drain(self, timeout: float) -> bool:
+        """Wait (bounded) for the in-flight request count to reach zero."""
+        deadline = time.monotonic() + timeout
+        with self._active_condition:
+            while self._active_requests > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._active_condition.wait(remaining)
+        return True
+
+    def _request_started(self) -> None:
+        with self._active_condition:
+            self._active_requests += 1
+
+    def _request_finished(self) -> None:
+        with self._active_condition:
+            self._active_requests -= 1
+            self._active_condition.notify_all()
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently being handled (streams count until the last chunk)."""
+        with self._active_condition:
+            return self._active_requests
 
     def __enter__(self) -> "SparqlServer":
         return self.start()
@@ -339,6 +641,9 @@ class SparqlServer:
 
     def count_response(self, status: int) -> None:
         self._responses.inc(code=str(status))
+
+    def count_shed(self, reason: str) -> None:
+        self._sheds.inc(reason=reason)
 
     def response_counts(self) -> dict:
         """Per-status-class response totals (plus exact per-code counts)."""
@@ -354,15 +659,32 @@ class SparqlServer:
         return {"by_code": per_code, "by_class": classes}
 
     def health(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "triples": len(self.dataset),
             "source": self.dataset.source,
             "executor": self.session.engine.executor_name,
             "parallelism": self.session.engine.parallelism,
+            # uniform shape with the prefork pool: one process == one worker
+            "workers_expected": 1,
+            "workers_alive": 1,
         }
+        if self.pool_client is not None:
+            overlay = self.pool_client.health_overlay()
+            if overlay is not None:
+                payload.update(overlay)
+            else:
+                payload["control_plane"] = "unreachable"
+        return payload
 
     def metrics(self) -> dict:
+        if self.pool_client is not None:
+            document = self.pool_client.metrics_document()
+            if document is not None:
+                payload = {
+                    key: value for key, value in document.items() if key != "aggregate_dump"
+                }
+                return payload
         counts = self.response_counts()
         payload = dict(self.session.metrics())
         payload["requests_total"] = sum(counts["by_code"].values())
@@ -371,7 +693,18 @@ class SparqlServer:
         return payload
 
     def metrics_text(self) -> str:
-        """Prometheus text exposition: HTTP counters + session instruments."""
+        """Prometheus text exposition: HTTP counters + session instruments.
+
+        Under the prefork pool this is the *cross-worker aggregate*
+        (counters and histograms summed over every worker, live and
+        retired), freshly collected from the parent's control plane.
+        """
+        if self.pool_client is not None:
+            document = self.pool_client.metrics_document()
+            if document is not None:
+                from ..obs.registry import render_dump_text
+
+                return render_dump_text(document["aggregate_dump"])
         return render_text([self.registry, self.session.service.metrics.registry])
 
     def __repr__(self) -> str:

@@ -12,15 +12,19 @@ Exposes the experiments and the curation pipeline without writing Python::
     python -m repro.cli explain ldbc_q3 --scale tiny --parallelism 4
     python -m repro.cli explain ldbc_q3 --scale tiny --analyze
     python -m repro.cli serve bsbm.snapshot --port 8347 --parallelism 4
+    python -m repro.cli serve bsbm.snapshot --serve-workers 4 --max-inflight 32
     python -m repro.cli serve bsbm:tiny --trace-buffer 128 --slow-query-log slow.jsonl
     python -m repro.cli query "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5" --source bsbm:tiny
     python -m repro.cli query "SELECT ..." --endpoint http://127.0.0.1:8347 --format tsv
     python -m repro.cli scales
 
-Two concurrency knobs exist and are independent: ``--workers`` is the number
-of closed-loop *client* threads issuing queries at the service, while
-``--parallelism`` is the number of *morsel worker* threads a single query's
-operators fan out to inside the vector executor.
+Three concurrency knobs exist and are independent: ``--workers``
+(``throughput``) is the number of closed-loop *client* threads issuing
+queries at the service; ``--parallelism`` is the number of *morsel worker*
+threads a single query's operators fan out to inside the vector executor;
+``--serve-workers`` (``serve``) is the number of *server processes* in the
+prefork pool, each accepting on the shared port over the same mmap'd
+snapshot.
 
 ``--snapshot DIR`` (on ``experiment`` / ``curate`` / ``throughput`` /
 ``explain``) serves every dataset store from a zero-copy snapshot cache
@@ -38,7 +42,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .api import RemoteEndpoint, ReproError, SparqlServer, connect, serializer_for
+from .api import RemoteEndpoint, ReproError, SparqlServer, WorkerPool, connect, serializer_for
 from .api.client import FORMATS
 from .store.snapshot import SnapshotError
 
@@ -191,7 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=4,
         help="client concurrency: closed-loop client threads issuing queries "
-        "at the service (distinct from --parallelism, the per-query morsel workers)",
+        "at the service (distinct from --parallelism, the per-query morsel "
+        "workers, and from serve's --serve-workers server processes)",
     )
     throughput.add_argument(
         "--capacity",
@@ -287,6 +292,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=500.0,
         help="slow-query threshold in wall-clock milliseconds (default 500)",
+    )
+    serve_parser.add_argument(
+        "--serve-workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="server processes accepting on the shared port (prefork pool; "
+        "each worker zero-copy maps the same snapshot). Distinct from "
+        "--parallelism (morsel threads inside one query) and from the "
+        "throughput command's --workers (closed-loop client threads)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=64,
+        help="admission control: queries executing concurrently per server "
+        "process before new arrivals queue (and then shed with 503)",
+    )
+    serve_parser.add_argument(
+        "--admission-queue",
+        type=_non_negative_int,
+        default=128,
+        help="admission control: arrivals allowed to wait for an in-flight "
+        "slot per server process; beyond this requests shed immediately",
+    )
+    serve_parser.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=2.0,
+        help="admission control: seconds a queued request may wait for a "
+        "slot before shedding with 503 (reason queue_timeout)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="graceful shutdown: seconds to let in-flight (streaming) "
+        "responses finish before closing sockets",
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
@@ -474,12 +517,9 @@ def _run_generate(arguments, output_stream) -> None:
         print("wrote %d triples to %s" % (count, output), file=output_stream)
 
 
-def _run_serve(arguments, output) -> SparqlServer:
-    """Build, announce and return the endpoint (caller decides how to serve)."""
-    server = SparqlServer(
-        arguments.source,
-        host=arguments.host,
-        port=arguments.port,
+def _serve_options(arguments) -> dict:
+    """The per-server-process options shared by both serving modes."""
+    return dict(
         verbose=arguments.verbose,
         executor=arguments.engine,
         parallelism=arguments.parallelism,
@@ -489,6 +529,42 @@ def _run_serve(arguments, output) -> SparqlServer:
         trace_capacity=arguments.trace_buffer,
         slow_log=arguments.slow_query_log,
         slow_query_ms=arguments.slow_query_ms,
+        max_inflight=arguments.max_inflight,
+        admission_queue=arguments.admission_queue,
+        queue_timeout=arguments.queue_timeout,
+        drain_timeout=arguments.drain_timeout,
+    )
+
+
+def _run_serve(arguments, output):
+    """Build, announce and return the endpoint (caller decides how to serve).
+
+    ``--serve-workers 1`` (the default) serves in-process; more than one
+    starts a prefork :class:`WorkerPool` over the shared listening socket.
+    """
+    if arguments.serve_workers > 1:
+        pool = WorkerPool(
+            arguments.source,
+            workers=arguments.serve_workers,
+            host=arguments.host,
+            port=arguments.port,
+            **_serve_options(arguments),
+        ).start()
+        endpoints = "healthz: /healthz, metrics: /metrics"
+        if arguments.trace_buffer:
+            endpoints += ", traces: /traces"
+        print(
+            "serving %s with %d worker processes at %s  [%s]"
+            % (arguments.source, arguments.serve_workers, pool.url, endpoints),
+            file=output,
+            flush=True,
+        )
+        return pool
+    server = SparqlServer(
+        arguments.source,
+        host=arguments.host,
+        port=arguments.port,
+        **_serve_options(arguments),
     )
     endpoints = "healthz: /healthz, metrics: /metrics"
     if arguments.trace_buffer:
@@ -523,6 +599,31 @@ def _serve_until_interrupted(server: SparqlServer, output) -> None:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     print("server stopped", file=output, flush=True)
+
+
+def _serve_pool_until_interrupted(pool, output) -> None:
+    """Park until SIGINT/SIGTERM, then roll a graceful drain over the pool."""
+
+    def handle_signal(_signum, _frame):
+        # The rolling drain joins worker processes; hand it off so the
+        # handler returns immediately.
+        import threading
+
+        threading.Thread(target=pool.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handle_signal)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        pool.wait()
+    finally:
+        pool.shutdown()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("pool stopped", file=output, flush=True)
 
 
 def _read_query_text(argument: str) -> str:
@@ -630,7 +731,10 @@ def main(argv: Optional[List[str]] = None, output=None) -> int:
         except (OSError, ValueError, KeyError, SnapshotError) as error:
             print("error: %s" % (error,), file=sys.stderr)
             return 1
-        _serve_until_interrupted(server, output)
+        if isinstance(server, WorkerPool):
+            _serve_pool_until_interrupted(server, output)
+        else:
+            _serve_until_interrupted(server, output)
         return 0
     if arguments.command == "query":
         try:

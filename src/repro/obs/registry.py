@@ -19,6 +19,7 @@ All instruments are thread-safe; registration order is exposition order.
 
 from __future__ import annotations
 
+import json as _json
 import math
 import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -316,6 +317,155 @@ def render_text(registries: Sequence[MetricsRegistry]) -> str:
             seen.add(metric.name)
             lines.extend(metric.expose())
     return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- cross-process dumps ------------------------------------------------------
+#
+# A *dump* is a picklable, JSON-friendly description of every instrument in
+# one or more registries: ``{name: {"kind", "help", ...state...}}``.  It is
+# the unit the prefork worker pool ships over its control pipes — each
+# worker dumps its registries, the parent merges the dumps, and any worker
+# can render the merged result as JSON samples or Prometheus text.
+#
+# Merge semantics: counters and histograms are true totals, so they sum
+# (per label combination / per bucket).  Gauges also sum — correct for
+# occupancy- and rate-style gauges (in-flight requests, QPS); for
+# percentile-style gauges the sum is meaningless and the cross-worker
+# latency distribution must be read from the merged histogram instead.
+
+
+def _dump_metric(metric: _Metric) -> Dict:
+    if isinstance(metric, Counter):
+        with metric._lock:
+            values = {_json.dumps(list(key)): value for key, value in metric._values.items()}
+        return {
+            "kind": "counter",
+            "help": metric.help,
+            "labels": list(metric.label_names),
+            "values": values,
+        }
+    if isinstance(metric, Gauge):
+        return {"kind": "gauge", "help": metric.help, "value": metric.value()}
+    if isinstance(metric, Histogram):
+        with metric._lock:
+            counts = list(metric._counts)
+            total_sum, total = metric._sum, metric._count
+        return {
+            "kind": "histogram",
+            "help": metric.help,
+            "buckets": list(metric.buckets),
+            "counts": counts,
+            "sum": total_sum,
+            "count": total,
+        }
+    raise TypeError("cannot dump metric of type %s" % type(metric).__name__)
+
+
+def dump_registries(registries: Sequence[MetricsRegistry]) -> Dict[str, Dict]:
+    """One mergeable dump over several registries (duplicate names dropped,
+    first registration wins — mirroring :func:`render_text`)."""
+    dump: Dict[str, Dict] = {}
+    for registry in registries:
+        for metric in registry.metrics():
+            if metric.name not in dump:
+                dump[metric.name] = _dump_metric(metric)
+    return dump
+
+
+def merge_dumps(dumps: Sequence[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Aggregate several dumps into one (see the merge semantics above).
+
+    Instruments sharing a name must share a kind; label sets and histogram
+    buckets follow the first dump that mentions the name (workers run the
+    same code, so in practice they always agree).
+    """
+    merged: Dict[str, Dict] = {}
+    for dump in dumps:
+        for name, entry in dump.items():
+            mine = merged.get(name)
+            if mine is None:
+                merged[name] = {
+                    key: (dict(value) if isinstance(value, dict) else list(value) if isinstance(value, list) else value)
+                    for key, value in entry.items()
+                }
+                continue
+            if mine["kind"] != entry["kind"]:
+                raise ValueError(
+                    "cannot merge metric %s: kind %s vs %s"
+                    % (name, mine["kind"], entry["kind"])
+                )
+            if entry["kind"] == "counter":
+                for key, value in entry["values"].items():
+                    mine["values"][key] = mine["values"].get(key, 0.0) + value
+            elif entry["kind"] == "gauge":
+                mine["value"] += entry["value"]
+            else:  # histogram
+                if list(entry["buckets"]) != list(mine["buckets"]):
+                    raise ValueError("cannot merge histogram %s: bucket mismatch" % name)
+                mine["counts"] = [a + b for a, b in zip(mine["counts"], entry["counts"])]
+                mine["sum"] += entry["sum"]
+                mine["count"] += entry["count"]
+    return merged
+
+
+def flatten_dump(dump: Dict[str, Dict]) -> Dict[str, float]:
+    """The flat ``{sample name: value}`` mapping of a dump (JSON exposition),
+    matching :meth:`MetricsRegistry.as_dict` sample names."""
+    flat: Dict[str, float] = {}
+    for name, entry in sorted(dump.items()):
+        if entry["kind"] == "counter":
+            labels = entry["labels"]
+            if not labels:
+                values = entry["values"]
+                flat[name] = next(iter(values.values())) if values else 0.0
+                continue
+            for key, value in sorted(entry["values"].items()):
+                flat[name + _label_text(labels, tuple(_json.loads(key)))] = value
+        elif entry["kind"] == "gauge":
+            flat[name] = entry["value"]
+        else:
+            flat[name + "_sum"] = entry["sum"]
+            flat[name + "_count"] = float(entry["count"])
+    return flat
+
+
+def render_dump_text(dump: Dict[str, Dict]) -> str:
+    """Prometheus text exposition of a (possibly merged) dump."""
+    lines: List[str] = []
+    for name, entry in dump.items():
+        lines.append("# HELP %s %s" % (name, escape_help(entry["help"])))
+        lines.append("# TYPE %s %s" % (name, entry["kind"]))
+        if entry["kind"] == "counter":
+            labels = entry["labels"]
+            items = sorted(entry["values"].items())
+            if not items and not labels:
+                items = [("", 0.0)]
+            for key, value in items:
+                label_values = tuple(_json.loads(key)) if labels else ()
+                lines.append(
+                    "%s%s %s" % (name, _label_text(labels, label_values), format_value(value))
+                )
+        elif entry["kind"] == "gauge":
+            lines.append("%s %s" % (name, format_value(entry["value"])))
+        else:
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                lines.append(
+                    '%s_bucket{le="%s"} %d' % (name, format_value(bound), cumulative)
+                )
+            lines.append('%s_bucket{le="+Inf"} %d' % (name, entry["count"]))
+            lines.append("%s_sum %s" % (name, format_value(entry["sum"])))
+            lines.append("%s_count %d" % (name, entry["count"]))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def counter_total(dump: Dict[str, Dict], name: str) -> float:
+    """Sum of one dumped counter over every label combination (0 if absent)."""
+    entry = dump.get(name)
+    if entry is None or entry["kind"] != "counter":
+        return 0.0
+    return sum(entry["values"].values())
 
 
 def quantile_from_histogram(histogram: Histogram, fraction: float) -> float:

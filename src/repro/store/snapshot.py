@@ -470,6 +470,20 @@ class StoreSnapshot:
         )
 
 
+def verify_snapshot(path: str) -> Dict:
+    """Validate ``path`` (preamble, header, size, CRC) without loading it.
+
+    Returns the header dict.  The successful CRC scan lands in the
+    per-process verified-bodies cache, so later :func:`load_snapshot` calls
+    in this process — **and in forked children, which inherit the cache** —
+    skip the O(file size) checksum read.  The prefork worker pool calls
+    this once in the parent before forking, so N workers mapping the same
+    snapshot pay for exactly one verification pass between them.
+    """
+    header, _payload_base, _crc = _read_header(path)
+    return header
+
+
 def load_snapshot(path: str) -> StoreSnapshot:
     """Load a snapshot zero-copy: mmap the index columns, decode terms lazily.
 

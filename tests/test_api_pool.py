@@ -1,0 +1,321 @@
+"""The prefork worker pool: equivalence, supervision, drain, aggregation.
+
+The pool is correct only if sharding is *invisible* to clients: the same
+queries answer bit-identically whether one process or four serve them,
+crashes are absorbed by the supervisor without losing metric counts, and
+a SIGTERM'd worker finishes its in-flight streamed responses before it
+exits.  Every test here drives real forked processes over a real snapshot
+file — nothing is mocked.
+
+Also hosts the CI scaleout smoke: with ``REPRO_SNAPSHOT`` pointing at a
+prebuilt snapshot artifact, ``repro.cli serve --serve-workers 2`` runs as
+a real subprocess and its protocol responses are checked against
+in-process execution.
+"""
+
+import json
+import multiprocessing
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.api import RemoteEndpoint, WorkerPool, serve_pool
+from repro.api.pool import PoolError
+from repro.api.results import parse_json
+from repro.experiments import common
+from repro.store.triple_store import TripleStore
+
+from test_api_protocol_equivalence import SCALE, sweep_queries
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+pytestmark = pytest.mark.skipif(
+    not HAVE_FORK and not hasattr(__import__("socket"), "SO_REUSEPORT"),
+    reason="neither fork nor SO_REUSEPORT available",
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    """One BSBM tiny snapshot every pool in this module serves from."""
+    engine = common.bsbm_engine(SCALE, "vector", 1)
+    path = str(tmp_path_factory.mktemp("pool") / "bsbm_tiny.snapshot")
+    engine.store.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def expected_rows(snapshot_path):
+    """In-process ground truth for the full template sweep."""
+    from repro.engine import QueryEngine
+
+    engine = QueryEngine(TripleStore.load(snapshot_path))
+    return {
+        (name, query): engine.execute(query).rows
+        for name, query in sweep_queries("bsbm")
+    }
+
+
+def wait_until(predicate, timeout=15.0, interval=0.05):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def fetch(pool, path):
+    base = pool.url.rsplit("/sparql", 1)[0]
+    with urllib.request.urlopen(base + path, timeout=15) as response:
+        return response.status, dict(response.headers), response.read().decode("utf-8")
+
+
+class TestShardingEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_results_bit_identical_across_worker_counts(
+        self, snapshot_path, expected_rows, workers
+    ):
+        with WorkerPool(snapshot_path, workers=workers, port=0) as pool:
+            client = RemoteEndpoint(pool.url)
+            for (name, query), rows in expected_rows.items():
+                assert client.query(query)[1] == rows, (workers, name)
+                assert client.query_tsv(query)[1] == rows, (workers, name)
+
+    def test_requests_spread_across_worker_processes(self, snapshot_path):
+        """With several workers accepting, sustained traffic must not all
+        land on one process (the kernel balances blocked acceptors)."""
+        with serve_pool(snapshot_path, workers=2, port=0) as pool:
+            client = RemoteEndpoint(pool.url)
+            for _ in range(40):
+                client.query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 1")
+            document = pool.metrics()
+            spread = {
+                slot: flat.get('repro_http_responses_total{code="200"}', 0.0)
+                for slot, flat in document["workers"].items()
+            }
+            assert sum(spread.values()) >= 40
+            assert all(count > 0 for count in spread.values()), spread
+
+
+class TestSupervision:
+    def test_crash_is_restarted_and_healthz_reflects_it(self, snapshot_path):
+        with WorkerPool(snapshot_path, workers=2, port=0) as pool:
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            assert wait_until(
+                lambda: pool.workers_alive == 2 and victim not in pool.worker_pids()
+            ), "supervisor did not restore the worker count"
+            assert pool.health()["worker_restarts_total"] >= 1
+
+            _status, _headers, body = fetch(pool, "/healthz")
+            payload = json.loads(body)
+            assert payload["workers_expected"] == 2
+            assert payload["workers_alive"] == 2
+            assert payload["worker_restarts_total"] >= 1
+
+            # and the endpoint still answers queries after the restart
+            rows = RemoteEndpoint(pool.url).query(
+                "SELECT ?s WHERE { ?s ?p ?o } LIMIT 3"
+            )[1]
+            assert len(rows) == 3
+
+    def test_aggregate_metrics_survive_a_worker_death(self, snapshot_path):
+        """Counts from a killed worker live on in the retired bucket: the
+        pool-wide requests_total never goes backwards."""
+        with WorkerPool(snapshot_path, workers=2, port=0) as pool:
+            client = RemoteEndpoint(pool.url)
+            for _ in range(10):
+                client.query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 1")
+            before = pool.metrics()["requests_total"]
+            assert before >= 10
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            assert wait_until(lambda: pool.workers_alive == 2)
+            after = pool.metrics()
+            assert after["requests_total"] >= before - 1  # at most one publish lost
+            assert after["worker_restarts_total"] >= 1
+
+
+class TestMetricsAggregation:
+    def test_aggregate_equals_sum_of_workers_plus_retired(self, snapshot_path):
+        with WorkerPool(snapshot_path, workers=2, port=0) as pool:
+            client = RemoteEndpoint(pool.url)
+            for _ in range(12):
+                client.query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 2")
+            _status, _headers, body = fetch(pool, "/metrics")
+            document = json.loads(body)
+            assert document["workers_expected"] == 2
+            parts = list(document["workers"].values()) + [document["retired"]]
+            for sample, value in document["aggregate"].items():
+                if not sample.partition("{")[0].endswith(
+                    ("_total", "_sum", "_count")
+                ) or sample.startswith("repro_pool_"):
+                    continue
+                summed = sum(part.get(sample, 0.0) for part in parts)
+                assert summed == pytest.approx(value), sample
+            assert document["requests_total"] == sum(
+                value
+                for sample, value in document["aggregate"].items()
+                if sample.startswith("repro_http_responses_total{")
+            )
+
+    def test_prometheus_text_over_the_pool(self, snapshot_path):
+        with WorkerPool(snapshot_path, workers=2, port=0) as pool:
+            RemoteEndpoint(pool.url).query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 1")
+            request = urllib.request.Request(
+                pool.url.rsplit("/sparql", 1)[0] + "/metrics",
+                headers={"Accept": "text/plain"},
+            )
+            with urllib.request.urlopen(request, timeout=15) as response:
+                text = response.read().decode("utf-8")
+            assert "# TYPE repro_http_responses_total counter" in text
+            assert "repro_pool_workers_expected 2" in text
+            assert "repro_pool_workers_alive 2" in text
+            assert "# TYPE repro_query_latency_ms histogram" in text
+            assert 'le="+Inf"' in text
+
+
+class TestRollingDrain:
+    def test_sigterm_mid_stream_completes_the_response(self, snapshot_path):
+        """SIGTERM every worker while a chunked stream is in flight: the
+        stream must arrive complete (drain before exit), and the
+        supervisor must replace the exited workers."""
+        import http.client
+
+        with WorkerPool(snapshot_path, workers=2, port=0, page_size=64) as pool:
+            host, port = pool.address
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            connection.request(
+                "GET",
+                "/sparql?query="
+                + urllib.parse.quote("SELECT ?s ?p ?o WHERE { ?s ?p ?o }"),
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            chunks = [response.read(2048)]  # the stream is now in flight
+
+            original = set(pool.worker_pids())
+            for pid in original:
+                os.kill(pid, signal.SIGTERM)
+
+            while True:
+                time.sleep(0.002)  # deliberately slow consumer
+                piece = response.read(2048)
+                if not piece:
+                    break
+                chunks.append(piece)
+            connection.close()
+
+            variables, rows = parse_json(b"".join(chunks).decode("utf-8"))
+            assert variables == ["s", "p", "o"]
+            expected = len(TripleStore.load(snapshot_path))
+            assert len(rows) == expected, "drained stream was truncated"
+
+            # rolling replacement: new workers, same expected count
+            assert wait_until(
+                lambda: pool.workers_alive == 2
+                and not (set(pool.worker_pids()) & original)
+            ), "SIGTERM'd workers were not replaced"
+            answered = RemoteEndpoint(pool.url).query(
+                "SELECT ?s WHERE { ?s ?p ?o } LIMIT 1"
+            )[1]
+            assert len(answered) == 1
+
+    def test_shutdown_stops_every_worker_and_frees_the_port(self, snapshot_path):
+        pool = WorkerPool(snapshot_path, workers=2, port=0).start()
+        pids = pool.worker_pids()
+        RemoteEndpoint(pool.url).query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 1")
+        pool.shutdown()
+        assert pool.workers_alive == 0
+        for pid in pids:
+            assert not _pid_alive(pid), "worker %d outlived shutdown()" % pid
+        # the port is free again: a fresh pool can bind it immediately
+        host, port = pool.address
+        with WorkerPool(snapshot_path, workers=1, host=host, port=port) as fresh:
+            assert RemoteEndpoint(fresh.url).health()["status"] == "ok"
+
+
+class TestConfiguration:
+    def test_in_memory_sources_are_rejected(self):
+        with pytest.raises(PoolError):
+            WorkerPool(TripleStore())
+
+    def test_zero_workers_are_rejected(self):
+        with pytest.raises(PoolError):
+            WorkerPool("bsbm:tiny", workers=0)
+
+    def test_corrupt_snapshot_fails_fast_in_the_parent(self, tmp_path):
+        path = tmp_path / "corrupt.snapshot"
+        path.write_bytes(b"not a snapshot at all")
+        from repro.store.snapshot import SnapshotError
+
+        with pytest.raises(SnapshotError):
+            WorkerPool(str(path), workers=2, port=0).start()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign pid
+        return True
+    return True
+
+
+#: set by CI to the prebuilt snapshot artifact (see scaleout-smoke job).
+PREBUILT = os.environ.get("REPRO_SNAPSHOT")
+
+SMOKE_QUERIES = [
+    "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 25",
+    "SELECT ?p (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?c) ?p",
+]
+
+
+@pytest.mark.skipif(not PREBUILT, reason="REPRO_SNAPSHOT not set (CI scaleout-smoke job)")
+class TestPrebuiltSnapshotPoolSmoke:
+    @pytest.mark.parametrize("executor", ["vector", "tuple"])
+    def test_cli_pool_serve_round_trips_the_protocol(self, executor):
+        """End to end: ``repro.cli serve --serve-workers 2`` as a real
+        subprocess over the CI snapshot artifact, answers checked against
+        in-process execution, shut down with SIGINT (rolling drain)."""
+        from repro.api import connect
+
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = "src" + os.pathsep + environment.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", PREBUILT, "--port", "0",
+             "--serve-workers", "2", "--engine", executor],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=environment,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[^ ]+/sparql", banner)
+            assert match, "no endpoint URL in %r" % banner
+            client = RemoteEndpoint(match.group(0))
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["workers_expected"] == 2
+            assert health["workers_alive"] == 2
+            engine = connect(PREBUILT).session(executor=executor).engine
+            for query in SMOKE_QUERIES:
+                assert client.query(query)[1] == engine.execute(query).rows
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                output, _ = process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise
+        assert process.returncode == 0
+        assert "pool stopped" in output

@@ -411,3 +411,192 @@ class TestPrebuiltSnapshotServeSmoke:
                 raise
         assert process.returncode == 0
         assert "server stopped" in output
+
+
+class TestAdmissionControl:
+    """The bounded front door: load-shedding 503s with structured bodies."""
+
+    def slow_server(self, delay=0.6, **options):
+        dataset = connect(build_store())
+        session = dataset.session()
+        session.engine = _SlowEngine(session.engine, delay=delay)
+        return SparqlServer(session, port=0, **options)
+
+    def occupy_and_get(self, running, expect_error=True):
+        """Issue one slow query in a thread; once it holds the slot, issue
+        another from this thread and return the HTTPError it raised."""
+        import threading
+
+        first_result = []
+
+        def occupy():
+            try:
+                first_result.append(get_query(running, QUERY)[0])
+            except urllib.error.HTTPError as error:
+                error.read()
+                first_result.append(error.code)
+
+        occupant = threading.Thread(target=occupy)
+        occupant.start()
+        deadline = time.time() + 5.0
+        while running.admission.inflight == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        assert running.admission.inflight == 1, "occupant never admitted"
+        try:
+            if not expect_error:
+                return get_query(running, QUERY)
+            issued = time.time()
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                get_query(running, QUERY)
+            caught.value.elapsed = time.time() - issued
+            return caught.value
+        finally:
+            occupant.join()
+            assert first_result == [200], "the occupant request must succeed"
+
+    def test_queue_full_shed_is_structured_503_with_retry_after(self):
+        with self.slow_server(
+            max_inflight=1, admission_queue=0, per_client_limit=8
+        ) as running:
+            error = self.occupy_and_get(running)
+            assert error.code == 503
+            assert error.headers["Retry-After"] == "1"
+            details = error_body(error)
+            assert details["code"] == "overloaded"
+            assert details["reason"] == "queue_full"
+            assert details["queue_depth"] == 0
+
+    def test_queue_timeout_shed_after_bounded_wait(self):
+        with self.slow_server(
+            delay=1.5,
+            max_inflight=1,
+            admission_queue=4,
+            queue_timeout=0.1,
+            per_client_limit=8,
+        ) as running:
+            error = self.occupy_and_get(running)
+            details = error_body(error)
+            assert details["reason"] == "queue_timeout"
+            assert error.headers["Retry-After"] == "1"
+            assert error.elapsed < 1.2, (
+                "shed must happen at queue_timeout, not at query completion"
+            )
+
+    def test_per_client_limit_shed(self):
+        with self.slow_server(
+            max_inflight=8, admission_queue=8, per_client_limit=1
+        ) as running:
+            error = self.occupy_and_get(running)
+            details = error_body(error)
+            assert details["reason"] == "client_limit"
+            assert details["code"] == "overloaded"
+
+    def test_sheds_are_counted_by_reason_in_prometheus_text(self):
+        with self.slow_server(
+            max_inflight=1, admission_queue=0, per_client_limit=8
+        ) as running:
+            self.occupy_and_get(running)
+            _status, _headers, text = http_get(
+                running.url.replace("/sparql", "/metrics"), accept="text/plain"
+            )
+            assert 'repro_http_requests_shed_total{reason="queue_full"} 1' in text
+            assert "# TYPE repro_http_inflight_queries gauge" in text
+            assert "# TYPE repro_http_admission_queue_depth gauge" in text
+
+    def test_operational_endpoints_bypass_admission(self):
+        with self.slow_server(
+            max_inflight=1, admission_queue=0, per_client_limit=8
+        ) as running:
+            import threading
+
+            holder = threading.Thread(target=lambda: get_query(running, QUERY))
+            holder.start()
+            deadline = time.time() + 5.0
+            while running.admission.inflight == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            try:
+                status, _h, body = http_get(running.url.replace("/sparql", "/healthz"))
+                assert status == 200 and json.loads(body)["status"] == "ok"
+                status, _h, _b = http_get(running.url.replace("/sparql", "/metrics"))
+                assert status == 200
+            finally:
+                holder.join()
+
+    def test_timeout_503_also_carries_retry_after(self):
+        dataset = connect(build_store())
+        session = dataset.session(timeout=0.05)
+        session.engine = _SlowEngine(session.engine, delay=1.0)
+        with SparqlServer(session, port=0) as running:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                get_query(running, QUERY)
+            assert caught.value.code == 503
+            assert caught.value.headers["Retry-After"] == "1"
+            assert error_body(caught.value)["code"] == "query_timeout"
+
+    def test_healthz_reports_single_process_worker_fields(self, server):
+        _status, _headers, body = http_get(server.url.replace("/sparql", "/healthz"))
+        payload = json.loads(body)
+        assert payload["workers_expected"] == 1
+        assert payload["workers_alive"] == 1
+
+
+class TestGracefulDrain:
+    """Shutdown finishes in-flight streams; new arrivals shed with 503."""
+
+    def test_draining_server_sheds_with_structured_503(self):
+        with serve(build_store(), port=0) as running:
+            running.draining = True
+            try:
+                with pytest.raises(urllib.error.HTTPError) as caught:
+                    get_query(running, QUERY)
+                assert caught.value.code == 503
+                assert caught.value.headers["Retry-After"] == "1"
+                assert caught.value.headers.get("Connection") == "close"
+                details = error_body(caught.value)
+                assert details["code"] == "overloaded"
+                assert details["reason"] == "draining"
+            finally:
+                running.draining = False
+
+    def test_shutdown_drains_an_inflight_chunked_stream(self):
+        """A slow-reading client's streamed response completes in full —
+        no truncated chunked body — even though shutdown() is invoked
+        while the stream is mid-flight."""
+        import http.client
+        import threading
+
+        store = TripleStore()
+        store.add_many(
+            Triple(IRI(EX + "s%05d" % index), IRI(EX + "p"), typed_literal(index))
+            for index in range(8000)
+        )
+        running = serve(store, port=0, page_size=256)
+        drained = []
+        try:
+            host, port = running.address
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            all_rows = "SELECT ?s ?o WHERE { ?s <%sp> ?o }" % EX
+            connection.request("GET", "/sparql?query=" + urllib.parse.quote(all_rows))
+            response = connection.getresponse()
+            assert response.status == 200
+            chunks = [response.read(4096)]  # stream is now in flight
+
+            shutter = threading.Thread(
+                target=lambda: drained.append(running.shutdown())
+            )
+            shutter.start()
+            while True:
+                time.sleep(0.002)  # a deliberately slow consumer
+                piece = response.read(4096)
+                if not piece:
+                    break
+                chunks.append(piece)
+            shutter.join(timeout=30)
+            connection.close()
+        finally:
+            running.shutdown()
+        body = b"".join(chunks).decode("utf-8")
+        variables, rows = parse_json(body)
+        assert variables == ["s", "o"]
+        assert len(rows) == 8000, "the drained stream must not be truncated"
+        assert drained == [True], "shutdown() must report a complete drain"

@@ -381,3 +381,59 @@ class TestServeParser:
             cli.build_parser().parse_args(
                 ["query", "q", "--source", "a", "--endpoint", "b"]
             )
+
+
+class TestServePoolFlags:
+    def test_serve_pool_and_admission_defaults(self):
+        arguments = cli.build_parser().parse_args(["serve", "bsbm.snapshot"])
+        assert arguments.serve_workers == 1
+        assert arguments.max_inflight == 64
+        assert arguments.admission_queue == 128
+        assert arguments.queue_timeout == 2.0
+        assert arguments.drain_timeout == 5.0
+
+    def test_serve_pool_flags_parse(self):
+        arguments = cli.build_parser().parse_args(
+            ["serve", "bsbm.snapshot", "--serve-workers", "4",
+             "--max-inflight", "16", "--admission-queue", "0",
+             "--queue-timeout", "0.5", "--drain-timeout", "2"]
+        )
+        assert arguments.serve_workers == 4
+        assert arguments.max_inflight == 16
+        assert arguments.admission_queue == 0
+        assert arguments.queue_timeout == 0.5
+        assert arguments.drain_timeout == 2.0
+
+    def test_serve_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["serve", "s", "--serve-workers", "0"])
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["serve", "s", "--max-inflight", "0"])
+
+    def test_run_serve_builds_a_pool_for_multiple_workers(self):
+        """--serve-workers >1 must return a WorkerPool wired with the
+        admission options; 1 keeps the in-process server."""
+        from repro.api import SparqlServer, WorkerPool
+
+        output = io.StringIO()
+        arguments = cli.build_parser().parse_args(
+            ["serve", "bsbm:tiny", "--port", "0", "--serve-workers", "2",
+             "--max-inflight", "8"]
+        )
+        pool = cli._run_serve(arguments, output)
+        try:
+            assert isinstance(pool, WorkerPool)
+            assert pool.workers_expected == 2
+            assert pool._server_options["max_inflight"] == 8
+            assert "2 worker processes" in output.getvalue()
+            assert pool.url in output.getvalue()
+        finally:
+            pool.shutdown()
+
+        arguments = cli.build_parser().parse_args(["serve", "bsbm:tiny", "--port", "0"])
+        server = cli._run_serve(arguments, io.StringIO())
+        try:
+            assert isinstance(server, SparqlServer)
+            assert server.admission.max_inflight == 64
+        finally:
+            server.shutdown()

@@ -19,7 +19,14 @@ from repro.obs import (
     quantile_from_histogram,
     render_text,
 )
-from repro.obs.registry import escape_label_value
+from repro.obs.registry import (
+    counter_total,
+    dump_registries,
+    escape_label_value,
+    flatten_dump,
+    merge_dumps,
+    render_dump_text,
+)
 
 SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -204,3 +211,86 @@ class TestPrometheusRoundTrip:
         assert format_value(float("inf")) == "+Inf"
         assert format_value(float("nan")) == "NaN"
         assert format_value(2.5) == "2.5"
+
+
+class TestCrossProcessDumps:
+    """dump_registries / merge_dumps: the pool's metrics aggregation."""
+
+    def build_registry(self, responses=(("200", 3), ("503", 1)), observations=(5.0, 50.0)):
+        registry = MetricsRegistry()
+        counter = registry.counter("http_responses_total", "By status", labels=("code",))
+        for code, count in responses:
+            counter.inc(count, code=code)
+        histogram = registry.histogram("latency_ms", "Latency", buckets=(1, 10, 100))
+        for value in observations:
+            histogram.observe(value)
+        registry.gauge("inflight", "Now").set(2)
+        registry.counter("plain_total", "No labels").inc(7)
+        return registry
+
+    def test_dump_flatten_matches_as_dict(self):
+        registry = self.build_registry()
+        dump = dump_registries([registry])
+        assert flatten_dump(dump) == registry.as_dict()
+
+    def test_dump_render_matches_expose_text(self):
+        registry = self.build_registry()
+        dump = dump_registries([registry])
+        assert parse_exposition(render_dump_text(dump)) == parse_exposition(
+            registry.expose_text()
+        )
+
+    def test_merge_sums_counters_gauges_and_histograms(self):
+        first = dump_registries([self.build_registry()])
+        second = dump_registries(
+            [self.build_registry(responses=(("200", 2), ("404", 1)), observations=(500.0,))]
+        )
+        flat = flatten_dump(merge_dumps([first, second]))
+        assert flat['http_responses_total{code="200"}'] == 5
+        assert flat['http_responses_total{code="503"}'] == 1
+        assert flat['http_responses_total{code="404"}'] == 1
+        assert flat["plain_total"] == 14
+        assert flat["inflight"] == 4  # gauges sum: meaningful for occupancy-style gauges
+        assert flat["latency_ms_count"] == 3
+        assert flat["latency_ms_sum"] == pytest.approx(555.0)
+
+    def test_merged_histogram_buckets_stay_cumulative(self):
+        dump = merge_dumps(
+            [dump_registries([self.build_registry()]) for _ in range(3)]
+        )
+        families = parse_exposition(render_dump_text(dump))
+        samples = families["latency_ms"]["samples"]
+        buckets = {
+            labels[0][1]: samples[(sample, labels)]
+            for (sample, labels) in samples
+            if sample == "latency_ms_bucket"
+        }
+        values = [buckets[le] for le in sorted(buckets, key=float)]
+        assert values == sorted(values)
+        assert buckets["+Inf"] == samples[("latency_ms_count", ())] == 6
+
+    def test_merge_empty_and_singleton(self):
+        assert merge_dumps([]) == {}
+        dump = dump_registries([self.build_registry()])
+        assert flatten_dump(merge_dumps([dump])) == flatten_dump(dump)
+        assert flatten_dump(merge_dumps([{}, dump, {}])) == flatten_dump(dump)
+
+    def test_merge_rejects_kind_mismatch(self):
+        first = {"m": {"kind": "counter", "help": "h", "labels": [], "values": {}}}
+        second = {"m": {"kind": "gauge", "help": "h", "value": 1.0}}
+        with pytest.raises(ValueError):
+            merge_dumps([first, second])
+
+    def test_counter_total_sums_label_combinations(self):
+        dump = dump_registries([self.build_registry()])
+        assert counter_total(dump, "http_responses_total") == 4
+        assert counter_total(dump, "plain_total") == 7
+        assert counter_total(dump, "missing_total") == 0.0
+        assert counter_total(dump, "inflight") == 0.0  # not a counter
+
+    def test_label_values_with_commas_survive_merge(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("odd_total", "help", labels=("a", "b"))
+        counter.inc(a="x,y", b="z")
+        merged = merge_dumps([dump_registries([registry])] * 2)
+        assert flatten_dump(merged) == {'odd_total{a="x,y",b="z"}': 2}
