@@ -62,6 +62,11 @@ class Cursor:
         """True when the plan came from the session's plan cache."""
         return self._stream.plan_cached
 
+    @property
+    def result_cached(self) -> bool:
+        """True when the result was served from the materialized answer cache."""
+        return self._stream.result_cached
+
     def __len__(self) -> int:
         """Total rows of the result (known before any decoding)."""
         return len(self._stream)

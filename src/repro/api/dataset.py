@@ -31,7 +31,6 @@ from typing import Optional, Union
 from ..engine.query_engine import DEFAULT_PAGE_SIZE, QueryEngine, RowStream
 from ..obs.slowlog import DEFAULT_SLOW_MS, SlowQueryLog
 from ..obs.trace import TraceBuffer, Tracer
-from ..optimizer.plans import LimitNode
 from ..rdf.graph import Graph
 from ..service.service import QueryService
 from ..sparql.parser import ParseError as _SparqlParseError
@@ -217,6 +216,7 @@ class Session:
         trace_capacity: int = 0,
         slow_log=None,
         slow_query_ms: float = DEFAULT_SLOW_MS,
+        result_cache_mb: float = 0.0,
     ):
         self.dataset = dataset
         self.service = QueryService(
@@ -224,8 +224,11 @@ class Session:
             plan_cache_capacity=plan_cache_capacity,
             executor=executor,
             parallelism=parallelism,
+            result_cache_mb=result_cache_mb,
         )
         self.engine = self.service.engine
+        #: the materialized answer cache (None when ``result_cache_mb`` is 0)
+        self.result_cache = self.service.result_cache
         self.timeout = timeout
         if page_size < 1:
             raise ValueError("page_size must be a positive integer, got %r" % (page_size,))
@@ -272,6 +275,25 @@ class Session:
         """Execute ``query`` traced and render the est-vs-actual plan tree."""
         return self.engine.explain_analyze(query)
 
+    def register_view(self, name: str, query: str):
+        """Declare ``query`` as a materialized view for plan substitution.
+
+        Any later plan containing a subtree with the view's fingerprint is
+        served from the view's cached batch (refreshed on data-version
+        change).  The plan cache is cleared so already-planned queries are
+        re-optimized against the extended view registry.
+        """
+        try:
+            view = self.engine.register_view(name, query)
+        except ReproError:
+            raise
+        except (_SparqlParseError, _TokenizeError) as error:
+            raise ParseError(str(error), cause=error) from error
+        except (ValueError, KeyError, TypeError) as error:
+            raise PlanError(str(error), cause=error) from error
+        self.service.plan_cache.clear()
+        return view
+
     # -- execution -------------------------------------------------------------
 
     def execute(
@@ -302,16 +324,18 @@ class Session:
         def run() -> RowStream:
             wall_started = time.perf_counter()
             plan, hit = self._plan(query)
-            if limit is not None or offset:
-                plan = LimitNode(plan, limit, offset)
             tracer = None
             if self.trace_buffer is not None:
                 tracer = Tracer(trace_id or self.engine.trace_ids.new_id())
             try:
                 if tracer is not None:
-                    stream = self.engine.execute_plan_iter(plan, page_size=step, tracer=tracer)
+                    stream = self.engine.execute_plan_iter(
+                        plan, page_size=step, tracer=tracer, limit=limit, offset=offset
+                    )
                 else:
-                    stream = self.engine.execute_plan_iter(plan, page_size=step)
+                    stream = self.engine.execute_plan_iter(
+                        plan, page_size=step, limit=limit, offset=offset
+                    )
             except ReproError:
                 raise
             except Exception as error:
@@ -333,6 +357,8 @@ class Session:
                     rows=stream.profile.result_rows,
                     trace_id=stream.trace.trace_id if stream.trace is not None else None,
                     executor=self.engine.executor_name,
+                    cache_hit=stream.result_cached,
+                    plan_cache_hit=hit,
                 )
             return stream
 

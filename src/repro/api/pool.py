@@ -158,7 +158,10 @@ class _PoolWorkerClient:
 
 
 def _worker_dump(server: SparqlServer) -> Dict[str, Dict]:
-    return dump_registries([server.registry, server.session.service.metrics.registry])
+    registries = [server.registry, server.session.service.metrics.registry]
+    if server.session.result_cache is not None:
+        registries.append(server.session.result_cache.registry)
+    return dump_registries(registries)
 
 
 def _worker_main(

@@ -705,7 +705,10 @@ class SparqlServer:
                 from ..obs.registry import render_dump_text
 
                 return render_dump_text(document["aggregate_dump"])
-        return render_text([self.registry, self.session.service.metrics.registry])
+        registries = [self.registry, self.session.service.metrics.registry]
+        if self.session.result_cache is not None:
+            registries.append(self.session.result_cache.registry)
+        return render_text(registries)
 
     def __repr__(self) -> str:
         return "SparqlServer(%s over %r)" % (self.url, self.dataset.source)

@@ -204,6 +204,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="plan cache capacity (0 disables caching)",
     )
+    throughput.add_argument(
+        "--result-cache-mb",
+        type=float,
+        default=0.0,
+        help="materialized answer cache budget in MiB (0 disables it); "
+        "repeated bindings serve their id-space result without re-execution",
+    )
     throughput.add_argument("--seed", type=int, default=42)
     throughput.add_argument("--engine", **engine_kwargs)
     throughput.add_argument("--parallelism", **parallelism_kwargs)
@@ -271,6 +278,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1024,
         help="rows per streamed response chunk",
+    )
+    serve_parser.add_argument(
+        "--result-cache-mb",
+        type=float,
+        default=0.0,
+        help="materialized answer cache budget in MiB (0 disables it); "
+        "cached id-space results are invalidated on any store mutation and "
+        "decoded per request, so pagination and format negotiation still "
+        "apply",
     )
     serve_parser.add_argument(
         "--trace-buffer",
@@ -380,6 +396,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="client-side OFFSET pushdown (local --source only)",
     )
+    query_parser.add_argument(
+        "--result-cache-mb",
+        type=float,
+        default=0.0,
+        help="materialized answer cache budget in MiB for the local session "
+        "(0 disables it; local --source only)",
+    )
 
     subparsers.add_parser("scales", help="list the available dataset scale presets")
     return parser
@@ -417,7 +440,11 @@ def _run_throughput(arguments, output) -> None:
     distinct = UniformSampler(space, seed=arguments.seed).bindings(arguments.distinct)
     bindings = FixedBindings(distinct).bindings(arguments.executions)
 
-    service = QueryService(engine, plan_cache_capacity=arguments.capacity)
+    service = QueryService(
+        engine,
+        plan_cache_capacity=arguments.capacity,
+        result_cache_mb=arguments.result_cache_mb,
+    )
     runner = WorkloadRunner(engine, service=service)
     started = time.perf_counter()
     served = runner.run_bindings(template, bindings, workers=arguments.workers)
@@ -529,6 +556,7 @@ def _serve_options(arguments) -> dict:
         trace_capacity=arguments.trace_buffer,
         slow_log=arguments.slow_query_log,
         slow_query_ms=arguments.slow_query_ms,
+        result_cache_mb=arguments.result_cache_mb,
         max_inflight=arguments.max_inflight,
         admission_queue=arguments.admission_queue,
         queue_timeout=arguments.queue_timeout,
@@ -652,6 +680,8 @@ def _run_query(arguments, output) -> None:
             local_only.append("--engine")
         if arguments.parallelism != 1:
             local_only.append("--parallelism")
+        if arguments.result_cache_mb:
+            local_only.append("--result-cache-mb")
         if local_only:
             raise ValueError(
                 "%s only apply to local --source execution; put LIMIT/OFFSET "
@@ -671,6 +701,7 @@ def _run_query(arguments, output) -> None:
         executor=arguments.engine,
         parallelism=arguments.parallelism,
         timeout=timeout,
+        result_cache_mb=arguments.result_cache_mb,
     ) as session:
         cursor = session.execute(
             query, limit=arguments.limit, offset=arguments.offset

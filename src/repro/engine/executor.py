@@ -30,6 +30,7 @@ from ..store.triple_store import TripleStore
 from ..optimizer.cost import actual_cout
 from ..optimizer.plans import (
     AggregateNode,
+    CachedViewNode,
     DistinctNode,
     ExtendNode,
     FilterNode,
@@ -217,6 +218,8 @@ class Executor:
             return "tuple left-outer hash join"
         if isinstance(node, UnionNode):
             return "tuple append"
+        if isinstance(node, CachedViewNode):
+            return "materialized view scan"
         return "tuple row operator"
 
     def execute(self, plan: PlanNode, tracer=None) -> Tuple[List[Binding], ExecutionProfile]:
@@ -295,9 +298,72 @@ class Executor:
             rows = distinct_rows(self._execute(node.child, profile), profile)
         elif isinstance(node, LimitNode):
             rows = limit_rows(node.limit, node.offset, self._execute(node.child, profile))
+        elif isinstance(node, CachedViewNode):
+            rows = self._execute_cached_view(node, profile)
         else:
             raise TypeError("unsupported plan node %r" % (node,))
         return rows
+
+    def _execute_cached_view(self, node: CachedViewNode, profile: ExecutionProfile) -> List[Binding]:
+        """Serve a materialized view from its id-space batch, or fill it.
+
+        Both executors share the view object (siblings share the optimizer
+        and therefore the view registry), so a batch one executor
+        materializes serves the other: a hit decodes the batch and charges
+        scan work for the rows returned — exactly what the vector executor
+        charges — keeping profiles identical across executors for any
+        shared sequence of view states.
+        """
+        from .vector import NULL_ID
+
+        version = self.store.data_version
+        batch = node.view.lookup(version)
+        if batch is not None:
+            decode = self.store.decode_id
+            columns = [batch.columns[variable] for variable in batch.variables]
+            rows = []
+            for index in range(batch.length):
+                row: Binding = {}
+                for variable, column in zip(batch.variables, columns):
+                    term_id = int(column[index])
+                    if term_id != NULL_ID:
+                        row[variable] = decode(term_id)
+                rows.append(row)
+            profile.add_work("scan_tuple", batch.length)
+            return rows
+        rows = self._execute(node.child, profile)
+        self._fill_view(node, version, rows)
+        return rows
+
+    def _fill_view(self, node: CachedViewNode, version: int, rows: List[Binding]) -> None:
+        """Encode materialised rows back to an id-space batch for the view.
+
+        Terms outside the store dictionary (expression outputs) have no
+        stable ids, so such subtrees are refused — the same guard the
+        vector-side fill applies to extension ids.
+        """
+        import numpy as np
+
+        from .vector import NULL_ID, ColumnBatch
+
+        variables = list(node.child.output_variables())
+        encode = self.store.encode_term
+        arrays = {
+            variable: np.full(len(rows), NULL_ID, dtype=np.int64) for variable in variables
+        }
+        nullable = set()
+        for index, row in enumerate(rows):
+            for variable in variables:
+                term = row.get(variable)
+                if term is None:
+                    nullable.add(variable)
+                    continue
+                term_id = encode(term)
+                if term_id is None:
+                    node.view.refuse()
+                    return
+                arrays[variable][index] = term_id
+        node.view.fill(version, ColumnBatch(variables, arrays, len(rows), frozenset(nullable)))
 
     # -- leaf operators ---------------------------------------------------------------
 

@@ -94,16 +94,27 @@ class RowStream:
         plan: PlanNode,
         profile: ExecutionProfile,
         runtime_ms: float,
+        estimated_cout: Optional[float] = None,
+        actual_cout: Optional[float] = None,
     ):
         self._pages = pages
         self._consumed = False
         self.plan = plan
         self.profile = profile
         self.runtime_ms = runtime_ms
-        self.estimated_cout = plan.estimated_cout()
-        self.actual_cout = profile.actual_cout(plan)
+        # Both Cout walks are pure in (plan, profile); the result cache
+        # passes its per-entry precomputed values on hits.
+        self.estimated_cout = (
+            plan.estimated_cout() if estimated_cout is None else estimated_cout
+        )
+        self.actual_cout = (
+            profile.actual_cout(plan) if actual_cout is None else actual_cout
+        )
         #: True when the plan was served from a plan cache (set by callers).
         self.plan_cached = False
+        #: True when the rows were served from the engine's result cache
+        #: (the execution was skipped; only the decode ran).
+        self.result_cached = False
         #: the finished operator trace when the execution was traced, else None
         self.trace: Optional[QueryTrace] = None
 
@@ -140,6 +151,7 @@ class RowStream:
             actual_cout=self.actual_cout,
         )
         result.plan_cached = self.plan_cached
+        result.result_cached = self.result_cached
         result.trace = self.trace
         return result
 
@@ -168,6 +180,8 @@ class QueryResult:
         #: True when the plan was served from a plan cache rather than
         #: optimized for this execution (set by the query service).
         self.plan_cached = False
+        #: True when the rows came from the engine's result cache.
+        self.result_cached = False
         #: the finished operator trace when the execution was traced, else None
         self.trace: Optional[QueryTrace] = None
 
@@ -229,6 +243,7 @@ class QueryEngine:
         statistics: Optional[StoreStatistics] = None,
         trace_buffer: Optional[TraceBuffer] = None,
         trace_seed: Optional[int] = None,
+        result_cache=None,
     ):
         self.store = data.store if isinstance(data, Graph) else data
         self.store.finalise()
@@ -248,6 +263,9 @@ class QueryEngine:
         #: explicitly traced calls (execute_traced / tracer=...) pay for spans.
         self.trace_buffer = trace_buffer
         self.trace_ids = TraceIdGenerator(seed=trace_seed)
+        #: materialized answer cache (see repro.service.result_cache), or
+        #: None — caching is strictly opt-in and off by default.
+        self.result_cache = result_cache
 
     def _sibling(self, executor: str, parallelism: int) -> "QueryEngine":
         """A sibling engine sharing store, statistics, optimizer and runtime
@@ -269,6 +287,7 @@ class QueryEngine:
         sibling.executor = make_executor(executor, self.store, sibling.parallelism)
         sibling.trace_buffer = self.trace_buffer
         sibling.trace_ids = self.trace_ids
+        sibling.result_cache = self.result_cache
         return sibling
 
     def with_executor(self, executor: str) -> "QueryEngine":
@@ -278,6 +297,32 @@ class QueryEngine:
     def with_parallelism(self, parallelism: int) -> "QueryEngine":
         """Sibling engine with a different intra-query morsel parallelism."""
         return self._sibling(self.executor_name, parallelism)
+
+    def with_result_cache(self, result_cache) -> "QueryEngine":
+        """Sibling engine whose executions consult ``result_cache``.
+
+        Always a distinct engine object (even for an identical executor
+        configuration), so attaching a cache for one session never changes
+        the behaviour of other users of this engine.
+        """
+        sibling = self.__class__.__new__(self.__class__)
+        sibling.__dict__.update(self.__dict__)
+        sibling.result_cache = result_cache
+        return sibling
+
+    def register_view(self, name: str, query: Union[str, SelectQuery]) -> "object":
+        """Declare ``query``'s join subtree as a shared materialized view.
+
+        Registration lives on the (shared) optimizer, so every sibling
+        engine — and both executors — substitutes and serves the view.
+        Register views before warming plan caches: already-cached plans
+        are not rewritten retroactively.
+        """
+        from ..service.result_cache import MaterializedViewRegistry
+
+        if self.optimizer.views is None:
+            self.optimizer.views = MaterializedViewRegistry()
+        return self.optimizer.views.register(name, self.plan(query))
 
     # -- planning ------------------------------------------------------------------
 
@@ -358,9 +403,7 @@ class QueryEngine:
         the concatenated pages are exactly :meth:`execute`'s rows.
         """
         plan = self.plan(query)
-        if limit is not None or offset:
-            plan = LimitNode(plan, limit, offset)
-        return self.execute_plan_iter(plan, noise_key, page_size)
+        return self.execute_plan_iter(plan, noise_key, page_size, limit=limit, offset=offset)
 
     def execute_plan_iter(
         self,
@@ -368,6 +411,8 @@ class QueryEngine:
         noise_key: str = "",
         page_size: Optional[int] = DEFAULT_PAGE_SIZE,
         tracer: Optional[Tracer] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
     ) -> RowStream:
         """Execute an already-optimized plan as a :class:`RowStream`.
 
@@ -376,12 +421,37 @@ class QueryEngine:
         traced implicitly and the finished trace retained there.  Either
         way the finished :class:`~repro.obs.QueryTrace` rides on the
         stream's ``.trace``.
+
+        ``limit``/``offset`` slice the result in id space before any term
+        decodes.  They are parameters here — rather than a ``LimitNode``
+        the caller wraps — so the result cache can key the *unsliced* plan
+        and serve every slice of one result from a single cached
+        execution.
         """
         if page_size is not None and page_size < 1:
             raise ValueError("page_size must be a positive integer or None, got %r" % (page_size,))
         tracer = coerce_tracer(tracer)
         if tracer is None and self.trace_buffer is not None:
             tracer = Tracer(self.trace_ids.new_id())
+        if self.result_cache is not None and self.executor_name == "vector":
+            # Consult-and-fill: the cache runs the executor itself on a
+            # miss (single-flight per key) and only decodes on a hit.  The
+            # tuple executor materialises rows, not id-space batches, so
+            # it executes unchanged — identical rows either way.
+            stream = self.result_cache.serve(
+                self,
+                plan,
+                noise_key=noise_key,
+                page_size=page_size,
+                tracer=tracer,
+                limit=limit,
+                offset=offset,
+            )
+            if stream.trace is not None and self.trace_buffer is not None:
+                self.trace_buffer.append(stream.trace)
+            return stream
+        if limit is not None or offset:
+            plan = LimitNode(plan, limit, offset)
         pages, profile = self.executor.execute_pages(plan, page_size, tracer=tracer)
         runtime = self.runtime_model.runtime_milliseconds(profile, noise_key)
         stream = RowStream(pages, plan, profile, runtime)

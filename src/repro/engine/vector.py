@@ -68,6 +68,7 @@ from ..store.indexes import PACK_LIMIT
 from ..store.triple_store import TripleStore
 from ..optimizer.plans import (
     AggregateNode,
+    CachedViewNode,
     DistinctNode,
     ExtendNode,
     FilterNode,
@@ -369,15 +370,44 @@ class VectorExecutor:
         iterator, so pages stay decodable after a later ``execute`` call on
         the same thread has reset the thread-local tables.
         """
+        batch, extension_terms, profile = self.execute_batch(plan, tracer=tracer)
+        profile.result_rows = batch.length
+        profile.add_work("output_tuple", batch.length)
+        return self.pages_for(batch, extension_terms, page_size), profile
+
+    def execute_batch(
+        self, plan: PlanNode, tracer=None
+    ) -> Tuple[ColumnBatch, Dict[int, Term], ExecutionProfile]:
+        """Run the plan to completion in id space, without decoding anything.
+
+        Returns the final :class:`ColumnBatch`, the extension-id table the
+        execution allocated (needed to decode BIND/aggregate outputs later,
+        on any thread) and the execution profile *before* output accounting
+        — the result cache stores exactly this triple and adds the
+        ``output_tuple`` work per request, after applying the request's
+        LIMIT/OFFSET slice.
+        """
         from ..obs.trace import coerce_tracer
 
         self._reset_extension_tables()
         profile = ExecutionProfile(tracer=coerce_tracer(tracer))
         batch = self._execute(plan, profile)
-        profile.result_rows = batch.length
-        profile.add_work("output_tuple", batch.length)
         _ids, extension_terms = self._extension_tables()
+        return batch, extension_terms, profile
 
+    def pages_for(
+        self,
+        batch: ColumnBatch,
+        extension_terms: Dict[int, Term],
+        page_size: Optional[int] = None,
+    ) -> Iterator[List[Binding]]:
+        """Decode ``batch`` lazily, ``page_size`` rows at a time.
+
+        ``extension_terms`` must be the side table of the execution that
+        produced the batch; passing it explicitly (rather than reading the
+        thread-local tables) is what lets cached batches decode correctly
+        on other threads and after later queries on the producing thread.
+        """
         step = batch.length if page_size is None else max(1, page_size)
 
         def pages() -> Iterator[List[Binding]]:
@@ -385,7 +415,7 @@ class VectorExecutor:
                 page = batch.take(slice(start, start + step))
                 yield self._materialise(page, extension_terms)
 
-        return pages(), profile
+        return pages()
 
     def _execute(self, node: PlanNode, profile: ExecutionProfile) -> ColumnBatch:
         tracer = profile.tracer
@@ -428,8 +458,25 @@ class VectorExecutor:
             result = self._distinct(node, profile)
         elif isinstance(node, LimitNode):
             result = self._limit(node, profile)
+        elif isinstance(node, CachedViewNode):
+            result = self._cached_view(node, profile)
         else:
             raise TypeError("unsupported plan node %r" % (node,))
+        return result
+
+    def _cached_view(self, node: CachedViewNode, profile: ExecutionProfile) -> ColumnBatch:
+        """Serve a materialized view: reuse its batch, or execute and fill.
+
+        A hit charges scan work for the returned rows — the view really is
+        a scan at runtime; that is the entire point of materializing it.
+        """
+        version = self.store.data_version
+        batch = node.view.lookup(version)
+        if batch is not None:
+            profile.add_work("scan_tuple", batch.length)
+            return batch
+        result = self._execute(node.child, profile)
+        node.view.fill(version, result)
         return result
 
     # -- physical plan annotation (explain) --------------------------------------
@@ -465,6 +512,8 @@ class VectorExecutor:
             return "vector slice"
         if isinstance(node, SingletonNode):
             return "vector singleton"
+        if isinstance(node, CachedViewNode):
+            return "materialized view scan"
         return "vector"
 
     # -- leaf operators ----------------------------------------------------------

@@ -97,7 +97,7 @@ def render_analyze(
     _render_span(trace.root, annotate, 0, lines)
     summary = drift_summary(trace, threshold)
     lines.append("")
-    lines.append(
+    execution_line = (
         "execution: %d rows in %.3f ms wall (%s executor, parallelism %d, "
         "simulated %.2f ms)  [trace %s]"
         % (
@@ -109,6 +109,9 @@ def render_analyze(
             trace.trace_id,
         )
     )
+    if trace.result_cache == "hit":
+        execution_line += " (result cache hit)"
+    lines.append(execution_line)
     worst = summary["worst_operator"]
     if worst is None:
         lines.append("cardinality drift: no operators recorded")

@@ -56,8 +56,15 @@ class SlowQueryLog:
         executor: Optional[str] = None,
         plan_signature: Optional[str] = None,
         error: Optional[str] = None,
+        cache_hit: Optional[bool] = None,
+        plan_cache_hit: Optional[bool] = None,
     ) -> bool:
-        """Log one execution if it crossed the threshold; returns whether it did."""
+        """Log one execution if it crossed the threshold; returns whether it did.
+
+        ``cache_hit``/``plan_cache_hit`` distinguish hot-template hits
+        (result served from the answer cache, plan from the plan cache)
+        from genuinely cold runs when reading the log.
+        """
         if wall_ms < self.threshold_ms:
             return False
         entry = {
@@ -74,6 +81,10 @@ class SlowQueryLog:
             entry["executor"] = executor
         if plan_signature is not None:
             entry["plan"] = plan_signature
+        if cache_hit is not None:
+            entry["cache_hit"] = bool(cache_hit)
+        if plan_cache_hit is not None:
+            entry["plan_cache_hit"] = bool(plan_cache_hit)
         if error is not None:
             entry["error"] = error
         if query is not None:

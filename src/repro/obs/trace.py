@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 
 from ..optimizer.plans import (
     AggregateNode,
+    CachedViewNode,
     DistinctNode,
     ExtendNode,
     FilterNode,
@@ -69,6 +70,7 @@ SPAN_NAMES: Dict[type, str] = {
     ProjectNode: "project",
     DistinctNode: "distinct",
     LimitNode: "limit",
+    CachedViewNode: "view",
 }
 
 #: join spans are refined by the chosen physical method.
@@ -229,8 +231,15 @@ class Tracer:
         executor: str = "",
         parallelism: int = 1,
         query: Optional[str] = None,
+        result_cache: Optional[str] = None,
     ) -> "QueryTrace":
-        """Seal the trace once execution (and profiling) is complete."""
+        """Seal the trace once execution (and profiling) is complete.
+
+        ``result_cache`` records how the result cache treated this
+        execution: ``"hit"`` (served from cache, only the decode ran),
+        ``"miss"`` (executed and offered to the cache) or ``None`` (no
+        cache consulted).
+        """
         return QueryTrace(
             trace_id=self.trace_id,
             root=self.root,
@@ -239,6 +248,7 @@ class Tracer:
             executor=executor,
             parallelism=parallelism,
             query=query,
+            result_cache=result_cache,
         )
 
 
@@ -283,6 +293,7 @@ class QueryTrace:
         "executor",
         "parallelism",
         "query",
+        "result_cache",
         "created_at",
     )
 
@@ -295,6 +306,7 @@ class QueryTrace:
         executor: str,
         parallelism: int,
         query: Optional[str] = None,
+        result_cache: Optional[str] = None,
     ):
         self.trace_id = trace_id
         self.root = root
@@ -303,6 +315,8 @@ class QueryTrace:
         self.executor = executor
         self.parallelism = parallelism
         self.query = query
+        #: "hit" / "miss" when a result cache was consulted, else None
+        self.result_cache = result_cache
         self.created_at = time.time()
 
     @property
@@ -324,6 +338,7 @@ class QueryTrace:
             "runtime_ms": self.runtime_ms,
             "total_ms": self.total_ms,
             "query": self.query,
+            "result_cache": self.result_cache,
             "root": self.root.as_dict() if self.root is not None else None,
         }
 

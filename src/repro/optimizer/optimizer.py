@@ -48,12 +48,20 @@ class Optimizer:
         self.estimator = CardinalityEstimator(statistics)
         self.join_ordering = join_ordering
         self._orderer = make_orderer(join_ordering, self.estimator)
+        #: declared materialized views (a
+        #: :class:`repro.service.result_cache.MaterializedViewRegistry`),
+        #: or None.  Set through ``QueryEngine.register_view``; shared by
+        #: sibling engines, so every executor substitutes the same views.
+        self.views = None
 
     # -- public API ---------------------------------------------------------------
 
     def optimize(self, node: algebra.AlgebraNode) -> PlanNode:
         """Return the physical plan for a logical algebra tree."""
-        return self._optimize(node, pending_filters=[])
+        plan = self._optimize(node, pending_filters=[])
+        if self.views is not None:
+            plan = self.views.substitute(plan)
+        return plan
 
     # -- recursive translation -------------------------------------------------------
 

@@ -63,6 +63,20 @@ class PlanNode:
         """Canonical description of the plan shape (not of its cardinalities)."""
         raise NotImplementedError
 
+    def fingerprint(self) -> str:
+        """Full canonical identity of the plan, *including* constants.
+
+        Where :meth:`signature` deliberately abstracts over the concrete
+        parameter binding (two bindings of one template share a signature —
+        that is the paper's plan-shape identity), the fingerprint includes
+        every constant term, filter/BIND expression, sort key, projection
+        list and slice bound: two plans share a fingerprint iff they compute
+        the same result over the same store contents.  This is the identity
+        the result cache and materialized views key on — keying on
+        ``signature()`` would alias different bindings of one template.
+        """
+        raise NotImplementedError
+
     def pretty(self, indent: int = 0, annotate=None) -> str:
         """Human-readable multi-line plan rendering.
 
@@ -115,6 +129,9 @@ class ScanNode(PlanNode):
     def signature(self) -> str:
         return "scan[%d:%s]" % (self.pattern_index, self.access_path())
 
+    def fingerprint(self) -> str:
+        return "scan(%s)" % " ".join(term.n3() for term in self.pattern)
+
     def describe(self) -> str:
         return "Scan %s (pattern %d, est. %.0f rows)" % (
             self.access_path(),
@@ -131,6 +148,9 @@ class SingletonNode(PlanNode):
         self.estimated_cardinality = 1.0
 
     def signature(self) -> str:
+        return "singleton"
+
+    def fingerprint(self) -> str:
         return "singleton"
 
     def describe(self) -> str:
@@ -152,6 +172,9 @@ class FilterNode(PlanNode):
 
     def signature(self) -> str:
         return "filter(%s)" % self.child.signature()
+
+    def fingerprint(self) -> str:
+        return "filter[%r](%s)" % (self.expression, self.child.fingerprint())
 
     def describe(self) -> str:
         return "Filter (est. %.0f rows)" % self.estimated_cardinality
@@ -196,6 +219,14 @@ class JoinNode(PlanNode):
     def signature(self) -> str:
         return "%s(%s,%s)" % (self.method, self.left.signature(), self.right.signature())
 
+    def fingerprint(self) -> str:
+        return "%s[%s](%s,%s)" % (
+            self.method,
+            ",".join(variable.n3() for variable in self.join_variables),
+            self.left.fingerprint(),
+            self.right.fingerprint(),
+        )
+
     def describe(self) -> str:
         variables = ", ".join(variable.n3() for variable in self.join_variables) or "cross"
         label = {self.HASH: "Hash", self.NESTED_LOOP: "NestedLoop", self.LOOKUP: "IndexLookup"}[self.method]
@@ -221,6 +252,13 @@ class LeftJoinNode(PlanNode):
     def signature(self) -> str:
         return "leftjoin(%s,%s)" % (self.left.signature(), self.right.signature())
 
+    def fingerprint(self) -> str:
+        return "leftjoin[%r](%s,%s)" % (
+            self.condition,
+            self.left.fingerprint(),
+            self.right.fingerprint(),
+        )
+
     def describe(self) -> str:
         return "LeftJoin (est. %.0f rows)" % self.estimated_cardinality
 
@@ -236,6 +274,9 @@ class UnionNode(PlanNode):
 
     def signature(self) -> str:
         return "union(%s)" % ",".join(child.signature() for child in self.alternatives)
+
+    def fingerprint(self) -> str:
+        return "union(%s)" % ",".join(child.fingerprint() for child in self.alternatives)
 
     def describe(self) -> str:
         return "Union (est. %.0f rows)" % self.estimated_cardinality
@@ -260,6 +301,13 @@ class ExtendNode(PlanNode):
 
     def signature(self) -> str:
         return "extend(%s)" % self.child.signature()
+
+    def fingerprint(self) -> str:
+        return "extend[%s=%r](%s)" % (
+            self.variable.n3(),
+            self.expression,
+            self.child.fingerprint(),
+        )
 
     def describe(self) -> str:
         return "Extend %s" % self.variable.n3()
@@ -286,6 +334,16 @@ class AggregateNode(PlanNode):
     def signature(self) -> str:
         return "aggregate(%s)" % self.child.signature()
 
+    def fingerprint(self) -> str:
+        return "aggregate[%s;%s](%s)" % (
+            ",".join(variable.n3() for variable in self.group_variables),
+            ",".join(
+                "%s=%r" % (variable.n3(), aggregate)
+                for variable, aggregate in self.aggregates
+            ),
+            self.child.fingerprint(),
+        )
+
     def describe(self) -> str:
         return "Aggregate by [%s] (est. %.0f groups)" % (
             ", ".join(variable.n3() for variable in self.group_variables),
@@ -305,6 +363,12 @@ class SortNode(PlanNode):
 
     def signature(self) -> str:
         return "sort(%s)" % self.child.signature()
+
+    def fingerprint(self) -> str:
+        return "sort[%s](%s)" % (
+            ";".join(repr(condition) for condition in self.conditions),
+            self.child.fingerprint(),
+        )
 
     def describe(self) -> str:
         return "Sort (%d keys)" % len(self.conditions)
@@ -326,6 +390,12 @@ class ProjectNode(PlanNode):
     def signature(self) -> str:
         return "project(%s)" % self.child.signature()
 
+    def fingerprint(self) -> str:
+        return "project[%s](%s)" % (
+            ",".join(variable.n3() for variable in self.projected),
+            self.child.fingerprint(),
+        )
+
     def describe(self) -> str:
         return "Project [%s]" % ", ".join(variable.n3() for variable in self.projected)
 
@@ -341,6 +411,9 @@ class DistinctNode(PlanNode):
 
     def signature(self) -> str:
         return "distinct(%s)" % self.child.signature()
+
+    def fingerprint(self) -> str:
+        return "distinct(%s)" % self.child.fingerprint()
 
     def describe(self) -> str:
         return "Distinct"
@@ -363,8 +436,67 @@ class LimitNode(PlanNode):
     def signature(self) -> str:
         return "limit(%s)" % self.child.signature()
 
+    def fingerprint(self) -> str:
+        return "limit[%r,%d](%s)" % (self.limit, self.offset, self.child.fingerprint())
+
     def describe(self) -> str:
         return "Limit %r offset %d" % (self.limit, self.offset)
+
+
+class CachedViewNode(PlanNode):
+    """A registered materialized view substituted into a plan.
+
+    Wraps the original subtree (``child``) and the view handle the vector
+    executor consults: on a view hit the executor returns the materialized
+    id-space batch like a scan; on a miss (or in the tuple executor, which
+    has no id-space batches to reuse) the child subtree executes unchanged,
+    so rows are identical either way — only the work differs.
+    """
+
+    def __init__(self, view, child: PlanNode):
+        super().__init__()
+        self.view = view
+        self.child = child
+        self.estimated_cardinality = child.estimated_cardinality
+        self.variable_counts = dict(child.variable_counts)
+
+    def children(self):
+        return (self.child,)
+
+    def output_variables(self) -> Tuple[Variable, ...]:
+        return self.child.output_variables()
+
+    def estimated_cout(self) -> float:
+        # A materialized view answers like a scan: no intermediate results.
+        return 0.0
+
+    def signature(self) -> str:
+        return "view:%s(%s)" % (self.view.name, self.child.signature())
+
+    def fingerprint(self) -> str:
+        return "view(%s)" % self.child.fingerprint()
+
+    def describe(self) -> str:
+        return "CachedView %s (est. %.0f rows)" % (
+            self.view.name,
+            self.estimated_cardinality,
+        )
+
+
+def cached_fingerprint(node: PlanNode) -> str:
+    """Memoized :meth:`PlanNode.fingerprint` of a finished plan.
+
+    Plans are immutable once the optimizer hands them over, and the plan
+    cache re-serves the same tree for thousands of executions — recomputing
+    the full recursive fingerprint on every one of them was the single
+    largest cost of serving a result-cache hit.  Only call this on plans
+    that are done being built (view substitution rewrites child links
+    in place during ``Optimizer.optimize``).
+    """
+    memo = node.__dict__.get("_fingerprint_memo")
+    if memo is None:
+        memo = node.__dict__["_fingerprint_memo"] = node.fingerprint()
+    return memo
 
 
 def join_tree_signature(node: PlanNode) -> str:
@@ -372,11 +504,15 @@ def join_tree_signature(node: PlanNode) -> str:
 
     Strips the solution modifiers that are identical for every binding of a
     template, so that classification focuses on the join order — the part of
-    the plan the paper's condition (a) is about.
+    the plan the paper's condition (a) is about.  Memoized per plan object
+    (every execution record of a plan-cache hit asks for it).
     """
     while isinstance(node, (ProjectNode, DistinctNode, LimitNode, SortNode, ExtendNode, AggregateNode)):
         node = node.child
-    return node.signature()
+    memo = node.__dict__.get("_signature_memo")
+    if memo is None:
+        memo = node.__dict__["_signature_memo"] = node.signature()
+    return memo
 
 
 def collect_nodes(node: PlanNode) -> List[PlanNode]:

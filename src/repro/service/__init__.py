@@ -11,17 +11,27 @@ and reports QPS / latency percentiles / cache hit rates.
 from .metrics import MetricsCollector, ServiceMetrics
 from .plan_cache import PlanCache, PlanCacheStats
 from .prepared import PreparedTemplate, PreparedTemplateRegistry, substitute_algebra
+from .result_cache import (
+    MaterializedView,
+    MaterializedViewRegistry,
+    ResultCache,
+    ResultCacheStats,
+)
 from .scheduler import ConcurrentScheduler
 from .service import QueryService
 
 __all__ = [
     "ConcurrentScheduler",
+    "MaterializedView",
+    "MaterializedViewRegistry",
     "MetricsCollector",
     "PlanCache",
     "PlanCacheStats",
     "PreparedTemplate",
     "PreparedTemplateRegistry",
     "QueryService",
+    "ResultCache",
+    "ResultCacheStats",
     "ServiceMetrics",
     "substitute_algebra",
 ]

@@ -1,0 +1,633 @@
+"""Materialized answer cache: id-space result caching + materialized views.
+
+The plan cache (PR 1) amortizes *optimization*; nothing amortizes
+*execution* — the paper's E-experiments run hot templates under heavy
+parameter skew, exactly the workload where the same plan re-executes the
+same join pipeline over and over.  :class:`ResultCache` closes that gap:
+
+* **Id space storage.**  Entries hold the executed plan's final
+  :class:`~repro.engine.vector.ColumnBatch` (int64 dictionary-id columns)
+  plus the extension-id side table of the producing execution, *not*
+  decoded rows.  Terms decode per request, so pagination, LIMIT/OFFSET
+  pushdown and the HTTP layer's JSON/CSV/TSV negotiation all compose with
+  cached entries unchanged — a hit is O(decode), never O(join).
+* **Keying and invalidation.**  The key is ``(plan fingerprint,
+  data_version)``.  :meth:`~repro.optimizer.plans.PlanNode.fingerprint`
+  includes every constant (two bindings of one template never alias);
+  any ``TripleStore.insert``/``remove`` bumps ``data_version``, making
+  every stale entry unreachable immediately and sweepable lazily.
+* **Single-flight fills.**  Concurrent misses on one key coalesce onto a
+  single execution (the :class:`~repro.service.plan_cache.PlanCache`
+  idiom): one client runs the pipeline, the others block and decode from
+  the same entry — even when admission declines to retain it.
+* **Admission and eviction.**  A byte budget with LRU eviction; entries
+  are admitted by a cost-vs-size heuristic (executed work units per KiB),
+  so cheap-to-recompute bulky results don't wash out expensive ones.
+* **Bit-identical serving.**  A hit reuses the producing execution's
+  profile and recomputes the simulated runtime from the caller's noise
+  key, so rows, profiles, Cout values and runtimes are identical with the
+  cache on or off — caching can only change the wall clock.
+
+:class:`MaterializedView` extends the same storage idiom to *declared*
+sub-patterns: the optimizer substitutes a
+:class:`~repro.optimizer.plans.CachedViewNode` wherever a registered
+view's fingerprint appears inside a plan, and both executors serve the
+subtree from the materialized batch (or execute it unchanged on a miss).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.executor import ExecutionProfile
+from ..engine.query_engine import RowStream
+from ..engine.vector import NULL_ID, ColumnBatch
+from ..obs.registry import MetricsRegistry
+from ..optimizer.plans import (
+    AggregateNode,
+    CachedViewNode,
+    DistinctNode,
+    ExtendNode,
+    JoinNode,
+    LeftJoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    UnionNode,
+    cached_fingerprint,
+)
+from ..rdf.terms import Term
+
+#: Cache key: (canonical plan fingerprint, store data_version).
+ResultKey = Tuple[str, int]
+
+#: Bookkeeping bytes charged per entry beyond its column payload.
+ENTRY_OVERHEAD_BYTES = 512
+
+#: Rough bytes charged per captured extension-id term (interned literals).
+EXTENSION_TERM_BYTES = 128
+
+#: No single entry may occupy more than this fraction of the byte budget.
+MAX_ENTRY_FRACTION = 4
+
+#: Default admission bar: executed work units per KiB of entry payload.
+#: Results this cheap to recompute relative to their footprint (straight
+#: dumps of a scan, empty results) are served but not retained.
+DEFAULT_MIN_WORK_PER_KIB = 1.0
+
+
+def _detach_batch(batch: ColumnBatch) -> ColumnBatch:
+    """A self-owned copy of ``batch`` (no views into store mmaps)."""
+    columns = {
+        variable: np.ascontiguousarray(column)
+        for variable, column in batch.columns.items()
+    }
+    return ColumnBatch(list(batch.variables), columns, batch.length, batch.nullable)
+
+
+def _detach_profile(profile: ExecutionProfile) -> ExecutionProfile:
+    """A tracer-free copy of ``profile`` safe to retain and re-serve."""
+    detached = ExecutionProfile()
+    detached.node_output_rows = dict(profile.node_output_rows)
+    detached.work = Counter(profile.work)
+    detached.intermediate_sizes = list(profile.intermediate_sizes)
+    detached.result_rows = profile.result_rows
+    return detached
+
+
+class _InflightFill:
+    """One fill in progress; same-key clients wait on ``ready``."""
+
+    __slots__ = ("ready", "entry")
+
+    def __init__(self):
+        self.ready = threading.Event()
+        self.entry: Optional["CacheEntry"] = None
+
+
+class CacheEntry:
+    """One cached result: the id-space batch plus what serving needs.
+
+    ``plan`` is the producing plan object — hits build their
+    :class:`~repro.engine.query_engine.RowStream` around it so
+    ``actual_cout`` (keyed by node identity) stays exact.  ``profile`` is
+    the *pre-output* execution profile: no ``output_tuple`` work and no
+    ``result_rows`` yet, because those depend on the request's
+    LIMIT/OFFSET slice and are added per response.
+    """
+
+    __slots__ = (
+        "plan",
+        "batch",
+        "extension_terms",
+        "profile",
+        "byte_size",
+        "work_units",
+        "estimated_cout",
+        "actual_cout",
+    )
+
+    def __init__(
+        self,
+        plan: PlanNode,
+        batch: ColumnBatch,
+        extension_terms: Dict[int, Term],
+        profile: ExecutionProfile,
+    ):
+        self.plan = plan
+        self.batch = _detach_batch(batch)
+        self.extension_terms = dict(extension_terms)
+        self.profile = _detach_profile(profile)
+        self.byte_size = (
+            ENTRY_OVERHEAD_BYTES
+            + sum(column.nbytes for column in self.batch.columns.values())
+            + len(self.extension_terms) * EXTENSION_TERM_BYTES
+        )
+        self.work_units = profile.total_tuples_processed()
+        # Both Cout figures are invariant across requests of this entry
+        # (LIMIT/OFFSET modifiers are transparent to Cout by the paper's
+        # definition), so hits skip the two plan-tree walks per response.
+        self.estimated_cout = plan.estimated_cout()
+        self.actual_cout = self.profile.actual_cout(plan)
+
+
+@dataclass(frozen=True)
+class ResultCacheStats:
+    """Snapshot of the cache counters at one point in time."""
+
+    budget_bytes: int
+    bytes_resident: int
+    entries: int
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+    rejected: int
+    invalidated: int
+
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        lookups = self.lookups()
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "result cache budget bytes": self.budget_bytes,
+            "result cache bytes resident": self.bytes_resident,
+            "result cache entries": self.entries,
+            "result cache hits": self.hits,
+            "result cache misses": self.misses,
+            "result cache evictions": self.evictions,
+            "result cache rejected": self.rejected,
+            "result cache invalidated": self.invalidated,
+            "result cache hit rate": self.hit_rate(),
+        }
+
+
+class ResultCache:
+    """Memory-budgeted LRU cache of executed id-space results.
+
+    Attach to an engine via ``QueryEngine.with_result_cache``; the engine
+    consults it from ``execute_plan_iter`` whenever the vector executor
+    runs (the tuple executor materialises rows, not id batches, so it
+    executes unchanged — results are identical either way by the
+    executor-equivalence contract).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        min_work_per_kib: float = DEFAULT_MIN_WORK_PER_KIB,
+    ):
+        if budget_bytes <= 0:
+            raise ValueError("result cache budget must be positive, got %d" % budget_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.min_work_per_kib = float(min_work_per_kib)
+        self._entries: "OrderedDict[ResultKey, CacheEntry]" = OrderedDict()
+        self._inflight: Dict[ResultKey, _InflightFill] = {}
+        self._lock = threading.Lock()
+        self._bytes_resident = 0
+        self._swept_version: Optional[int] = None
+        #: the cache's own instruments; the server and the prefork pool
+        #: merge this registry into their /metrics expositions and dumps.
+        self.registry = MetricsRegistry()
+        self._hits = self.registry.counter(
+            "repro_result_cache_hits_total", "Result cache lookups served from cache"
+        )
+        self._misses = self.registry.counter(
+            "repro_result_cache_misses_total", "Result cache lookups that executed the plan"
+        )
+        self._insertions = self.registry.counter(
+            "repro_result_cache_insertions_total", "Entries admitted into the result cache"
+        )
+        self._evictions = self.registry.counter(
+            "repro_result_cache_evictions_total", "Entries evicted by the LRU byte budget"
+        )
+        self._rejected = self.registry.counter(
+            "repro_result_cache_rejected_total",
+            "Entries declined by the admission heuristic (size or cost-per-byte)",
+        )
+        self._invalidated = self.registry.counter(
+            "repro_result_cache_invalidated_total",
+            "Entries dropped because the store data_version moved past them",
+        )
+        self.registry.gauge(
+            "repro_result_cache_bytes_resident",
+            "Bytes of id-space result payload currently resident",
+            callback=self.bytes_resident,
+        )
+        self.registry.gauge(
+            "repro_result_cache_entries",
+            "Entries currently resident in the result cache",
+            callback=self.__len__,
+        )
+
+    # -- serving -----------------------------------------------------------------
+
+    def serve(
+        self,
+        engine,
+        plan: PlanNode,
+        noise_key: str = "",
+        page_size: Optional[int] = None,
+        tracer=None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> RowStream:
+        """Serve one execution through the cache (consult-and-fill).
+
+        The engine calls this instead of running the executor directly.
+        ``plan`` must be the *unsliced* plan — the request's
+        ``limit``/``offset`` are applied to the cached batch in id space,
+        so every slice of one result shares a single cached execution.
+        """
+        version = engine.store.data_version
+        key = (cached_fingerprint(plan), version)
+        while True:
+            wait_for: Optional[_InflightFill] = None
+            with self._lock:
+                self._sweep_locked(version)
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._hits.inc()
+                    return self._respond(
+                        engine, entry, noise_key, page_size, tracer, limit, offset, hit=True
+                    )
+                wait_for = self._inflight.get(key)
+                if wait_for is None:
+                    self._inflight[key] = _InflightFill()
+            if wait_for is None:
+                self._misses.inc()
+                break  # we are the builder
+            wait_for.ready.wait()
+            if wait_for.entry is not None:
+                self._hits.inc()
+                return self._respond(
+                    engine, wait_for.entry, noise_key, page_size, tracer, limit, offset, hit=True
+                )
+            # The fill we waited on failed; retry from the top.
+
+        try:
+            entry = self._build(engine, plan, tracer, limit, offset)
+        except BaseException:
+            self._finish_fill(key, None)
+            raise
+        self._admit(key, entry, version)
+        self._finish_fill(key, entry)
+        return self._respond(
+            engine, entry, noise_key, page_size, tracer, limit, offset, hit=False
+        )
+
+    def _build(self, engine, plan: PlanNode, tracer, limit, offset) -> CacheEntry:
+        """Execute ``plan`` for real and wrap the outcome as an entry.
+
+        The caller's tracer records the genuine operator spans — including
+        the LIMIT span the cache-off path would have as its root — so a
+        traced miss is indistinguishable from an uncached execution.
+        """
+        executor = engine.executor
+        span = None
+        if tracer is not None and (limit is not None or offset):
+            span = tracer.enter(LimitNode(plan, limit, offset))
+        try:
+            batch, extension_terms, profile = executor.execute_batch(plan, tracer=tracer)
+        except BaseException:
+            if span is not None:
+                tracer.exit(span, None)
+            raise
+        if span is not None:
+            end = None if limit is None else offset + limit
+            sliced = len(range(*slice(offset, end).indices(batch.length)))
+            tracer.exit(span, sliced)
+        return CacheEntry(plan, batch, extension_terms, profile)
+
+    def _respond(
+        self,
+        engine,
+        entry: CacheEntry,
+        noise_key: str,
+        page_size: Optional[int],
+        tracer,
+        limit: Optional[int],
+        offset: int,
+        hit: bool,
+    ) -> RowStream:
+        """Shape one response from an entry: slice, profile, runtime, pages.
+
+        Both hits and the builder's own response come through here, so the
+        two are identical by construction; the simulated runtime is
+        recomputed from the *caller's* noise key exactly as an uncached
+        execution would.
+        """
+        plan = entry.plan
+        batch = entry.batch
+        profile = _detach_profile(entry.profile)
+        if limit is not None or offset:
+            limit_node = LimitNode(plan, limit, offset)
+            end = None if limit is None else offset + limit
+            batch = batch.take(slice(offset, end))
+            profile.record_output(limit_node, batch.length)
+            plan = limit_node
+        profile.result_rows = batch.length
+        profile.add_work("output_tuple", batch.length)
+        runtime = engine.runtime_model.runtime_milliseconds(profile, noise_key)
+        pages = engine.executor.pages_for(batch, entry.extension_terms, page_size)
+        stream = RowStream(
+            pages,
+            plan,
+            profile,
+            runtime,
+            estimated_cout=entry.estimated_cout,
+            actual_cout=entry.actual_cout,
+        )
+        stream.result_cached = hit
+        if tracer is not None:
+            if hit:
+                # A hit never enters the operator pipeline; give the trace
+                # a single root span over the served plan.
+                span = tracer.enter(plan)
+                tracer.exit(span, batch.length)
+            stream.trace = tracer.finish(
+                result_rows=profile.result_rows,
+                runtime_ms=runtime,
+                executor=engine.executor_name,
+                parallelism=engine.parallelism,
+                result_cache="hit" if hit else "miss",
+            )
+        return stream
+
+    # -- admission / eviction / invalidation ---------------------------------------
+
+    def _admit(self, key: ResultKey, entry: CacheEntry, version: int) -> None:
+        if not self._admissible(entry):
+            self._rejected.inc()
+            return
+        with self._lock:
+            self._sweep_locked(version)
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = entry
+            self._bytes_resident += entry.byte_size
+            self._insertions.inc()
+            while self._bytes_resident > self.budget_bytes and self._entries:
+                _evicted_key, evicted = self._entries.popitem(last=False)
+                self._bytes_resident -= evicted.byte_size
+                self._evictions.inc()
+
+    def _admissible(self, entry: CacheEntry) -> bool:
+        if entry.byte_size > self.budget_bytes // MAX_ENTRY_FRACTION:
+            return False
+        work_per_kib = entry.work_units / (entry.byte_size / 1024.0)
+        return work_per_kib >= self.min_work_per_kib
+
+    def _sweep_locked(self, version: int) -> None:
+        """Drop entries stranded behind ``version`` (store was mutated)."""
+        if self._swept_version == version:
+            return
+        self._swept_version = version
+        stale = [key for key in self._entries if key[1] != version]
+        for key in stale:
+            entry = self._entries.pop(key)
+            self._bytes_resident -= entry.byte_size
+            self._invalidated.inc()
+
+    def _finish_fill(self, key: ResultKey, entry: Optional[CacheEntry]) -> None:
+        """Publish the outcome of an in-flight fill and wake the waiters."""
+        with self._lock:
+            fill = self._inflight.pop(key, None)
+        if fill is not None:
+            fill.entry = entry
+            fill.ready.set()
+
+    # -- introspection -----------------------------------------------------------
+
+    def bytes_resident(self) -> int:
+        with self._lock:
+            return self._bytes_resident
+
+    def stats(self) -> ResultCacheStats:
+        with self._lock:
+            entries = len(self._entries)
+            resident = self._bytes_resident
+        return ResultCacheStats(
+            budget_bytes=self.budget_bytes,
+            bytes_resident=resident,
+            entries=entries,
+            hits=int(self._hits.total()),
+            misses=int(self._misses.total()),
+            insertions=int(self._insertions.total()),
+            evictions=int(self._evictions.total()),
+            rejected=int(self._rejected.total()),
+            invalidated=int(self._invalidated.total()),
+        )
+
+    def keys(self) -> List[ResultKey]:
+        """Currently resident keys in LRU order (oldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes_resident = 0
+            self._swept_version = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return "ResultCache(entries=%d, bytes=%d/%d, hits=%d, misses=%d)" % (
+            stats.entries,
+            stats.bytes_resident,
+            stats.budget_bytes,
+            stats.hits,
+            stats.misses,
+        )
+
+
+# -- materialized views --------------------------------------------------------------
+
+
+class MaterializedView:
+    """One declared view: a plan subtree materialized as an id-space batch.
+
+    The batch is keyed by the store ``data_version`` that produced it — a
+    mutation makes the view refill on its next execution, never serve
+    stale rows.  Fills refuse batches carrying extension ids (BIND or
+    aggregate outputs survive only inside the query that allocated them);
+    such subtrees simply execute unchanged every time.
+    """
+
+    def __init__(self, name: str, plan: PlanNode):
+        self.name = name
+        self.plan = plan
+        self.fingerprint = plan.fingerprint()
+        self._lock = threading.Lock()
+        self._version: Optional[int] = None
+        self._batch: Optional[ColumnBatch] = None
+        self.hits = 0
+        self.misses = 0
+        self.refusals = 0
+
+    def lookup(self, data_version: int) -> Optional[ColumnBatch]:
+        """The materialized batch for ``data_version``, or None (stale/cold)."""
+        with self._lock:
+            if self._version == data_version and self._batch is not None:
+                self.hits += 1
+                return self._batch
+            self.misses += 1
+            return None
+
+    def fill(self, data_version: int, batch: ColumnBatch) -> bool:
+        """Retain ``batch`` as the view's answer for ``data_version``."""
+        for variable in batch.variables:
+            column = batch.columns[variable]
+            if column.size and int(column.min()) < NULL_ID:
+                with self._lock:
+                    self.refusals += 1
+                return False
+        detached = _detach_batch(batch)
+        with self._lock:
+            self._version = data_version
+            self._batch = detached
+        return True
+
+    def refuse(self) -> None:
+        """Count a fill the producer abandoned (unencodable terms)."""
+        with self._lock:
+            self.refusals += 1
+
+    def byte_size(self) -> int:
+        with self._lock:
+            if self._batch is None:
+                return 0
+            return sum(column.nbytes for column in self._batch.columns.values())
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "hits": self.hits,
+                "misses": self.misses,
+                "refusals": self.refusals,
+                "bytes": sum(
+                    column.nbytes for column in self._batch.columns.values()
+                ) if self._batch is not None else 0,
+                "materialized": self._batch is not None,
+            }
+
+    def __repr__(self) -> str:
+        return "MaterializedView(%r, hits=%d, misses=%d)" % (self.name, self.hits, self.misses)
+
+
+#: Solution modifiers stripped from a registered view's plan: a view
+#: materializes the join part, the part bindings share.
+_MODIFIER_NODES = (ProjectNode, DistinctNode, LimitNode, SortNode, ExtendNode, AggregateNode)
+
+
+class MaterializedViewRegistry:
+    """Declared views, keyed by subtree fingerprint, consulted per optimize.
+
+    Attached to the optimizer (``Optimizer.views``); after join ordering,
+    every subtree whose fingerprint matches a registered view is wrapped
+    in a :class:`~repro.optimizer.plans.CachedViewNode`.  Fingerprints
+    include constants, so a view matches exactly the recurring
+    *non-parameterized* subpatterns (the E4 histogram's repeated join
+    groups), never a different binding of a similar shape.
+    """
+
+    def __init__(self):
+        self._views: "OrderedDict[str, MaterializedView]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def register(self, name: str, plan: PlanNode) -> MaterializedView:
+        """Declare ``plan``'s join subtree as a view named ``name``."""
+        while isinstance(plan, _MODIFIER_NODES):
+            plan = plan.child
+        if isinstance(plan, (ScanNode, CachedViewNode)):
+            raise ValueError(
+                "a materialized view must cover a join subtree, not a single "
+                "scan or another view (got %s)" % plan.describe()
+            )
+        view = MaterializedView(name, plan)
+        with self._lock:
+            self._views[view.fingerprint] = view
+        return view
+
+    def views(self) -> List[MaterializedView]:
+        with self._lock:
+            return list(self._views.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._views)
+
+    def substitute(self, plan: PlanNode) -> PlanNode:
+        """Wrap every registered subtree of a freshly optimized plan.
+
+        Rewrites child links in place (the optimizer hands over a fresh
+        tree per call).  The direct right side of an index-lookup join is
+        left alone — that operator probes a scan through the permutation
+        indexes and never materialises its right side.
+        """
+        with self._lock:
+            if not self._views:
+                return plan
+            views = dict(self._views)
+
+        def rewrite(node: PlanNode, lookup_right: bool = False) -> PlanNode:
+            if isinstance(node, CachedViewNode):
+                return node
+            if not lookup_right and not isinstance(node, ScanNode):
+                view = views.get(node.fingerprint())
+                if view is not None:
+                    return CachedViewNode(view, node)
+            if isinstance(node, JoinNode):
+                node.left = rewrite(node.left)
+                node.right = rewrite(node.right, lookup_right=node.method == JoinNode.LOOKUP)
+            elif isinstance(node, LeftJoinNode):
+                node.left = rewrite(node.left)
+                node.right = rewrite(node.right)
+            elif isinstance(node, UnionNode):
+                node.alternatives = [rewrite(child) for child in node.alternatives]
+            elif node.children():
+                node.child = rewrite(node.child)
+            return node
+
+        return rewrite(plan)
+
+    def stats(self) -> List[Dict[str, float]]:
+        return [view.stats() for view in self.views()]

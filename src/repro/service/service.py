@@ -36,6 +36,7 @@ from ..bench.workload import ParameterBinding, Workload, WorkloadSuite
 from .metrics import MetricsCollector, ServiceMetrics
 from .plan_cache import PlanCache, PlanCacheStats
 from .prepared import PreparedTemplate, PreparedTemplateRegistry
+from .result_cache import ResultCache
 from .scheduler import ConcurrentScheduler
 
 TemplateOrName = Union[QueryTemplate, PreparedTemplate, str]
@@ -59,11 +60,18 @@ class QueryService:
         plan_cache_capacity: int = 512,
         executor: Optional[str] = None,
         parallelism: Optional[int] = None,
+        result_cache_mb: float = 0.0,
+        result_cache: Optional[ResultCache] = None,
     ):
         if executor is not None:
             engine = engine.with_executor(executor)
         if parallelism is not None:
             engine = engine.with_parallelism(parallelism)
+        if result_cache is None and result_cache_mb > 0:
+            result_cache = ResultCache(int(result_cache_mb * 1024 * 1024))
+        self.result_cache = result_cache
+        if result_cache is not None:
+            engine = engine.with_result_cache(result_cache)
         self.engine = engine
         self.registry = PreparedTemplateRegistry()
         self.plan_cache = PlanCache(plan_cache_capacity)
@@ -80,6 +88,7 @@ class QueryService:
         executor: Optional[str] = None,
         parallelism: Optional[int] = None,
         join_ordering: str = "dp",
+        result_cache_mb: float = 0.0,
     ) -> "QueryService":
         """Serve straight from a store snapshot (see :mod:`repro.store.snapshot`).
 
@@ -101,6 +110,7 @@ class QueryService:
             plan_cache_capacity=plan_cache_capacity,
             executor=executor,
             parallelism=parallelism,
+            result_cache_mb=result_cache_mb,
         )
 
     # -- preparation ---------------------------------------------------------------
@@ -228,6 +238,8 @@ class QueryService:
         stats["client workers (closed-loop)"] = self.last_batch_workers
         stats["intra-query parallelism (morsel workers)"] = self.engine.parallelism
         stats.update(self.cache_stats().as_dict())
+        if self.result_cache is not None:
+            stats.update(self.result_cache.stats().as_dict())
         stats.update(self.registry.stats())
         return stats
 

@@ -221,9 +221,9 @@ class _SlowEngine:
     def __getattr__(self, name):
         return getattr(self._engine, name)
 
-    def execute_plan_iter(self, plan, noise_key="", page_size=None):
+    def execute_plan_iter(self, plan, noise_key="", page_size=None, **kwargs):
         time.sleep(self._delay)
-        return self._engine.execute_plan_iter(plan, noise_key, page_size)
+        return self._engine.execute_plan_iter(plan, noise_key, page_size, **kwargs)
 
 
 class TestTimeouts:

@@ -145,7 +145,7 @@ class TestSupervision:
 
 class TestMetricsAggregation:
     def test_aggregate_equals_sum_of_workers_plus_retired(self, snapshot_path):
-        with WorkerPool(snapshot_path, workers=2, port=0) as pool:
+        with WorkerPool(snapshot_path, workers=2, port=0, result_cache_mb=8) as pool:
             client = RemoteEndpoint(pool.url)
             for _ in range(12):
                 client.query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 2")
@@ -165,6 +165,24 @@ class TestMetricsAggregation:
                 for sample, value in document["aggregate"].items()
                 if sample.startswith("repro_http_responses_total{")
             )
+            # the result cache publishes through the same pipeline: its
+            # counters are in every worker dump (so the identity loop above
+            # covered them) and the repeated query produced genuine hits.
+            # Hit arithmetic only applies on the vector executor — the tuple
+            # executor materialises rows, not id batches, and bypasses the
+            # cache (the counters still register, at zero).
+            aggregate = document["aggregate"]
+            if os.environ.get("REPRO_EXECUTOR", "vector") == "vector":
+                assert aggregate.get("repro_result_cache_misses_total", 0.0) >= 1
+                assert aggregate.get("repro_result_cache_hits_total", 0.0) >= 1
+                assert (
+                    aggregate["repro_result_cache_hits_total"]
+                    + aggregate["repro_result_cache_misses_total"]
+                    == 12
+                )
+            for flat in document["workers"].values():
+                assert "repro_result_cache_bytes_resident" in flat
+                assert "repro_result_cache_insertions_total" in flat
 
     def test_prometheus_text_over_the_pool(self, snapshot_path):
         with WorkerPool(snapshot_path, workers=2, port=0) as pool:

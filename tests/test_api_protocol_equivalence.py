@@ -16,6 +16,7 @@ benchmark — the sweep exercises the plan cache and the threaded handler
 path along the way.
 """
 
+import os
 import re
 
 import pytest
@@ -29,6 +30,12 @@ from repro.experiments import common
 
 SCALE = "tiny"
 BINDINGS_PER_TEMPLATE = 2
+
+#: CI's server-smoke job sets this to run the whole sweep with the
+#: materialized answer cache enabled on the serving session, checked
+#: against an *uncached* in-process engine — the protocol seam must stay
+#: bit-identical either way.
+CACHE_MB = float(os.environ.get("REPRO_RESULT_CACHE_MB", "0") or 0.0)
 
 #: every experiment-reachable template with a registered parameter space.
 EXPERIMENT_TEMPLATES = [
@@ -84,7 +91,9 @@ def test_protocol_sweep_is_bit_identical(mix, executor, parallelism):
         else common.ldbc_engine(SCALE, executor, parallelism)
     )
     dataset = Dataset.from_store(engine.store)
-    session = dataset.session(executor=executor, parallelism=parallelism)
+    session = dataset.session(
+        executor=executor, parallelism=parallelism, result_cache_mb=CACHE_MB
+    )
     with SparqlServer(session, port=0) as server:
         client = RemoteEndpoint(server.url)
         for name, query in sweep_queries(mix):

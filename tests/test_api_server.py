@@ -29,6 +29,10 @@ from repro.store.triple_store import TripleStore
 EX = "http://example.org/"
 QUERY = "SELECT ?s ?o WHERE { ?s <%sp> ?o } ORDER BY ?s ?o" % EX
 
+#: CI's server-smoke job sets this so the whole module (and the CLI
+#: subprocess smoke below) runs with the materialized answer cache on.
+CACHE_MB = float(os.environ.get("REPRO_RESULT_CACHE_MB", "0") or 0.0)
+
 
 def build_store() -> TripleStore:
     store = TripleStore()
@@ -41,7 +45,7 @@ def build_store() -> TripleStore:
 
 @pytest.fixture(scope="module")
 def server():
-    with serve(build_store(), port=0) as running:
+    with serve(build_store(), port=0, result_cache_mb=CACHE_MB) as running:
         yield running
 
 
@@ -191,9 +195,9 @@ class _SlowEngine:
     def __getattr__(self, name):
         return getattr(self._engine, name)
 
-    def execute_plan_iter(self, plan, noise_key="", page_size=None):
+    def execute_plan_iter(self, plan, noise_key="", page_size=None, **kwargs):
         time.sleep(self._delay)
-        return self._engine.execute_plan_iter(plan, noise_key, page_size)
+        return self._engine.execute_plan_iter(plan, noise_key, page_size, **kwargs)
 
 
 class TestTimeout503:
@@ -374,9 +378,10 @@ class TestPrebuiltSnapshotServeSmoke:
         execution under both executors and parallelism 1 and 4."""
         environment = dict(os.environ)
         environment["PYTHONPATH"] = "src" + os.pathsep + environment.get("PYTHONPATH", "")
+        cache_flags = ["--result-cache-mb", str(CACHE_MB)] if CACHE_MB else []
         process = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve", PREBUILT, "--port", "0",
-             "--parallelism", "2"],
+             "--parallelism", "2"] + cache_flags,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -402,6 +407,14 @@ class TestPrebuiltSnapshotServeSmoke:
                     assert remote_json == expected.rows
                     assert remote_tsv == expected.rows
                     assert len(remote_csv) == len(expected.rows)
+            if CACHE_MB and os.environ.get("REPRO_EXECUTOR", "vector") == "vector":
+                # three formats per query over the same id-space entry:
+                # the second and third requests must have been cache hits.
+                _status, _headers, body = http_get(
+                    match.group(0).replace("/sparql", "/metrics")
+                )
+                payload = json.loads(body)
+                assert payload["result cache hits"] >= 2 * len(SMOKE_QUERIES)
         finally:
             process.send_signal(signal.SIGINT)
             try:

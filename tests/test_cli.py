@@ -437,3 +437,73 @@ class TestServePoolFlags:
             assert server.admission.max_inflight == 64
         finally:
             server.shutdown()
+
+
+class TestResultCacheFlags:
+    """``--result-cache-mb`` on serve / query / throughput."""
+
+    def test_flag_parses_everywhere_and_defaults_off(self):
+        for command in (
+            ["serve", "bsbm.snapshot"],
+            ["throughput", "bsbm_bi_q8"],
+            ["query", "SELECT * WHERE { ?s ?p ?o }", "--source", "x"],
+        ):
+            assert cli.build_parser().parse_args(command).result_cache_mb == 0.0
+        arguments = cli.build_parser().parse_args(
+            ["serve", "bsbm.snapshot", "--result-cache-mb", "32"]
+        )
+        assert arguments.result_cache_mb == 32.0
+
+    def test_run_serve_attaches_the_cache_to_the_session(self):
+        arguments = cli.build_parser().parse_args(
+            ["serve", "bsbm:tiny", "--port", "0", "--result-cache-mb", "4"]
+        )
+        server = cli._run_serve(arguments, io.StringIO())
+        try:
+            assert server.session.result_cache is not None
+        finally:
+            server.shutdown()
+
+        arguments = cli.build_parser().parse_args(["serve", "bsbm:tiny", "--port", "0"])
+        server = cli._run_serve(arguments, io.StringIO())
+        try:
+            assert server.session.result_cache is None
+        finally:
+            server.shutdown()
+
+    def test_throughput_reports_result_cache_counters(self):
+        exit_code, output = run_cli(
+            ["throughput", "bsbm_bi_q8", "--scale", "tiny",
+             "--executions", "30", "--distinct", "3", "--workers", "2",
+             "--result-cache-mb", "8"]
+        )
+        assert exit_code == 0
+        assert "result cache hits" in output
+        hits = int(
+            [line for line in output.splitlines() if "result cache hits" in line][0]
+            .split(":")[1]
+        )
+        # 30 executions over 3 distinct bindings: all but the fills hit.
+        assert hits >= 30 - 3
+
+    def test_query_result_cache_is_local_only(self, capsys):
+        exit_code, _output = run_cli(
+            ["query", "SELECT ?s WHERE { ?s ?p ?o }",
+             "--endpoint", "http://127.0.0.1:9", "--result-cache-mb", "4"]
+        )
+        assert exit_code == 1
+        assert "--result-cache-mb" in capsys.readouterr().err
+
+    def test_query_with_local_cache_serves_identical_rows(self, tmp_path):
+        from repro.api import connect
+
+        dataset = connect("bsbm:tiny")
+        dataset.store.finalise()
+        path = str(tmp_path / "cli_cache.snapshot")
+        dataset.store.save(path)
+        query = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 8"
+        _code, plain = run_cli(["query", query, "--source", path])
+        _code, cached = run_cli(
+            ["query", query, "--source", path, "--result-cache-mb", "4"]
+        )
+        assert cached == plain

@@ -101,3 +101,14 @@ class TestHttpEndpointWalkthrough:
         assert "protocol rows == in-process execute(): True" in output
         assert "health: ok" in output
         assert "server shut down gracefully" in output
+
+
+class TestResultCacheWalkthrough:
+    def test_main_caches_invalidates_and_substitutes(self, capsys):
+        example = load_example("result_cache_walkthrough")
+        example.main()
+        output = capsys.readouterr().out
+        assert "served from cache: True, rows identical: True" in output
+        assert "served from cache = False (re-executed), rows identical: True" in output
+        assert "optimizer substituted the view: True" in output
+        assert "rows identical through the view: True" in output

@@ -1,0 +1,191 @@
+"""Result-cache transparency: cache-on == cache-off, everywhere.
+
+The answer cache's contract is that it can only ever change the wall
+clock: rows, row order, profiles, Cout values and simulated runtimes are
+bit-identical with the cache on or off, for every template the paper's
+experiments execute, on both executors, at parallelism 1 and 4 — and a
+mutation between executions is always reflected (a stale entry is never
+served).
+
+Every cache-on engine here runs the workload twice over the same
+bindings, so the second pass is served from cache — the assertions hold
+on genuine hits, not just on fills.
+"""
+
+import pytest
+
+from repro.bench.runner import execution_record
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.datagen.ldbc import template as ldbc_template
+from repro.engine import QueryEngine
+from repro.experiments import common
+from repro.rdf.terms import IRI, typed_literal
+from repro.rdf.triples import Triple
+from repro.service.result_cache import ResultCache
+from repro.store.triple_store import TripleStore
+
+SCALE = "tiny"
+
+#: (executor, parallelism) grid the transparency property must hold on.
+#: The tuple executor bypasses the cache by design — including it proves
+#: attaching a cache never perturbs that path either.
+CONFIGS = [("vector", 1), ("vector", 4), ("tuple", 1)]
+
+#: every template the experiments E1–E4 execute, plus the remaining mix
+#: templates — the same sweep the executor-equivalence suite runs.
+EXPERIMENT_TEMPLATES = [
+    ("bsbm_bi_q1", common.bsbm_type_space),
+    ("bsbm_bi_q2", common.bsbm_product_space),
+    ("bsbm_bi_q3", common.bsbm_feature_space),
+    ("bsbm_bi_q4", common.bsbm_type_space),
+    ("bsbm_bi_q5", common.bsbm_product_space),
+    ("bsbm_bi_q6", common.bsbm_producer_space),
+    ("bsbm_bi_q8", common.bsbm_type_feature_space),
+    ("ldbc_q2", common.ldbc_person_space),
+    ("ldbc_q3", common.ldbc_person_country_pair_space),
+    ("ldbc_q4", common.ldbc_person_space),
+    ("ldbc_q5", common.ldbc_person_space),
+    ("ldbc_q7", common.ldbc_country_space),
+    ("ldbc_q8", common.ldbc_person_space),
+]
+
+
+def fresh_cache() -> ResultCache:
+    # min_work_per_kib=0: admit everything, so the second pass is hits for
+    # every template (the admission heuristic has its own unit tests).
+    return ResultCache(64 * 1024 * 1024, min_work_per_kib=0.0)
+
+
+def assert_equivalent(off, on):
+    """Full bit-identity between a cache-off and a cache-on QueryResult."""
+    assert on.rows == off.rows
+    assert on.plan_signature() == off.plan_signature()
+    assert on.profile.work == off.profile.work
+    assert on.profile.result_rows == off.profile.result_rows
+    assert on.actual_cout == off.actual_cout
+    assert on.estimated_cout == off.estimated_cout
+    assert on.runtime_ms == off.runtime_ms
+
+
+class TestTemplateSweep:
+    @pytest.mark.parametrize("template_name,space_factory", EXPERIMENT_TEMPLATES)
+    def test_cache_on_is_bit_identical_to_cache_off(self, template_name, space_factory):
+        if template_name.startswith("bsbm"):
+            base = common.bsbm_engine(SCALE)
+            template = bsbm_template(template_name)
+        else:
+            base = common.ldbc_engine(SCALE)
+            template = ldbc_template(template_name)
+        bindings = UniformSampler(space_factory(SCALE), seed=11).bindings(3)
+        for executor, parallelism in CONFIGS:
+            off_engine = base.with_executor(executor).with_parallelism(parallelism)
+            cache = fresh_cache()
+            on_engine = off_engine.with_result_cache(cache)
+            # two passes over the same bindings: pass 2 serves from cache
+            # (vector) with fresh repetition indices, i.e. fresh noise keys.
+            schedule = [
+                (repetition, binding)
+                for repetition in range(2)
+                for binding in bindings
+            ]
+            for repetition, binding in schedule:
+                off = off_engine.execute_template(template, binding, repetition)
+                on = on_engine.execute_template(template, binding, repetition)
+                assert_equivalent(off, on)
+                assert execution_record(template.name, binding, on, repetition) == (
+                    execution_record(template.name, binding, off, repetition)
+                )
+            if executor == "vector":
+                stats = cache.stats()
+                assert stats.hits >= len(bindings), (
+                    "second pass should have been served from cache "
+                    "(%s)" % (stats,)
+                )
+            else:
+                assert cache.stats().lookups() == 0
+
+
+EX = "http://example.org/"
+P0, P1, P2 = (IRI(EX + "p%d" % i) for i in range(3))
+
+#: compact shape pool: joins, OPTIONAL, UNION, BIND (extension ids),
+#: aggregation, DISTINCT/ORDER/LIMIT — every executor surface the cached
+#: batch storage has to reproduce.
+SHAPE_QUERIES = [
+    "SELECT ?s ?o ?x WHERE { ?s %s ?o . ?o %s ?x }" % (P0.n3(), P1.n3()),
+    "SELECT ?s ?o ?y WHERE { ?s %s ?o . OPTIONAL { ?s %s ?y } }" % (P0.n3(), P1.n3()),
+    "SELECT ?s ?o WHERE { { ?s %s ?o } UNION { ?s %s ?o } }" % (P0.n3(), P1.n3()),
+    "SELECT ?s ?w WHERE { ?s %s ?v . BIND(?v * 2 AS ?w) }" % P2.n3(),
+    "SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s %s ?o } GROUP BY ?s ORDER BY DESC(?c) ?s"
+    % P0.n3(),
+    "SELECT DISTINCT ?o WHERE { ?s %s ?o } ORDER BY ?o LIMIT 4" % P0.n3(),
+]
+
+
+def shape_store() -> TripleStore:
+    store = TripleStore()
+    triples = []
+    for i in range(10):
+        subject = IRI(EX + "s%d" % i)
+        triples.append(Triple(subject, P0, IRI(EX + "s%d" % ((i + 3) % 10))))
+        if i % 2:
+            triples.append(Triple(subject, P1, IRI(EX + "o%d" % (i % 3))))
+        triples.append(Triple(subject, P2, typed_literal(i)))
+    store.add_many(triples)
+    return store
+
+
+class TestShapePool:
+    @pytest.mark.parametrize("query", SHAPE_QUERIES)
+    def test_every_shape_is_transparent_under_cache(self, query):
+        store = shape_store()
+        for executor, parallelism in CONFIGS:
+            off_engine = QueryEngine(
+                store, executor=executor, parallelism=parallelism
+            )
+            on_engine = off_engine.with_result_cache(fresh_cache())
+            for repetition in range(3):
+                noise_key = "shape|%d" % repetition
+                off = off_engine.execute(query, noise_key=noise_key)
+                on = on_engine.execute(query, noise_key=noise_key)
+                assert_equivalent(off, on)
+            if executor == "vector":
+                assert on_engine.result_cache.stats().hits == 2
+
+
+class TestMutationBetweenExecutions:
+    QUERY = "SELECT ?s ?o ?x WHERE { ?s %s ?o . ?s %s ?x }" % (P0.n3(), P2.n3())
+
+    @pytest.mark.parametrize("executor,parallelism", CONFIGS)
+    def test_insert_and_remove_are_reflected_not_stale_served(self, executor, parallelism):
+        store = shape_store()
+        off_engine = QueryEngine(store, executor=executor, parallelism=parallelism)
+        on_engine = off_engine.with_result_cache(fresh_cache())
+
+        def check():
+            off = off_engine.execute(self.QUERY)
+            on = on_engine.execute(self.QUERY)
+            assert on.rows == off.rows
+            assert on.profile.work == off.profile.work
+            return on
+
+        baseline = check()
+        warm = check()  # steady state: cache (if consulted) is warm
+        if executor == "vector":
+            assert warm.result_cached
+
+        extra = Triple(IRI(EX + "s0"), P0, IRI(EX + "inserted"))
+        store.insert(extra)
+        after_insert = check()
+        assert len(after_insert.rows) == len(baseline.rows) + 1
+        assert any(IRI(EX + "inserted") in row.values() for row in after_insert.rows)
+
+        assert store.remove(extra)
+        after_remove = check()
+        assert after_remove.rows == baseline.rows
+
+        # and the steady state re-establishes on the new version
+        final = check()
+        if executor == "vector":
+            assert final.result_cached

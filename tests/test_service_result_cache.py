@@ -1,0 +1,463 @@
+"""Unit tests for the materialized answer cache and materialized views.
+
+Covers the cache mechanics in isolation — fingerprint keying, hit/miss,
+LRU eviction under the byte budget, admission, data_version invalidation,
+single-flight fill coalescing — plus the regression the id-space storage
+design hinges on: cached batches carrying *extension ids* (BIND/aggregate
+outputs, allocated in thread-local per-query side tables) must decode
+bit-identically from any thread, at any later time.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.rdf.terms import IRI, Variable, typed_literal
+from repro.rdf.triples import Triple
+from repro.service.result_cache import (
+    MaterializedView,
+    MaterializedViewRegistry,
+    ResultCache,
+)
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+P0, P1, P2 = (IRI(EX + "p%d" % i) for i in range(3))
+
+
+def build_store(rows=12):
+    store = TripleStore()
+    triples = []
+    for i in range(rows):
+        subject = IRI(EX + "s%d" % i)
+        triples.append(Triple(subject, P0, IRI(EX + "o%d" % (i % 4))))
+        triples.append(Triple(subject, P1, IRI(EX + "s%d" % ((i + 1) % rows))))
+        triples.append(Triple(subject, P2, typed_literal(i)))
+    store.add_many(triples)
+    return store
+
+
+def cached_engine(store=None, budget_mb=4.0, **cache_options):
+    store = store if store is not None else build_store()
+    cache = ResultCache(int(budget_mb * 1024 * 1024), **cache_options)
+    engine = QueryEngine(store, executor="vector").with_result_cache(cache)
+    return engine, cache
+
+
+JOIN_QUERY = "SELECT ?s ?o ?x WHERE { ?s %s ?o . ?s %s ?x }" % (P0.n3(), P1.n3())
+BIND_QUERY = (
+    "SELECT ?s ?w WHERE { ?s %s ?v . BIND(?v * 3 AS ?w) } ORDER BY ?s" % P2.n3()
+)
+
+
+class TestFingerprints:
+    def test_fingerprint_distinguishes_constants(self):
+        """Two bindings of one template share a signature (plan shape) but
+        never a fingerprint (cache key)."""
+        engine = QueryEngine(build_store(), executor="vector")
+        plan_a = engine.plan("SELECT ?s WHERE { ?s %s <%so0> }" % (P0.n3(), EX))
+        plan_b = engine.plan("SELECT ?s WHERE { ?s %s <%so1> }" % (P0.n3(), EX))
+        assert plan_a.signature() == plan_b.signature()
+        assert plan_a.fingerprint() != plan_b.fingerprint()
+
+    def test_fingerprint_is_deterministic_across_plannings(self):
+        engine = QueryEngine(build_store(), executor="vector")
+        assert engine.plan(JOIN_QUERY).fingerprint() == engine.plan(JOIN_QUERY).fingerprint()
+
+    def test_fingerprint_covers_modifiers(self):
+        engine = QueryEngine(build_store(), executor="vector")
+        base = "SELECT ?s ?v WHERE { ?s %s ?v }" % P2.n3()
+        variants = [
+            base,
+            base + " ORDER BY ?v",
+            base + " ORDER BY DESC(?v)",
+            base + " LIMIT 3",
+            base + " LIMIT 3 OFFSET 1",
+        ]
+        fingerprints = {engine.plan(query).fingerprint() for query in variants}
+        assert len(fingerprints) == len(variants)
+
+
+class TestHitMiss:
+    def test_second_execution_hits_and_is_identical(self):
+        engine, cache = cached_engine()
+        first = engine.execute(JOIN_QUERY, noise_key="k")
+        second = engine.execute(JOIN_QUERY, noise_key="k")
+        assert not first.result_cached
+        assert second.result_cached
+        assert second.rows == first.rows
+        assert second.profile.work == first.profile.work
+        assert second.profile.result_rows == first.profile.result_rows
+        assert second.runtime_ms == first.runtime_ms
+        assert second.actual_cout == first.actual_cout
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+
+    def test_noise_key_changes_runtime_but_not_rows_on_hits(self):
+        """A hit recomputes the simulated runtime from the *caller's* noise
+        key — exactly what an uncached execution would report."""
+        engine, _cache = cached_engine()
+        baseline = {
+            key: QueryEngine(engine.store, executor="vector").execute(JOIN_QUERY, noise_key=key)
+            for key in ("a", "b")
+        }
+        engine.execute(JOIN_QUERY, noise_key="a")  # fill
+        for key in ("a", "b"):
+            hit = engine.execute(JOIN_QUERY, noise_key=key)
+            assert hit.result_cached
+            assert hit.rows == baseline[key].rows
+            assert hit.runtime_ms == baseline[key].runtime_ms
+
+    def test_limit_offset_slices_share_one_entry(self):
+        engine, cache = cached_engine()
+        full = engine.execute_iter(JOIN_QUERY, page_size=None).result()
+        for limit, offset in ((3, 0), (5, 2), (None, 4), (2, 1)):
+            stream = engine.execute_iter(JOIN_QUERY, limit=limit, offset=offset)
+            assert stream.result_cached
+            rows = [row for page in stream.pages() for row in page]
+            end = None if limit is None else offset + limit
+            assert rows == full.rows[offset:end]
+        assert cache.stats().entries == 1
+        assert cache.stats().misses == 1
+
+    def test_tuple_executor_bypasses_the_cache(self):
+        """The tuple executor materialises rows, not id batches: it runs
+        unchanged and never populates or consults the cache."""
+        engine, cache = cached_engine()
+        tuple_engine = engine.with_executor("tuple")
+        first = tuple_engine.execute(JOIN_QUERY)
+        second = tuple_engine.execute(JOIN_QUERY)
+        assert first.rows == second.rows
+        assert not second.result_cached
+        assert cache.stats().lookups() == 0
+
+
+class TestInvalidation:
+    def test_insert_invalidates(self):
+        engine, cache = cached_engine()
+        before = engine.execute(JOIN_QUERY)
+        engine.store.insert(Triple(IRI(EX + "s0"), P0, IRI(EX + "brand-new")))
+        after = engine.execute(JOIN_QUERY)
+        assert not after.result_cached
+        assert len(after.rows) == len(before.rows) + 1
+        assert cache.stats().invalidated >= 1
+
+    def test_remove_invalidates(self):
+        engine, cache = cached_engine()
+        triple = Triple(IRI(EX + "s0"), P0, IRI(EX + "o0"))
+        before = engine.execute(JOIN_QUERY)
+        assert engine.store.remove(triple)
+        after = engine.execute(JOIN_QUERY)
+        assert not after.result_cached
+        assert len(after.rows) == len(before.rows) - 1
+
+    def test_reexecution_after_mutation_reaches_steady_state_again(self):
+        engine, cache = cached_engine()
+        engine.execute(JOIN_QUERY)
+        engine.store.insert(Triple(IRI(EX + "sX"), P2, typed_literal(99)))
+        engine.execute(JOIN_QUERY)
+        hit = engine.execute(JOIN_QUERY)
+        assert hit.result_cached
+        # only the current-version entry is resident
+        assert all(key[1] == engine.store.data_version for key in cache.keys())
+
+
+class TestAdmissionAndEviction:
+    def test_oversized_entries_are_rejected(self):
+        store = build_store(rows=64)
+        cache = ResultCache(budget_bytes=2048)  # entry cap: 512 bytes
+        engine = QueryEngine(store, executor="vector").with_result_cache(cache)
+        result = engine.execute(JOIN_QUERY)
+        again = engine.execute(JOIN_QUERY)
+        assert again.rows == result.rows
+        assert not again.result_cached
+        assert cache.stats().rejected >= 1
+        assert cache.stats().entries == 0
+
+    def test_cheap_to_recompute_results_are_not_retained(self):
+        engine, cache = cached_engine(min_work_per_kib=1e9)
+        engine.execute(JOIN_QUERY)
+        assert cache.stats().rejected == 1
+        assert len(cache) == 0
+
+    def test_lru_eviction_respects_the_byte_budget(self):
+        store = build_store(rows=32)
+        probe_cache = ResultCache(budget_bytes=64 * 1024 * 1024)
+        probe = QueryEngine(store, executor="vector").with_result_cache(probe_cache)
+        queries = [
+            "SELECT ?s ?o WHERE { ?s %s ?o . ?s %s <%so%d> }" % (P1.n3(), P0.n3(), EX, i)
+            for i in range(4)
+        ] + [
+            "SELECT ?s ?x WHERE { ?s %s ?x . ?s %s <%so%d> }" % (P2.n3(), P0.n3(), EX, i)
+            for i in range(2)
+        ]
+        for query in queries:
+            probe.execute(query)
+        entry_bytes = probe_cache.bytes_resident() // len(queries)
+
+        # Budget: every entry individually passes the size cap
+        # (budget // MAX_ENTRY_FRACTION), but all six together do not fit.
+        cache = ResultCache(budget_bytes=int(entry_bytes * 4.5))
+        engine = QueryEngine(store, executor="vector").with_result_cache(cache)
+        for query in queries:
+            engine.execute(query)
+        stats = cache.stats()
+        assert stats.evictions >= 1
+        assert stats.bytes_resident <= cache.budget_bytes
+        # LRU: the most recent queries survive, the oldest were evicted
+        surviving = set(cache.keys())
+        assert (engine.plan(queries[-1]).fingerprint(), store.data_version) in surviving
+        assert (engine.plan(queries[0]).fingerprint(), store.data_version) not in surviving
+
+    def test_eviction_then_refill_serves_correct_rows(self):
+        store = build_store(rows=32)
+        engine, cache = cached_engine(store=store, budget_mb=0.01)
+        reference = QueryEngine(store, executor="vector")
+        queries = [
+            "SELECT ?s ?o ?x WHERE { ?s %s ?o . ?s %s ?x . ?s %s <%so%d> }"
+            % (P1.n3(), P2.n3(), P0.n3(), EX, i)
+            for i in range(4)
+        ]
+        for _round in range(3):
+            for query in queries:
+                assert engine.execute(query).rows == reference.execute(query).rows
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_coalesce_onto_one_execution(self):
+        engine, cache = cached_engine()
+        executions = []
+        barrier = threading.Barrier(4)
+        original = engine.executor.execute_batch
+
+        def slow_execute_batch(plan, tracer=None):
+            executions.append(threading.get_ident())
+            return original(plan, tracer=tracer)
+
+        engine.executor.execute_batch = slow_execute_batch
+        try:
+            outcomes = [None] * 4
+
+            def worker(index):
+                barrier.wait()
+                outcomes[index] = engine.execute(JOIN_QUERY)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            engine.executor.execute_batch = original
+        assert len(executions) == 1  # exactly one pipeline run
+        rows = [outcome.rows for outcome in outcomes]
+        assert all(r == rows[0] for r in rows)
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == 3
+
+    def test_failed_fill_wakes_waiters_and_allows_retry(self):
+        engine, cache = cached_engine()
+        original = engine.executor.execute_batch
+        calls = []
+
+        def failing_once(plan, tracer=None):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            return original(plan, tracer=tracer)
+
+        engine.executor.execute_batch = failing_once
+        try:
+            with pytest.raises(RuntimeError):
+                engine.execute(JOIN_QUERY)
+            recovered = engine.execute(JOIN_QUERY)
+        finally:
+            engine.executor.execute_batch = original
+        assert recovered.rows == QueryEngine(engine.store, executor="vector").execute(JOIN_QUERY).rows
+
+
+class TestExtensionIdRegression:
+    """BIND/aggregate outputs live in *thread-local, per-query* side tables
+    inside the vector executor; a cached entry must capture its own copy so
+    the batch decodes anywhere, any time."""
+
+    def test_cached_extension_ids_survive_later_queries_on_origin_thread(self):
+        engine, _cache = cached_engine()
+        expected = QueryEngine(engine.store, executor="vector").execute(BIND_QUERY).rows
+        first = engine.execute(BIND_QUERY)
+        assert first.rows == expected
+        # Subsequent executions reset the executor's thread-local extension
+        # tables; the cached entry must not be looking at them.
+        for i in range(3):
+            engine.execute(
+                "SELECT ?s ?u WHERE { ?s %s ?v . BIND(?v + %d AS ?u) }" % (P2.n3(), i)
+            )
+        hit = engine.execute(BIND_QUERY)
+        assert hit.result_cached
+        assert hit.rows == expected
+
+    def test_cached_extension_ids_decode_bit_identically_from_another_thread(self):
+        engine, _cache = cached_engine()
+        expected = QueryEngine(engine.store, executor="vector").execute(BIND_QUERY).rows
+        assert any(
+            Variable("w") in row for row in expected
+        ), "query must actually produce extension ids"
+        engine.execute(BIND_QUERY)  # fill on this thread
+        engine.execute(  # clobber this thread's extension tables
+            "SELECT ?s ?u WHERE { ?s %s ?v . BIND(?v - 7 AS ?u) }" % P2.n3()
+        )
+        outcome = {}
+
+        def decode_elsewhere():
+            stream = engine.execute_iter(BIND_QUERY, page_size=2)
+            outcome["cached"] = stream.result_cached
+            outcome["rows"] = [row for page in stream.pages() for row in page]
+
+        thread = threading.Thread(target=decode_elsewhere)
+        thread.start()
+        thread.join()
+        assert outcome["cached"]
+        assert outcome["rows"] == expected
+
+
+class TestMaterializedViews:
+    VIEW_QUERY = "SELECT ?s ?o ?x WHERE { ?s %s ?o . ?s %s ?x }" % (P0.n3(), P1.n3())
+    CONTAINING_QUERY = (
+        "SELECT ?s ?o ?x ?v WHERE { ?s %s ?o . ?s %s ?x . ?s %s ?v }"
+        % (P0.n3(), P1.n3(), P2.n3())
+    )
+
+    def test_registered_view_is_substituted_and_served(self):
+        store = build_store()
+        engine = QueryEngine(store, executor="vector")
+        reference = [
+            QueryEngine(store, executor="vector").execute(self.VIEW_QUERY, noise_key="n").rows
+            for _ in range(1)
+        ][0]
+        view = engine.register_view("star", self.VIEW_QUERY)
+        assert "CachedView star" in engine.explain(self.VIEW_QUERY)
+        first = engine.execute(self.VIEW_QUERY, noise_key="n")
+        second = engine.execute(self.VIEW_QUERY, noise_key="n")
+        assert first.rows == reference
+        assert second.rows == reference
+        assert view.stats()["hits"] >= 1
+        assert view.stats()["materialized"]
+
+    def test_view_serves_inside_a_larger_plan(self):
+        store = build_store()
+        plain = QueryEngine(store, executor="vector")
+        expected = plain.execute(self.CONTAINING_QUERY).rows
+        engine = QueryEngine(store, executor="vector")
+        engine.register_view("star", self.VIEW_QUERY)
+        if "CachedView" in engine.explain(self.CONTAINING_QUERY):
+            assert engine.execute(self.CONTAINING_QUERY).rows == expected
+
+    def test_view_is_identical_across_executors_and_refreshes_on_mutation(self):
+        store = build_store()
+        engine_v = QueryEngine(store, executor="vector")
+        engine_t = QueryEngine(store, executor="tuple")
+        engine_v.register_view("star", self.VIEW_QUERY)
+        engine_t.register_view("star", self.VIEW_QUERY)
+        # identical (rows, profile, runtime) for the same view-state
+        # sequence: miss (fill) then hit, on each executor independently.
+        for step in range(2):
+            result_v = engine_v.execute(self.VIEW_QUERY, noise_key="k%d" % step)
+            result_t = engine_t.execute(self.VIEW_QUERY, noise_key="k%d" % step)
+            assert result_v.rows == result_t.rows
+            assert result_v.profile.work == result_t.profile.work
+            assert result_v.runtime_ms == result_t.runtime_ms
+        store.insert(Triple(IRI(EX + "s0"), P0, IRI(EX + "fresh")))
+        refreshed_v = engine_v.execute(self.VIEW_QUERY)
+        refreshed_t = engine_t.execute(self.VIEW_QUERY)
+        assert refreshed_v.rows == refreshed_t.rows
+        assert any(IRI(EX + "fresh") in row.values() for row in refreshed_v.rows)
+
+    def test_view_refuses_extension_id_batches(self):
+        import numpy as np
+
+        from repro.engine.vector import NULL_ID, ColumnBatch
+
+        view = MaterializedView("v", QueryEngine(build_store(), executor="vector").plan(
+            self.VIEW_QUERY
+        ))
+        poisoned = ColumnBatch(
+            [Variable("w")],
+            {Variable("w"): np.array([3, NULL_ID - 1], dtype=np.int64)},
+            2,
+            frozenset([Variable("w")]),
+        )
+        assert not view.fill(1, poisoned)
+        assert view.stats()["refusals"] == 1
+        assert not view.stats()["materialized"]
+
+    def test_single_scans_are_not_registrable(self):
+        engine = QueryEngine(build_store(), executor="vector")
+        registry = MaterializedViewRegistry()
+        with pytest.raises(ValueError):
+            registry.register("scan", engine.plan("SELECT ?s WHERE { ?s %s ?o }" % P0.n3()))
+
+    def test_views_compose_with_the_result_cache(self):
+        store = build_store()
+        plain = QueryEngine(store, executor="vector")
+        expected = plain.execute(self.VIEW_QUERY).rows
+        engine, cache = cached_engine(store=store)
+        engine.register_view("star", self.VIEW_QUERY)
+        first = engine.execute(self.VIEW_QUERY)
+        second = engine.execute(self.VIEW_QUERY)
+        assert first.rows == expected
+        assert second.rows == expected
+        assert second.result_cached
+        assert cache.stats().hits == 1
+
+
+class TestMetricsSurface:
+    def test_registry_exposes_counters_and_gauges(self):
+        from repro.obs.registry import render_text
+
+        engine, cache = cached_engine()
+        engine.execute(JOIN_QUERY)
+        engine.execute(JOIN_QUERY)
+        text = render_text([cache.registry])
+        assert "repro_result_cache_hits_total 1" in text
+        assert "repro_result_cache_misses_total 1" in text
+        assert "repro_result_cache_entries 1" in text
+        assert "repro_result_cache_bytes_resident" in text
+
+    def test_stats_as_dict_shape(self):
+        engine, cache = cached_engine()
+        engine.execute(JOIN_QUERY)
+        stats = cache.stats().as_dict()
+        assert stats["result cache misses"] == 1
+        assert stats["result cache hit rate"] == 0.0
+        assert stats["result cache bytes resident"] > 0
+
+
+class TestTracing:
+    def test_hit_and_miss_traces_are_labelled(self):
+        engine, _cache = cached_engine()
+        miss = engine.execute_traced(JOIN_QUERY)
+        hit = engine.execute_traced(JOIN_QUERY)
+        assert miss.trace.result_cache == "miss"
+        assert hit.trace.result_cache == "hit"
+        assert hit.rows == miss.rows
+
+    def test_traced_miss_matches_cache_off_span_tree(self):
+        store = build_store()
+        plain = QueryEngine(store, executor="vector")
+        engine, _cache = cached_engine(store=store)
+        baseline = plain.execute_traced(JOIN_QUERY)
+        traced = engine.execute_traced(JOIN_QUERY)
+
+        def shape(span):
+            return (span.name, span.actual_rows, [shape(child) for child in span.children])
+
+        assert shape(traced.trace.root) == shape(baseline.trace.root)
+
+    def test_explain_analyze_marks_hits(self):
+        engine, _cache = cached_engine()
+        first = engine.explain_analyze(JOIN_QUERY)
+        second = engine.explain_analyze(JOIN_QUERY)
+        assert "(result cache hit)" not in first
+        assert "(result cache hit)" in second
