@@ -1,0 +1,216 @@
+"""SPARQL Update: read-path overhead and compaction cost.
+
+The MVCC design's two performance claims:
+
+* **reads stay cheap while writes land** — readers pin an immutable
+  ``(base, delta)`` state and scan merged indexes; with a small delta the
+  fold is a few ``np.insert``/``np.delete`` calls per index, cached per
+  epoch, so the read p50 of a mixed read/write loop must stay within 1.5x
+  of the read-only baseline;
+* **compaction beats rebuilding** — folding the delta into fresh sorted
+  base columns works on already-encoded id arrays, skipping dictionary
+  encoding and the full six-way re-sort, so it must be at least 5x faster
+  than regenerating the store (bulk re-load of the same triples).
+
+Every run writes ``benchmarks/artifacts/update_bench.json`` with the
+measured ratios so CI has a perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from benchmarks.conftest import run_once
+from repro.bench.stats import percentile
+from repro.engine import QueryEngine
+from repro.experiments import common
+from repro.rdf.terms import IRI
+from repro.store.triple_store import TripleStore
+
+EX = "http://bench.example.org/"
+
+#: reads measured per loop; writes interleaved 1-per-4-reads in the mixed loop.
+READS = 200
+WRITES_PER_READ_CYCLE = 4
+
+#: acceptance bars (None = record only).  The read-overhead ceiling holds at
+#: every scale; the compaction floor is record-only at ``tiny``, where both
+#: sides finish in well under a millisecond and fixed per-call overhead —
+#: not the fold-vs-re-sort margin — decides the ratio (same convention as
+#: the streaming and executor benchmarks).
+READ_P50_RATIO_CEILING = 1.5
+COMPACTION_SPEEDUP_FLOOR = {"tiny": None, "small": 5.0, "medium": 5.0}
+
+
+def _private_engine(bench_scale):
+    """An engine over a *private* copy of the benchmark dataset.
+
+    ``common.bsbm_engine`` hands out a cached engine whose store is the
+    cached dataset's graph, shared across every benchmark in the process —
+    a mutating benchmark must never write into it.
+    """
+    dataset = common.bsbm_dataset(common.scale(bench_scale).name)
+    store = TripleStore()
+    store.add_many(dataset.graph.triples())
+    store.finalise()
+    return QueryEngine(store)
+
+
+def _read_queries(engine):
+    """A small pool of real BSBM reads cycled through both loops."""
+    predicates = sorted(
+        {triple.predicate.n3() for triple in list(engine.store.triples())[:200]}
+    )[:3]
+    pool = ["SELECT ?s ?o WHERE { ?s %s ?o } LIMIT 50" % p for p in predicates]
+    pool.append("SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s %s ?o } GROUP BY ?s LIMIT 20" % predicates[0])
+    return pool
+
+
+def _insert_text(index):
+    return "INSERT DATA { <%sw%d> <%sp> <%so%d> }" % (EX, index, EX, EX, index % 7)
+
+
+#: interleaved measurement rounds per attempt, and re-takes of a noisy
+#: measurement before failing (same shape as the tracing-overhead bench).
+ROUNDS = 2
+ATTEMPTS = 3
+
+
+def _read_p50(engine, queries, reads, update_every=None, writes=None):
+    """Wall-clock p50 of ``reads`` executions; optionally interleave writes.
+
+    ``writes`` is a shared counter iterator so successive mixed rounds keep
+    inserting fresh triples instead of re-applying no-ops.
+    """
+    latencies = []
+    for index in range(reads):
+        if update_every is not None and index % update_every == update_every - 1:
+            engine.update(_insert_text(next(writes)))
+        query = queries[index % len(queries)]
+        started = perf_counter()
+        engine.execute(query, noise_key="bench-%d" % index)
+        latencies.append((perf_counter() - started) * 1000.0)
+    return percentile(latencies, 0.50)
+
+
+def test_mixed_read_write_p50_within_budget(benchmark, bench_scale):
+    engine = _private_engine(bench_scale)
+    queries = _read_queries(engine)
+    _read_p50(engine, queries, READS)  # warm indexes and caches off the clock
+    writes = iter(range(10 ** 9))
+
+    def measure():
+        # Interleave the read-only and mixed loops within each round and
+        # keep the best of each: a clock-frequency shift or GC pause then
+        # degrades both sides alike instead of skewing the ratio.  The
+        # margin is structural (merged-index scans, per-epoch fold
+        # caching), the noise is not — re-take a failing measurement up
+        # to ATTEMPTS times before believing it.
+        attempts = 0
+        while True:
+            attempts += 1
+            read_only = mixed = float("inf")
+            for _ in range(ROUNDS):
+                read_only = min(read_only, _read_p50(engine, queries, READS))
+                mixed = min(
+                    mixed,
+                    _read_p50(
+                        engine,
+                        queries,
+                        READS,
+                        update_every=WRITES_PER_READ_CYCLE,
+                        writes=writes,
+                    ),
+                )
+            if mixed <= READ_P50_RATIO_CEILING * read_only or attempts >= ATTEMPTS:
+                return read_only, mixed, attempts
+
+    read_only_p50, mixed_p50, attempts = run_once(benchmark, measure)
+
+    ratio = mixed_p50 / read_only_p50 if read_only_p50 > 0 else float("inf")
+    artifact = {
+        "scale": bench_scale,
+        "reads": READS,
+        "attempts": attempts,
+        "read_only_p50_ms": read_only_p50,
+        "mixed_p50_ms": mixed_p50,
+        "read_p50_ratio": ratio,
+        "delta_triples_at_end": engine.store.delta_size,
+    }
+    path = _write_artifact_merge(artifact, "mixed_read_write")
+    print("\nmixed read/write p50 ratio %.2fx (artifact: %s)" % (ratio, path))
+    assert ratio <= READ_P50_RATIO_CEILING, (
+        "read p50 under writes %.3fms exceeds %.1fx of read-only %.3fms"
+        % (mixed_p50, READ_P50_RATIO_CEILING, read_only_p50)
+    )
+
+
+def test_compaction_beats_regeneration(benchmark, bench_scale):
+    engine = _private_engine(bench_scale)
+    store = engine.store
+    store.compact_threshold = None  # compaction timing must be explicit
+    for index in range(256):
+        engine.update(_insert_text(index))
+    assert store.delta_size == 256
+
+    def compact():
+        return store.compact()
+
+    compact_seconds = run_once(benchmark, compact)
+
+    final_triples = list(store.triples())
+
+    def rebuild():
+        started = perf_counter()
+        rebuilt = TripleStore()
+        rebuilt.add_many(final_triples)
+        rebuilt.finalise()
+        return perf_counter() - started
+
+    rebuild_seconds = rebuild()
+
+    floor = COMPACTION_SPEEDUP_FLOOR.get(bench_scale)
+    if floor is not None and compact_seconds * floor > rebuild_seconds:
+        # Re-measure once: re-apply a delta and compact again, best-of-two.
+        for index in range(256, 512):
+            engine.update(_insert_text(index))
+        compact_seconds = min(compact_seconds, store.compact())
+        rebuild_seconds = min(rebuild_seconds, rebuild())
+
+    speedup = rebuild_seconds / compact_seconds if compact_seconds > 0 else float("inf")
+    artifact = {
+        "scale": bench_scale,
+        "triples": len(final_triples),
+        "delta_triples": 256,
+        "compact_seconds": compact_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "compaction_speedup": speedup,
+    }
+    path = _write_artifact_merge(artifact, "compaction")
+    print("\ncompaction speedup %.1fx (artifact: %s)" % (speedup, path))
+    if floor is not None:
+        assert speedup >= floor, (
+            "compaction %.4fs is not %.1fx faster than rebuild %.4fs"
+            % (compact_seconds, floor, rebuild_seconds)
+        )
+
+
+def _write_artifact_merge(payload: dict, section: str) -> str:
+    """Both tests write into one artifact file, each under its own key."""
+    directory = os.path.join(os.path.dirname(__file__), "artifacts")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "update_bench.json")
+    document = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except ValueError:
+            document = {}
+    document[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -33,6 +33,7 @@ from .errors import (
     QueryTimeout,
     ReproError,
     ServerOverloadedError,
+    UpdateError,
     error_for_code,
 )
 from .pool import WorkerPool, serve_pool
@@ -69,6 +70,7 @@ __all__ = [
     "Session",
     "SparqlServer",
     "TSVSerializer",
+    "UpdateError",
     "WorkerPool",
     "connect",
     "error_for_code",

@@ -19,7 +19,7 @@ from urllib.error import HTTPError, URLError
 from ..rdf.terms import Term, Variable
 from .errors import ExecutionError, ReproError, error_for_code
 from .results import SERIALIZERS, parse_csv, parse_json, parse_tsv, serializer_for
-from .server import SPARQL_QUERY_TYPE
+from .server import SPARQL_QUERY_TYPE, SPARQL_UPDATE_TYPE
 
 
 class RemoteEndpoint:
@@ -71,6 +71,30 @@ class RemoteEndpoint:
             return ExecutionError(
                 "endpoint %s answered HTTP %d" % (self.url, error.code), cause=error
             )
+
+    def update(self, update: str) -> dict:
+        """Apply a SPARQL update remotely; return the endpoint's JSON summary.
+
+        POSTs the text as ``application/sparql-update``; the response dict
+        carries ``inserted``, ``deleted``, ``operations`` and the new
+        ``data_version``.  Protocol errors re-raise as the matching
+        :class:`ReproError` subclass, exactly like :meth:`query_raw`.
+        """
+        http_request = _request.Request(
+            self.url,
+            data=update.encode("utf-8"),
+            headers={"Content-Type": SPARQL_UPDATE_TYPE},
+            method="POST",
+        )
+        try:
+            with _request.urlopen(http_request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            raise self._protocol_error(error) from error
+        except URLError as error:
+            raise ExecutionError(
+                "cannot reach endpoint %s: %s" % (self.url, error.reason), cause=error
+            ) from error
 
     # -- parsed results --------------------------------------------------------
 

@@ -38,7 +38,14 @@ from ..sparql.tokenizer import TokenizeError as _TokenizeError
 from ..store.statistics import StoreStatistics
 from ..store.triple_store import TripleStore
 from .cursor import Cursor
-from .errors import ExecutionError, ParseError, PlanError, QueryTimeout, ReproError
+from .errors import (
+    ExecutionError,
+    ParseError,
+    PlanError,
+    QueryTimeout,
+    ReproError,
+    UpdateError,
+)
 
 #: generator specs ``connect`` understands: ``"<benchmark>[:<scale>]"``.
 GENERATOR_BENCHMARKS = ("bsbm", "ldbc")
@@ -80,7 +87,12 @@ def connect(
 
 
 class Dataset:
-    """An opened store: the shared, read-only half of the public API."""
+    """An opened store: the shared half of the public API.
+
+    Reads are served off immutable snapshots; SPARQL updates (applied via
+    :meth:`update` or a session's ``update``) go through the store's
+    single writer lock and publish a new snapshot for later queries.
+    """
 
     def __init__(
         self,
@@ -159,6 +171,10 @@ class Dataset:
     def query(self, query: str, **execute_options) -> Cursor:
         """Execute one query on the shared default session."""
         return self.default_session().execute(query, **execute_options)
+
+    def update(self, request: str):
+        """Apply a SPARQL update on the shared default session."""
+        return self.default_session().update(request)
 
     def explain(self, query: str) -> str:
         """The annotated physical plan of ``query`` (default session)."""
@@ -399,6 +415,27 @@ class Session:
         if "error" in outcome:
             raise outcome["error"]
         return outcome["stream"]
+
+    def update(self, request: str):
+        """Apply a SPARQL update request (INSERT DATA / DELETE DATA / DELETE WHERE).
+
+        Runs under the store's single writer lock; queries already
+        executing (and cursors already opened) keep reading their pinned
+        snapshot and are unaffected.  Returns the
+        :class:`~repro.engine.query_engine.UpdateResult` with the effective
+        triple counts and the new ``data_version``.  Grammar failures raise
+        :class:`ParseError`; apply-phase failures raise :class:`UpdateError`.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        try:
+            return self.service.update(request)
+        except ReproError:
+            raise
+        except (_SparqlParseError, _TokenizeError) as error:
+            raise ParseError(str(error), cause=error) from error
+        except Exception as error:
+            raise UpdateError(str(error), cause=error) from error
 
     def metrics(self) -> dict:
         """Serving metrics + plan-cache statistics of this session."""

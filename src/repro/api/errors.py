@@ -75,6 +75,18 @@ class QueryTimeout(ReproError):
     http_status = 503
 
 
+class UpdateError(ReproError):
+    """A SPARQL update request failed to apply.
+
+    Parse failures in update text still raise :class:`ParseError`; this
+    covers the apply phase — an operation the store refuses (for example a
+    writer racing a snapshot re-adoption) or an executor-level failure.
+    """
+
+    code = "update_error"
+    http_status = 500
+
+
 class BadRequestError(ReproError):
     """A malformed protocol request (missing query, bad media type...)."""
 
@@ -127,6 +139,7 @@ ERRORS_BY_CODE: Dict[str, Type[ReproError]] = {
         PlanError,
         ExecutionError,
         QueryTimeout,
+        UpdateError,
         BadRequestError,
         ServerOverloadedError,
     )

@@ -156,6 +156,25 @@ class _PoolWorkerClient:
             overlay["worker"] = self.slot
         return overlay
 
+    def publish_update(self, update: str) -> bool:
+        """Forward a locally-applied update for journaling and fan-out.
+
+        The parent appends the update text to its journal (replayed into
+        restarted workers) and broadcasts it to every sibling.  Returns
+        ``False`` when the parent did not acknowledge in time — the local
+        apply stands either way; an unreachable parent means the pool is
+        dying, not that the answered request was wrong.
+        """
+        with self._lock:
+            try:
+                self._connection.send({"op": "update", "text": update})
+                if self._connection.poll(self._timeout):
+                    reply = self._connection.recv()
+                    return bool(reply.get("doc"))
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            return False
+
 
 def _worker_dump(server: SparqlServer) -> Dict[str, Dict]:
     registries = [server.registry, server.session.service.metrics.registry]
@@ -228,6 +247,15 @@ def _worker_main(
                     operation = command.get("op")
                     if operation == "report":
                         push_metrics()
+                    elif operation == "update":
+                        # A sibling's update (or a journal replay after a
+                        # restart): apply locally, do NOT re-publish — the
+                        # parent already journaled it.  The operations are
+                        # idempotent, so replays and races converge.
+                        try:
+                            server.session.update(command.get("text", ""))
+                        except Exception:
+                            pass  # a malformed replay must not kill the worker
                     elif operation == "drain":
                         push_metrics()
                         drain()
@@ -361,6 +389,10 @@ class WorkerPool:
         self._collect_condition = threading.Condition()
         self._retired: Dict[str, Dict] = {}
         self._retired_lock = threading.Lock()
+        #: every update text any worker applied, in commit order — replayed
+        #: into restarted workers so they converge with their siblings.
+        self._update_journal: List[str] = []
+        self._journal_lock = threading.Lock()
         self._restarts_total = 0
         self._started = False
         self._stopping = threading.Event()
@@ -469,6 +501,13 @@ class WorkerPool:
         scraper.start()
         self._threads.extend([reader, scraper])
 
+        # A restarted worker maps the original snapshot, missing every
+        # update its siblings already applied: replay the journal (pipe
+        # writes queue until the worker's control loop starts reading).
+        with self._journal_lock:
+            for text in self._update_journal:
+                record.send_command({"op": "update", "text": text})
+
     # -- parent-side control plane ---------------------------------------------
 
     def _read_publications(self, record: _WorkerRecord, connection: Connection) -> None:
@@ -497,12 +536,31 @@ class WorkerPool:
                 document = self.metrics()
             elif operation == "health":
                 document = self.health()
+            elif operation == "update":
+                document = self._replicate_update(record, message.get("text", ""))
             else:
                 document = None
             try:
                 connection.send({"doc": document})
             except (OSError, BrokenPipeError):
                 return
+
+    def _replicate_update(self, origin: _WorkerRecord, text: str) -> dict:
+        """Journal one worker's committed update and fan it out to siblings.
+
+        The journal lock serialises appends against :meth:`_spawn`'s
+        replay, so a restarting worker either receives an update through
+        the replay or through the broadcast — never neither.  (Receiving
+        it through both is harmless: the update operations are idempotent.)
+        """
+        if not text:
+            return {}
+        with self._journal_lock:
+            self._update_journal.append(text)
+            for record in self._records:
+                if record.slot != origin.slot and record.alive():
+                    record.send_command({"op": "update", "text": text})
+            return {"applied": True, "journal_length": len(self._update_journal)}
 
     def _supervise(self) -> None:
         """Restart crashed workers (with backoff); fold their final counts."""
@@ -661,10 +719,13 @@ class WorkerPool:
         return total
 
     def health(self) -> dict:
+        with self._journal_lock:
+            journaled = len(self._update_journal)
         return {
             "workers_expected": self.workers_expected,
             "workers_alive": self.workers_alive,
             "worker_restarts_total": self._restarts_total,
+            "updates_journaled": journaled,
         }
 
     @property

@@ -1,10 +1,15 @@
 """A stdlib-only SPARQL 1.1 Protocol endpoint over a :class:`Session`.
 
-The server speaks the query half of the SPARQL 1.1 Protocol:
+The server speaks the query and update halves of the SPARQL 1.1 Protocol:
 
 * ``GET /sparql?query=...`` and ``POST /sparql`` (either
   ``application/x-www-form-urlencoded`` with a ``query`` field or a raw
   ``application/sparql-query`` body),
+* **updates**: ``POST /sparql`` with a raw ``application/sparql-update``
+  body or an ``update=`` form field applies INSERT DATA / DELETE DATA /
+  DELETE WHERE under the store's writer lock and answers a JSON summary
+  (``inserted``, ``deleted``, ``data_version``); in-flight queries keep
+  streaming their pinned snapshot,
 * content negotiation over the three result serialisations of
   :mod:`repro.api.results` — SPARQL JSON (default), CSV and TSV — via the
   ``Accept`` header or the non-standard ``format=json|csv|tsv`` parameter,
@@ -64,6 +69,7 @@ from .results import negotiate, serializer_for
 DEFAULT_PORT = 8347
 
 SPARQL_QUERY_TYPE = "application/sparql-query"
+SPARQL_UPDATE_TYPE = "application/sparql-update"
 FORM_TYPE = "application/x-www-form-urlencoded"
 
 #: request bodies larger than this are rejected up front (64 MiB)
@@ -364,6 +370,40 @@ class _Handler(BaseHTTPRequestHandler):
         finally:
             facade.admission.release(client)
 
+    def _admitted_update(self, update: Optional[str]) -> None:
+        """Route an update request through the same admission front door.
+
+        Updates share the query budget on purpose: a write burst competes
+        with reads for the same bounded capacity instead of bypassing it.
+        """
+        facade = self.facade
+        client = self.client_address[0] if self.client_address else "unknown"
+        try:
+            facade.admission.admit(client)
+        except ServerOverloadedError as error:
+            facade.count_shed(error.reason or "shed")
+            self._send_error_body(error)
+            return
+        try:
+            self._answer_update(update)
+        finally:
+            facade.admission.release(client)
+
+    def _answer_update(self, update: Optional[str]) -> None:
+        if not update or not update.strip():
+            self._send_error_body(BadRequestError("missing 'update' parameter"))
+            return
+        try:
+            result = self.facade.apply_update(update)
+        except ReproError as error:
+            self._send_error_body(error)
+            return
+        except Exception as error:  # defensive: never leak a traceback as HTML
+            wrapped = ReproError("internal error: %s" % error, cause=error)
+            self._send_error_body(wrapped)
+            return
+        self._send_json(200, result.to_dict())
+
     def _answer_metrics(self, explicit_format: Optional[str]) -> None:
         accept = (self.headers.get("Accept") or "").lower()
         wants_text = explicit_format in ("prometheus", "text") or (
@@ -410,8 +450,14 @@ class _Handler(BaseHTTPRequestHandler):
         explicit_format = parse_qs(url.query).get("format", [None])[0]
         if content_type == SPARQL_QUERY_TYPE:
             self._admitted_query(body, explicit_format)
+        elif content_type == SPARQL_UPDATE_TYPE:
+            self._admitted_update(body)
         elif content_type == FORM_TYPE or content_type == "":
             form = parse_qs(body)
+            update = form.get("update", [None])[0]
+            if update is not None:
+                self._admitted_update(update)
+                return
             query = form.get("query", [None])[0]
             self._admitted_query(query, explicit_format or form.get("format", [None])[0])
         else:
@@ -636,6 +682,23 @@ class SparqlServer:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+    # -- updates ---------------------------------------------------------------
+
+    def apply_update(self, update: str):
+        """Apply a SPARQL update on this server's session (and replicate).
+
+        Under the prefork pool the store is per-process, so the handling
+        worker applies the update locally and then publishes the update
+        text to the parent, which journals it and broadcasts it to every
+        sibling worker (and replays the journal into restarted workers) —
+        eventual consistency across the pool, exact consistency within the
+        worker that answered.
+        """
+        result = self.session.update(update)
+        if self.pool_client is not None and result.changed:
+            self.pool_client.publish_update(update)
+        return result
 
     # -- introspection ---------------------------------------------------------
 

@@ -16,6 +16,7 @@ Exposes the experiments and the curation pipeline without writing Python::
     python -m repro.cli serve bsbm:tiny --trace-buffer 128 --slow-query-log slow.jsonl
     python -m repro.cli query "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5" --source bsbm:tiny
     python -m repro.cli query "SELECT ..." --endpoint http://127.0.0.1:8347 --format tsv
+    python -m repro.cli query "INSERT DATA { ... }" --update --endpoint http://127.0.0.1:8347
     python -m repro.cli scales
 
 Three concurrency knobs exist and are independent: ``--workers``
@@ -369,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="remote SPARQL endpoint URL (e.g. http://127.0.0.1:8347)",
     )
     query_parser.add_argument(
+        "--update",
+        action="store_true",
+        help="treat the text as a SPARQL update request (INSERT DATA / "
+        "DELETE DATA / DELETE WHERE) instead of a query; prints a JSON "
+        "summary with the effective triple counts and new data version",
+    )
+    query_parser.add_argument(
         "--format",
         choices=FORMATS,
         default="json",
@@ -667,6 +675,9 @@ def _run_query(arguments, output) -> None:
     query = _read_query_text(arguments.sparql)
     # Same convention as `serve --timeout`: 0 (or omitted) disables the budget.
     timeout = arguments.timeout if arguments.timeout and arguments.timeout > 0 else None
+    if arguments.update:
+        _run_update(arguments, query, timeout, output)
+        return
     if arguments.endpoint:
         # Flags that configure *local* execution have no remote equivalent;
         # failing beats silently ignoring them (--timeout does apply: it
@@ -713,6 +724,30 @@ def _run_query(arguments, output) -> None:
         output.write(serializer.end())
         if arguments.format == "json":
             output.write("\n")
+
+
+def _run_update(arguments, update: str, timeout, output) -> None:
+    """Apply one SPARQL update locally or against a remote endpoint.
+
+    Prints the same JSON summary the HTTP endpoint answers with.  Local
+    updates mutate the in-process store only — against a snapshot source
+    they affect this invocation, not the file on disk.
+    """
+    import json as _json
+
+    if arguments.endpoint:
+        endpoint = RemoteEndpoint(
+            arguments.endpoint, timeout=timeout if timeout is not None else 60.0
+        )
+        summary = endpoint.update(update)
+    else:
+        dataset = connect(arguments.source)
+        with dataset.session(
+            executor=arguments.engine,
+            parallelism=arguments.parallelism,
+        ) as session:
+            summary = session.update(update).to_dict()
+    output.write(_json.dumps(summary, indent=2) + "\n")
 
 
 def main(argv: Optional[List[str]] = None, output=None) -> int:

@@ -63,9 +63,15 @@ class ExecutionProfile:
     operator, so riding on it keeps per-query trace state off the (shared,
     concurrently used) executor objects.  ``None`` means tracing is off;
     the executors check exactly that and pay nothing else.
+
+    ``reader`` rides along the same way: the
+    :class:`~repro.store.triple_store.StoreReader` pinned at execution
+    start, so every scan and index probe of one query answers from a
+    single ``(base, delta-epoch)`` store state even while updates commit
+    concurrently (MVCC snapshot isolation).
     """
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, reader=None):
         #: id(plan node) -> number of rows the node produced
         self.node_output_rows: Dict[int, int] = {}
         #: work counter name -> amount (tuples, probe operations, ...)
@@ -76,6 +82,8 @@ class ExecutionProfile:
         self.result_rows: int = 0
         #: the active tracer of this execution, or None (tracing disabled)
         self.tracer = tracer
+        #: the pinned store reader of this execution, or None (pin per call)
+        self.reader = reader
 
     def record_output(self, node: PlanNode, rows: int) -> None:
         self.node_output_rows[id(node)] = rows
@@ -230,7 +238,7 @@ class Executor:
         """
         from ..obs.trace import coerce_tracer
 
-        profile = ExecutionProfile(tracer=coerce_tracer(tracer))
+        profile = ExecutionProfile(tracer=coerce_tracer(tracer), reader=self.store.reader())
         rows = self._execute(plan, profile)
         profile.result_rows = len(rows)
         profile.add_work("output_tuple", len(rows))
@@ -316,10 +324,11 @@ class Executor:
         """
         from .vector import NULL_ID
 
-        version = self.store.data_version
+        reader = profile.reader if profile.reader is not None else self.store
+        version = reader.data_version
         batch = node.view.lookup(version)
         if batch is not None:
-            decode = self.store.decode_id
+            decode = reader.decode_id
             columns = [batch.columns[variable] for variable in batch.variables]
             rows = []
             for index in range(batch.length):
@@ -374,9 +383,10 @@ class Executor:
             for position, term in enumerate(pattern)
             if isinstance(term, Variable)
         ]
+        reader = profile.reader if profile.reader is not None else self.store
         rows: List[Binding] = []
-        decode = self.store.decode_id
-        for id_triple in self.store.scan_pattern(pattern):
+        decode = reader.decode_id
+        for id_triple in reader.scan_pattern(pattern):
             binding: Binding = {}
             valid = True
             for position, variable in variables:
@@ -471,7 +481,8 @@ class Executor:
             for position, term in enumerate(pattern)
             if isinstance(term, Variable)
         ]
-        decode = self.store.decode_id
+        reader = profile.reader if profile.reader is not None else self.store
+        decode = reader.decode_id
 
         result: List[Binding] = []
         fetched = 0
@@ -483,7 +494,7 @@ class Executor:
                 if variable in left_row
             }
             probe_pattern = pattern.substitute(bound)
-            for id_triple in self.store.scan_pattern(probe_pattern):
+            for id_triple in reader.scan_pattern(probe_pattern):
                 fetched += 1
                 binding = dict(left_row)
                 valid = True
@@ -547,6 +558,86 @@ class Executor:
             profile.add_work("union_tuple", len(rows))
             result.extend(rows)
         return result
+
+
+# -- update executors --------------------------------------------------------------------
+#
+# SPARQL 1.1 Update operators, living beside the read operators (the EVA
+# executor-roster shape): each executes one parsed update operation against
+# the store's single write path (``TripleStore.apply_update``).  The caller
+# (``QueryEngine.update``) holds the store's writer lock across a whole
+# request, so a multi-operation request commits atomically with respect to
+# other writers, and DELETE WHERE's evaluate-then-delete cannot interleave
+# with a concurrent mutation.
+
+
+class InsertDataExecutor:
+    """``INSERT DATA``: encode the ground triples and commit them."""
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    def run(self, op) -> "ApplyResult":
+        encode = self.store.dictionary.encode
+        added = [
+            (encode(t.subject), encode(t.predicate), encode(t.object))
+            for t in op.triples
+        ]
+        return self.store.apply_update(added=added)
+
+
+class DeleteDataExecutor:
+    """``DELETE DATA``: remove the ground triples that exist.
+
+    Triples naming terms the dictionary has never seen cannot be in the
+    store, so they drop out before the commit (deleting an absent triple
+    is a no-op per SPARQL 1.1, not an error).
+    """
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    def run(self, op) -> "ApplyResult":
+        lookup = self.store.dictionary.lookup
+        removed = []
+        for t in op.triples:
+            ids = tuple(lookup(term) for term in t)
+            if None not in ids:
+                removed.append(ids)
+        return self.store.apply_update(removed=removed)
+
+
+class DeleteWhereExecutor:
+    """``DELETE WHERE``: evaluate the pattern, delete every instantiation.
+
+    The pattern runs through the ordinary read pipeline — optimizer join
+    ordering, the configured (delta-aware) executor, pinned reader — and
+    each solution is substituted back into the template (which *is* the
+    pattern) to obtain the triples to remove.
+    """
+
+    def __init__(self, store: TripleStore, read_executor, optimize):
+        self.store = store
+        self.read_executor = read_executor
+        #: callable AlgebraNode -> PlanNode (the engine's optimizer entry)
+        self.optimize = optimize
+
+    def run(self, op) -> "ApplyResult":
+        from ..sparql.algebra import translate_delete_where
+
+        plan = self.optimize(translate_delete_where(op))
+        rows, _profile = self.read_executor.execute(plan)
+        lookup = self.store.dictionary.lookup
+        removed = []
+        for row in rows:
+            for template in op.triples:
+                instantiated = template.substitute(row)
+                if not instantiated.is_concrete():
+                    continue  # solution leaves a template variable unbound
+                ids = tuple(lookup(term) for term in instantiated)
+                if None not in ids:
+                    removed.append(ids)
+        return self.store.apply_update(removed=removed)
 
 
 # -- helpers -----------------------------------------------------------------------------

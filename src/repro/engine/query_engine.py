@@ -15,8 +15,14 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 from ..rdf.graph import Graph
 from ..rdf.terms import Term, Variable
 from ..sparql.algebra import translate_query
-from ..sparql.ast import SelectQuery
-from ..sparql.parser import parse_query
+from ..sparql.ast import (
+    DeleteDataOp,
+    DeleteWhereOp,
+    InsertDataOp,
+    SelectQuery,
+    UpdateRequest,
+)
+from ..sparql.parser import parse_query, parse_update
 from ..sparql.template import QueryTemplate
 from ..store.statistics import StoreStatistics
 from ..store.triple_store import TripleStore
@@ -24,7 +30,13 @@ from ..obs.analyze import render_analyze
 from ..obs.trace import QueryTrace, TraceBuffer, TraceIdGenerator, Tracer, coerce_tracer
 from ..optimizer.optimizer import Optimizer
 from ..optimizer.plans import LimitNode, PlanNode, join_tree_signature
-from .executor import ExecutionProfile, Executor
+from .executor import (
+    DeleteDataExecutor,
+    DeleteWhereExecutor,
+    ExecutionProfile,
+    Executor,
+    InsertDataExecutor,
+)
 from .operators import Binding
 from .runtime_model import RuntimeModel
 from .vector import VectorExecutor
@@ -227,6 +239,70 @@ class QueryResult:
             len(self.rows),
             self.runtime_ms,
             self.actual_cout,
+        )
+
+
+class UpdateResult:
+    """The outcome of executing one SPARQL update request.
+
+    ``inserted`` / ``deleted`` count *effective* changes (inserting an
+    existing triple or deleting an absent one is a no-op per SPARQL 1.1);
+    ``data_version`` is the store version after the request committed, so
+    a client can tell whether its request changed anything by comparing
+    versions — or just read :attr:`changed`.
+    """
+
+    __slots__ = (
+        "inserted",
+        "deleted",
+        "operations",
+        "data_version",
+        "delta_triples",
+        "compacted",
+        "compaction_seconds",
+        "views_refreshed",
+    )
+
+    def __init__(
+        self,
+        inserted: int,
+        deleted: int,
+        operations: int,
+        data_version: int,
+        delta_triples: int,
+        compacted: bool = False,
+        compaction_seconds: float = 0.0,
+        views_refreshed: int = 0,
+    ):
+        self.inserted = inserted
+        self.deleted = deleted
+        self.operations = operations
+        self.data_version = data_version
+        self.delta_triples = delta_triples
+        self.compacted = compacted
+        self.compaction_seconds = compaction_seconds
+        self.views_refreshed = views_refreshed
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.inserted or self.deleted)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (the HTTP endpoint's update response body)."""
+        return {
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "operations": self.operations,
+            "data_version": self.data_version,
+            "delta_triples": self.delta_triples,
+            "compacted": self.compacted,
+        }
+
+    def __repr__(self) -> str:
+        return "UpdateResult(inserted=%d, deleted=%d, version=%d)" % (
+            self.inserted,
+            self.deleted,
+            self.data_version,
         )
 
 
@@ -465,6 +541,86 @@ class QueryEngine:
             if self.trace_buffer is not None:
                 self.trace_buffer.append(stream.trace)
         return stream
+
+    # -- updates -------------------------------------------------------------------
+
+    def update(self, request: Union[str, UpdateRequest]) -> UpdateResult:
+        """Execute a SPARQL 1.1 Update request (INSERT/DELETE DATA, DELETE WHERE).
+
+        The whole request runs under the store's writer lock: operations
+        apply in order (each seeing its predecessors' effects), DELETE
+        WHERE's evaluate-then-delete cannot interleave with another
+        writer, and concurrent readers keep answering from the state they
+        pinned.  After the commit every registered materialized view is
+        eagerly rebuilt against the new ``data_version``.
+        """
+        parsed = parse_update(request) if isinstance(request, str) else request
+        store = self.store
+        inserted = 0
+        deleted = 0
+        compacted = False
+        compaction_seconds = 0.0
+        with store.writer_lock:
+            store.finalise()
+            for op in parsed.operations:
+                executor = self._update_executor(op)
+                applied = executor.run(op)
+                inserted += applied.inserted
+                deleted += applied.deleted
+                if applied.compacted:
+                    compacted = True
+                    compaction_seconds += applied.compaction_seconds or 0.0
+            data_version = store.data_version
+            delta_triples = store.delta_size
+        views_refreshed = self.refresh_views() if inserted or deleted else 0
+        return UpdateResult(
+            inserted=inserted,
+            deleted=deleted,
+            operations=len(parsed.operations),
+            data_version=data_version,
+            delta_triples=delta_triples,
+            compacted=compacted,
+            compaction_seconds=compaction_seconds,
+            views_refreshed=views_refreshed,
+        )
+
+    def _update_executor(self, op):
+        """The update executor (see :mod:`repro.engine.executor`) for one op."""
+        if isinstance(op, InsertDataOp):
+            return InsertDataExecutor(self.store)
+        if isinstance(op, DeleteDataOp):
+            return DeleteDataExecutor(self.store)
+        if isinstance(op, DeleteWhereOp):
+            return DeleteWhereExecutor(self.store, self.executor, self.optimizer.optimize)
+        raise TypeError("unsupported update operation %r" % (op,))
+
+    def refresh_views(self) -> int:
+        """Eagerly rebuild every registered materialized view (mutation hook).
+
+        Views are keyed by ``data_version``, so after an update they can
+        never serve pre-update rows — without this hook they would simply
+        refill lazily on first use.  Rebuilding eagerly moves that cost off
+        the next query's critical path.  Returns the number of views
+        filled fresh.
+        """
+        registry = getattr(self.optimizer, "views", None)
+        if registry is None:
+            return 0
+        views = registry.views()
+        if not views:
+            return 0
+        executor = (
+            self.executor
+            if self.executor_name == "vector"
+            else make_executor("vector", self.store)
+        )
+        refreshed = 0
+        for view in views:
+            version = self.store.data_version
+            batch, _extension_terms, _profile = executor.execute_batch(view.plan)
+            if view.fill(version, batch):
+                refreshed += 1
+        return refreshed
 
     def execute_template(
         self,

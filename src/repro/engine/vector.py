@@ -390,7 +390,9 @@ class VectorExecutor:
         from ..obs.trace import coerce_tracer
 
         self._reset_extension_tables()
-        profile = ExecutionProfile(tracer=coerce_tracer(tracer))
+        profile = ExecutionProfile(
+            tracer=coerce_tracer(tracer), reader=self.store.reader()
+        )
         batch = self._execute(plan, profile)
         _ids, extension_terms = self._extension_tables()
         return batch, extension_terms, profile
@@ -470,7 +472,8 @@ class VectorExecutor:
         A hit charges scan work for the returned rows — the view really is
         a scan at runtime; that is the entire point of materializing it.
         """
-        version = self.store.data_version
+        reader = profile.reader if profile.reader is not None else self.store
+        version = reader.data_version
         batch = node.view.lookup(version)
         if batch is not None:
             profile.add_work("scan_tuple", batch.length)
@@ -520,11 +523,12 @@ class VectorExecutor:
 
     def _scan(self, node: ScanNode, profile: ExecutionProfile) -> ColumnBatch:
         pattern = node.pattern
-        repeated = self.store.pattern_has_repeated_variables(pattern)
+        reader = profile.reader if profile.reader is not None else self.store
+        repeated = reader.pattern_has_repeated_variables(pattern)
         if repeated and self.parallelism > 1:
-            arrays = self._scan_morsels(pattern, tracer=profile.tracer)
+            arrays = self._scan_morsels(reader, pattern, tracer=profile.tracer)
         else:
-            arrays = self.store.scan_pattern_arrays(pattern)
+            arrays = reader.scan_pattern_arrays(pattern)
         variables: List[Variable] = []
         columns: Dict[Variable, np.ndarray] = {}
         for position, term in enumerate(pattern):
@@ -535,16 +539,18 @@ class VectorExecutor:
         profile.add_work("scan_tuple", length)
         return ColumnBatch(variables, columns, length)
 
-    def _scan_morsels(self, pattern, tracer=None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _scan_morsels(
+        self, reader, pattern, tracer=None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Repeated-variable scan compacted morsel-by-morsel in parallel."""
-        morsels = self.store.scan_pattern_morsels(pattern, MORSEL_SIZE)
+        morsels = reader.scan_pattern_morsels(pattern, MORSEL_SIZE)
         if len(morsels) <= 1:
-            return self.store.scan_pattern_arrays(pattern)
+            return reader.scan_pattern_arrays(pattern)
         if tracer is not None:
             tracer.add_morsels(len(morsels))
         pool = self._ensure_pool()
         futures = [
-            pool.submit(self.store.filter_repeated_variables, pattern, *morsel)
+            pool.submit(reader.filter_repeated_variables, pattern, *morsel)
             for morsel in morsels
         ]
         parts = [future.result() for future in futures]
@@ -1057,7 +1063,8 @@ class VectorExecutor:
             # pattern differs, so run the tuple-semantics row loop (rare —
             # only reachable when OPTIONAL/UNION feeds a lookup join).
             return self._lookup_join_rows(node, left, filters, right, pattern, profile)
-        index = self.store.index_for_mask(tuple(bound_mask))
+        reader = profile.reader if profile.reader is not None else self.store
+        index = reader.index_for_mask(tuple(bound_mask))
         prefix_sources: List[Tuple[str, object]] = []
         for slot in range(3):
             component = index.positions[slot]
@@ -1180,6 +1187,7 @@ class VectorExecutor:
         side of an index lookup join, which the optimizer does not emit for
         hot paths — correctness trumps vectorization here.
         """
+        reader = profile.reader if profile.reader is not None else self.store
         join_variables = [
             variable for variable in node.join_variables if variable in left.columns
         ]
@@ -1202,7 +1210,7 @@ class VectorExecutor:
                 if decoded[variable][row] is not None
             }
             probe_pattern = pattern.substitute(bound)
-            for id_triple in self.store.scan_pattern(probe_pattern):
+            for id_triple in reader.scan_pattern(probe_pattern):
                 fetched += 1
                 valid = True
                 seen: Dict[Variable, int] = {}

@@ -25,6 +25,11 @@ from typing import Dict, List, Optional
 from ..bench.stats import mean, percentile
 from ..obs.registry import LATENCY_BUCKETS_MS, MetricsRegistry
 
+#: Bucket bounds for compaction durations (seconds).  Compacting folds the
+#: delta into fresh sorted columns — milliseconds for the small deltas the
+#: auto-compaction threshold allows, so the buckets lean low.
+COMPACTION_BUCKETS_S = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
 
 @dataclass(frozen=True)
 class ServiceMetrics:
@@ -91,8 +96,37 @@ class MetricsCollector:
             "99th-percentile simulated latency (milliseconds)",
             callback=lambda: self.snapshot().latency_p99_ms,
         )
+        # Mutation instruments (SPARQL Update).  The delta-size and
+        # compaction-count gauges live on the service (they read store
+        # state); these record what flowed through the update path itself.
+        self._updates = self.registry.counter(
+            "repro_updates_total", "SPARQL update requests committed by the service"
+        )
+        self._updates_inserted = self.registry.counter(
+            "repro_update_triples_inserted_total", "Triples inserted by update requests"
+        )
+        self._updates_deleted = self.registry.counter(
+            "repro_update_triples_deleted_total", "Triples deleted by update requests"
+        )
+        self._compaction_duration = self.registry.histogram(
+            "repro_compaction_duration_seconds",
+            "Delta-overlay compaction duration (seconds)",
+            buckets=COMPACTION_BUCKETS_S,
+        )
 
     # -- recording ----------------------------------------------------------------
+
+    def record_update(self, inserted: int, deleted: int) -> None:
+        """Count one committed update request and its effective changes."""
+        self._updates.inc()
+        if inserted:
+            self._updates_inserted.inc(inserted)
+        if deleted:
+            self._updates_deleted.inc(deleted)
+
+    def record_compaction(self, seconds: float) -> None:
+        """Observe one delta-overlay compaction's duration."""
+        self._compaction_duration.observe(seconds)
 
     def record_execution(self, runtime_ms: float, wall_seconds: float, in_batch: bool = False) -> None:
         with self._lock:

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..engine.query_engine import (
     QueryEngine,
     QueryResult,
+    UpdateResult,
     binding_cache_key,
     execution_noise_key,
 )
@@ -76,6 +77,19 @@ class QueryService:
         self.registry = PreparedTemplateRegistry()
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.metrics = MetricsCollector()
+        # Store-state gauges read live store counters at scrape time, so they
+        # also reflect mutations that bypassed this service object (another
+        # engine over the same store, direct TripleStore calls).
+        self.metrics.registry.gauge(
+            "repro_delta_triples",
+            "Triples currently held in the delta overlay (inserted + deleted)",
+            callback=lambda: float(self.engine.store.delta_size),
+        )
+        self.metrics.registry.gauge(
+            "repro_compactions_total",
+            "Delta-overlay compactions folded into the base since startup",
+            callback=lambda: float(self.engine.store.compactions_total),
+        )
         #: client workers used by the most recent batch entry point (the
         #: closed-loop concurrency knob, as opposed to ``engine.parallelism``).
         self.last_batch_workers = 1
@@ -154,6 +168,21 @@ class QueryService:
         self.metrics.record_execution(
             result.runtime_ms, time.perf_counter() - started, in_batch=in_batch
         )
+        return result
+
+    def update(self, request: str) -> "UpdateResult":
+        """Apply a SPARQL update request and record the mutation metrics.
+
+        Delegates to :meth:`QueryEngine.update` (single writer lock across
+        the whole request, snapshot readers unaffected) and counts the
+        request, its effective triple changes, and any compaction it
+        triggered on this service's registry — the same registry the HTTP
+        server and the prefork pool expose and aggregate.
+        """
+        result = self.engine.update(request)
+        self.metrics.record_update(result.inserted, result.deleted)
+        if result.compacted:
+            self.metrics.record_compaction(result.compaction_seconds)
         return result
 
     def execute_recorded(
@@ -237,6 +266,12 @@ class QueryService:
         # client threads issuing queries vs. morsel workers inside one query.
         stats["client workers (closed-loop)"] = self.last_batch_workers
         stats["intra-query parallelism (morsel workers)"] = self.engine.parallelism
+        # Mutation counters (SPARQL Update + delta-overlay state).
+        store = self.engine.store
+        stats["updates_total"] = self.metrics._updates.total()
+        stats["data_version"] = store.data_version
+        stats["delta_triples"] = store.delta_size
+        stats["compactions_total"] = store.compactions_total
         stats.update(self.cache_stats().as_dict())
         if self.result_cache is not None:
             stats.update(self.result_cache.stats().as_dict())

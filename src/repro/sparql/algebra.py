@@ -283,6 +283,20 @@ def translate_query(query: SelectQuery) -> AlgebraNode:
     return node
 
 
+def translate_delete_where(op) -> AlgebraNode:
+    """Algebra tree whose solutions instantiate a DELETE WHERE template.
+
+    The operation's quad pattern is evaluated exactly like a
+    ``SELECT * WHERE { ... }`` over its variables — same BGP, same join
+    ordering by the optimizer, same executors — and the engine substitutes
+    each solution into the (identical) template to obtain the triples to
+    remove.  Reusing the read-side algebra keeps update evaluation on the
+    optimized, delta-aware scan path instead of a private interpreter.
+    """
+    pattern = translate_pattern(op.pattern)
+    return Project(pattern, list(pattern.variables()))
+
+
 def collect_bgps(node: AlgebraNode) -> List[BGP]:
     """Collect every BGP node of a tree (used by tests and the analyzer)."""
     found: List[BGP] = []

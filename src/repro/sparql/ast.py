@@ -408,3 +408,79 @@ class SelectQuery:
             self.distinct,
             self.limit,
         )
+
+
+# -- updates (SPARQL 1.1 Update subset) --------------------------------------------
+
+
+class UpdateOperation:
+    """Base class of the update operations in an update request."""
+
+
+class InsertDataOp(UpdateOperation):
+    """``INSERT DATA { ... }``: add a set of ground triples.
+
+    The grammar forbids variables inside the data block; the parser
+    enforces it, so ``triples`` only contains concrete terms.
+    """
+
+    __slots__ = ("triples",)
+
+    def __init__(self, triples: Sequence[TriplePattern]):
+        self.triples = list(triples)
+
+    def __repr__(self) -> str:
+        return "InsertDataOp(%d triples)" % len(self.triples)
+
+
+class DeleteDataOp(UpdateOperation):
+    """``DELETE DATA { ... }``: remove a set of ground triples."""
+
+    __slots__ = ("triples",)
+
+    def __init__(self, triples: Sequence[TriplePattern]):
+        self.triples = list(triples)
+
+    def __repr__(self) -> str:
+        return "DeleteDataOp(%d triples)" % len(self.triples)
+
+
+class DeleteWhereOp(UpdateOperation):
+    """``DELETE WHERE { ... }``: the pattern doubles as the delete template.
+
+    Per SPARQL 1.1 the block is a plain quad pattern — triples only, no
+    FILTER / OPTIONAL / UNION — evaluated against the store; every
+    instantiation of the template under a solution is removed.
+    """
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, pattern: GroupGraphPattern):
+        self.pattern = pattern
+
+    @property
+    def triples(self) -> List[TriplePattern]:
+        return self.pattern.patterns
+
+    def __repr__(self) -> str:
+        return "DeleteWhereOp(%d patterns)" % len(self.pattern.patterns)
+
+
+class UpdateRequest:
+    """A parsed update request: one or more operations, run in order.
+
+    All operations of one request commit as a single atomic update — one
+    ``data_version`` bump — matching the SPARQL 1.1 requirement that a
+    request body is a transaction.
+    """
+
+    def __init__(
+        self,
+        operations: Sequence[UpdateOperation],
+        prefixes: Optional[dict] = None,
+    ):
+        self.operations = list(operations)
+        self.prefixes = prefixes if prefixes is not None else {}
+
+    def __repr__(self) -> str:
+        return "UpdateRequest(%d operations)" % len(self.operations)

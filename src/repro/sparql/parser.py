@@ -22,9 +22,12 @@ from ..rdf.triples import TriplePattern
 from .ast import (
     AggregateExpression,
     BinaryExpression,
+    DeleteDataOp,
+    DeleteWhereOp,
     Expression,
     FunctionCall,
     GroupGraphPattern,
+    InsertDataOp,
     OrderCondition,
     ParameterExpression,
     ParameterTerm,
@@ -32,6 +35,8 @@ from .ast import (
     SelectQuery,
     TermExpression,
     UnaryExpression,
+    UpdateOperation,
+    UpdateRequest,
 )
 from .tokenizer import Token, tokenize
 
@@ -98,6 +103,69 @@ class Parser:
         if self.peek().kind != "EOF":
             raise self.error("unexpected trailing input")
         return query
+
+    def parse_update(self) -> UpdateRequest:
+        """Parse a SPARQL 1.1 Update request (the subset this engine ships).
+
+        Grammar::
+
+            Prologue ( Operation ( ';' Operation )* ';'? )?
+            Operation := 'INSERT' 'DATA' QuadData
+                       | 'DELETE' 'DATA' QuadData
+                       | 'DELETE' 'WHERE' QuadPattern
+
+        An empty request (prologue only) is valid per the W3C grammar and
+        yields zero operations.
+        """
+        self._parse_prologue()
+        operations: List[UpdateOperation] = []
+        while self.peek().kind != "EOF":
+            self._parse_prologue()
+            if self.peek().kind == "EOF":
+                break
+            operations.append(self._parse_update_operation())
+            if self.accept("SEMICOLON") is None:
+                break
+        if self.peek().kind != "EOF":
+            raise self.error("unexpected trailing input")
+        return UpdateRequest(operations, prefixes=dict(self.prefixes))
+
+    def _parse_update_operation(self) -> UpdateOperation:
+        if self.accept_keyword("INSERT"):
+            self.expect_keyword("DATA")
+            return InsertDataOp(self._parse_quad_data("INSERT DATA"))
+        if self.accept_keyword("DELETE"):
+            if self.accept_keyword("DATA"):
+                return DeleteDataOp(self._parse_quad_data("DELETE DATA"))
+            self.expect_keyword("WHERE")
+            return DeleteWhereOp(self._parse_quad_pattern())
+        raise self.error("expected INSERT DATA, DELETE DATA or DELETE WHERE")
+
+    def _parse_quad_data(self, operation: str) -> List[TriplePattern]:
+        """A ``{ ... }`` block of ground triples (variables are forbidden)."""
+        group = self._parse_quad_pattern()
+        for pattern in group.patterns:
+            for term in pattern:
+                if isinstance(term, Variable):
+                    raise ParseError(
+                        "%s forbids variables, got %s" % (operation, term.name)
+                    )
+                if isinstance(term, ParameterTerm):
+                    raise ParseError(
+                        "%s forbids template parameters, got %%%s"
+                        % (operation, term.name)
+                    )
+        return group.patterns
+
+    def _parse_quad_pattern(self) -> GroupGraphPattern:
+        """A ``{ ... }`` block restricted to triples (SPARQL QuadPattern)."""
+        group = self._parse_group_graph_pattern()
+        if group.filters or group.optionals or group.unions or group.binds:
+            raise ParseError(
+                "update operations take a plain triple block - "
+                "FILTER/OPTIONAL/UNION/BIND are not allowed here"
+            )
+        return group
 
     # -- prologue ---------------------------------------------------------------
 
@@ -463,3 +531,8 @@ def _unescape_string(text: str) -> str:
 def parse_query(text: str) -> SelectQuery:
     """Parse a query string into a :class:`~repro.sparql.ast.SelectQuery`."""
     return Parser(text).parse_query()
+
+
+def parse_update(text: str) -> UpdateRequest:
+    """Parse an update string into an :class:`~repro.sparql.ast.UpdateRequest`."""
+    return Parser(text).parse_update()

@@ -42,6 +42,9 @@ KEYWORDS = frozenset(
         "OFFSET",
         "AS",
         "BIND",
+        "INSERT",
+        "DELETE",
+        "DATA",
         "COUNT",
         "SUM",
         "AVG",

@@ -512,4 +512,6 @@ def load_snapshot(path: str) -> StoreSnapshot:
     store._pending = []
     store._loaded = True
     store._version = int(header["data_version"])
+    store.snapshot_path = path
+    store._publish()
     return StoreSnapshot(path, store, header)

@@ -5,17 +5,45 @@ it, the cardinality estimator asks it for prefix counts, the data generators
 bulk-load into it.  It deliberately stays storage-model agnostic (the
 paper's ``Cout`` is defined to be oblivious to the storage model): lookups
 are expressed in terms of which triple components are bound.
+
+Concurrency and mutation model (MVCC snapshot isolation)
+--------------------------------------------------------
+
+The store is an **immutable base plus a delta overlay** (see
+:mod:`repro.store.delta`):
+
+* the base — six sorted numpy column triples, possibly mmap-adopted from a
+  snapshot file — is never written in place;
+* every committed mutation (:meth:`apply_update`, :meth:`insert`,
+  :meth:`remove`) runs under one :attr:`writer_lock` and publishes a fresh
+  immutable :class:`~repro.store.delta.DeltaState` with a bumped
+  :attr:`data_version`;
+* readers call :meth:`reader` once at query start and get a
+  :class:`StoreReader` pinned to the ``(base, delta-epoch)`` pair current
+  at that instant — later commits are invisible to it, so an open cursor
+  or a streaming HTTP response never observes a torn or shifted result;
+* :meth:`compact` folds the delta into six fresh base indexes and swaps
+  them in atomically; visible data is unchanged, so ``data_version`` stays
+  put and every version-keyed cache remains valid.  Updates auto-compact
+  once the overlay exceeds :attr:`compact_threshold` tracked triples.
+
+Direct calls against the store (``scan_pattern`` etc. without an explicit
+reader) pin per call, which keeps single-shot callers and the statistics
+collector correct without code changes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+import threading
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..rdf.dictionary import TermDictionary
 from ..rdf.terms import Term, Variable
 from ..rdf.triples import Triple, TriplePattern
+from .delta import DeltaState
 from .indexes import PermutationIndex
 
 IdTriple = Tuple[int, int, int]
@@ -33,142 +61,113 @@ _INDEX_FOR_MASK = {
     (True, True, True): "spo",
 }
 
+#: Tracked delta triples (added + removed) beyond which a committing update
+#: folds the overlay into a fresh base before returning.
+DEFAULT_COMPACT_THRESHOLD = 8192
 
-class TripleStore:
-    """Dictionary-encoded triple store with six sorted permutation indexes."""
 
-    def __init__(self):
-        self.dictionary = TermDictionary()
-        self._indexes: Dict[str, PermutationIndex] = {
-            name: PermutationIndex(name) for name in ("spo", "sop", "pso", "pos", "osp", "ops")
-        }
-        self._size = 0
-        self._pending: List[IdTriple] = []
-        self._loaded = False
-        self._version = 0
+class SnapshotReadOnlyError(RuntimeError):
+    """A write path tried to modify mmap-adopted base columns in place.
+
+    The supported write paths (:meth:`TripleStore.apply_update` and the
+    point mutations built on it) never raise this: they copy-on-write into
+    the delta overlay instead of touching the mapped file view.
+    """
+
+
+class ApplyResult:
+    """Outcome of one committed :meth:`TripleStore.apply_update` call."""
+
+    __slots__ = (
+        "inserted",
+        "deleted",
+        "data_version",
+        "delta_triples",
+        "compacted",
+        "compaction_seconds",
+    )
+
+    def __init__(
+        self,
+        inserted: int,
+        deleted: int,
+        data_version: int,
+        delta_triples: int,
+        compacted: bool = False,
+        compaction_seconds: Optional[float] = None,
+    ):
+        self.inserted = inserted
+        self.deleted = deleted
+        self.data_version = data_version
+        self.delta_triples = delta_triples
+        self.compacted = compacted
+        self.compaction_seconds = compaction_seconds
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.inserted or self.deleted)
+
+    def __repr__(self) -> str:
+        return "ApplyResult(inserted=%d, deleted=%d, version=%d)" % (
+            self.inserted,
+            self.deleted,
+            self.data_version,
+        )
+
+
+class _StoreState:
+    """One immutable published state: base indexes + size + delta + version."""
+
+    __slots__ = ("indexes", "base_size", "delta", "version")
+
+    def __init__(
+        self,
+        indexes: Dict[str, PermutationIndex],
+        base_size: int,
+        delta: DeltaState,
+        version: int,
+    ):
+        self.indexes = indexes
+        self.base_size = base_size
+        self.delta = delta
+        self.version = version
+
+    def index(self, name: str) -> PermutationIndex:
+        """The merged (base ∘ delta) permutation index for ``name``."""
+        return self.delta.merged_index(self.indexes[name])
+
+    @property
+    def size(self) -> int:
+        return self.base_size + self.delta.net_growth()
+
+
+class StoreReader:
+    """A read view pinned to one ``(base, delta-epoch)`` store state.
+
+    Exposes the full read API of :class:`TripleStore`; every answer is
+    consistent with the single instant the reader was created at, no
+    matter what commits afterwards.  The dictionary is shared with the
+    store — it is append-only (ids are never reassigned or dropped, even
+    by deletes), so decoding stays valid for any pinned state.
+    """
+
+    __slots__ = ("dictionary", "_state")
+
+    def __init__(self, dictionary: TermDictionary, state: _StoreState):
+        self.dictionary = dictionary
+        self._state = state
 
     def __len__(self) -> int:
-        return self._size + len(self._pending)
+        return self._state.size
 
     @property
     def data_version(self) -> int:
-        """Monotone counter bumped by every mutation of the triple set.
+        """The store ``data_version`` this reader is pinned to."""
+        return self._state.version
 
-        Staged-but-unloaded triples already count as a pending mutation, so
-        statistics consumers (see :class:`~repro.store.statistics.StoreStatistics`)
-        can detect staleness *before* the lazy rebuild runs.
-        """
-        return self._version + (1 if self._pending else 0)
-
-    # -- loading -----------------------------------------------------------
-
-    def add(self, triple: Triple) -> None:
-        """Stage a triple for loading.
-
-        Triples are buffered and the indexes rebuilt lazily on first lookup,
-        which makes bulk loading linear instead of quadratic.
-        """
-        encoded = (
-            self.dictionary.encode(triple.subject),
-            self.dictionary.encode(triple.predicate),
-            self.dictionary.encode(triple.object),
-        )
-        self._pending.append(encoded)
-
-    def add_many(self, triples: Iterable[Triple]) -> None:
-        for triple in triples:
-            self.add(triple)
-
-    def _ensure_loaded(self) -> None:
-        if not self._pending and self._loaded:
-            return
-        parts: List[np.ndarray] = []
-        if self._loaded and self._size:
-            # The SPO index's permuted key order *is* the canonical order.
-            parts.append(np.stack(self._indexes["spo"].columns(), axis=1))
-        if self._pending:
-            parts.append(np.asarray(self._pending, dtype=np.int64).reshape(-1, 3))
-        if parts:
-            merged = np.unique(np.concatenate(parts, axis=0), axis=0)
-        else:
-            merged = np.empty((0, 3), dtype=np.int64)
-        for index in self._indexes.values():
-            index.bulk_load(merged)
-        self._size = int(merged.shape[0])
-        self._pending = []
-        self._loaded = True
-        self._version += 1
-
-    def finalise(self) -> None:
-        """Force any staged triples into the indexes."""
-        self._ensure_loaded()
-
-    # -- persistence ---------------------------------------------------------
-
-    def save(self, path: str, statistics=None, fingerprint=None) -> dict:
-        """Persist the finalised store (and optional statistics) to ``path``.
-
-        See :mod:`repro.store.snapshot` for the on-disk format.  Returns
-        the written header dict.
-        """
-        from .snapshot import save_snapshot
-
-        return save_snapshot(path, self, statistics=statistics, fingerprint=fingerprint)
-
-    @classmethod
-    def load(cls, path: str) -> "TripleStore":
-        """Load a snapshot zero-copy: memory-mapped indexes, lazy dictionary.
-
-        The loaded store is bit-identical to the one that was saved —
-        same dictionary ids, same index order, same ``data_version`` — so
-        every query answers exactly as it would against the original.
-        Raises :class:`repro.store.snapshot.SnapshotError` subclasses on
-        format/integrity problems, never returns a partially loaded store.
-        Use :func:`repro.store.snapshot.load_snapshot` instead when the
-        persisted statistics are wanted too.
-        """
-        from .snapshot import load_snapshot
-
-        return load_snapshot(path).store
-
-    # -- point mutations ----------------------------------------------------
-
-    def insert(self, triple: Triple) -> bool:
-        """Insert one triple directly into the live indexes.
-
-        Returns True when the triple was new.  Bumps :attr:`data_version`
-        so statistics snapshots refresh instead of silently desyncing.
-        """
-        self._ensure_loaded()
-        encoded = (
-            self.dictionary.encode(triple.subject),
-            self.dictionary.encode(triple.predicate),
-            self.dictionary.encode(triple.object),
-        )
-        if self._indexes["spo"].contains(encoded):
-            return False
-        for index in self._indexes.values():
-            index.insert(encoded)
-        self._size += 1
-        self._version += 1
-        return True
-
-    def remove(self, triple: Triple) -> bool:
-        """Remove one triple from the live indexes; True when it was present.
-
-        Bumps :attr:`data_version` like :meth:`insert`.
-        """
-        self._ensure_loaded()
-        ids = tuple(self.dictionary.lookup(term) for term in triple)
-        if any(term_id is None for term_id in ids):
-            return False
-        if not self._indexes["spo"].contains(ids):  # type: ignore[arg-type]
-            return False
-        for index in self._indexes.values():
-            index.remove(ids)  # type: ignore[arg-type]
-        self._size -= 1
-        self._version += 1
-        return True
+    @property
+    def delta_epoch(self) -> int:
+        return self._state.delta.epoch
 
     # -- term helpers --------------------------------------------------------
 
@@ -209,20 +208,18 @@ class TripleStore:
         executor applies that filter.  The count is therefore an upper bound
         in that corner case and exact otherwise.
         """
-        self._ensure_loaded()
         resolved = self._pattern_to_prefix(pattern)
         if resolved is None:
             return 0
         index_name, prefix = resolved
-        return self._indexes[index_name].count_prefix(prefix)
+        return self._state.index(index_name).count_prefix(prefix)
 
-    def scan_pattern(self, pattern: TriplePattern) -> Iterator[Tuple[int, int, int]]:
+    def scan_pattern(self, pattern: TriplePattern) -> Iterator[IdTriple]:
         """Yield id triples matching the constant positions of ``pattern``.
 
         Results honour repeated variables (``?x p ?x`` only yields triples
         with equal subject and object).
         """
-        self._ensure_loaded()
         resolved = self._pattern_to_prefix(pattern)
         if resolved is None:
             return
@@ -231,7 +228,7 @@ class TripleStore:
         same_so = isinstance(subject, Variable) and subject == object_
         same_sp = isinstance(subject, Variable) and subject == predicate
         same_po = isinstance(predicate, Variable) and predicate == object_
-        for id_triple in self._indexes[index_name].scan_prefix(prefix):
+        for id_triple in self._state.index(index_name).scan_prefix(prefix):
             s, p, o = id_triple
             if same_so and s != o:
                 continue
@@ -251,25 +248,15 @@ class TripleStore:
         arrays are views into the index columns whenever no repeated-variable
         mask applies (treat them as read-only).
         """
-        self._ensure_loaded()
         resolved = self._pattern_to_prefix(pattern)
         if resolved is None:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty, empty
         index_name, prefix = resolved
-        index = self._indexes[index_name]
+        index = self._state.index(index_name)
         low, high = index.prefix_range(prefix)
         s, p, o = index.spo_columns(low, high)
-        return self.filter_repeated_variables(pattern, s, p, o)
-
-    @staticmethod
-    def pattern_has_repeated_variables(pattern: TriplePattern) -> bool:
-        """True when the pattern repeats a variable (``?x p ?x``)."""
-        subject, predicate, object_ = pattern.as_tuple()
-        return (
-            (isinstance(subject, Variable) and (subject == predicate or subject == object_))
-            or (isinstance(predicate, Variable) and predicate == object_)
-        )
+        return filter_repeated_variables(pattern, s, p, o)
 
     def scan_pattern_morsels(
         self, pattern: TriplePattern, morsel_size: int
@@ -282,12 +269,11 @@ class TripleStore:
         filtering (apply :meth:`filter_repeated_variables` per morsel).
         Parallel executors fan the morsels out to a worker pool.
         """
-        self._ensure_loaded()
         resolved = self._pattern_to_prefix(pattern)
         if resolved is None:
             return []
         index_name, prefix = resolved
-        index = self._indexes[index_name]
+        index = self._state.index(index_name)
         low, high = index.prefix_range(prefix)
         return [
             index.spo_columns(morsel_low, morsel_high)
@@ -298,36 +284,36 @@ class TripleStore:
     def filter_repeated_variables(
         pattern: TriplePattern, s: np.ndarray, p: np.ndarray, o: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Compact (s, p, o) columns to rows honouring repeated variables."""
-        subject, predicate, object_ = pattern.as_tuple()
-        mask: Optional[np.ndarray] = None
-        if isinstance(subject, Variable) and subject == object_:
-            mask = s == o
-        if isinstance(subject, Variable) and subject == predicate:
-            same = s == p
-            mask = same if mask is None else mask & same
-        if isinstance(predicate, Variable) and predicate == object_:
-            same = p == o
-            mask = same if mask is None else mask & same
-        if mask is not None:
-            s, p, o = s[mask], p[mask], o[mask]
-        return s, p, o
+        return filter_repeated_variables(pattern, s, p, o)
+
+    @staticmethod
+    def pattern_has_repeated_variables(pattern: TriplePattern) -> bool:
+        return pattern_has_repeated_variables(pattern)
 
     def index_for_mask(self, mask: Tuple[bool, bool, bool]) -> PermutationIndex:
-        """The permutation index serving a bound-positions (s, p, o) mask."""
-        self._ensure_loaded()
-        return self._indexes[_INDEX_FOR_MASK[mask]]
+        """The (merged) permutation index serving a bound-positions mask."""
+        return self._state.index(_INDEX_FOR_MASK[mask])
+
+    def index(self, name: str) -> PermutationIndex:
+        """The (merged) permutation index named ``name``."""
+        return self._state.index(name)
 
     def contains(self, triple: Triple) -> bool:
-        self._ensure_loaded()
         ids = tuple(self.dictionary.lookup(term) for term in triple)
         if any(term_id is None for term_id in ids):
             return False
-        return self._indexes["spo"].contains(ids)  # type: ignore[arg-type]
+        return self.contains_ids(ids)  # type: ignore[arg-type]
+
+    def contains_ids(self, ids: IdTriple) -> bool:
+        delta = self._state.delta
+        if ids in delta.added:
+            return True
+        if ids in delta.removed:
+            return False
+        return self._state.indexes["spo"].contains(ids)
 
     def triples(self, pattern: Optional[TriplePattern] = None) -> Iterator[Triple]:
         """Yield decoded :class:`Triple` objects matching ``pattern`` (or all)."""
-        self._ensure_loaded()
         if pattern is None:
             pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
         for s, p, o in self.scan_pattern(pattern):
@@ -335,23 +321,419 @@ class TripleStore:
 
     # -- statistics access ----------------------------------------------------
 
-    def index(self, name: str) -> PermutationIndex:
-        """Return a raw permutation index (statistics and tests use this)."""
-        self._ensure_loaded()
-        return self._indexes[name]
-
     def distinct_subjects(self, predicate_id: Optional[int] = None) -> int:
-        self._ensure_loaded()
         if predicate_id is None:
-            return self._indexes["spo"].distinct_prefix_values([])
-        return self._indexes["pso"].distinct_prefix_values([predicate_id])
+            return self._state.index("spo").distinct_prefix_values([])
+        return self._state.index("pso").distinct_prefix_values([predicate_id])
 
     def distinct_objects(self, predicate_id: Optional[int] = None) -> int:
-        self._ensure_loaded()
         if predicate_id is None:
-            return self._indexes["osp"].distinct_prefix_values([])
-        return self._indexes["pos"].distinct_prefix_values([predicate_id])
+            return self._state.index("osp").distinct_prefix_values([])
+        return self._state.index("pos").distinct_prefix_values([predicate_id])
 
     def distinct_predicates(self) -> int:
+        return self._state.index("pso").distinct_prefix_values([])
+
+    def __repr__(self) -> str:
+        return "StoreReader(version=%d, epoch=%d, triples=%d)" % (
+            self.data_version,
+            self.delta_epoch,
+            len(self),
+        )
+
+
+def filter_repeated_variables(
+    pattern: TriplePattern, s: np.ndarray, p: np.ndarray, o: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact (s, p, o) columns to rows honouring repeated variables."""
+    subject, predicate, object_ = pattern.as_tuple()
+    mask: Optional[np.ndarray] = None
+    if isinstance(subject, Variable) and subject == object_:
+        mask = s == o
+    if isinstance(subject, Variable) and subject == predicate:
+        same = s == p
+        mask = same if mask is None else mask & same
+    if isinstance(predicate, Variable) and predicate == object_:
+        same = p == o
+        mask = same if mask is None else mask & same
+    if mask is not None:
+        s, p, o = s[mask], p[mask], o[mask]
+    return s, p, o
+
+
+def pattern_has_repeated_variables(pattern: TriplePattern) -> bool:
+    """True when the pattern repeats a variable (``?x p ?x``)."""
+    subject, predicate, object_ = pattern.as_tuple()
+    return (
+        (isinstance(subject, Variable) and (subject == predicate or subject == object_))
+        or (isinstance(predicate, Variable) and predicate == object_)
+    )
+
+
+class TripleStore:
+    """Dictionary-encoded triple store with six sorted permutation indexes."""
+
+    def __init__(self):
+        self.dictionary = TermDictionary()
+        self._indexes: Dict[str, PermutationIndex] = {
+            name: PermutationIndex(name) for name in ("spo", "sop", "pso", "pos", "osp", "ops")
+        }
+        self._size = 0
+        self._pending: List[IdTriple] = []
+        self._loaded = False
+        self._version = 0
+        self._delta = DeltaState()
+        #: serializes every mutation (updates, staged loads, compaction);
+        #: held across evaluate+apply by the engine's DELETE WHERE for
+        #: request atomicity.  Readers never take it (except a trivial
+        #: publish when racing the very first mutation of a state).
+        self.writer_lock = threading.RLock()
+        #: auto-compaction bar: tracked delta triples (added + removed)
+        #: after which a committing update folds the overlay into a fresh
+        #: base.  Mutable knob; set to 0/None to disable auto-compaction.
+        self.compact_threshold: Optional[int] = DEFAULT_COMPACT_THRESHOLD
+        #: compactions performed over this store's lifetime.
+        self.compactions_total = 0
+        #: where this store was loaded from (set by the snapshot loader) —
+        #: the default target of ``compact(persist=True)``.
+        self.snapshot_path: Optional[str] = None
+        self._published = _StoreState(self._indexes, 0, self._delta, 0)
+
+    def __len__(self) -> int:
+        return self._size + self._delta.net_growth() + len(self._pending)
+
+    @property
+    def data_version(self) -> int:
+        """Monotone counter bumped by every mutation of the triple set.
+
+        Staged-but-unloaded triples already count as a pending mutation, so
+        statistics consumers (see :class:`~repro.store.statistics.StoreStatistics`)
+        can detect staleness *before* the lazy rebuild runs.  Compaction
+        does **not** bump it: visible data is unchanged, so version-keyed
+        caches (plans, results, views, statistics) stay valid.
+        """
+        return self._version + (1 if self._pending else 0)
+
+    @property
+    def delta_size(self) -> int:
+        """Triples currently tracked by the delta overlay (added + removed)."""
+        return len(self._delta)
+
+    @property
+    def delta_epoch(self) -> int:
+        return self._delta.epoch
+
+    # -- state publication ----------------------------------------------------
+
+    def _publish(self) -> None:
+        """Publish the current state as one immutable reference (writer-side)."""
+        self._published = _StoreState(self._indexes, self._size, self._delta, self._version)
+
+    def _current_state(self) -> _StoreState:
+        """The published state, re-published first if attributes moved.
+
+        Mutations always end in :meth:`_publish`, so a mismatch only
+        happens when racing a writer mid-commit (we then wait on the
+        writer lock and publish its finished state) or after out-of-band
+        attribute pokes (the snapshot loader), which are single-threaded.
+        """
+        published = self._published
+        if (
+            published.indexes is self._indexes
+            and published.delta is self._delta
+            and published.base_size == self._size
+            and published.version == self._version
+        ):
+            return published
+        with self.writer_lock:
+            self._publish()
+            return self._published
+
+    def reader(self) -> StoreReader:
+        """A read view pinned to the current ``(base, delta-epoch)`` state.
+
+        Executors grab one reader per query; everything they scan, count
+        or probe afterwards answers from that instant's data even while
+        updates commit concurrently.
+        """
         self._ensure_loaded()
-        return self._indexes["pso"].distinct_prefix_values([])
+        return StoreReader(self.dictionary, self._current_state())
+
+    # -- loading -----------------------------------------------------------
+
+    def add(self, triple: Triple) -> None:
+        """Stage a triple for loading.
+
+        Triples are buffered and the indexes rebuilt lazily on first lookup,
+        which makes bulk loading linear instead of quadratic.
+        """
+        encoded = (
+            self.dictionary.encode(triple.subject),
+            self.dictionary.encode(triple.predicate),
+            self.dictionary.encode(triple.object),
+        )
+        self._pending.append(encoded)
+
+    def add_many(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    def _ensure_loaded(self) -> None:
+        if not self._pending and self._loaded:
+            return
+        with self.writer_lock:
+            if not self._pending and self._loaded:
+                return
+            parts: List[np.ndarray] = []
+            if self._loaded and (self._size or not self._delta.empty):
+                # The (merged) SPO key order *is* the canonical order; a
+                # non-empty delta folds into the rebuilt base here.
+                parts.append(np.stack(self._current_state().index("spo").columns(), axis=1))
+            if self._pending:
+                parts.append(np.asarray(self._pending, dtype=np.int64).reshape(-1, 3))
+            if parts:
+                merged = np.unique(np.concatenate(parts, axis=0), axis=0)
+            else:
+                merged = np.empty((0, 3), dtype=np.int64)
+            indexes = {name: PermutationIndex(name) for name in self._indexes}
+            for index in indexes.values():
+                index.bulk_load(merged)
+            self._indexes = indexes
+            self._size = int(merged.shape[0])
+            self._pending = []
+            self._loaded = True
+            self._delta = DeltaState(epoch=self._delta.epoch + 1)
+            self._version += 1
+            self._publish()
+
+    def finalise(self) -> None:
+        """Force any staged triples into the indexes."""
+        self._ensure_loaded()
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str, statistics=None, fingerprint=None) -> dict:
+        """Persist the finalised store (and optional statistics) to ``path``.
+
+        See :mod:`repro.store.snapshot` for the on-disk format.  Returns
+        the written header dict.  A non-empty delta overlay is folded into
+        the written columns (the snapshot format is base-only), so loading
+        the file reproduces the current visible data exactly.
+        """
+        from .snapshot import save_snapshot
+
+        return save_snapshot(path, self, statistics=statistics, fingerprint=fingerprint)
+
+    @classmethod
+    def load(cls, path: str) -> "TripleStore":
+        """Load a snapshot zero-copy: memory-mapped indexes, lazy dictionary.
+
+        The loaded store is bit-identical to the one that was saved —
+        same dictionary ids, same index order, same ``data_version`` — so
+        every query answers exactly as it would against the original.
+        Raises :class:`repro.store.snapshot.SnapshotError` subclasses on
+        format/integrity problems, never returns a partially loaded store.
+        Use :func:`repro.store.snapshot.load_snapshot` instead when the
+        persisted statistics are wanted too.
+        """
+        from .snapshot import load_snapshot
+
+        return load_snapshot(path).store
+
+    # -- mutation (the single write path) -------------------------------------
+
+    def apply_update(
+        self,
+        added: Iterable[IdTriple] = (),
+        removed: Iterable[IdTriple] = (),
+    ) -> ApplyResult:
+        """Commit one update: make ``added`` visible and ``removed`` gone.
+
+        Runs entirely under :attr:`writer_lock`.  The base columns are
+        untouched (mmap-safe by construction); the commit publishes a
+        fresh delta epoch, bumps :attr:`data_version` only when the net
+        change is non-empty, and auto-compacts past
+        :attr:`compact_threshold`.  Triples already present insert as
+        no-ops; triples absent remove as no-ops — re-applying the same
+        update is idempotent.
+        """
+        with self.writer_lock:
+            self._ensure_loaded()
+            delta = self._delta
+            base_spo = self._indexes["spo"]
+            new_added: Set[IdTriple] = set(delta.added)
+            new_removed: Set[IdTriple] = set(delta.removed)
+            inserted = 0
+            deleted = 0
+            for ids in removed:
+                ids = (int(ids[0]), int(ids[1]), int(ids[2]))
+                if ids in new_added:
+                    new_added.discard(ids)
+                    deleted += 1
+                elif ids not in new_removed and base_spo.contains(ids):
+                    new_removed.add(ids)
+                    deleted += 1
+            for ids in added:
+                ids = (int(ids[0]), int(ids[1]), int(ids[2]))
+                if ids in new_removed:
+                    new_removed.discard(ids)
+                    inserted += 1
+                elif ids not in new_added and not base_spo.contains(ids):
+                    new_added.add(ids)
+                    inserted += 1
+            if not inserted and not deleted:
+                return ApplyResult(0, 0, self.data_version, len(delta))
+            self._delta = DeltaState(
+                frozenset(new_added), frozenset(new_removed), epoch=delta.epoch + 1
+            )
+            self._version += 1
+            self._publish()
+            compacted = False
+            compaction_seconds: Optional[float] = None
+            if self.compact_threshold and len(self._delta) >= self.compact_threshold:
+                compaction_seconds = self.compact()
+                compacted = True
+            return ApplyResult(
+                inserted,
+                deleted,
+                self.data_version,
+                len(self._delta),
+                compacted=compacted,
+                compaction_seconds=compaction_seconds,
+            )
+
+    def compact(self, persist: bool = False, path: Optional[str] = None) -> float:
+        """Fold the delta overlay into six fresh base indexes; returns seconds.
+
+        Visible data is unchanged, so ``data_version`` does not move and
+        pinned readers, caches and statistics all stay valid; only the
+        representation changes (and future merged scans stop paying the
+        fold).  With ``persist=True`` the compacted store is re-saved to
+        ``path`` (default: the snapshot file it was loaded from).
+
+        The fold *is* the compaction: each permutation's merged index —
+        base columns with the delta spliced in at its sorted positions —
+        is exactly the base a rebuild would produce, so promoting the six
+        folded indexes costs O(base + delta) per index with no dictionary
+        encoding and no re-sort.  Readers pinned to the old epoch may
+        share the promoted column arrays; that is safe because columns
+        are never written in place.
+        """
+        started = time.perf_counter()
+        with self.writer_lock:
+            self._ensure_loaded()
+            if not self._delta.empty:
+                state = self._current_state()
+                self._indexes = {name: state.index(name) for name in self._indexes}
+                self._size = int(self._indexes["spo"].columns()[0].shape[0])
+                self._delta = DeltaState(epoch=self._delta.epoch + 1)
+                self._publish()
+            self.compactions_total += 1
+            if persist:
+                target = path or self.snapshot_path
+                if target is None:
+                    raise ValueError(
+                        "compact(persist=True) needs a path: the store was not "
+                        "loaded from a snapshot file"
+                    )
+                self.save(target)
+                self.snapshot_path = target
+        return time.perf_counter() - started
+
+    # -- point mutations ----------------------------------------------------
+
+    def insert(self, triple: Triple) -> bool:
+        """Insert one triple through the delta overlay.
+
+        Returns True when the triple was new.  Runs under the writer lock
+        and copies-on-write into the delta — never into the (possibly
+        mmap-adopted) base columns — and bumps :attr:`data_version` so
+        statistics snapshots refresh instead of silently desyncing.
+        """
+        with self.writer_lock:
+            self._ensure_loaded()
+            encoded = (
+                self.dictionary.encode(triple.subject),
+                self.dictionary.encode(triple.predicate),
+                self.dictionary.encode(triple.object),
+            )
+            return self.apply_update(added=[encoded]).inserted > 0
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove one triple through the delta overlay; True when present.
+
+        Bumps :attr:`data_version` like :meth:`insert`; the base columns
+        are never written in place.
+        """
+        with self.writer_lock:
+            self._ensure_loaded()
+            ids = tuple(self.dictionary.lookup(term) for term in triple)
+            if any(term_id is None for term_id in ids):
+                return False
+            return self.apply_update(removed=[ids]).deleted > 0  # type: ignore[list-item]
+
+    # -- term helpers --------------------------------------------------------
+
+    def encode_term(self, term: Term) -> Optional[int]:
+        """Return the id of a concrete term or ``None`` if it is unknown."""
+        return self.dictionary.lookup(term)
+
+    def decode_id(self, term_id: int) -> Term:
+        return self.dictionary.decode(term_id)
+
+    # -- pattern access (each call pins the current state) ---------------------
+
+    def _pattern_to_prefix(self, pattern: TriplePattern) -> Optional[Tuple[str, List[int]]]:
+        return self.reader()._pattern_to_prefix(pattern)
+
+    def count_pattern(self, pattern: TriplePattern) -> int:
+        return self.reader().count_pattern(pattern)
+
+    def scan_pattern(self, pattern: TriplePattern) -> Iterator[IdTriple]:
+        return self.reader().scan_pattern(pattern)
+
+    def scan_pattern_arrays(
+        self, pattern: TriplePattern
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.reader().scan_pattern_arrays(pattern)
+
+    def scan_pattern_morsels(
+        self, pattern: TriplePattern, morsel_size: int
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        return self.reader().scan_pattern_morsels(pattern, morsel_size)
+
+    @staticmethod
+    def pattern_has_repeated_variables(pattern: TriplePattern) -> bool:
+        return pattern_has_repeated_variables(pattern)
+
+    @staticmethod
+    def filter_repeated_variables(
+        pattern: TriplePattern, s: np.ndarray, p: np.ndarray, o: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return filter_repeated_variables(pattern, s, p, o)
+
+    def index_for_mask(self, mask: Tuple[bool, bool, bool]) -> PermutationIndex:
+        """The (merged) permutation index serving a bound-positions mask."""
+        return self.reader().index_for_mask(mask)
+
+    def contains(self, triple: Triple) -> bool:
+        return self.reader().contains(triple)
+
+    def triples(self, pattern: Optional[TriplePattern] = None) -> Iterator[Triple]:
+        """Yield decoded :class:`Triple` objects matching ``pattern`` (or all)."""
+        return self.reader().triples(pattern)
+
+    # -- statistics access ----------------------------------------------------
+
+    def index(self, name: str) -> PermutationIndex:
+        """Return a (merged) permutation index (statistics and tests use this)."""
+        return self.reader().index(name)
+
+    def distinct_subjects(self, predicate_id: Optional[int] = None) -> int:
+        return self.reader().distinct_subjects(predicate_id)
+
+    def distinct_objects(self, predicate_id: Optional[int] = None) -> int:
+        return self.reader().distinct_objects(predicate_id)
+
+    def distinct_predicates(self) -> int:
+        return self.reader().distinct_predicates()

@@ -1,0 +1,690 @@
+"""SPARQL 1.1 Update end-to-end with MVCC snapshot isolation.
+
+The update path's contract, layer by layer:
+
+* **grammar** — ``parse_update`` accepts INSERT DATA / DELETE DATA /
+  DELETE WHERE (with prologues, ``;`` chaining, and the quad-data
+  restrictions) and rejects variables in ground data,
+* **store** — the delta overlay is invisible: a store that absorbed
+  updates answers every scan bit-identically to a store built fresh with
+  the final content, before *and* after compaction, on generated and
+  mmap-adopted (snapshot) bases alike,
+* **engine** — both executors see updates; multi-operation requests apply
+  in order under one writer lock; materialized views never serve
+  pre-update rows,
+* **isolation** — a cursor opened before a DELETE WHERE drains the
+  original result bit-complete from its pinned snapshot,
+* **protocol** — ``POST /sparql`` applies raw ``application/sparql-update``
+  bodies and ``update=`` form fields; the prefork pool replicates a
+  worker's update to its siblings and journal-replays it into restarts.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.parse
+import urllib.request
+from functools import lru_cache
+
+import pytest
+
+from repro.api import RemoteEndpoint, SparqlServer, UpdateError, connect
+from repro.api.errors import ParseError as ApiParseError
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.datagen.ldbc import template as ldbc_template
+from repro.engine import QueryEngine
+from repro.experiments import common
+from repro.rdf.terms import IRI, typed_literal
+from repro.rdf.triples import Triple
+from repro.sparql.ast import DeleteDataOp, DeleteWhereOp, InsertDataOp
+from repro.sparql.parser import ParseError, parse_update
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+P0, P1, P2 = (IRI(EX + "p%d" % i) for i in range(3))
+
+
+def base_triples(rows=16):
+    triples = []
+    for i in range(rows):
+        subject = IRI(EX + "s%d" % i)
+        triples.append(Triple(subject, P0, IRI(EX + "o%d" % (i % 4))))
+        triples.append(Triple(subject, P1, IRI(EX + "s%d" % ((i + 1) % rows))))
+        triples.append(Triple(subject, P2, typed_literal(i)))
+    return triples
+
+
+def extra_triples(rows=6):
+    return [
+        Triple(IRI(EX + "n%d" % i), P0, IRI(EX + "o%d" % (i % 4))) for i in range(rows)
+    ] + [Triple(IRI(EX + "n%d" % i), P2, typed_literal(100 + i)) for i in range(rows)]
+
+
+def removed_triples():
+    """A subset of base_triples() the update scenario deletes."""
+    return [
+        Triple(IRI(EX + "s1"), P0, IRI(EX + "o1")),
+        Triple(IRI(EX + "s2"), P2, typed_literal(2)),
+        Triple(IRI(EX + "s3"), P1, IRI(EX + "s4")),
+    ]
+
+
+def build_store(triples):
+    store = TripleStore()
+    store.add_many(triples)
+    store.finalise()
+    return store
+
+
+def insert_data_text(triples):
+    return "INSERT DATA { %s }" % " . ".join(
+        "%s %s %s" % (t.subject.n3(), t.predicate.n3(), t.object.n3()) for t in triples
+    )
+
+
+def delete_data_text(triples):
+    return "DELETE DATA { %s }" % " . ".join(
+        "%s %s %s" % (t.subject.n3(), t.predicate.n3(), t.object.n3()) for t in triples
+    )
+
+
+#: query pool for the equivalence sweeps: scans, joins, filters, distinct,
+#: ordering, aggregation, OPTIONAL and UNION — both executors cover all.
+SWEEP_QUERIES = [
+    "SELECT ?s ?o WHERE { ?s %s ?o }" % P0.n3(),
+    "SELECT ?s ?o ?x WHERE { ?s %s ?o . ?s %s ?x }" % (P0.n3(), P1.n3()),
+    "SELECT ?s ?x ?y WHERE { ?s %s ?x . ?x %s ?y }" % (P1.n3(), P2.n3()),
+    "SELECT ?s ?v WHERE { ?s %s ?v . FILTER(?v >= 3) }" % P2.n3(),
+    "SELECT DISTINCT ?o WHERE { ?s %s ?o } ORDER BY ?o" % P0.n3(),
+    "SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?s ORDER BY DESC(?c) ?s",
+    "SELECT ?s ?v WHERE { ?s %s ?o . OPTIONAL { ?s %s ?v } } ORDER BY ?s"
+    % (P0.n3(), P2.n3()),
+    "SELECT ?s WHERE { { ?s %s <%so1> } UNION { ?s %s <%so2> } } ORDER BY ?s"
+    % (P0.n3(), EX, P0.n3(), EX),
+    "SELECT ?s ?v WHERE { ?s %s ?v } ORDER BY DESC(?v) ?s LIMIT 5 OFFSET 2" % P2.n3(),
+]
+
+
+def sweep(store, executor, parallelism):
+    engine = QueryEngine(store, executor=executor).with_parallelism(parallelism)
+    return [engine.execute(query).rows for query in SWEEP_QUERIES]
+
+
+def canonical(results):
+    """Order-normalise each result list (row order of unordered queries is
+    dictionary-id order, which legitimately differs between a fresh-built
+    store and base+updates; the *solution multisets* must match exactly)."""
+    return [
+        sorted(
+            rows,
+            key=lambda row: sorted(
+                (variable.name, term.n3()) for variable, term in row.items()
+            ),
+        )
+        for rows in results
+    ]
+
+
+# -- grammar -----------------------------------------------------------------------
+
+
+class TestParseUpdate:
+    def test_insert_data(self):
+        request = parse_update(
+            'PREFIX ex: <%s> INSERT DATA { ex:a ex:p ex:b . ex:a ex:p "x" }' % EX
+        )
+        assert len(request.operations) == 1
+        operation = request.operations[0]
+        assert isinstance(operation, InsertDataOp)
+        assert len(operation.triples) == 2
+        assert operation.triples[0].subject == IRI(EX + "a")
+
+    def test_delete_data_and_delete_where(self):
+        request = parse_update(
+            "DELETE DATA { <%sa> <%sp> <%sb> } ; DELETE WHERE { <%sa> <%sp> ?o }"
+            % (EX, EX, EX, EX, EX)
+        )
+        assert [type(op) for op in request.operations] == [DeleteDataOp, DeleteWhereOp]
+        assert len(request.operations[1].triples) == 1
+
+    def test_semicolon_chaining_and_trailing_semicolon(self):
+        request = parse_update(
+            "INSERT DATA { <%sa> <%sp> <%sb> } ; INSERT DATA { <%sc> <%sp> <%sd> } ;"
+            % (EX, EX, EX, EX, EX, EX)
+        )
+        assert len(request.operations) == 2
+
+    def test_per_operation_prologue(self):
+        request = parse_update(
+            "PREFIX a: <%s> INSERT DATA { a:x a:p a:y } ; "
+            "PREFIX b: <%s> DELETE DATA { b:x b:p b:y }" % (EX, EX)
+        )
+        assert len(request.operations) == 2
+
+    def test_quad_data_rejects_variables(self):
+        with pytest.raises(ParseError):
+            parse_update("INSERT DATA { ?s <%sp> <%so> }" % (EX, EX))
+        with pytest.raises(ParseError):
+            parse_update("DELETE DATA { <%ss> <%sp> ?o }" % (EX, EX))
+
+    def test_quad_pattern_rejects_filters_and_optionals(self):
+        with pytest.raises(ParseError):
+            parse_update("DELETE WHERE { ?s ?p ?o . FILTER(?o > 1) }")
+        with pytest.raises(ParseError):
+            parse_update("DELETE WHERE { ?s ?p ?o . OPTIONAL { ?s ?p ?x } }")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_update("INSERT DATA { <%sa> <%sp> <%sb> } nonsense" % (EX, EX, EX))
+
+
+# -- store: delta overlay invisible ------------------------------------------------
+
+
+class TestStoreEquivalence:
+    """(base + updates) answers identically to a store built with the result."""
+
+    @pytest.mark.parametrize("executor", ["tuple", "vector"])
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_updated_matches_fresh_and_compacted(self, executor, parallelism):
+        extras, removed = extra_triples(), removed_triples()
+        final = [t for t in base_triples() if t not in removed] + extras
+        fresh = build_store(final)
+
+        updated = build_store(base_triples())
+        engine = QueryEngine(updated)
+        engine.update(insert_data_text(extras))
+        engine.update(delete_data_text(removed))
+        assert updated.delta_size > 0  # the overlay, not a rebuild, absorbed it
+
+        expected = canonical(sweep(fresh, executor, parallelism))
+        overlay_sweep = sweep(updated, executor, parallelism)
+        assert canonical(overlay_sweep) == expected
+
+        # compaction shares the dictionary, so it is bit-identical — row
+        # order included — to the merged-overlay execution it replaces.
+        updated.compact()
+        assert updated.delta_size == 0
+        assert sweep(updated, executor, parallelism) == overlay_sweep
+        assert canonical(overlay_sweep) == expected
+
+    def test_snapshot_adopted_base_copy_on_write(self, tmp_path):
+        """Updates over an mmap-adopted snapshot never touch the file."""
+        from repro.store.snapshot import load_snapshot
+
+        path = str(tmp_path / "base.snapshot")
+        build_store(base_triples()).save(path)
+        before = open(path, "rb").read()
+
+        snapshot_store = load_snapshot(path).store
+        engine = QueryEngine(snapshot_store)
+        engine.update(insert_data_text(extra_triples()))
+        engine.update(delete_data_text(removed_triples()))
+        snapshot_store.compact()
+
+        in_memory = build_store(base_triples())
+        memory_engine = QueryEngine(in_memory)
+        memory_engine.update(insert_data_text(extra_triples()))
+        memory_engine.update(delete_data_text(removed_triples()))
+
+        for executor in ("tuple", "vector"):
+            assert sweep(snapshot_store, executor, 1) == sweep(in_memory, executor, 1)
+        assert open(path, "rb").read() == before
+
+    def test_compacted_snapshot_can_be_repersisted(self, tmp_path):
+        base = str(tmp_path / "base.snapshot")
+        merged = str(tmp_path / "merged.snapshot")
+        build_store(base_triples()).save(base)
+
+        store = TripleStore.load(base)
+        QueryEngine(store).update(insert_data_text(extra_triples()))
+        store.compact(persist=True, path=merged)
+
+        reloaded = TripleStore.load(merged)
+        assert sweep(reloaded, "vector", 1) == sweep(store, "vector", 1)
+
+    def test_auto_compaction_threshold(self):
+        store = build_store(base_triples())
+        store.compact_threshold = 4
+        engine = QueryEngine(store)
+        result = engine.update(insert_data_text(extra_triples(4)))
+        assert result.compacted
+        assert store.delta_size == 0
+        assert store.compactions_total >= 1
+
+    def test_direct_insert_remove_route_through_delta(self):
+        store = build_store(base_triples())
+        triple = Triple(IRI(EX + "direct"), P0, IRI(EX + "o0"))
+        version = store.data_version
+        assert store.insert(triple)
+        assert store.contains(triple)
+        assert store.data_version == version + 1
+        assert not store.insert(triple)  # idempotent: no version churn
+        assert store.data_version == version + 1
+        assert store.remove(triple)
+        assert not store.contains(triple)
+
+
+# -- store: experiment-template sweep ----------------------------------------------
+
+
+#: every template the experiments E1–E4 execute, plus the remaining mix
+#: templates — the same sweep the protocol- and cache-equivalence suites run.
+EXPERIMENT_TEMPLATES = [
+    ("bsbm_bi_q1", common.bsbm_type_space),
+    ("bsbm_bi_q2", common.bsbm_product_space),
+    ("bsbm_bi_q3", common.bsbm_feature_space),
+    ("bsbm_bi_q4", common.bsbm_type_space),
+    ("bsbm_bi_q5", common.bsbm_product_space),
+    ("bsbm_bi_q6", common.bsbm_producer_space),
+    ("bsbm_bi_q8", common.bsbm_type_feature_space),
+    ("ldbc_q2", common.ldbc_person_space),
+    ("ldbc_q3", common.ldbc_person_country_pair_space),
+    ("ldbc_q4", common.ldbc_person_space),
+    ("ldbc_q5", common.ldbc_person_space),
+    ("ldbc_q7", common.ldbc_country_space),
+    ("ldbc_q8", common.ldbc_person_space),
+]
+
+TEMPLATE_SCALE = "tiny"
+
+SWEEP_CONFIGS = [("vector", 1), ("vector", 4), ("tuple", 1), ("tuple", 4)]
+
+
+@lru_cache(maxsize=None)
+def _template_scenario(benchmark):
+    """(fresh, updated, compacted) private stores with identical content.
+
+    ``fresh`` is built directly from the final triple set; ``updated``
+    absorbed the same changes through one parsed SPARQL update request
+    (delta overlay intact); ``compacted`` went through the identical
+    update and then an explicit compaction.  ``updated`` and ``compacted``
+    encode terms in the same order, so their dictionaries — and therefore
+    their result rows — must be bit-identical.  The shared dataset caches
+    in :mod:`repro.experiments.common` are never mutated.
+    """
+    if benchmark == "bsbm":
+        original = list(common.bsbm_dataset(TEMPLATE_SCALE).graph.triples())
+    else:
+        original = list(common.ldbc_dataset(TEMPLATE_SCALE).graph.triples())
+    removed = original[7::97]
+    added = [
+        Triple(IRI(EX + "added%d" % i), original[0].predicate, original[i].object)
+        for i in range(24)
+    ]
+    removed_set = set(removed)
+    fresh = build_store([t for t in original if t not in removed_set] + added)
+    request = delete_data_text(removed) + " ; " + insert_data_text(added)
+    stores = []
+    for _ in range(2):
+        store = build_store(original)
+        store.compact_threshold = None
+        summary = QueryEngine(store).update(request)
+        assert summary.deleted == len(removed) and summary.inserted == len(added)
+        stores.append(store)
+    updated, compacted = stores
+    compacted.compact()
+    assert updated.delta_size > 0 and compacted.delta_size == 0
+    return fresh, updated, compacted
+
+
+def _canonical_rows(rows):
+    return sorted(
+        rows, key=lambda row: sorted((v.name, t.n3()) for v, t in row.items())
+    )
+
+
+class TestExperimentTemplateSweep:
+    @pytest.mark.parametrize("template_name,space_factory", EXPERIMENT_TEMPLATES)
+    def test_updated_store_matches_fresh_and_compacted(self, template_name, space_factory):
+        benchmark = "bsbm" if template_name.startswith("bsbm") else "ldbc"
+        template = (bsbm_template if benchmark == "bsbm" else ldbc_template)(template_name)
+        fresh, updated, compacted = _template_scenario(benchmark)
+        bindings = UniformSampler(space_factory(TEMPLATE_SCALE), seed=23).bindings(2)
+        for executor, parallelism in SWEEP_CONFIGS:
+            fresh_engine = QueryEngine(fresh, executor=executor, parallelism=parallelism)
+            updated_engine = QueryEngine(updated, executor=executor, parallelism=parallelism)
+            compacted_engine = QueryEngine(
+                compacted, executor=executor, parallelism=parallelism
+            )
+            for repetition, binding in enumerate(bindings):
+                expected = fresh_engine.execute_template(template, binding, repetition)
+                actual = updated_engine.execute_template(template, binding, repetition)
+                folded = compacted_engine.execute_template(template, binding, repetition)
+                # vs fresh: the solution multisets are exact (row order of
+                # unordered queries is dictionary-id order, which
+                # legitimately differs between the two stores)
+                assert _canonical_rows(actual.rows) == _canonical_rows(expected.rows)
+                # vs compacted: same dictionary, so everything is exact
+                assert folded.rows == actual.rows
+                assert folded.runtime_ms == actual.runtime_ms
+                assert folded.actual_cout == actual.actual_cout
+
+
+# -- engine ------------------------------------------------------------------------
+
+
+class TestEngineUpdates:
+    @pytest.mark.parametrize("executor", ["tuple", "vector"])
+    def test_multi_operation_requests_see_predecessors(self, executor):
+        store = build_store(base_triples())
+        engine = QueryEngine(store, executor=executor)
+        result = engine.update(
+            "INSERT DATA { <%stmp> <%sp0> <%so9> } ; "
+            "DELETE WHERE { <%stmp> <%sp0> ?o }" % (EX, EX, EX, EX, EX)
+        )
+        assert result.inserted == 1 and result.deleted == 1
+        assert result.operations == 2
+        rows = engine.execute(
+            "SELECT ?o WHERE { <%stmp> <%sp0> ?o }" % (EX, EX)
+        ).rows
+        assert rows == []
+
+    def test_delete_where_join_pattern(self):
+        store = build_store(base_triples())
+        engine = QueryEngine(store)
+        # the whole pattern is the template: each matching subject loses
+        # both its (p0, o1) and its (p2, v) triple
+        count_before = len(list(store.triples()))
+        result = engine.update(
+            "DELETE WHERE { ?s <%sp0> <%so1> . ?s <%sp2> ?v }" % (EX, EX, EX)
+        )
+        assert result.deleted == 8  # s1, s5, s9, s13 at 16 base rows, x2 triples
+        assert len(list(store.triples())) == count_before - result.deleted
+
+    def test_noop_update_does_not_bump_version(self):
+        store = build_store(base_triples())
+        engine = QueryEngine(store)
+        version = store.data_version
+        result = engine.update(delete_data_text([Triple(IRI(EX + "absent"), P0, P1)]))
+        assert not result.changed
+        assert store.data_version == version
+
+    def test_result_cache_invalidated_by_update(self):
+        from repro.service.result_cache import ResultCache
+
+        store = build_store(base_triples())
+        cache = ResultCache(4 * 1024 * 1024)
+        engine = QueryEngine(store, executor="vector").with_result_cache(cache)
+        query = "SELECT ?s ?o WHERE { ?s <%sp0> ?o }" % EX
+        first = engine.execute(query, noise_key="a").rows
+        engine.update(insert_data_text([Triple(IRI(EX + "fresh"), P0, IRI(EX + "o1"))]))
+        second = engine.execute(query, noise_key="b").rows
+        assert len(second) == len(first) + 1
+
+    def test_materialized_view_never_serves_pre_update_rows(self):
+        store = build_store(base_triples())
+        dataset = connect(store)
+        session = dataset.session(executor="vector")
+        query = "SELECT ?s ?o WHERE { ?s <%sp0> ?o . ?s <%sp1> ?x }" % (EX, EX)
+        session.register_view("p0_join", query)
+        before = [dict(row) for page in session.execute(query).pages() for row in page]
+
+        new_subject = IRI(EX + "brandnew")
+        session.update(
+            insert_data_text(
+                [Triple(new_subject, P0, IRI(EX + "o0")), Triple(new_subject, P1, P1)]
+            )
+        )
+        after = [dict(row) for page in session.execute(query).pages() for row in page]
+        assert len(after) == len(before) + 1
+        assert any(row.get(next(iter(row))) is not None for row in after)
+        reference = QueryEngine(store, executor="vector").execute(query).rows
+        assert after == reference
+
+
+# -- isolation ---------------------------------------------------------------------
+
+
+class TestSnapshotIsolation:
+    def test_cursor_opened_before_delete_where_drains_bit_complete(self):
+        store = build_store(base_triples())
+        dataset = connect(store)
+        session = dataset.session(executor="vector")
+        query = "SELECT ?s ?v WHERE { ?s <%sp2> ?v } ORDER BY ?s" % EX
+        expected = QueryEngine(store, executor="vector").execute(query).rows
+
+        cursor = session.execute(query, page_size=3)
+        drained = list(next(cursor.pages()))  # first page only
+        session.update("DELETE WHERE { ?s <%sp2> ?v }" % EX)
+        # the mutation really landed for new queries...
+        fresh = [
+            row for page in session.execute(query).pages() for row in page
+        ]
+        assert fresh == []
+        # ...but the open cursor keeps streaming its pinned snapshot
+        for page in cursor.pages():
+            drained.extend(page)
+        assert drained == expected
+
+    def test_concurrent_writers_serialise(self):
+        import threading
+
+        store = build_store([])
+        store.compact_threshold = None
+        engine = QueryEngine(store)
+        errors = []
+
+        def writer(offset):
+            try:
+                for i in range(20):
+                    engine.update(
+                        insert_data_text(
+                            [Triple(IRI(EX + "w%d_%d" % (offset, i)), P0, P1)]
+                        )
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(list(store.triples())) == 80
+        assert store.data_version == 1 + 80
+
+
+# -- protocol ----------------------------------------------------------------------
+
+
+class TestHttpUpdates:
+    def _server(self):
+        return SparqlServer(build_store(base_triples()), port=0)
+
+    def _post(self, url, data, content_type):
+        request = urllib.request.Request(
+            url, data=data, headers={"Content-Type": content_type}, method="POST"
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+
+    def test_raw_update_body_and_form_field(self):
+        with self._server() as server:
+            status, body = self._post(
+                server.url,
+                insert_data_text([Triple(IRI(EX + "h"), P0, IRI(EX + "o1"))]).encode(),
+                "application/sparql-update",
+            )
+            assert status == 200
+            assert body["inserted"] == 1 and body["data_version"] == 2
+
+            form = urllib.parse.urlencode(
+                {"update": "DELETE WHERE { <%sh> <%sp0> ?o }" % (EX, EX)}
+            ).encode()
+            status, body = self._post(
+                server.url, form, "application/x-www-form-urlencoded"
+            )
+            assert status == 200 and body["deleted"] == 1
+
+            endpoint = RemoteEndpoint(server.url)
+            _variables, rows = endpoint.query(
+                "SELECT ?o WHERE { <%sh> <%sp0> ?o }" % (EX, EX)
+            )
+            assert rows == []
+
+    def test_update_errors_are_structured(self):
+        with self._server() as server:
+            endpoint = RemoteEndpoint(server.url)
+            with pytest.raises(ApiParseError):
+                endpoint.update("INSERT DATA { ?v <%sp0> <%so1> }" % (EX, EX))
+            # empty update text -> structured bad_request
+            try:
+                self._post(server.url, b"   ", "application/sparql-update")
+                assert False, "empty update must be rejected"
+            except urllib.error.HTTPError as error:
+                assert error.code == 400
+                assert json.loads(error.read())["error"]["code"] == "bad_request"
+
+    def test_update_metrics_exposed(self):
+        with self._server() as server:
+            endpoint = RemoteEndpoint(server.url)
+            endpoint.update(
+                insert_data_text([Triple(IRI(EX + "m"), P0, IRI(EX + "o1"))])
+            )
+            document = endpoint.metrics()
+            assert document["updates_total"] == 1
+            text = urllib.request.urlopen(
+                server.url.rsplit("/sparql", 1)[0] + "/metrics?format=prometheus"
+            ).read().decode("utf-8")
+            assert "repro_updates_total 1" in text
+            assert "repro_delta_triples 1" in text
+
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.mark.skipif(
+    not HAVE_FORK and not hasattr(__import__("socket"), "SO_REUSEPORT"),
+    reason="neither fork nor SO_REUSEPORT available",
+)
+class TestPoolReplication:
+    @pytest.fixture()
+    def snapshot_path(self, tmp_path):
+        path = str(tmp_path / "update_pool.snapshot")
+        build_store(base_triples()).save(path)
+        return path
+
+    def _count(self, url, query):
+        form = urllib.parse.urlencode({"query": query}).encode()
+        request = urllib.request.Request(
+            url,
+            data=form,
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            return len(json.loads(response.read())["results"]["bindings"])
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_update_replicates_to_every_worker(self, snapshot_path, workers):
+        from repro.api.pool import WorkerPool
+
+        query = "SELECT ?o WHERE { <%srepl> <%sp0> ?o }" % (EX, EX)
+        with WorkerPool(snapshot_path, workers=workers, port=0) as pool:
+            endpoint = RemoteEndpoint(pool.url)
+            summary = endpoint.update(
+                insert_data_text([Triple(IRI(EX + "repl"), P0, IRI(EX + "o1"))])
+            )
+            assert summary["inserted"] == 1
+            # every connection must observe the row, whichever worker
+            # accepts it; siblings converge via the parent broadcast.
+            deadline = time.monotonic() + 15.0
+            probes = max(8, 4 * workers)
+            while time.monotonic() < deadline:
+                counts = [self._count(pool.url, query) for _ in range(probes)]
+                if all(count == 1 for count in counts):
+                    break
+                time.sleep(0.2)
+            else:
+                pytest.fail("update did not converge across workers: %r" % counts)
+            assert pool.health()["updates_journaled"] == (1 if workers > 1 else 1)
+
+
+#: set by CI to the prebuilt snapshot artifact (see the update-smoke job).
+PREBUILT = os.environ.get("REPRO_SNAPSHOT")
+
+
+@pytest.mark.skipif(not PREBUILT, reason="REPRO_SNAPSHOT not set (CI update-smoke job)")
+class TestPrebuiltSnapshotUpdateSmoke:
+    """End to end over the CI snapshot artifact: ``repro.cli serve`` as a
+    real subprocess, updates applied over HTTP, reads converging on every
+    worker, and the on-disk snapshot bytes untouched (copy-on-write base)."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_cli_serve_round_trips_updates(self, workers):
+        with open(PREBUILT, "rb") as handle:
+            digest_before = hashlib.sha256(handle.read()).hexdigest()
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = "src" + os.pathsep + environment.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", PREBUILT, "--port", "0",
+             "--serve-workers", str(workers)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=environment,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[^ ]+/sparql", banner)
+            assert match, "no endpoint URL in %r" % banner
+            endpoint = RemoteEndpoint(match.group(0))
+            query = "SELECT ?o WHERE { <%ssmoke> <%sp0> ?o }" % (EX, EX)
+            summary = endpoint.update(
+                insert_data_text([Triple(IRI(EX + "smoke"), P0, IRI(EX + "o1"))])
+            )
+            assert summary["inserted"] == 1
+            self._converge(endpoint, query, 1, workers)
+            summary = endpoint.update("DELETE WHERE { <%ssmoke> <%sp0> ?o }" % (EX, EX))
+            assert summary["deleted"] == 1
+            self._converge(endpoint, query, 0, workers)
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                output, _ = process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+                process.kill()
+                raise
+        assert process.returncode == 0
+        assert ("pool stopped" if workers > 1 else "server stopped") in output
+        with open(PREBUILT, "rb") as handle:
+            assert hashlib.sha256(handle.read()).hexdigest() == digest_before
+
+    def _converge(self, endpoint, query, expected, workers):
+        """Every fresh connection must observe ``expected`` rows."""
+        deadline = time.monotonic() + 15.0
+        probes = max(8, 4 * workers)
+        while time.monotonic() < deadline:
+            counts = [len(endpoint.query(query)[1]) for _ in range(probes)]
+            if all(count == expected for count in counts):
+                return
+            time.sleep(0.2)
+        pytest.fail("update did not converge across workers: %r" % counts)
+
+
+# -- session errors ----------------------------------------------------------------
+
+
+class TestSessionUpdateErrors:
+    def test_parse_error_maps(self):
+        session = connect(build_store(base_triples())).session()
+        with pytest.raises(ApiParseError):
+            session.update("INSERT DATA { broken")
+
+    def test_closed_session_refuses(self):
+        session = connect(build_store(base_triples())).session()
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.update(insert_data_text([Triple(IRI(EX + "x"), P0, P1)]))
+
+    def test_update_error_type_exists(self):
+        assert UpdateError.code == "update_error"
