@@ -1,0 +1,159 @@
+"""Adaptive optimizer feedback: q-error collapse on the worst LDBC Q3 bindings.
+
+LDBC Q3 is the paper's parameter-sensitivity poster child (E4): the
+independence assumption compounds across the two-step friendship join and
+the country filters, so some bindings are estimated an order of magnitude
+wrong.  This benchmark probes a pool of Q3 bindings, keeps the
+worst-estimated ("unlucky") ones, then serves them repeatedly through an
+adaptive :class:`QueryService` and asserts the acceptance bar:
+
+* the mean q-error over the selected bindings improves by at least
+  ``IMPROVEMENT_FLOOR`` from the first to the last execution (feedback
+  corrections replacing the independence guesses with observed truth),
+* the simulated p95 latency does not regress against an identical
+  non-adaptive service (tolerance for plan swaps that trade a little p95
+  for corrected estimates is 5 %),
+* rows stay bit-identical between the two services throughout.
+
+Every run writes ``benchmarks/artifacts/adaptive_bench.json`` so CI has a
+perf trajectory.  Run with ``-s`` to see the drift table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import run_once
+from repro.core.samplers import UniformSampler
+from repro.datagen.ldbc import template as ldbc_template
+from repro.experiments import common
+from repro.obs.analyze import drift_summary
+from repro.service import QueryService
+
+#: bindings probed for drift, and how many unlucky ones are kept.
+PROBE_POOL = 12
+SELECTED = 3
+
+#: executions per selected binding through the adaptive service.
+REPETITIONS = 5
+
+#: required mean q-error improvement (first / last execution) per scale.
+IMPROVEMENT_FLOOR = {"tiny": 2.0, "small": 2.0, "medium": 2.0}
+
+#: tolerated p95 simulated-latency regression of adaptive vs baseline.
+P95_TOLERANCE = 1.05
+
+
+def _write_artifact(payload: dict) -> str:
+    directory = os.path.join(os.path.dirname(__file__), "artifacts")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "adaptive_bench.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _sorted_rows(result):
+    return sorted(tuple(sorted(row.items())) for row in result.rows)
+
+
+def test_feedback_collapses_q_error_on_unlucky_bindings(benchmark, bench_scale):
+    engine = common.ldbc_engine(bench_scale)
+    template = ldbc_template("ldbc_q3")
+    space = common.ldbc_person_country_pair_space(bench_scale)
+    pool = UniformSampler(space, seed=7).bindings(PROBE_POOL)
+
+    # Probe: rank the pool by how wrong the statistics-only estimates are.
+    probed = []
+    for binding in pool:
+        traced = engine.execute_traced(template.instantiate(binding))
+        probed.append((drift_summary(traced.trace)["mean_q_error"], binding))
+    probed.sort(key=lambda pair: pair[0], reverse=True)
+    unlucky = [binding for _error, binding in probed[:SELECTED]]
+
+    baseline = QueryService(engine)
+    adaptive = QueryService(engine, adaptive=True)
+
+    def serve(service):
+        runtimes = []
+        rows = []
+        for repetition in range(REPETITIONS):
+            for binding in unlucky:
+                result = service.execute(template, binding, repetition=repetition)
+                runtimes.append(result.runtime_ms)
+                rows.append(_sorted_rows(result))
+        return runtimes, rows
+
+    baseline_runtimes, baseline_rows = serve(baseline)
+    adaptive_runtimes, adaptive_rows = run_once(benchmark, serve, adaptive)
+
+    assert adaptive_rows == baseline_rows, "adaptive serving changed results"
+
+    states = list(adaptive.adaptive.template_stats().values())
+    assert len(states) == len(unlucky)
+    mean_first = sum(state["first_q_error"] for state in states) / len(states)
+    mean_last = sum(state["last_q_error"] for state in states) / len(states)
+    improvement = mean_first / max(mean_last, 1.0)
+
+    p95_baseline = _percentile(baseline_runtimes, 0.95)
+    p95_adaptive = _percentile(adaptive_runtimes, 0.95)
+
+    stats = adaptive.service_stats()
+    payload = {
+        "scale": bench_scale,
+        "template": "ldbc_q3",
+        "probed_bindings": PROBE_POOL,
+        "selected_bindings": len(unlucky),
+        "repetitions": REPETITIONS,
+        "mean_q_error_first": mean_first,
+        "mean_q_error_last": mean_last,
+        "q_error_improvement": improvement,
+        "p95_runtime_ms_baseline": p95_baseline,
+        "p95_runtime_ms_adaptive": p95_adaptive,
+        "feedback_spans_ingested": stats["feedback_spans_ingested_total"],
+        "corrections_applied": stats["corrections_applied_total"],
+        "reoptimizations": stats["reoptimizations_total"],
+        "plan_refreshes": stats["plan_refreshes_total"],
+    }
+    path = _write_artifact(payload)
+
+    print()
+    print(
+        "adaptive feedback on ldbc_q3 (%s scale, %d unlucky of %d probed):"
+        % (bench_scale, len(unlucky), PROBE_POOL)
+    )
+    for error, binding in probed[:SELECTED]:
+        print("  probe q-error %6.2fx  %s" % (error, sorted(binding.items())))
+    print(
+        "  mean q-error %.2fx -> %.2fx (%.1fx better), p95 %.2f ms -> %.2f ms"
+        % (mean_first, mean_last, improvement, p95_baseline, p95_adaptive)
+    )
+    print(
+        "  spans %d, corrections %d, refreshes %d, reopts %d  [%s]"
+        % (
+            stats["feedback_spans_ingested_total"],
+            stats["corrections_applied_total"],
+            stats["plan_refreshes_total"],
+            stats["reoptimizations_total"],
+            path,
+        )
+    )
+
+    floor = IMPROVEMENT_FLOOR.get(bench_scale)
+    if floor is not None:
+        assert improvement >= floor, (
+            "q-error improved only %.2fx (< %.1fx floor): first %.2fx, last %.2fx"
+            % (improvement, floor, mean_first, mean_last)
+        )
+    assert p95_adaptive <= p95_baseline * P95_TOLERANCE, (
+        "p95 simulated latency regressed: %.3f ms -> %.3f ms"
+        % (p95_baseline, p95_adaptive)
+    )

@@ -5,7 +5,8 @@ shows those estimates, but only executing the plan reveals how wrong they
 were.  ``engine.explain_analyze(query)`` runs the query with operator-level
 tracing on and renders the plan tree with *estimated vs actual* rows and
 per-operator wall time, followed by a cardinality-drift summary (q-error =
-``(max(est, actual) + 1) / (min(est, actual) + 1)``).
+``max(est, actual, 1) / max(min(est, actual), 1)`` — both sides clamped to
+one row so empty results stay finite).
 
 LDBC Q3 is the paper's poster child for parameter sensitivity (experiment
 E4): "friends within two steps that posted from both country X and

@@ -1,0 +1,33 @@
+"""Adaptive optimization: runtime cardinality feedback closing the loop.
+
+The paper's E-experiments are about how well the cost model's estimates
+track reality; PR 6's tracing records exactly where they do not (per-span
+estimated vs. actual rows, q-error drift).  This package feeds that signal
+back into planning:
+
+* :mod:`~repro.adaptive.feedback` — the :class:`FeedbackStore` of observed
+  cardinalities keyed by plan shape and ``data_version``;
+* :mod:`~repro.adaptive.corrections` — a
+  :class:`CorrectedCardinalityEstimator` blending estimates with observed
+  actuals while the optimizer plans;
+* :mod:`~repro.adaptive.reoptimizer` — the :class:`AdaptiveController`
+  watching per-template drift and swapping cached plans (guardrailed) when
+  re-planning under corrections finds a better join order.
+
+Enable it with ``QueryService(adaptive=True)``, ``Session`` /
+``Dataset.session(adaptive=True)`` or ``repro serve --adaptive``.
+Results are bit-identical with feedback on or off — only plan choice and
+wall clock may change.
+"""
+
+from .corrections import CorrectedCardinalityEstimator
+from .feedback import FeedbackStore, Observation, feedback_key
+from .reoptimizer import AdaptiveController
+
+__all__ = [
+    "AdaptiveController",
+    "CorrectedCardinalityEstimator",
+    "FeedbackStore",
+    "Observation",
+    "feedback_key",
+]

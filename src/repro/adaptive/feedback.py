@@ -1,0 +1,216 @@
+"""Runtime cardinality feedback: observed actuals keyed by plan shape.
+
+Every traced execution yields one :class:`~repro.obs.trace.Span` per plan
+node with the optimizer's estimate *and* the true row count.  The
+:class:`FeedbackStore` accumulates those actuals keyed by a canonical
+identity of the plan subtree that produced them (``feedback_key`` — the
+node fingerprint, so scan constants and join shapes are distinguished) and
+by the store's ``data_version``, so observations die with the data they
+were measured on.
+
+The store is the single shared piece of the adaptive subsystem: the
+corrections layer reads it while planning, the re-optimizer's ingest path
+writes it after every execution, and the serving layer may do both from
+concurrent client threads — all entry points take the internal lock.
+Memory is bounded: the observation table is an LRU capped at ``capacity``
+entries (an entry is a handful of floats, so the default keeps the
+footprint in the hundreds of kilobytes).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from ..obs.trace import QueryTrace
+from ..optimizer.plans import (
+    AggregateNode,
+    CachedViewNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LeftJoinNode,
+    PlanNode,
+    UnionNode,
+)
+
+#: Default maximum number of (plan shape, data_version) observations kept.
+DEFAULT_CAPACITY = 4096
+
+#: Per-observation weight update ``w = w * DECAY + 1`` — older executions
+#: fade geometrically, the weight saturates at ``1 / (1 - DECAY)``.
+DECAY = 0.8
+
+#: EWMA factor for the observed actual row count (actuals are deterministic
+#: per key in this reproduction, but updates can change them mid-version
+#: is impossible — the data_version key guards that — so this is cheap
+#: robustness against any future non-determinism).
+ACTUAL_ALPHA = 0.5
+
+
+def feedback_key(node: PlanNode) -> str:
+    """Canonical identity of the plan subtree rooted at ``node``.
+
+    Mirrors :meth:`PlanNode.fingerprint` (constants matter: the same join
+    shape over different bindings must not share observations) with two
+    differences.  Cached-view wrappers are transparent — a subtree served
+    through a materialized view must feed back to the same key the
+    optimizer builds for the raw subtree *before* view substitution.  And
+    the nodes the corrections layer actually looks up (scans, filters,
+    joins) compose their key from *memoized* child keys, so the dynamic
+    programming orderer — which builds thousands of candidate joins over
+    a shared pool of finished sub-plans — pays O(1) amortized per
+    candidate instead of re-walking every subtree.  The memo lives under a
+    private attribute, never touching the result cache's fingerprint memo.
+    """
+    memo = node.__dict__.get("_feedback_key_memo")
+    if memo is not None:
+        return memo
+    if isinstance(node, CachedViewNode):
+        key = feedback_key(node.child)
+    elif isinstance(node, FilterNode):
+        key = "filter[%r](%s)" % (node.expression, feedback_key(node.child))
+    elif isinstance(node, JoinNode):
+        key = "%s[%s](%s,%s)" % (
+            node.method,
+            ",".join(variable.n3() for variable in node.join_variables),
+            feedback_key(node.left),
+            feedback_key(node.right),
+        )
+    elif isinstance(node, LeftJoinNode):
+        key = "leftjoin[%r](%s,%s)" % (
+            node.condition,
+            feedback_key(node.left),
+            feedback_key(node.right),
+        )
+    elif isinstance(node, AggregateNode):
+        key = "aggregate[%s;%s](%s)" % (
+            ",".join(variable.n3() for variable in node.group_variables),
+            ",".join(
+                "%s=%r" % (variable.n3(), aggregate)
+                for variable, aggregate in node.aggregates
+            ),
+            feedback_key(node.child),
+        )
+    elif isinstance(node, DistinctNode):
+        key = "distinct(%s)" % feedback_key(node.child)
+    elif isinstance(node, UnionNode):
+        key = "union(%s)" % ",".join(
+            feedback_key(child) for child in node.alternatives
+        )
+    else:
+        key = node.fingerprint()
+    node.__dict__["_feedback_key_memo"] = key
+    return key
+
+
+class Observation:
+    """Accumulated runtime truth for one plan shape at one data version."""
+
+    __slots__ = ("actual_rows", "weight", "data_version", "observations")
+
+    def __init__(self, actual_rows: float, data_version: int):
+        self.actual_rows = float(actual_rows)
+        self.weight = 1.0
+        self.data_version = data_version
+        self.observations = 1
+
+    def update(self, actual_rows: float) -> None:
+        self.actual_rows += ACTUAL_ALPHA * (float(actual_rows) - self.actual_rows)
+        self.weight = self.weight * DECAY + 1.0
+        self.observations += 1
+
+    @property
+    def confidence(self) -> float:
+        """How far to trust the actual over the statistics-only estimate.
+
+        ``weight / (weight + 1)``: one observation gives 0.5 (the geometric
+        midpoint between estimate and actual), repeated confirmation
+        saturates at ``1 / (2 - DECAY)`` short of fully replacing the
+        estimate — the correction decays whenever observations stop.
+        """
+        return self.weight / (self.weight + 1.0)
+
+    def corrected(self, raw_estimate: float) -> float:
+        """Blend ``raw_estimate`` with the observed actual, in log space.
+
+        Both sides are clamped to one row (the q-error convention), so the
+        blend is exactly ``q ** -confidence`` applied to the estimate's
+        error factor: confidence 0.5 halves the q-error in log space
+        (70x drift becomes ~8.4x), full confidence would remove it.
+        """
+        low_estimate = max(raw_estimate, 1.0)
+        low_actual = max(self.actual_rows, 1.0)
+        share = self.confidence
+        return math.exp(
+            (1.0 - share) * math.log(low_estimate) + share * math.log(low_actual)
+        )
+
+
+class FeedbackStore:
+    """Thread-safe, bounded store of observed cardinalities by plan shape."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._observations: "OrderedDict[str, Observation]" = OrderedDict()
+        #: monotone counters, synced into the metrics registry by the
+        #: adaptive controller (see ``AdaptiveController.bind``).
+        self.spans_ingested = 0
+        self.corrections_applied = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._observations)
+
+    def ingest(self, trace: QueryTrace, data_version: int) -> int:
+        """Record every completed span of one executed-query trace.
+
+        Returns the number of spans ingested.  Spans that raised (no
+        ``actual_rows``) are skipped; a result-cache hit produces a
+        spanless trace and ingests nothing.
+        """
+        ingested = 0
+        with self._lock:
+            for span in trace.spans():
+                if span.actual_rows is None:
+                    continue
+                key = feedback_key(span.node)
+                entry = self._observations.get(key)
+                if entry is None or entry.data_version != data_version:
+                    self._observations[key] = Observation(span.actual_rows, data_version)
+                else:
+                    entry.update(span.actual_rows)
+                self._observations.move_to_end(key)
+                ingested += 1
+            while len(self._observations) > self.capacity:
+                self._observations.popitem(last=False)
+            self.spans_ingested += ingested
+        return ingested
+
+    def observation(self, key: str, data_version: int) -> Optional[Observation]:
+        """The live observation for ``key``, or None.
+
+        Observations recorded at a different ``data_version`` are stale —
+        the store mutated since — and are dropped lazily here rather than
+        eagerly on every update commit.
+        """
+        with self._lock:
+            entry = self._observations.get(key)
+            if entry is None:
+                return None
+            if entry.data_version != data_version:
+                del self._observations[key]
+                return None
+            self._observations.move_to_end(key)
+            return entry
+
+    def note_correction(self) -> None:
+        with self._lock:
+            self.corrections_applied += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._observations.clear()

@@ -1,0 +1,349 @@
+"""Drift-triggered re-optimization of cached plans.
+
+:class:`AdaptiveController` is the piece that closes the loop.  The serving
+layer calls :meth:`observe` after every traced execution; the controller
+
+1. ingests the trace's operator spans into the shared
+   :class:`~repro.adaptive.feedback.FeedbackStore` (keyed by plan shape and
+   ``data_version``),
+2. tracks per-cache-key drift — an EWMA of the trace's mean q-error
+   (:func:`repro.obs.analyze.drift_summary`), and
+3. when a cached plan's observed mean q-error crosses the drift threshold,
+   re-plans with the corrected estimator and swaps the
+   :class:`~repro.service.plan_cache.PlanCache` entry.
+
+Swaps are guarded.  A candidate with the *same* plan signature as the
+incumbent is an estimate refresh: the execution is identical by
+construction, only the annotations improve, so it swaps freely.  A
+candidate with a *different* join order must beat the incumbent's
+**observed** cost (``estimated_cout`` under corrections vs. the
+incumbent's ``actual_cout``) to swap at all, and after the swap its first
+execution is checked against the incumbent's observed cost — a regression
+reverts to the incumbent and pins the key so the controller never
+thrashes.  Row-level results are unaffected by any of this: both plans
+compute the same solution multiset, only plan choice and wall clock may
+change.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional
+
+from ..obs.analyze import DRIFT_THRESHOLD, drift_summary
+from ..optimizer.plans import PlanNode
+from .feedback import FeedbackStore
+
+#: q-error EWMA factor for the per-key drift signal.
+Q_ALPHA = 0.5
+
+#: executions a key must accumulate before the first re-plan attempt (the
+#: first execution's spans must be ingested before corrections exist).
+MIN_OBSERVATIONS = 2
+
+#: executions to back off after a rejected candidate before trying again.
+REJECTION_COOLDOWN = 3
+
+#: tolerated relative regression before a swapped plan is reverted.
+REVERT_SLACK = 1.05
+
+#: bound on per-key drift states kept (LRU, like the feedback store).
+DEFAULT_STATE_CAPACITY = 1024
+
+
+def _gauge_suffix(template: str) -> str:
+    """Template name sanitized into a Prometheus metric-name suffix."""
+    return re.sub(r"[^a-zA-Z0-9_]", "_", template)
+
+
+class _DriftState:
+    """Per-plan-cache-key drift tracking and swap bookkeeping."""
+
+    __slots__ = (
+        "template",
+        "data_version",
+        "executions",
+        "mean_q_error",
+        "first_q_error",
+        "last_q_error",
+        "next_attempt_at",
+        "pinned",
+        "incumbent",
+        "incumbent_cout",
+        "swap_candidate",
+        "reoptimized",
+    )
+
+    def __init__(self, template: str, data_version: int):
+        self.template = template
+        self.data_version = data_version
+        self.executions = 0
+        self.mean_q_error: Optional[float] = None
+        self.first_q_error: Optional[float] = None
+        self.last_q_error: Optional[float] = None
+        self.next_attempt_at = MIN_OBSERVATIONS
+        self.pinned = False
+        self.incumbent: Optional[PlanNode] = None
+        self.incumbent_cout: Optional[float] = None
+        self.swap_candidate: Optional[PlanNode] = None
+        self.reoptimized = False
+
+
+class AdaptiveController:
+    """Owns the feedback store and the per-template re-optimization loop."""
+
+    def __init__(
+        self,
+        drift_threshold: float = DRIFT_THRESHOLD,
+        min_observations: int = MIN_OBSERVATIONS,
+        feedback: Optional[FeedbackStore] = None,
+        state_capacity: int = DEFAULT_STATE_CAPACITY,
+    ):
+        self.drift_threshold = float(drift_threshold)
+        self.min_observations = int(min_observations)
+        self.feedback = feedback if feedback is not None else FeedbackStore()
+        self.state_capacity = state_capacity
+        self._lock = threading.Lock()
+        self._states: "OrderedDict[Hashable, _DriftState]" = OrderedDict()
+        #: per-template mean q-error EWMA (the /metrics gauges read this).
+        self._template_q: Dict[str, float] = {}
+        # Monotone counters (synced into the bound metrics registry).
+        self.reoptimizations = 0
+        self.reoptimizations_rejected = 0
+        self.reoptimizations_reverted = 0
+        self.plan_refreshes = 0
+        # Bound collaborators (see bind()).
+        self._store = None
+        self._plan_cache = None
+        self._registry = None
+        self._instruments: Dict[str, object] = {}
+        self._synced: Dict[str, int] = {}
+
+    # -- wiring -------------------------------------------------------------------
+
+    def bind(self, engine, plan_cache, registry=None) -> "AdaptiveController":
+        """Attach the store (for ``data_version``), the plan cache to swap
+        entries in, and optionally a metrics registry for the counters."""
+        self._store = engine.store
+        self._plan_cache = plan_cache
+        if registry is not None:
+            self._registry = registry
+            self._instruments = {
+                "feedback_spans_ingested_total": registry.counter(
+                    "repro_feedback_spans_ingested_total",
+                    "Operator spans ingested into the adaptive feedback store",
+                ),
+                "corrections_applied_total": registry.counter(
+                    "repro_corrections_applied_total",
+                    "Cardinality estimates corrected from runtime feedback",
+                ),
+                "reoptimizations_total": registry.counter(
+                    "repro_reoptimizations_total",
+                    "Cached plans swapped for a different join order after drift",
+                ),
+                "reoptimizations_rejected_total": registry.counter(
+                    "repro_reoptimizations_rejected_total",
+                    "Re-plan candidates rejected by the cost guardrail",
+                ),
+                "reoptimizations_reverted_total": registry.counter(
+                    "repro_reoptimizations_reverted_total",
+                    "Swapped plans reverted to the incumbent after regressing",
+                ),
+                "plan_refreshes_total": registry.counter(
+                    "repro_plan_refreshes_total",
+                    "Cached plans re-planned into the same join order with corrected estimates",
+                ),
+            }
+        return self
+
+    def _sync_instruments(self) -> None:
+        """Push counter deltas into the registry instruments (idempotent)."""
+        if not self._instruments:
+            return
+        for name, value in (
+            ("feedback_spans_ingested_total", self.feedback.spans_ingested),
+            ("corrections_applied_total", self.feedback.corrections_applied),
+            ("reoptimizations_total", self.reoptimizations),
+            ("reoptimizations_rejected_total", self.reoptimizations_rejected),
+            ("reoptimizations_reverted_total", self.reoptimizations_reverted),
+            ("plan_refreshes_total", self.plan_refreshes),
+        ):
+            delta = value - self._synced.get(name, 0)
+            if delta > 0:
+                self._instruments[name].inc(delta)
+                self._synced[name] = value
+
+    def _track_template_gauge(self, template: str) -> None:
+        if self._registry is None:
+            return
+        suffix = _gauge_suffix(template)
+        self._registry.gauge(
+            "repro_template_q_error_%s" % suffix,
+            "Mean q-error EWMA observed for template %s" % template,
+            callback=lambda t=template: float(self._template_q.get(t, 1.0)),
+        )
+
+    # -- the loop -----------------------------------------------------------------
+
+    def observe(
+        self,
+        key: Hashable,
+        template: str,
+        plan: PlanNode,
+        result,
+        replan: Optional[Callable[[], PlanNode]] = None,
+    ) -> Dict[str, object]:
+        """Ingest one traced execution and possibly re-optimize its plan.
+
+        ``result`` is the execution's :class:`QueryResult`/:class:`RowStream`
+        (``.trace`` and ``.actual_cout`` are read); ``replan`` rebuilds the
+        plan from the template's algebra through the feedback-aware
+        optimizer.  Returns a summary for the slow-query log: the key's
+        current mean q-error and whether it is running a re-optimized plan.
+        """
+        trace = getattr(result, "trace", None)
+        summary: Dict[str, object] = {
+            "mean_q_error": None,
+            "reoptimized": bool(getattr(plan, "reoptimized", False)),
+            "swapped": False,
+        }
+        if trace is None or self._store is None:
+            return summary
+        data_version = self._store.data_version
+        self.feedback.ingest(trace, data_version)
+        drift = drift_summary(trace, self.drift_threshold)
+        with self._lock:
+            if drift["operators"] > 0:
+                state = self._state(key, template, data_version)
+                state.executions += 1
+                observed = float(drift["mean_q_error"])
+                if state.mean_q_error is None:
+                    state.mean_q_error = observed
+                    state.first_q_error = observed
+                else:
+                    state.mean_q_error += Q_ALPHA * (observed - state.mean_q_error)
+                state.last_q_error = observed
+                previous = self._template_q.get(template)
+                self._template_q[template] = (
+                    observed
+                    if previous is None
+                    else previous + Q_ALPHA * (observed - previous)
+                )
+                self._track_template_gauge(template)
+                summary["mean_q_error"] = state.mean_q_error
+                self._check_swap_outcome(key, state, plan, result)
+                if (
+                    replan is not None
+                    and self._plan_cache is not None
+                    and not state.pinned
+                    and state.executions >= self.min_observations
+                    and state.executions >= state.next_attempt_at
+                    and state.mean_q_error >= self.drift_threshold
+                ):
+                    self._attempt_reoptimization(key, state, plan, result, replan, summary)
+                summary["reoptimized"] = state.reoptimized
+            self._sync_instruments()
+        return summary
+
+    def _state(self, key: Hashable, template: str, data_version: int) -> _DriftState:
+        state = self._states.get(key)
+        if state is None or state.data_version != data_version:
+            # New key, or the store mutated since: every observation this
+            # state was built on is stale, start over.
+            state = _DriftState(template, data_version)
+            state.next_attempt_at = self.min_observations
+            self._states[key] = state
+        self._states.move_to_end(key)
+        while len(self._states) > self.state_capacity:
+            self._states.popitem(last=False)
+        return state
+
+    def _check_swap_outcome(self, key, state: _DriftState, plan: PlanNode, result) -> None:
+        """First execution after a join-order swap: confirm or revert."""
+        if state.swap_candidate is None or plan is not state.swap_candidate:
+            return
+        actual = getattr(result, "actual_cout", None)
+        if actual is None:
+            return
+        if state.incumbent_cout is not None and actual > state.incumbent_cout * REVERT_SLACK:
+            # The candidate regressed against the incumbent's observed
+            # cost: put the old plan back and pin the key.
+            self._plan_cache.replace(key, state.incumbent)
+            state.pinned = True
+            state.reoptimized = False
+            self.reoptimizations_reverted += 1
+        state.swap_candidate = None
+        state.incumbent = None
+
+    def _attempt_reoptimization(
+        self, key, state: _DriftState, plan: PlanNode, result, replan, summary
+    ) -> None:
+        candidate = replan()
+        if candidate.signature() == plan.signature():
+            # Same join order — corrected estimates did not change the
+            # optimizer's choice.  Swapping is free (identical execution),
+            # and the refreshed annotations shrink future observed
+            # q-error, so drift stops firing once corrections converge.
+            candidate.reoptimized = state.reoptimized
+            self._plan_cache.replace(key, candidate)
+            self.plan_refreshes += 1
+            state.next_attempt_at = state.executions + 1
+            summary["swapped"] = True
+            return
+        actual = getattr(result, "actual_cout", None)
+        if actual is not None and candidate.estimated_cout() < actual:
+            candidate.reoptimized = True
+            self._plan_cache.replace(key, candidate)
+            state.incumbent = plan
+            state.incumbent_cout = actual
+            state.swap_candidate = candidate
+            state.reoptimized = True
+            state.next_attempt_at = state.executions + 1
+            self.reoptimizations += 1
+            summary["swapped"] = True
+        else:
+            # Guardrail: the candidate does not beat the incumbent's
+            # *observed* cost — keep the incumbent, back off.
+            self.reoptimizations_rejected += 1
+            state.next_attempt_at = state.executions + REJECTION_COOLDOWN
+
+    # -- reporting ----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counters for the ``/metrics`` JSON document."""
+        with self._lock:
+            self._sync_instruments()
+            return {
+                "feedback_spans_ingested_total": float(self.feedback.spans_ingested),
+                "corrections_applied_total": float(self.feedback.corrections_applied),
+                "reoptimizations_total": float(self.reoptimizations),
+                "reoptimizations_rejected_total": float(self.reoptimizations_rejected),
+                "reoptimizations_reverted_total": float(self.reoptimizations_reverted),
+                "plan_refreshes_total": float(self.plan_refreshes),
+                "adaptive_templates_tracked": float(len(self._states)),
+            }
+
+    def template_stats(self) -> Dict[Hashable, Dict[str, object]]:
+        """Per-cache-key drift state (benchmarks and the walkthrough)."""
+        with self._lock:
+            return {
+                key: {
+                    "template": state.template,
+                    "executions": state.executions,
+                    "first_q_error": state.first_q_error,
+                    "mean_q_error": state.mean_q_error,
+                    "last_q_error": state.last_q_error,
+                    "reoptimized": state.reoptimized,
+                    "pinned": state.pinned,
+                }
+                for key, state in self._states.items()
+            }
+
+    def __repr__(self) -> str:
+        return "AdaptiveController(threshold=%.1fx, keys=%d, reopts=%d)" % (
+            self.drift_threshold,
+            len(self._states),
+            self.reoptimizations,
+        )

@@ -29,6 +29,7 @@ import time
 from typing import Optional, Union
 
 from ..engine.query_engine import DEFAULT_PAGE_SIZE, QueryEngine, RowStream
+from ..obs.analyze import DRIFT_THRESHOLD, render_analyze
 from ..obs.slowlog import DEFAULT_SLOW_MS, SlowQueryLog
 from ..obs.trace import TraceBuffer, Tracer
 from ..rdf.graph import Graph
@@ -219,6 +220,12 @@ class Session:
     :class:`~repro.obs.SlowQueryLog`) writes a JSON line for every query
     whose wall-clock time reaches ``slow_query_ms``.  Traced execution is
     bit-identical to untraced execution.
+
+    ``adaptive=True`` turns on feedback-driven optimization (see
+    :mod:`repro.adaptive`): every execution is traced, observed
+    cardinalities correct future estimates, and cached plans whose mean
+    q-error crosses ``drift_threshold`` are re-optimized.  Rows are
+    bit-identical either way.
     """
 
     def __init__(
@@ -233,6 +240,8 @@ class Session:
         slow_log=None,
         slow_query_ms: float = DEFAULT_SLOW_MS,
         result_cache_mb: float = 0.0,
+        adaptive=False,
+        drift_threshold: float = DRIFT_THRESHOLD,
     ):
         self.dataset = dataset
         self.service = QueryService(
@@ -241,6 +250,8 @@ class Session:
             executor=executor,
             parallelism=parallelism,
             result_cache_mb=result_cache_mb,
+            adaptive=adaptive,
+            drift_threshold=drift_threshold,
         )
         self.engine = self.service.engine
         #: the materialized answer cache (None when ``result_cache_mb`` is 0)
@@ -288,8 +299,16 @@ class Session:
         return self.engine.explain(plan)
 
     def explain_analyze(self, query: str) -> str:
-        """Execute ``query`` traced and render the est-vs-actual plan tree."""
-        return self.engine.explain_analyze(query)
+        """Execute ``query`` traced and render the est-vs-actual plan tree.
+
+        Goes through the session's plan cache, so in an adaptive session
+        a re-optimized query shows its swapped plan, corrected-vs-raw
+        estimates and the "(reoptimized)" marker.
+        """
+        plan, _hit = self._plan(query)
+        tracer = Tracer(self.engine.trace_ids.new_id())
+        result = self.engine.execute_plan(plan, tracer=tracer)
+        return render_analyze(result.trace, annotate=self.engine.executor.physical_annotation)
 
     def register_view(self, name: str, query: str):
         """Declare ``query`` as a materialized view for plan substitution.
@@ -340,8 +359,12 @@ class Session:
         def run() -> RowStream:
             wall_started = time.perf_counter()
             plan, hit = self._plan(query)
+            adaptive = self.service.adaptive
             tracer = None
-            if self.trace_buffer is not None:
+            if self.trace_buffer is not None or adaptive is not None:
+                # Adaptive sessions trace every execution — the spans feed
+                # the cardinality corrections; the trace only enters the
+                # ring buffer when session tracing is also on.
                 tracer = Tracer(trace_id or self.engine.trace_ids.new_id())
             try:
                 if tracer is not None:
@@ -365,6 +388,15 @@ class Session:
                 stream.trace.query = query
                 if self.trace_buffer is not None:
                     self.trace_buffer.append(stream.trace)
+            adaptive_summary = None
+            if adaptive is not None:
+                adaptive_summary = adaptive.observe(
+                    ("sparql", query),
+                    template="sparql",
+                    plan=plan,
+                    result=stream,
+                    replan=lambda: self.engine.plan(query),
+                )
             if self.slow_log is not None:
                 self.slow_log.observe(
                     wall_seconds * 1000.0,
@@ -375,6 +407,12 @@ class Session:
                     executor=self.engine.executor_name,
                     cache_hit=stream.result_cached,
                     plan_cache_hit=hit,
+                    reoptimized=(
+                        adaptive_summary["reoptimized"] if adaptive_summary else None
+                    ),
+                    mean_q_error=(
+                        adaptive_summary["mean_q_error"] if adaptive_summary else None
+                    ),
                 )
             return stream
 

@@ -311,6 +311,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="slow-query threshold in wall-clock milliseconds (default 500)",
     )
     serve_parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive optimization: trace every execution, correct "
+        "cardinality estimates from observed actuals and re-optimize "
+        "cached plans whose mean q-error crosses --drift-threshold "
+        "(results are bit-identical; only plan choice changes)",
+    )
+    serve_parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=2.0,
+        help="mean q-error factor above which an adaptively served "
+        "template is re-optimized (default 2.0)",
+    )
+    serve_parser.add_argument(
         "--serve-workers",
         type=_positive_int,
         default=1,
@@ -565,6 +580,8 @@ def _serve_options(arguments) -> dict:
         slow_log=arguments.slow_query_log,
         slow_query_ms=arguments.slow_query_ms,
         result_cache_mb=arguments.result_cache_mb,
+        adaptive=arguments.adaptive,
+        drift_threshold=arguments.drift_threshold,
         max_inflight=arguments.max_inflight,
         admission_queue=arguments.admission_queue,
         queue_timeout=arguments.queue_timeout,

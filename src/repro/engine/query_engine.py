@@ -320,6 +320,7 @@ class QueryEngine:
         trace_buffer: Optional[TraceBuffer] = None,
         trace_seed: Optional[int] = None,
         result_cache=None,
+        feedback=None,
     ):
         self.store = data.store if isinstance(data, Graph) else data
         self.store.finalise()
@@ -342,6 +343,12 @@ class QueryEngine:
         #: materialized answer cache (see repro.service.result_cache), or
         #: None — caching is strictly opt-in and off by default.
         self.result_cache = result_cache
+        #: adaptive feedback store (see repro.adaptive), or None.  When
+        #: set, this engine's optimizer blends its estimates with observed
+        #: runtime cardinalities.
+        self.feedback = feedback
+        if feedback is not None:
+            self.optimizer.attach_feedback(feedback)
 
     def _sibling(self, executor: str, parallelism: int) -> "QueryEngine":
         """A sibling engine sharing store, statistics, optimizer and runtime
@@ -364,6 +371,7 @@ class QueryEngine:
         sibling.trace_buffer = self.trace_buffer
         sibling.trace_ids = self.trace_ids
         sibling.result_cache = self.result_cache
+        sibling.feedback = self.feedback
         return sibling
 
     def with_executor(self, executor: str) -> "QueryEngine":
@@ -384,6 +392,24 @@ class QueryEngine:
         sibling = self.__class__.__new__(self.__class__)
         sibling.__dict__.update(self.__dict__)
         sibling.result_cache = result_cache
+        return sibling
+
+    def with_feedback(self, feedback) -> "QueryEngine":
+        """Sibling engine whose optimizer learns from runtime feedback.
+
+        Always a distinct engine object with its *own* optimizer (the base
+        optimizer may be shared by other sessions over this store — their
+        plans must stay untouched by this session's corrections).  The new
+        optimizer shares statistics and the materialized-view registry, so
+        views substitute identically; only cardinality estimates differ.
+        """
+        sibling = self.__class__.__new__(self.__class__)
+        sibling.__dict__.update(self.__dict__)
+        optimizer = Optimizer(self.statistics, join_ordering=self.optimizer.join_ordering)
+        optimizer.views = self.optimizer.views
+        optimizer.attach_feedback(feedback)
+        sibling.optimizer = optimizer
+        sibling.feedback = feedback
         return sibling
 
     def register_view(self, name: str, query: Union[str, SelectQuery]) -> "object":

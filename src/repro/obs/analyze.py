@@ -6,9 +6,10 @@ shows the logical operator, the physical operator the executor ran it
 with, and ``est N rows, actual M rows, T ms`` (plus the morsel count for
 parallel kernels).  A drift summary follows, built on the optimizer
 literature's *q-error* — ``max(est, actual) / min(est, actual)`` with
-+1 smoothing so empty results stay finite — naming the worst-estimated
-operators.  :func:`drift_summary` is the programmatic form; the ROADMAP's
-adaptive-optimization item consumes exactly this signal.
+both sides clamped to at least one row so empty operators stay finite —
+naming the worst-estimated operators.  :func:`drift_summary` is the
+programmatic form; :mod:`repro.adaptive` consumes exactly this signal to
+correct future estimates and trigger re-optimization.
 """
 
 from __future__ import annotations
@@ -24,9 +25,16 @@ DRIFT_THRESHOLD = 2.0
 
 
 def q_error(estimated: float, actual: float) -> float:
-    """The symmetric estimation error factor, +1-smoothed against zeros."""
-    low = min(estimated, actual) + 1.0
-    high = max(estimated, actual) + 1.0
+    """The symmetric estimation error factor.
+
+    Zero-row convention: both sides are clamped to one row before the
+    ratio, so an empty operator that was estimated empty is a perfect 1.0
+    and an operator estimated at N rows that came back empty has q-error N
+    (symmetric with the opposite miss) — never a division by zero, never
+    infinite drift.
+    """
+    low = max(min(estimated, actual), 1.0)
+    high = max(estimated, actual, 1.0)
     return high / low
 
 
@@ -73,8 +81,14 @@ def _render_span(
         annotation = annotate(span.node)
         if annotation:
             label = "%s  · %s" % (label, annotation)
-    stats = "est %.0f rows, actual %d rows, %.3f ms" % (
-        span.estimated_rows,
+    estimate = "est %.0f rows" % span.estimated_rows
+    raw = getattr(span.node, "raw_estimated_cardinality", None)
+    if raw is not None and round(raw) != round(span.estimated_rows):
+        # The adaptive corrections layer adjusted this node's estimate;
+        # show what the statistics-only estimator believed.
+        estimate += " (raw %.0f)" % raw
+    stats = "%s, actual %d rows, %.3f ms" % (
+        estimate,
         span.actual_rows if span.actual_rows is not None else -1,
         span.elapsed_ms,
     )
@@ -111,6 +125,11 @@ def render_analyze(
     )
     if trace.result_cache == "hit":
         execution_line += " (result cache hit)"
+    if any(getattr(span.node, "reoptimized", False) for span in trace.spans()):
+        # The adaptive re-optimizer swapped this cached plan in after drift
+        # crossed the threshold (the flag sits on the swapped plan's root,
+        # which may be wrapped in a pagination LimitNode here).
+        execution_line += " (reoptimized)"
     lines.append(execution_line)
     worst = summary["worst_operator"]
     if worst is None:

@@ -58,12 +58,16 @@ class SlowQueryLog:
         error: Optional[str] = None,
         cache_hit: Optional[bool] = None,
         plan_cache_hit: Optional[bool] = None,
+        reoptimized: Optional[bool] = None,
+        mean_q_error: Optional[float] = None,
     ) -> bool:
         """Log one execution if it crossed the threshold; returns whether it did.
 
         ``cache_hit``/``plan_cache_hit`` distinguish hot-template hits
         (result served from the answer cache, plan from the plan cache)
-        from genuinely cold runs when reading the log.
+        from genuinely cold runs when reading the log.  Adaptive sessions
+        add ``reoptimized`` (this execution ran a drift-swapped plan) and
+        ``mean_q_error`` (the query's current estimation-drift EWMA).
         """
         if wall_ms < self.threshold_ms:
             return False
@@ -85,6 +89,10 @@ class SlowQueryLog:
             entry["cache_hit"] = bool(cache_hit)
         if plan_cache_hit is not None:
             entry["plan_cache_hit"] = bool(plan_cache_hit)
+        if reoptimized is not None:
+            entry["reoptimized"] = bool(reoptimized)
+        if mean_q_error is not None:
+            entry["mean_q_error"] = round(float(mean_q_error), 3)
         if error is not None:
             entry["error"] = error
         if query is not None:

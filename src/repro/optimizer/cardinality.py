@@ -52,6 +52,21 @@ class CardinalityEstimator:
         if not statistics._collected:
             statistics.collect()
 
+    # -- feedback hook ----------------------------------------------------------
+
+    def correct_node(self, node):
+        """Adjust a freshly built plan node's estimate from runtime feedback.
+
+        The base estimator is purely statistics-driven, so this is the
+        identity.  :class:`repro.adaptive.corrections.CorrectedCardinalityEstimator`
+        overrides it to blend the node's estimate with observed actuals for
+        plan shapes that have executed before; the optimizer and the join
+        orderers call it on every scan, filter and join node they build, so
+        corrected cardinalities flow into the cost decisions without the
+        ordering algorithms changing.
+        """
+        return node
+
     # -- single patterns --------------------------------------------------------
 
     def pattern_cardinality(self, pattern: TriplePattern) -> float:

@@ -40,7 +40,7 @@ def _build_scan(
     cardinality = estimator.pattern_cardinality(pattern)
     scan = ScanNode(pattern, index, cardinality)
     scan.variable_counts = estimator.variable_counts(pattern, cardinality)
-    return scan
+    return estimator.correct_node(scan)
 
 
 def _apply_ready_filters(
@@ -63,7 +63,7 @@ def _apply_ready_filters(
                 variable: max(1.0, min(count, cardinality)) if cardinality > 0 else 0.0
                 for variable, count in node.variable_counts.items()
             }
-            node = filtered
+            node = estimator.correct_node(filtered)
             applied.add(position)
     return node
 
@@ -107,6 +107,7 @@ def _join(
         method = JoinNode.HASH
     join = JoinNode(left, right, join_variables, cardinality, method)
     join.variable_counts = counts
+    join = estimator.correct_node(join)
     return _apply_ready_filters(join, filters, applied, estimator)
 
 

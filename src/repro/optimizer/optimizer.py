@@ -56,6 +56,22 @@ class Optimizer:
 
     # -- public API ---------------------------------------------------------------
 
+    def attach_feedback(self, feedback) -> "Optimizer":
+        """Make this optimizer's estimates learn from runtime feedback.
+
+        Replaces the estimator with a
+        :class:`~repro.adaptive.corrections.CorrectedCardinalityEstimator`
+        over ``feedback`` and rebuilds the join orderer around it.  The
+        ordering algorithms themselves are untouched — corrected
+        cardinalities simply flow into the same cost decisions through the
+        :meth:`CardinalityEstimator.correct_node` hook.
+        """
+        from ..adaptive.corrections import CorrectedCardinalityEstimator
+
+        self.estimator = CorrectedCardinalityEstimator(self.estimator, feedback)
+        self._orderer = make_orderer(self.join_ordering, self.estimator)
+        return self
+
     def optimize(self, node: algebra.AlgebraNode) -> PlanNode:
         """Return the physical plan for a logical algebra tree."""
         plan = self._optimize(node, pending_filters=[])
@@ -108,7 +124,7 @@ class Optimizer:
             return ProjectNode(child, node.projected)
         if isinstance(node, algebra.Distinct):
             child = self._optimize(node.child, pending_filters)
-            return DistinctNode(child)
+            return self.estimator.correct_node(DistinctNode(child))
         if isinstance(node, algebra.Slice):
             child = self._optimize(node.child, pending_filters)
             return LimitNode(child, node.limit, node.offset)
@@ -144,7 +160,7 @@ class Optimizer:
         method = JoinNode.HASH if join_variables else JoinNode.NESTED_LOOP
         join = JoinNode(left, right, join_variables, cardinality, method)
         join.variable_counts = counts
-        return join
+        return self.estimator.correct_node(join)
 
     def _optimize_left_join(self, node: algebra.LeftJoin) -> PlanNode:
         left = self._optimize(node.left, [])
@@ -159,7 +175,7 @@ class Optimizer:
         cardinality = max(cardinality, left.estimated_cardinality)
         plan = LeftJoinNode(left, right, node.condition, cardinality)
         plan.variable_counts = counts
-        return plan
+        return self.estimator.correct_node(plan)
 
     def _optimize_union(self, node: algebra.Union) -> PlanNode:
         children = [self._optimize(alternative, []) for alternative in node.alternatives]
@@ -170,7 +186,7 @@ class Optimizer:
             for variable, count in child.variable_counts.items():
                 counts[variable] = counts.get(variable, 0.0) + count
         plan.variable_counts = counts
-        return plan
+        return self.estimator.correct_node(plan)
 
     def _optimize_group(self, node: algebra.Group, pending_filters: List[Expression]) -> PlanNode:
         child = self._optimize(node.child, pending_filters)
@@ -181,14 +197,18 @@ class Optimizer:
             group_cardinality = min(group_cardinality, child.estimated_cardinality)
         else:
             group_cardinality = 1.0
-        return AggregateNode(child, node.group_variables, node.aggregates, max(1.0, group_cardinality))
+        return self.estimator.correct_node(
+            AggregateNode(child, node.group_variables, node.aggregates, max(1.0, group_cardinality))
+        )
 
     # -- helpers -----------------------------------------------------------------------
 
     def _wrap_filters(self, plan: PlanNode, filters: List[Expression]) -> PlanNode:
         for expression in filters:
             selectivity = self.estimator.filter_selectivity(expression)
-            plan = FilterNode(expression, plan, plan.estimated_cardinality * selectivity)
+            plan = self.estimator.correct_node(
+                FilterNode(expression, plan, plan.estimated_cardinality * selectivity)
+            )
         return plan
 
 

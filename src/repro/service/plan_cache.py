@@ -174,6 +174,30 @@ class PlanCache:
             build.plan = plan
             build.ready.set()
 
+    def replace(self, key: PlanKey, plan: PlanNode) -> PlanNode:
+        """Overwrite the entry for ``key`` with ``plan`` (re-optimization).
+
+        Unlike :meth:`insert` — where the first plan wins because every
+        racer built the same deterministic plan — this is the adaptive
+        re-optimizer's swap path: the *new* plan wins, replacing whatever
+        the key held.  Counts as an insertion when the key was absent;
+        with caching disabled (capacity 0) there is nothing to swap and
+        the plan is returned unchanged.
+        """
+        signature = join_tree_signature(plan)
+        with self._lock:
+            self._signatures.add(signature)
+            if self.capacity == 0:
+                return plan
+            if key not in self._entries:
+                self._insertions += 1
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return plan
+
     def peek(self, key: PlanKey) -> Optional[PlanNode]:
         """Return the cached plan without touching recency or counters."""
         with self._lock:

@@ -34,6 +34,8 @@ from ..engine.query_engine import (
 from ..sparql.template import QueryTemplate
 from ..bench.runner import QueryExecution, WorkloadResult, execution_record
 from ..bench.workload import ParameterBinding, Workload, WorkloadSuite
+from ..obs.analyze import DRIFT_THRESHOLD, render_analyze
+from ..obs.trace import Tracer
 from .metrics import MetricsCollector, ServiceMetrics
 from .plan_cache import PlanCache, PlanCacheStats
 from .prepared import PreparedTemplate, PreparedTemplateRegistry
@@ -63,6 +65,8 @@ class QueryService:
         parallelism: Optional[int] = None,
         result_cache_mb: float = 0.0,
         result_cache: Optional[ResultCache] = None,
+        adaptive=False,
+        drift_threshold: float = DRIFT_THRESHOLD,
     ):
         if executor is not None:
             engine = engine.with_executor(executor)
@@ -77,6 +81,21 @@ class QueryService:
         self.registry = PreparedTemplateRegistry()
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.metrics = MetricsCollector()
+        #: the adaptive controller when feedback-driven optimization is on
+        #: (``adaptive=True``, or pass a preconfigured
+        #: :class:`~repro.adaptive.AdaptiveController`), else None.
+        self.adaptive = None
+        if adaptive:
+            from ..adaptive import AdaptiveController
+
+            controller = (
+                adaptive
+                if isinstance(adaptive, AdaptiveController)
+                else AdaptiveController(drift_threshold=drift_threshold)
+            )
+            self.engine = self.engine.with_feedback(controller.feedback)
+            controller.bind(self.engine, self.plan_cache, self.metrics.registry)
+            self.adaptive = controller
         # Store-state gauges read live store counters at scrape time, so they
         # also reflect mutations that bypassed this service object (another
         # engine over the same store, direct TripleStore calls).
@@ -103,6 +122,8 @@ class QueryService:
         parallelism: Optional[int] = None,
         join_ordering: str = "dp",
         result_cache_mb: float = 0.0,
+        adaptive=False,
+        drift_threshold: float = DRIFT_THRESHOLD,
     ) -> "QueryService":
         """Serve straight from a store snapshot (see :mod:`repro.store.snapshot`).
 
@@ -125,6 +146,8 @@ class QueryService:
             executor=executor,
             parallelism=parallelism,
             result_cache_mb=result_cache_mb,
+            adaptive=adaptive,
+            drift_threshold=drift_threshold,
         )
 
     # -- preparation ---------------------------------------------------------------
@@ -160,15 +183,53 @@ class QueryService:
         plan, hit = self.plan_cache.get_or_create(
             key, lambda: self.engine.optimizer.optimize(prepared.algebra_for(binding))
         )
+        tracer = None
+        if self.adaptive is not None:
+            # Adaptive serving traces every execution: the spans are the
+            # feedback signal.  Rows, profile and simulated runtime are
+            # bit-identical to untraced execution.
+            tracer = Tracer(self.engine.trace_ids.new_id())
         result = self.engine.execute_plan(
-            plan, execution_noise_key(prepared.name, binding, repetition)
+            plan, execution_noise_key(prepared.name, binding, repetition), tracer=tracer
         )
         result.plan_cached = hit
         prepared.note_execution()
+        if self.adaptive is not None:
+            self.adaptive.observe(
+                key,
+                template=prepared.name,
+                plan=plan,
+                result=result,
+                replan=lambda: self.engine.optimizer.optimize(prepared.algebra_for(binding)),
+            )
         self.metrics.record_execution(
             result.runtime_ms, time.perf_counter() - started, in_batch=in_batch
         )
         return result
+
+    def explain_analyze(
+        self,
+        template: TemplateOrName,
+        binding: ParameterBinding,
+        repetition: int = 0,
+    ) -> str:
+        """``explain --analyze`` through the plan cache's entry for a binding.
+
+        Unlike :meth:`QueryEngine.explain_analyze` — which plans fresh —
+        this renders the *cached* plan, so an adaptively re-optimized
+        template shows its swapped plan, the corrected-vs-raw estimates
+        and the "(reoptimized)" marker.
+        """
+        prepared = self.prepare(template)
+        key = (prepared.name, binding_cache_key(binding))
+        plan, _hit = self.plan_cache.get_or_create(
+            key, lambda: self.engine.optimizer.optimize(prepared.algebra_for(binding))
+        )
+        tracer = Tracer(self.engine.trace_ids.new_id())
+        result = self.engine.execute_plan(
+            plan, execution_noise_key(prepared.name, binding, repetition), tracer=tracer
+        )
+        return render_analyze(result.trace, annotate=self.engine.executor.physical_annotation)
 
     def update(self, request: str) -> "UpdateResult":
         """Apply a SPARQL update request and record the mutation metrics.
@@ -275,6 +336,8 @@ class QueryService:
         stats.update(self.cache_stats().as_dict())
         if self.result_cache is not None:
             stats.update(self.result_cache.stats().as_dict())
+        if self.adaptive is not None:
+            stats.update(self.adaptive.stats())
         stats.update(self.registry.stats())
         return stats
 

@@ -1,0 +1,142 @@
+"""Adaptive serving must never change results — only plans and estimates.
+
+The core invariant of repro.adaptive: corrections and drift-triggered plan
+swaps affect join orders and annotations, never the solution multiset.
+This sweep runs the servable BSBM-BI and LDBC templates through a baseline
+service and an adaptive service, across both executors and parallelism
+1/4, repeating each binding so corrections and re-optimization actually
+kick in, and asserts row-identical output every time (sorted: a different
+join order may legitimately reorder unordered solutions).
+
+The REPRO_SNAPSHOT-gated smoke at the bottom is CI's ``adaptive-smoke``
+job: the same invariant end to end through the public Session API over the
+prebuilt snapshot artifact.
+"""
+
+import os
+
+import pytest
+
+from repro.core.samplers import UniformSampler
+from repro.datagen.bsbm import template as bsbm_template
+from repro.datagen.ldbc import template as ldbc_template
+from repro.experiments import common
+from repro.service.service import QueryService
+
+SCALE = "tiny"
+
+#: template name -> (template factory, parameter-space factory)
+SWEEP = {
+    "bsbm_bi_q1": (bsbm_template, common.bsbm_type_space),
+    "bsbm_bi_q4": (bsbm_template, common.bsbm_type_space),
+    "bsbm_bi_q8": (bsbm_template, common.bsbm_type_feature_space),
+    "ldbc_q2": (ldbc_template, common.ldbc_person_space),
+    "ldbc_q3": (ldbc_template, common.ldbc_person_country_pair_space),
+    "ldbc_q8": (ldbc_template, common.ldbc_person_space),
+}
+
+REPETITIONS = 3
+BINDINGS_PER_TEMPLATE = 2
+
+
+def _engine(name, executor, parallelism):
+    factory = common.bsbm_engine if name.startswith("bsbm") else common.ldbc_engine
+    return factory(SCALE, executor=executor, parallelism=parallelism)
+
+
+def _sorted_rows(result):
+    return sorted(tuple(sorted(row.items())) for row in result.rows)
+
+
+@pytest.mark.parametrize("executor", ["vector", "tuple"])
+@pytest.mark.parametrize("parallelism", [1, 4])
+def test_sweep_is_bit_identical_adaptive_on_and_off(executor, parallelism):
+    for name, (template_factory, space_factory) in SWEEP.items():
+        template = template_factory(name)
+        bindings = UniformSampler(space_factory(SCALE), seed=11).bindings(
+            BINDINGS_PER_TEMPLATE
+        )
+        engine = _engine(name, executor, parallelism)
+        baseline = QueryService(engine)
+        adaptive = QueryService(engine, adaptive=True)
+        for repetition in range(REPETITIONS):
+            for binding in bindings:
+                expected = _sorted_rows(
+                    baseline.execute(template, binding, repetition=repetition)
+                )
+                observed = _sorted_rows(
+                    adaptive.execute(template, binding, repetition=repetition)
+                )
+                assert observed == expected, (
+                    "adaptive rows diverged: %s %r rep %d (%s/p%d)"
+                    % (name, binding, repetition, executor, parallelism)
+                )
+        stats = adaptive.service_stats()
+        assert stats["feedback_spans_ingested_total"] > 0
+
+
+def test_adaptive_counters_flow_into_service_stats():
+    engine = _engine("ldbc_q3", "vector", 1)
+    template = ldbc_template("ldbc_q3")
+    bindings = UniformSampler(
+        common.ldbc_person_country_pair_space(SCALE), seed=7
+    ).bindings(3)
+    service = QueryService(engine, adaptive=True)
+    for repetition in range(3):
+        for binding in bindings:
+            service.execute(template, binding, repetition=repetition)
+    stats = service.service_stats()
+    for counter in (
+        "feedback_spans_ingested_total",
+        "corrections_applied_total",
+        "reoptimizations_total",
+        "reoptimizations_rejected_total",
+        "reoptimizations_reverted_total",
+        "plan_refreshes_total",
+    ):
+        assert counter in stats
+    assert stats["feedback_spans_ingested_total"] > 0
+    assert stats["corrections_applied_total"] > 0
+    # The registry carries the same counters under their Prometheus names;
+    # dump + merge is exactly the prefork pool's aggregate endpoint path.
+    from repro.obs.registry import dump_registries, merge_dumps, render_dump_text
+
+    dump = dump_registries([service.metrics.registry])
+    prometheus = render_dump_text(merge_dumps([dump, dump]))
+    assert "repro_feedback_spans_ingested_total" in prometheus
+    assert "repro_reoptimizations_total" in prometheus
+    assert "repro_template_q_error_ldbc_q3" in prometheus
+
+
+def test_shared_engines_are_not_mutated_by_adaptive_services():
+    engine = _engine("ldbc_q2", "vector", 1)
+    before = engine.optimizer.estimator
+    QueryService(engine, adaptive=True)
+    assert engine.optimizer.estimator is before
+    assert engine.feedback is None
+
+
+#: set by CI to the prebuilt snapshot artifact (see adaptive-smoke job).
+PREBUILT = os.environ.get("REPRO_SNAPSHOT")
+
+SMOKE_QUERY = (
+    "SELECT ?p (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?c) ?p"
+)
+
+
+@pytest.mark.skipif(not PREBUILT, reason="REPRO_SNAPSHOT not set (CI adaptive-smoke job)")
+class TestPrebuiltSnapshotAdaptiveSmoke:
+    def test_adaptive_session_matches_plain_session_over_snapshot(self):
+        from repro.api import connect
+
+        executor = os.environ.get("REPRO_EXECUTOR", "vector")
+        dataset = connect(PREBUILT)
+        plain = dataset.session(executor=executor)
+        adaptive = dataset.session(executor=executor, adaptive=True)
+        expected = plain.execute(SMOKE_QUERY).fetchall()
+        for _ in range(3):
+            assert adaptive.execute(SMOKE_QUERY).fetchall() == expected
+        stats = adaptive.service.service_stats()
+        assert stats["feedback_spans_ingested_total"] > 0
+        report = adaptive.explain_analyze(SMOKE_QUERY)
+        assert "cardinality drift" in report

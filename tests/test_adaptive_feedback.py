@@ -1,0 +1,382 @@
+"""Unit tests for the adaptive feedback subsystem (repro.adaptive).
+
+Covers the three layers in isolation: the FeedbackStore (ingest,
+invalidation, bounded memory, thread-safety), the corrections layer
+(estimates blend toward observed actuals, die on data_version bumps, never
+change results), and the AdaptiveController (drift tracking, the
+cost guardrail that rejects bad re-plan candidates, the revert-and-pin
+path after a regressing swap).
+"""
+
+import threading
+
+import pytest
+
+from repro.adaptive import (
+    AdaptiveController,
+    CorrectedCardinalityEstimator,
+    FeedbackStore,
+    Observation,
+    feedback_key,
+)
+from repro.adaptive.feedback import DECAY
+from repro.engine import QueryEngine
+from repro.optimizer.plans import CachedViewNode
+from repro.rdf.terms import IRI, typed_literal
+from repro.rdf.triples import Triple
+from repro.service.plan_cache import PlanCache
+from repro.store.triple_store import TripleStore
+
+EX = "http://example.org/"
+
+# FILTER(?v > 26) keeps 3 of 30 rows while the uniform-selectivity
+# heuristic estimates 9 — real, reproducible drift for feedback to fix.
+DRIFTY_QUERY = "SELECT ?s ?v WHERE { ?s <%sp0> ?v . FILTER(?v > 26) }" % EX
+JOIN_QUERY = (
+    "SELECT ?s ?v ?w WHERE { ?s <%sp0> ?v . ?s <%sp1> ?w . FILTER(?v > 10) }"
+    % (EX, EX)
+)
+
+
+def make_engine(executor="vector"):
+    store = TripleStore()
+    store.add_many(
+        Triple(IRI(EX + "s%d" % i), IRI(EX + "p%d" % (p % 2)), typed_literal(i + p))
+        for i in range(30)
+        for p in range(2)
+    )
+    return QueryEngine(store, executor=executor)
+
+
+class TestObservation:
+    def test_single_observation_blends_halfway_in_log_space(self):
+        entry = Observation(100.0, data_version=0)
+        assert entry.confidence == pytest.approx(0.5)
+        # Geometric midpoint: sqrt(10000 * 100) = 1000.
+        assert entry.corrected(10000.0) == pytest.approx(1000.0)
+
+    def test_confidence_saturates_with_repetition(self):
+        entry = Observation(100.0, data_version=0)
+        for _ in range(50):
+            entry.update(100.0)
+        assert entry.confidence == pytest.approx(1.0 / (2.0 - DECAY), rel=1e-3)
+        # Near-saturated confidence pulls the estimate most of the way in.
+        assert 100.0 < entry.corrected(10000.0) < 250.0
+
+    def test_zero_rows_clamp_to_one(self):
+        entry = Observation(0.0, data_version=0)
+        assert entry.corrected(0.0) == pytest.approx(1.0)
+        assert entry.corrected(100.0) == pytest.approx(10.0)
+
+
+class TestFeedbackKey:
+    def test_view_wrappers_are_transparent(self):
+        engine = make_engine()
+        plan = engine.plan(DRIFTY_QUERY)
+        node = plan.children()[0]
+        assert feedback_key(CachedViewNode(None, node)) == feedback_key(node)
+
+    def test_constants_distinguish_shapes(self):
+        engine = make_engine()
+        low = engine.plan("SELECT ?s WHERE { ?s <%sp0> ?v . FILTER(?v > 5) }" % EX)
+        high = engine.plan("SELECT ?s WHERE { ?s <%sp0> ?v . FILTER(?v > 25) }" % EX)
+        assert feedback_key(low) != feedback_key(high)
+
+    def test_key_is_memoized_on_the_node(self):
+        engine = make_engine()
+        plan = engine.plan(DRIFTY_QUERY)
+        first = feedback_key(plan)
+        assert plan.__dict__["_feedback_key_memo"] == first
+        assert feedback_key(plan) is first
+
+
+class TestFeedbackStore:
+    def test_ingest_records_every_completed_span(self):
+        engine = make_engine()
+        store = FeedbackStore()
+        result = engine.execute_traced(DRIFTY_QUERY)
+        spans = [s for s in result.trace.spans() if s.actual_rows is not None]
+        assert store.ingest(result.trace, engine.store.data_version) == len(spans)
+        assert len(store) == len({feedback_key(s.node) for s in spans})
+        assert store.spans_ingested == len(spans)
+        key = feedback_key(spans[0].node)
+        entry = store.observation(key, engine.store.data_version)
+        assert entry is not None
+        assert entry.actual_rows == pytest.approx(float(spans[0].actual_rows))
+
+    def test_observation_at_other_data_version_is_dropped(self):
+        engine = make_engine()
+        store = FeedbackStore()
+        result = engine.execute_traced(DRIFTY_QUERY)
+        version = engine.store.data_version
+        store.ingest(result.trace, version)
+        key = feedback_key(result.trace.spans()[0].node)
+        assert store.observation(key, version) is not None
+        assert store.observation(key, version + 1) is None
+        # The stale entry was dropped, not just hidden.
+        assert store.observation(key, version) is None
+
+    def test_capacity_bounds_the_table(self):
+        engine = make_engine()
+        store = FeedbackStore(capacity=2)
+        result = engine.execute_traced(JOIN_QUERY)
+        assert len(result.trace.spans()) > 2
+        store.ingest(result.trace, engine.store.data_version)
+        assert len(store) == 2
+
+    def test_concurrent_ingest_is_race_free(self):
+        engine = make_engine()
+        store = FeedbackStore()
+        result = engine.execute_traced(JOIN_QUERY)
+        version = engine.store.data_version
+        span_count = len([s for s in result.trace.spans() if s.actual_rows is not None])
+        rounds = 25
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(rounds):
+                    store.ingest(result.trace, version)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.spans_ingested == 4 * rounds * span_count
+
+
+class TestCorrections:
+    def test_estimates_blend_toward_observed_actuals(self):
+        engine = make_engine()
+        feedback = FeedbackStore()
+        adaptive = engine.with_feedback(feedback)
+        first = adaptive.execute_traced(DRIFTY_QUERY)
+        feedback.ingest(first.trace, engine.store.data_version)
+        replanned = adaptive.plan(DRIFTY_QUERY)
+        # The filter was over-estimated (uniform selectivity); feedback pulls
+        # the root estimate toward the 3 actual rows.
+        assert replanned.estimated_cardinality < first.plan.estimated_cardinality
+        corrected = [
+            node
+            for span in adaptive.execute_traced(DRIFTY_QUERY).trace.spans()
+            for node in (span.node,)
+            if getattr(node, "raw_estimated_cardinality", None) is not None
+        ]
+        assert corrected, "at least one node should carry a raw/corrected pair"
+        assert feedback.corrections_applied > 0
+
+    def test_results_identical_with_and_without_feedback(self):
+        baseline = make_engine()
+        engine = make_engine()
+        feedback = FeedbackStore()
+        adaptive = engine.with_feedback(feedback)
+        for query in (DRIFTY_QUERY, JOIN_QUERY):
+            for _ in range(3):
+                traced = adaptive.execute_traced(query)
+                feedback.ingest(traced.trace, engine.store.data_version)
+                expected = sorted(map(repr, baseline.execute(query).rows))
+                assert sorted(map(repr, traced.rows)) == expected
+
+    def test_corrections_invalidated_on_data_version_bump(self):
+        engine = make_engine()
+        feedback = FeedbackStore()
+        adaptive = engine.with_feedback(feedback)
+        traced = adaptive.execute_traced(DRIFTY_QUERY)
+        feedback.ingest(traced.trace, engine.store.data_version)
+        raw = engine.plan(DRIFTY_QUERY).estimated_cardinality
+        assert adaptive.plan(DRIFTY_QUERY).estimated_cardinality < raw
+        adaptive.update(
+            "INSERT DATA { <%snew> <%sp0> <%so> }" % (EX, EX, EX)
+        )
+        # The mutation made every observation stale: plans fall back to the
+        # statistics-only estimates for the new store contents.
+        replanned = adaptive.plan(DRIFTY_QUERY)
+        assert all(
+            getattr(span_node, "raw_estimated_cardinality", None) is None
+            for span_node in _walk(replanned)
+        )
+
+    def test_with_feedback_leaves_the_base_engine_untouched(self):
+        engine = make_engine()
+        adaptive = engine.with_feedback(FeedbackStore())
+        assert engine.feedback is None
+        assert adaptive.feedback is not None
+        assert not isinstance(engine.optimizer.estimator, CorrectedCardinalityEstimator)
+        assert isinstance(adaptive.optimizer.estimator, CorrectedCardinalityEstimator)
+
+
+def _walk(plan):
+    yield plan
+    for child in plan.children():
+        yield from _walk(child)
+
+
+class TestPlanCacheReplace:
+    def test_replace_overwrites_where_insert_keeps_first(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=4)
+        first = engine.plan(DRIFTY_QUERY)
+        second = engine.plan(DRIFTY_QUERY)
+        assert cache.insert("k", first) is first
+        assert cache.insert("k", second) is first  # insert: first wins
+        assert cache.replace("k", second) is second  # replace: new wins
+        assert cache.peek("k") is second
+
+    def test_replace_counts_insertion_when_absent(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=4)
+        cache.replace("k", engine.plan(DRIFTY_QUERY))
+        assert cache.stats().insertions == 1
+        assert cache.stats().size == 1
+
+    def test_replace_is_a_noop_without_storage(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=0)
+        plan = engine.plan(DRIFTY_QUERY)
+        assert cache.replace("k", plan) is plan
+        assert len(cache) == 0
+
+
+class _FakePlan:
+    """Stand-in re-plan candidate with a controllable signature and cost."""
+
+    def __init__(self, signature, cout):
+        self._signature = signature
+        self._cout = cout
+        self.reoptimized = False
+
+    def signature(self):
+        return self._signature
+
+    def estimated_cout(self):
+        return self._cout
+
+
+class _ResultProxy:
+    """A real trace with an inflated observed cost (regression simulation)."""
+
+    def __init__(self, trace, actual_cout):
+        self.trace = trace
+        self.actual_cout = actual_cout
+
+
+class TestAdaptiveController:
+    def _controller(self, engine, cache):
+        controller = AdaptiveController(drift_threshold=1.0, min_observations=1)
+        controller.bind(engine, cache)
+        return controller
+
+    def test_guardrail_rejects_expensive_candidates(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=4)
+        controller = self._controller(engine, cache)
+        result = engine.execute_traced(JOIN_QUERY)
+        cache.replace("k", result.plan)
+        expensive = _FakePlan("different-join-order", result.actual_cout * 10)
+        summary = controller.observe(
+            "k", "t", result.plan, result, replan=lambda: expensive
+        )
+        assert summary["swapped"] is False
+        assert controller.reoptimizations_rejected == 1
+        assert controller.reoptimizations == 0
+        assert cache.peek("k") is result.plan  # incumbent kept
+
+    def test_rejection_backs_off_before_retrying(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=4)
+        controller = self._controller(engine, cache)
+        result = engine.execute_traced(JOIN_QUERY)
+        expensive = _FakePlan("different-join-order", result.actual_cout * 10)
+        controller.observe("k", "t", result.plan, result, replan=lambda: expensive)
+        # Within the cooldown window no further replan happens at all.
+        controller.observe(
+            "k", "t", result.plan, result,
+            replan=lambda: pytest.fail("replan during cooldown"),
+        )
+        assert controller.reoptimizations_rejected == 1
+
+    def test_cheaper_candidate_swaps_and_regression_reverts_and_pins(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=4)
+        controller = self._controller(engine, cache)
+        result = engine.execute_traced(JOIN_QUERY)
+        cache.replace("k", result.plan)
+        candidate = _FakePlan("different-join-order", result.actual_cout * 0.1)
+        summary = controller.observe(
+            "k", "t", result.plan, result, replan=lambda: candidate
+        )
+        assert summary["swapped"] is True
+        assert candidate.reoptimized is True
+        assert controller.reoptimizations == 1
+        assert cache.peek("k") is candidate
+        # First execution of the candidate regresses badly: revert + pin.
+        regressed = _ResultProxy(result.trace, result.actual_cout * 3)
+        controller.observe("k", "t", candidate, regressed, replan=None)
+        assert controller.reoptimizations_reverted == 1
+        assert cache.peek("k") is result.plan
+        stats = controller.template_stats()["k"]
+        assert stats["pinned"] is True
+        assert stats["reoptimized"] is False
+        # Pinned keys never attempt again.
+        controller.observe(
+            "k", "t", result.plan, result,
+            replan=lambda: pytest.fail("replan on pinned key"),
+        )
+
+    def test_same_signature_candidate_is_a_free_refresh(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=4)
+        controller = self._controller(engine, cache)
+        result = engine.execute_traced(JOIN_QUERY)
+        cache.replace("k", result.plan)
+        refreshed = engine.plan(JOIN_QUERY)
+        assert refreshed.signature() == result.plan.signature()
+        summary = controller.observe(
+            "k", "t", result.plan, result, replan=lambda: refreshed
+        )
+        assert summary["swapped"] is True
+        assert controller.plan_refreshes == 1
+        assert controller.reoptimizations == 0
+        assert cache.peek("k") is refreshed
+        assert getattr(refreshed, "reoptimized", False) is False
+
+    def test_state_resets_when_data_version_changes(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=4)
+        controller = self._controller(engine, cache)
+        result = engine.execute_traced(JOIN_QUERY)
+        controller.observe("k", "t", result.plan, result)
+        assert controller.template_stats()["k"]["executions"] == 1
+        engine.update("INSERT DATA { <%sx> <%sp0> <%sy> }" % (EX, EX, EX))
+        fresh = engine.execute_traced(JOIN_QUERY)
+        controller.observe("k", "t", fresh.plan, fresh)
+        assert controller.template_stats()["k"]["executions"] == 1  # restarted
+
+    def test_result_cache_hits_are_ignored(self):
+        engine = make_engine()
+        cache = PlanCache(capacity=4)
+        controller = self._controller(engine, cache)
+        result = engine.execute_traced(JOIN_QUERY)
+        from repro.obs.trace import QueryTrace
+
+        spanless = QueryTrace("t", None, 0, 0.0, "vector", 1)
+        controller.observe("k", "t", result.plan, _ResultProxy(spanless, 0.0))
+        assert controller.template_stats() == {}
+
+    def test_stats_expose_the_metric_counter_names(self):
+        engine = make_engine()
+        controller = self._controller(engine, PlanCache(capacity=4))
+        stats = controller.stats()
+        for name in (
+            "feedback_spans_ingested_total",
+            "corrections_applied_total",
+            "reoptimizations_total",
+            "reoptimizations_rejected_total",
+            "reoptimizations_reverted_total",
+            "plan_refreshes_total",
+        ):
+            assert name in stats

@@ -91,6 +91,21 @@ class TestExplainAnalyzeWalkthrough:
         assert "q-error of" in output
 
 
+class TestAdaptiveFeedbackWalkthrough:
+    def test_main_learns_and_stays_bit_identical(self, capsys, monkeypatch):
+        example = load_example("adaptive_feedback_walkthrough")
+        monkeypatch.setattr(example, "PERSONS", 60)
+        monkeypatch.setattr(example, "BINDINGS", 4)
+        monkeypatch.setattr(example, "SELECTED", 2)
+        example.main()
+        output = capsys.readouterr().out
+        assert "rows identical adaptive vs plain: True" in output
+        assert "drift per binding" in output
+        assert "explain analyze of the worst binding after feedback" in output
+        assert "feedback counters:" in output
+        assert "corrections applied" in output
+
+
 class TestHttpEndpointWalkthrough:
     def test_main_serves_and_round_trips(self, capsys):
         example = load_example("http_endpoint_walkthrough")

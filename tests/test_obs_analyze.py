@@ -34,9 +34,10 @@ def engine(executor="vector"):
 class TestQError:
     def test_symmetric_and_smoothed(self):
         assert q_error(10, 10) == 1.0
-        assert q_error(10, 100) == q_error(100, 10)
-        assert q_error(0, 0) == 1.0  # +1 smoothing keeps zeros finite
-        assert q_error(0, 9) == 10.0
+        assert q_error(10, 100) == q_error(100, 10) == 10.0
+        assert q_error(0, 0) == 1.0  # both sides clamp to one row
+        assert q_error(0, 9) == 9.0
+        assert q_error(0.5, 1) == 1.0  # sub-row estimates clamp too
 
     def test_drift_summary_on_real_trace(self):
         result = engine().execute_traced(
